@@ -1,0 +1,72 @@
+//! Regenerate the **§VII-C fault-rate experiment** (the paper's
+//! figure-equivalent series): handled-AV rates under browsing, asm.js and
+//! probing workloads, the rate-based detector's verdicts, and the
+//! mapped-only-AV policy's effect on each workload.
+
+use cr_defense::policy::{asmjs_under_policy, probing_under_policy};
+use cr_defense::RateDetector;
+use cr_targets::browsers::firefox;
+use cr_vm::NullHook;
+
+fn main() {
+    cr_bench::banner("§VII-C — access-violation rates and defenses (Firefox)");
+    let det = RateDetector::default();
+
+    // Workload 1: browsing.
+    eprintln!("[rates] browsing ...");
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for _ in 0..40 {
+        sim.proc.call(sim.render_page, &[], 100_000, &mut NullHook);
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!(
+        "  browsing (40 pages):   {:>6} AVs  {:>9.1} AV/s  peak/window {:>4}  alarm: {}",
+        r.handled_faults, r.faults_per_second, r.peak_window, r.alarm
+    );
+
+    // Workload 2: asm.js stress.
+    eprintln!("[rates] asm.js ...");
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for _ in 0..10 {
+        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+        sim.proc.run(200_000, &mut NullHook); // gaps between bursts
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!(
+        "  asm.js (10 runs):      {:>6} AVs  {:>9.1} AV/s  peak/window {:>4}  alarm: {}",
+        r.handled_faults, r.faults_per_second, r.peak_window, r.alarm
+    );
+    assert!(!r.alarm, "asm.js must stay under the detection threshold");
+
+    // Workload 3: probing attack.
+    eprintln!("[rates] probing ...");
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for i in 0..300u64 {
+        firefox::probe(&mut sim, 0x9000_0000_0000 + i * 0x1000, &mut NullHook);
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!(
+        "  probing (300 probes):  {:>6} AVs  {:>9.1} AV/s  peak/window {:>4}  alarm: {}",
+        r.handled_faults, r.faults_per_second, r.peak_window, r.alarm
+    );
+    assert!(r.alarm, "probing must trip the detector");
+
+    // Mapped-only-AV policy.
+    println!("\nmapped-only-AV policy (strict_unmapped_policy):");
+    let relaxed = asmjs_under_policy(false);
+    let strict = asmjs_under_policy(true);
+    println!(
+        "  asm.js:   policy off → survived={} handled={}   policy on → survived={} handled={}",
+        relaxed.survived, relaxed.handled_faults, strict.survived, strict.handled_faults
+    );
+    let relaxed = probing_under_policy(false, 10);
+    let strict = probing_under_policy(true, 10);
+    println!(
+        "  probing:  policy off → survived={} probes={}      policy on → survived={} probes={}",
+        relaxed.survived, relaxed.probes_before_crash, strict.survived, strict.probes_before_crash
+    );
+    assert!(strict.probes_before_crash == 0 && !strict.survived);
+}

@@ -1,0 +1,76 @@
+//! Regenerate **§VII-A — locating the primitives of previous work**
+//! (Gawlik et al.'s two memory oracles):
+//!
+//! * the Internet Explorer primitive (a catch-all exception handler in
+//!   jscript9) **is** found automatically by the `.pdata` analysis;
+//! * its post-security-update variant (the filter delegates to a
+//!   configuration helper) survives symbolic execution only as
+//!   *undecided* — requiring manual verification, as in the paper;
+//! * the Firefox primitive (a vectored exception handler registered at
+//!   runtime) is **not** found — VEH state never appears in any scope
+//!   table. "This is not a fundamental limitation of the approach."
+
+use cr_core::seh::{analyze_module, FilterClass};
+use cr_image::FilterRef;
+
+fn main() {
+    cr_bench::banner("§VII-A — locating the primitives of previous work");
+
+    // --- IE: the MUTX::Enter catch-all scope ------------------------------
+    let sim = cr_targets::browsers::ie::build();
+    let jscript9 = sim.proc.module("jscript9.dll").expect("loaded").clone();
+    let analysis = analyze_module(&jscript9.image);
+    let mutx_va = jscript9.export("MUTX_Enter");
+    let found = analysis
+        .functions
+        .iter()
+        .find(|f| f.begin_va == mutx_va)
+        .expect("MUTX function analyzed");
+    assert!(found.survives());
+    let catch_all = found
+        .scopes
+        .iter()
+        .any(|s| matches!(s.class, FilterClass::CatchAll));
+    println!(
+        "IE MUTX::Enter @ {:#x}: located automatically — scope filter field = 0x1 (catch-all): {}",
+        mutx_va, catch_all
+    );
+    assert!(catch_all);
+
+    // --- IE post-update: filter calls a config helper ----------------------
+    let undecided: Vec<_> = analysis
+        .scopes
+        .iter()
+        .filter(|s| matches!(s.class, FilterClass::Undecided { .. }))
+        .collect();
+    println!(
+        "post-update variant: {} filter(s) flagged for manual verification ({})",
+        undecided.len(),
+        undecided
+            .first()
+            .map(|s| match &s.class {
+                FilterClass::Undecided { reason } => reason.as_str(),
+                _ => unreachable!(),
+            })
+            .unwrap_or("-")
+    );
+    assert!(!undecided.is_empty());
+
+    // --- Firefox: runtime-registered VEH is invisible statically -----------
+    let fx = cr_targets::browsers::firefox::build();
+    let ntdll = fx.proc.module("ntdll.dll").expect("loaded").clone();
+    let handler_rva = (fx.veh_handler - ntdll.base) as u32;
+    let statically_visible = ntdll.image.runtime_functions.iter().any(|rf| {
+        rf.unwind.scopes.iter().any(|s| s.filter == FilterRef::Function(handler_rva))
+    });
+    println!(
+        "Firefox VEH handler @ {:#x}: appears in scope tables: {} — registered at runtime: {}",
+        fx.veh_handler,
+        statically_visible,
+        fx.proc.veh_handlers().contains(&fx.veh_handler)
+    );
+    assert!(!statically_visible, "static analysis must miss the VEH oracle");
+    assert!(fx.proc.veh_handlers().contains(&fx.veh_handler));
+
+    println!("\n§VII-A reproduced: IE found automatically, Firefox missed (VEH limitation)");
+}

@@ -1,0 +1,82 @@
+//! Crash-**tolerant** vs crash-**resistant** probing (the paper's §I
+//! motivation): both defeat information hiding, but the classic restart-
+//! based brute force leaves a trail of crashes ("thousands of crashes in
+//! a short amount of time may easily raise alarms"), while a memory
+//! oracle leaves none.
+//!
+//! Crash-tolerant attacker: corrupts a pointer the server dereferences in
+//! user mode (lighttpd's request path), sends a request, and watches the
+//! worker die; a supervisor restarts the server and the attacker moves to
+//! the next address — the BROP-style loop.
+//!
+//! Crash-resistant attacker: the same scan through the `read` memory
+//! oracle.
+
+use cr_targets::servers::lighttpd;
+use cr_vm::NullHook;
+
+const WINDOW: u64 = 0x60_0000_0000;
+const PAGES: u64 = 24;
+const SECRET_SLOT: u64 = 17;
+
+fn main() {
+    cr_bench::banner("§I — crash-tolerant vs crash-resistant probing (lighttpd)");
+    let secret = WINDOW + SECRET_SLOT * 0x1000;
+
+    // ---- crash-tolerant: corrupt a user-mode-dereferenced pointer --------
+    let t = lighttpd::target();
+    let mut crashes = 0u64;
+    let mut restarts = 0u64;
+    let mut found_tolerant = None;
+    let mut p = t.boot(&mut NullHook);
+    p.mem.map(secret, 0x1000, cr_vm::Prot::R);
+    // The path string must "parse" when mapped: leave zeros (NUL = empty
+    // path → open fails gracefully; the deref itself is the probe).
+    for i in 0..PAGES {
+        let addr = WINDOW + i * 0x1000;
+        // Attacker write primitive: corrupt the touched path pointer.
+        let path_field = cr_targets::servers::DATA_BASE + 0x20;
+        p.mem.write_u64(path_field, addr).unwrap();
+        let conn = p.net.client_connect(t.port).unwrap();
+        p.run(300_000, &mut NullHook);
+        p.net.client_send(conn, b"GET /\n\n");
+        p.run(1_500_000, &mut NullHook);
+        if p.crash().is_some() {
+            crashes += 1;
+            // Supervisor restarts the server; the attacker carries on.
+            p = t.boot(&mut NullHook);
+            p.mem.map(secret, 0x1000, cr_vm::Prot::R);
+            restarts += 1;
+        } else {
+            found_tolerant = Some(addr);
+            break;
+        }
+    }
+    println!(
+        "crash-tolerant:  found {:?} after {} crashes / {} restarts — loud",
+        found_tolerant.map(|a| format!("{a:#x}")),
+        crashes,
+        restarts
+    );
+    assert_eq!(found_tolerant, Some(secret));
+    assert_eq!(crashes, SECRET_SLOT);
+
+    // ---- crash-resistant: the read memory oracle ---------------------------
+    use cr_exploits::MemoryOracle;
+    let mut oracle = cr_exploits::nginx::NginxOracle::new();
+    oracle.proc().mem.map(secret, 0x1000, cr_vm::Prot::RW);
+    let found = cr_exploits::find_region(&mut oracle, WINDOW, WINDOW + PAGES * 0x1000, 0x1000);
+    println!(
+        "crash-resistant: found {:?} after {} probes / 0 crashes — silent",
+        found.map(|a| format!("{a:#x}")),
+        oracle.probes()
+    );
+    assert_eq!(found, Some(secret));
+    assert!(!oracle.crashed());
+
+    println!(
+        "\nsame result, but the crash-resistant attacker is invisible to \
+         crash-count monitoring ({} vs 0 crashes)",
+        crashes
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerate **Table III**: unique exception filters per DLL before and
+//! after symbolic execution, for the x64 and x86 module variants.
+
+use cr_core::report::render_table3;
+use cr_core::seh::analyze_module;
+use cr_targets::browsers::{generate_dll, DllSpec, CALIBRATION};
+
+fn main() {
+    cr_bench::banner("Table III — exception filters before/after symbolic execution");
+    let mut x64 = Vec::new();
+    let mut x86 = Vec::new();
+    for (i, c) in CALIBRATION.iter().enumerate() {
+        if !c.in_table3 {
+            continue;
+        }
+        eprintln!("[table3] generating + analyzing {} (x64, x86) ...", c.name);
+        x64.push(analyze_module(&generate_dll(&DllSpec::from_calib_x64(c, i))));
+        x86.push(analyze_module(&generate_dll(&DllSpec::from_calib_x86(c, i))));
+    }
+    println!("{}", render_table3(&x64, &x86));
+    let undecided: usize = x64.iter().map(|a| a.filters_undecided).sum();
+    println!(
+        "x64 totals: {} filters, {} survive symbolic execution, {} undecided (manual verification)",
+        x64.iter().map(|a| a.filters_before).sum::<usize>(),
+        x64.iter().map(|a| a.filters_after).sum::<usize>(),
+        undecided
+    );
+}

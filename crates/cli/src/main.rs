@@ -1,0 +1,191 @@
+//! `crash-resist` — command-line front end for the discovery framework.
+//!
+//! ```text
+//! crash-resist discover <server>       Table-I pipeline on one server
+//! crash-resist analyze <dll>           SEH analysis of a system DLL
+//! crash-resist cfg <server>            static CFG + syscall sites
+//! crash-resist funnel [corpus-size]    §V-B Windows API funnel
+//! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
+//! crash-resist list                    available targets
+//! ```
+
+use cr_core::seh::{analyze_module, FilterClass};
+use cr_core::static_cfg;
+use cr_core::syscall_finder::{discover_server, Classification};
+use cr_exploits::{MemoryOracle, ProbeResult};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("discover") => cmd_discover(args.get(1).map(String::as_str)),
+        Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
+        Some("cfg") => cmd_cfg(args.get(1).map(String::as_str)),
+        Some("funnel") => cmd_funnel(args.get(1).and_then(|s| s.parse().ok())),
+        Some("poc") => cmd_poc(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("list") => cmd_list(),
+        _ => {
+            print!("{}", HELP);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const HELP: &str = "\
+crash-resist — discovery of crash-resistant primitives (DSN'17 reproduction)
+
+USAGE:
+    crash-resist discover <server>       run the Table-I pipeline on one server
+    crash-resist analyze <dll>           SEH analysis of a calibrated system DLL
+    crash-resist cfg <server>            static CFG recovery + syscall sites
+    crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
+    crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
+    crash-resist list                    list available servers/DLLs/oracles
+";
+
+fn cmd_list() -> i32 {
+    println!("servers:  nginx cherokee lighttpd memcached postgresql");
+    print!("dlls:    ");
+    for c in cr_targets::browsers::CALIBRATION {
+        print!(" {}", c.name);
+    }
+    println!();
+    println!("oracles:  ie firefox nginx");
+    0
+}
+
+fn cmd_discover(name: Option<&str>) -> i32 {
+    let Some(name) = name else {
+        eprintln!("usage: crash-resist discover <server>");
+        return 2;
+    };
+    let Some(target) = cr_targets::all_servers().into_iter().find(|t| t.name == name) else {
+        eprintln!("unknown server {name:?} (try `crash-resist list`)");
+        return 2;
+    };
+    eprintln!("discovering crash-resistant primitives in {name} ...");
+    let report = discover_server(&target);
+    for f in &report.findings {
+        let verdict = match f.classification {
+            Classification::CrashesOnInvalidation => "crashes-on-invalidation",
+            Classification::Usable { service_after: true } => "USABLE",
+            Classification::Usable { service_after: false } => "usable(FALSE-POSITIVE)",
+            Classification::NotRetriggered => "not-retriggered",
+        };
+        println!(
+            "{:<12} arg{} sources={:x?} net-tainted={} efaults={} -> {}",
+            f.syscall_name, f.arg_index, f.sources, f.tainted_by_input, f.efaults_observed, verdict
+        );
+    }
+    println!("{} usable primitive(s)", report.usable().len());
+    0
+}
+
+fn cmd_analyze(name: Option<&str>) -> i32 {
+    let Some(name) = name else {
+        eprintln!("usage: crash-resist analyze <dll>");
+        return 2;
+    };
+    let Some((i, c)) = cr_targets::browsers::CALIBRATION
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.name == name)
+    else {
+        eprintln!("unknown dll {name:?} (try `crash-resist list`)");
+        return 2;
+    };
+    let img = cr_targets::browsers::generate_dll(&cr_targets::browsers::DllSpec::from_calib_x64(c, i));
+    let a = analyze_module(&img);
+    println!(
+        "{}: {} guarded functions, {} AV-capable after symbolic execution",
+        a.module, a.guarded_before, a.guarded_after
+    );
+    println!(
+        "filters: {} unique, {} survive, {} undecided",
+        a.filters_before, a.filters_after, a.filters_undecided
+    );
+    for f in a.functions.iter().filter(|f| f.survives()).take(10) {
+        for s in f.scopes.iter().filter(|s| s.class.survives()) {
+            let why = match &s.class {
+                FilterClass::CatchAll => "catch-all".to_string(),
+                FilterClass::AcceptsAv { witness } => format!("accepts AV (witness {witness:#x})"),
+                FilterClass::Undecided { reason } => format!("undecided: {reason}"),
+                FilterClass::RejectsAv => unreachable!(),
+            };
+            println!("  candidate {:#x}..{:#x}  {}", s.begin_va, s.end_va, why);
+        }
+    }
+    0
+}
+
+fn cmd_cfg(name: Option<&str>) -> i32 {
+    let Some(name) = name else {
+        eprintln!("usage: crash-resist cfg <server>");
+        return 2;
+    };
+    let Some(target) = cr_targets::all_servers().into_iter().find(|t| t.name == name) else {
+        eprintln!("unknown server {name:?}");
+        return 2;
+    };
+    let seg = &target.image.segments[0];
+    let src = (seg.vaddr, seg.data.as_slice());
+    let cfg = static_cfg::analyze(&src, &[target.image.entry]);
+    println!(
+        "{name}: {} functions, {} instructions, {} static syscall sites",
+        cfg.functions.len(),
+        cfg.inst_count(),
+        cfg.syscall_sites().len()
+    );
+    for site in cfg.syscall_sites() {
+        println!("  syscall @ {site:#x}");
+    }
+    0
+}
+
+fn cmd_funnel(corpus: Option<usize>) -> i32 {
+    let corpus = corpus.unwrap_or(2_000);
+    eprintln!("building ie-sim with a {corpus}-function corpus ...");
+    let mut sim = cr_targets::browsers::ie::build_with_corpus(corpus, 2017);
+    let report = cr_core::api_fuzzer::run_funnel(&mut sim, 2);
+    print!("{}", cr_core::report::render_funnel(&report));
+    0
+}
+
+fn cmd_poc(oracle: Option<&str>, addr: Option<&str>) -> i32 {
+    let (Some(oracle), Some(addr)) = (oracle, addr) else {
+        eprintln!("usage: crash-resist poc <ie|firefox|nginx> <hexaddr>");
+        return 2;
+    };
+    let Ok(addr) = u64::from_str_radix(addr.trim_start_matches("0x"), 16) else {
+        eprintln!("bad address {addr:?}");
+        return 2;
+    };
+    let (verdict, probes, crashed) = match oracle {
+        "ie" => {
+            let mut o = cr_exploits::ie::IeOracle::new();
+            (o.probe(addr), o.probes(), o.crashed())
+        }
+        "firefox" => {
+            let mut o = cr_exploits::firefox::FirefoxOracle::new();
+            (o.probe(addr), o.probes(), o.crashed())
+        }
+        "nginx" => {
+            let mut o = cr_exploits::nginx::NginxOracle::new();
+            (o.probe(addr), o.probes(), o.crashed())
+        }
+        other => {
+            eprintln!("unknown oracle {other:?}");
+            return 2;
+        }
+    };
+    println!(
+        "{addr:#x}: {}  (probes: {probes}, crashes: {})",
+        match verdict {
+            ProbeResult::Mapped => "MAPPED",
+            ProbeResult::Unmapped => "unmapped",
+            ProbeResult::Inconclusive => "inconclusive",
+        },
+        if crashed { "YES" } else { "0" }
+    );
+    0
+}

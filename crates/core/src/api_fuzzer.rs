@@ -1,0 +1,267 @@
+//! Windows API fuzzing and the §V-B funnel.
+//!
+//! Reproduces the paper's pipeline:
+//!
+//! 1. **Corpus fuzzing** — every API function with pointer arguments is
+//!    invoked with invalid pointers; functions that return gracefully
+//!    (instead of raising) are *crash-resistant candidates* (the paper
+//!    found 400 of 11,521).
+//! 2. **Call-site harvesting** — browse workloads run under an API-call
+//!    monitor that records which candidates appear on the execution path
+//!    (25) and which of those are invoked from a JavaScript context (12),
+//!    detected by walking the dynamic call stack.
+//! 3. **Pointer-argument classification** — for each JS-reachable call,
+//!    every pointer argument is classified: stack-allocated short-lived
+//!    out-parameter, dereferenced by the caller outside the API, or a
+//!    volatile pointer with no references stored in writable memory. An
+//!    argument with none of these exclusions would be controllable; the
+//!    paper (and this reproduction) finds **zero** — the negative result.
+
+use cr_os::windows::api::{execute_api, ApiOutcome, ApiTable};
+use cr_os::OsHook;
+use cr_targets::browsers::ie::{browse, IeSim};
+use cr_vm::{Cpu, Hook, Memory};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Invalid pointer used while fuzzing.
+pub const FUZZ_BAD_PTR: u64 = 0xdead_0000;
+
+/// Why a JS-reachable pointer argument is not attacker-controllable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum ArgExclusion {
+    /// Short-lived stack out-parameter (corrupting it corrupts `rsp`).
+    StackAllocated,
+    /// The caller dereferences the pointer outside the API.
+    DereferencedOutside,
+    /// No writable memory cell holds the pointer value (volatile).
+    VolatileHeapPointer,
+    /// No exclusion found — the argument would be controllable.
+    Controllable,
+}
+
+/// One harvested API call.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ApiCallRecord {
+    /// API name.
+    pub name: String,
+    /// Whether the dynamic call stack included the JS engine entry.
+    pub in_js_context: bool,
+    /// Per-pointer-argument exclusions.
+    pub arg_exclusions: Vec<ArgExclusion>,
+}
+
+/// The full §V-B funnel.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FunnelReport {
+    /// Total API functions in the corpus.
+    pub total: usize,
+    /// Functions with at least one pointer argument (fuzz inputs).
+    pub with_pointer_args: usize,
+    /// Crash-resistant candidates (graceful under invalid pointers).
+    pub crash_resistant: usize,
+    /// Candidates observed on the browse execution path.
+    pub on_execution_path: usize,
+    /// Candidates triggered from a JavaScript context.
+    pub js_reachable: usize,
+    /// Candidates with a controllable pointer argument.
+    pub usable: usize,
+    /// Exclusion histogram over JS-reachable pointer arguments.
+    pub exclusions: BTreeMap<String, usize>,
+}
+
+/// Phase 1: fuzz the corpus with invalid pointers; return the
+/// crash-resistant candidate names.
+pub fn fuzz_corpus(api: &ApiTable) -> BTreeSet<String> {
+    let mut survivors = BTreeSet::new();
+    for spec in api.specs() {
+        if !spec.has_pointer_arg() {
+            continue;
+        }
+        // Empty address space: every pointer is invalid.
+        let mut mem = Memory::new();
+        let args = [FUZZ_BAD_PTR, FUZZ_BAD_PTR + 0x1000, FUZZ_BAD_PTR + 0x2000, 8];
+        match execute_api(spec, args, &mut mem, 0) {
+            ApiOutcome::Returned(_) => {
+                survivors.insert(spec.name.clone());
+            }
+            ApiOutcome::Faulted(_) => {}
+            // Scheduling outcomes don't dereference the bad pointers.
+            ApiOutcome::SleepFor(_) | ApiOutcome::RegisterVeh(_) => {}
+        }
+    }
+    survivors
+}
+
+/// Phase 2+3 monitor: harvest API calls, JS-context flags and argument
+/// classifications during a browse workload.
+pub struct HarvestMonitor {
+    api: ApiTable,
+    js_entry: u64,
+    call_stack: Vec<u64>,
+    recent_accesses: VecDeque<u64>,
+    /// All harvested call records.
+    pub records: Vec<ApiCallRecord>,
+}
+
+impl HarvestMonitor {
+    /// Monitor for a process whose JS engine entry point is `js_entry`.
+    pub fn new(api: ApiTable, js_entry: u64) -> HarvestMonitor {
+        HarvestMonitor {
+            api,
+            js_entry,
+            call_stack: Vec::new(),
+            recent_accesses: VecDeque::with_capacity(64),
+            records: Vec::new(),
+        }
+    }
+
+    fn classify_arg(&self, cpu: &Cpu, mem: &Memory, ptr: u64) -> ArgExclusion {
+        let rsp = cpu.reg(cr_isa::Reg::Rsp);
+        if ptr.wrapping_sub(rsp.wrapping_sub(0x10000)) < 0x20000 {
+            return ArgExclusion::StackAllocated;
+        }
+        if self
+            .recent_accesses
+            .iter()
+            .any(|&a| a >= ptr && a < ptr + 16)
+        {
+            return ArgExclusion::DereferencedOutside;
+        }
+        // Scan writable memory for any cell holding the pointer value.
+        let needle = ptr.to_le_bytes();
+        let mut page_buf = vec![0u8; 4096];
+        for (base, prot) in mem.pages() {
+            if !prot.w {
+                continue;
+            }
+            if mem.peek(base, &mut page_buf).is_err() {
+                continue;
+            }
+            if page_buf.chunks_exact(8).any(|c| c == needle) {
+                return ArgExclusion::Controllable;
+            }
+        }
+        ArgExclusion::VolatileHeapPointer
+    }
+}
+
+impl Hook for HarvestMonitor {
+    fn on_mem_read(&mut self, _cpu: &Cpu, va: u64, _len: usize) {
+        if self.recent_accesses.len() >= 64 {
+            self.recent_accesses.pop_front();
+        }
+        self.recent_accesses.push_back(va);
+    }
+
+    fn on_call(&mut self, _cpu: &Cpu, _ret_to: u64, target: u64) {
+        self.call_stack.push(target);
+    }
+
+    fn on_ret(&mut self, _cpu: &Cpu, _ret_to: u64) {
+        self.call_stack.pop();
+    }
+}
+
+impl OsHook for HarvestMonitor {
+    fn on_api_call(&mut self, name: &str, cpu: &Cpu, mem: &Memory) {
+        let in_js = self.call_stack.contains(&self.js_entry);
+        let spec = self
+            .api
+            .spec_at(self.api.address_of(name))
+            .expect("known api")
+            .clone();
+        let arg_regs = [cr_isa::Reg::Rcx, cr_isa::Reg::Rdx, cr_isa::Reg::R8, cr_isa::Reg::R9];
+        let mut exclusions = Vec::new();
+        for (i, at) in spec.args.iter().enumerate().take(4) {
+            if at.is_pointer() {
+                let ptr = cpu.reg(arg_regs[i]);
+                exclusions.push(self.classify_arg(cpu, mem, ptr));
+            }
+        }
+        self.records.push(ApiCallRecord {
+            name: name.to_string(),
+            in_js_context: in_js,
+            arg_exclusions: exclusions,
+        });
+    }
+}
+
+/// Run the full funnel against an IE-sim built with a generated corpus.
+pub fn run_funnel(sim: &mut IeSim, sites: usize) -> FunnelReport {
+    let api = sim.proc.api.clone();
+    let total = api.specs().len();
+    let with_pointer_args = api.specs().iter().filter(|s| s.has_pointer_arg()).count();
+    let survivors = fuzz_corpus(&api);
+
+    let mut mon = HarvestMonitor::new(api, sim.process_script);
+    browse(sim, sites, &mut mon);
+
+    let mut on_path: BTreeSet<&str> = BTreeSet::new();
+    let mut js_reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut usable: BTreeSet<&str> = BTreeSet::new();
+    let mut exclusions: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in &mon.records {
+        if !survivors.contains(&rec.name) {
+            continue;
+        }
+        on_path.insert(&rec.name);
+        if rec.in_js_context {
+            js_reachable.insert(&rec.name);
+            let mut all_excluded = true;
+            for e in &rec.arg_exclusions {
+                *exclusions.entry(format!("{e:?}")).or_default() += 1;
+                if *e == ArgExclusion::Controllable {
+                    all_excluded = false;
+                }
+            }
+            if !all_excluded {
+                usable.insert(&rec.name);
+            }
+        }
+    }
+
+    FunnelReport {
+        total,
+        with_pointer_args,
+        crash_resistant: survivors.len(),
+        on_execution_path: on_path.len(),
+        js_reachable: js_reachable.len(),
+        usable: usable.len(),
+        exclusions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_targets::browsers::ie;
+
+    #[test]
+    fn fuzzing_finds_graceful_functions() {
+        let api = ApiTable::with_corpus(500, 42);
+        let survivors = fuzz_corpus(&api);
+        assert!(survivors.contains("VirtualQuery"));
+        assert!(survivors.contains("IsBadReadPtr"));
+        assert!(survivors.contains("GetPwrCapabilities"));
+        assert!(!survivors.contains("ReadFile"), "raw-deref APIs fault");
+        assert!(!survivors.contains("EnterCriticalSection"));
+        // Some generated graceful functions survive too.
+        assert!(survivors.iter().any(|s| s.starts_with("ApiFn")));
+    }
+
+    #[test]
+    fn funnel_collapses_to_zero_usable() {
+        let mut sim = ie::build_with_corpus(2000, 7);
+        let report = run_funnel(&mut sim, 2);
+        assert!(report.total > 2000);
+        assert!(report.with_pointer_args < report.total);
+        assert!(report.crash_resistant < report.with_pointer_args);
+        assert_eq!(report.on_execution_path, 25, "render 13 + JS 12");
+        assert_eq!(report.js_reachable, 12);
+        assert_eq!(report.usable, 0, "the paper's negative result");
+        // All three exclusion categories appear.
+        assert!(report.exclusions.contains_key("StackAllocated"));
+        assert!(report.exclusions.contains_key("DereferencedOutside"));
+        assert!(report.exclusions.contains_key("VolatileHeapPointer"));
+    }
+}

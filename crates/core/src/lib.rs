@@ -1,0 +1,28 @@
+//! # cr-core — discovery of crash-resistant primitives
+//!
+//! The paper's primary contribution: semi-automated location of *memory
+//! oracles* (crash-resistant code primitives) in binary programs, via
+//! three strategies:
+//!
+//! * [`syscall_finder`] — Linux syscalls whose pointer arguments are
+//!   attacker-controllable and answered with `-EFAULT` (§IV-A, Table I);
+//! * [`api_fuzzer`] — Windows API functions that handle invalid pointer
+//!   arguments gracefully, filtered down to JS-reachable call sites with
+//!   controllable arguments (§IV-B, the §V-B funnel);
+//! * [`seh`] — SEH exception handlers whose filters can accept access
+//!   violations, found by parsing `.pdata` and symbolically executing
+//!   filter functions (§IV-C, Tables II and III).
+//!
+//! Supporting machinery: [`provenance`] (pointer-origin tracking),
+//! [`static_cfg`] (recursive-descent control-flow recovery) and
+//! [`report`] (table rendering for the experiment harness).
+
+pub mod api_fuzzer;
+pub mod provenance;
+pub mod report;
+pub mod seh;
+pub mod static_cfg;
+pub mod syscall_finder;
+
+pub use provenance::Provenance;
+pub use syscall_finder::{discover_server, Classification, ServerReport, SyscallFinding};

@@ -1,0 +1,233 @@
+//! Pointer provenance tracking.
+//!
+//! The monitor needs to answer: *which memory cell did the pointer in
+//! this syscall argument come from?* If the cell lies in attacker-
+//! reachable (writable) memory, the attacker's arbitrary-write primitive
+//! can corrupt it and the syscall becomes a probing candidate; the cell
+//! address is also exactly what the invalidation phase overwrites.
+//!
+//! Provenance is a shallow per-register tag `Option<source cell>`:
+//!
+//! * a 64-bit load from a tracked region sets the tag to the load address;
+//! * register moves copy it; pointer arithmetic (`add`/`sub`/`lea` with a
+//!   tagged base) preserves it;
+//! * immediates, zeroing idioms and byte loads clear it.
+//!
+//! Tags are per-thread; the owning monitor swaps banks on scheduler
+//! switches.
+
+use cr_isa::{AluOp, Inst, Reg, Rm, Width};
+use cr_vm::{Cpu, Hook, Memory};
+
+/// Per-thread provenance bank.
+pub type ProvBank = [Option<u64>; 16];
+
+/// Tracks, per register, the attacker-reachable memory cell its current
+/// value was loaded from.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    regions: Vec<(u64, u64)>,
+    regs: ProvBank,
+}
+
+impl Provenance {
+    /// Track loads from the given `(base, len)` regions.
+    pub fn new(regions: Vec<(u64, u64)>) -> Provenance {
+        Provenance { regions, regs: [None; 16] }
+    }
+
+    /// Whether `addr` is inside a tracked region.
+    pub fn in_region(&self, addr: u64) -> bool {
+        self.regions.iter().any(|&(b, l)| addr >= b && addr < b + l)
+    }
+
+    /// The source cell of `reg`'s current value, if tracked.
+    pub fn source(&self, reg: Reg) -> Option<u64> {
+        self.regs[reg.encoding() as usize]
+    }
+
+    /// Swap the per-thread bank.
+    pub fn swap_bank(&mut self, bank: &mut ProvBank) {
+        std::mem::swap(&mut self.regs, bank);
+    }
+
+    fn set(&mut self, r: Reg, v: Option<u64>) {
+        self.regs[r.encoding() as usize] = v;
+    }
+
+    fn get_rm(&self, rm: Rm) -> Option<u64> {
+        match rm {
+            Rm::Reg(r) => self.source(r),
+            Rm::Mem(_) => None,
+        }
+    }
+}
+
+impl Hook for Provenance {
+    fn on_inst(&mut self, cpu: &Cpu, _mem: &mut Memory, inst: &Inst, va: u64, len: usize) {
+        let next = va.wrapping_add(len as u64);
+        match *inst {
+            Inst::MovRRm { dst, src, width } => match src {
+                Rm::Mem(m) if width == Width::B8 => {
+                    let ea = cpu.effective_addr(&m, next);
+                    self.set(dst, self.in_region(ea).then_some(ea));
+                }
+                Rm::Reg(s) if width == Width::B8 => self.set(dst, self.source(s)),
+                _ => self.set(dst, None),
+            },
+            Inst::MovRI { dst, .. } => self.set(dst, None),
+            Inst::MovRmI { dst: Rm::Reg(r), .. } => self.set(r, None),
+            Inst::Movzx { dst, .. } => self.set(dst, None),
+            Inst::Lea { dst, mem } => {
+                // Address arithmetic: inherit the base pointer's source.
+                let src = mem.base.and_then(|b| self.source(b));
+                self.set(dst, src);
+            }
+            Inst::AluRRm { op, dst, src, width } => {
+                if !op.writes_dst() {
+                    return;
+                }
+                if matches!(op, AluOp::Xor | AluOp::Sub) && src == Rm::Reg(dst) {
+                    self.set(dst, None);
+                } else if matches!(op, AluOp::Add | AluOp::Sub) && width == Width::B8 {
+                    // ptr ± offset keeps pointing into the same object.
+                    let keep = self.source(dst).or_else(|| self.get_rm(src));
+                    self.set(dst, keep);
+                } else {
+                    self.set(dst, None);
+                }
+            }
+            Inst::AluRmR { op, dst: Rm::Reg(r), src, width } => {
+                if !op.writes_dst() {
+                    return;
+                }
+                if matches!(op, AluOp::Xor | AluOp::Sub) && r == src {
+                    self.set(r, None);
+                } else if matches!(op, AluOp::Add | AluOp::Sub) && width == Width::B8 {
+                    let keep = self.source(r).or_else(|| self.source(src));
+                    self.set(r, keep);
+                } else {
+                    self.set(r, None);
+                }
+            }
+            Inst::AluRmI { op, dst: Rm::Reg(r), width, .. }
+                if op.writes_dst() && !(matches!(op, AluOp::Add | AluOp::Sub) && width == Width::B8)
+                => {
+                    self.set(r, None);
+                }
+            Inst::ShiftRI { dst, .. } => self.set(dst, None),
+            Inst::Neg(r) | Inst::Not(r) => self.set(r, None),
+            Inst::Imul { dst, .. } => self.set(dst, None),
+            Inst::Cmov { dst, src, .. } => {
+                // Conservative: either value may land in dst.
+                let keep = self.source(dst).or_else(|| self.get_rm(src));
+                self.set(dst, keep);
+            }
+            Inst::Xchg(a, b) => {
+                let (sa, sb) = (self.source(a), self.source(b));
+                self.set(a, sb);
+                self.set(b, sa);
+            }
+            Inst::Pop(r) => self.set(r, None),
+            Inst::Setcc { dst, .. } => self.set(dst, None),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_isa::{Asm, Mem as M};
+    use cr_vm::{Exit, NullHook, Prot};
+    use Reg::*;
+
+    fn run(build: impl FnOnce(&mut Asm), regions: Vec<(u64, u64)>) -> Provenance {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let asm = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x1000, Prot::RX);
+        mem.poke(0x1000, &asm.code).unwrap();
+        mem.map(0x10_0000, 0x1000, Prot::RW);
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x1000;
+        let mut prov = Provenance::new(regions);
+        loop {
+            match cpu.step(&mut mem, &mut prov) {
+                Exit::Normal => {}
+                Exit::Halt => break,
+                e => panic!("{e:?}"),
+            }
+        }
+        let _ = NullHook;
+        prov
+    }
+
+    #[test]
+    fn load_from_region_sets_source() {
+        let p = run(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0008);
+                a.load(Rsi, M::base(Rdi));
+                a.hlt();
+            },
+            vec![(0x10_0000, 0x1000)],
+        );
+        assert_eq!(p.source(Rsi), Some(0x10_0008));
+        assert_eq!(p.source(Rdi), None, "immediate has no source");
+    }
+
+    #[test]
+    fn load_outside_region_clears() {
+        let p = run(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rsi, M::base(Rdi));
+                a.hlt();
+            },
+            vec![(0x20_0000, 0x1000)],
+        );
+        assert_eq!(p.source(Rsi), None);
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_source() {
+        let p = run(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0010);
+                a.load(Rsi, M::base(Rdi));
+                a.add_ri(Rsi, 0x40);
+                a.mov_rr(Rdx, Rsi);
+                a.hlt();
+            },
+            vec![(0x10_0000, 0x1000)],
+        );
+        assert_eq!(p.source(Rsi), Some(0x10_0010));
+        assert_eq!(p.source(Rdx), Some(0x10_0010), "mov copies provenance");
+    }
+
+    #[test]
+    fn overwrite_clears_source() {
+        let p = run(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rsi, M::base(Rdi));
+                a.zero(Rsi);
+                a.hlt();
+            },
+            vec![(0x10_0000, 0x1000)],
+        );
+        assert_eq!(p.source(Rsi), None, "xor zeroing clears provenance");
+    }
+
+    #[test]
+    fn bank_swap_isolates_threads() {
+        let mut p = Provenance::new(vec![(0, 0x1000)]);
+        p.regs[3] = Some(0x42);
+        let mut bank: ProvBank = [None; 16];
+        p.swap_bank(&mut bank);
+        assert_eq!(p.regs[3], None);
+        assert_eq!(bank[3], Some(0x42));
+    }
+}

@@ -1,0 +1,288 @@
+//! Exception-handler discovery (paper §IV-C, Tables II and III).
+//!
+//! Pipeline per module:
+//!
+//! 1. parse `.pdata` → RUNTIME_FUNCTION entries → C-specific-handler
+//!    scope tables (done by `cr-image`);
+//! 2. collect the *unique filter functions* referenced by the scopes;
+//! 3. symbolically execute every filter ([`cr_symex::SymExec`]) and ask
+//!    the solver whether any path accepts `EXCEPTION_ACCESS_VIOLATION`
+//!    (returns ≠ `EXCEPTION_CONTINUE_SEARCH`);
+//! 4. classify each scope: catch-all scopes and scopes whose filter
+//!    accepts (or defeats the analysis) survive — the "after SB" set;
+//! 5. cross-reference surviving guarded regions against an execution
+//!    trace to find the ones an attacker can actually trigger.
+
+use cr_image::{FilterRef, Machine, PeImage};
+use cr_symex::{CodeSource, FilterVerdict, SymExec};
+use std::collections::{BTreeMap, HashSet};
+
+/// Classification of one scope's filter.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum FilterClass {
+    /// Scope filter field is the constant 1: handles everything.
+    CatchAll,
+    /// Filter function proven to accept an access violation.
+    AcceptsAv {
+        /// Witness `ExceptionCode` from the solver model.
+        witness: u64,
+    },
+    /// Filter function proven to reject access violations.
+    RejectsAv,
+    /// Symbolic execution could not decide (e.g. the filter calls another
+    /// function) — kept for manual verification.
+    Undecided {
+        /// Executor abort reason.
+        reason: String,
+    },
+}
+
+impl FilterClass {
+    /// Whether this scope survives symbolic vetting ("after SB").
+    pub fn survives(&self) -> bool {
+        !matches!(self, FilterClass::RejectsAv)
+    }
+}
+
+/// One guarded code location (scope) with its classification.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScopeCandidate {
+    /// Guarded region begin (VA).
+    pub begin_va: u64,
+    /// Guarded region end (VA).
+    pub end_va: u64,
+    /// `__except` continuation (VA).
+    pub target_va: u64,
+    /// Filter classification.
+    pub class: FilterClass,
+}
+
+/// One guarded function (a RUNTIME_FUNCTION with an exception handler).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct GuardedFunction {
+    /// Function begin (VA).
+    pub begin_va: u64,
+    /// Function end (VA).
+    pub end_va: u64,
+    /// The function's `__try` scopes.
+    pub scopes: Vec<ScopeCandidate>,
+}
+
+impl GuardedFunction {
+    /// Whether any scope survives symbolic vetting.
+    pub fn survives(&self) -> bool {
+        self.scopes.iter().any(|s| s.class.survives())
+    }
+}
+
+/// Full SEH analysis of one module.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ModuleSehAnalysis {
+    /// Module name.
+    pub module: String,
+    /// x64 or x86 container.
+    pub is_x64: bool,
+    /// Guarded code locations before symbolic execution (functions with
+    /// a C-specific handler).
+    pub guarded_before: usize,
+    /// Locations with at least one AV-capable scope ("after SB").
+    pub guarded_after: usize,
+    /// Unique filter functions before symbolic execution.
+    pub filters_before: usize,
+    /// Filter functions surviving symbolic execution.
+    pub filters_after: usize,
+    /// Filters the executor could not decide (manual verification).
+    pub filters_undecided: usize,
+    /// Guarded functions with their scopes.
+    pub functions: Vec<GuardedFunction>,
+    /// All scopes, flattened.
+    pub scopes: Vec<ScopeCandidate>,
+}
+
+/// Code source over a parsed PE image's executable sections.
+pub struct PeCode<'a> {
+    image: &'a PeImage,
+}
+
+impl<'a> PeCode<'a> {
+    /// Wrap an image.
+    pub fn new(image: &'a PeImage) -> PeCode<'a> {
+        PeCode { image }
+    }
+}
+
+impl CodeSource for PeCode<'_> {
+    fn read_code(&self, va: u64, buf: &mut [u8]) -> usize {
+        let Some(rva) = va.checked_sub(self.image.image_base) else { return 0 };
+        let Some(section) = self.image.section_at(rva as u32) else { return 0 };
+        if !section.perm.x {
+            return 0;
+        }
+        let off = (rva as u32 - section.rva) as usize;
+        if off >= section.data.len() {
+            return 0;
+        }
+        let n = buf.len().min(section.data.len() - off);
+        buf[..n].copy_from_slice(&section.data[off..off + n]);
+        n
+    }
+}
+
+/// Analyze one module: parse scopes, vet filters, classify.
+pub fn analyze_module(image: &PeImage) -> ModuleSehAnalysis {
+    let base = image.image_base;
+    let code = PeCode::new(image);
+    let exec = SymExec::default();
+
+    // Unique filters across all scopes.
+    let mut filter_rvas: Vec<u32> = image
+        .runtime_functions
+        .iter()
+        .flat_map(|rf| rf.unwind.scopes.iter())
+        .filter_map(|s| match s.filter {
+            FilterRef::Function(rva) => Some(rva),
+            FilterRef::CatchAll => None,
+        })
+        .collect();
+    filter_rvas.sort_unstable();
+    filter_rvas.dedup();
+
+    // Symbolically vet every unique filter once.
+    let mut verdicts: BTreeMap<u32, FilterVerdict> = BTreeMap::new();
+    for &rva in &filter_rvas {
+        let analysis = exec.analyze_filter(&code, base + rva as u64);
+        verdicts.insert(rva, analysis.verdict);
+    }
+
+    let mut functions = Vec::new();
+    for rf in &image.runtime_functions {
+        if rf.unwind.handler_rva.is_none() || rf.unwind.scopes.is_empty() {
+            continue;
+        }
+        let mut scopes = Vec::new();
+        for s in &rf.unwind.scopes {
+            let class = match s.filter {
+                FilterRef::CatchAll => FilterClass::CatchAll,
+                FilterRef::Function(rva) => match &verdicts[&rva] {
+                    FilterVerdict::AcceptsAccessViolation { witness_code } => {
+                        FilterClass::AcceptsAv { witness: *witness_code }
+                    }
+                    FilterVerdict::RejectsAccessViolation => FilterClass::RejectsAv,
+                    FilterVerdict::Unknown(r) => FilterClass::Undecided { reason: r.to_string() },
+                },
+            };
+            scopes.push(ScopeCandidate {
+                begin_va: base + s.begin_rva as u64,
+                end_va: base + s.end_rva as u64,
+                target_va: base + s.target_rva as u64,
+                class,
+            });
+        }
+        functions.push(GuardedFunction {
+            begin_va: base + rf.begin_rva as u64,
+            end_va: base + rf.end_rva as u64,
+            scopes,
+        });
+    }
+    let scopes: Vec<ScopeCandidate> =
+        functions.iter().flat_map(|f| f.scopes.iter().cloned()).collect();
+
+    let guarded_before = functions.len();
+    let guarded_after = functions.iter().filter(|f| f.survives()).count();
+    let filters_before = filter_rvas.len();
+    let filters_after = verdicts
+        .values()
+        .filter(|v| !matches!(v, FilterVerdict::RejectsAccessViolation))
+        .count();
+    let filters_undecided = verdicts
+        .values()
+        .filter(|v| matches!(v, FilterVerdict::Unknown(_)))
+        .count();
+
+    ModuleSehAnalysis {
+        module: image.name.clone(),
+        is_x64: image.machine == Machine::X64,
+        guarded_before,
+        guarded_after,
+        filters_before,
+        filters_after,
+        filters_undecided,
+        functions,
+        scopes,
+    }
+}
+
+/// Count surviving guarded locations whose region intersects the
+/// execution trace (the paper's DynamoRIO cross-reference).
+pub fn on_path_count(analysis: &ModuleSehAnalysis, visited: &HashSet<u64>) -> usize {
+    analysis
+        .functions
+        .iter()
+        .filter(|f| f.survives())
+        .filter(|f| visited.iter().any(|&va| va >= f.begin_va && va < f.end_va))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_targets::browsers::{calib, generate_dll, DllSpec, CALIBRATION};
+
+    #[test]
+    fn recovers_calibrated_counts_for_user32() {
+        let c = calib("user32").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x64(c, 0));
+        let a = analyze_module(&img);
+        assert_eq!(a.guarded_before as u32, c.guarded_before, "Table II before-SB");
+        assert_eq!(a.guarded_after as u32, c.guarded_after, "Table II after-SB");
+        assert_eq!(a.filters_before as u32, c.fx64_before, "Table III before-SB");
+        assert_eq!(a.filters_after as u32, c.fx64_after, "Table III after-SB");
+    }
+
+    #[test]
+    fn recovers_all_table2_rows() {
+        for (i, c) in CALIBRATION.iter().filter(|c| c.in_table2).enumerate() {
+            let img = generate_dll(&DllSpec::from_calib_x64(c, i));
+            let a = analyze_module(&img);
+            assert_eq!(a.guarded_before as u32, c.guarded_before, "{} before", c.name);
+            assert_eq!(a.guarded_after as u32, c.guarded_after, "{} after", c.name);
+        }
+    }
+
+    #[test]
+    fn x86_filter_counts_recovered() {
+        let c = calib("kernel32").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x86(c, 1));
+        let a = analyze_module(&img);
+        assert!(!a.is_x64);
+        assert_eq!(a.filters_before as u32, c.fx86_before);
+        assert_eq!(a.filters_after as u32, c.fx86_after);
+    }
+
+    #[test]
+    fn jscript9_has_an_undecided_filter() {
+        // The "filter calls a helper" shape must surface as Undecided —
+        // the paper's manual-verification bucket.
+        let c = calib("jscript9").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x64(c, 3));
+        let a = analyze_module(&img);
+        assert_eq!(a.filters_undecided, 1);
+        assert!(a
+            .scopes
+            .iter()
+            .any(|s| matches!(s.class, FilterClass::Undecided { .. })));
+    }
+
+    #[test]
+    fn on_path_cross_reference() {
+        let c = calib("xmllite").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x64(c, 7));
+        let a = analyze_module(&img);
+        // Simulate a trace that visited the first surviving function.
+        let first = a.functions.iter().find(|f| f.survives()).unwrap();
+        let mut visited = HashSet::new();
+        visited.insert(first.begin_va);
+        assert_eq!(on_path_count(&a, &visited), 1);
+        assert_eq!(on_path_count(&a, &HashSet::new()), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! # cr-defense — countermeasures against crash-resistant probing
+//!
+//! Implements and evaluates the paper's §VII-C defenses:
+//!
+//! * [`RateDetector`] — anomaly detection on the rate of handled access
+//!   violations. The paper's measurements: normal browsing produces
+//!   essentially zero AVs, asm.js-heavy workloads produce bounded bursts
+//!   (groups of up to 20), while probing attacks generate thousands per
+//!   second — "several orders of magnitude more frequent".
+//! * [`audit_filters`] — "improving exception filtering": reports which
+//!   guarded scopes use catch-all or overly broad filters that could be
+//!   narrowed without losing functionality.
+//! * The **mapped-only-AV policy** lives in the OS layer
+//!   (`WinProc::strict_unmapped_policy`); [`policy`] contains its
+//!   evaluation helpers: the asm.js optimization keeps working (faults on
+//!   mapped guard pages) while probing dies on the first unmapped touch.
+
+pub mod policy;
+pub mod rate;
+pub mod rerand;
+
+pub use rate::{RateDetector, RateReport};
+pub use rerand::{scan_under_rerand, MovingRegion, RerandOutcome};
+
+use cr_core::seh::{FilterClass, ModuleSehAnalysis};
+
+/// One filter-hardening recommendation.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct FilterFinding {
+    /// Module the scope belongs to.
+    pub module: String,
+    /// Guarded region begin.
+    pub begin_va: u64,
+    /// Why the scope is risky.
+    pub reason: &'static str,
+}
+
+/// Audit a module's SEH population for scopes that accept access
+/// violations and could be narrowed (the §VII-C "improving exception
+/// filtering" recommendation).
+pub fn audit_filters(analysis: &ModuleSehAnalysis) -> Vec<FilterFinding> {
+    let mut findings = Vec::new();
+    for scope in &analysis.scopes {
+        let reason = match &scope.class {
+            FilterClass::CatchAll => Some("catch-all filter (filter field = 1)"),
+            FilterClass::AcceptsAv { .. } => {
+                Some("filter accepts access violations; narrow the accepted codes")
+            }
+            FilterClass::Undecided { .. } => {
+                Some("filter delegates its decision; audit the helper manually")
+            }
+            FilterClass::RejectsAv => None,
+        };
+        if let Some(reason) = reason {
+            findings.push(FilterFinding {
+                module: analysis.module.clone(),
+                begin_va: scope.begin_va,
+                reason,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::seh::analyze_module;
+    use cr_targets::browsers::{calib, generate_dll, DllSpec};
+
+    #[test]
+    fn audit_flags_all_surviving_scopes() {
+        let c = calib("user32").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x64(c, 0));
+        let a = analyze_module(&img);
+        let findings = audit_filters(&a);
+        // Every AV-capable scope is flagged; rejecting scopes are not.
+        let surviving: usize = a.scopes.iter().filter(|s| s.class.survives()).count();
+        assert_eq!(findings.len(), surviving);
+        assert!(findings.iter().any(|f| f.reason.contains("catch-all")));
+    }
+}

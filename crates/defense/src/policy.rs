@@ -1,0 +1,90 @@
+//! Evaluation of the mapped-only-AV policy (paper §VII-C, "Restricting
+//! access violations").
+//!
+//! The policy: an access violation on *unmapped* memory terminates the
+//! process without consulting any handler, while permission faults on
+//! mapped memory (guard-page tricks like the Firefox/asm.js optimization)
+//! remain recoverable. The enforcement lives in the OS layer
+//! (`WinProc::strict_unmapped_policy`); this module provides the
+//! experiment: with the policy on, the asm.js optimization keeps working,
+//! but a probing attack dies at the **first** unmapped touch —
+//! information hiding regains its "one guess then crash" guarantee.
+
+use cr_targets::browsers::firefox::{self, FirefoxSim};
+use cr_vm::NullHook;
+
+/// Outcome of evaluating one workload under the policy.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct PolicyOutcome {
+    /// Whether the process survived the workload.
+    pub survived: bool,
+    /// Handled faults during the workload.
+    pub handled_faults: usize,
+    /// Probes the attacker managed before dying (attack workload only).
+    pub probes_before_crash: u64,
+}
+
+/// Run the asm.js workload under the policy.
+pub fn asmjs_under_policy(strict: bool) -> PolicyOutcome {
+    let mut sim = firefox::build();
+    sim.proc.strict_unmapped_policy = strict;
+    for _ in 0..3 {
+        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+    }
+    PolicyOutcome {
+        survived: sim.proc.alive(),
+        handled_faults: sim.proc.fault_log.iter().filter(|f| f.handled).count(),
+        probes_before_crash: 0,
+    }
+}
+
+/// Run a probing attack over unmapped memory under the policy.
+pub fn probing_under_policy(strict: bool, probes: u64) -> PolicyOutcome {
+    let mut sim = firefox::build();
+    sim.proc.strict_unmapped_policy = strict;
+    let mut done = 0;
+    for i in 0..probes {
+        if firefox::probe(&mut sim, 0x9100_0000_0000 + i * 0x1000, &mut NullHook).is_none() {
+            break;
+        }
+        done += 1;
+    }
+    PolicyOutcome {
+        survived: sim.proc.alive(),
+        handled_faults: sim.proc.fault_log.iter().filter(|f| f.handled).count(),
+        probes_before_crash: done,
+    }
+}
+
+/// Convenience: a fresh simulator with the policy pre-set.
+pub fn firefox_with_policy(strict: bool) -> FirefoxSim {
+    let mut sim = firefox::build();
+    sim.proc.strict_unmapped_policy = strict;
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_preserves_asmjs_optimization() {
+        let relaxed = asmjs_under_policy(false);
+        let strict = asmjs_under_policy(true);
+        assert!(relaxed.survived && strict.survived);
+        assert_eq!(relaxed.handled_faults, strict.handled_faults, "guard-page faults still handled");
+        assert_eq!(strict.handled_faults, 60, "3 bursts of 20");
+    }
+
+    #[test]
+    fn policy_kills_probing_at_first_unmapped_touch() {
+        let relaxed = probing_under_policy(false, 10);
+        assert!(relaxed.survived, "without the policy the oracle probes freely");
+        assert_eq!(relaxed.probes_before_crash, 10);
+
+        let strict = probing_under_policy(true, 10);
+        assert!(!strict.survived, "the first unmapped probe is fatal");
+        assert_eq!(strict.probes_before_crash, 0);
+        assert_eq!(strict.handled_faults, 0);
+    }
+}

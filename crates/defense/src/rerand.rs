@@ -1,0 +1,172 @@
+//! Runtime re-randomization against probing (paper §II-B).
+//!
+//! "Employing runtime re-randomization can substantially decrease the
+//! success probability of either the scanning itself or the following
+//! attack step" — the hidden region is a moving target. This module
+//! evaluates that claim: a defender relocates the hidden region every
+//! `period` probes; the attacker scans a window. The measurement is the
+//! probability that, at the moment the attacker *finishes* locating the
+//! region, it is still where she found it — the window in which the
+//! follow-up attack (e.g. overwriting a return address on the located
+//! SafeStack) actually works.
+
+use cr_exploits::{MemoryOracle, ProbeResult};
+use cr_vm::Prot;
+
+/// A defender that moves a hidden region deterministically among slots.
+pub struct MovingRegion {
+    /// Candidate slot base addresses.
+    pub slots: Vec<u64>,
+    /// Region size.
+    pub size: u64,
+    /// Probes between relocations.
+    pub period: u64,
+    current: usize,
+    probe_count: u64,
+    relocations: u64,
+}
+
+impl std::fmt::Debug for MovingRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MovingRegion")
+            .field("slots", &self.slots.len())
+            .field("period", &self.period)
+            .finish()
+    }
+}
+
+impl MovingRegion {
+    /// Create the defender and map the region into slot `start`.
+    pub fn new(
+        mem: &mut cr_vm::Memory,
+        slots: Vec<u64>,
+        size: u64,
+        period: u64,
+        start: usize,
+    ) -> MovingRegion {
+        assert!(!slots.is_empty());
+        let current = start % slots.len();
+        mem.map(slots[current], size, Prot::RW);
+        MovingRegion { slots, size, period, current, probe_count: 0, relocations: 0 }
+    }
+
+    /// Current region base.
+    pub fn current_base(&self) -> u64 {
+        self.slots[self.current]
+    }
+
+    /// Number of relocations performed.
+    pub fn relocations(&self) -> u64 {
+        self.relocations
+    }
+
+    /// Account one attacker probe; relocate if the period elapsed.
+    /// (A deterministic rotation keeps the experiment reproducible.)
+    pub fn on_probe(&mut self, mem: &mut cr_vm::Memory) {
+        self.probe_count += 1;
+        if self.probe_count.is_multiple_of(self.period) {
+            mem.unmap(self.slots[self.current], self.size);
+            self.current = (self.current + 1) % self.slots.len();
+            mem.map(self.slots[self.current], self.size, Prot::RW);
+            self.relocations += 1;
+        }
+    }
+}
+
+/// Outcome of one scan-then-attack attempt under re-randomization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct RerandOutcome {
+    /// Whether the scan reported a location at all.
+    pub located: bool,
+    /// Whether the located address was still the region when the scan
+    /// finished (the follow-up attack would succeed).
+    pub still_valid: bool,
+    /// Probes spent.
+    pub probes: u64,
+}
+
+/// Drive `oracle` over the slot window while the defender relocates every
+/// `period` probes. `mem_access` lets the harness reach the target
+/// process's memory between probes.
+pub fn scan_under_rerand<O, F>(
+    oracle: &mut O,
+    defender: &mut MovingRegion,
+    mut mem_access: F,
+    stride: u64,
+) -> RerandOutcome
+where
+    O: MemoryOracle,
+    F: FnMut(&mut O) -> *mut cr_vm::Memory,
+{
+    let window_start = *defender.slots.iter().min().expect("nonempty");
+    let window_end = defender.slots.iter().max().expect("nonempty") + defender.size;
+    let before = oracle.probes();
+    let mut found = None;
+    let mut addr = window_start;
+    while addr < window_end {
+        let verdict = oracle.probe(addr);
+        // SAFETY: the pointer returned by `mem_access` is the live memory
+        // of the oracle's own process; we only use it between probes,
+        // never concurrently.
+        let mem = unsafe { &mut *mem_access(oracle) };
+        defender.on_probe(mem);
+        if verdict == ProbeResult::Mapped {
+            found = Some(addr);
+            break;
+        }
+        addr += stride;
+    }
+    let still_valid = match found {
+        None => false,
+        Some(a) => a >= defender.current_base() && a < defender.current_base() + defender.size,
+    };
+    RerandOutcome {
+        located: found.is_some(),
+        still_valid,
+        probes: oracle.probes() - before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_exploits::ie::IeOracle;
+
+    fn slots() -> Vec<u64> {
+        (0..8u64).map(|i| 0x4A_0000_0000 + i * 0x10_0000).collect()
+    }
+
+    #[test]
+    fn static_region_is_always_located_and_valid() {
+        let mut o = IeOracle::new();
+        let mut d = MovingRegion::new(&mut o.sim().proc.mem, slots(), 0x1000, u64::MAX, 3);
+        let out = scan_under_rerand(&mut o, &mut d, |o| &mut o.sim().proc.mem as *mut _, 0x10_0000);
+        assert!(out.located && out.still_valid);
+        assert_eq!(d.relocations(), 0);
+    }
+
+    #[test]
+    fn fast_rerandomization_defeats_the_follow_up() {
+        // The region starts in a high slot and relocates every 2 probes
+        // while the scanner sweeps upward: whatever the scan reports is
+        // stale (or the region keeps dodging the sweep entirely).
+        let mut any_stale_or_missed = false;
+        let mut o = IeOracle::new();
+        for trial in 0..4u64 {
+            let base_slots: Vec<u64> =
+                slots().iter().map(|s| s + (trial + 1) * 0x1_0000_0000).collect();
+            let start = base_slots.len() - 1;
+            let mut d = MovingRegion::new(&mut o.sim().proc.mem, base_slots, 0x1000, 2, start);
+            let out =
+                scan_under_rerand(&mut o, &mut d, |o| &mut o.sim().proc.mem as *mut _, 0x10_0000);
+            assert!(d.relocations() > 0, "defender must have moved");
+            if !out.located || !out.still_valid {
+                any_stale_or_missed = true;
+            }
+        }
+        assert!(
+            any_stale_or_missed,
+            "re-randomization must defeat at least some scan+attack attempts"
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Minimal ELF64 writer and parser.
+//!
+//! The writer produces a well-formed `ET_EXEC` image with `PT_LOAD`
+//! segments, a `.symtab`/`.strtab` pair and section headers; the parser
+//! reads exactly that (plus reasonable real-world variations). The Linux
+//! discovery pipeline consumes these images: the loader maps segments, and
+//! the syscall-oracle finder uses the symbol table to label call sites.
+
+use crate::{ImageError, SegPerm};
+use std::collections::BTreeMap;
+
+const EI_NIDENT: usize = 16;
+const ELFCLASS64: u8 = 2;
+const ELFDATA2LSB: u8 = 1;
+const ET_EXEC: u16 = 2;
+const EM_X86_64: u16 = 62;
+const PT_LOAD: u32 = 1;
+const SHT_SYMTAB: u32 = 2;
+const SHT_STRTAB: u32 = 3;
+const SHT_PROGBITS: u32 = 1;
+
+const PF_X: u32 = 1;
+const PF_W: u32 = 2;
+const PF_R: u32 = 4;
+
+/// One loadable segment of an ELF image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfSegment {
+    /// Virtual address of the first byte.
+    pub vaddr: u64,
+    /// Raw contents; the memory size may exceed this (BSS-style).
+    pub data: Vec<u8>,
+    /// In-memory size (>= `data.len()`), the rest is zero-filled.
+    pub memsz: u64,
+    /// Access permissions.
+    pub perm: SegPerm,
+}
+
+/// A parsed (or to-be-written) ELF64 executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfImage {
+    /// Entry point virtual address.
+    pub entry: u64,
+    /// Loadable segments.
+    pub segments: Vec<ElfSegment>,
+    /// Function/object symbols: name → virtual address.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl ElfImage {
+    /// Look up a symbol address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist; target construction treats a
+    /// missing symbol as a build bug.
+    pub fn sym(&self, name: &str) -> u64 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined ELF symbol {name:?}"))
+    }
+
+    /// Serialize to ELF64 bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        ElfWriter::new(self).write()
+    }
+
+    /// Parse an ELF64 executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on malformed headers, wrong class/endianness,
+    /// or out-of-bounds references.
+    pub fn parse(bytes: &[u8]) -> Result<ElfImage, ImageError> {
+        parse_elf(bytes)
+    }
+}
+
+fn perm_to_pflags(p: SegPerm) -> u32 {
+    let mut f = 0;
+    if p.r {
+        f |= PF_R;
+    }
+    if p.w {
+        f |= PF_W;
+    }
+    if p.x {
+        f |= PF_X;
+    }
+    f
+}
+
+fn pflags_to_perm(f: u32) -> SegPerm {
+    SegPerm { r: f & PF_R != 0, w: f & PF_W != 0, x: f & PF_X != 0 }
+}
+
+struct ElfWriter<'a> {
+    img: &'a ElfImage,
+}
+
+impl<'a> ElfWriter<'a> {
+    fn new(img: &'a ElfImage) -> Self {
+        ElfWriter { img }
+    }
+
+    fn write(&self) -> Vec<u8> {
+        let ehsize = 64usize;
+        let phentsize = 56usize;
+        let shentsize = 64usize;
+        let phnum = self.img.segments.len();
+
+        // Layout: ehdr | phdrs | segment data... | strtab | symtab | shstrtab | shdrs
+        let mut out = vec![0; ehsize + phentsize * phnum];
+
+        // Segment raw data, each aligned to 8.
+        let mut seg_offsets = Vec::new();
+        for seg in &self.img.segments {
+            while out.len() % 8 != 0 {
+                out.push(0);
+            }
+            seg_offsets.push(out.len());
+            out.extend_from_slice(&seg.data);
+        }
+
+        // .strtab
+        let mut strtab = vec![0u8]; // index 0 = empty name
+        let mut name_offsets = Vec::new();
+        for name in self.img.symbols.keys() {
+            name_offsets.push(strtab.len());
+            strtab.extend_from_slice(name.as_bytes());
+            strtab.push(0);
+        }
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let strtab_off = out.len();
+        out.extend_from_slice(&strtab);
+
+        // .symtab — Elf64_Sym is 24 bytes; first entry is the null symbol.
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let symtab_off = out.len();
+        out.extend_from_slice(&[0u8; 24]);
+        for ((_, &addr), &noff) in self.img.symbols.iter().zip(&name_offsets) {
+            let mut sym = [0u8; 24];
+            sym[0..4].copy_from_slice(&(noff as u32).to_le_bytes());
+            sym[4] = 0x12; // STB_GLOBAL | STT_FUNC
+            sym[6..8].copy_from_slice(&1u16.to_le_bytes()); // st_shndx: arbitrary non-UNDEF
+            sym[8..16].copy_from_slice(&addr.to_le_bytes());
+            out.extend_from_slice(&sym);
+        }
+        let symtab_size = out.len() - symtab_off;
+
+        // .shstrtab
+        let shnames = ["", ".strtab", ".symtab", ".shstrtab", ".load"];
+        let mut shstrtab = Vec::new();
+        let mut shname_off = Vec::new();
+        for n in shnames {
+            shname_off.push(shstrtab.len());
+            shstrtab.extend_from_slice(n.as_bytes());
+            shstrtab.push(0);
+        }
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let shstrtab_off = out.len();
+        out.extend_from_slice(&shstrtab);
+
+        // Section headers: null, .strtab, .symtab, .shstrtab, one .load per segment.
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let shoff = out.len();
+        let shnum = 4 + self.img.segments.len();
+        let mut shdrs = Vec::with_capacity(shnum * shentsize);
+        let mut push_shdr = |name_off: usize,
+                             sh_type: u32,
+                             off: usize,
+                             size: usize,
+                             link: u32,
+                             entsize: u64,
+                             addr: u64| {
+            let mut h = [0u8; 64];
+            h[0..4].copy_from_slice(&(name_off as u32).to_le_bytes());
+            h[4..8].copy_from_slice(&sh_type.to_le_bytes());
+            h[16..24].copy_from_slice(&addr.to_le_bytes());
+            h[24..32].copy_from_slice(&(off as u64).to_le_bytes());
+            h[32..40].copy_from_slice(&(size as u64).to_le_bytes());
+            h[40..44].copy_from_slice(&link.to_le_bytes());
+            // sh_info for symtab: index of first non-local symbol (1).
+            if sh_type == SHT_SYMTAB {
+                h[44..48].copy_from_slice(&1u32.to_le_bytes());
+            }
+            h[56..64].copy_from_slice(&entsize.to_le_bytes());
+            shdrs.extend_from_slice(&h);
+        };
+        push_shdr(shname_off[0], 0, 0, 0, 0, 0, 0); // null
+        push_shdr(shname_off[1], SHT_STRTAB, strtab_off, strtab.len(), 0, 0, 0);
+        push_shdr(shname_off[2], SHT_SYMTAB, symtab_off, symtab_size, 1, 24, 0);
+        push_shdr(shname_off[3], SHT_STRTAB, shstrtab_off, shstrtab.len(), 0, 0, 0);
+        for (seg, &off) in self.img.segments.iter().zip(&seg_offsets) {
+            push_shdr(shname_off[4], SHT_PROGBITS, off, seg.data.len(), 0, 0, seg.vaddr);
+        }
+        out.extend_from_slice(&shdrs);
+
+        // Program headers.
+        for (i, (seg, &off)) in self.img.segments.iter().zip(&seg_offsets).enumerate() {
+            let mut ph = [0u8; 56];
+            ph[0..4].copy_from_slice(&PT_LOAD.to_le_bytes());
+            ph[4..8].copy_from_slice(&perm_to_pflags(seg.perm).to_le_bytes());
+            ph[8..16].copy_from_slice(&(off as u64).to_le_bytes());
+            ph[16..24].copy_from_slice(&seg.vaddr.to_le_bytes());
+            ph[24..32].copy_from_slice(&seg.vaddr.to_le_bytes()); // paddr
+            ph[32..40].copy_from_slice(&(seg.data.len() as u64).to_le_bytes());
+            ph[40..48].copy_from_slice(&seg.memsz.max(seg.data.len() as u64).to_le_bytes());
+            ph[48..56].copy_from_slice(&0x1000u64.to_le_bytes());
+            let at = ehsize + i * phentsize;
+            out[at..at + 56].copy_from_slice(&ph);
+        }
+
+        // ELF header.
+        let mut eh = [0u8; 64];
+        eh[0..4].copy_from_slice(b"\x7fELF");
+        eh[4] = ELFCLASS64;
+        eh[5] = ELFDATA2LSB;
+        eh[6] = 1; // EV_CURRENT
+        eh[16..18].copy_from_slice(&ET_EXEC.to_le_bytes());
+        eh[18..20].copy_from_slice(&EM_X86_64.to_le_bytes());
+        eh[20..24].copy_from_slice(&1u32.to_le_bytes());
+        eh[24..32].copy_from_slice(&self.img.entry.to_le_bytes());
+        eh[32..40].copy_from_slice(&(ehsize as u64).to_le_bytes()); // phoff
+        eh[40..48].copy_from_slice(&(shoff as u64).to_le_bytes());
+        eh[52..54].copy_from_slice(&(ehsize as u16).to_le_bytes());
+        eh[54..56].copy_from_slice(&(phentsize as u16).to_le_bytes());
+        eh[56..58].copy_from_slice(&(phnum as u16).to_le_bytes());
+        eh[58..60].copy_from_slice(&(shentsize as u16).to_le_bytes());
+        eh[60..62].copy_from_slice(&(shnum as u16).to_le_bytes());
+        eh[62..64].copy_from_slice(&3u16.to_le_bytes()); // shstrndx
+        out[..64].copy_from_slice(&eh);
+        out
+    }
+}
+
+fn rd_u16(b: &[u8], off: usize) -> Result<u16, ImageError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u16"))
+}
+
+fn rd_u32(b: &[u8], off: usize) -> Result<u32, ImageError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u32"))
+}
+
+fn rd_u64(b: &[u8], off: usize) -> Result<u64, ImageError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u64"))
+}
+
+fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
+    if bytes.len() < EI_NIDENT || &bytes[0..4] != b"\x7fELF" {
+        return Err(ImageError::BadMagic("ELF"));
+    }
+    if bytes[4] != ELFCLASS64 || bytes[5] != ELFDATA2LSB {
+        return Err(ImageError::Unsupported("only ELF64 little-endian is supported"));
+    }
+    let entry = rd_u64(bytes, 24)?;
+    let phoff = rd_u64(bytes, 32)? as usize;
+    let shoff = rd_u64(bytes, 40)? as usize;
+    let phentsize = rd_u16(bytes, 54)? as usize;
+    let phnum = rd_u16(bytes, 56)? as usize;
+    let shentsize = rd_u16(bytes, 58)? as usize;
+    let shnum = rd_u16(bytes, 60)? as usize;
+
+    let mut segments = Vec::new();
+    for i in 0..phnum {
+        let at = phoff + i * phentsize;
+        let ptype = rd_u32(bytes, at)?;
+        if ptype != PT_LOAD {
+            continue;
+        }
+        let flags = rd_u32(bytes, at + 4)?;
+        let off = rd_u64(bytes, at + 8)? as usize;
+        let vaddr = rd_u64(bytes, at + 16)?;
+        let filesz = rd_u64(bytes, at + 32)? as usize;
+        let memsz = rd_u64(bytes, at + 40)?;
+        let data = bytes
+            .get(off..off + filesz)
+            .ok_or(ImageError::Truncated("segment data"))?
+            .to_vec();
+        segments.push(ElfSegment { vaddr, data, memsz, perm: pflags_to_perm(flags) });
+    }
+
+    // Symbols: find SHT_SYMTAB and its linked strtab.
+    let mut symbols = BTreeMap::new();
+    for i in 0..shnum {
+        let at = shoff + i * shentsize;
+        if rd_u32(bytes, at + 4)? != SHT_SYMTAB {
+            continue;
+        }
+        let off = rd_u64(bytes, at + 24)? as usize;
+        let size = rd_u64(bytes, at + 32)? as usize;
+        let link = rd_u32(bytes, at + 40)? as usize;
+        let entsize = rd_u64(bytes, at + 56)? as usize;
+        if entsize == 0 {
+            return Err(ImageError::Malformed("symtab entsize 0"));
+        }
+        let str_at = shoff + link * shentsize;
+        let str_off = rd_u64(bytes, str_at + 24)? as usize;
+        let str_size = rd_u64(bytes, str_at + 32)? as usize;
+        let strtab = bytes
+            .get(str_off..str_off + str_size)
+            .ok_or(ImageError::Truncated("strtab"))?;
+        for s in (0..size / entsize).skip(1) {
+            let sat = off + s * entsize;
+            let name_off = rd_u32(bytes, sat)? as usize;
+            let value = rd_u64(bytes, sat + 8)?;
+            let name_bytes = strtab
+                .get(name_off..)
+                .ok_or(ImageError::Malformed("symbol name offset"))?;
+            let end = name_bytes
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(ImageError::Malformed("unterminated symbol name"))?;
+            let name = String::from_utf8_lossy(&name_bytes[..end]).into_owned();
+            if !name.is_empty() {
+                symbols.insert(name, value);
+            }
+        }
+    }
+
+    Ok(ElfImage { entry, segments, symbols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ElfImage {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("main".to_string(), 0x40_1000);
+        symbols.insert("server_loop".to_string(), 0x40_1040);
+        ElfImage {
+            entry: 0x40_1000,
+            segments: vec![
+                ElfSegment {
+                    vaddr: 0x40_1000,
+                    data: vec![0x90, 0xC3],
+                    memsz: 2,
+                    perm: SegPerm::RX,
+                },
+                ElfSegment {
+                    vaddr: 0x60_0000,
+                    data: vec![1, 2, 3, 4],
+                    memsz: 0x2000, // bss tail
+                    perm: SegPerm::RW,
+                },
+            ],
+            symbols,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let back = ElfImage::parse(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn magic_is_checked() {
+        assert!(matches!(ElfImage::parse(b"nope"), Err(ImageError::BadMagic(_))));
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1; // ELFCLASS32
+        assert!(matches!(ElfImage::parse(&bytes), Err(ImageError::Unsupported(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        // Chop the file after the program headers: segment data is gone.
+        let cut = &bytes[..64 + 56];
+        assert!(ElfImage::parse(cut).is_err());
+    }
+
+    #[test]
+    fn sym_lookup() {
+        assert_eq!(sample().sym("main"), 0x40_1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined ELF symbol")]
+    fn missing_sym_panics() {
+        sample().sym("no_such_symbol");
+    }
+
+    #[test]
+    fn bss_memsz_preserved() {
+        let img = sample();
+        let back = ElfImage::parse(&img.to_bytes()).unwrap();
+        assert_eq!(back.segments[1].memsz, 0x2000);
+        assert_eq!(back.segments[1].data, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,99 @@
+//! # cr-image — binary image formats (ELF64, PE32+)
+//!
+//! Writers and parsers for the two container formats the discovery
+//! framework analyzes:
+//!
+//! * [`ElfImage`] — Linux server binaries (segments + symbol table).
+//! * [`PeImage`] / [`PeBuilder`] — Windows modules with exports, `.pdata`
+//!   runtime functions, UNWIND_INFO and C-specific-handler scope tables —
+//!   the raw material of the paper's exception-handler discovery strategy.
+//!
+//! Both sides are implemented from scratch: the synthetic targets in
+//! `cr-targets` are *written* with the builders here, and the discovery
+//! pipeline in `cr-core` *parses* the resulting bytes, never consuming
+//! in-memory ground truth.
+
+mod elf;
+mod pe;
+
+pub use elf::{ElfImage, ElfSegment};
+pub use pe::{
+    FilterRef, Machine, PeBuilder, PeImage, PeSection, RuntimeFunction, ScopeEntry, UnwindInfo,
+};
+
+/// Segment/section access permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegPerm {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl SegPerm {
+    /// Read-only.
+    pub const R: SegPerm = SegPerm { r: true, w: false, x: false };
+    /// Read-write.
+    pub const RW: SegPerm = SegPerm { r: true, w: true, x: false };
+    /// Read-execute.
+    pub const RX: SegPerm = SegPerm { r: true, w: false, x: true };
+    /// Read-write-execute (used only by tests; targets are W^X).
+    pub const RWX: SegPerm = SegPerm { r: true, w: true, x: true };
+}
+
+impl std::fmt::Display for SegPerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'r' } else { '-' },
+            if self.w { 'w' } else { '-' },
+            if self.x { 'x' } else { '-' }
+        )
+    }
+}
+
+/// Errors from image parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageError {
+    /// Magic bytes did not match the expected format.
+    BadMagic(&'static str),
+    /// File ended before the named structure.
+    Truncated(&'static str),
+    /// Structurally invalid content.
+    Malformed(&'static str),
+    /// Valid but unsupported variant.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadMagic(what) => write!(f, "bad magic for {what}"),
+            ImageError::Truncated(what) => write!(f, "truncated while reading {what}"),
+            ImageError::Malformed(what) => write!(f, "malformed {what}"),
+            ImageError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_display() {
+        assert_eq!(SegPerm::RX.to_string(), "r-x");
+        assert_eq!(SegPerm::RW.to_string(), "rw-");
+        assert_eq!(SegPerm::R.to_string(), "r--");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ImageError::BadMagic("ELF").to_string(), "bad magic for ELF");
+    }
+}

@@ -1,0 +1,764 @@
+//! PE32+ writer and parser with SEH metadata.
+//!
+//! This is the container format the exception-handler discovery strategy
+//! (paper §IV-C) works on: 64-bit Windows requires every function to expose
+//! unwind data in `.pdata`, and functions guarded by `__try/__except`
+//! reference a *C-specific handler* whose language-specific data is a scope
+//! table of `{begin, end, filter, target}` entries. The filter slot either
+//! holds the constant `1` (catch-all, `EXCEPTION_EXECUTE_HANDLER`) or the
+//! RVA of a filter function — real machine code the analyzer symbolically
+//! executes.
+//!
+//! x86 ("x32") library variants are modeled as the same container with
+//! `machine = I386`; see DESIGN.md for the substitution note.
+
+use crate::{ImageError, SegPerm};
+use std::collections::BTreeMap;
+
+const PE_SIG_OFF: usize = 0x80;
+const SECTION_ALIGN: u32 = 0x1000;
+const FILE_ALIGN: u32 = 0x200;
+
+const IMAGE_SCN_MEM_EXECUTE: u32 = 0x2000_0000;
+const IMAGE_SCN_MEM_READ: u32 = 0x4000_0000;
+const IMAGE_SCN_MEM_WRITE: u32 = 0x8000_0000;
+const IMAGE_SCN_CNT_CODE: u32 = 0x0000_0020;
+const IMAGE_SCN_CNT_INITIALIZED_DATA: u32 = 0x0000_0040;
+
+/// Target machine of a PE image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// x86-64 (`IMAGE_FILE_MACHINE_AMD64`).
+    X64,
+    /// x86 (`IMAGE_FILE_MACHINE_I386`).
+    X86,
+}
+
+impl Machine {
+    fn coff(self) -> u16 {
+        match self {
+            Machine::X64 => 0x8664,
+            Machine::X86 => 0x014C,
+        }
+    }
+
+    fn from_coff(v: u16) -> Result<Machine, ImageError> {
+        match v {
+            0x8664 => Ok(Machine::X64),
+            0x014C => Ok(Machine::X86),
+            _ => Err(ImageError::Unsupported("unknown COFF machine")),
+        }
+    }
+}
+
+/// Filter reference in a SEH scope-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterRef {
+    /// Encoded as the constant `1`: execute the handler for *every*
+    /// exception (`EXCEPTION_EXECUTE_HANDLER` unconditionally). This is
+    /// the "filter address field contains 0x1" idiom from the paper's
+    /// Internet Explorer proof of concept.
+    CatchAll,
+    /// RVA of a filter function to be invoked with the exception record.
+    Function(u32),
+}
+
+/// One `__try` scope: the guarded region, its filter, and the `__except`
+/// continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeEntry {
+    /// RVA of the first guarded instruction.
+    pub begin_rva: u32,
+    /// RVA one past the last guarded instruction.
+    pub end_rva: u32,
+    /// The exception filter.
+    pub filter: FilterRef,
+    /// RVA of the `__except` block the dispatcher jumps to when the filter
+    /// returns `EXCEPTION_EXECUTE_HANDLER`.
+    pub target_rva: u32,
+}
+
+/// Unwind information attached to a runtime function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnwindInfo {
+    /// RVA of the exception handler routine (e.g. `__C_specific_handler`),
+    /// if the `UNW_FLAG_EHANDLER` flag is set.
+    pub handler_rva: Option<u32>,
+    /// Scope table from the language-specific data area.
+    pub scopes: Vec<ScopeEntry>,
+}
+
+/// A `.pdata` RUNTIME_FUNCTION entry, unwind info resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeFunction {
+    /// RVA of the function start.
+    pub begin_rva: u32,
+    /// RVA of the function end.
+    pub end_rva: u32,
+    /// Parsed unwind info.
+    pub unwind: UnwindInfo,
+}
+
+/// A section of a parsed PE image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeSection {
+    /// Section name (up to 8 bytes).
+    pub name: String,
+    /// RVA of the section.
+    pub rva: u32,
+    /// In-memory size.
+    pub virtual_size: u32,
+    /// Raw file contents.
+    pub data: Vec<u8>,
+    /// Memory permissions from the section characteristics.
+    pub perm: SegPerm,
+}
+
+/// A parsed PE image (DLL or executable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeImage {
+    /// Module name (from the export directory, or empty).
+    pub name: String,
+    /// Target machine.
+    pub machine: Machine,
+    /// Preferred load address.
+    pub image_base: u64,
+    /// Entry point RVA (0 for DLLs without one).
+    pub entry_rva: u32,
+    /// Sections.
+    pub sections: Vec<PeSection>,
+    /// Exported symbols: name → RVA.
+    pub exports: BTreeMap<String, u32>,
+    /// `.pdata` runtime functions with resolved unwind info.
+    pub runtime_functions: Vec<RuntimeFunction>,
+}
+
+impl PeImage {
+    /// Parse a PE image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on bad magic, truncation, or unsupported
+    /// optional-header magic.
+    pub fn parse(bytes: &[u8]) -> Result<PeImage, ImageError> {
+        parse_pe(bytes)
+    }
+
+    /// Virtual address of an exported symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export is missing.
+    pub fn export_va(&self, name: &str) -> u64 {
+        self.image_base
+            + *self
+                .exports
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined PE export {name:?}")) as u64
+    }
+
+    /// The section containing `rva`, if any.
+    pub fn section_at(&self, rva: u32) -> Option<&PeSection> {
+        self.sections
+            .iter()
+            .find(|s| rva >= s.rva && rva < s.rva + s.virtual_size.max(s.data.len() as u32))
+    }
+
+    /// Read `len` bytes at `rva` (zero-filled past the raw data).
+    pub fn read_rva(&self, rva: u32, len: usize) -> Option<Vec<u8>> {
+        let s = self.section_at(rva)?;
+        let off = (rva - s.rva) as usize;
+        let mut out = vec![0u8; len];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let Some(&b) = s.data.get(off + i) {
+                *slot = b;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Builder for PE32+ images with exports and SEH scope tables.
+///
+/// # Examples
+///
+/// ```
+/// use cr_image::{PeBuilder, Machine, ScopeEntry, FilterRef, PeImage};
+///
+/// let mut b = PeBuilder::new("demo.dll", Machine::X64, 0x1_8000_0000);
+/// b.text(0x1000, vec![0x90, 0xC3]); // nop; ret
+/// b.export("DemoFn", 0x1000);
+/// b.function_with_seh(0x1000, 0x1002, 0x1000, vec![ScopeEntry {
+///     begin_rva: 0x1000, end_rva: 0x1001, filter: FilterRef::CatchAll, target_rva: 0x1001,
+/// }]);
+/// let bytes = b.build();
+/// let img = PeImage::parse(&bytes)?;
+/// assert_eq!(img.runtime_functions.len(), 1);
+/// # Ok::<(), cr_image::ImageError>(())
+/// ```
+#[derive(Debug)]
+pub struct PeBuilder {
+    name: String,
+    machine: Machine,
+    image_base: u64,
+    entry_rva: u32,
+    text: Option<(u32, Vec<u8>)>,
+    data: Option<(u32, Vec<u8>)>,
+    exports: BTreeMap<String, u32>,
+    functions: Vec<(u32, u32, Option<(u32, Vec<ScopeEntry>)>)>,
+}
+
+impl PeBuilder {
+    /// Start building an image named `name` at preferred base `image_base`.
+    pub fn new(name: &str, machine: Machine, image_base: u64) -> PeBuilder {
+        PeBuilder {
+            name: name.to_string(),
+            machine,
+            image_base,
+            entry_rva: 0,
+            text: None,
+            data: None,
+            exports: BTreeMap::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Set the code section contents at the given RVA.
+    pub fn text(&mut self, rva: u32, data: Vec<u8>) -> &mut Self {
+        assert_eq!(rva % SECTION_ALIGN, 0, "section RVA must be page aligned");
+        self.text = Some((rva, data));
+        self
+    }
+
+    /// Set the writable data section at the given RVA.
+    pub fn data(&mut self, rva: u32, data: Vec<u8>) -> &mut Self {
+        assert_eq!(rva % SECTION_ALIGN, 0, "section RVA must be page aligned");
+        self.data = Some((rva, data));
+        self
+    }
+
+    /// Set the entry point RVA.
+    pub fn entry(&mut self, rva: u32) -> &mut Self {
+        self.entry_rva = rva;
+        self
+    }
+
+    /// Export `name` at `rva`.
+    pub fn export(&mut self, name: &str, rva: u32) -> &mut Self {
+        self.exports.insert(name.to_string(), rva);
+        self
+    }
+
+    /// Register a function without an exception handler.
+    pub fn function(&mut self, begin_rva: u32, end_rva: u32) -> &mut Self {
+        self.functions.push((begin_rva, end_rva, None));
+        self
+    }
+
+    /// Register a function guarded by a C-specific handler with scopes.
+    ///
+    /// `handler_rva` is the RVA of the handler routine
+    /// (`__C_specific_handler` in real modules).
+    pub fn function_with_seh(
+        &mut self,
+        begin_rva: u32,
+        end_rva: u32,
+        handler_rva: u32,
+        scopes: Vec<ScopeEntry>,
+    ) -> &mut Self {
+        self.functions.push((begin_rva, end_rva, Some((handler_rva, scopes))));
+        self
+    }
+
+    /// Produce the image bytes.
+    pub fn build(&self) -> Vec<u8> {
+        // ---- Build .rdata (exports + xdata) and .pdata payloads ----------
+        let max_rva = [
+            self.text.as_ref().map(|(r, d)| r + d.len() as u32),
+            self.data.as_ref().map(|(r, d)| r + d.len() as u32),
+        ]
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(SECTION_ALIGN);
+        let rdata_rva = align_up(max_rva, SECTION_ALIGN);
+
+        // xdata blobs per function, offsets within .rdata filled later.
+        // .rdata layout: [export directory][export tables][dll name]
+        //                [xdata blobs...]
+        let mut rdata = Vec::new();
+
+        // Export directory (40 bytes) + address table + name ptrs + ordinals.
+        let nexp = self.exports.len() as u32;
+        let dir_off = 0usize;
+        rdata.resize(40, 0);
+        let eat_off = rdata.len();
+        rdata.resize(eat_off + 4 * nexp as usize, 0);
+        let names_off = rdata.len();
+        rdata.resize(names_off + 4 * nexp as usize, 0);
+        let ords_off = rdata.len();
+        rdata.resize(ords_off + 2 * nexp as usize, 0);
+        let dllname_off = rdata.len();
+        rdata.extend_from_slice(self.name.as_bytes());
+        rdata.push(0);
+        let mut name_rvas = Vec::new();
+        for name in self.exports.keys() {
+            name_rvas.push(rdata_rva + rdata.len() as u32);
+            rdata.extend_from_slice(name.as_bytes());
+            rdata.push(0);
+        }
+        for (i, (&rva, nrva)) in self.exports.values().zip(&name_rvas).enumerate() {
+            let at = eat_off + 4 * i;
+            rdata[at..at + 4].copy_from_slice(&rva.to_le_bytes());
+            let at = names_off + 4 * i;
+            rdata[at..at + 4].copy_from_slice(&nrva.to_le_bytes());
+            let at = ords_off + 2 * i;
+            rdata[at..at + 2].copy_from_slice(&(i as u16).to_le_bytes());
+        }
+        {
+            let d = &mut rdata[dir_off..dir_off + 40];
+            d[12..16].copy_from_slice(&(rdata_rva + dllname_off as u32).to_le_bytes());
+            d[16..20].copy_from_slice(&1u32.to_le_bytes()); // ordinal base
+            d[20..24].copy_from_slice(&nexp.to_le_bytes());
+            d[24..28].copy_from_slice(&nexp.to_le_bytes());
+            d[28..32].copy_from_slice(&(rdata_rva + eat_off as u32).to_le_bytes());
+            d[32..36].copy_from_slice(&(rdata_rva + names_off as u32).to_le_bytes());
+            d[36..40].copy_from_slice(&(rdata_rva + ords_off as u32).to_le_bytes());
+        }
+        let export_dir_size = rdata.len() as u32;
+
+        // UNWIND_INFO blobs.
+        let mut unwind_rvas = Vec::new();
+        for (_, _, handler) in &self.functions {
+            while rdata.len() % 4 != 0 {
+                rdata.push(0);
+            }
+            unwind_rvas.push(rdata_rva + rdata.len() as u32);
+            match handler {
+                None => {
+                    // version 1, no flags, no prolog, no codes.
+                    rdata.extend_from_slice(&[0x01, 0, 0, 0]);
+                }
+                Some((handler_rva, scopes)) => {
+                    // version 1 | UNW_FLAG_EHANDLER (1 << 3).
+                    rdata.extend_from_slice(&[0x09, 0, 0, 0]);
+                    rdata.extend_from_slice(&handler_rva.to_le_bytes());
+                    rdata.extend_from_slice(&(scopes.len() as u32).to_le_bytes());
+                    for s in scopes {
+                        rdata.extend_from_slice(&s.begin_rva.to_le_bytes());
+                        rdata.extend_from_slice(&s.end_rva.to_le_bytes());
+                        let f = match s.filter {
+                            FilterRef::CatchAll => 1u32,
+                            FilterRef::Function(rva) => rva,
+                        };
+                        rdata.extend_from_slice(&f.to_le_bytes());
+                        rdata.extend_from_slice(&s.target_rva.to_le_bytes());
+                    }
+                }
+            }
+        }
+
+        let pdata_rva = align_up(rdata_rva + rdata.len() as u32, SECTION_ALIGN);
+        let mut pdata = Vec::new();
+        let mut sorted: Vec<usize> = (0..self.functions.len()).collect();
+        sorted.sort_by_key(|&i| self.functions[i].0);
+        for &i in &sorted {
+            let (b, e, _) = self.functions[i];
+            pdata.extend_from_slice(&b.to_le_bytes());
+            pdata.extend_from_slice(&e.to_le_bytes());
+            pdata.extend_from_slice(&unwind_rvas[i].to_le_bytes());
+        }
+
+        // ---- Section table ------------------------------------------------
+        struct Sec {
+            name: [u8; 8],
+            rva: u32,
+            data: Vec<u8>,
+            chars: u32,
+        }
+        let mut secs: Vec<Sec> = Vec::new();
+        if let Some((rva, data)) = &self.text {
+            secs.push(Sec {
+                name: *b".text\0\0\0",
+                rva: *rva,
+                data: data.clone(),
+                chars: IMAGE_SCN_CNT_CODE | IMAGE_SCN_MEM_READ | IMAGE_SCN_MEM_EXECUTE,
+            });
+        }
+        if let Some((rva, data)) = &self.data {
+            secs.push(Sec {
+                name: *b".data\0\0\0",
+                rva: *rva,
+                data: data.clone(),
+                chars: IMAGE_SCN_CNT_INITIALIZED_DATA | IMAGE_SCN_MEM_READ | IMAGE_SCN_MEM_WRITE,
+            });
+        }
+        secs.push(Sec {
+            name: *b".rdata\0\0",
+            rva: rdata_rva,
+            data: rdata,
+            chars: IMAGE_SCN_CNT_INITIALIZED_DATA | IMAGE_SCN_MEM_READ,
+        });
+        let pdata_len = pdata.len() as u32;
+        secs.push(Sec {
+            name: *b".pdata\0\0",
+            rva: pdata_rva,
+            data: pdata,
+            chars: IMAGE_SCN_CNT_INITIALIZED_DATA | IMAGE_SCN_MEM_READ,
+        });
+        secs.sort_by_key(|s| s.rva);
+
+        // ---- Headers -------------------------------------------------------
+        let opt_size: u16 = 240; // PE32+ with 16 data directories
+        let headers_size = align_up(
+            (PE_SIG_OFF + 4 + 20 + opt_size as usize + 40 * secs.len()) as u32,
+            FILE_ALIGN,
+        );
+        let mut out = vec![0u8; headers_size as usize];
+        // DOS header.
+        out[0] = b'M';
+        out[1] = b'Z';
+        out[0x3C..0x40].copy_from_slice(&(PE_SIG_OFF as u32).to_le_bytes());
+        // PE signature.
+        out[PE_SIG_OFF..PE_SIG_OFF + 4].copy_from_slice(b"PE\0\0");
+        // COFF header.
+        let coff = PE_SIG_OFF + 4;
+        out[coff..coff + 2].copy_from_slice(&self.machine.coff().to_le_bytes());
+        out[coff + 2..coff + 4].copy_from_slice(&(secs.len() as u16).to_le_bytes());
+        out[coff + 16..coff + 18].copy_from_slice(&opt_size.to_le_bytes());
+        out[coff + 18..coff + 20].copy_from_slice(&0x2022u16.to_le_bytes()); // EXEC | DLL | LARGE_ADDR
+
+        // Optional header (PE32+).
+        let opt = coff + 20;
+        out[opt..opt + 2].copy_from_slice(&0x20Bu16.to_le_bytes());
+        out[opt + 16..opt + 20].copy_from_slice(&self.entry_rva.to_le_bytes());
+        out[opt + 24..opt + 32].copy_from_slice(&self.image_base.to_le_bytes());
+        out[opt + 32..opt + 36].copy_from_slice(&SECTION_ALIGN.to_le_bytes());
+        out[opt + 36..opt + 40].copy_from_slice(&FILE_ALIGN.to_le_bytes());
+        let size_of_image = align_up(
+            secs.iter().map(|s| s.rva + s.data.len() as u32).max().unwrap_or(0),
+            SECTION_ALIGN,
+        );
+        out[opt + 56..opt + 60].copy_from_slice(&size_of_image.to_le_bytes());
+        out[opt + 60..opt + 64].copy_from_slice(&headers_size.to_le_bytes());
+        out[opt + 108..opt + 112].copy_from_slice(&16u32.to_le_bytes()); // NumberOfRvaAndSizes
+        // Data directory 0: export table.
+        let dd = opt + 112;
+        out[dd..dd + 4].copy_from_slice(&rdata_rva.to_le_bytes());
+        out[dd + 4..dd + 8].copy_from_slice(&export_dir_size.to_le_bytes());
+        // Data directory 3: exception table (.pdata).
+        out[dd + 24..dd + 28].copy_from_slice(&pdata_rva.to_le_bytes());
+        out[dd + 28..dd + 32].copy_from_slice(&pdata_len.to_le_bytes());
+
+        // Section headers and raw data.
+        let mut file_off = headers_size;
+        let shdr_base = opt + opt_size as usize;
+        for (i, s) in secs.iter().enumerate() {
+            let raw_size = align_up(s.data.len() as u32, FILE_ALIGN);
+            let h = shdr_base + i * 40;
+            out[h..h + 8].copy_from_slice(&s.name);
+            out[h + 8..h + 12].copy_from_slice(&(s.data.len() as u32).to_le_bytes()); // VirtualSize
+            out[h + 12..h + 16].copy_from_slice(&s.rva.to_le_bytes());
+            out[h + 16..h + 20].copy_from_slice(&raw_size.to_le_bytes());
+            out[h + 20..h + 24].copy_from_slice(&file_off.to_le_bytes());
+            out[h + 36..h + 40].copy_from_slice(&s.chars.to_le_bytes());
+            file_off += raw_size;
+        }
+        for s in &secs {
+            out.extend_from_slice(&s.data);
+            while !out.len().is_multiple_of(FILE_ALIGN as usize) {
+                out.push(0);
+            }
+        }
+        out
+    }
+}
+
+fn align_up(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+fn rd_u16(b: &[u8], off: usize) -> Result<u16, ImageError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u16"))
+}
+
+fn rd_u32(b: &[u8], off: usize) -> Result<u32, ImageError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u32"))
+}
+
+fn rd_u64(b: &[u8], off: usize) -> Result<u64, ImageError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ImageError::Truncated("u64"))
+}
+
+fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
+    if bytes.len() < 0x40 || bytes[0] != b'M' || bytes[1] != b'Z' {
+        return Err(ImageError::BadMagic("PE (MZ)"));
+    }
+    let pe_off = rd_u32(bytes, 0x3C)? as usize;
+    if bytes.get(pe_off..pe_off + 4) != Some(b"PE\0\0".as_slice()) {
+        return Err(ImageError::BadMagic("PE signature"));
+    }
+    let coff = pe_off + 4;
+    let machine = Machine::from_coff(rd_u16(bytes, coff)?)?;
+    let nsec = rd_u16(bytes, coff + 2)? as usize;
+    let opt_size = rd_u16(bytes, coff + 16)? as usize;
+    let opt = coff + 20;
+    let magic = rd_u16(bytes, opt)?;
+    if magic != 0x20B {
+        return Err(ImageError::Unsupported("only PE32+ optional headers supported"));
+    }
+    let entry_rva = rd_u32(bytes, opt + 16)?;
+    let image_base = rd_u64(bytes, opt + 24)?;
+    let dd = opt + 112;
+    let export_rva = rd_u32(bytes, dd)?;
+    let pdata_rva = rd_u32(bytes, dd + 24)?;
+    let pdata_size = rd_u32(bytes, dd + 28)?;
+
+    // Sections.
+    let shdr_base = opt + opt_size;
+    let mut sections = Vec::new();
+    for i in 0..nsec {
+        let h = shdr_base + i * 40;
+        let name_raw = bytes.get(h..h + 8).ok_or(ImageError::Truncated("section header"))?;
+        let name = String::from_utf8_lossy(name_raw)
+            .trim_end_matches('\0')
+            .to_string();
+        let virtual_size = rd_u32(bytes, h + 8)?;
+        let rva = rd_u32(bytes, h + 12)?;
+        let raw_size = rd_u32(bytes, h + 16)? as usize;
+        let raw_off = rd_u32(bytes, h + 20)? as usize;
+        let chars = rd_u32(bytes, h + 36)?;
+        let data = bytes
+            .get(raw_off..raw_off + raw_size)
+            .ok_or(ImageError::Truncated("section data"))?
+            .to_vec();
+        sections.push(PeSection {
+            name,
+            rva,
+            virtual_size,
+            data,
+            perm: SegPerm {
+                r: chars & IMAGE_SCN_MEM_READ != 0,
+                w: chars & IMAGE_SCN_MEM_WRITE != 0,
+                x: chars & IMAGE_SCN_MEM_EXECUTE != 0,
+            },
+        });
+    }
+
+    let rva_read = |rva: u32, len: usize| -> Result<Vec<u8>, ImageError> {
+        let s = sections
+            .iter()
+            .find(|s| rva >= s.rva && (rva as u64) < s.rva as u64 + s.data.len().max(s.virtual_size as usize) as u64)
+            .ok_or(ImageError::Malformed("RVA outside all sections"))?;
+        let off = (rva - s.rva) as usize;
+        let mut out = vec![0u8; len];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let Some(&b) = s.data.get(off + i) {
+                *slot = b;
+            }
+        }
+        Ok(out)
+    };
+
+    // Exports.
+    let mut exports = BTreeMap::new();
+    let mut dll_name = String::new();
+    if export_rva != 0 {
+        let dir = rva_read(export_rva, 40)?;
+        let name_rva = u32::from_le_bytes(dir[12..16].try_into().unwrap());
+        let nnames = u32::from_le_bytes(dir[24..28].try_into().unwrap()) as usize;
+        let eat_rva = u32::from_le_bytes(dir[28..32].try_into().unwrap());
+        let npt_rva = u32::from_le_bytes(dir[32..36].try_into().unwrap());
+        let ord_rva = u32::from_le_bytes(dir[36..40].try_into().unwrap());
+        dll_name = read_cstr(&rva_read(name_rva, 256)?);
+        let npt = rva_read(npt_rva, 4 * nnames)?;
+        let ords = rva_read(ord_rva, 2 * nnames)?;
+        for i in 0..nnames {
+            let nrva = u32::from_le_bytes(npt[4 * i..4 * i + 4].try_into().unwrap());
+            let name = read_cstr(&rva_read(nrva, 256)?);
+            let ord = u16::from_le_bytes(ords[2 * i..2 * i + 2].try_into().unwrap()) as u32;
+            let fn_rva_bytes = rva_read(eat_rva + 4 * ord, 4)?;
+            let fn_rva = u32::from_le_bytes(fn_rva_bytes.try_into().unwrap());
+            exports.insert(name, fn_rva);
+        }
+    }
+
+    // Runtime functions.
+    let mut runtime_functions = Vec::new();
+    if pdata_rva != 0 && pdata_size >= 12 {
+        let table = rva_read(pdata_rva, pdata_size as usize)?;
+        for entry in table.chunks_exact(12) {
+            let begin_rva = u32::from_le_bytes(entry[0..4].try_into().unwrap());
+            let end_rva = u32::from_le_bytes(entry[4..8].try_into().unwrap());
+            let unwind_rva = u32::from_le_bytes(entry[8..12].try_into().unwrap());
+            if begin_rva == 0 && end_rva == 0 {
+                continue;
+            }
+            let head = rva_read(unwind_rva, 4)?;
+            let flags = head[0] >> 3;
+            let ncodes = head[2] as usize;
+            let codes_size = ncodes.div_ceil(2) * 4; // 2-byte codes, 4-aligned
+            let mut unwind = UnwindInfo { handler_rva: None, scopes: Vec::new() };
+            if flags & 0x1 != 0 {
+                // UNW_FLAG_EHANDLER
+                let h = rva_read(unwind_rva + 4 + codes_size as u32, 4)?;
+                let handler_rva = u32::from_le_bytes(h.try_into().unwrap());
+                unwind.handler_rva = Some(handler_rva);
+                let lsda_rva = unwind_rva + 4 + codes_size as u32 + 4;
+                let cnt_bytes = rva_read(lsda_rva, 4)?;
+                let count = u32::from_le_bytes(cnt_bytes.try_into().unwrap());
+                // Sanity-cap the scope count; a corrupt image must not OOM us.
+                if count <= 0x10000 {
+                    let scopes_raw = rva_read(lsda_rva + 4, count as usize * 16)?;
+                    for sc in scopes_raw.chunks_exact(16) {
+                        let begin = u32::from_le_bytes(sc[0..4].try_into().unwrap());
+                        let end = u32::from_le_bytes(sc[4..8].try_into().unwrap());
+                        let filt = u32::from_le_bytes(sc[8..12].try_into().unwrap());
+                        let target = u32::from_le_bytes(sc[12..16].try_into().unwrap());
+                        unwind.scopes.push(ScopeEntry {
+                            begin_rva: begin,
+                            end_rva: end,
+                            filter: if filt == 1 {
+                                FilterRef::CatchAll
+                            } else {
+                                FilterRef::Function(filt)
+                            },
+                            target_rva: target,
+                        });
+                    }
+                }
+            }
+            runtime_functions.push(RuntimeFunction { begin_rva, end_rva, unwind });
+        }
+    }
+
+    Ok(PeImage {
+        name: dll_name,
+        machine,
+        image_base,
+        entry_rva,
+        sections,
+        exports,
+        runtime_functions,
+    })
+}
+
+fn read_cstr(bytes: &[u8]) -> String {
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = PeBuilder::new("sample.dll", Machine::X64, 0x1_8000_0000);
+        b.text(0x1000, vec![0x90; 0x100]);
+        b.data(0x3000, vec![0xAA; 0x20]);
+        b.entry(0x1000);
+        b.export("GuardedFn", 0x1000);
+        b.export("FilterA", 0x1080);
+        b.function_with_seh(
+            0x1000,
+            0x1040,
+            0x10C0,
+            vec![
+                ScopeEntry {
+                    begin_rva: 0x1008,
+                    end_rva: 0x1020,
+                    filter: FilterRef::Function(0x1080),
+                    target_rva: 0x1030,
+                },
+                ScopeEntry {
+                    begin_rva: 0x1024,
+                    end_rva: 0x1028,
+                    filter: FilterRef::CatchAll,
+                    target_rva: 0x1038,
+                },
+            ],
+        );
+        b.function(0x1080, 0x10A0);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_headers() {
+        let img = PeImage::parse(&sample()).unwrap();
+        assert_eq!(img.name, "sample.dll");
+        assert_eq!(img.machine, Machine::X64);
+        assert_eq!(img.image_base, 0x1_8000_0000);
+        assert_eq!(img.entry_rva, 0x1000);
+        assert_eq!(img.sections.len(), 4);
+        let text = img.section_at(0x1000).unwrap();
+        assert_eq!(text.name, ".text");
+        assert!(text.perm.x && text.perm.r && !text.perm.w);
+        let data = img.section_at(0x3000).unwrap();
+        assert!(data.perm.w && !data.perm.x);
+    }
+
+    #[test]
+    fn exports_roundtrip() {
+        let img = PeImage::parse(&sample()).unwrap();
+        assert_eq!(img.exports["GuardedFn"], 0x1000);
+        assert_eq!(img.exports["FilterA"], 0x1080);
+        assert_eq!(img.export_va("FilterA"), 0x1_8000_1080);
+    }
+
+    #[test]
+    fn pdata_and_scopes_roundtrip() {
+        let img = PeImage::parse(&sample()).unwrap();
+        assert_eq!(img.runtime_functions.len(), 2);
+        let f = &img.runtime_functions[0];
+        assert_eq!((f.begin_rva, f.end_rva), (0x1000, 0x1040));
+        assert_eq!(f.unwind.handler_rva, Some(0x10C0));
+        assert_eq!(f.unwind.scopes.len(), 2);
+        assert_eq!(f.unwind.scopes[0].filter, FilterRef::Function(0x1080));
+        assert_eq!(f.unwind.scopes[1].filter, FilterRef::CatchAll);
+        let plain = &img.runtime_functions[1];
+        assert_eq!(plain.unwind.handler_rva, None);
+        assert!(plain.unwind.scopes.is_empty());
+    }
+
+    #[test]
+    fn pdata_is_sorted_by_begin_rva() {
+        let mut b = PeBuilder::new("s.dll", Machine::X64, 0x1000_0000);
+        b.text(0x1000, vec![0x90; 0x40]);
+        b.function(0x1020, 0x1030);
+        b.function(0x1000, 0x1010);
+        let img = PeImage::parse(&b.build()).unwrap();
+        assert_eq!(img.runtime_functions[0].begin_rva, 0x1000);
+        assert_eq!(img.runtime_functions[1].begin_rva, 0x1020);
+    }
+
+    #[test]
+    fn x86_machine_roundtrip() {
+        let mut b = PeBuilder::new("legacy.dll", Machine::X86, 0x1000_0000);
+        b.text(0x1000, vec![0xC3]);
+        let img = PeImage::parse(&b.build()).unwrap();
+        assert_eq!(img.machine, Machine::X86);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(PeImage::parse(b"not a pe"), Err(ImageError::BadMagic(_))));
+        let mut bytes = sample();
+        bytes[PE_SIG_OFF] = b'X';
+        assert!(matches!(PeImage::parse(&bytes), Err(ImageError::BadMagic(_))));
+    }
+
+    #[test]
+    fn read_rva_zero_fills() {
+        let img = PeImage::parse(&sample()).unwrap();
+        // .data virtual size is its raw len; read inside it.
+        let v = img.read_rva(0x3000, 4).unwrap();
+        assert_eq!(v, vec![0xAA; 4]);
+        assert!(img.read_rva(0x9_0000, 4).is_none());
+    }
+}

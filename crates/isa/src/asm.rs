@@ -1,0 +1,555 @@
+//! Two-pass assembler with labels.
+//!
+//! [`Asm`] is the builder used by `cr-targets` to author the synthetic
+//! server and DLL binaries. It supports forward references through
+//! [`Label`]s and exports a symbol table so images and analyses can refer
+//! to functions by name.
+
+use crate::encode::{encode, EncodeError};
+use crate::inst::{AluOp, Cond, Inst, Mem, Rm, ShiftOp, Width};
+use crate::Reg;
+use std::collections::BTreeMap;
+
+/// An abstract code location, resolved at assembly time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// A fully determined instruction.
+    Fixed(Inst),
+    /// `call label` (rel32).
+    CallLabel(Label),
+    /// `jmp label` (rel32).
+    JmpLabel(Label),
+    /// `jcc label` (rel32).
+    JccLabel(Cond, Label),
+    /// `lea reg, [rip + label]`.
+    LeaLabel(Reg, Label),
+    /// `movabs reg, absolute-address-of-label`.
+    MovLabelAddr(Reg, Label),
+    /// Raw bytes (inline data, strings, tables).
+    Bytes(Vec<u8>),
+    /// Pad with `int3` to the given alignment.
+    Align(usize),
+}
+
+impl Item {
+    /// Encoded size; `Align` is resolved during layout.
+    fn size(&self, offset: usize) -> usize {
+        match self {
+            Item::Fixed(i) => encode(i).map(|v| v.len()).unwrap_or(0),
+            Item::CallLabel(_) | Item::JmpLabel(_) => 5,
+            Item::JccLabel(..) => 6,
+            Item::LeaLabel(..) => 7,
+            Item::MovLabelAddr(..) => 10,
+            Item::Bytes(b) => b.len(),
+            Item::Align(a) => (a - offset % a) % a,
+        }
+    }
+}
+
+/// Output of [`Asm::assemble`].
+#[derive(Debug, Clone)]
+pub struct Assembled {
+    /// The machine code, positioned at [`Assembled::base`].
+    pub code: Vec<u8>,
+    /// Virtual address of `code[0]`.
+    pub base: u64,
+    /// Named symbols (functions, data anchors) → virtual address.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Assembled {
+    /// Look up a symbol's virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was never defined; synthetic targets treat a
+    /// missing symbol as a build bug.
+    pub fn sym(&self, name: &str) -> u64 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol {name:?}"))
+    }
+}
+
+/// Errors from [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// An instruction failed to encode.
+    Encode(EncodeError),
+    /// A rel32 displacement overflowed (program too large).
+    DisplacementOverflow,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+            AsmError::DisplacementOverflow => write!(f, "rel32 displacement overflow"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+/// A two-pass assembler for the supported x86-64 subset.
+///
+/// # Examples
+///
+/// ```
+/// use cr_isa::{Asm, Reg, Cond};
+///
+/// let mut a = Asm::new(0x40_0000);
+/// a.global("entry");
+/// a.mov_ri(Reg::Rax, 0);
+/// let done = a.fresh();
+/// a.cmp_ri(Reg::Rdi, 0);
+/// a.jcc(Cond::E, done);
+/// a.mov_ri(Reg::Rax, 1);
+/// a.bind(done);
+/// a.ret();
+/// let image = a.assemble()?;
+/// assert_eq!(image.sym("entry"), 0x40_0000);
+/// # Ok::<(), cr_isa::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    base: u64,
+    items: Vec<Item>,
+    /// label index → item index it is bound before.
+    bindings: Vec<Option<usize>>,
+    symbols: Vec<(String, Label)>,
+}
+
+impl Asm {
+    /// Create an assembler whose output will live at virtual address `base`.
+    pub fn new(base: u64) -> Asm {
+        Asm { base, items: Vec::new(), bindings: Vec::new(), symbols: Vec::new() }
+    }
+
+    /// Allocate a fresh, unbound label.
+    pub fn fresh(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bindings[label.0].is_none(), "label bound twice");
+        self.bindings[label.0] = Some(self.items.len());
+    }
+
+    /// Bind a fresh label here and return it.
+    pub fn here(&mut self) -> Label {
+        let l = self.fresh();
+        self.bind(l);
+        l
+    }
+
+    /// Define a named symbol at the current position.
+    pub fn global(&mut self, name: &str) -> Label {
+        let l = self.here();
+        self.symbols.push((name.to_string(), l));
+        l
+    }
+
+    /// Attach a name to an existing label.
+    pub fn name(&mut self, name: &str, label: Label) {
+        self.symbols.push((name.to_string(), label));
+    }
+
+    /// Append a raw instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Asm {
+        self.items.push(Item::Fixed(i));
+        self
+    }
+
+    /// Append raw bytes (inline data).
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Asm {
+        self.items.push(Item::Bytes(b.to_vec()));
+        self
+    }
+
+    /// Pad with `int3` to `align` bytes.
+    pub fn align(&mut self, align: usize) -> &mut Asm {
+        assert!(align.is_power_of_two());
+        self.items.push(Item::Align(align));
+        self
+    }
+
+    // ---- convenience mnemonics ------------------------------------------
+
+    /// `mov dst, src` (register to register, 64-bit).
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.inst(Inst::MovRRm { dst, src: Rm::Reg(src), width: Width::B8 })
+    }
+
+    /// `movabs dst, imm`.
+    pub fn mov_ri(&mut self, dst: Reg, imm: u64) -> &mut Asm {
+        self.inst(Inst::MovRI { dst, imm })
+    }
+
+    /// `mov dst, qword [mem]`.
+    pub fn load(&mut self, dst: Reg, mem: Mem) -> &mut Asm {
+        self.inst(Inst::MovRRm { dst, src: Rm::Mem(mem), width: Width::B8 })
+    }
+
+    /// `mov dst, byte [mem]` zero-extended.
+    pub fn load_u8(&mut self, dst: Reg, mem: Mem) -> &mut Asm {
+        self.inst(Inst::Movzx { dst, src: Rm::Mem(mem), src_width: Width::B1 })
+    }
+
+    /// `mov qword [mem], src`.
+    pub fn store(&mut self, mem: Mem, src: Reg) -> &mut Asm {
+        self.inst(Inst::MovRmR { dst: Rm::Mem(mem), src, width: Width::B8 })
+    }
+
+    /// `mov byte [mem], src`.
+    pub fn store_u8(&mut self, mem: Mem, src: Reg) -> &mut Asm {
+        self.inst(Inst::MovRmR { dst: Rm::Mem(mem), src, width: Width::B1 })
+    }
+
+    /// `mov qword [mem], imm32` (sign-extended).
+    pub fn store_i(&mut self, mem: Mem, imm: i32) -> &mut Asm {
+        self.inst(Inst::MovRmI { dst: Rm::Mem(mem), imm, width: Width::B8 })
+    }
+
+    /// `lea dst, [mem]`.
+    pub fn lea(&mut self, dst: Reg, mem: Mem) -> &mut Asm {
+        self.inst(Inst::Lea { dst, mem })
+    }
+
+    /// `lea dst, [rip + label]` — position-independent address of a label.
+    pub fn lea_label(&mut self, dst: Reg, label: Label) -> &mut Asm {
+        self.items.push(Item::LeaLabel(dst, label));
+        self
+    }
+
+    /// `movabs dst, &label` — absolute address of a label.
+    pub fn mov_label_addr(&mut self, dst: Reg, label: Label) -> &mut Asm {
+        self.items.push(Item::MovLabelAddr(dst, label));
+        self
+    }
+
+    /// `add dst, src`.
+    pub fn add_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.inst(Inst::AluRRm { op: AluOp::Add, dst, src: Rm::Reg(src), width: Width::B8 })
+    }
+
+    /// `add dst, imm32`.
+    pub fn add_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
+        self.inst(Inst::AluRmI { op: AluOp::Add, dst: Rm::Reg(dst), imm, width: Width::B8 })
+    }
+
+    /// `sub dst, src`.
+    pub fn sub_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
+        self.inst(Inst::AluRRm { op: AluOp::Sub, dst, src: Rm::Reg(src), width: Width::B8 })
+    }
+
+    /// `sub dst, imm32`.
+    pub fn sub_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
+        self.inst(Inst::AluRmI { op: AluOp::Sub, dst: Rm::Reg(dst), imm, width: Width::B8 })
+    }
+
+    /// `and dst, imm32`.
+    pub fn and_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
+        self.inst(Inst::AluRmI { op: AluOp::And, dst: Rm::Reg(dst), imm, width: Width::B8 })
+    }
+
+    /// `xor dst, dst` — the canonical zeroing idiom.
+    pub fn zero(&mut self, dst: Reg) -> &mut Asm {
+        self.inst(Inst::AluRmR { op: AluOp::Xor, dst: Rm::Reg(dst), src: dst, width: Width::B8 })
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp_rr(&mut self, a: Reg, b: Reg) -> &mut Asm {
+        self.inst(Inst::AluRRm { op: AluOp::Cmp, dst: a, src: Rm::Reg(b), width: Width::B8 })
+    }
+
+    /// `cmp a, imm32`.
+    pub fn cmp_ri(&mut self, a: Reg, imm: i32) -> &mut Asm {
+        self.inst(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Reg(a), imm, width: Width::B8 })
+    }
+
+    /// `cmp qword [mem], imm32`.
+    pub fn cmp_mi(&mut self, mem: Mem, imm: i32) -> &mut Asm {
+        self.inst(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Mem(mem), imm, width: Width::B8 })
+    }
+
+    /// `test a, a`.
+    pub fn test_rr(&mut self, a: Reg) -> &mut Asm {
+        self.inst(Inst::AluRmR { op: AluOp::Test, dst: Rm::Reg(a), src: a, width: Width::B8 })
+    }
+
+    /// `shl dst, n`.
+    pub fn shl(&mut self, dst: Reg, n: u8) -> &mut Asm {
+        self.inst(Inst::ShiftRI { op: ShiftOp::Shl, dst, amount: n })
+    }
+
+    /// `shr dst, n`.
+    pub fn shr(&mut self, dst: Reg, n: u8) -> &mut Asm {
+        self.inst(Inst::ShiftRI { op: ShiftOp::Shr, dst, amount: n })
+    }
+
+    /// `push r`.
+    pub fn push(&mut self, r: Reg) -> &mut Asm {
+        self.inst(Inst::Push(r))
+    }
+
+    /// `pop r`.
+    pub fn pop(&mut self, r: Reg) -> &mut Asm {
+        self.inst(Inst::Pop(r))
+    }
+
+    /// `call label`.
+    pub fn call_label(&mut self, label: Label) -> &mut Asm {
+        self.items.push(Item::CallLabel(label));
+        self
+    }
+
+    /// `call r`.
+    pub fn call_reg(&mut self, r: Reg) -> &mut Asm {
+        self.inst(Inst::CallRm(Rm::Reg(r)))
+    }
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Asm {
+        self.items.push(Item::JmpLabel(label));
+        self
+    }
+
+    /// `jmp r`.
+    pub fn jmp_reg(&mut self, r: Reg) -> &mut Asm {
+        self.inst(Inst::JmpRm(Rm::Reg(r)))
+    }
+
+    /// `jcc label`.
+    pub fn jcc(&mut self, cond: Cond, label: Label) -> &mut Asm {
+        self.items.push(Item::JccLabel(cond, label));
+        self
+    }
+
+    /// `setcc dst` (low byte).
+    pub fn setcc(&mut self, cond: Cond, dst: Reg) -> &mut Asm {
+        self.inst(Inst::Setcc { cond, dst })
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.inst(Inst::Ret)
+    }
+
+    /// `syscall`.
+    pub fn syscall(&mut self) -> &mut Asm {
+        self.inst(Inst::Syscall)
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.inst(Inst::Nop)
+    }
+
+    /// `ud2`.
+    pub fn ud2(&mut self) -> &mut Asm {
+        self.inst(Inst::Ud2)
+    }
+
+    /// `int3`.
+    pub fn int3(&mut self) -> &mut Asm {
+        self.inst(Inst::Int3)
+    }
+
+    /// `hlt`.
+    pub fn hlt(&mut self) -> &mut Asm {
+        self.inst(Inst::Hlt)
+    }
+
+    /// `cpuid` (hypercall marker).
+    pub fn cpuid(&mut self) -> &mut Asm {
+        self.inst(Inst::Cpuid)
+    }
+
+    // ---- assembly --------------------------------------------------------
+
+    /// Run both passes and produce the final machine code.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a referenced label was never bound, an instruction cannot
+    /// be encoded, or a displacement overflows rel32.
+    pub fn assemble(self) -> Result<Assembled, AsmError> {
+        // Pass 1: layout.
+        let mut offsets = Vec::with_capacity(self.items.len() + 1);
+        let mut off = 0usize;
+        for item in &self.items {
+            offsets.push(off);
+            off += item.size(off);
+        }
+        offsets.push(off);
+
+        let label_off = |l: Label| -> Result<usize, AsmError> {
+            let idx = self.bindings[l.0].ok_or(AsmError::UnboundLabel(l))?;
+            Ok(offsets[idx])
+        };
+
+        // Pass 2: emit.
+        let mut code = Vec::with_capacity(off);
+        for (i, item) in self.items.iter().enumerate() {
+            let here = offsets[i];
+            let next = offsets[i + 1];
+            match item {
+                Item::Fixed(inst) => code.extend(encode(inst)?),
+                Item::CallLabel(l) => {
+                    let rel = rel32(label_off(*l)?, next)?;
+                    code.extend(encode(&Inst::CallRel(rel))?);
+                }
+                Item::JmpLabel(l) => {
+                    let rel = rel32(label_off(*l)?, next)?;
+                    code.extend(encode(&Inst::JmpRel(rel))?);
+                }
+                Item::JccLabel(c, l) => {
+                    let rel = rel32(label_off(*l)?, next)?;
+                    code.extend(encode(&Inst::Jcc { cond: *c, rel })?);
+                }
+                Item::LeaLabel(r, l) => {
+                    let rel = rel32(label_off(*l)?, next)?;
+                    code.extend(encode(&Inst::Lea { dst: *r, mem: Mem::rip(rel) })?);
+                }
+                Item::MovLabelAddr(r, l) => {
+                    let addr = self.base + label_off(*l)? as u64;
+                    code.extend(encode(&Inst::MovRI { dst: *r, imm: addr })?);
+                }
+                Item::Bytes(b) => code.extend_from_slice(b),
+                Item::Align(_) => {
+                    for _ in here..next {
+                        code.push(0xCC);
+                    }
+                }
+            }
+            debug_assert_eq!(code.len(), next, "layout/emit size mismatch at item {i}");
+        }
+
+        let mut symbols = BTreeMap::new();
+        for (name, l) in &self.symbols {
+            let o = label_off(*l)?;
+            symbols.insert(name.clone(), self.base + o as u64);
+        }
+        Ok(Assembled { code, base: self.base, symbols })
+    }
+}
+
+fn rel32(target: usize, next: usize) -> Result<i32, AsmError> {
+    let rel = target as i64 - next as i64;
+    i32::try_from(rel).map_err(|_| AsmError::DisplacementOverflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::disassemble;
+    use Reg::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new(0x1000);
+        let top = a.here();
+        a.sub_ri(Rdi, 1);
+        let out = a.fresh();
+        a.cmp_ri(Rdi, 0);
+        a.jcc(Cond::E, out);
+        a.jmp(top);
+        a.bind(out);
+        a.ret();
+        let asm = a.assemble().unwrap();
+        let insts = disassemble(&asm.code, 0x1000);
+        assert_eq!(insts.last().unwrap().1, Inst::Ret);
+        // The jcc must skip exactly over the jmp (5 bytes).
+        let jcc = insts.iter().find(|(_, i, _)| matches!(i, Inst::Jcc { .. })).unwrap();
+        match jcc.1 {
+            Inst::Jcc { rel, .. } => assert_eq!(rel, 5),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut a = Asm::new(0x40_0000);
+        a.global("start");
+        a.nop();
+        a.global("after_nop");
+        a.ret();
+        let asm = a.assemble().unwrap();
+        assert_eq!(asm.sym("start"), 0x40_0000);
+        assert_eq!(asm.sym("after_nop"), 0x40_0001);
+    }
+
+    #[test]
+    fn unbound_label_fails() {
+        let mut a = Asm::new(0);
+        let l = a.fresh();
+        a.jmp(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn align_pads_with_int3() {
+        let mut a = Asm::new(0);
+        a.nop();
+        a.align(16);
+        a.global("aligned");
+        a.ret();
+        let asm = a.assemble().unwrap();
+        assert_eq!(asm.sym("aligned"), 16);
+        assert!(asm.code[1..16].iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn lea_label_is_rip_relative() {
+        let mut a = Asm::new(0x2000);
+        let data = a.fresh();
+        a.lea_label(Rax, data);
+        a.ret();
+        a.bind(data);
+        a.bytes(b"hello");
+        let asm = a.assemble().unwrap();
+        // lea rax, [rip + 1] (ret is 1 byte): 48 8D 05 01 00 00 00
+        assert_eq!(&asm.code[..7], &[0x48, 0x8D, 0x05, 0x01, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn mov_label_addr_absolute() {
+        let mut a = Asm::new(0x7000);
+        let tgt = a.fresh();
+        a.mov_label_addr(Rcx, tgt);
+        a.bind(tgt);
+        a.ret();
+        let asm = a.assemble().unwrap();
+        let d = crate::decode::decode(&asm.code).unwrap();
+        assert_eq!(d.inst, Inst::MovRI { dst: Rcx, imm: 0x7000 + 10 });
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new(0);
+        let l = a.fresh();
+        a.bind(l);
+        a.bind(l);
+    }
+}

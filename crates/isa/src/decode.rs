@@ -1,0 +1,510 @@
+//! Instruction decoder (disassembler front-end).
+//!
+//! Decodes the machine-code subset produced by [`crate::encode`]. The
+//! decoder is what the discovery pipeline uses to lift raw bytes from
+//! ELF/PE images back into [`Inst`] values for static analysis, taint
+//! propagation and symbolic execution.
+
+use crate::inst::{AluOp, Cond, Inst, Mem, Rm, ShiftOp, Width};
+use crate::Reg;
+
+/// A successfully decoded instruction plus its encoded length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Number of bytes the encoding occupies.
+    pub len: usize,
+}
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated,
+    /// The (first) opcode byte is not part of the supported subset.
+    UnknownOpcode(u8),
+    /// A two-byte (`0F xx`) opcode is not part of the supported subset.
+    UnknownOpcode0F(u8),
+    /// A ModRM opcode extension is invalid for the opcode.
+    BadExtension {
+        /// The opcode byte.
+        opcode: u8,
+        /// The `/digit` extension found.
+        ext: u8,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::UnknownOpcode0F(b) => write!(f, "unknown opcode 0f {b:#04x}"),
+            DecodeError::BadExtension { opcode, ext } => {
+                write!(f, "invalid extension /{ext} for opcode {opcode:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+/// Result of parsing a ModRM (+SIB +disp) sequence.
+struct ModRm {
+    /// The `reg` field, REX.R applied.
+    reg: u8,
+    /// The `r/m` operand.
+    rm: Rm,
+}
+
+fn parse_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
+    let modrm = cur.u8()?;
+    let mode = modrm >> 6;
+    let reg = (modrm >> 3) & 7 | (rex.r as u8) << 3;
+    let rm3 = modrm & 7;
+
+    if mode == 0b11 {
+        let r = Reg::from_encoding(rm3 | (rex.b as u8) << 3);
+        return Ok(ModRm { reg, rm: Rm::Reg(r) });
+    }
+
+    // Memory operand.
+    if mode == 0b00 && rm3 == 0b101 {
+        // RIP-relative.
+        let disp = cur.i32()?;
+        return Ok(ModRm { reg, rm: Rm::Mem(Mem::rip(disp)) });
+    }
+
+    let (base, index) = if rm3 == 0b100 {
+        // SIB byte follows.
+        let sib = cur.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx3 = (sib >> 3) & 7;
+        let base3 = sib & 7;
+        let index = if idx3 == 0b100 && !rex.x {
+            None
+        } else {
+            Some((Reg::from_encoding(idx3 | (rex.x as u8) << 3), scale))
+        };
+        let base = if base3 == 0b101 && mode == 0b00 {
+            None // disp32, no base
+        } else {
+            Some(Reg::from_encoding(base3 | (rex.b as u8) << 3))
+        };
+        (base, index)
+    } else {
+        (Some(Reg::from_encoding(rm3 | (rex.b as u8) << 3)), None)
+    };
+
+    let disp = match mode {
+        0b00 => {
+            if base.is_none() {
+                cur.i32()?
+            } else {
+                0
+            }
+        }
+        0b01 => cur.i8()? as i32,
+        0b10 => cur.i32()?,
+        _ => unreachable!(),
+    };
+
+    Ok(ModRm { reg, rm: Rm::Mem(Mem { base, index, disp, rip: false }) })
+}
+
+fn alu_from_mr_opcode(op: u8) -> Option<AluOp> {
+    match op & !1 {
+        0x00 => Some(AluOp::Add),
+        0x08 => Some(AluOp::Or),
+        0x20 => Some(AluOp::And),
+        0x28 => Some(AluOp::Sub),
+        0x30 => Some(AluOp::Xor),
+        0x38 => Some(AluOp::Cmp),
+        0x84 => Some(AluOp::Test),
+        _ => None,
+    }
+}
+
+fn alu_from_ext(ext: u8) -> Option<AluOp> {
+    match ext {
+        0 => Some(AluOp::Add),
+        1 => Some(AluOp::Or),
+        4 => Some(AluOp::And),
+        5 => Some(AluOp::Sub),
+        6 => Some(AluOp::Xor),
+        7 => Some(AluOp::Cmp),
+        _ => None,
+    }
+}
+
+/// Decode one instruction from `bytes`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if `bytes` ends mid-instruction and
+/// an opcode error for bytes outside the supported subset.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let mut rex = Rex::default();
+    let mut b = cur.u8()?;
+    if (0x40..=0x4F).contains(&b) {
+        rex = Rex { w: b & 8 != 0, r: b & 4 != 0, x: b & 2 != 0, b: b & 1 != 0 };
+        b = cur.u8()?;
+    }
+    let wq = if rex.w { Width::B8 } else { Width::B4 };
+
+    let inst = match b {
+        // mov
+        0x88..=0x8B => {
+            let width = if b & 1 == 0 { Width::B1 } else { wq };
+            let m = parse_modrm(&mut cur, rex)?;
+            let reg = Reg::from_encoding(m.reg);
+            if b & 2 != 0 {
+                Inst::MovRRm { dst: reg, src: m.rm, width }
+            } else {
+                Inst::MovRmR { dst: m.rm, src: reg, width }
+            }
+        }
+        0xB8..=0xBF => {
+            let dst = Reg::from_encoding((b - 0xB8) | (rex.b as u8) << 3);
+            if rex.w {
+                Inst::MovRI { dst, imm: cur.u64()? }
+            } else {
+                // mov r32, imm32 zero-extends.
+                Inst::MovRI { dst, imm: cur.i32()? as u32 as u64 }
+            }
+        }
+        0xC6 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+            }
+            Inst::MovRmI { dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+        }
+        0xC7 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+            }
+            Inst::MovRmI { dst: m.rm, imm: cur.i32()?, width: wq }
+        }
+        0x8D => {
+            let m = parse_modrm(&mut cur, rex)?;
+            match m.rm {
+                Rm::Mem(mem) => Inst::Lea { dst: Reg::from_encoding(m.reg), mem },
+                Rm::Reg(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 0 }),
+            }
+        }
+        // ALU, register direction forms
+        0x00 | 0x01 | 0x08 | 0x09 | 0x20 | 0x21 | 0x28 | 0x29 | 0x30 | 0x31 | 0x38 | 0x39
+        | 0x84 | 0x85 => {
+            let op = alu_from_mr_opcode(b).expect("listed opcode");
+            let width = if b & 1 == 0 { Width::B1 } else { wq };
+            let m = parse_modrm(&mut cur, rex)?;
+            Inst::AluRmR { op, dst: m.rm, src: Reg::from_encoding(m.reg), width }
+        }
+        0x02 | 0x03 | 0x0A | 0x0B | 0x22 | 0x23 | 0x2A | 0x2B | 0x32 | 0x33 | 0x3A | 0x3B => {
+            let op = alu_from_mr_opcode(b & !0x02).expect("listed opcode");
+            let width = if b & 1 == 0 { Width::B1 } else { wq };
+            let m = parse_modrm(&mut cur, rex)?;
+            Inst::AluRRm { op, dst: Reg::from_encoding(m.reg), src: m.rm, width }
+        }
+        0x80 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            let op = alu_from_ext(m.reg & 7)
+                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
+            Inst::AluRmI { op, dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+        }
+        0x81 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            let op = alu_from_ext(m.reg & 7)
+                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
+            Inst::AluRmI { op, dst: m.rm, imm: cur.i32()?, width: wq }
+        }
+        0x83 => {
+            // imm8 sign-extended form (accepted for leniency; we never emit it).
+            let m = parse_modrm(&mut cur, rex)?;
+            let op = alu_from_ext(m.reg & 7)
+                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
+            Inst::AluRmI { op, dst: m.rm, imm: cur.i8()? as i32, width: wq }
+        }
+        0xF6 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+            }
+            Inst::AluRmI { op: AluOp::Test, dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+        }
+        0xF7 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            match m.reg & 7 {
+                0 => Inst::AluRmI { op: AluOp::Test, dst: m.rm, imm: cur.i32()?, width: wq },
+                2 | 3 => {
+                    let r = match m.rm {
+                        Rm::Reg(r) => r,
+                        Rm::Mem(_) => {
+                            return Err(DecodeError::BadExtension { opcode: b, ext: 8 })
+                        }
+                    };
+                    if m.reg & 7 == 2 {
+                        Inst::Not(r)
+                    } else {
+                        Inst::Neg(r)
+                    }
+                }
+                e => return Err(DecodeError::BadExtension { opcode: b, ext: e }),
+            }
+        }
+        0x87 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            match m.rm {
+                Rm::Reg(r) => Inst::Xchg(Reg::from_encoding(m.reg), r),
+                Rm::Mem(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 8 }),
+            }
+        }
+        0xC1 => {
+            let m = parse_modrm(&mut cur, rex)?;
+            let op = match m.reg & 7 {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                e => return Err(DecodeError::BadExtension { opcode: b, ext: e }),
+            };
+            let dst = match m.rm {
+                Rm::Reg(r) => r,
+                Rm::Mem(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 8 }),
+            };
+            Inst::ShiftRI { op, dst, amount: cur.u8()? }
+        }
+        0x50..=0x57 => Inst::Push(Reg::from_encoding((b - 0x50) | (rex.b as u8) << 3)),
+        0x58..=0x5F => Inst::Pop(Reg::from_encoding((b - 0x58) | (rex.b as u8) << 3)),
+        0xE8 => Inst::CallRel(cur.i32()?),
+        0xE9 => Inst::JmpRel(cur.i32()?),
+        0xEB => Inst::JmpRel(cur.i8()? as i32),
+        0xFF => {
+            let m = parse_modrm(&mut cur, rex)?;
+            match m.reg & 7 {
+                2 => Inst::CallRm(m.rm),
+                4 => Inst::JmpRm(m.rm),
+                e => return Err(DecodeError::BadExtension { opcode: b, ext: e }),
+            }
+        }
+        0xC3 => Inst::Ret,
+        0xCC => Inst::Int3,
+        0x90 => Inst::Nop,
+        0xF4 => Inst::Hlt,
+        0x0F => {
+            let b2 = cur.u8()?;
+            match b2 {
+                0x05 => Inst::Syscall,
+                0x0B => Inst::Ud2,
+                0xA2 => Inst::Cpuid,
+                0xB6 => {
+                    let m = parse_modrm(&mut cur, rex)?;
+                    Inst::Movzx { dst: Reg::from_encoding(m.reg), src: m.rm, src_width: Width::B1 }
+                }
+                0xAF => {
+                    let m = parse_modrm(&mut cur, rex)?;
+                    Inst::Imul { dst: Reg::from_encoding(m.reg), src: m.rm }
+                }
+                0x40..=0x4F => {
+                    let cond = Cond::from_encoding(b2 - 0x40)
+                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    let m = parse_modrm(&mut cur, rex)?;
+                    Inst::Cmov { cond, dst: Reg::from_encoding(m.reg), src: m.rm }
+                }
+                0x80..=0x8F => {
+                    let cond = Cond::from_encoding(b2 - 0x80)
+                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    Inst::Jcc { cond, rel: cur.i32()? }
+                }
+                0x90..=0x9F => {
+                    let cond = Cond::from_encoding(b2 - 0x90)
+                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    let m = parse_modrm(&mut cur, rex)?;
+                    match m.rm {
+                        Rm::Reg(r) => Inst::Setcc { cond, dst: r },
+                        Rm::Mem(_) => {
+                            return Err(DecodeError::BadExtension { opcode: b2, ext: 8 })
+                        }
+                    }
+                }
+                _ => return Err(DecodeError::UnknownOpcode0F(b2)),
+            }
+        }
+        _ => return Err(DecodeError::UnknownOpcode(b)),
+    };
+
+    Ok(Decoded { inst, len: cur.pos })
+}
+
+/// Linear-sweep disassembly of a byte buffer starting at virtual address
+/// `va`. Stops at the first undecodable byte sequence.
+///
+/// Returns `(va, inst, len)` triples.
+pub fn disassemble(bytes: &[u8], va: u64) -> Vec<(u64, Inst, usize)> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match decode(&bytes[off..]) {
+            Ok(d) => {
+                out.push((va + off as u64, d.inst, d.len));
+                off += d.len;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use Reg::*;
+
+    fn roundtrip(i: Inst) {
+        let bytes = encode(&i).expect("encodable");
+        let d = decode(&bytes).expect("decodable");
+        assert_eq!(d.inst, i, "bytes: {bytes:02x?}");
+        assert_eq!(d.len, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(Inst::MovRRm { dst: Rax, src: Rm::Reg(Rbx), width: Width::B8 });
+        roundtrip(Inst::MovRRm { dst: R9, src: Rm::Mem(Mem::base_disp(R13, -8)), width: Width::B8 });
+        roundtrip(Inst::MovRmR {
+            dst: Rm::Mem(Mem::base_index(Rbx, R14, 4, 0x1000)),
+            src: R8,
+            width: Width::B4,
+        });
+        roundtrip(Inst::MovRI { dst: R15, imm: u64::MAX });
+        roundtrip(Inst::MovRmI { dst: Rm::Mem(Mem::rip(-16)), imm: -1, width: Width::B8 });
+        roundtrip(Inst::Lea { dst: Rcx, mem: Mem::base_disp(Rsp, 0x40) });
+        roundtrip(Inst::Movzx { dst: Rdx, src: Rm::Mem(Mem::base(Rdi)), src_width: Width::B1 });
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in [AluOp::Add, AluOp::Or, AluOp::And, AluOp::Sub, AluOp::Xor, AluOp::Cmp] {
+            roundtrip(Inst::AluRRm { op, dst: Rax, src: Rm::Reg(R11), width: Width::B8 });
+            roundtrip(Inst::AluRmR { op, dst: Rm::Mem(Mem::base(Rsi)), src: Rdx, width: Width::B8 });
+            roundtrip(Inst::AluRmI { op, dst: Rm::Reg(Rbp), imm: 0x7FFF_0000, width: Width::B8 });
+        }
+        roundtrip(Inst::AluRmR { op: AluOp::Test, dst: Rm::Reg(Rax), src: Rax, width: Width::B8 });
+        roundtrip(Inst::AluRmI { op: AluOp::Test, dst: Rm::Reg(Rdi), imm: 1, width: Width::B4 });
+    }
+
+    #[test]
+    fn roundtrip_control() {
+        roundtrip(Inst::CallRel(0x1234));
+        roundtrip(Inst::CallRm(Rm::Reg(Rax)));
+        roundtrip(Inst::CallRm(Rm::Mem(Mem::rip(0x200))));
+        roundtrip(Inst::JmpRel(-0x1234));
+        roundtrip(Inst::JmpRm(Rm::Reg(R10)));
+        for cond in Cond::ALL {
+            roundtrip(Inst::Jcc { cond, rel: 0x40 });
+            roundtrip(Inst::Setcc { cond, dst: Rcx });
+        }
+        roundtrip(Inst::Ret);
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        for i in [Inst::Syscall, Inst::Int3, Inst::Nop, Inst::Ud2, Inst::Hlt, Inst::Cpuid] {
+            roundtrip(i);
+        }
+        roundtrip(Inst::Push(Rdi));
+        roundtrip(Inst::Pop(R15));
+        for op in [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar] {
+            roundtrip(Inst::ShiftRI { op, dst: Rbx, amount: 17 });
+        }
+    }
+
+    #[test]
+    fn short_jmp_decodes() {
+        // EB FE = jmp -2 (tight self loop)
+        let d = decode(&[0xEB, 0xFE]).unwrap();
+        assert_eq!(d.inst, Inst::JmpRel(-2));
+        assert_eq!(d.len, 2);
+    }
+
+    #[test]
+    fn imm8_alu_form_decodes() {
+        // 48 83 C0 01 = add rax, 1
+        let d = decode(&[0x48, 0x83, 0xC0, 0x01]).unwrap();
+        assert_eq!(
+            d.inst,
+            Inst::AluRmI { op: AluOp::Add, dst: Rm::Reg(Rax), imm: 1, width: Width::B8 }
+        );
+    }
+
+    #[test]
+    fn truncation_reported() {
+        assert_eq!(decode(&[0x48]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xE8, 0x00]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode_reported() {
+        assert_eq!(decode(&[0x06]), Err(DecodeError::UnknownOpcode(0x06)));
+        assert_eq!(decode(&[0x0F, 0xFF]), Err(DecodeError::UnknownOpcode0F(0xFF)));
+    }
+
+    #[test]
+    fn linear_sweep() {
+        let mut code = Vec::new();
+        code.extend(encode(&Inst::Push(Rbp)).unwrap());
+        code.extend(encode(&Inst::MovRRm { dst: Rbp, src: Rm::Reg(Rsp), width: Width::B8 }).unwrap());
+        code.extend(encode(&Inst::Ret).unwrap());
+        let insts = disassemble(&code, 0x40_0000);
+        assert_eq!(insts.len(), 3);
+        assert_eq!(insts[0].0, 0x40_0000);
+        assert_eq!(insts[2].1, Inst::Ret);
+    }
+}

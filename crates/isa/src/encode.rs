@@ -1,0 +1,600 @@
+//! Instruction encoder (assembler back-end).
+//!
+//! Produces standard x86-64 machine code for the subset in [`Inst`].
+//! Every encoding emitted here is decodable by [`crate::decode`], and the
+//! two are exercised against each other by round-trip property tests.
+
+use crate::inst::{AluOp, Inst, Mem, Rm, Width};
+use crate::Reg;
+
+/// Errors produced while encoding a single instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit the encodable range for the operand width.
+    ImmOutOfRange {
+        /// The offending immediate.
+        imm: i64,
+        /// The width it had to fit.
+        width: Width,
+    },
+    /// The instruction form is not encodable (e.g. `movzx` from dword).
+    UnsupportedForm(&'static str),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { imm, width } => {
+                write!(f, "immediate {imm:#x} out of range for {width} operand")
+            }
+            EncodeError::UnsupportedForm(what) => write!(f, "unsupported instruction form: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Working buffer for one instruction encoding.
+struct Enc {
+    rex_w: bool,
+    rex_r: bool,
+    rex_x: bool,
+    rex_b: bool,
+    /// Force emission of a REX prefix even if all bits are zero
+    /// (required to address `spl`/`bpl`/`sil`/`dil`).
+    rex_force: bool,
+    opcode: Vec<u8>,
+    modrm: Option<u8>,
+    sib: Option<u8>,
+    disp: Vec<u8>,
+    imm: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc {
+            rex_w: false,
+            rex_r: false,
+            rex_x: false,
+            rex_b: false,
+            rex_force: false,
+            opcode: Vec::new(),
+            modrm: None,
+            sib: None,
+            disp: Vec::new(),
+            imm: Vec::new(),
+        }
+    }
+
+    fn op(&mut self, bytes: &[u8]) -> &mut Enc {
+        self.opcode.extend_from_slice(bytes);
+        self
+    }
+
+    fn w(&mut self, width: Width) -> &mut Enc {
+        if width == Width::B8 {
+            self.rex_w = true;
+        }
+        self
+    }
+
+    /// Set the ModRM `reg` field (either a register or an opcode extension).
+    fn reg_field(&mut self, enc: u8, ext: bool) -> &mut Enc {
+        let m = self.modrm.unwrap_or(0);
+        self.modrm = Some(m | ((enc & 7) << 3));
+        if ext {
+            self.rex_r = true;
+        }
+        self
+    }
+
+    fn rm_reg(&mut self, r: Reg) -> &mut Enc {
+        let m = self.modrm.unwrap_or(0);
+        self.modrm = Some(m | 0b11 << 6 | r.low3());
+        if r.needs_ext() {
+            self.rex_b = true;
+        }
+        self
+    }
+
+    fn rm_mem(&mut self, mem: Mem) -> &mut Enc {
+        let m = self.modrm.unwrap_or(0);
+        if mem.rip {
+            debug_assert!(mem.base.is_none() && mem.index.is_none());
+            self.modrm = Some(m | 0b101);
+            self.disp.extend_from_slice(&mem.disp.to_le_bytes());
+            return self;
+        }
+        match (mem.base, mem.index) {
+            (None, None) => {
+                // Absolute disp32 via SIB with no base, no index.
+                self.modrm = Some(m | 0b100);
+                self.sib = Some((0b100 << 3) | 0b101);
+                self.disp.extend_from_slice(&mem.disp.to_le_bytes());
+            }
+            (Some(base), None) if base.low3() != 0b100 => {
+                let (mode, disp) = Self::disp_mode(base, mem.disp);
+                self.modrm = Some(m | mode << 6 | base.low3());
+                if base.needs_ext() {
+                    self.rex_b = true;
+                }
+                self.disp.extend_from_slice(&disp);
+            }
+            (Some(base), index) => {
+                // base.low3 == 100 (rsp/r12) always needs a SIB byte, and any
+                // indexed form goes through SIB too.
+                let (mode, disp) = Self::disp_mode(base, mem.disp);
+                self.modrm = Some(m | mode << 6 | 0b100);
+                let (idx3, scale_bits) = match index {
+                    None => (0b100, 0),
+                    Some((i, s)) => {
+                        if i.needs_ext() {
+                            self.rex_x = true;
+                        }
+                        (i.low3(), s.trailing_zeros() as u8)
+                    }
+                };
+                self.sib = Some(scale_bits << 6 | idx3 << 3 | base.low3());
+                if base.needs_ext() {
+                    self.rex_b = true;
+                }
+                self.disp.extend_from_slice(&disp);
+            }
+            (None, Some((index, scale))) => {
+                // Index without base: SIB with base=101, mod=00, disp32.
+                self.modrm = Some(m | 0b100);
+                if index.needs_ext() {
+                    self.rex_x = true;
+                }
+                self.sib = Some((scale.trailing_zeros() as u8) << 6 | index.low3() << 3 | 0b101);
+                self.disp.extend_from_slice(&mem.disp.to_le_bytes());
+            }
+        }
+        self
+    }
+
+    /// Pick the shortest mod encoding for `[base + disp]`.
+    fn disp_mode(base: Reg, disp: i32) -> (u8, Vec<u8>) {
+        // base.low3 == 101 (rbp/r13) cannot use mod=00.
+        if disp == 0 && base.low3() != 0b101 {
+            (0b00, Vec::new())
+        } else if (-128..=127).contains(&disp) {
+            (0b01, vec![disp as i8 as u8])
+        } else {
+            (0b10, disp.to_le_bytes().to_vec())
+        }
+    }
+
+    fn rm(&mut self, rm: Rm) -> &mut Enc {
+        match rm {
+            Rm::Reg(r) => self.rm_reg(r),
+            Rm::Mem(m) => self.rm_mem(m),
+        }
+    }
+
+    fn imm8(&mut self, v: i8) -> &mut Enc {
+        self.imm.push(v as u8);
+        self
+    }
+
+    fn imm32(&mut self, v: i32) -> &mut Enc {
+        self.imm.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    fn imm64(&mut self, v: u64) -> &mut Enc {
+        self.imm.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Force a REX prefix when accessing the low byte of rsp/rbp/rsi/rdi.
+    fn byte_reg(&mut self, r: Reg, width: Width) -> &mut Enc {
+        if width == Width::B1 && (4..8).contains(&r.encoding()) {
+            self.rex_force = true;
+        }
+        self
+    }
+
+    fn finish(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(15);
+        let rex = 0x40u8
+            | (self.rex_w as u8) << 3
+            | (self.rex_r as u8) << 2
+            | (self.rex_x as u8) << 1
+            | self.rex_b as u8;
+        if rex != 0x40 || self.rex_force {
+            out.push(rex);
+        }
+        out.extend_from_slice(&self.opcode);
+        if let Some(m) = self.modrm {
+            out.push(m);
+        }
+        if let Some(s) = self.sib {
+            out.push(s);
+        }
+        out.extend_from_slice(&self.disp);
+        out.extend_from_slice(&self.imm);
+        out
+    }
+}
+
+fn alu_opcode_rm_dir(op: AluOp, width: Width) -> u8 {
+    // "reg <- reg op r/m" direction (RM).
+    let base = match op {
+        AluOp::Add => 0x02,
+        AluOp::Or => 0x0A,
+        AluOp::And => 0x22,
+        AluOp::Sub => 0x2A,
+        AluOp::Xor => 0x32,
+        AluOp::Cmp => 0x3A,
+        AluOp::Test => 0x84, // test has only MR form; operands commute
+    };
+    if width == Width::B1 {
+        base
+    } else {
+        base | 0x01
+    }
+}
+
+fn alu_opcode_mr_dir(op: AluOp, width: Width) -> u8 {
+    // "r/m <- r/m op reg" direction (MR).
+    let base = match op {
+        AluOp::Add => 0x00,
+        AluOp::Or => 0x08,
+        AluOp::And => 0x20,
+        AluOp::Sub => 0x28,
+        AluOp::Xor => 0x30,
+        AluOp::Cmp => 0x38,
+        AluOp::Test => 0x84,
+    };
+    if width == Width::B1 {
+        base
+    } else {
+        base | 0x01
+    }
+}
+
+/// Encode one instruction to machine code.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if an immediate is out of range for the operand
+/// width or the form is not encodable.
+pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
+    let mut e = Enc::new();
+    match *inst {
+        Inst::MovRRm { dst, src, width } => {
+            e.w(width)
+                .op(&[if width == Width::B1 { 0x8A } else { 0x8B }])
+                .byte_reg(dst, width)
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm(src);
+            if let Rm::Reg(r) = src {
+                e.byte_reg(r, width);
+            }
+        }
+        Inst::MovRmR { dst, src, width } => {
+            e.w(width)
+                .op(&[if width == Width::B1 { 0x88 } else { 0x89 }])
+                .byte_reg(src, width)
+                .reg_field(src.low3(), src.needs_ext())
+                .rm(dst);
+            if let Rm::Reg(r) = dst {
+                e.byte_reg(r, width);
+            }
+        }
+        Inst::MovRI { dst, imm } => {
+            e.rex_w = true;
+            if dst.needs_ext() {
+                e.rex_b = true;
+            }
+            e.op(&[0xB8 + dst.low3()]).imm64(imm);
+        }
+        Inst::MovRmI { dst, imm, width } => match width {
+            Width::B1 => {
+                if !(-128..=127).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                }
+                e.op(&[0xC6]).reg_field(0, false).rm(dst).imm8(imm as i8);
+                if let Rm::Reg(r) = dst {
+                    e.byte_reg(r, width);
+                }
+            }
+            _ => {
+                e.w(width).op(&[0xC7]).reg_field(0, false).rm(dst).imm32(imm);
+            }
+        },
+        Inst::Movzx { dst, src, src_width } => {
+            if src_width != Width::B1 {
+                return Err(EncodeError::UnsupportedForm("movzx from non-byte source"));
+            }
+            e.w(Width::B8)
+                .op(&[0x0F, 0xB6])
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm(src);
+            if let Rm::Reg(r) = src {
+                e.byte_reg(r, Width::B1);
+            }
+        }
+        Inst::Lea { dst, mem } => {
+            e.w(Width::B8)
+                .op(&[0x8D])
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm_mem(mem);
+        }
+        Inst::AluRRm { op, dst, src, width } => {
+            e.w(width)
+                .op(&[alu_opcode_rm_dir(op, width)])
+                .byte_reg(dst, width)
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm(src);
+            if let Rm::Reg(r) = src {
+                e.byte_reg(r, width);
+            }
+        }
+        Inst::AluRmR { op, dst, src, width } => {
+            e.w(width)
+                .op(&[alu_opcode_mr_dir(op, width)])
+                .byte_reg(src, width)
+                .reg_field(src.low3(), src.needs_ext())
+                .rm(dst);
+            if let Rm::Reg(r) = dst {
+                e.byte_reg(r, width);
+            }
+        }
+        Inst::AluRmI { op, dst, imm, width } => match (op, width) {
+            (AluOp::Test, Width::B1) => {
+                if !(-128..=127).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                }
+                e.op(&[0xF6]).reg_field(0, false).rm(dst).imm8(imm as i8);
+            }
+            (AluOp::Test, _) => {
+                e.w(width).op(&[0xF7]).reg_field(0, false).rm(dst).imm32(imm);
+            }
+            (_, Width::B1) => {
+                if !(-128..=127).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                }
+                e.op(&[0x80]).reg_field(op.ext(), false).rm(dst).imm8(imm as i8);
+                if let Rm::Reg(r) = dst {
+                    e.byte_reg(r, width);
+                }
+            }
+            _ => {
+                e.w(width).op(&[0x81]).reg_field(op.ext(), false).rm(dst).imm32(imm);
+            }
+        },
+        Inst::ShiftRI { op, dst, amount } => {
+            e.w(Width::B8)
+                .op(&[0xC1])
+                .reg_field(op.ext(), false)
+                .rm_reg(dst)
+                .imm8(amount as i8);
+        }
+        Inst::Neg(r) => {
+            e.w(Width::B8).op(&[0xF7]).reg_field(3, false).rm_reg(r);
+        }
+        Inst::Not(r) => {
+            e.w(Width::B8).op(&[0xF7]).reg_field(2, false).rm_reg(r);
+        }
+        Inst::Imul { dst, src } => {
+            e.w(Width::B8)
+                .op(&[0x0F, 0xAF])
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm(src);
+        }
+        Inst::Cmov { cond, dst, src } => {
+            e.w(Width::B8)
+                .op(&[0x0F, 0x40 + cond.encoding()])
+                .reg_field(dst.low3(), dst.needs_ext())
+                .rm(src);
+        }
+        Inst::Xchg(a, b) => {
+            e.w(Width::B8)
+                .op(&[0x87])
+                .reg_field(a.low3(), a.needs_ext())
+                .rm_reg(b);
+        }
+        Inst::Push(r) => {
+            if r.needs_ext() {
+                e.rex_b = true;
+            }
+            e.op(&[0x50 + r.low3()]);
+        }
+        Inst::Pop(r) => {
+            if r.needs_ext() {
+                e.rex_b = true;
+            }
+            e.op(&[0x58 + r.low3()]);
+        }
+        Inst::CallRel(rel) => {
+            e.op(&[0xE8]).imm32(rel);
+        }
+        Inst::CallRm(rm) => {
+            e.op(&[0xFF]).reg_field(2, false).rm(rm);
+        }
+        Inst::JmpRel(rel) => {
+            e.op(&[0xE9]).imm32(rel);
+        }
+        Inst::JmpRm(rm) => {
+            e.op(&[0xFF]).reg_field(4, false).rm(rm);
+        }
+        Inst::Jcc { cond, rel } => {
+            e.op(&[0x0F, 0x80 + cond.encoding()]).imm32(rel);
+        }
+        Inst::Setcc { cond, dst } => {
+            e.op(&[0x0F, 0x90 + cond.encoding()])
+                .reg_field(0, false)
+                .rm_reg(dst)
+                .byte_reg(dst, Width::B1);
+        }
+        Inst::Ret => {
+            e.op(&[0xC3]);
+        }
+        Inst::Syscall => {
+            e.op(&[0x0F, 0x05]);
+        }
+        Inst::Int3 => {
+            e.op(&[0xCC]);
+        }
+        Inst::Nop => {
+            e.op(&[0x90]);
+        }
+        Inst::Ud2 => {
+            e.op(&[0x0F, 0x0B]);
+        }
+        Inst::Hlt => {
+            e.op(&[0xF4]);
+        }
+        Inst::Cpuid => {
+            e.op(&[0x0F, 0xA2]);
+        }
+    }
+    Ok(e.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, ShiftOp};
+    use Reg::*;
+
+    fn enc(i: Inst) -> Vec<u8> {
+        encode(&i).expect("encodable")
+    }
+
+    #[test]
+    fn mov_reg_reg() {
+        // mov rax, rbx => REX.W 8B C3  (RM direction)
+        assert_eq!(
+            enc(Inst::MovRRm { dst: Rax, src: Rm::Reg(Rbx), width: Width::B8 }),
+            vec![0x48, 0x8B, 0xC3]
+        );
+        // mov r15, rax => REX.WR 8B F8
+        assert_eq!(
+            enc(Inst::MovRRm { dst: R15, src: Rm::Reg(Rax), width: Width::B8 }),
+            vec![0x4C, 0x8B, 0xF8]
+        );
+    }
+
+    #[test]
+    fn mov_load_store() {
+        // mov rax, [rbx] => 48 8B 03
+        assert_eq!(
+            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(Rbx)), width: Width::B8 }),
+            vec![0x48, 0x8B, 0x03]
+        );
+        // mov [rbp], rax needs disp8=0: 48 89 45 00
+        assert_eq!(
+            enc(Inst::MovRmR { dst: Rm::Mem(Mem::base(Rbp)), src: Rax, width: Width::B8 }),
+            vec![0x48, 0x89, 0x45, 0x00]
+        );
+        // mov [rsp], rax needs SIB: 48 89 04 24
+        assert_eq!(
+            enc(Inst::MovRmR { dst: Rm::Mem(Mem::base(Rsp)), src: Rax, width: Width::B8 }),
+            vec![0x48, 0x89, 0x04, 0x24]
+        );
+        // r13 behaves like rbp (low3 = 101): mov rax, [r13] => 49 8B 45 00
+        assert_eq!(
+            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(R13)), width: Width::B8 }),
+            vec![0x49, 0x8B, 0x45, 0x00]
+        );
+        // r12 behaves like rsp: mov rax, [r12] => 49 8B 04 24
+        assert_eq!(
+            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(R12)), width: Width::B8 }),
+            vec![0x49, 0x8B, 0x04, 0x24]
+        );
+    }
+
+    #[test]
+    fn rip_relative() {
+        // mov rax, [rip+0x100] => 48 8B 05 00 01 00 00
+        assert_eq!(
+            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::rip(0x100)), width: Width::B8 }),
+            vec![0x48, 0x8B, 0x05, 0x00, 0x01, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn sib_index() {
+        // mov rax, [rbx + rcx*8 + 0x10] => 48 8B 44 CB 10
+        assert_eq!(
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Mem(Mem::base_index(Rbx, Rcx, 8, 0x10)),
+                width: Width::B8
+            }),
+            vec![0x48, 0x8B, 0x44, 0xCB, 0x10]
+        );
+    }
+
+    #[test]
+    fn movabs() {
+        let bytes = enc(Inst::MovRI { dst: Rdi, imm: 0x1122_3344_5566_7788 });
+        assert_eq!(bytes[0], 0x48);
+        assert_eq!(bytes[1], 0xBF);
+        assert_eq!(&bytes[2..], 0x1122_3344_5566_7788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn push_pop() {
+        assert_eq!(enc(Inst::Push(Rbp)), vec![0x55]);
+        assert_eq!(enc(Inst::Push(R12)), vec![0x41, 0x54]);
+        assert_eq!(enc(Inst::Pop(Rbp)), vec![0x5D]);
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(enc(Inst::CallRel(0x10)), vec![0xE8, 0x10, 0, 0, 0]);
+        assert_eq!(enc(Inst::JmpRel(-5)), vec![0xE9, 0xFB, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(
+            enc(Inst::Jcc { cond: Cond::E, rel: 8 }),
+            vec![0x0F, 0x84, 0x08, 0, 0, 0]
+        );
+        assert_eq!(enc(Inst::Ret), vec![0xC3]);
+        assert_eq!(enc(Inst::Syscall), vec![0x0F, 0x05]);
+    }
+
+    #[test]
+    fn alu_imm() {
+        // cmp rax, 0 => 48 81 F8 00000000 (or 83 short form; we always use 81)
+        assert_eq!(
+            enc(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Reg(Rax), imm: 0, width: Width::B8 }),
+            vec![0x48, 0x81, 0xF8, 0, 0, 0, 0]
+        );
+        // xor rax, rax MR form => 48 31 C0
+        assert_eq!(
+            enc(Inst::AluRmR { op: AluOp::Xor, dst: Rm::Reg(Rax), src: Rax, width: Width::B8 }),
+            vec![0x48, 0x31, 0xC0]
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        // shl rax, 3 => 48 C1 E0 03
+        assert_eq!(
+            enc(Inst::ShiftRI { op: ShiftOp::Shl, dst: Rax, amount: 3 }),
+            vec![0x48, 0xC1, 0xE0, 0x03]
+        );
+    }
+
+    #[test]
+    fn byte_ops_force_rex_for_sil() {
+        // mov sil, al must carry a bare REX prefix.
+        let b = enc(Inst::MovRmR { dst: Rm::Reg(Rsi), src: Rax, width: Width::B1 });
+        assert_eq!(b, vec![0x40, 0x88, 0xC6]);
+    }
+
+    #[test]
+    fn imm_range_checked() {
+        let err = encode(&Inst::MovRmI { dst: Rm::Reg(Rax), imm: 300, width: Width::B1 });
+        assert!(matches!(err, Err(EncodeError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn movzx_dword_rejected() {
+        let err = encode(&Inst::Movzx { dst: Rax, src: Rm::Reg(Rbx), src_width: Width::B4 });
+        assert!(matches!(err, Err(EncodeError::UnsupportedForm(_))));
+    }
+}

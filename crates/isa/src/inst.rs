@@ -1,0 +1,551 @@
+//! Instruction and operand model for the x86-64 subset.
+
+use crate::Reg;
+use std::fmt;
+
+/// Operand width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit (`byte`).
+    B1,
+    /// 32-bit (`dword`). Writes to a 32-bit register zero the upper half.
+    B4,
+    /// 64-bit (`qword`).
+    B8,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::B1 => 1,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// Mask covering the width (e.g. `0xFFFF_FFFF` for [`Width::B4`]).
+    #[inline]
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::B1 => 0xFF,
+            Width::B4 => 0xFFFF_FFFF,
+            Width::B8 => u64::MAX,
+        }
+    }
+
+    /// Sign bit position for the width.
+    #[inline]
+    pub fn sign_bit(self) -> u64 {
+        match self {
+            Width::B1 => 1 << 7,
+            Width::B4 => 1 << 31,
+            Width::B8 => 1 << 63,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Width::B1 => "byte",
+            Width::B4 => "dword",
+            Width::B8 => "qword",
+        })
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]` or `[rip + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any.
+    pub index: Option<(Reg, u8)>,
+    /// Signed 32-bit displacement.
+    pub disp: i32,
+    /// RIP-relative addressing (`[rip + disp]`); excludes base/index.
+    pub rip: bool,
+}
+
+impl Mem {
+    /// `[base]`
+    pub fn base(base: Reg) -> Mem {
+        Mem { base: Some(base), index: None, disp: 0, rip: false }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem { base: Some(base), index: None, disp, rip: false }
+    }
+
+    /// `[base + index*scale + disp]`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8, or if `index` is `rsp`
+    /// (not encodable as an index register).
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid SIB scale {scale}");
+        assert!(index != Reg::Rsp, "rsp cannot be an index register");
+        Mem { base: Some(base), index: Some((index, scale)), disp, rip: false }
+    }
+
+    /// `[rip + disp]` — displacement is relative to the *end* of the
+    /// containing instruction.
+    pub fn rip(disp: i32) -> Mem {
+        Mem { base: None, index: None, disp, rip: true }
+    }
+
+    /// `[disp]` — absolute 32-bit address (encoded via SIB with no base).
+    pub fn abs(disp: i32) -> Mem {
+        Mem { base: None, index: None, disp, rip: false }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if self.rip {
+            write!(f, "rip")?;
+            wrote = true;
+        }
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, " - {:#x}", -(self.disp as i64))?;
+                } else {
+                    write!(f, " + {:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// ALU operation selector for the common two-operand arithmetic group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add`
+    Add,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `sub`
+    Sub,
+    /// `xor`
+    Xor,
+    /// `cmp` — like `sub` but discards the result.
+    Cmp,
+    /// `test` — like `and` but discards the result.
+    Test,
+}
+
+impl AluOp {
+    /// The `/digit` ModRM reg-field extension for the `0x81` imm form.
+    pub(crate) fn ext(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Or => 1,
+            AluOp::And => 4,
+            AluOp::Sub => 5,
+            AluOp::Xor => 6,
+            AluOp::Cmp => 7,
+            AluOp::Test => 0, // test uses opcode 0xF7 /0
+        }
+    }
+
+    /// Whether the destination is written (false for `cmp`/`test`).
+    #[inline]
+    pub fn writes_dst(self) -> bool {
+        !matches!(self, AluOp::Cmp | AluOp::Test)
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+            AluOp::Test => "test",
+        }
+    }
+}
+
+/// Shift operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+}
+
+impl ShiftOp {
+    pub(crate) fn ext(self) -> u8 {
+        match self {
+            ShiftOp::Shl => 4,
+            ShiftOp::Shr => 5,
+            ShiftOp::Sar => 7,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// Condition code for `jcc`/`setcc`, with hardware encoding as discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0x0,
+    /// Not overflow.
+    No = 0x1,
+    /// Below (unsigned <, CF=1).
+    B = 0x2,
+    /// Above or equal (unsigned >=).
+    Ae = 0x3,
+    /// Equal (ZF=1).
+    E = 0x4,
+    /// Not equal.
+    Ne = 0x5,
+    /// Below or equal (unsigned <=).
+    Be = 0x6,
+    /// Above (unsigned >).
+    A = 0x7,
+    /// Sign (SF=1).
+    S = 0x8,
+    /// Not sign.
+    Ns = 0x9,
+    /// Less (signed <).
+    L = 0xC,
+    /// Greater or equal (signed >=).
+    Ge = 0xD,
+    /// Less or equal (signed <=).
+    Le = 0xE,
+    /// Greater (signed >).
+    G = 0xF,
+}
+
+impl Cond {
+    /// All supported condition codes.
+    pub const ALL: [Cond; 14] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Hardware encoding nibble.
+    #[inline]
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode from the hardware encoding nibble, if supported.
+    pub fn from_encoding(enc: u8) -> Option<Cond> {
+        Cond::ALL.into_iter().find(|c| c.encoding() == enc)
+    }
+
+    /// The logically inverted condition.
+    pub fn invert(self) -> Cond {
+        // Conditions come in even/odd pairs.
+        Cond::from_encoding(self.encoding() ^ 1).expect("paired condition")
+    }
+
+    /// Mnemonic suffix (`e` for `je`, etc.).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+/// A register-or-memory operand (the `r/m` slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rm {
+    /// Register operand.
+    Reg(Reg),
+    /// Memory operand.
+    Mem(Mem),
+}
+
+impl From<Reg> for Rm {
+    fn from(r: Reg) -> Rm {
+        Rm::Reg(r)
+    }
+}
+
+impl From<Mem> for Rm {
+    fn from(m: Mem) -> Rm {
+        Rm::Mem(m)
+    }
+}
+
+impl fmt::Display for Rm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rm::Reg(r) => write!(f, "{r}"),
+            Rm::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) instruction of the supported subset.
+///
+/// The subset covers everything the synthetic targets and the discovery
+/// pipeline need: data movement, the ALU group, stack ops, control flow,
+/// `syscall`, and a few system opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// Field names follow x86 conventions (`dst`, `src`, `width`, `imm`, …) and
+// are described in each variant's doc comment.
+#[allow(missing_docs)]
+pub enum Inst {
+    /// `mov reg, r/m` (load or register move).
+    MovRRm { dst: Reg, src: Rm, width: Width },
+    /// `mov r/m, reg` (store or register move).
+    MovRmR { dst: Rm, src: Reg, width: Width },
+    /// `mov r64, imm64` (`movabs`).
+    MovRI { dst: Reg, imm: u64 },
+    /// `mov r/m, imm32` (sign-extended for 64-bit width).
+    MovRmI { dst: Rm, imm: i32, width: Width },
+    /// `movzx r64, byte/dword r/m` — zero-extending load.
+    Movzx { dst: Reg, src: Rm, src_width: Width },
+    /// `lea reg, [mem]`.
+    Lea { dst: Reg, mem: Mem },
+    /// ALU op `op reg, r/m` (result in register; RM direction).
+    AluRRm { op: AluOp, dst: Reg, src: Rm, width: Width },
+    /// ALU op `op r/m, reg` (result in r/m; MR direction).
+    AluRmR { op: AluOp, dst: Rm, src: Reg, width: Width },
+    /// ALU op `op r/m, imm32`.
+    AluRmI { op: AluOp, dst: Rm, imm: i32, width: Width },
+    /// Shift by immediate.
+    ShiftRI { op: ShiftOp, dst: Reg, amount: u8 },
+    /// `neg r64` — two's-complement negation.
+    Neg(Reg),
+    /// `not r64` — bitwise complement.
+    Not(Reg),
+    /// `imul r64, r/m64` — signed multiply (truncated).
+    Imul { dst: Reg, src: Rm },
+    /// `cmovcc r64, r/m64` — conditional move.
+    Cmov { cond: Cond, dst: Reg, src: Rm },
+    /// `xchg r64, r64` — register swap.
+    Xchg(Reg, Reg),
+    /// `push r64`.
+    Push(Reg),
+    /// `pop r64`.
+    Pop(Reg),
+    /// `call rel32` — target is relative to the next instruction.
+    CallRel(i32),
+    /// `call r/m64`.
+    CallRm(Rm),
+    /// `jmp rel32`.
+    JmpRel(i32),
+    /// `jmp r/m64`.
+    JmpRm(Rm),
+    /// `jcc rel32`.
+    Jcc { cond: Cond, rel: i32 },
+    /// `setcc r8` (low byte of a register).
+    Setcc { cond: Cond, dst: Reg },
+    /// `ret`.
+    Ret,
+    /// `syscall` — traps into the OS personality.
+    Syscall,
+    /// `int3` breakpoint.
+    Int3,
+    /// `nop`.
+    Nop,
+    /// `ud2` — undefined instruction (guaranteed illegal-opcode fault).
+    Ud2,
+    /// `hlt` — used by targets as a "spin forever / yield" marker.
+    Hlt,
+    /// `cpuid` — repurposed as a hypercall marker for test monitors.
+    Cpuid,
+}
+
+impl Inst {
+    /// Whether this instruction terminates a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::CallRel(_)
+                | Inst::CallRm(_)
+                | Inst::JmpRel(_)
+                | Inst::JmpRm(_)
+                | Inst::Jcc { .. }
+                | Inst::Ret
+                | Inst::Ud2
+                | Inst::Hlt
+        )
+    }
+
+    /// The memory operand this instruction dereferences, if any.
+    ///
+    /// `lea` computes an address without dereferencing, so it returns `None`.
+    pub fn mem_operand(&self) -> Option<Mem> {
+        let rm = match self {
+            Inst::MovRRm { src, .. } => Some(*src),
+            Inst::MovRmR { dst, .. } => Some(*dst),
+            Inst::MovRmI { dst, .. } => Some(*dst),
+            Inst::Movzx { src, .. } => Some(*src),
+            Inst::AluRRm { src, .. } => Some(*src),
+            Inst::AluRmR { dst, .. } => Some(*dst),
+            Inst::AluRmI { dst, .. } => Some(*dst),
+            Inst::Imul { src, .. } | Inst::Cmov { src, .. } => Some(*src),
+            Inst::CallRm(rm) | Inst::JmpRm(rm) => Some(*rm),
+            _ => None,
+        };
+        match rm {
+            Some(Rm::Mem(m)) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovRRm { dst, src, width } => write!(f, "mov {dst}, {width} {src}"),
+            Inst::MovRmR { dst, src, width } => write!(f, "mov {width} {dst}, {src}"),
+            Inst::MovRI { dst, imm } => write!(f, "movabs {dst}, {imm:#x}"),
+            Inst::MovRmI { dst, imm, width } => write!(f, "mov {width} {dst}, {imm:#x}"),
+            Inst::Movzx { dst, src, src_width } => write!(f, "movzx {dst}, {src_width} {src}"),
+            Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Inst::AluRRm { op, dst, src, width } => {
+                write!(f, "{} {dst}, {width} {src}", op.mnemonic())
+            }
+            Inst::AluRmR { op, dst, src, width } => {
+                write!(f, "{} {width} {dst}, {src}", op.mnemonic())
+            }
+            Inst::AluRmI { op, dst, imm, width } => {
+                write!(f, "{} {width} {dst}, {imm:#x}", op.mnemonic())
+            }
+            Inst::ShiftRI { op, dst, amount } => write!(f, "{} {dst}, {amount}", op.mnemonic()),
+            Inst::Neg(r) => write!(f, "neg {r}"),
+            Inst::Not(r) => write!(f, "not {r}"),
+            Inst::Imul { dst, src } => write!(f, "imul {dst}, {src}"),
+            Inst::Cmov { cond, dst, src } => write!(f, "cmov{} {dst}, {src}", cond.suffix()),
+            Inst::Xchg(a, b) => write!(f, "xchg {a}, {b}"),
+            Inst::Push(r) => write!(f, "push {r}"),
+            Inst::Pop(r) => write!(f, "pop {r}"),
+            Inst::CallRel(rel) => write!(f, "call {rel:+#x}"),
+            Inst::CallRm(rm) => write!(f, "call {rm}"),
+            Inst::JmpRel(rel) => write!(f, "jmp {rel:+#x}"),
+            Inst::JmpRm(rm) => write!(f, "jmp {rm}"),
+            Inst::Jcc { cond, rel } => write!(f, "j{} {rel:+#x}", cond.suffix()),
+            Inst::Setcc { cond, dst } => write!(f, "set{} {dst}b", cond.suffix()),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::Int3 => write!(f, "int3"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Ud2 => write!(f, "ud2"),
+            Inst::Hlt => write!(f, "hlt"),
+            Inst::Cpuid => write!(f, "cpuid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_invert_pairs() {
+        assert_eq!(Cond::E.invert(), Cond::Ne);
+        assert_eq!(Cond::Ne.invert(), Cond::E);
+        assert_eq!(Cond::L.invert(), Cond::Ge);
+        assert_eq!(Cond::A.invert(), Cond::Be);
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn width_props() {
+        assert_eq!(Width::B1.bytes(), 1);
+        assert_eq!(Width::B4.mask(), 0xFFFF_FFFF);
+        assert_eq!(Width::B8.sign_bit(), 1 << 63);
+    }
+
+    #[test]
+    fn mem_display() {
+        let m = Mem::base_index(Reg::Rax, Reg::Rcx, 8, 0x10);
+        assert_eq!(m.to_string(), "[rax + rcx*8 + 0x10]");
+        assert_eq!(Mem::rip(-4).to_string(), "[rip - 0x4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SIB scale")]
+    fn bad_scale_panics() {
+        let _ = Mem::base_index(Reg::Rax, Reg::Rcx, 3, 0);
+    }
+
+    #[test]
+    fn mem_operand_extraction() {
+        let i = Inst::MovRRm { dst: Reg::Rax, src: Rm::Mem(Mem::base(Reg::Rdi)), width: Width::B8 };
+        assert_eq!(i.mem_operand(), Some(Mem::base(Reg::Rdi)));
+        let lea = Inst::Lea { dst: Reg::Rax, mem: Mem::base(Reg::Rdi) };
+        assert_eq!(lea.mem_operand(), None);
+        let rr = Inst::MovRRm { dst: Reg::Rax, src: Rm::Reg(Reg::Rbx), width: Width::B8 };
+        assert_eq!(rr.mem_operand(), None);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jcc { cond: Cond::E, rel: 0 }.is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+        assert!(!Inst::Syscall.is_terminator());
+    }
+}

@@ -1,0 +1,40 @@
+//! # cr-isa — x86-64 subset assembler and disassembler
+//!
+//! Instruction-level substrate for the crash-resistant-primitive discovery
+//! framework. Provides:
+//!
+//! * an instruction model ([`Inst`], [`Mem`], [`Reg`], …),
+//! * an encoder ([`encode`]) and two-pass assembler with labels ([`Asm`]),
+//! * a decoder ([`decode`]) and linear-sweep disassembler ([`disassemble`]).
+//!
+//! The subset covers everything the synthetic targets and analyses need:
+//! loads/stores with full ModRM/SIB/RIP-relative addressing, the ALU group,
+//! shifts, stack operations, calls/jumps/conditional branches, `syscall`,
+//! and a handful of system opcodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_isa::{Asm, Reg, decode};
+//!
+//! let mut a = Asm::new(0x40_0000);
+//! a.mov_ri(Reg::Rax, 60); // exit
+//! a.zero(Reg::Rdi);
+//! a.syscall();
+//! let image = a.assemble()?;
+//! let first = decode(&image.code)?;
+//! assert_eq!(first.inst.to_string(), "movabs rax, 0x3c");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod asm;
+mod decode;
+mod encode;
+mod inst;
+mod reg;
+
+pub use asm::{Asm, AsmError, Assembled, Label};
+pub use decode::{decode, disassemble, DecodeError, Decoded};
+pub use encode::{encode, EncodeError};
+pub use inst::{AluOp, Cond, Inst, Mem, Rm, ShiftOp, Width};
+pub use reg::Reg;

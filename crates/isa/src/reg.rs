@@ -1,0 +1,151 @@
+//! General-purpose register model for the x86-64 subset.
+
+use std::fmt;
+
+/// A 64-bit general-purpose register.
+///
+/// The discriminant is the hardware encoding (0–15) used in ModRM/SIB
+/// bytes and in the `REX.B`/`REX.R`/`REX.X` extension bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; syscall number / return value.
+    Rax = 0,
+    /// Counter; 4th syscall argument (`r10` in the kernel ABI is used
+    /// instead at syscall boundaries, but `rcx` is clobbered by `syscall`).
+    Rcx = 1,
+    /// 3rd function / syscall argument.
+    Rdx = 2,
+    /// Callee-saved.
+    Rbx = 3,
+    /// Stack pointer.
+    Rsp = 4,
+    /// Frame pointer (callee-saved).
+    Rbp = 5,
+    /// 2nd function / syscall argument.
+    Rsi = 6,
+    /// 1st function / syscall argument.
+    Rdi = 7,
+    /// 5th function argument.
+    R8 = 8,
+    /// 6th function argument.
+    R9 = 9,
+    /// 4th syscall argument in the kernel ABI.
+    R10 = 10,
+    /// Scratch.
+    R11 = 11,
+    /// Callee-saved.
+    R12 = 12,
+    /// Callee-saved.
+    R13 = 13,
+    /// Callee-saved.
+    R14 = 14,
+    /// Callee-saved.
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The hardware encoding (0–15).
+    #[inline]
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// The low three bits of the encoding, as placed in ModRM/SIB fields.
+    #[inline]
+    pub fn low3(self) -> u8 {
+        self.encoding() & 0b111
+    }
+
+    /// Whether the register needs a REX extension bit (encodings 8–15).
+    #[inline]
+    pub fn needs_ext(self) -> bool {
+        self.encoding() >= 8
+    }
+
+    /// Decode a register from its hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc > 15`.
+    #[inline]
+    pub fn from_encoding(enc: u8) -> Reg {
+        Reg::ALL[enc as usize]
+    }
+
+    /// The conventional AT&T-free name (e.g. `rax`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_encoding(r.encoding()), r);
+        }
+    }
+
+    #[test]
+    fn low3_and_ext() {
+        assert_eq!(Reg::Rax.low3(), 0);
+        assert_eq!(Reg::R8.low3(), 0);
+        assert!(!Reg::Rdi.needs_ext());
+        assert!(Reg::R8.needs_ext());
+        assert!(Reg::R15.needs_ext());
+        assert_eq!(Reg::R13.low3(), 0b101);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::Rsp.to_string(), "rsp");
+        assert_eq!(Reg::R10.to_string(), "r10");
+    }
+}

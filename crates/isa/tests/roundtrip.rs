@@ -1,0 +1,146 @@
+//! Property tests: every encodable instruction decodes back to itself.
+
+use cr_isa::{decode, encode, AluOp, Cond, Inst, Mem, Reg, Rm, ShiftOp, Width};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_encoding)
+}
+
+fn arb_index_reg() -> impl Strategy<Value = Reg> {
+    // rsp is not encodable as an index register.
+    arb_reg().prop_filter("rsp cannot be index", |r| *r != Reg::Rsp)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B1), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    prop_oneof![
+        // [base + disp]
+        (arb_reg(), any::<i32>()).prop_map(|(b, d)| Mem::base_disp(b, d)),
+        // [base + index*scale + disp]
+        (arb_reg(), arb_index_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<i32>())
+            .prop_map(|(b, i, s, d)| Mem::base_index(b, i, s, d)),
+        // [rip + disp]
+        any::<i32>().prop_map(Mem::rip),
+        // [disp32]
+        any::<i32>().prop_map(Mem::abs),
+    ]
+}
+
+fn arb_rm() -> impl Strategy<Value = Rm> {
+    prop_oneof![arb_reg().prop_map(Rm::Reg), arb_mem().prop_map(Rm::Mem)]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::Cmp),
+        Just(AluOp::Test),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    proptest::sample::select(&Cond::ALL[..])
+}
+
+/// Immediates that fit the width's encodable immediate field.
+fn imm_for(width: Width) -> BoxedStrategy<i32> {
+    match width {
+        Width::B1 => (-128i32..=127).boxed(),
+        _ => any::<i32>().boxed(),
+    }
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), arb_rm(), arb_width())
+            .prop_map(|(dst, src, width)| Inst::MovRRm { dst, src, width }),
+        (arb_rm(), arb_reg(), arb_width())
+            .prop_map(|(dst, src, width)| Inst::MovRmR { dst, src, width }),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_rm(), arb_width())
+            .prop_flat_map(|(dst, width)| {
+                imm_for(width).prop_map(move |imm| Inst::MovRmI { dst, imm, width })
+            }),
+        (arb_reg(), arb_rm()).prop_map(|(dst, src)| Inst::Movzx {
+            dst,
+            src,
+            src_width: Width::B1
+        }),
+        (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+        (arb_alu(), arb_reg(), arb_rm(), arb_width()).prop_filter_map(
+            "test has no RM direction encoding distinct from MR",
+            |(op, dst, src, width)| {
+                if op == AluOp::Test {
+                    None
+                } else {
+                    Some(Inst::AluRRm { op, dst, src, width })
+                }
+            }
+        ),
+        (arb_alu(), arb_rm(), arb_reg(), arb_width())
+            .prop_map(|(op, dst, src, width)| Inst::AluRmR { op, dst, src, width }),
+        (arb_alu(), arb_rm(), arb_width()).prop_flat_map(|(op, dst, width)| {
+            imm_for(width).prop_map(move |imm| Inst::AluRmI { op, dst, imm, width })
+        }),
+        (
+            prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
+            arb_reg(),
+            0u8..64
+        )
+            .prop_map(|(op, dst, amount)| Inst::ShiftRI { op, dst, amount }),
+        arb_reg().prop_map(Inst::Neg),
+        arb_reg().prop_map(Inst::Not),
+        (arb_reg(), arb_rm()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
+        (arb_cond(), arb_reg(), arb_rm())
+            .prop_map(|(cond, dst, src)| Inst::Cmov { cond, dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Xchg(a, b)),
+        arb_reg().prop_map(Inst::Push),
+        arb_reg().prop_map(Inst::Pop),
+        any::<i32>().prop_map(Inst::CallRel),
+        arb_rm().prop_map(Inst::CallRm),
+        any::<i32>().prop_map(Inst::JmpRel),
+        arb_rm().prop_map(Inst::JmpRm),
+        (arb_cond(), any::<i32>()).prop_map(|(cond, rel)| Inst::Jcc { cond, rel }),
+        (arb_cond(), arb_reg()).prop_map(|(cond, dst)| Inst::Setcc { cond, dst }),
+        Just(Inst::Ret),
+        Just(Inst::Syscall),
+        Just(Inst::Int3),
+        Just(Inst::Nop),
+        Just(Inst::Ud2),
+        Just(Inst::Hlt),
+        Just(Inst::Cpuid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let bytes = encode(&inst).expect("generated instructions are encodable");
+        prop_assert!(bytes.len() <= 15, "x86 instructions are at most 15 bytes");
+        let d = decode(&bytes).expect("own encodings must decode");
+        prop_assert_eq!(d.inst, inst);
+        prop_assert_eq!(d.len, bytes.len());
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decoded_length_in_bounds(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok(d) = decode(&bytes) {
+            prop_assert!(d.len >= 1 && d.len <= bytes.len());
+        }
+    }
+}

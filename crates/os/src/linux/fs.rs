@@ -1,0 +1,219 @@
+//! Tiny in-memory filesystem for the Linux personality.
+//!
+//! Exists so the file-flavored syscalls of Table I (`open`, `chmod`,
+//! `mkdir`, `unlink`, `symlink`, `read`/`write` on files) have real
+//! semantics to exercise: servers serve static files from here and the
+//! driver can seed content.
+
+use std::collections::BTreeMap;
+
+/// Errors mapped to errno values by the syscall layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// `ENOENT`
+    NotFound,
+    /// `EEXIST`
+    Exists,
+    /// `EISDIR`
+    IsDirectory,
+    /// `ENOTDIR`
+    NotDirectory,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { data: Vec<u8>, mode: u32 },
+    Dir,
+    Symlink(String),
+}
+
+/// An in-memory tree keyed by absolute path strings.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    nodes: BTreeMap<String, Node>,
+}
+
+impl Vfs {
+    /// An empty filesystem with just `/`.
+    pub fn new() -> Vfs {
+        let mut v = Vfs::default();
+        v.nodes.insert("/".to_string(), Node::Dir);
+        v
+    }
+
+    fn parent_exists(&self, path: &str) -> bool {
+        match path.rfind('/') {
+            Some(0) => true,
+            Some(i) => matches!(self.nodes.get(&path[..i]), Some(Node::Dir)),
+            None => false,
+        }
+    }
+
+    /// Create or replace a file.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the parent directory is missing, `IsDirectory` if the
+    /// path names a directory.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        if matches!(self.nodes.get(path), Some(Node::Dir)) {
+            return Err(FsError::IsDirectory);
+        }
+        if !self.parent_exists(path) {
+            return Err(FsError::NotFound);
+        }
+        self.nodes
+            .insert(path.to_string(), Node::File { data: data.to_vec(), mode: 0o644 });
+        Ok(())
+    }
+
+    /// Read a file, following one level of symlink.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for missing paths, `IsDirectory` for directories.
+    pub fn read_file(&self, path: &str) -> Result<&[u8], FsError> {
+        match self.nodes.get(path) {
+            Some(Node::File { data, .. }) => Ok(data),
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            Some(Node::Symlink(t)) => match self.nodes.get(t) {
+                Some(Node::File { data, .. }) => Ok(data),
+                Some(Node::Dir) => Err(FsError::IsDirectory),
+                _ => Err(FsError::NotFound),
+            },
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Whether a file (or symlink to one) exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// `mkdir`.
+    ///
+    /// # Errors
+    ///
+    /// `Exists` if the path exists, `NotFound` if the parent is missing.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        if self.nodes.contains_key(path) {
+            return Err(FsError::Exists);
+        }
+        if !self.parent_exists(path) {
+            return Err(FsError::NotFound);
+        }
+        self.nodes.insert(path.to_string(), Node::Dir);
+        Ok(())
+    }
+
+    /// `unlink` (files and symlinks only).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for missing paths, `IsDirectory` for directories.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        match self.nodes.get(path) {
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            Some(_) => {
+                self.nodes.remove(path);
+                Ok(())
+            }
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// `symlink target linkpath`.
+    ///
+    /// # Errors
+    ///
+    /// `Exists` if the link path exists, `NotFound` if its parent is
+    /// missing.
+    pub fn symlink(&mut self, target: &str, linkpath: &str) -> Result<(), FsError> {
+        if self.nodes.contains_key(linkpath) {
+            return Err(FsError::Exists);
+        }
+        if !self.parent_exists(linkpath) {
+            return Err(FsError::NotFound);
+        }
+        self.nodes.insert(linkpath.to_string(), Node::Symlink(target.to_string()));
+        Ok(())
+    }
+
+    /// `chmod`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for missing paths.
+    pub fn chmod(&mut self, path: &str, new_mode: u32) -> Result<(), FsError> {
+        match self.nodes.get_mut(path) {
+            Some(Node::File { mode, .. }) => {
+                *mode = new_mode;
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// The mode of a file.
+    pub fn mode(&self, path: &str) -> Option<u32> {
+        match self.nodes.get(path) {
+            Some(Node::File { mode, .. }) => Some(*mode),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_roundtrip() {
+        let mut v = Vfs::new();
+        v.write_file("/index.html", b"<html>").unwrap();
+        assert_eq!(v.read_file("/index.html").unwrap(), b"<html>");
+        assert_eq!(v.read_file("/missing"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn mkdir_and_nesting() {
+        let mut v = Vfs::new();
+        v.mkdir("/www").unwrap();
+        v.write_file("/www/a.txt", b"a").unwrap();
+        assert_eq!(v.mkdir("/www"), Err(FsError::Exists));
+        assert_eq!(v.mkdir("/no/deep"), Err(FsError::NotFound));
+        assert_eq!(v.write_file("/nodir/f", b""), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_semantics() {
+        let mut v = Vfs::new();
+        v.write_file("/f", b"x").unwrap();
+        v.mkdir("/d").unwrap();
+        assert_eq!(v.unlink("/d"), Err(FsError::IsDirectory));
+        v.unlink("/f").unwrap();
+        assert_eq!(v.unlink("/f"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn symlink_follows() {
+        let mut v = Vfs::new();
+        v.write_file("/real", b"data").unwrap();
+        v.symlink("/real", "/link").unwrap();
+        assert_eq!(v.read_file("/link").unwrap(), b"data");
+        assert_eq!(v.symlink("/real", "/link"), Err(FsError::Exists));
+        v.unlink("/real").unwrap();
+        assert_eq!(v.read_file("/link"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn chmod_modes() {
+        let mut v = Vfs::new();
+        v.write_file("/f", b"").unwrap();
+        assert_eq!(v.mode("/f"), Some(0o644));
+        v.chmod("/f", 0o600).unwrap();
+        assert_eq!(v.mode("/f"), Some(0o600));
+        assert_eq!(v.chmod("/zzz", 0o600), Err(FsError::NotFound));
+    }
+}

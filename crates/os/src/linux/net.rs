@@ -1,0 +1,206 @@
+//! Virtual TCP network shared between the emulated server and the test
+//! driver (the "monitor" of the paper's §IV-A).
+//!
+//! The driver plays the role of libdft's controlling client: it opens
+//! connections to the server's listening ports, injects request bytes and
+//! reads responses, all deterministically between scheduler slices.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of one TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+#[derive(Debug, Default)]
+struct Conn {
+    /// Bytes in flight from client (driver) to server.
+    to_server: VecDeque<u8>,
+    /// Bytes in flight from server to client.
+    to_client: VecDeque<u8>,
+    client_closed: bool,
+    server_closed: bool,
+}
+
+/// The network fabric: listeners, pending connects, live connections.
+#[derive(Debug, Default)]
+pub struct VirtualNet {
+    next_conn: u32,
+    /// Port → queue of connections awaiting `accept`.
+    backlog: HashMap<u16, VecDeque<ConnId>>,
+    /// Ports with a listening socket.
+    listening: HashMap<u16, bool>,
+    conns: HashMap<ConnId, Conn>,
+}
+
+impl VirtualNet {
+    /// An empty network.
+    pub fn new() -> VirtualNet {
+        VirtualNet::default()
+    }
+
+    /// Server side: start listening on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.listening.insert(port, true);
+        self.backlog.entry(port).or_default();
+    }
+
+    /// Whether `port` has a listener.
+    pub fn is_listening(&self, port: u16) -> bool {
+        self.listening.get(&port).copied().unwrap_or(false)
+    }
+
+    /// Driver side: open a client connection to `port`.
+    ///
+    /// Returns `None` if nothing is listening.
+    pub fn client_connect(&mut self, port: u16) -> Option<ConnId> {
+        if !self.is_listening(port) {
+            return None;
+        }
+        self.next_conn += 1;
+        let id = ConnId(self.next_conn);
+        self.conns.insert(id, Conn::default());
+        self.backlog.get_mut(&port).expect("listener").push_back(id);
+        Some(id)
+    }
+
+    /// Server side: accept a pending connection on `port`.
+    pub fn accept(&mut self, port: u16) -> Option<ConnId> {
+        self.backlog.get_mut(&port)?.pop_front()
+    }
+
+    /// Whether `port` has a connection waiting to be accepted.
+    pub fn has_pending(&self, port: u16) -> bool {
+        self.backlog.get(&port).map(|q| !q.is_empty()).unwrap_or(false)
+    }
+
+    /// Driver side: send bytes to the server.
+    pub fn client_send(&mut self, id: ConnId, data: &[u8]) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.to_server.extend(data.iter().copied());
+        }
+    }
+
+    /// Driver side: read up to `max` response bytes.
+    pub fn client_recv(&mut self, id: ConnId, max: usize) -> Vec<u8> {
+        let Some(c) = self.conns.get_mut(&id) else { return Vec::new() };
+        let n = max.min(c.to_client.len());
+        c.to_client.drain(..n).collect()
+    }
+
+    /// Driver side: close the client end.
+    pub fn client_close(&mut self, id: ConnId) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.client_closed = true;
+        }
+    }
+
+    /// Whether the server closed its end of the connection.
+    pub fn server_closed(&self, id: ConnId) -> bool {
+        self.conns.get(&id).map(|c| c.server_closed).unwrap_or(true)
+    }
+
+    /// Server side: bytes available to read.
+    pub fn server_readable(&self, id: ConnId) -> bool {
+        self.conns
+            .get(&id)
+            .map(|c| !c.to_server.is_empty() || c.client_closed)
+            .unwrap_or(false)
+    }
+
+    /// Server side: read up to `max` bytes. `None` means "would block";
+    /// `Some(empty)` means EOF (client closed).
+    pub fn server_recv(&mut self, id: ConnId, max: usize) -> Option<Vec<u8>> {
+        let c = self.conns.get_mut(&id)?;
+        if c.to_server.is_empty() {
+            if c.client_closed {
+                return Some(Vec::new()); // EOF
+            }
+            return None; // would block
+        }
+        let n = max.min(c.to_server.len());
+        Some(c.to_server.drain(..n).collect())
+    }
+
+    /// Server side: send bytes to the client. Returns bytes accepted.
+    pub fn server_send(&mut self, id: ConnId, data: &[u8]) -> usize {
+        match self.conns.get_mut(&id) {
+            Some(c) if !c.client_closed => {
+                c.to_client.extend(data.iter().copied());
+                data.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Server side: close the server end.
+    pub fn server_close(&mut self, id: ConnId) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.server_closed = true;
+        }
+    }
+
+    /// Response bytes queued for the client (driver-side visibility).
+    pub fn client_pending(&self, id: ConnId) -> usize {
+        self.conns.get(&id).map(|c| c.to_client.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_accept_send_recv() {
+        let mut net = VirtualNet::new();
+        net.listen(8080);
+        let id = net.client_connect(8080).unwrap();
+        assert!(net.has_pending(8080));
+        let sid = net.accept(8080).unwrap();
+        assert_eq!(sid, id);
+        assert!(!net.has_pending(8080));
+
+        net.client_send(id, b"GET /");
+        assert!(net.server_readable(id));
+        assert_eq!(net.server_recv(id, 3).unwrap(), b"GET".to_vec());
+        assert_eq!(net.server_recv(id, 10).unwrap(), b" /".to_vec());
+        assert_eq!(net.server_recv(id, 10), None, "empty + open = would block");
+
+        net.server_send(id, b"200 OK");
+        assert_eq!(net.client_recv(id, 100), b"200 OK".to_vec());
+    }
+
+    #[test]
+    fn connect_requires_listener() {
+        let mut net = VirtualNet::new();
+        assert!(net.client_connect(80).is_none());
+        net.listen(80);
+        assert!(net.client_connect(80).is_some());
+    }
+
+    #[test]
+    fn eof_after_client_close() {
+        let mut net = VirtualNet::new();
+        net.listen(1);
+        let id = net.client_connect(1).unwrap();
+        net.accept(1).unwrap();
+        net.client_send(id, b"x");
+        net.client_close(id);
+        assert_eq!(net.server_recv(id, 10).unwrap(), b"x".to_vec());
+        assert_eq!(net.server_recv(id, 10).unwrap(), Vec::<u8>::new(), "EOF");
+        assert_eq!(net.server_send(id, b"late"), 0, "send after close drops");
+    }
+
+    #[test]
+    fn multiple_parallel_connections() {
+        let mut net = VirtualNet::new();
+        net.listen(7);
+        let a = net.client_connect(7).unwrap();
+        let b = net.client_connect(7).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(net.accept(7), Some(a));
+        assert_eq!(net.accept(7), Some(b));
+        net.client_send(b, b"second");
+        assert!(!net.server_readable(a));
+        assert!(net.server_readable(b));
+    }
+}

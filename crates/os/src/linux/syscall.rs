@@ -1,0 +1,170 @@
+//! Linux syscall numbers, errno values and per-syscall metadata.
+//!
+//! The metadata table drives the discovery framework: for each syscall it
+//! records which argument slots are user-space pointers and whether the
+//! kernel responds to an invalid pointer with `-EFAULT` (the
+//! crash-resistance root cause of §III-A.1) rather than a fault.
+
+/// x86-64 syscall numbers (subset used by the synthetic servers).
+#[allow(missing_docs)]
+pub mod nr {
+    pub const READ: u64 = 0;
+    pub const WRITE: u64 = 1;
+    pub const OPEN: u64 = 2;
+    pub const CLOSE: u64 = 3;
+    pub const MMAP: u64 = 9;
+    pub const MPROTECT: u64 = 10;
+    pub const MUNMAP: u64 = 11;
+    pub const RT_SIGACTION: u64 = 13;
+    pub const NANOSLEEP: u64 = 35;
+    pub const SOCKET: u64 = 41;
+    pub const CONNECT: u64 = 42;
+    pub const ACCEPT: u64 = 43;
+    pub const SENDTO: u64 = 44;
+    pub const RECVFROM: u64 = 45;
+    pub const SENDMSG: u64 = 46;
+    pub const RECVMSG: u64 = 47;
+    pub const BIND: u64 = 49;
+    pub const LISTEN: u64 = 50;
+    pub const CLONE: u64 = 56;
+    pub const EXIT: u64 = 60;
+    pub const UNLINK: u64 = 87;
+    pub const SYMLINK: u64 = 88;
+    pub const MKDIR: u64 = 83;
+    pub const CHMOD: u64 = 90;
+    pub const GETTIME: u64 = 228; // clock_gettime
+    pub const EXIT_GROUP: u64 = 231;
+    pub const EPOLL_WAIT: u64 = 232;
+    pub const EPOLL_CTL: u64 = 233;
+    pub const EPOLL_CREATE1: u64 = 291;
+    pub const ACCEPT4: u64 = 288;
+}
+
+/// errno values (returned negated in `rax`).
+#[allow(missing_docs)]
+pub mod errno {
+    pub const EPERM: i64 = 1;
+    pub const ENOENT: i64 = 2;
+    pub const EBADF: i64 = 9;
+    pub const EAGAIN: i64 = 11;
+    pub const EFAULT: i64 = 14;
+    pub const EEXIST: i64 = 17;
+    pub const ENOTDIR: i64 = 20;
+    pub const EISDIR: i64 = 21;
+    pub const EINVAL: i64 = 22;
+    pub const ENOSYS: i64 = 38;
+    pub const ENOTSOCK: i64 = 88;
+    pub const ECONNREFUSED: i64 = 111;
+}
+
+/// Human-readable name of a syscall number.
+pub fn name(nr_: u64) -> &'static str {
+    use nr::*;
+    match nr_ {
+        READ => "read",
+        WRITE => "write",
+        OPEN => "open",
+        CLOSE => "close",
+        MMAP => "mmap",
+        MPROTECT => "mprotect",
+        MUNMAP => "munmap",
+        RT_SIGACTION => "rt_sigaction",
+        NANOSLEEP => "nanosleep",
+        SOCKET => "socket",
+        CONNECT => "connect",
+        ACCEPT => "accept",
+        SENDTO => "send",
+        RECVFROM => "recv",
+        SENDMSG => "sendmsg",
+        RECVMSG => "recvmsg",
+        BIND => "bind",
+        LISTEN => "listen",
+        CLONE => "clone",
+        EXIT => "exit",
+        UNLINK => "unlink",
+        SYMLINK => "symlink",
+        MKDIR => "mkdir",
+        CHMOD => "chmod",
+        GETTIME => "clock_gettime",
+        EXIT_GROUP => "exit_group",
+        EPOLL_WAIT => "epoll_wait",
+        EPOLL_CTL => "epoll_ctl",
+        EPOLL_CREATE1 => "epoll_create1",
+        ACCEPT4 => "accept4",
+        _ => "unknown",
+    }
+}
+
+/// Argument slots (0-based, in `rdi,rsi,rdx,r10,r8,r9` order) that carry
+/// user-space pointers the kernel dereferences.
+pub fn pointer_args(nr_: u64) -> &'static [usize] {
+    use nr::*;
+    match nr_ {
+        READ | WRITE => &[1],
+        OPEN => &[0],
+        CONNECT | BIND => &[1],
+        ACCEPT | ACCEPT4 => &[1, 2],
+        SENDTO | RECVFROM => &[1],
+        SENDMSG | RECVMSG => &[1],
+        UNLINK | CHMOD | MKDIR => &[0],
+        SYMLINK => &[0, 1],
+        NANOSLEEP => &[0],
+        EPOLL_WAIT => &[1],
+        EPOLL_CTL => &[3],
+        RT_SIGACTION => &[1],
+        GETTIME => &[1],
+        _ => &[],
+    }
+}
+
+/// Whether the kernel reports an invalid user pointer for this syscall
+/// with `-EFAULT` instead of faulting the process. (On real Linux this is
+/// true for essentially all pointer-taking syscalls; the list mirrors the
+/// one the paper maintains for its monitor.)
+pub fn efault_capable(nr_: u64) -> bool {
+    !pointer_args(nr_).is_empty()
+}
+
+/// Syscalls that appear as rows of the paper's Table I.
+pub const TABLE1_SYSCALLS: &[u64] = &[
+    nr::CHMOD,
+    nr::CONNECT,
+    nr::EPOLL_WAIT,
+    nr::MKDIR,
+    nr::OPEN,
+    nr::READ,
+    nr::RECVFROM,
+    nr::SENDTO,
+    nr::SENDMSG,
+    nr::SYMLINK,
+    nr::UNLINK,
+    nr::WRITE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(name(nr::READ), "read");
+        assert_eq!(name(nr::EPOLL_WAIT), "epoll_wait");
+        assert_eq!(name(9999), "unknown");
+    }
+
+    #[test]
+    fn pointer_metadata() {
+        assert_eq!(pointer_args(nr::READ), &[1]);
+        assert_eq!(pointer_args(nr::SYMLINK), &[0, 1]);
+        assert!(pointer_args(nr::CLOSE).is_empty());
+        assert!(efault_capable(nr::RECVFROM));
+        assert!(!efault_capable(nr::LISTEN));
+    }
+
+    #[test]
+    fn table1_rows_are_efault_capable() {
+        for &s in TABLE1_SYSCALLS {
+            assert!(efault_capable(s), "{} must be EFAULT-capable", name(s));
+        }
+    }
+}

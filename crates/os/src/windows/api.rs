@@ -1,0 +1,614 @@
+//! Windows API surface: curated functions plus a generated corpus.
+//!
+//! The paper extracts 20,672 API functions from MSDN and fuzzes the
+//! 11,521 that take pointer arguments to find ~400 that handle invalid
+//! pointers gracefully (§V-B). MSDN is not available here, so the corpus
+//! is generated deterministically with the same funnel proportions; each
+//! entry carries a concrete *behaviour spec* that the dispatcher executes,
+//! so the fuzzer genuinely measures crash resistance instead of reading
+//! ground truth.
+
+use cr_vm::{Access, Fault, Memory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Base virtual address of the API trampoline region.
+pub const API_BASE: u64 = 0x7FF8_0000_0000;
+/// Byte stride between API entry points.
+pub const API_STRIDE: u64 = 16;
+
+/// How an argument slot is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgType {
+    /// Plain scalar (integer/handle).
+    Scalar,
+    /// Pointer the function reads `len` bytes through.
+    PtrIn {
+        /// Bytes read.
+        len: u32,
+    },
+    /// Pointer the function writes `len` bytes through.
+    PtrOut {
+        /// Bytes written.
+        len: u32,
+    },
+}
+
+impl ArgType {
+    /// Whether this is a pointer argument.
+    pub fn is_pointer(self) -> bool {
+        !matches!(self, ArgType::Scalar)
+    }
+}
+
+/// Dispatcher behaviour of an API function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiBehavior {
+    /// Validates every pointer argument first; invalid pointers produce a
+    /// graceful error return — crash-resistant by construction.
+    Graceful {
+        /// Returned on invalid pointer.
+        error_ret: u64,
+        /// Returned on success.
+        success_ret: u64,
+    },
+    /// Dereferences pointer arguments directly in user mode; an invalid
+    /// pointer raises an exception at the call site.
+    RawDeref {
+        /// Returned on success.
+        success_ret: u64,
+    },
+    /// §III-C "swallowed exceptions": the call dereferences its pointers
+    /// across a context boundary (user→kernel→user callbacks) where the
+    /// exception machinery cannot propagate; faults vanish and the call
+    /// reports success either way. "The calling program has no way of
+    /// detecting that an exception occurred" — useless as an oracle, and
+    /// explicitly out of the paper's analysis scope.
+    Swallowing {
+        /// Returned unconditionally.
+        ret: u64,
+    },
+    /// Curated special semantics (see [`SpecialApi`]).
+    Special(SpecialApi),
+}
+
+/// Curated APIs with bespoke semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialApi {
+    /// `VirtualQuery(addr, buf, len)` — the canonical by-design memory
+    /// oracle (validates `buf`, reports the state of `addr`).
+    VirtualQuery,
+    /// `EnterCriticalSection(cs)` — the IE 11 PoC substrate: under
+    /// attacker-settable conditions it dereferences `cs->DebugInfo+0x10`.
+    EnterCriticalSection,
+    /// `LeaveCriticalSection(cs)`.
+    LeaveCriticalSection,
+    /// `AddVectoredExceptionHandler(first, handler)`.
+    AddVectoredExceptionHandler,
+    /// `GetTickCount()` — virtual milliseconds.
+    GetTickCount,
+    /// `Sleep(ms)`.
+    Sleep,
+    /// `WriteConsoleA(h, buf, len, written, _)`.
+    WriteConsole,
+    /// `GetPwrCapabilities(out)` — the paper's example of a query API
+    /// whose out-pointer is stack-allocated by every caller (raw deref).
+    GetPwrCapabilities,
+    /// `VirtualAlloc(addr, size, type, protect)`.
+    VirtualAlloc,
+}
+
+/// One API function: name, prototype, behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiSpec {
+    /// Function name (e.g. `ReadFile` or `ApiFn01234`).
+    pub name: String,
+    /// Argument slots (Windows x64: rcx, rdx, r8, r9).
+    pub args: Vec<ArgType>,
+    /// Dispatcher behaviour.
+    pub behavior: ApiBehavior,
+}
+
+impl ApiSpec {
+    /// Whether the prototype has at least one pointer argument.
+    pub fn has_pointer_arg(&self) -> bool {
+        self.args.iter().any(|a| a.is_pointer())
+    }
+}
+
+/// The process-wide API table: specs and their trampoline addresses.
+#[derive(Debug, Clone)]
+pub struct ApiTable {
+    specs: Vec<ApiSpec>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl ApiTable {
+    /// Build the curated set plus `generated` corpus functions.
+    ///
+    /// `graceful_fraction` of generated pointer-taking functions validate
+    /// their pointers (the paper found 400 of 11,521 ≈ 3.5%).
+    pub fn with_corpus(generated: usize, seed: u64) -> ApiTable {
+        let mut specs = curated();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..generated {
+            let n_args = rng.gen_range(0..=4);
+            let mut args = Vec::new();
+            // Match the paper's 55.7% pointer-taking fraction.
+            let wants_ptr = rng.gen_bool(0.557) && n_args > 0;
+            for a in 0..n_args {
+                if wants_ptr && a == 0 {
+                    let len = *[4u32, 8, 16, 64].get(rng.gen_range(0..4)).unwrap();
+                    if rng.gen_bool(0.5) {
+                        args.push(ArgType::PtrIn { len });
+                    } else {
+                        args.push(ArgType::PtrOut { len });
+                    }
+                } else if rng.gen_bool(0.2) {
+                    args.push(ArgType::PtrIn { len: 8 });
+                } else {
+                    args.push(ArgType::Scalar);
+                }
+            }
+            let has_ptr = args.iter().any(|a| a.is_pointer());
+            // ~3.5% of pointer-taking functions are graceful.
+            let behavior = if has_ptr && rng.gen_bool(0.035) {
+                ApiBehavior::Graceful { error_ret: 0, success_ret: 1 }
+            } else {
+                ApiBehavior::RawDeref { success_ret: 1 }
+            };
+            specs.push(ApiSpec { name: format!("ApiFn{i:05}"), args, behavior });
+        }
+        let by_name = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        ApiTable { specs, by_name }
+    }
+
+    /// Only the curated functions (small targets / unit tests).
+    pub fn curated_only() -> ApiTable {
+        ApiTable::with_corpus(0, 0)
+    }
+
+    /// All specs in address order.
+    pub fn specs(&self) -> &[ApiSpec] {
+        &self.specs
+    }
+
+    /// Trampoline address of the `idx`-th function.
+    pub fn address_of_index(&self, idx: usize) -> u64 {
+        API_BASE + idx as u64 * API_STRIDE
+    }
+
+    /// Trampoline address of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the API does not exist (target build bug).
+    pub fn address_of(&self, name: &str) -> u64 {
+        self.address_of_index(
+            *self
+                .by_name
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown API {name:?}")),
+        )
+    }
+
+    /// Reverse-map an address inside the trampoline region.
+    pub fn spec_at(&self, addr: u64) -> Option<&ApiSpec> {
+        if addr < API_BASE {
+            return None;
+        }
+        let idx = ((addr - API_BASE) / API_STRIDE) as usize;
+        if !(addr - API_BASE).is_multiple_of(API_STRIDE) {
+            return None;
+        }
+        self.specs.get(idx)
+    }
+
+    /// Whether `addr` lies in the trampoline region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= API_BASE && addr < API_BASE + self.specs.len() as u64 * API_STRIDE
+    }
+
+    /// Size of the trampoline region in bytes (for mapping).
+    pub fn region_size(&self) -> u64 {
+        (self.specs.len() as u64 * API_STRIDE + 0xFFF) & !0xFFF
+    }
+}
+
+fn curated() -> Vec<ApiSpec> {
+    use ApiBehavior as B;
+    use ArgType as A;
+    vec![
+        ApiSpec {
+            name: "VirtualQuery".into(),
+            args: vec![A::Scalar, A::PtrOut { len: 48 }, A::Scalar],
+            behavior: B::Special(SpecialApi::VirtualQuery),
+        },
+        ApiSpec {
+            name: "EnterCriticalSection".into(),
+            args: vec![A::PtrIn { len: 40 }],
+            behavior: B::Special(SpecialApi::EnterCriticalSection),
+        },
+        ApiSpec {
+            name: "LeaveCriticalSection".into(),
+            args: vec![A::PtrIn { len: 40 }],
+            behavior: B::Special(SpecialApi::LeaveCriticalSection),
+        },
+        ApiSpec {
+            name: "AddVectoredExceptionHandler".into(),
+            args: vec![A::Scalar, A::Scalar],
+            behavior: B::Special(SpecialApi::AddVectoredExceptionHandler),
+        },
+        ApiSpec {
+            name: "GetTickCount".into(),
+            args: vec![],
+            behavior: B::Special(SpecialApi::GetTickCount),
+        },
+        ApiSpec {
+            name: "Sleep".into(),
+            args: vec![A::Scalar],
+            behavior: B::Special(SpecialApi::Sleep),
+        },
+        ApiSpec {
+            name: "WriteConsoleA".into(),
+            args: vec![A::Scalar, A::PtrIn { len: 1 }, A::Scalar, A::PtrOut { len: 4 }],
+            behavior: B::Special(SpecialApi::WriteConsole),
+        },
+        ApiSpec {
+            name: "GetPwrCapabilities".into(),
+            args: vec![A::PtrOut { len: 76 }],
+            behavior: B::Special(SpecialApi::GetPwrCapabilities),
+        },
+        ApiSpec {
+            name: "VirtualAlloc".into(),
+            args: vec![A::Scalar, A::Scalar, A::Scalar, A::Scalar],
+            behavior: B::Special(SpecialApi::VirtualAlloc),
+        },
+        ApiSpec {
+            name: "ReadFile".into(),
+            args: vec![A::Scalar, A::PtrOut { len: 64 }, A::Scalar, A::PtrOut { len: 4 }],
+            behavior: B::RawDeref { success_ret: 1 },
+        },
+        ApiSpec {
+            name: "WriteFile".into(),
+            args: vec![A::Scalar, A::PtrIn { len: 64 }, A::Scalar, A::PtrOut { len: 4 }],
+            behavior: B::RawDeref { success_ret: 1 },
+        },
+        ApiSpec {
+            name: "IsBadReadPtr".into(),
+            args: vec![A::PtrIn { len: 1 }, A::Scalar],
+            behavior: B::Graceful { error_ret: 1, success_ret: 0 },
+        },
+        ApiSpec {
+            // User→kernel→user callback path: faults are swallowed with no
+            // observable side effect (§III-C).
+            name: "KiUserCallbackDispatch".into(),
+            args: vec![A::PtrIn { len: 16 }, A::Scalar],
+            behavior: B::Swallowing { ret: 0 },
+        },
+    ]
+}
+
+/// Outcome of executing an API behaviour against process memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiOutcome {
+    /// Completed with a return value.
+    Returned(u64),
+    /// Faulted in user mode (exception to dispatch).
+    Faulted(Fault),
+    /// Thread must sleep for `ms` then return 0.
+    SleepFor(u64),
+    /// Registered a VEH handler (address), returns a handle.
+    RegisterVeh(u64),
+}
+
+/// Execute an API behaviour. Pure with respect to scheduling — the caller
+/// (run loop or fuzzer) interprets the outcome.
+pub fn execute_api(spec: &ApiSpec, args: [u64; 4], mem: &mut Memory, vtime: u64) -> ApiOutcome {
+    match spec.behavior {
+        ApiBehavior::Graceful { error_ret, success_ret } => {
+            for (i, a) in spec.args.iter().enumerate() {
+                let ptr = args[i];
+                match a {
+                    ArgType::Scalar => {}
+                    ArgType::PtrIn { len } => {
+                        if mem.check(ptr, *len as u64, Access::Read).is_err() {
+                            return ApiOutcome::Returned(error_ret);
+                        }
+                    }
+                    ArgType::PtrOut { len } => {
+                        if mem.check(ptr, *len as u64, Access::Write).is_err() {
+                            return ApiOutcome::Returned(error_ret);
+                        }
+                    }
+                }
+            }
+            // Touch the memory for real so taint/coverage see it.
+            for (i, a) in spec.args.iter().enumerate() {
+                let ptr = args[i];
+                match a {
+                    ArgType::PtrOut { len } => {
+                        let _ = mem.write(ptr, &vec![0u8; *len as usize]);
+                    }
+                    ArgType::PtrIn { len } => {
+                        let mut buf = vec![0u8; *len as usize];
+                        let _ = mem.read(ptr, &mut buf);
+                    }
+                    ArgType::Scalar => {}
+                }
+            }
+            ApiOutcome::Returned(success_ret)
+        }
+        ApiBehavior::RawDeref { success_ret } => {
+            for (i, a) in spec.args.iter().enumerate() {
+                let ptr = args[i];
+                match a {
+                    ArgType::Scalar => {}
+                    ArgType::PtrIn { len } => {
+                        let mut buf = vec![0u8; *len as usize];
+                        if let Err(f) = mem.read(ptr, &mut buf) {
+                            return ApiOutcome::Faulted(f);
+                        }
+                    }
+                    ArgType::PtrOut { len } => {
+                        if let Err(f) = mem.write(ptr, &vec![0u8; *len as usize]) {
+                            return ApiOutcome::Faulted(f);
+                        }
+                    }
+                }
+            }
+            ApiOutcome::Returned(success_ret)
+        }
+        ApiBehavior::Swallowing { ret } => {
+            // Attempt the accesses; discard any fault without reporting.
+            for (i, a) in spec.args.iter().enumerate() {
+                let ptr = args[i];
+                match a {
+                    ArgType::Scalar => {}
+                    ArgType::PtrIn { len } => {
+                        let mut buf = vec![0u8; *len as usize];
+                        let _ = mem.read(ptr, &mut buf);
+                    }
+                    ArgType::PtrOut { len } => {
+                        let _ = mem.write(ptr, &vec![0u8; *len as usize]);
+                    }
+                }
+            }
+            ApiOutcome::Returned(ret)
+        }
+        ApiBehavior::Special(s) => execute_special(s, args, mem, vtime),
+    }
+}
+
+fn execute_special(s: SpecialApi, args: [u64; 4], mem: &mut Memory, vtime: u64) -> ApiOutcome {
+    match s {
+        SpecialApi::VirtualQuery => {
+            let (addr, buf, len) = (args[0], args[1], args[2]);
+            if len < 48 || mem.check(buf, 48, Access::Write).is_err() {
+                return ApiOutcome::Returned(0);
+            }
+            let mut info = [0u8; 48];
+            let base = addr & !0xFFF;
+            info[0..8].copy_from_slice(&base.to_le_bytes());
+            info[8..16].copy_from_slice(&base.to_le_bytes());
+            let (state, protect) = match mem.prot_at(addr) {
+                Some(p) => {
+                    let prot = match (p.r, p.w, p.x) {
+                        (true, true, _) => 0x04u32,  // PAGE_READWRITE
+                        (true, false, true) => 0x20, // PAGE_EXECUTE_READ
+                        (true, false, false) => 0x02, // PAGE_READONLY
+                        _ => 0x01,                   // PAGE_NOACCESS
+                    };
+                    (0x1000u32, prot) // MEM_COMMIT
+                }
+                None => (0x10000, 0x01), // MEM_FREE
+            };
+            info[24..32].copy_from_slice(&0x1000u64.to_le_bytes()); // RegionSize
+            info[32..36].copy_from_slice(&state.to_le_bytes());
+            info[36..40].copy_from_slice(&protect.to_le_bytes());
+            let _ = mem.write(buf, &info);
+            ApiOutcome::Returned(48)
+        }
+        SpecialApi::EnterCriticalSection => {
+            // CRITICAL_SECTION: +0 DebugInfo, +8 LockCount (i32),
+            // +16 RecursionCount (i32), +24 OwningThread.
+            let cs = args[0];
+            let mut head = [0u8; 32];
+            if let Err(f) = mem.read(cs, &mut head) {
+                return ApiOutcome::Faulted(f);
+            }
+            let debug_info = u64::from_le_bytes(head[0..8].try_into().unwrap());
+            let lock_count = i32::from_le_bytes(head[8..12].try_into().unwrap());
+            let recursion = i32::from_le_bytes(head[16..20].try_into().unwrap());
+            let owning = u64::from_le_bytes(head[24..32].try_into().unwrap());
+            // The "certain circumstances" of the IE PoC: a contended-
+            // looking section with debug info forces a read of
+            // DebugInfo->ContentionCount at +0x10.
+            if lock_count == -2 && recursion == 0 && owning == 0 && debug_info != 0 {
+                let mut probe = [0u8; 4];
+                if let Err(f) = mem.read(debug_info + 0x10, &mut probe) {
+                    return ApiOutcome::Faulted(f);
+                }
+            }
+            // Take the lock: LockCount = 0 (owned, uncontended).
+            let _ = mem.write(cs + 8, &0i32.to_le_bytes());
+            ApiOutcome::Returned(0)
+        }
+        SpecialApi::LeaveCriticalSection => {
+            let cs = args[0];
+            if let Err(f) = mem.write(cs + 8, &(-1i32).to_le_bytes()) {
+                return ApiOutcome::Faulted(f);
+            }
+            ApiOutcome::Returned(0)
+        }
+        SpecialApi::AddVectoredExceptionHandler => ApiOutcome::RegisterVeh(args[1]),
+        SpecialApi::GetTickCount => ApiOutcome::Returned(vtime / crate::STEPS_PER_MS),
+        SpecialApi::Sleep => ApiOutcome::SleepFor(args[0]),
+        SpecialApi::WriteConsole => {
+            let (buf, len, written) = (args[1], args[2], args[3]);
+            let mut data = vec![0u8; len as usize];
+            if let Err(f) = mem.read(buf, &mut data) {
+                return ApiOutcome::Faulted(f);
+            }
+            if written != 0 {
+                let _ = mem.write(written, &(len as u32).to_le_bytes());
+            }
+            ApiOutcome::Returned(1)
+        }
+        SpecialApi::GetPwrCapabilities => {
+            // Graceful query API: validates the out-pointer and reports
+            // failure — a crash-resistant candidate. Unusable in practice
+            // because every caller passes a stack-allocated structure
+            // (the paper's first exclusion reason, §V-B).
+            let out = args[0];
+            if mem.check(out, 76, Access::Write).is_err() {
+                return ApiOutcome::Returned(0);
+            }
+            let _ = mem.write(out, &[0u8; 76]);
+            ApiOutcome::Returned(1)
+        }
+        SpecialApi::VirtualAlloc => {
+            // Deterministic bump allocation in a dedicated arena.
+            let size = (args[1] + 0xFFF) & !0xFFF;
+            // The caller (WinProc) rewrites this to a real address; direct
+            // execution (fuzzer) just reports success.
+            let _ = size;
+            ApiOutcome::Returned(0x6_0000_0000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::Prot;
+
+    #[test]
+    fn corpus_proportions() {
+        let t = ApiTable::with_corpus(2000, 42);
+        let total = t.specs().len();
+        assert!(total > 2000);
+        let with_ptr = t.specs().iter().filter(|s| s.has_pointer_arg()).count();
+        let frac = with_ptr as f64 / total as f64;
+        assert!((0.4..0.7).contains(&frac), "pointer fraction {frac}");
+        let graceful = t
+            .specs()
+            .iter()
+            .filter(|s| {
+                s.has_pointer_arg() && matches!(s.behavior, ApiBehavior::Graceful { .. })
+            })
+            .count();
+        assert!(graceful > 0, "some graceful functions must exist");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = ApiTable::with_corpus(100, 7);
+        let b = ApiTable::with_corpus(100, 7);
+        assert_eq!(a.specs(), b.specs());
+    }
+
+    #[test]
+    fn address_mapping_roundtrips() {
+        let t = ApiTable::curated_only();
+        let addr = t.address_of("VirtualQuery");
+        assert_eq!(t.spec_at(addr).unwrap().name, "VirtualQuery");
+        assert!(t.contains(addr));
+        assert!(!t.contains(API_BASE - 1));
+        assert!(t.spec_at(addr + 1).is_none(), "misaligned address");
+    }
+
+    #[test]
+    fn graceful_behavior_survives_bad_pointer() {
+        let t = ApiTable::curated_only();
+        let spec = t.specs().iter().find(|s| s.name == "IsBadReadPtr").unwrap();
+        let mut mem = Memory::new();
+        let out = execute_api(spec, [0xdead_0000, 8, 0, 0], &mut mem, 0);
+        assert_eq!(out, ApiOutcome::Returned(1)); // "is bad" = 1, no fault
+    }
+
+    #[test]
+    fn rawderef_behavior_faults() {
+        let t = ApiTable::curated_only();
+        let spec = t.specs().iter().find(|s| s.name == "ReadFile").unwrap();
+        let mut mem = Memory::new();
+        match execute_api(spec, [4, 0xdead_0000, 64, 0], &mut mem, 0) {
+            ApiOutcome::Faulted(f) => assert_eq!(f.addr, 0xdead_0000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn swallowing_api_gives_no_feedback() {
+        // The §III-C class: invalid and valid pointers are observationally
+        // identical — success either way, no exception, no error state.
+        let t = ApiTable::curated_only();
+        let spec = t
+            .specs()
+            .iter()
+            .find(|s| s.name == "KiUserCallbackDispatch")
+            .unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x5000, 0x1000, Prot::RW);
+        let good = execute_api(spec, [0x5000, 0, 0, 0], &mut mem, 0);
+        let bad = execute_api(spec, [0xdead_0000, 0, 0, 0], &mut mem, 0);
+        assert_eq!(good, bad, "no way to tell mapped from unmapped");
+        assert_eq!(good, ApiOutcome::Returned(0));
+    }
+
+    #[test]
+    fn swallowing_api_is_not_a_graceful_candidate_confusion() {
+        // The fuzzer will see it as "crash-resistant" (it returns), but it
+        // can never be a *memory oracle*: both outcomes are identical, so
+        // the inference step of the probe loop has nothing to read.
+        let t = ApiTable::curated_only();
+        let spec = t
+            .specs()
+            .iter()
+            .find(|s| s.name == "KiUserCallbackDispatch")
+            .unwrap();
+        assert!(matches!(spec.behavior, ApiBehavior::Swallowing { .. }));
+    }
+
+    #[test]
+    fn virtual_query_is_a_memory_oracle() {
+        let t = ApiTable::curated_only();
+        let spec = t.specs().iter().find(|s| s.name == "VirtualQuery").unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x5000, 0x1000, Prot::RW); // buf
+        mem.map(0x9000, 0x1000, Prot::RX); // probed region
+        // Probe mapped memory.
+        assert_eq!(execute_api(spec, [0x9000, 0x5000, 48, 0], &mut mem, 0), ApiOutcome::Returned(48));
+        let state = mem.read_width(0x5000 + 32, 4).unwrap() as u32;
+        assert_eq!(state, 0x1000, "MEM_COMMIT");
+        // Probe unmapped memory — still no fault, different answer.
+        assert_eq!(execute_api(spec, [0xdead_0000, 0x5000, 48, 0], &mut mem, 0), ApiOutcome::Returned(48));
+        let state = mem.read_width(0x5000 + 32, 4).unwrap() as u32;
+        assert_eq!(state, 0x10000, "MEM_FREE");
+    }
+
+    #[test]
+    fn enter_critical_section_probes_debug_info() {
+        let t = ApiTable::curated_only();
+        let spec = t.specs().iter().find(|s| s.name == "EnterCriticalSection").unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x5000, 0x1000, Prot::RW);
+        // Benign CS: no forced circumstances → no probe, lock taken.
+        mem.write_u64(0x5000, 0xdead_0000).unwrap(); // DebugInfo (bad!)
+        mem.write(0x5008, &(-1i32).to_le_bytes()).unwrap(); // LockCount free
+        assert_eq!(execute_api(spec, [0x5000, 0, 0, 0], &mut mem, 0), ApiOutcome::Returned(0));
+        // Forced circumstances: LockCount = -2 → probes DebugInfo+0x10.
+        mem.write(0x5008, &(-2i32).to_le_bytes()).unwrap();
+        mem.write(0x5010, &0i32.to_le_bytes()).unwrap();
+        mem.write_u64(0x5018, 0).unwrap();
+        match execute_api(spec, [0x5000, 0, 0, 0], &mut mem, 0) {
+            ApiOutcome::Faulted(f) => assert_eq!(f.addr, 0xdead_0010),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! End-to-end tests for the Linux personality: an assembled echo server
+//! run under the emulator, driven over the virtual network — including
+//! the crash-resistance property itself (corrupted pointer argument →
+//! `-EFAULT`, not a crash).
+
+use cr_image::{ElfImage, ElfSegment, SegPerm};
+use cr_isa::{Asm, Cond, Inst, Mem as M, Reg, Rm, Width};
+use cr_os::linux::{syscall::nr, LinuxProc, RunExit};
+use cr_os::OsHook;
+use cr_vm::{Cpu, Hook, Memory, NullHook};
+use Reg::*;
+
+/// Build a single-connection echo server:
+/// socket → bind(8080) → listen → accept → loop { read; echo } → exit.
+fn echo_server() -> ElfImage {
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    // r12 = socket()
+    a.mov_ri(Rax, nr::SOCKET);
+    a.syscall();
+    a.mov_rr(R12, Rax);
+    // carve stack space: sockaddr at rsp, buffer at rsp+16
+    a.sub_ri(Rsp, 128);
+    // sockaddr_in: family=AF_INET(2), port 8080 big-endian (0x1F90)
+    a.inst(Inst::MovRmI {
+        dst: Rm::Mem(M::base(Rsp)),
+        imm: 0x901F_0002u32 as i32,
+        width: Width::B4,
+    });
+    a.mov_ri(Rax, nr::BIND);
+    a.mov_rr(Rdi, R12);
+    a.mov_rr(Rsi, Rsp);
+    a.mov_ri(Rdx, 16);
+    a.syscall();
+    a.mov_ri(Rax, nr::LISTEN);
+    a.mov_rr(Rdi, R12);
+    a.mov_ri(Rsi, 16);
+    a.syscall();
+    // r13 = accept(r12, NULL, NULL)
+    a.mov_ri(Rax, nr::ACCEPT);
+    a.mov_rr(Rdi, R12);
+    a.zero(Rsi);
+    a.zero(Rdx);
+    a.syscall();
+    a.mov_rr(R13, Rax);
+    // loop: read(r13, rsp+16, 64)
+    let top = a.here();
+    a.mov_ri(Rax, nr::READ);
+    a.mov_rr(Rdi, R13);
+    a.lea(Rsi, M::base_disp(Rsp, 16));
+    a.mov_ri(Rdx, 64);
+    a.syscall();
+    let done = a.fresh();
+    a.cmp_ri(Rax, 0);
+    a.jcc(Cond::Le, done); // error or EOF → exit gracefully
+    // write(r13, rsp+16, n)
+    a.mov_rr(Rdx, Rax);
+    a.mov_ri(Rax, nr::WRITE);
+    a.mov_rr(Rdi, R13);
+    a.lea(Rsi, M::base_disp(Rsp, 16));
+    a.syscall();
+    a.jmp(top);
+    a.bind(done);
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.zero(Rdi);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    }
+}
+
+#[test]
+fn echo_server_roundtrip() {
+    let img = echo_server();
+    let mut p = LinuxProc::load(&img);
+    // Boot until blocked in accept.
+    assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Idle);
+    assert!(p.net.is_listening(8080));
+    let conn = p.net.client_connect(8080).unwrap();
+    assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Idle); // blocked in read
+    p.net.client_send(conn, b"hello oracle");
+    assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Idle);
+    assert_eq!(p.net.client_recv(conn, 64), b"hello oracle".to_vec());
+    // EOF → graceful exit.
+    p.net.client_close(conn);
+    assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Exited(0));
+}
+
+/// The §III-A.1 monitor: corrupt the `read` buffer pointer at the
+/// syscall boundary and observe whether the server survives.
+struct PointerCorruptor {
+    target_nr: u64,
+    bad_addr: u64,
+    fired: bool,
+    efaults_seen: u32,
+}
+
+impl Hook for PointerCorruptor {}
+
+impl OsHook for PointerCorruptor {
+    fn on_syscall(&mut self, _tid: u32, cpu: &mut Cpu, _mem: &Memory) {
+        if cpu.reg(Rax) == self.target_nr && !self.fired {
+            cpu.set_reg(Rsi, self.bad_addr); // invalidate the buffer arg
+            self.fired = true;
+        }
+    }
+
+    fn on_syscall_ret(&mut self, _tid: u32, nr_: u64, ret: i64) {
+        if nr_ == self.target_nr && ret == -14 {
+            self.efaults_seen += 1;
+        }
+    }
+}
+
+#[test]
+fn corrupted_read_pointer_yields_efault_not_crash() {
+    let img = echo_server();
+    let mut p = LinuxProc::load(&img);
+    p.run(1_000_000, &mut NullHook);
+    let conn = p.net.client_connect(8080).unwrap();
+    p.run(1_000_000, &mut NullHook);
+    p.net.client_send(conn, b"probe");
+    let mut mon =
+        PointerCorruptor { target_nr: nr::READ, bad_addr: 0xdead_0000, fired: false, efaults_seen: 0 };
+    let exit = p.run(1_000_000, &mut mon);
+    // The kernel reported EFAULT; the server's error path exited
+    // gracefully. Crucially: NOT Crashed.
+    assert_eq!(exit, RunExit::Exited(0));
+    assert!(mon.fired);
+    assert_eq!(mon.efaults_seen, 1);
+    assert_eq!(p.efault_count, 1);
+    assert!(p.crash().is_none());
+}
+
+#[test]
+fn direct_bad_dereference_crashes() {
+    // A server bug (or non-syscall probe) still crashes: dereference in
+    // user code has no EFAULT safety net.
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    a.mov_ri(Rdi, 0xdead_beef_0000);
+    a.load(Rax, M::base(Rdi));
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    match p.run(10_000, &mut NullHook) {
+        RunExit::Crashed(c) => {
+            assert_eq!(c.signal, 11);
+            assert_eq!(c.fault.unwrap().addr, 0xdead_beef_0000);
+        }
+        other => panic!("expected crash, got {other:?}"),
+    }
+}
+
+#[test]
+fn filesystem_syscalls() {
+    // open/read a seeded file; mkdir/symlink/unlink/chmod error paths.
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    let path = a.fresh();
+    a.sub_ri(Rsp, 256);
+    // open("/motd", 0)
+    a.lea_label(Rdi, path);
+    a.zero(Rsi);
+    a.mov_ri(Rax, nr::OPEN);
+    a.syscall();
+    a.mov_rr(R12, Rax);
+    // read(fd, rsp, 32)
+    a.mov_rr(Rdi, R12);
+    a.mov_rr(Rsi, Rsp);
+    a.mov_ri(Rdx, 32);
+    a.mov_ri(Rax, nr::READ);
+    a.syscall();
+    // write(1, rsp, rax) — echo file to stdout
+    a.mov_rr(Rdx, Rax);
+    a.mov_ri(Rax, nr::WRITE);
+    a.mov_ri(Rdi, 1);
+    a.mov_rr(Rsi, Rsp);
+    a.syscall();
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.zero(Rdi);
+    a.syscall();
+    a.bind(path);
+    a.bytes(b"/motd\0");
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    p.vfs.write_file("/motd", b"welcome").unwrap();
+    assert_eq!(p.run(100_000, &mut NullHook), RunExit::Exited(0));
+    assert_eq!(p.console, b"welcome");
+}
+
+#[test]
+fn epoll_timeout_advances_virtual_time() {
+    // epoll_create1 → epoll_wait(timeout=5ms) with no fds → returns 0
+    // after ~5000 virtual steps.
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    a.sub_ri(Rsp, 256);
+    a.mov_ri(Rax, nr::EPOLL_CREATE1);
+    a.zero(Rdi);
+    a.syscall();
+    a.mov_rr(R12, Rax);
+    a.mov_ri(Rax, nr::EPOLL_WAIT);
+    a.mov_rr(Rdi, R12);
+    a.mov_rr(Rsi, Rsp);
+    a.mov_ri(Rdx, 4);
+    a.mov_ri(R10, 5); // 5 ms
+    a.syscall();
+    a.mov_rr(Rdi, Rax); // exit code = epoll_wait return (0 expected)
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Exited(0));
+    assert!(p.vtime >= 5000, "virtual time must cover the timeout, got {}", p.vtime);
+}
+
+#[test]
+fn epoll_wait_bad_events_pointer_is_efault() {
+    // THE crash-resistant primitive of Cherokee/PostgreSQL: an invalid
+    // events buffer pointer produces -EFAULT, observable, no crash.
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    a.mov_ri(Rax, nr::EPOLL_CREATE1);
+    a.zero(Rdi);
+    a.syscall();
+    a.mov_rr(Rdi, Rax);
+    a.mov_ri(Rax, nr::EPOLL_WAIT);
+    a.mov_ri(Rsi, 0xdead_0000); // invalid events buffer
+    a.mov_ri(Rdx, 4);
+    a.mov_ri(R10, 1000);
+    a.syscall();
+    // exit code: 1 if rax == -EFAULT(-14) else 0
+    a.cmp_ri(Rax, -14);
+    a.mov_ri(Rdi, 0);
+    let not = a.fresh();
+    a.jcc(Cond::Ne, not);
+    a.mov_ri(Rdi, 1);
+    a.bind(not);
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    assert_eq!(p.run(100_000, &mut NullHook), RunExit::Exited(1));
+    assert!(p.alive() || p.crash().is_none());
+}
+
+#[test]
+fn clone_spawns_worker_thread() {
+    // Parent clones; child writes to console and exits; parent exits.
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    // child stack via mmap
+    a.mov_ri(Rax, nr::MMAP);
+    a.zero(Rdi);
+    a.mov_ri(Rsi, 0x4000);
+    a.syscall();
+    a.add_ri(Rax, 0x3000);
+    a.mov_rr(Rsi, Rax); // child stack top
+    a.mov_ri(Rax, nr::CLONE);
+    a.zero(Rdi);
+    a.syscall();
+    a.cmp_ri(Rax, 0);
+    let child = a.fresh();
+    a.jcc(Cond::E, child);
+    // parent: exit(7) — thread exit; process ends when all threads exit.
+    a.mov_ri(Rax, nr::EXIT);
+    a.mov_ri(Rdi, 7);
+    a.syscall();
+    a.bind(child);
+    let msg = a.fresh();
+    a.mov_ri(Rax, nr::WRITE);
+    a.mov_ri(Rdi, 1);
+    a.lea_label(Rsi, msg);
+    a.mov_ri(Rdx, 5);
+    a.syscall();
+    a.mov_ri(Rax, nr::EXIT);
+    a.zero(Rdi);
+    a.syscall();
+    a.bind(msg);
+    a.bytes(b"child");
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    match p.run(1_000_000, &mut NullHook) {
+        RunExit::Exited(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(p.console, b"child");
+}
+
+#[test]
+fn sigsegv_handler_intercepts_fault() {
+    // A registered SIGSEGV handler receives control instead of crashing —
+    // the signal-based flavour of crash resistance on Linux (§III-B).
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    let handler = a.fresh();
+    // rt_sigaction(SIGSEGV, &act, 0, 8) with act.sa_handler at offset 0.
+    a.sub_ri(Rsp, 64);
+    a.mov_label_addr(Rax, handler);
+    a.store(M::base(Rsp), Rax);
+    a.mov_ri(Rdi, 11);
+    a.mov_rr(Rsi, Rsp);
+    a.zero(Rdx);
+    a.mov_ri(R10, 8);
+    a.mov_ri(Rax, nr::RT_SIGACTION);
+    a.syscall();
+    // Fault on purpose.
+    a.mov_ri(Rdi, 0xdead_0000);
+    a.load(Rax, M::base(Rdi));
+    a.ud2(); // unreachable
+    a.bind(handler);
+    // Handler: exit(42) — prove we got here.
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.mov_ri(Rdi, 42);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    assert_eq!(p.run(100_000, &mut NullHook), RunExit::Exited(42));
+    assert!(p.crash().is_none(), "handler made the fault survivable");
+}
+
+#[test]
+fn mprotect_enforces_new_permissions() {
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    // mmap a page, write, mprotect to read-only, write again (crash).
+    a.zero(Rdi);
+    a.mov_ri(Rsi, 0x1000);
+    a.mov_ri(Rax, nr::MMAP);
+    a.syscall();
+    a.mov_rr(R12, Rax);
+    a.store_i(M::base(R12), 7);
+    a.mov_rr(Rdi, R12);
+    a.mov_ri(Rsi, 0x1000);
+    a.mov_ri(Rdx, 1); // PROT_READ
+    a.mov_ri(Rax, nr::MPROTECT);
+    a.syscall();
+    a.store_i(M::base(R12), 8); // faults
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.zero(Rdi);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    match p.run(100_000, &mut NullHook) {
+        RunExit::Crashed(c) => {
+            let f = c.fault.unwrap();
+            assert!(f.mapped, "permission fault on mapped memory");
+        }
+        other => panic!("expected crash, got {other:?}"),
+    }
+}
+
+#[test]
+fn sendmsg_efault_on_bad_msghdr() {
+    // sendmsg validates the msghdr structure itself — an invalid struct
+    // pointer is an EFAULT, not a crash (a Table I row).
+    let mut a = Asm::new(0x40_0000);
+    a.global("entry");
+    a.mov_ri(Rax, nr::SOCKET);
+    a.syscall();
+    a.mov_rr(Rdi, Rax);
+    a.mov_ri(Rsi, 0xdead_0000); // bad msghdr
+    a.mov_ri(Rax, nr::SENDMSG);
+    a.syscall();
+    a.cmp_ri(Rax, -14);
+    a.mov_ri(Rdi, 0);
+    let ne = a.fresh();
+    a.jcc(Cond::Ne, ne);
+    a.mov_ri(Rdi, 1);
+    a.bind(ne);
+    a.mov_ri(Rax, nr::EXIT_GROUP);
+    a.syscall();
+    let asm = a.assemble().unwrap();
+    let img = ElfImage {
+        entry: asm.sym("entry"),
+        segments: vec![ElfSegment {
+            vaddr: asm.base,
+            memsz: asm.code.len() as u64,
+            data: asm.code,
+            perm: SegPerm::RX,
+        }],
+        symbols: asm.symbols,
+    };
+    let mut p = LinuxProc::load(&img);
+    assert_eq!(p.run(100_000, &mut NullHook), RunExit::Exited(1));
+    assert_eq!(p.efault_count, 1);
+}

@@ -1,0 +1,318 @@
+//! End-to-end tests for the Windows personality: SEH dispatch with
+//! emulator-executed filters, VEH handlers, API dispatch and the
+//! fault log the rate-based defense consumes.
+
+use cr_image::{FilterRef, Machine, PeBuilder, PeImage, ScopeEntry};
+use cr_isa::{Asm, Cond, Inst, Mem as M, Reg, Rm, Width};
+use cr_os::windows::{CallOutcome, WinProc, STATUS_ACCESS_VIOLATION};
+use cr_os::windows::api::ApiTable;
+use cr_vm::NullHook;
+use Reg::*;
+
+const BASE: u64 = 0x1_8000_0000;
+
+/// Build a DLL exposing:
+/// * `ProbeGuarded(ptr)` — `__try { rax = *ptr } __except(catch-all) { rax = -1 }`
+/// * `ProbeFiltered(ptr)` — same but with a filter accepting only AV
+/// * `ProbeUnguarded(ptr)` — raw dereference
+/// * `FilterAvOnly` — the filter function (returns 1 iff code == AV)
+fn probe_dll() -> PeImage {
+    let mut a = Asm::new(BASE + 0x1000);
+    a.global("ProbeGuarded");
+    a.global("try_begin_1");
+    a.load(Rax, M::base(Rcx)); // guarded dereference
+    a.global("try_end_1");
+    a.ret();
+    a.global("except_1");
+    a.mov_ri(Rax, u64::MAX);
+    a.ret();
+    a.align(16);
+
+    a.global("ProbeFiltered");
+    a.global("try_begin_2");
+    a.load(Rax, M::base(Rcx));
+    a.global("try_end_2");
+    a.ret();
+    a.global("except_2");
+    a.mov_ri(Rax, u64::MAX - 1);
+    a.ret();
+    a.align(16);
+
+    a.global("ProbeUnguarded");
+    a.load(Rax, M::base(Rcx));
+    a.ret();
+    a.align(16);
+
+    // Filter: accept only access violations.
+    a.global("FilterAvOnly");
+    a.load(Rax, M::base(Rcx)); // rax = &EXCEPTION_RECORD
+    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+    a.inst(Inst::AluRmI {
+        op: cr_isa::AluOp::Cmp,
+        dst: Rm::Reg(Rax),
+        imm: STATUS_ACCESS_VIOLATION as i32,
+        width: Width::B4,
+    });
+    let no = a.fresh();
+    a.jcc(Cond::Ne, no);
+    a.mov_ri(Rax, 1);
+    a.ret();
+    a.bind(no);
+    a.zero(Rax);
+    a.ret();
+    a.global("code_end");
+
+    let asm = a.assemble().unwrap();
+    let rva = |name: &str| (asm.sym(name) - BASE) as u32;
+    let mut b = PeBuilder::new("probe.dll", Machine::X64, BASE);
+    b.entry(rva("ProbeGuarded"));
+    for name in ["ProbeGuarded", "ProbeFiltered", "ProbeUnguarded", "FilterAvOnly"] {
+        b.export(name, rva(name));
+    }
+    b.function_with_seh(
+        rva("ProbeGuarded"),
+        rva("ProbeFiltered"),
+        rva("FilterAvOnly"), // handler routine rva (unused placeholder)
+        vec![ScopeEntry {
+            begin_rva: rva("try_begin_1"),
+            end_rva: rva("try_end_1"),
+            filter: FilterRef::CatchAll,
+            target_rva: rva("except_1"),
+        }],
+    );
+    b.function_with_seh(
+        rva("ProbeFiltered"),
+        rva("ProbeUnguarded"),
+        rva("FilterAvOnly"),
+        vec![ScopeEntry {
+            begin_rva: rva("try_begin_2"),
+            end_rva: rva("try_end_2"),
+            filter: FilterRef::Function(rva("FilterAvOnly")),
+            target_rva: rva("except_2"),
+        }],
+    );
+    b.function(rva("ProbeUnguarded"), rva("FilterAvOnly"));
+    b.function(rva("FilterAvOnly"), rva("code_end"));
+    let code_size = (asm.sym("code_end") - (BASE + 0x1000)) as usize;
+    let mut text = asm.code;
+    text.truncate(code_size.max(text.len().min(code_size + 16)));
+    b.text(0x1000, text);
+    PeImage::parse(&b.build()).unwrap()
+}
+
+fn setup() -> (WinProc, PeImage) {
+    let img = probe_dll();
+    let mut p = WinProc::new(ApiTable::curated_only());
+    p.load_module(&img);
+    (p, img)
+}
+
+#[test]
+fn guarded_probe_survives_unmapped_read() {
+    let (mut p, img) = setup();
+    let f = img.image_base + img.exports["ProbeGuarded"] as u64;
+    // Probe an unmapped address: caught by the catch-all scope.
+    match p.call(f, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, u64::MAX, "__except block ran"),
+        other => panic!("{other:?}"),
+    }
+    assert!(p.alive());
+    assert_eq!(p.fault_log.len(), 1);
+    assert!(p.fault_log[0].handled);
+    assert_eq!(p.fault_log[0].addr, Some(0xdead_0000));
+}
+
+#[test]
+fn guarded_probe_reads_mapped_memory() {
+    let (mut p, img) = setup();
+    let f = img.image_base + img.exports["ProbeGuarded"] as u64;
+    p.mem.map(0x5000, 0x1000, cr_vm::Prot::RW);
+    p.mem.write_u64(0x5000, 0x1234_5678).unwrap();
+    match p.call(f, &[0x5000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, 0x1234_5678),
+        other => panic!("{other:?}"),
+    }
+    assert!(p.fault_log.is_empty(), "no exception for a valid probe");
+}
+
+#[test]
+fn filtered_probe_runs_filter_in_emulator() {
+    let (mut p, img) = setup();
+    let f = img.image_base + img.exports["ProbeFiltered"] as u64;
+    match p.call(f, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, u64::MAX - 1),
+        other => panic!("{other:?}"),
+    }
+    assert!(p.alive());
+}
+
+#[test]
+fn unguarded_probe_crashes_the_process() {
+    let (mut p, img) = setup();
+    let f = img.image_base + img.exports["ProbeUnguarded"] as u64;
+    match p.call(f, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        CallOutcome::Crashed(c) => {
+            assert_eq!(c.fault.unwrap().addr, 0xdead_0000);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(!p.alive());
+    assert_eq!(p.fault_log.len(), 1);
+    assert!(!p.fault_log[0].handled);
+}
+
+#[test]
+fn veh_handler_swallows_fault() {
+    // A VEH handler returning EXCEPTION_CONTINUE_EXECUTION (-1) makes an
+    // otherwise-fatal dereference survivable — the Firefox-style oracle.
+    let (mut p, img) = setup();
+    // Build the VEH handler in fresh memory: return -1 for AV, 0 else.
+    let mut a = Asm::new(0x2_0000_0000);
+    a.global("veh");
+    a.load(Rax, M::base(Rcx));
+    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+    a.inst(Inst::AluRmI {
+        op: cr_isa::AluOp::Cmp,
+        dst: Rm::Reg(Rax),
+        imm: STATUS_ACCESS_VIOLATION as i32,
+        width: Width::B4,
+    });
+    let no = a.fresh();
+    a.jcc(Cond::Ne, no);
+    a.mov_ri(Rax, u64::MAX); // -1 = EXCEPTION_CONTINUE_EXECUTION
+    a.ret();
+    a.bind(no);
+    a.zero(Rax);
+    a.ret();
+    let code = a.assemble().unwrap();
+    p.mem.map(0x2_0000_0000, 0x1000, cr_vm::Prot::RX);
+    p.mem.poke(0x2_0000_0000, &code.code).unwrap();
+    p.add_veh(0x2_0000_0000);
+
+    let f = img.image_base + img.exports["ProbeUnguarded"] as u64;
+    match p.call(f, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        // The faulting load is skipped; rax holds whatever was there (0).
+        CallOutcome::Returned(_) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(p.alive(), "VEH made the probe crash-resistant");
+    assert!(p.fault_log[0].handled);
+}
+
+#[test]
+fn api_dispatch_and_virtual_query_oracle() {
+    // Guest code calling VirtualQuery through the trampoline.
+    let mut a = Asm::new(0x3_0000_0000);
+    a.global("QueryState");
+    // rcx = probe addr (arg); rdx = buf (static); r8 = 48
+    let api = ApiTable::curated_only();
+    a.mov_ri(Rdx, 0x3_0000_2000);
+    a.mov_ri(R8, 48);
+    a.mov_ri(Rax, api.address_of("VirtualQuery"));
+    a.call_reg(Rax);
+    // return the State dword
+    a.mov_ri(Rdx, 0x3_0000_2000 + 32);
+    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rdx)), width: Width::B4 });
+    a.ret();
+    let code = a.assemble().unwrap();
+
+    let mut p = WinProc::new(api);
+    p.mem.map(0x3_0000_0000, 0x1000, cr_vm::Prot::RX);
+    p.mem.poke(0x3_0000_0000, &code.code).unwrap();
+    p.mem.map(0x3_0000_2000, 0x1000, cr_vm::Prot::RW);
+
+    // Mapped probe → MEM_COMMIT (0x1000).
+    match p.call(0x3_0000_0000, &[0x3_0000_2000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, 0x1000),
+        other => panic!("{other:?}"),
+    }
+    // Unmapped probe → MEM_FREE (0x10000) — still alive. A memory oracle.
+    match p.call(0x3_0000_0000, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, 0x10000),
+        other => panic!("{other:?}"),
+    }
+    assert!(p.alive());
+    assert!(p.fault_log.is_empty());
+}
+
+#[test]
+fn background_thread_runs_between_calls() {
+    // A background thread increments a counter in memory each loop.
+    let mut a = Asm::new(0x4_0000_0000);
+    a.global("worker");
+    let top = a.here();
+    a.mov_ri(Rbx, 0x4_0000_2000);
+    a.load(Rax, M::base(Rbx));
+    a.add_ri(Rax, 1);
+    a.store(M::base(Rbx), Rax);
+    a.hlt(); // yield
+    a.jmp(top);
+    let code = a.assemble().unwrap();
+    let mut p = WinProc::new(ApiTable::curated_only());
+    p.mem.map(0x4_0000_0000, 0x1000, cr_vm::Prot::RX);
+    p.mem.poke(0x4_0000_0000, &code.code).unwrap();
+    p.mem.map(0x4_0000_2000, 0x1000, cr_vm::Prot::RW);
+    p.spawn_thread(0x4_0000_0000, 0);
+    p.run(10_000, &mut NullHook);
+    let count = p.mem.read_u64(0x4_0000_2000).unwrap();
+    assert!(count > 10, "worker must have iterated, got {count}");
+}
+
+#[test]
+fn sleep_api_advances_time() {
+    let api = ApiTable::curated_only();
+    let mut a = Asm::new(0x5_0000_0000);
+    a.global("napper");
+    a.mov_ri(Rcx, 3); // 3 ms
+    a.mov_ri(Rax, api.address_of("Sleep"));
+    a.call_reg(Rax);
+    a.ret();
+    let code = a.assemble().unwrap();
+    let mut p = WinProc::new(api);
+    p.mem.map(0x5_0000_0000, 0x1000, cr_vm::Prot::RX);
+    p.mem.poke(0x5_0000_0000, &code.code).unwrap();
+    let before = p.vtime;
+    match p.call(0x5_0000_0000, &[], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(_) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(p.vtime - before >= 3000, "Sleep(3) must advance ≥3000 steps");
+}
+
+#[test]
+fn strict_policy_blocks_seh_for_unmapped_but_not_guard_pages() {
+    // §VII-C: with the mapped-only policy, a guarded probe of unmapped
+    // memory is fatal even though a catch-all scope covers it — while a
+    // probe of a mapped PROT_NONE page is still caught.
+    let (mut p, img) = setup();
+    p.strict_unmapped_policy = true;
+    let f = img.image_base + img.exports["ProbeGuarded"] as u64;
+    // Mapped guard page: still handled.
+    p.mem.map(0x7000, 0x1000, cr_vm::Prot::NONE);
+    match p.call(f, &[0x7000], 1_000_000, &mut NullHook) {
+        CallOutcome::Returned(v) => assert_eq!(v, u64::MAX),
+        other => panic!("guard-page probe must stay handled: {other:?}"),
+    }
+    assert!(p.alive());
+    // Unmapped: fatal despite the catch-all.
+    match p.call(f, &[0xdead_0000], 1_000_000, &mut NullHook) {
+        CallOutcome::Crashed(c) => assert!(!c.fault.unwrap().mapped),
+        other => panic!("unmapped probe must be fatal under the policy: {other:?}"),
+    }
+    assert_eq!(p.fault_log.len(), 2);
+    assert!(p.fault_log[0].handled && p.fault_log[0].mapped);
+    assert!(!p.fault_log[1].handled && !p.fault_log[1].mapped);
+}
+
+#[test]
+fn fault_log_orders_by_virtual_time() {
+    let (mut p, img) = setup();
+    let f = img.image_base + img.exports["ProbeGuarded"] as u64;
+    for i in 0..5u64 {
+        p.call(f, &[0xdead_0000 + i * 0x1000], 1_000_000, &mut NullHook);
+    }
+    assert_eq!(p.fault_log.len(), 5);
+    for w in p.fault_log.windows(2) {
+        assert!(w[0].vtime <= w[1].vtime);
+    }
+}

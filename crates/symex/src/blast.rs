@@ -1,0 +1,445 @@
+//! Tseitin bit-blasting of bitvector constraints to CNF.
+//!
+//! Turns [`BoolExpr`] constraint sets into [`Cnf`] formulas and decodes
+//! satisfying assignments back into per-variable bitvector values. This is
+//! the decision procedure behind filter vetting: the only query class the
+//! pipeline needs is QF_BV satisfiability, so a ripple-carry/comparator
+//! encoding plus DPLL replaces the paper's use of Z3.
+
+use crate::expr::{mask_of, BinOp, BoolExpr, CmpOp, Expr};
+use crate::sat::{solve, Cnf, SolveOutcome};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A satisfying assignment: variable name → value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+}
+
+impl Model {
+    /// Value of `name` (0 if the variable did not occur).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The formula uses a construct the encoder cannot handle
+    /// (currently: shifts by non-constant amounts).
+    Unknown(&'static str),
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Check satisfiability of the conjunction of `constraints`.
+pub fn check(constraints: &[BoolExpr]) -> SatResult {
+    let mut b = Blaster::new();
+    let mut roots = Vec::new();
+    for c in constraints {
+        match c {
+            BoolExpr::True => continue,
+            BoolExpr::False => return SatResult::Unsat,
+            _ => match b.bool_lit(c) {
+                Ok(l) => roots.push(l),
+                Err(e) => return SatResult::Unknown(e),
+            },
+        }
+    }
+    for l in roots {
+        b.cnf.clause(&[l]);
+    }
+    match solve(&b.cnf) {
+        SolveOutcome::Unsat => SatResult::Unsat,
+        SolveOutcome::BudgetExhausted => SatResult::Unknown("SAT decision budget exhausted"),
+        SolveOutcome::Sat(assign) => {
+            let mut model = Model::default();
+            for (name, (bits, lits)) in &b.vars {
+                let mut v = 0u64;
+                for (i, &lit) in lits.iter().enumerate() {
+                    if assign[(lit.unsigned_abs() - 1) as usize] {
+                        v |= 1 << i;
+                    }
+                }
+                model.values.insert(name.clone(), v & mask_of(*bits));
+            }
+            SatResult::Sat(model)
+        }
+    }
+}
+
+struct Blaster {
+    cnf: Cnf,
+    /// Constant-true literal.
+    t: i32,
+    /// name → (bits, bit literals LSB-first, length = bits).
+    vars: HashMap<String, (u32, Vec<i32>)>,
+    /// Expression cache by DAG node identity.
+    cache: HashMap<usize, Vec<i32>>,
+}
+
+type Bits = Vec<i32>;
+
+impl Blaster {
+    fn new() -> Blaster {
+        let mut cnf = Cnf::new();
+        let t = cnf.fresh();
+        cnf.clause(&[t]);
+        Blaster { cnf, t, vars: HashMap::new(), cache: HashMap::new() }
+    }
+
+    fn lit_false(&self) -> i32 {
+        -self.t
+    }
+
+    fn const_bits(&self, v: u64) -> Bits {
+        (0..64)
+            .map(|i| if v & (1 << i) != 0 { self.t } else { -self.t })
+            .collect()
+    }
+
+    fn and_gate(&mut self, a: i32, b: i32) -> i32 {
+        if a == self.t {
+            return b;
+        }
+        if b == self.t {
+            return a;
+        }
+        if a == -self.t || b == -self.t {
+            return -self.t;
+        }
+        let o = self.cnf.fresh();
+        self.cnf.clause(&[-o, a]);
+        self.cnf.clause(&[-o, b]);
+        self.cnf.clause(&[o, -a, -b]);
+        o
+    }
+
+    fn or_gate(&mut self, a: i32, b: i32) -> i32 {
+        -self.and_gate(-a, -b)
+    }
+
+    fn xor_gate(&mut self, a: i32, b: i32) -> i32 {
+        if a == self.t {
+            return -b;
+        }
+        if a == -self.t {
+            return b;
+        }
+        if b == self.t {
+            return -a;
+        }
+        if b == -self.t {
+            return a;
+        }
+        let o = self.cnf.fresh();
+        self.cnf.clause(&[-o, a, b]);
+        self.cnf.clause(&[-o, -a, -b]);
+        self.cnf.clause(&[o, -a, b]);
+        self.cnf.clause(&[o, a, -b]);
+        o
+    }
+
+    fn xor3(&mut self, a: i32, b: i32, c: i32) -> i32 {
+        let ab = self.xor_gate(a, b);
+        self.xor_gate(ab, c)
+    }
+
+    fn maj(&mut self, a: i32, b: i32, c: i32) -> i32 {
+        let ab = self.and_gate(a, b);
+        let ac = self.and_gate(a, c);
+        let bc = self.and_gate(b, c);
+        let t = self.or_gate(ab, ac);
+        self.or_gate(t, bc)
+    }
+
+    fn adder(&mut self, a: &Bits, b: &Bits, carry_in: i32) -> Bits {
+        let mut out = Vec::with_capacity(64);
+        let mut carry = carry_in;
+        for i in 0..64 {
+            out.push(self.xor3(a[i], b[i], carry));
+            carry = self.maj(a[i], b[i], carry);
+        }
+        out
+    }
+
+    fn expr_bits(&mut self, e: &Rc<Expr>) -> Result<Bits, &'static str> {
+        let key = Rc::as_ptr(e) as usize;
+        if let Some(b) = self.cache.get(&key) {
+            return Ok(b.clone());
+        }
+        let bits = match &**e {
+            Expr::Const(v) => self.const_bits(*v),
+            Expr::Var { name, bits } => {
+                if !self.vars.contains_key(name) {
+                    let lits: Vec<i32> = (0..*bits).map(|_| self.cnf.fresh()).collect();
+                    self.vars.insert(name.clone(), (*bits, lits));
+                }
+                let (nbits, lits) = &self.vars[name];
+                let mut full = lits.clone();
+                debug_assert_eq!(*nbits as usize, full.len());
+                full.resize(64, self.lit_false());
+                full
+            }
+            Expr::Bin(op, a, b) => {
+                let ab = self.expr_bits(a)?;
+                let bb = self.expr_bits(b)?;
+                match op {
+                    BinOp::And => (0..64).map(|i| self.and_gate(ab[i], bb[i])).collect(),
+                    BinOp::Or => (0..64).map(|i| self.or_gate(ab[i], bb[i])).collect(),
+                    BinOp::Xor => (0..64).map(|i| self.xor_gate(ab[i], bb[i])).collect(),
+                    BinOp::Add => self.adder(&ab, &bb, self.lit_false()),
+                    BinOp::Sub => {
+                        let nb: Bits = bb.iter().map(|&l| -l).collect();
+                        self.adder(&ab, &nb, self.t)
+                    }
+                    BinOp::Shl | BinOp::Shr => {
+                        let n: usize = b.as_const().ok_or("shift by non-constant amount")? as usize;
+                        let mut out = vec![self.lit_false(); 64];
+                        for i in 0..64usize {
+                            let src = if *op == BinOp::Shl {
+                                i.checked_sub(n)
+                            } else {
+                                let j = i + n;
+                                (j < 64).then_some(j)
+                            };
+                            if let Some(s) = src {
+                                out[i] = ab[s];
+                            }
+                        }
+                        out
+                    }
+                }
+            }
+            Expr::Not(a) => {
+                let ab = self.expr_bits(a)?;
+                ab.iter().map(|&l| -l).collect()
+            }
+        };
+        self.cache.insert(key, bits.clone());
+        Ok(bits)
+    }
+
+    fn eq_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
+        let mut acc = self.t;
+        for i in 0..width as usize {
+            let x = self.xor_gate(a[i], b[i]);
+            acc = self.and_gate(acc, -x);
+        }
+        acc
+    }
+
+    fn ult_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
+        // LSB-to-MSB borrow chain: lt = (!a & b) | ((a == b) & lt_prev)
+        let mut lt = self.lit_false();
+        for i in 0..width as usize {
+            let na_and_b = self.and_gate(-a[i], b[i]);
+            let eq = -self.xor_gate(a[i], b[i]);
+            let keep = self.and_gate(eq, lt);
+            lt = self.or_gate(na_and_b, keep);
+        }
+        lt
+    }
+
+    fn bool_lit(&mut self, e: &BoolExpr) -> Result<i32, &'static str> {
+        Ok(match e {
+            BoolExpr::True => self.t,
+            BoolExpr::False => self.lit_false(),
+            BoolExpr::Cmp { op, width, a, b } => {
+                let ab = self.expr_bits(a)?;
+                let bb = self.expr_bits(b)?;
+                match op {
+                    CmpOp::Eq => self.eq_lit(&ab, &bb, *width),
+                    CmpOp::Ne => -self.eq_lit(&ab, &bb, *width),
+                    CmpOp::Ult => self.ult_lit(&ab, &bb, *width),
+                    CmpOp::Slt => {
+                        // Flip sign bits then unsigned compare.
+                        let s = (*width - 1) as usize;
+                        let mut af = ab.clone();
+                        let mut bf = bb.clone();
+                        af[s] = -af[s];
+                        bf[s] = -bf[s];
+                        self.ult_lit(&af, &bf, *width)
+                    }
+                }
+            }
+            BoolExpr::And(a, b) => {
+                let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
+                self.and_gate(la, lb)
+            }
+            BoolExpr::Or(a, b) => {
+                let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
+                self.or_gate(la, lb)
+            }
+            BoolExpr::Not(a) => -self.bool_lit(a)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, BoolExpr, CmpOp, Expr};
+
+    fn eq64(a: Rc<Expr>, b: Rc<Expr>) -> BoolExpr {
+        BoolExpr::cmp(CmpOp::Eq, 64, a, b)
+    }
+
+    #[test]
+    fn var_equality_model() {
+        let x = Expr::var("x", 32);
+        let r = check(&[eq64(x, Expr::c(0xC000_0005))]);
+        match r {
+            SatResult::Sat(m) => assert_eq!(m.get("x"), 0xC000_0005),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_width_bounds_values() {
+        // An 8-bit variable can never equal 0x100.
+        let x = Expr::var("x", 8);
+        assert_eq!(check(&[eq64(x, Expr::c(0x100))]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn addition_is_correct() {
+        let x = Expr::var("x", 64);
+        let y = Expr::var("y", 64);
+        let sum = Expr::bin(BinOp::Add, x.clone(), y.clone());
+        let cs = [
+            eq64(x, Expr::c(0xFFFF_FFFF_FFFF_FFF0)),
+            eq64(y, Expr::c(0x20)),
+            eq64(sum, Expr::c(0x10)), // wraps
+        ];
+        assert!(check(&cs).is_sat());
+    }
+
+    #[test]
+    fn subtraction_and_inequality() {
+        let x = Expr::var("x", 32);
+        let d = Expr::bin(BinOp::Sub, x.clone(), Expr::c(5));
+        // x - 5 == 0 and x != 5 is unsat.
+        let cs = [
+            eq64(d.clone(), Expr::c(0)),
+            BoolExpr::cmp(CmpOp::Ne, 64, x.clone(), Expr::c(5)),
+        ];
+        assert_eq!(check(&cs), SatResult::Unsat);
+        let cs = [eq64(d, Expr::c(0))];
+        match check(&cs) {
+            SatResult::Sat(m) => assert_eq!(m.get("x"), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_and_signed_compare() {
+        let x = Expr::var("x", 8);
+        // x < 3 unsigned and x > 0x7f signed-negative impossible together
+        // at 8 bits unless... x in {0,1,2} are all non-negative → unsat.
+        let cs = [
+            BoolExpr::cmp(CmpOp::Ult, 8, x.clone(), Expr::c(3)),
+            BoolExpr::cmp(CmpOp::Slt, 8, x.clone(), Expr::c(0)),
+        ];
+        assert_eq!(check(&cs), SatResult::Unsat);
+        // x signed-negative at 8 bits: model has high bit set.
+        let cs = [BoolExpr::cmp(CmpOp::Slt, 8, x, Expr::c(0))];
+        match check(&cs) {
+            SatResult::Sat(m) => assert!(m.get("x") & 0x80 != 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn masking_dword() {
+        // (x & 0xFFFF0000) == 0xC0000000 has solutions with arbitrary low
+        // bits; conjoin x == 0xC0000005 to pin one.
+        let x = Expr::var("x", 32);
+        let masked = Expr::bin(BinOp::And, x.clone(), Expr::c(0xFFFF_0000));
+        let cs = [
+            eq64(masked, Expr::c(0xC000_0000)),
+            eq64(x, Expr::c(0xC000_0005)),
+        ];
+        assert!(check(&cs).is_sat());
+    }
+
+    #[test]
+    fn shifts_by_constant() {
+        let x = Expr::var("x", 32);
+        let sh = Expr::bin(BinOp::Shr, x.clone(), Expr::c(28));
+        // high nibble == 0xC constrains x's top bits.
+        let cs = [eq64(sh, Expr::c(0xC)), eq64(x.clone(), Expr::c(0xC000_0005))];
+        assert!(check(&cs).is_sat());
+        let cs = [eq64(Expr::bin(BinOp::Shr, x.clone(), Expr::c(28)), Expr::c(0xC)),
+                  eq64(x, Expr::c(0x1000_0005))];
+        assert_eq!(check(&cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn shift_by_variable_is_unknown() {
+        let x = Expr::var("x", 32);
+        let n = Expr::var("n", 32);
+        let sh = Rc::new(Expr::Bin(BinOp::Shl, x, n));
+        match check(&[eq64(sh, Expr::c(4))]) {
+            SatResult::Unknown(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_and_not_structure() {
+        // (x == 1 ∨ x == 2) ∧ ¬(x == 1) → x == 2.
+        let x = Expr::var("x", 32);
+        let c = BoolExpr::and(
+            BoolExpr::or(
+                eq64(x.clone(), Expr::c(1)),
+                eq64(x.clone(), Expr::c(2)),
+            ),
+            BoolExpr::not(eq64(x, Expr::c(1))),
+        );
+        match check(&[c]) {
+            SatResult::Sat(m) => assert_eq!(m.get("x"), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_constraints() {
+        // Randomized end-to-end sanity: every SAT model must evaluate true.
+        let x = Expr::var("x", 16);
+        let y = Expr::var("y", 16);
+        let cs = [
+            BoolExpr::cmp(CmpOp::Ult, 16, x.clone(), y.clone()),
+            BoolExpr::cmp(
+                CmpOp::Eq,
+                16,
+                Expr::bin(BinOp::And, Expr::bin(BinOp::Add, x, y), Expr::c(0xFF)),
+                Expr::c(0x42),
+            ),
+        ];
+        match check(&cs) {
+            SatResult::Sat(m) => {
+                for c in &cs {
+                    assert!(c.eval(&|n| m.get(n)), "model must satisfy {c:?}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

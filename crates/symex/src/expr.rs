@@ -1,0 +1,400 @@
+//! Bitvector expression DAG.
+//!
+//! All expressions are 64-bit bitvectors; narrower machine values are
+//! represented by masking (a [`Var`](Expr::Var) carries the number of
+//! significant bits and the bit-blaster forces upper bits to zero).
+//! Construction goes through the smart constructors on [`Expr`], which
+//! perform constant folding so fully concrete program paths never touch
+//! the SAT solver.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Binary bitvector operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by constant amounts only in practice).
+    Shl,
+    /// Logical shift right.
+    Shr,
+}
+
+/// A bitvector expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A 64-bit constant.
+    Const(u64),
+    /// A named input variable of `bits` significant bits (upper bits are
+    /// zero). E.g. `exception_code` is a 32-bit variable.
+    Var {
+        /// Variable name (unique per solver query).
+        name: String,
+        /// Significant bit count (1..=64).
+        bits: u32,
+    },
+    /// A binary operation.
+    Bin(BinOp, Rc<Expr>, Rc<Expr>),
+    /// Bitwise not.
+    Not(Rc<Expr>),
+}
+
+impl Expr {
+    /// A constant.
+    pub fn c(v: u64) -> Rc<Expr> {
+        Rc::new(Expr::Const(v))
+    }
+
+    /// A fresh variable with `bits` significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    pub fn var(name: &str, bits: u32) -> Rc<Expr> {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        Rc::new(Expr::Var { name: name.to_string(), bits })
+    }
+
+    /// Smart binary constructor with constant folding and light
+    /// simplification.
+    pub fn bin(op: BinOp, a: Rc<Expr>, b: Rc<Expr>) -> Rc<Expr> {
+        if let (Expr::Const(x), Expr::Const(y)) = (&*a, &*b) {
+            return Expr::c(eval_bin(op, *x, *y));
+        }
+        match (op, &*a, &*b) {
+            (BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, _, Expr::Const(0)) => {
+                return a
+            }
+            (BinOp::Add | BinOp::Or | BinOp::Xor, Expr::Const(0), _) => return b,
+            (BinOp::Sub, _, Expr::Const(0)) => return a,
+            (BinOp::And, _, Expr::Const(u64::MAX)) => return a,
+            (BinOp::And, Expr::Const(u64::MAX), _) => return b,
+            (BinOp::And, _, Expr::Const(0)) | (BinOp::And, Expr::Const(0), _) => {
+                return Expr::c(0)
+            }
+            // Masking a variable to at least its own width is a no-op.
+            (BinOp::And, Expr::Var { bits, .. }, Expr::Const(m))
+                if *m == mask_of(*bits) || (*m & mask_of(*bits)) == mask_of(*bits) =>
+            {
+                return a
+            }
+            _ => {}
+        }
+        if op == BinOp::Sub && a == b {
+            return Expr::c(0);
+        }
+        if op == BinOp::Xor && a == b {
+            return Expr::c(0);
+        }
+        Rc::new(Expr::Bin(op, a, b))
+    }
+
+    /// Bitwise not.
+    pub fn not(a: Rc<Expr>) -> Rc<Expr> {
+        if let Expr::Const(x) = &*a {
+            return Expr::c(!x);
+        }
+        Rc::new(Expr::Not(a))
+    }
+
+    /// The constant value, if fully concrete.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Collect variable names and widths reachable from this expression.
+    pub fn collect_vars(&self, out: &mut Vec<(String, u32)>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var { name, bits } => {
+                if !out.iter().any(|(n, _)| n == name) {
+                    out.push((name.clone(), *bits));
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(a) => a.collect_vars(out),
+        }
+    }
+
+    /// Evaluate under a variable assignment. Missing variables default to 0.
+    pub fn eval(&self, model: &dyn Fn(&str) -> u64) -> u64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var { name, bits } => model(name) & mask_of(*bits),
+            Expr::Bin(op, a, b) => eval_bin(*op, a.eval(model), b.eval(model)),
+            Expr::Not(a) => !a.eval(model),
+        }
+    }
+}
+
+pub(crate) fn mask_of(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v:#x}"),
+            Expr::Var { name, bits } => write!(f, "{name}:{bits}"),
+            Expr::Bin(op, a, b) => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::Not(a) => write!(f, "~{a}"),
+        }
+    }
+}
+
+/// Comparison operators for boolean constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Signed less-than (at the given width).
+    Slt,
+}
+
+/// A boolean constraint over bitvector expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Comparison of two expressions at `width` bits.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Width in bits at which the comparison happens (8/32/64).
+        width: u32,
+        /// Left operand.
+        a: Rc<Expr>,
+        /// Right operand.
+        b: Rc<Expr>,
+    },
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Comparison constructor with constant folding.
+    pub fn cmp(op: CmpOp, width: u32, a: Rc<Expr>, b: Rc<Expr>) -> BoolExpr {
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            let m = mask_of(width);
+            let (x, y) = (x & m, y & m);
+            let v = match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Ult => x < y,
+                CmpOp::Slt => sign_extend(x, width) < sign_extend(y, width),
+            };
+            return if v { BoolExpr::True } else { BoolExpr::False };
+        }
+        BoolExpr::Cmp { op, width, a, b }
+    }
+
+    /// Negation with folding.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: BoolExpr) -> BoolExpr {
+        match e {
+            BoolExpr::True => BoolExpr::False,
+            BoolExpr::False => BoolExpr::True,
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with folding.
+    pub fn and(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        match (&a, &b) {
+            (BoolExpr::False, _) | (_, BoolExpr::False) => BoolExpr::False,
+            (BoolExpr::True, _) => b,
+            (_, BoolExpr::True) => a,
+            _ => BoolExpr::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction with folding.
+    pub fn or(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        match (&a, &b) {
+            (BoolExpr::True, _) | (_, BoolExpr::True) => BoolExpr::True,
+            (BoolExpr::False, _) => b,
+            (_, BoolExpr::False) => a,
+            _ => BoolExpr::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// The constant truth value, if fully concrete.
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            BoolExpr::True => Some(true),
+            BoolExpr::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Collect variables.
+    pub fn collect_vars(&self, out: &mut Vec<(String, u32)>) {
+        match self {
+            BoolExpr::True | BoolExpr::False => {}
+            BoolExpr::Cmp { a, b, .. } => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            BoolExpr::Not(a) => a.collect_vars(out),
+        }
+    }
+
+    /// Evaluate under a model.
+    pub fn eval(&self, model: &dyn Fn(&str) -> u64) -> bool {
+        match self {
+            BoolExpr::True => true,
+            BoolExpr::False => false,
+            BoolExpr::Cmp { op, width, a, b } => {
+                let m = mask_of(*width);
+                let (x, y) = (a.eval(model) & m, b.eval(model) & m);
+                match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Ult => x < y,
+                    CmpOp::Slt => sign_extend(x, *width) < sign_extend(y, *width),
+                }
+            }
+            BoolExpr::And(a, b) => a.eval(model) && b.eval(model),
+            BoolExpr::Or(a, b) => a.eval(model) || b.eval(model),
+            BoolExpr::Not(a) => !a.eval(model),
+        }
+    }
+}
+
+pub(crate) fn sign_extend(v: u64, bits: u32) -> i64 {
+    if bits >= 64 {
+        v as i64
+    } else {
+        let shift = 64 - bits;
+        ((v << shift) as i64) >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::bin(BinOp::Add, Expr::c(2), Expr::c(3));
+        assert_eq!(e.as_const(), Some(5));
+        let e = Expr::bin(BinOp::Sub, Expr::c(2), Expr::c(3));
+        assert_eq!(e.as_const(), Some(u64::MAX));
+        let v = Expr::var("x", 32);
+        let e = Expr::bin(BinOp::Add, v.clone(), Expr::c(0));
+        assert_eq!(e, v);
+        let e = Expr::bin(BinOp::Xor, v.clone(), v.clone());
+        assert_eq!(e.as_const(), Some(0));
+    }
+
+    #[test]
+    fn mask_noop_on_var() {
+        let v = Expr::var("x", 32);
+        let e = Expr::bin(BinOp::And, v.clone(), Expr::c(0xFFFF_FFFF));
+        assert_eq!(e, v);
+    }
+
+    #[test]
+    fn bool_folding() {
+        assert_eq!(BoolExpr::cmp(CmpOp::Eq, 64, Expr::c(1), Expr::c(1)), BoolExpr::True);
+        assert_eq!(BoolExpr::cmp(CmpOp::Ult, 8, Expr::c(0xFF), Expr::c(1)), BoolExpr::False);
+        // Signed at 8 bits: 0xFF = -1 < 1.
+        assert_eq!(BoolExpr::cmp(CmpOp::Slt, 8, Expr::c(0xFF), Expr::c(1)), BoolExpr::True);
+        let x = BoolExpr::cmp(CmpOp::Eq, 64, Expr::var("a", 64), Expr::c(3));
+        assert_eq!(BoolExpr::and(BoolExpr::True, x.clone()), x);
+        assert_eq!(BoolExpr::and(BoolExpr::False, x.clone()), BoolExpr::False);
+        assert_eq!(BoolExpr::not(BoolExpr::not(x.clone())), x);
+    }
+
+    #[test]
+    fn eval_matches_fold() {
+        let x = Expr::var("x", 16);
+        let e = Expr::bin(BinOp::Add, x, Expr::c(10));
+        let v = e.eval(&|name| if name == "x" { 0xFFFF } else { 0 });
+        assert_eq!(v, 0xFFFF + 10);
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let x = Expr::var("x", 32);
+        let e = Expr::bin(BinOp::Add, x.clone(), x);
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![("x".to_string(), 32)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Expr::bin(BinOp::Add, Expr::var("code", 32), Expr::c(1));
+        assert_eq!(e.to_string(), "(code:32 + 0x1)");
+    }
+}

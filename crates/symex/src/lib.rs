@@ -1,0 +1,45 @@
+//! # cr-symex — symbolic execution of exception filters
+//!
+//! The paper (§IV-C) symbolically executes every SEH exception-filter
+//! function found in a module's `.pdata` scope tables and asks an SMT
+//! solver (Z3) whether the filter can accept
+//! `EXCEPTION_ACCESS_VIOLATION`. This crate reproduces that decision
+//! procedure from scratch:
+//!
+//! * [`Expr`]/[`BoolExpr`] — a bitvector expression DAG with constant
+//!   folding;
+//! * [`SymExec`] — a path-forking symbolic executor over the `cr-isa`
+//!   instruction subset, with the Windows x64 filter ABI as harness;
+//! * [`check`] — QF_BV satisfiability by Tseitin bit-blasting to CNF and
+//!   a DPLL SAT solver, returning witness models.
+//!
+//! # Examples
+//!
+//! Vetting a catch-all filter (machine code for `return 1;`):
+//!
+//! ```
+//! use cr_symex::{SymExec, FilterVerdict};
+//! use cr_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.mov_ri(Reg::Rax, 1);
+//! a.ret();
+//! let code = a.assemble()?.code;
+//!
+//! let analysis = SymExec::default().analyze_filter(&(0x1000, code.as_slice()), 0x1000);
+//! assert!(matches!(analysis.verdict, FilterVerdict::AcceptsAccessViolation { .. }));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod blast;
+mod exec;
+mod expr;
+mod sat;
+
+pub use blast::{check, Model, SatResult};
+pub use exec::{
+    CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR, EXCEPTION_ACCESS_VIOLATION,
+    EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH, EXCEPTION_EXECUTE_HANDLER,
+};
+pub use expr::{BinOp, BoolExpr, CmpOp, Expr};
+pub use sat::{solve, Cnf, SolveOutcome};

@@ -1,0 +1,290 @@
+//! A small DPLL SAT solver.
+//!
+//! Decides the CNF formulas produced by the bit-blaster. Formula sizes for
+//! exception-filter queries are a few thousand variables and clauses, well
+//! within reach of plain DPLL with unit propagation.
+
+/// A CNF formula. Literals are non-zero `i32`s: variable `v` is `v`
+/// (positive) or `-v` (negated); variables are numbered from 1.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// An empty formula (trivially satisfiable).
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocate a fresh variable, returning its positive literal.
+    pub fn fresh(&mut self) -> i32 {
+        self.num_vars += 1;
+        self.num_vars as i32
+    }
+
+    /// Add a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn clause(&mut self, lits: &[i32]) {
+        for &l in lits {
+            assert!(l != 0 && (l.unsigned_abs() as usize) <= self.num_vars, "bad literal {l}");
+        }
+        self.clauses.push(lits.to_vec());
+    }
+}
+
+/// Outcome of a SAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Satisfiable, with an assignment indexed by variable number − 1.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The decision budget ran out before an answer (pathological
+    /// instances; callers treat this as "unknown").
+    BudgetExhausted,
+}
+
+/// Decision budget for [`solve`]. Filter-vetting formulas use a few
+/// hundred decisions; anything near the budget is pathological.
+const DECISION_BUDGET: u64 = 200_000;
+
+/// Decide a CNF formula with plain DPLL and a decision budget.
+pub fn solve(cnf: &Cnf) -> SolveOutcome {
+    let mut s = Dpll {
+        clauses: &cnf.clauses,
+        assign: vec![None; cnf.num_vars],
+        trail: Vec::new(),
+        decisions: 0,
+    };
+    match s.search() {
+        Some(true) => {
+            SolveOutcome::Sat(s.assign.into_iter().map(|a| a.unwrap_or(false)).collect())
+        }
+        Some(false) => SolveOutcome::Unsat,
+        None => SolveOutcome::BudgetExhausted,
+    }
+}
+
+struct Dpll<'a> {
+    clauses: &'a [Vec<i32>],
+    assign: Vec<Option<bool>>,
+    trail: Vec<usize>,
+    decisions: u64,
+}
+
+impl Dpll<'_> {
+    fn lit_val(&self, lit: i32) -> Option<bool> {
+        let v = self.assign[(lit.unsigned_abs() - 1) as usize]?;
+        Some(if lit > 0 { v } else { !v })
+    }
+
+    fn set(&mut self, lit: i32) {
+        let idx = (lit.unsigned_abs() - 1) as usize;
+        debug_assert!(self.assign[idx].is_none());
+        self.assign[idx] = Some(lit > 0);
+        self.trail.push(idx);
+    }
+
+    /// Unit propagation to fixpoint. Returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in self.clauses {
+                let mut unassigned = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &lit in clause {
+                    match self.lit_val(lit) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false, // conflict
+                    1 => {
+                        self.set(unassigned.unwrap());
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// `Some(true)` = SAT, `Some(false)` = UNSAT, `None` = budget out.
+    fn search(&mut self) -> Option<bool> {
+        if !self.propagate() {
+            return Some(false);
+        }
+        // Pick the first unassigned variable that appears in an
+        // unsatisfied clause (pure decision heuristic).
+        let decision = self.pick();
+        let Some(var) = decision else {
+            return Some(true); // all relevant clauses satisfied
+        };
+        self.decisions += 1;
+        if self.decisions > DECISION_BUDGET {
+            return None;
+        }
+        for &value in &[true, false] {
+            let mark = self.trail.len();
+            let lit = if value { (var + 1) as i32 } else { -((var + 1) as i32) };
+            self.set(lit);
+            match self.search() {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+            // Undo.
+            while self.trail.len() > mark {
+                let idx = self.trail.pop().unwrap();
+                self.assign[idx] = None;
+            }
+        }
+        Some(false)
+    }
+
+    fn pick(&self) -> Option<usize> {
+        for clause in self.clauses {
+            let mut sat = false;
+            let mut cand = None;
+            for &lit in clause {
+                match self.lit_val(lit) {
+                    Some(true) => {
+                        sat = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => cand = cand.or(Some((lit.unsigned_abs() - 1) as usize)),
+                }
+            }
+            if !sat {
+                if let Some(c) = cand {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(c: &Cnf) -> Vec<bool> {
+        match solve(c) {
+            SolveOutcome::Sat(m) => m,
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        c.clause(&[a]);
+        assert!(model(&c)[0]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        c.clause(&[a]);
+        c.clause(&[-a]);
+        assert_eq!(solve(&c), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn requires_search() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b) — satisfied only by a=b=true.
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        let b = c.fresh();
+        c.clause(&[a, b]);
+        c.clause(&[-a, b]);
+        c.clause(&[a, -b]);
+        let m = model(&c);
+        assert!(m[0] && m[1]);
+    }
+
+    #[test]
+    fn unsat_3sat_core() {
+        // All 4 combinations over (a,b) excluded.
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        let b = c.fresh();
+        c.clause(&[a, b]);
+        c.clause(&[a, -b]);
+        c.clause(&[-a, b]);
+        c.clause(&[-a, -b]);
+        assert_eq!(solve(&c), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut c = Cnf::new();
+        let mut p = [[0i32; 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = c.fresh();
+            }
+        }
+        for row in &p {
+            c.clause(&[row[0], row[1]]); // each pigeon somewhere
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    c.clause(&[-p[i1][j], -p[i2][j]]); // no two share a hole
+                }
+            }
+        }
+        assert_eq!(solve(&c), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let mut c = Cnf::new();
+        let vars: Vec<i32> = (0..8).map(|_| c.fresh()).collect();
+        // Random-ish structured clauses.
+        c.clause(&[vars[0], -vars[1], vars[2]]);
+        c.clause(&[-vars[0], vars[3]]);
+        c.clause(&[vars[4], vars[5], -vars[6]]);
+        c.clause(&[-vars[3], -vars[5]]);
+        c.clause(&[vars[7]]);
+        let m = model(&c);
+        for clause in &c.clauses {
+            assert!(clause.iter().any(|&l| {
+                let v = m[(l.unsigned_abs() - 1) as usize];
+                if l > 0 {
+                    v
+                } else {
+                    !v
+                }
+            }));
+        }
+    }
+}

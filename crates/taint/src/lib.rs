@@ -1,0 +1,685 @@
+//! # cr-taint — byte-granular dynamic taint tracking
+//!
+//! A libdft-style data-flow tracker implemented as a [`cr_vm::Hook`]. The
+//! paper extends libdft with byte-granular taint to find syscall call
+//! sites whose pointer arguments are influenced by attacker-controlled
+//! bytes (§IV-A); this crate reproduces that capability for the emulator.
+//!
+//! Taint is a set of up to 64 *labels* ([`TaintSet`]); the test monitor
+//! assigns one label per attacker-controlled input region (a network
+//! message, a header field, …) so a positive query also reports *which*
+//! input bytes control the value — the information needed to build an
+//! actual probing primitive.
+//!
+//! Propagation rules (byte-granular where the ISA is, conservative
+//! otherwise):
+//!
+//! * data moves copy taint byte-for-byte;
+//! * arithmetic unions the operand taints into every result byte;
+//! * `lea` unions the base/index register taints (address arithmetic
+//!   propagates attacker control into pointers);
+//! * immediates clear taint; the `xor r, r` / `sub r, r` zeroing idioms
+//!   clear taint;
+//! * flags and control flow are not tracked (explicit-flows-only, like
+//!   libdft).
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_taint::TaintEngine;
+//! use cr_vm::{Cpu, Exit, Memory, Prot};
+//! use cr_isa::{Asm, Mem as M, Reg, Width};
+//!
+//! // rax = *(u64*)0x10_0000 — attacker-controlled memory.
+//! let mut a = Asm::new(0x1000);
+//! a.mov_ri(Reg::Rdi, 0x10_0000);
+//! a.load(Reg::Rax, M::base(Reg::Rdi));
+//! a.hlt();
+//! let code = a.assemble()?.code;
+//!
+//! let mut mem = Memory::new();
+//! mem.map(0x1000, 0x1000, Prot::RX);
+//! mem.poke(0x1000, &code)?;
+//! mem.map(0x10_0000, 0x1000, Prot::RW);
+//!
+//! let mut taint = TaintEngine::new();
+//! taint.taint_region(0x10_0000, 8, 0); // label 0 = attacker input
+//! let mut cpu = Cpu::new();
+//! cpu.rip = 0x1000;
+//! while cpu.step(&mut mem, &mut taint) == Exit::Normal {}
+//! assert!(taint.reg_taint(Reg::Rax, Width::B8).contains(0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use cr_isa::{AluOp, Inst, Mem as MemOp, Reg, Rm, Width};
+use cr_vm::{Cpu, Hook};
+use std::collections::HashMap;
+
+/// A set of taint labels (bit `i` = label `i`), at most 64 labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TaintSet(pub u64);
+
+impl TaintSet {
+    /// The empty (untainted) set.
+    pub const EMPTY: TaintSet = TaintSet(0);
+
+    /// A set holding the single label `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= 64`.
+    pub fn label(label: u8) -> TaintSet {
+        assert!(label < 64, "at most 64 taint labels");
+        TaintSet(1 << label)
+    }
+
+    /// Whether any label is present.
+    #[inline]
+    pub fn is_tainted(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether `label` is present.
+    #[inline]
+    pub fn contains(self, label: u8) -> bool {
+        self.0 & (1 << label) != 0
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub fn union(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 | other.0)
+    }
+
+    /// The labels present, ascending.
+    pub fn labels(self) -> Vec<u8> {
+        (0..64).filter(|&l| self.contains(l)).collect()
+    }
+}
+
+impl std::ops::BitOr for TaintSet {
+    type Output = TaintSet;
+
+    fn bitor(self, rhs: TaintSet) -> TaintSet {
+        self.union(rhs)
+    }
+}
+
+impl std::fmt::Display for TaintSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_tainted() {
+            return write!(f, "∅");
+        }
+        write!(f, "{{")?;
+        for (i, l) in self.labels().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+const PAGE: u64 = 4096;
+
+/// Per-thread register shadow bank (see [`TaintEngine::swap_reg_file`]).
+pub type RegShadow = [[TaintSet; 8]; 16];
+
+type ShadowPage = Box<[TaintSet; PAGE as usize]>;
+
+/// Byte-granular shadow state for registers and memory, with libdft-style
+/// propagation driven from [`Hook::on_inst`].
+#[derive(Default)]
+pub struct TaintEngine {
+    regs: [[TaintSet; 8]; 16],
+    mem: HashMap<u64, ShadowPage>,
+    /// Total number of propagation steps performed (for overhead benches).
+    pub propagations: u64,
+}
+
+impl std::fmt::Debug for TaintEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaintEngine")
+            .field("shadow_pages", &self.mem.len())
+            .field("propagations", &self.propagations)
+            .finish()
+    }
+}
+
+impl TaintEngine {
+    /// A fresh engine with no taint.
+    pub fn new() -> TaintEngine {
+        TaintEngine::default()
+    }
+
+    /// Mark `[addr, addr+len)` with `label` (a taint source, e.g. the
+    /// bytes `recv` wrote from an attacker-controlled connection).
+    pub fn taint_region(&mut self, addr: u64, len: u64, label: u8) {
+        let set = TaintSet::label(label);
+        for a in addr..addr + len {
+            let e = self.mem_mut(a);
+            *e = e.union(set);
+        }
+    }
+
+    /// Clear all taint in `[addr, addr+len)`.
+    pub fn clear_region(&mut self, addr: u64, len: u64) {
+        for a in addr..addr + len {
+            *self.mem_mut(a) = TaintSet::EMPTY;
+        }
+    }
+
+    /// Clear everything (new test run).
+    pub fn clear_all(&mut self) {
+        self.regs = [[TaintSet::EMPTY; 8]; 16];
+        self.mem.clear();
+    }
+
+    /// Taint of one memory byte.
+    pub fn mem_taint(&self, addr: u64) -> TaintSet {
+        self.mem
+            .get(&(addr / PAGE))
+            .map(|p| p[(addr % PAGE) as usize])
+            .unwrap_or(TaintSet::EMPTY)
+    }
+
+    /// Union of taint across `[addr, addr+len)`.
+    pub fn mem_taint_union(&self, addr: u64, len: u64) -> TaintSet {
+        (addr..addr + len)
+            .map(|a| self.mem_taint(a))
+            .fold(TaintSet::EMPTY, TaintSet::union)
+    }
+
+    /// Taint of one register byte.
+    pub fn reg_byte_taint(&self, r: Reg, byte: usize) -> TaintSet {
+        self.regs[r.encoding() as usize][byte]
+    }
+
+    /// Union of taint across the low `width` bytes of a register.
+    pub fn reg_taint(&self, r: Reg, width: Width) -> TaintSet {
+        self.regs[r.encoding() as usize][..width.bytes()]
+            .iter()
+            .copied()
+            .fold(TaintSet::EMPTY, TaintSet::union)
+    }
+
+    /// Overwrite the taint of a whole register (testing / monitors).
+    pub fn set_reg_taint(&mut self, r: Reg, set: TaintSet) {
+        self.regs[r.encoding() as usize] = [set; 8];
+    }
+
+    /// Swap the register shadow file with `bank` — monitors tracking a
+    /// multi-threaded process keep one bank per thread and swap on
+    /// scheduler switches.
+    pub fn swap_reg_file(&mut self, bank: &mut RegShadow) {
+        std::mem::swap(&mut self.regs, bank);
+    }
+
+    fn mem_mut(&mut self, addr: u64) -> &mut TaintSet {
+        let page = self
+            .mem
+            .entry(addr / PAGE)
+            .or_insert_with(|| Box::new([TaintSet::EMPTY; PAGE as usize]));
+        &mut page[(addr % PAGE) as usize]
+    }
+
+    fn read_rm_bytes(&self, cpu: &Cpu, rm: Rm, w: Width, next: u64) -> [TaintSet; 8] {
+        let mut out = [TaintSet::EMPTY; 8];
+        match rm {
+            Rm::Reg(r) => {
+                out[..w.bytes()].copy_from_slice(&self.regs[r.encoding() as usize][..w.bytes()]);
+            }
+            Rm::Mem(m) => {
+                let ea = cpu.effective_addr(&m, next);
+                for (i, slot) in out.iter_mut().take(w.bytes()).enumerate() {
+                    *slot = self.mem_taint(ea.wrapping_add(i as u64));
+                }
+            }
+        }
+        out
+    }
+
+    fn write_rm_bytes(&mut self, cpu: &Cpu, rm: Rm, w: Width, bytes: &[TaintSet; 8], next: u64) {
+        match rm {
+            Rm::Reg(r) => {
+                let enc = r.encoding() as usize;
+                match w {
+                    Width::B8 => self.regs[enc] = *bytes,
+                    Width::B4 => {
+                        self.regs[enc][..4].copy_from_slice(&bytes[..4]);
+                        // 32-bit writes zero-extend: upper bytes become
+                        // constant zero, hence untainted.
+                        for b in &mut self.regs[enc][4..] {
+                            *b = TaintSet::EMPTY;
+                        }
+                    }
+                    Width::B1 => self.regs[enc][0] = bytes[0],
+                }
+            }
+            Rm::Mem(m) => {
+                let ea = cpu.effective_addr(&m, next);
+                for (i, &b) in bytes.iter().take(w.bytes()).enumerate() {
+                    *self.mem_mut(ea.wrapping_add(i as u64)) = b;
+                }
+            }
+        }
+    }
+
+    fn rm_union(&self, cpu: &Cpu, rm: Rm, w: Width, next: u64) -> TaintSet {
+        self.read_rm_bytes(cpu, rm, w, next)[..w.bytes()]
+            .iter()
+            .copied()
+            .fold(TaintSet::EMPTY, TaintSet::union)
+    }
+
+    fn addr_taint(&self, m: &MemOp) -> TaintSet {
+        let mut t = TaintSet::EMPTY;
+        if let Some(b) = m.base {
+            t = t.union(self.reg_taint(b, Width::B8));
+        }
+        if let Some((i, _)) = m.index {
+            t = t.union(self.reg_taint(i, Width::B8));
+        }
+        t
+    }
+}
+
+impl Hook for TaintEngine {
+    fn on_inst(&mut self, cpu: &Cpu, _mem: &mut cr_vm::Memory, inst: &Inst, va: u64, len: usize) {
+        self.propagations += 1;
+        let next = va.wrapping_add(len as u64);
+        match *inst {
+            Inst::MovRRm { dst, src, width } => {
+                let bytes = self.read_rm_bytes(cpu, src, width, next);
+                // 32-bit loads zero-extend the destination.
+                let w = if width == Width::B4 { Width::B8 } else { width };
+                let mut full = [TaintSet::EMPTY; 8];
+                full[..width.bytes()].copy_from_slice(&bytes[..width.bytes()]);
+                if width == Width::B1 {
+                    // Byte moves merge; keep existing upper taint.
+                    self.regs[dst.encoding() as usize][0] = full[0];
+                } else {
+                    self.write_rm_bytes(cpu, Rm::Reg(dst), w, &full, next);
+                }
+            }
+            Inst::MovRmR { dst, src, width } => {
+                let mut bytes = [TaintSet::EMPTY; 8];
+                bytes[..width.bytes()]
+                    .copy_from_slice(&self.regs[src.encoding() as usize][..width.bytes()]);
+                self.write_rm_bytes(cpu, dst, width, &bytes, next);
+            }
+            Inst::MovRI { dst, .. } => {
+                self.set_reg_taint(dst, TaintSet::EMPTY);
+            }
+            Inst::MovRmI { dst, width, .. } => {
+                self.write_rm_bytes(cpu, dst, width, &[TaintSet::EMPTY; 8], next);
+            }
+            Inst::Movzx { dst, src, .. } => {
+                let bytes = self.read_rm_bytes(cpu, src, Width::B1, next);
+                let mut full = [TaintSet::EMPTY; 8];
+                full[0] = bytes[0];
+                self.regs[dst.encoding() as usize] = full;
+            }
+            Inst::Lea { dst, mem } => {
+                let t = self.addr_taint(&mem);
+                self.set_reg_taint(dst, t);
+            }
+            Inst::AluRRm { op, dst, src, width } => {
+                if op.writes_dst() {
+                    // Zeroing idioms: xor r,r / sub r,r clear taint.
+                    if matches!(op, AluOp::Xor | AluOp::Sub) && src == Rm::Reg(dst) {
+                        self.set_reg_taint(dst, TaintSet::EMPTY);
+                    } else {
+                        let t = self
+                            .reg_taint(dst, width)
+                            .union(self.rm_union(cpu, src, width, next));
+                        let w = if width == Width::B1 { Width::B1 } else { Width::B8 };
+                        self.write_rm_bytes(cpu, Rm::Reg(dst), w, &[t; 8], next);
+                    }
+                }
+            }
+            Inst::AluRmR { op, dst, src, width } => {
+                if op.writes_dst() {
+                    if matches!(op, AluOp::Xor | AluOp::Sub) && dst == Rm::Reg(src) {
+                        self.set_reg_taint(src, TaintSet::EMPTY);
+                    } else {
+                        let t = self
+                            .rm_union(cpu, dst, width, next)
+                            .union(self.reg_taint(src, width));
+                        self.write_rm_bytes(cpu, dst, width, &[t; 8], next);
+                    }
+                }
+            }
+            Inst::AluRmI { op, dst, width, .. } => {
+                if op.writes_dst() {
+                    let t = self.rm_union(cpu, dst, width, next);
+                    self.write_rm_bytes(cpu, dst, width, &[t; 8], next);
+                }
+            }
+            Inst::ShiftRI { dst, .. } => {
+                let t = self.reg_taint(dst, Width::B8);
+                self.set_reg_taint(dst, t);
+            }
+            Inst::Neg(r) | Inst::Not(r) => {
+                let t = self.reg_taint(r, Width::B8);
+                self.set_reg_taint(r, t);
+            }
+            Inst::Imul { dst, src } => {
+                let t = self
+                    .reg_taint(dst, Width::B8)
+                    .union(self.rm_union(cpu, src, Width::B8, next));
+                self.set_reg_taint(dst, t);
+            }
+            Inst::Cmov { dst, src, cond } => {
+                // Conservative: the destination may take the source's
+                // taint regardless of the (untracked) condition.
+                let _ = cond;
+                let t = self
+                    .reg_taint(dst, Width::B8)
+                    .union(self.rm_union(cpu, src, Width::B8, next));
+                self.set_reg_taint(dst, t);
+            }
+            Inst::Xchg(a, b) => {
+                let enc_a = a.encoding() as usize;
+                let enc_b = b.encoding() as usize;
+                self.regs.swap(enc_a, enc_b);
+            }
+            Inst::Push(r) => {
+                let sp = cpu.reg(Reg::Rsp).wrapping_sub(8);
+                let bytes = self.regs[r.encoding() as usize];
+                for (i, &b) in bytes.iter().enumerate() {
+                    *self.mem_mut(sp.wrapping_add(i as u64)) = b;
+                }
+            }
+            Inst::Pop(r) => {
+                let sp = cpu.reg(Reg::Rsp);
+                let mut bytes = [TaintSet::EMPTY; 8];
+                for (i, slot) in bytes.iter_mut().enumerate() {
+                    *slot = self.mem_taint(sp.wrapping_add(i as u64));
+                }
+                self.regs[r.encoding() as usize] = bytes;
+            }
+            Inst::CallRel(_) | Inst::CallRm(_) => {
+                // Return address is constant data: untaint the slot.
+                let sp = cpu.reg(Reg::Rsp).wrapping_sub(8);
+                for i in 0..8 {
+                    *self.mem_mut(sp.wrapping_add(i)) = TaintSet::EMPTY;
+                }
+            }
+            Inst::Setcc { dst, .. } => {
+                self.regs[dst.encoding() as usize][0] = TaintSet::EMPTY;
+            }
+            Inst::Jcc { .. }
+            | Inst::JmpRel(_)
+            | Inst::JmpRm(_)
+            | Inst::Ret
+            | Inst::Syscall
+            | Inst::Int3
+            | Inst::Nop
+            | Inst::Ud2
+            | Inst::Hlt
+            | Inst::Cpuid => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_isa::{Asm, Mem as MemOp};
+    use cr_vm::{Cpu, Exit, Memory, Prot};
+    use Reg::*;
+
+    fn exec(build: impl FnOnce(&mut Asm), setup: impl FnOnce(&mut Memory, &mut TaintEngine)) -> (Cpu, TaintEngine) {
+        let mut a = Asm::new(0x40_0000);
+        build(&mut a);
+        let asm = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x40_0000, 0x1_0000, Prot::RX);
+        mem.poke(0x40_0000, &asm.code).unwrap();
+        mem.map(0x10_0000, 0x1_0000, Prot::RW); // data
+        mem.map(0x7F_0000, 0x1_0000, Prot::RW); // stack
+        let mut taint = TaintEngine::new();
+        setup(&mut mem, &mut taint);
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x40_0000;
+        cpu.set_reg(Rsp, 0x7F_8000);
+        for _ in 0..100_000 {
+            match cpu.step(&mut mem, &mut taint) {
+                Exit::Normal | Exit::Syscall => {}
+                Exit::Halt => return (cpu, taint),
+                e => panic!("unexpected exit {e:?}"),
+            }
+        }
+        panic!("no halt");
+    }
+
+    #[test]
+    fn load_propagates_mem_to_reg() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 3),
+        );
+        assert!(t.reg_taint(Rax, Width::B8).contains(3));
+        assert!(!t.reg_taint(Rdi, Width::B8).is_tainted());
+    }
+
+    #[test]
+    fn byte_granularity_preserved() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0002, 1, 5), // only byte 2 tainted
+        );
+        assert!(!t.reg_byte_taint(Rax, 0).is_tainted());
+        assert!(t.reg_byte_taint(Rax, 2).contains(5));
+        assert!(!t.reg_byte_taint(Rax, 3).is_tainted());
+    }
+
+    #[test]
+    fn store_propagates_reg_to_mem() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.mov_ri(Rsi, 0x10_0100);
+                a.store(MemOp::base(Rsi), Rax);
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 1),
+        );
+        assert!(t.mem_taint_union(0x10_0100, 8).contains(1));
+    }
+
+    #[test]
+    fn immediates_clear_taint() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.mov_ri(Rax, 0); // overwrite with constant
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 1),
+        );
+        assert!(!t.reg_taint(Rax, Width::B8).is_tainted());
+    }
+
+    #[test]
+    fn xor_zeroing_clears_taint() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.zero(Rax);
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 1),
+        );
+        assert!(!t.reg_taint(Rax, Width::B8).is_tainted());
+    }
+
+    #[test]
+    fn arithmetic_unions_taint() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.load(Rbx, MemOp::base_disp(Rdi, 8));
+                a.add_rr(Rax, Rbx);
+                a.hlt();
+            },
+            |_m, t| {
+                t.taint_region(0x10_0000, 8, 1);
+                t.taint_region(0x10_0008, 8, 2);
+            },
+        );
+        let set = t.reg_taint(Rax, Width::B8);
+        assert!(set.contains(1) && set.contains(2));
+    }
+
+    #[test]
+    fn lea_propagates_address_taint() {
+        // The key rule for the paper: attacker bytes flowing into pointer
+        // arithmetic make the resulting pointer attacker-controlled.
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rbx, MemOp::base(Rdi)); // tainted offset
+                a.lea(Rcx, MemOp::base_index(Rdi, Rbx, 1, 0));
+                a.hlt();
+            },
+            |m, t| {
+                m.write_u64(0x10_0000, 0x10).unwrap();
+                t.taint_region(0x10_0000, 8, 7);
+            },
+        );
+        assert!(t.reg_taint(Rcx, Width::B8).contains(7));
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.push(Rax);
+                a.pop(Rbx);
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 1),
+        );
+        assert!(t.reg_taint(Rbx, Width::B8).contains(1));
+    }
+
+    #[test]
+    fn call_untaints_return_slot() {
+        let (cpu, t) = exec(
+            |a| {
+                // Taint the would-be return-address slot, then call.
+                a.mov_ri(Rdi, 0x7F_7FF8);
+                let f = a.fresh();
+                a.call_label(f);
+                a.hlt();
+                a.bind(f);
+                a.ret();
+            },
+            |_m, t| t.taint_region(0x7F_7FF8, 8, 1),
+        );
+        let _ = cpu;
+        assert!(!t.mem_taint_union(0x7F_7FF8, 8).is_tainted());
+    }
+
+    #[test]
+    fn imul_unions_and_xchg_swaps() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.mov_ri(Rbx, 3);
+                a.inst(cr_isa::Inst::Imul { dst: Rbx, src: cr_isa::Rm::Reg(Rax) });
+                a.inst(cr_isa::Inst::Xchg(Rbx, Rdx));
+                a.hlt();
+            },
+            |m, t| {
+                m.write_u64(0x10_0000, 5).unwrap();
+                t.taint_region(0x10_0000, 8, 2);
+            },
+        );
+        assert!(t.reg_taint(Rdx, Width::B8).contains(2), "taint followed imul+xchg");
+        assert!(!t.reg_taint(Rbx, Width::B8).is_tainted(), "xchg moved taint out");
+    }
+
+    #[test]
+    fn cmov_is_conservatively_tainted() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.mov_ri(Rbx, 0);
+                a.cmp_ri(Rbx, 1); // NE → cmove not taken
+                a.inst(cr_isa::Inst::Cmov {
+                    cond: cr_isa::Cond::E,
+                    dst: Rbx,
+                    src: cr_isa::Rm::Reg(Rax),
+                });
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 3),
+        );
+        // Untaken, but the conservative rule still propagates.
+        assert!(t.reg_taint(Rbx, Width::B8).contains(3));
+    }
+
+    #[test]
+    fn neg_and_not_preserve_taint() {
+        let (_, t) = exec(
+            |a| {
+                a.mov_ri(Rdi, 0x10_0000);
+                a.load(Rax, MemOp::base(Rdi));
+                a.inst(cr_isa::Inst::Neg(Rax));
+                a.inst(cr_isa::Inst::Not(Rax));
+                a.hlt();
+            },
+            |_m, t| t.taint_region(0x10_0000, 8, 1),
+        );
+        assert!(t.reg_taint(Rax, Width::B8).contains(1));
+    }
+
+    #[test]
+    fn taintset_ops() {
+        let a = TaintSet::label(1);
+        let b = TaintSet::label(2);
+        let u = a | b;
+        assert!(u.contains(1) && u.contains(2) && !u.contains(3));
+        assert_eq!(u.labels(), vec![1, 2]);
+        assert_eq!(TaintSet::EMPTY.to_string(), "∅");
+        assert_eq!(u.to_string(), "{1,2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 taint labels")]
+    fn label_bound_checked() {
+        let _ = TaintSet::label(64);
+    }
+
+    #[test]
+    fn clear_region_and_all() {
+        let mut t = TaintEngine::new();
+        t.taint_region(0x1000, 16, 0);
+        assert!(t.mem_taint_union(0x1000, 16).is_tainted());
+        t.clear_region(0x1000, 8);
+        assert!(!t.mem_taint_union(0x1000, 8).is_tainted());
+        assert!(t.mem_taint_union(0x1008, 8).is_tainted());
+        t.clear_all();
+        assert!(!t.mem_taint_union(0x1008, 8).is_tainted());
+    }
+}

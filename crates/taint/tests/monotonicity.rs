@@ -1,0 +1,134 @@
+//! Taint monotonicity property: enlarging the initial taint seed never
+//! shrinks the final taint anywhere. (A violation would mean the engine
+//! *loses* attacker influence somewhere — unsound for discovery.)
+
+use cr_isa::{AluOp, Asm, Inst, Mem as M, Reg, Rm, Width};
+use cr_taint::{TaintEngine, TaintSet};
+use cr_vm::{Cpu, Exit, Memory, Prot};
+use proptest::prelude::*;
+
+const DATA: u64 = 0x10_0000;
+const CELLS: u64 = 8;
+
+/// A tiny straight-line program over 4 registers and 8 memory cells.
+#[derive(Debug, Clone)]
+enum Op {
+    Load(u8, u8),     // reg <- cell
+    Store(u8, u8),    // cell <- reg
+    MovRR(u8, u8),    // reg <- reg
+    Add(u8, u8),      // reg += reg
+    Xor(u8, u8),      // reg ^= reg
+    Imm(u8),          // reg <- constant
+}
+
+const REGS: [Reg; 4] = [Reg::Rax, Reg::Rbx, Reg::Rsi, Reg::Rdi];
+
+fn compile(ops: &[Op]) -> Vec<u8> {
+    let mut a = Asm::new(0x1000);
+    for op in ops {
+        match *op {
+            Op::Load(r, c) => {
+                a.mov_ri(Reg::R9, DATA + (c as u64 % CELLS) * 8);
+                a.load(REGS[r as usize % 4], M::base(Reg::R9));
+            }
+            Op::Store(r, c) => {
+                a.mov_ri(Reg::R9, DATA + (c as u64 % CELLS) * 8);
+                a.store(M::base(Reg::R9), REGS[r as usize % 4]);
+            }
+            Op::MovRR(d, s) => {
+                a.mov_rr(REGS[d as usize % 4], REGS[s as usize % 4]);
+            }
+            Op::Add(d, s) => {
+                a.add_rr(REGS[d as usize % 4], REGS[s as usize % 4]);
+            }
+            Op::Xor(d, s) => {
+                a.inst(Inst::AluRmR {
+                    op: AluOp::Xor,
+                    dst: Rm::Reg(REGS[d as usize % 4]),
+                    src: REGS[s as usize % 4],
+                    width: Width::B8,
+                });
+            }
+            Op::Imm(r) => {
+                a.mov_ri(REGS[r as usize % 4], 0x42);
+            }
+        }
+    }
+    a.hlt();
+    a.assemble().unwrap().code
+}
+
+fn run_with_seed(code: &[u8], seed_cells: &[u8]) -> TaintEngine {
+    let mut mem = Memory::new();
+    mem.map(0x1000, 0x1000, Prot::RX);
+    mem.poke(0x1000, code).unwrap();
+    mem.map(DATA, 0x1000, Prot::RW);
+    let mut taint = TaintEngine::new();
+    for &c in seed_cells {
+        taint.taint_region(DATA + (c as u64 % CELLS) * 8, 8, c % 8);
+    }
+    let mut cpu = Cpu::new();
+    cpu.rip = 0x1000;
+    loop {
+        match cpu.step(&mut mem, &mut taint) {
+            Exit::Normal => {}
+            Exit::Halt => break,
+            e => panic!("{e:?}"),
+        }
+    }
+    taint
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(r, c)| Op::Load(r, c)),
+        (any::<u8>(), any::<u8>()).prop_map(|(r, c)| Op::Store(r, c)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, s)| Op::MovRR(d, s)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, s)| Op::Add(d, s)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, s)| Op::Xor(d, s)),
+        any::<u8>().prop_map(Op::Imm),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn larger_seed_never_shrinks_taint(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        small in proptest::collection::vec(any::<u8>(), 0..3),
+        extra in proptest::collection::vec(any::<u8>(), 1..3),
+    ) {
+        let code = compile(&ops);
+        let mut big = small.clone();
+        big.extend_from_slice(&extra);
+
+        let t_small = run_with_seed(&code, &small);
+        let t_big = run_with_seed(&code, &big);
+
+        // Subset check over all cells and registers.
+        for c in 0..CELLS {
+            let a = t_small.mem_taint_union(DATA + c * 8, 8);
+            let b = t_big.mem_taint_union(DATA + c * 8, 8);
+            prop_assert_eq!(a.0 & !b.0, 0, "cell {} lost taint: {} ⊄ {}", c, a, b);
+        }
+        for r in REGS {
+            let a = t_small.reg_taint(r, Width::B8);
+            let b = t_big.reg_taint(r, Width::B8);
+            prop_assert_eq!(a.0 & !b.0, 0, "reg {} lost taint", r);
+        }
+        let _ = TaintSet::EMPTY;
+    }
+
+    #[test]
+    fn no_seed_means_no_taint(ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let code = compile(&ops);
+        let t = run_with_seed(&code, &[]);
+        for c in 0..CELLS {
+            prop_assert!(!t.mem_taint_union(DATA + c * 8, 8).is_tainted());
+        }
+        for r in REGS {
+            prop_assert!(!t.reg_taint(r, Width::B8).is_tainted());
+        }
+    }
+}

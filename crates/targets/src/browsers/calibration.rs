@@ -1,0 +1,89 @@
+//! Per-DLL SEH population calibration for Tables II and III.
+//!
+//! The paper analyzes proprietary Windows system DLLs; we synthesize
+//! modules whose handler/filter populations are calibrated to the paper's
+//! reported per-DLL counts, and the pipeline must *recover* these numbers
+//! from the binary (it is never shown this table). Cells that are
+//! unreadable in the available copy of the paper are reconstructed to
+//! match the prose totals (e.g. "only 4 of 126 filter functions remain in
+//! sechost.dll, while 9 of 129 are left in msvcrt.dll"); EXPERIMENTS.md
+//! records which cells are reconstructions.
+
+/// Calibration row for one system DLL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DllCalib {
+    /// DLL name (without extension).
+    pub name: &'static str,
+    /// Table II: guarded code locations before symbolic execution.
+    pub guarded_before: u32,
+    /// Table II: locations whose filter can accept an access violation
+    /// (including catch-all scopes) — "after SB".
+    pub guarded_after: u32,
+    /// Table II: locations (from the after-SB set) on the browsing
+    /// execution path.
+    pub on_path: u32,
+    /// Table III: unique filter functions, x64 image, before SB.
+    pub fx64_before: u32,
+    /// Table III: x64 filters surviving SB (accept AV or undecidable).
+    pub fx64_after: u32,
+    /// Table III: unique filter functions, x86 image, before SB.
+    pub fx86_before: u32,
+    /// Table III: x86 filters surviving SB.
+    pub fx86_after: u32,
+    /// Whether this DLL appears in Table II (guarded-location analysis).
+    pub in_table2: bool,
+    /// Whether this DLL appears in Table III (filter analysis).
+    pub in_table3: bool,
+}
+
+/// The calibrated population, in paper row order.
+pub const CALIBRATION: &[DllCalib] = &[
+    DllCalib { name: "user32", guarded_before: 70, guarded_after: 63, on_path: 40, fx64_before: 9, fx64_after: 4, fx86_before: 17, fx86_after: 6, in_table2: true, in_table3: true },
+    DllCalib { name: "kernel32", guarded_before: 76, guarded_after: 66, on_path: 14, fx64_before: 60, fx64_after: 12, fx86_before: 50, fx86_after: 10, in_table2: true, in_table3: true },
+    DllCalib { name: "msvcrt", guarded_before: 129, guarded_after: 10, on_path: 3, fx64_before: 129, fx64_after: 9, fx86_before: 33, fx86_after: 5, in_table2: true, in_table3: true },
+    DllCalib { name: "jscript9", guarded_before: 22, guarded_after: 6, on_path: 4, fx64_before: 29, fx64_after: 6, fx86_before: 6, fx86_after: 2, in_table2: true, in_table3: true },
+    DllCalib { name: "rpcrt4", guarded_before: 62, guarded_after: 20, on_path: 6, fx64_before: 62, fx64_after: 20, fx86_before: 25, fx86_after: 8, in_table2: true, in_table3: false },
+    DllCalib { name: "sechost", guarded_before: 133, guarded_after: 11, on_path: 0, fx64_before: 126, fx64_after: 4, fx86_before: 19, fx86_after: 9, in_table2: true, in_table3: true },
+    DllCalib { name: "ws2_32", guarded_before: 82, guarded_after: 29, on_path: 10, fx64_before: 55, fx64_after: 25, fx86_before: 25, fx86_after: 7, in_table2: true, in_table3: true },
+    DllCalib { name: "xmllite", guarded_before: 10, guarded_after: 2, on_path: 1, fx64_before: 10, fx64_after: 0, fx86_before: 10, fx86_after: 0, in_table2: true, in_table3: true },
+    DllCalib { name: "kernelbase", guarded_before: 60, guarded_after: 24, on_path: 0, fx64_before: 54, fx64_after: 21, fx86_before: 21, fx86_after: 8, in_table2: false, in_table3: true },
+    DllCalib { name: "ntdll", guarded_before: 90, guarded_after: 30, on_path: 0, fx64_before: 71, fx64_after: 25, fx86_before: 25, fx86_after: 9, in_table2: false, in_table3: true },
+];
+
+/// Row by name.
+pub fn calib(name: &str) -> Option<&'static DllCalib> {
+    CALIBRATION.iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_internally_consistent() {
+        for c in CALIBRATION {
+            assert!(c.guarded_after <= c.guarded_before, "{}", c.name);
+            assert!(c.on_path <= c.guarded_after, "{}", c.name);
+            assert!(c.fx64_after <= c.fx64_before, "{}", c.name);
+            assert!(c.fx86_after <= c.fx86_before, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn prose_anchors_hold() {
+        // "only 4 of 126 filter functions remain in sechost.dll"
+        let s = calib("sechost").unwrap();
+        assert_eq!((s.fx64_before, s.fx64_after), (126, 4));
+        // "9 of 129 are left in msvcrt"
+        let m = calib("msvcrt").unwrap();
+        assert_eq!((m.fx64_before, m.fx64_after), (129, 9));
+        // "63 crash-resistant candidates from 70 exception handlers in
+        // user32.dll, whereby 40 code locations … executed"
+        let u = calib("user32").unwrap();
+        assert_eq!((u.guarded_before, u.guarded_after, u.on_path), (70, 63, 40));
+        // "sechost.dll guards 133 code locations, whereby 11 crash-
+        // resistant candidates exist and no guarded code location was
+        // triggered"
+        assert_eq!((s.guarded_before, s.guarded_after, s.on_path), (133, 11, 0));
+    }
+}

@@ -1,0 +1,605 @@
+//! Generator for system-DLL images with calibrated SEH populations.
+//!
+//! Each generated module contains `guarded_total` functions guarded by
+//! C-specific exception handlers (one `__try` scope each) and
+//! `filters_total` distinct filter *functions* (real machine code), wired
+//! so that exactly `guarded_accepting` scopes can accept an access
+//! violation (catch-all scopes plus scopes referencing AV-accepting
+//! filters) and exactly `filters_accepting` filters survive symbolic
+//! vetting. The discovery pipeline never sees these numbers — it must
+//! recover them from `.pdata`/`.xdata` and the filter code.
+
+use super::calibration::DllCalib;
+use cr_image::{FilterRef, Machine, PeBuilder, PeImage, ScopeEntry};
+use cr_isa::{Asm, Cond, Inst, Mem as M, Reg, Rm, Width};
+use cr_os::windows::api::ApiTable;
+use cr_os::windows::STATUS_ACCESS_VIOLATION;
+use Reg::*;
+
+/// Base address of the generated-DLL region.
+pub const DLL_REGION: u64 = 0x7FF9_0000_0000;
+/// Address stride between DLL images.
+pub const DLL_STRIDE: u64 = 0x0100_0000;
+
+/// Generation request for one module.
+#[derive(Debug, Clone)]
+pub struct DllSpec {
+    /// Module name (e.g. `user32`).
+    pub name: String,
+    /// Container machine (x64 or modeled x86 — see DESIGN.md).
+    pub machine: Machine,
+    /// Preferred image base.
+    pub image_base: u64,
+    /// Total guarded code locations.
+    pub guarded_total: u32,
+    /// Locations whose scope can accept an AV (catch-all included).
+    pub guarded_accepting: u32,
+    /// How many accepting locations the browse workload exercises.
+    pub on_path: u32,
+    /// Total distinct filter functions.
+    pub filters_total: u32,
+    /// Filters that accept AV (or defeat the analysis — see
+    /// `unknown_filter`).
+    pub filters_accepting: u32,
+    /// Make one "accepting" filter call a helper function, so symbolic
+    /// execution cannot decide it (the paper's post-update IE filter).
+    pub unknown_filter: bool,
+    /// Attach the jscript9 `MUTX::Enter` idiom (needs the API table).
+    pub mutx_extra: Option<ApiTable>,
+    /// Emit a vectored exception handler routine (`RtlProbeVeh`) — code
+    /// present in the module but *not referenced by any scope table*, so
+    /// static `.pdata` analysis cannot find it (the paper's Firefox
+    /// limitation, §VII-A). It handles AVs by setting the exported
+    /// `ProbeFlag` and resuming.
+    pub veh_extra: bool,
+}
+
+impl DllSpec {
+    /// Spec from a calibration row (x64 flavor).
+    pub fn from_calib_x64(c: &DllCalib, index: usize) -> DllSpec {
+        DllSpec {
+            name: c.name.to_string(),
+            machine: Machine::X64,
+            image_base: DLL_REGION + index as u64 * DLL_STRIDE,
+            guarded_total: c.guarded_before,
+            guarded_accepting: c.guarded_after,
+            on_path: c.on_path,
+            filters_total: c.fx64_before,
+            filters_accepting: c.fx64_after,
+            unknown_filter: c.name == "jscript9",
+            mutx_extra: None,
+            veh_extra: c.name == "ntdll",
+        }
+    }
+
+    /// Spec from a calibration row (x86-container flavor).
+    pub fn from_calib_x86(c: &DllCalib, index: usize) -> DllSpec {
+        DllSpec {
+            name: c.name.to_string(),
+            machine: Machine::X86,
+            image_base: DLL_REGION + (0x80 + index as u64) * DLL_STRIDE,
+            guarded_total: c.guarded_before,
+            guarded_accepting: c.guarded_after,
+            on_path: 0,
+            filters_total: c.fx86_before,
+            filters_accepting: c.fx86_after,
+            unknown_filter: false,
+            mutx_extra: None,
+            veh_extra: false,
+        }
+    }
+}
+
+/// Generate the full §V-C module population: 187 DLLs whose totals match
+/// the paper's prose — 6,745 C-specific handlers using 5,751 distinct
+/// filter functions, of which 808 survive symbolic execution.
+///
+/// The ten calibrated system DLLs contribute their Table II/III numbers;
+/// the remaining 177 modules carry deterministic pseudo-random
+/// populations scaled so the totals land exactly.
+pub fn full_population_specs() -> Vec<DllSpec> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const TOTAL_DLLS: usize = 187;
+    const TOTAL_HANDLERS: u32 = 6_745;
+    const TOTAL_FILTERS: u32 = 5_751;
+    const TOTAL_FILTERS_AFTER: u32 = 808;
+    /// "These filter functions are used by 1,797 exception handlers."
+    const TOTAL_AV_CAPABLE: u32 = 1_797;
+
+    let mut specs: Vec<DllSpec> = super::calibration::CALIBRATION
+        .iter()
+        .enumerate()
+        .map(|(i, c)| DllSpec::from_calib_x64(c, i))
+        .collect();
+    let mut handlers: u32 = specs.iter().map(|s| s.guarded_total).sum();
+    let mut filters: u32 = specs.iter().map(|s| s.filters_total).sum();
+    let mut filters_after: u32 = specs.iter().map(|s| s.filters_accepting).sum();
+
+    let remaining = TOTAL_DLLS - specs.len();
+    let mut rng = StdRng::seed_from_u64(0xD511);
+    for k in 0..remaining {
+        let left = (remaining - k) as u32;
+        let h_quota = (TOTAL_HANDLERS - handlers) / left;
+        let f_quota = (TOTAL_FILTERS - filters) / left;
+        let fa_quota = (TOTAL_FILTERS_AFTER - filters_after) / left;
+        let (h, f, fa) = if k + 1 == remaining {
+            // Last module absorbs rounding so totals are exact.
+            (
+                TOTAL_HANDLERS - handlers,
+                TOTAL_FILTERS - filters,
+                TOTAL_FILTERS_AFTER - filters_after,
+            )
+        } else {
+            let jitter = |q: u32, rng: &mut StdRng| {
+                if q <= 2 {
+                    q
+                } else {
+                    rng.gen_range(q.saturating_sub(q / 3).max(1)..=q + q / 3)
+                }
+            };
+            (jitter(h_quota, &mut rng), jitter(f_quota, &mut rng), fa_quota.min(f_quota))
+        };
+        let h = h.max(2);
+        let f = f.min(h * 4).max(1); // scopes can reference several filters
+        let fa = fa.min(f).min(h.saturating_sub(1));
+        // guarded_accepting must leave rejecting functions when rejecting
+        // filters exist, and cover accepting filters.
+        let accepting = fa.max(if fa == f { h } else { (h / 4).max(fa) }).min(h.saturating_sub(u32::from(fa < f)));
+        specs.push(DllSpec {
+            name: format!("mod{k:03}"),
+            machine: Machine::X64,
+            image_base: DLL_REGION + (0x100 + k as u64) * DLL_STRIDE,
+            guarded_total: h,
+            guarded_accepting: accepting,
+            on_path: 0,
+            filters_total: f,
+            filters_accepting: fa,
+            unknown_filter: false,
+            mutx_extra: None,
+            veh_extra: false,
+        });
+        handlers += h;
+        filters += f;
+        filters_after += fa;
+    }
+    debug_assert_eq!(handlers, TOTAL_HANDLERS);
+    debug_assert_eq!(filters, TOTAL_FILTERS);
+    debug_assert_eq!(filters_after, TOTAL_FILTERS_AFTER);
+
+    // Fix-up pass: nudge synthetic modules' accepting counts (within their
+    // structural bounds) until the AV-capable handler total matches the
+    // prose's 1,797.
+    let fixed = super::calibration::CALIBRATION.len();
+    let mut av_total: i64 = specs.iter().map(|s| s.guarded_accepting as i64).sum();
+    let mut k = fixed;
+    while av_total != TOTAL_AV_CAPABLE as i64 {
+        let s = &mut specs[k];
+        let min_acc = s.filters_accepting;
+        let max_acc = s.guarded_total - u32::from(s.filters_accepting < s.filters_total);
+        if av_total < TOTAL_AV_CAPABLE as i64 && s.guarded_accepting < max_acc {
+            s.guarded_accepting += 1;
+            av_total += 1;
+        } else if av_total > TOTAL_AV_CAPABLE as i64 && s.guarded_accepting > min_acc {
+            s.guarded_accepting -= 1;
+            av_total -= 1;
+        }
+        k += 1;
+        if k == specs.len() {
+            k = fixed;
+        }
+    }
+    specs
+}
+
+/// Offset of the `ScriptEngine` object in the data section (jscript9).
+pub const ENGINE_DATA_RVA: u32 = 0x8000;
+/// ScriptEngine field offsets: status, then CRITICAL_SECTION at +0x10.
+pub const ENGINE_STATUS_OFF: u64 = 0;
+/// CRITICAL_SECTION offset inside the ScriptEngine.
+pub const ENGINE_CS_OFF: u64 = 0x10;
+
+/// Generate a module image for `spec`.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (e.g. rejecting scopes but no rejecting
+/// filters).
+pub fn generate_dll(spec: &DllSpec) -> PeImage {
+    let base = spec.image_base;
+    let text_rva: u32 = 0x1000;
+    let mut a = Asm::new(base + text_rva as u64);
+
+    // __C_specific_handler stub (referenced by every UNWIND_INFO).
+    a.global("__C_specific_handler");
+    a.ret();
+    a.align(16);
+
+    // Helper used by the "unknown" filter shape.
+    a.global("FilterHelper");
+    a.mov_ri(Rax, 1);
+    a.ret();
+    a.align(16);
+
+    // ---- filter functions -------------------------------------------------
+    let mut accepting_filters: Vec<usize> = Vec::new();
+    let mut rejecting_filters: Vec<usize> = Vec::new();
+    for i in 0..spec.filters_total {
+        a.global(&format!("Filter{i}"));
+        let accepting = i < spec.filters_accepting;
+        if accepting {
+            accepting_filters.push(i as usize);
+            let unknown_here = spec.unknown_filter && i + 1 == spec.filters_accepting;
+            if unknown_here {
+                emit_filter_calls_helper(&mut a);
+            } else {
+                emit_accepting_filter(&mut a, i);
+            }
+        } else {
+            rejecting_filters.push(i as usize);
+            emit_rejecting_filter(&mut a, i - spec.filters_accepting);
+        }
+        a.align(16);
+    }
+
+    assert!(
+        spec.guarded_total == spec.guarded_accepting || !rejecting_filters.is_empty(),
+        "{}: rejecting scopes need rejecting filters",
+        spec.name
+    );
+
+    // ---- guarded functions -------------------------------------------------
+    // Every filter function must be referenced from some scope (otherwise
+    // it would not be part of the module's filter population). Real
+    // modules nest multiple `__try` regions per function, so a guarded
+    // function here carries one or more scopes. Function i < accepting
+    // count is "accepting" (≥1 surviving scope); the rest are rejecting.
+    #[derive(Clone, Copy, PartialEq)]
+    enum FilterChoice {
+        CatchAll,
+        Filter(usize),
+    }
+    let has_mutx_fn = spec.mutx_extra.is_some();
+    // MUTX (when present) is itself one accepting guarded function.
+    let regular_total = spec.guarded_total - has_mutx_fn as u32;
+    let regular_accepting = spec.guarded_accepting - has_mutx_fn as u32;
+    let rejecting_count = regular_total - regular_accepting;
+    let mut fn_scopes: Vec<Vec<FilterChoice>> = vec![Vec::new(); regular_total as usize];
+    // Distribute accepting filters round-robin over accepting functions.
+    for (k, &f) in accepting_filters.iter().enumerate() {
+        if regular_accepting > 0 {
+            fn_scopes[k % regular_accepting as usize].push(FilterChoice::Filter(f));
+        }
+    }
+    // Accepting functions without a filter get a catch-all scope.
+    for slots in fn_scopes.iter_mut().take(regular_accepting as usize) {
+        if slots.is_empty() {
+            slots.push(FilterChoice::CatchAll);
+        }
+    }
+    // Distribute rejecting filters over rejecting functions.
+    assert!(
+        rejecting_filters.is_empty() || rejecting_count > 0,
+        "{}: rejecting filters need rejecting functions",
+        spec.name
+    );
+    for (k, &f) in rejecting_filters.iter().enumerate() {
+        let idx = regular_accepting as usize + k % rejecting_count.max(1) as usize;
+        fn_scopes[idx].push(FilterChoice::Filter(f));
+    }
+    // Rejecting functions without a filter re-reference one (real modules
+    // share filter functions across many handlers).
+    #[allow(clippy::same_item_push)]
+    for slots in fn_scopes.iter_mut().skip(regular_accepting as usize) {
+        if slots.is_empty() {
+            slots.push(FilterChoice::Filter(
+                *rejecting_filters.first().expect("checked above"),
+            ));
+        }
+    }
+    let guard_filters = fn_scopes;
+
+    // Optional MUTX::Enter extra (one additional catch-all scope).
+    let has_mutx = spec.mutx_extra.is_some();
+    if let Some(api) = &spec.mutx_extra {
+        a.global("MUTX_Enter");
+        // rcx = &ScriptEngine; status at +0, CRITICAL_SECTION at +0x10.
+        a.store_i_at(Rcx, 0, 0);
+        a.mov_rr(R10, Rcx);
+        a.lea(Rcx, M::base_disp(R10, ENGINE_CS_OFF as i32));
+        a.global("MUTX_tb");
+        a.mov_ri(Rax, api.address_of("EnterCriticalSection"));
+        a.call_reg(Rax);
+        a.global("MUTX_te");
+        a.zero(Rax);
+        a.ret();
+        a.global("MUTX_ex");
+        a.store_i_at(R10, ENGINE_STATUS_OFF as i32, 1);
+        a.mov_ri(Rax, 1);
+        a.ret();
+        a.global("MUTX_end");
+        a.align(16);
+    }
+
+    // Optional VEH handler routine (runtime-registered, invisible to the
+    // static .pdata analysis). ABI: rcx = PEXCEPTION_POINTERS; returns
+    // -1 (continue execution) for AVs after flagging, else 0.
+    if spec.veh_extra {
+        a.global("RtlProbeVeh");
+        emit_load_code(&mut a);
+        cmp_eax(&mut a, STATUS_ACCESS_VIOLATION);
+        let not_av = a.fresh();
+        a.jcc(Cond::Ne, not_av);
+        a.mov_ri(R9, base + ENGINE_DATA_RVA as u64 + 0x1C0);
+        a.store_i(M::base(R9), 1);
+        a.mov_ri(Rax, (-1i64) as u64);
+        a.ret();
+        a.bind(not_av);
+        a.zero(Rax);
+        a.ret();
+        a.align(16);
+    }
+
+    let on_path_regular = spec.on_path.saturating_sub(has_mutx_fn as u32);
+    for (i, scopes) in guard_filters.iter().enumerate() {
+        let accepting = (i as u32) < regular_accepting;
+        a.global(&format!("Guarded{i}"));
+        if accepting && (i as u32) < on_path_regular {
+            let l = a.here();
+            a.name(&format!("OnPath{i}"), l);
+        }
+        // rcx = probe target. Body: one dereference per scope, each its
+        // own `__try` region with its own `__except` continuation.
+        for k in 0..scopes.len() {
+            a.global(&format!("G{i}_tb{k}"));
+            a.load(Rax, M::base(Rcx));
+            a.global(&format!("G{i}_te{k}"));
+        }
+        a.ret();
+        for k in 0..scopes.len() {
+            a.global(&format!("G{i}_ex{k}"));
+            a.mov_ri(Rax, 0xEEEE_0000 + i as u64 + ((k as u64) << 32));
+            a.ret();
+        }
+        a.global(&format!("G{i}_end"));
+        a.align(16);
+    }
+    a.global("text_end");
+
+    let assembled = a.assemble().expect("dll assembles");
+    let rva = |sym: &str| (assembled.sym(sym) - base) as u32;
+
+    let mut b = PeBuilder::new(&format!("{}.dll", spec.name), spec.machine, base);
+    b.entry(rva("__C_specific_handler"));
+    let handler_rva = rva("__C_specific_handler");
+
+    // Data section: scratch area + (optionally) the ScriptEngine object.
+    let mut data = vec![0u8; 0x200];
+    if has_mutx {
+        // ScriptEngine initial state: status 0; CS: DebugInfo → valid
+        // debug area (data+0x100), LockCount -1 (free), rest 0.
+        let dbg_va = base + ENGINE_DATA_RVA as u64 + 0x100;
+        data[0x10..0x18].copy_from_slice(&dbg_va.to_le_bytes());
+        data[0x18..0x1C].copy_from_slice(&(-1i32).to_le_bytes());
+        b.export("ScriptEngine", ENGINE_DATA_RVA);
+    }
+    b.export("Scratch", ENGINE_DATA_RVA + 0x180);
+    b.data(ENGINE_DATA_RVA, data);
+
+    // Exports: guarded + on-path + mutx.
+    for i in 0..regular_total {
+        b.export(&format!("Guarded{i}"), rva(&format!("Guarded{i}")));
+    }
+    for i in 0..on_path_regular {
+        b.export(&format!("OnPath{i}"), rva(&format!("OnPath{i}")));
+    }
+    if has_mutx && spec.on_path > 0 {
+        // MUTX is on the browse path via ProcessScript; export an alias so
+        // generic on-path drivers can also reach it.
+        b.export(&format!("OnPath{}", on_path_regular), rva("MUTX_Enter"));
+    }
+    if spec.veh_extra {
+        b.export("RtlProbeVeh", rva("RtlProbeVeh"));
+        b.export("ProbeFlag", ENGINE_DATA_RVA + 0x1C0);
+    }
+    if has_mutx {
+        b.export("MUTX_Enter", rva("MUTX_Enter"));
+        // The paper's IE scope: filter address field contains 0x1.
+        b.function_with_seh(
+            rva("MUTX_Enter"),
+            rva("MUTX_end"),
+            handler_rva,
+            vec![ScopeEntry {
+                begin_rva: rva("MUTX_tb"),
+                end_rva: rva("MUTX_te"),
+                filter: FilterRef::CatchAll,
+                target_rva: rva("MUTX_ex"),
+            }],
+        );
+    }
+
+    // Runtime functions with scope tables (one per guarded function,
+    // possibly several scopes each).
+    for (i, choices) in guard_filters.iter().enumerate() {
+        let scopes: Vec<ScopeEntry> = choices
+            .iter()
+            .enumerate()
+            .map(|(k, choice)| ScopeEntry {
+                begin_rva: rva(&format!("G{i}_tb{k}")),
+                end_rva: rva(&format!("G{i}_te{k}")),
+                filter: match choice {
+                    FilterChoice::CatchAll => FilterRef::CatchAll,
+                    FilterChoice::Filter(idx) => {
+                        FilterRef::Function(rva(&format!("Filter{idx}")))
+                    }
+                },
+                target_rva: rva(&format!("G{i}_ex{k}")),
+            })
+            .collect();
+        b.function_with_seh(
+            rva(&format!("Guarded{i}")),
+            rva(&format!("G{i}_end")),
+            handler_rva,
+            scopes,
+        );
+    }
+    // Plain runtime functions for the filters themselves (no handler).
+    let after_filters = if spec.veh_extra {
+        rva("RtlProbeVeh")
+    } else if has_mutx {
+        rva("MUTX_Enter")
+    } else if spec.guarded_total > 0 {
+        rva("Guarded0")
+    } else {
+        rva("text_end")
+    };
+    for i in 0..spec.filters_total as usize {
+        let begin = rva(&format!("Filter{i}"));
+        let end = if i + 1 < spec.filters_total as usize {
+            rva(&format!("Filter{}", i + 1))
+        } else {
+            after_filters
+        };
+        b.function(begin, end);
+    }
+
+    b.text(text_rva, assembled.code.clone());
+    PeImage::parse(&b.build()).expect("generated image parses")
+}
+
+// ---- filter shapes ---------------------------------------------------------
+
+/// Load `ExceptionCode` into eax (filter prologue).
+fn emit_load_code(a: &mut Asm) {
+    a.load(Rax, M::base(Rcx)); // rax = &EXCEPTION_RECORD
+    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+}
+
+fn cmp_eax(a: &mut Asm, code: u32) {
+    a.inst(Inst::AluRmI {
+        op: cr_isa::AluOp::Cmp,
+        dst: Rm::Reg(Rax),
+        imm: code as i32,
+        width: Width::B4,
+    });
+}
+
+fn emit_accepting_filter(a: &mut Asm, variant: u32) {
+    match variant % 4 {
+        0 => {
+            // return 1
+            a.mov_ri(Rax, 1);
+            a.ret();
+        }
+        1 => {
+            // return code == AV
+            emit_load_code(a);
+            cmp_eax(a, STATUS_ACCESS_VIOLATION);
+            let no = a.fresh();
+            a.jcc(Cond::Ne, no);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(no);
+            a.zero(Rax);
+            a.ret();
+        }
+        2 => {
+            // severity mask: accept any STATUS_SEVERITY_ERROR code
+            emit_load_code(a);
+            a.shr(Rax, 30);
+            a.cmp_ri(Rax, 3);
+            let no = a.fresh();
+            a.jcc(Cond::Ne, no);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(no);
+            a.zero(Rax);
+            a.ret();
+        }
+        _ => {
+            // exclusion list: reject two specific codes, accept the rest
+            emit_load_code(a);
+            let reject = a.fresh();
+            cmp_eax(a, 0xC000_0094); // INTEGER_DIVIDE_BY_ZERO
+            a.jcc(Cond::E, reject);
+            cmp_eax(a, 0x8000_0003); // BREAKPOINT
+            a.jcc(Cond::E, reject);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(reject);
+            a.zero(Rax);
+            a.ret();
+        }
+    }
+}
+
+fn emit_rejecting_filter(a: &mut Asm, variant: u32) {
+    match variant % 4 {
+        0 => {
+            // return 0
+            a.zero(Rax);
+            a.ret();
+        }
+        1 => {
+            // return code == INTEGER_DIVIDE_BY_ZERO
+            emit_load_code(a);
+            cmp_eax(a, 0xC000_0094);
+            let no = a.fresh();
+            a.jcc(Cond::Ne, no);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(no);
+            a.zero(Rax);
+            a.ret();
+        }
+        2 => {
+            // return code == BREAKPOINT
+            emit_load_code(a);
+            cmp_eax(a, 0x8000_0003);
+            let no = a.fresh();
+            a.jcc(Cond::Ne, no);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(no);
+            a.zero(Rax);
+            a.ret();
+        }
+        _ => {
+            // handle everything EXCEPT access violations
+            emit_load_code(a);
+            cmp_eax(a, STATUS_ACCESS_VIOLATION);
+            let no = a.fresh();
+            a.jcc(Cond::E, no);
+            a.mov_ri(Rax, 1);
+            a.ret();
+            a.bind(no);
+            a.zero(Rax);
+            a.ret();
+        }
+    }
+}
+
+fn emit_filter_calls_helper(a: &mut Asm) {
+    // Delegate the decision to a helper — undecidable for the symbolic
+    // executor, requiring manual verification (paper §VII-A).
+    let helper = a.fresh();
+    a.call_label(helper);
+    a.ret();
+    // The helper body is shared; jump into the module-level FilterHelper
+    // via a local trampoline to keep this filter self-contained.
+    a.bind(helper);
+    a.mov_ri(Rax, 1);
+    a.ret();
+}
+
+// Convenience: `mov qword [reg+off], imm` for the MUTX body.
+trait AsmExt {
+    fn store_i_at(&mut self, base: Reg, off: i32, imm: i32);
+}
+
+impl AsmExt for Asm {
+    fn store_i_at(&mut self, base: Reg, off: i32, imm: i32) {
+        self.store_i(M::base_disp(base, off), imm);
+    }
+}

@@ -1,0 +1,225 @@
+//! `firefox-sim` — a Firefox 46-like host process.
+//!
+//! Reproduces the §VI-B memory oracle and the §VII-A discovery
+//! limitation:
+//!
+//! * the exception handler lives in the *ntdll-like* module
+//!   (`RtlProbeVeh`) but is registered as a **vectored** exception
+//!   handler at runtime via `AddVectoredExceptionHandler` — static
+//!   `.pdata` analysis cannot see it;
+//! * a background worker thread continuously polls a job object; writing
+//!   a probe address into the object makes the worker dereference it, the
+//!   VEH swallows any AV (setting `ProbeFlag`), and the worker publishes
+//!   the verdict — "we only need to write the address to probe … and read
+//!   back the result";
+//! * an `AsmJsBench` entry generates the *intentional* guard-page faults
+//!   of §VII-C (bursts of up to 20 handled AVs on mapped-but-inaccessible
+//!   memory).
+
+use super::calibration::calib;
+use super::dlls::{generate_dll, DllSpec};
+use cr_image::{Machine, PeBuilder, PeImage};
+use cr_isa::{Asm, Cond, Mem as M, Reg};
+use cr_os::windows::api::ApiTable;
+use cr_os::windows::WinProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Host module base.
+pub const HOST_BASE: u64 = 0x1_5000_0000;
+/// Guard page used by the asm.js-style optimization (mapped, PROT_NONE).
+pub const GUARD_PAGE: u64 = 0x1_5100_0000;
+
+/// Job object layout: `{probe_addr, result}` (result: 1 mapped, 2 fault).
+pub const JOB_PROBE_OFF: u64 = 0;
+/// Result slot offset.
+pub const JOB_RESULT_OFF: u64 = 8;
+
+/// A built Firefox-like process.
+pub struct FirefoxSim {
+    /// The process.
+    pub proc: WinProc,
+    /// Job object address (host data).
+    pub job: u64,
+    /// `RenderPage` entry.
+    pub render_page: u64,
+    /// `AsmJsBench` entry.
+    pub asmjs_bench: u64,
+    /// The runtime-registered VEH handler address (ground truth the
+    /// static analysis must *miss*).
+    pub veh_handler: u64,
+}
+
+impl std::fmt::Debug for FirefoxSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FirefoxSim").field("job", &self.job).finish()
+    }
+}
+
+/// Build the firefox-sim process: load ntdll, register the VEH, spawn the
+/// background probing thread.
+pub fn build() -> FirefoxSim {
+    let api = ApiTable::curated_only();
+    let mut proc = WinProc::new(api.clone());
+
+    let ntdll_calib = calib("ntdll").expect("calibrated");
+    let spec = DllSpec::from_calib_x64(ntdll_calib, 9);
+    let ntdll = generate_dll(&spec);
+    proc.load_module(&ntdll);
+    let ntdll = proc.module("ntdll.dll").expect("loaded").clone();
+    let veh_handler = ntdll.export("RtlProbeVeh");
+    let flag = ntdll.export("ProbeFlag");
+
+    // Host module: FoxInit, Worker, RenderPage, AsmJsBench.
+    let mut a = Asm::new(HOST_BASE + 0x1000);
+    let job = HOST_BASE + 0x3000;
+
+    a.global("FoxInit");
+    a.zero(Rcx);
+    a.mov_ri(Rdx, veh_handler);
+    a.mov_ri(Rax, api.address_of("AddVectoredExceptionHandler"));
+    a.call_reg(Rax);
+    a.ret();
+    a.align(16);
+
+    a.global("Worker");
+    a.mov_rr(R12, Rcx); // &job
+    let top = a.here();
+    let sleepy = a.fresh();
+    a.load(Rax, M::base(R12));
+    a.test_rr(Rax);
+    a.jcc(Cond::E, sleepy);
+    // clear flag, probe, read flag
+    a.mov_ri(R9, flag);
+    a.store_i(M::base(R9), 0);
+    a.load(R8, M::base(Rax)); // THE PROBE (VEH swallows faults)
+    a.mov_ri(R9, flag);
+    a.load(Rax, M::base(R9));
+    a.add_ri(Rax, 1); // 1 = mapped, 2 = faulted
+    a.store(M::base_disp(R12, JOB_RESULT_OFF as i32), Rax);
+    a.store_i(M::base(R12), 0);
+    a.bind(sleepy);
+    a.hlt(); // yield
+    a.jmp(top);
+    a.align(16);
+
+    a.global("RenderPage");
+    a.mov_ri(R9, HOST_BASE + 0x3100);
+    a.load(Rax, M::base(R9));
+    a.add_ri(Rax, 1);
+    a.store(M::base(R9), Rax);
+    a.ret();
+    a.align(16);
+
+    // asm.js-style optimization: a burst of guarded accesses to a mapped
+    // PROT_NONE page (bounds-check elimination via fault handling).
+    a.global("AsmJsBench");
+    a.mov_ri(Rbx, 20);
+    let burst = a.here();
+    a.mov_ri(R9, GUARD_PAGE);
+    a.load(Rax, M::base(R9)); // handled AV on *mapped* memory
+    a.sub_ri(Rbx, 1);
+    a.cmp_ri(Rbx, 0);
+    a.jcc(Cond::G, burst);
+    a.ret();
+
+    let assembled = a.assemble().expect("host assembles");
+    let rva = |s: &str| (assembled.sym(s) - HOST_BASE) as u32;
+    let mut b = PeBuilder::new("firefox.exe", Machine::X64, HOST_BASE);
+    b.entry(rva("FoxInit"));
+    for s in ["FoxInit", "Worker", "RenderPage", "AsmJsBench"] {
+        b.export(s, rva(s));
+    }
+    b.text(0x1000, assembled.code.clone());
+    b.data(0x3000, vec![0u8; 0x200]);
+    let host = PeImage::parse(&b.build()).expect("host parses");
+    proc.load_module(&host);
+
+    // Map the guard page (mapped but inaccessible).
+    proc.mem.map(GUARD_PAGE, 0x1000, cr_vm::Prot::NONE);
+
+    // Initialize: register the VEH and start the background worker.
+    let init = HOST_BASE + rva("FoxInit") as u64;
+    let worker = HOST_BASE + rva("Worker") as u64;
+    match proc.call(init, &[], 100_000, &mut cr_vm::NullHook) {
+        cr_os::windows::CallOutcome::Returned(_) => {}
+        other => panic!("FoxInit failed: {other:?}"),
+    }
+    proc.spawn_thread(worker, job);
+
+    FirefoxSim {
+        job,
+        render_page: HOST_BASE + rva("RenderPage") as u64,
+        asmjs_bench: HOST_BASE + rva("AsmJsBench") as u64,
+        veh_handler,
+        proc,
+    }
+}
+
+/// Use the background-thread oracle: probe `addr`, returning `true` if it
+/// is mapped. `None` if the worker never answered (should not happen).
+pub fn probe(sim: &mut FirefoxSim, addr: u64, hook: &mut dyn OsHook) -> Option<bool> {
+    sim.proc.mem.write_u64(sim.job + JOB_RESULT_OFF, 0).ok()?;
+    sim.proc.mem.write_u64(sim.job + JOB_PROBE_OFF, addr).ok()?;
+    for _ in 0..1000 {
+        sim.proc.run(600, hook);
+        let r = sim.proc.mem.read_u64(sim.job + JOB_RESULT_OFF).ok()?;
+        if r != 0 {
+            return Some(r == 1);
+        }
+        if !sim.proc.alive() {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn background_oracle_probes_without_crashing() {
+        let mut sim = build();
+        // Unmapped probe.
+        assert_eq!(probe(&mut sim, 0xdead_0000, &mut NullHook), Some(false));
+        // Mapped probe (the job object itself).
+        let job = sim.job;
+        assert_eq!(probe(&mut sim, job, &mut NullHook), Some(true));
+        assert!(sim.proc.alive(), "zero crashes");
+        // The unmapped probe produced exactly one handled fault.
+        assert!(sim.proc.fault_log.iter().any(|f| f.handled && f.addr == Some(0xdead_0000)));
+    }
+
+    #[test]
+    fn asmjs_bench_generates_handled_mapped_faults() {
+        let mut sim = build();
+        let before = sim.proc.fault_log.len();
+        match sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook) {
+            cr_os::windows::CallOutcome::Returned(_) => {}
+            other => panic!("{other:?}"),
+        }
+        let events: Vec<_> = sim.proc.fault_log[before..].to_vec();
+        assert_eq!(events.len(), 20, "one burst of 20 guard-page faults");
+        assert!(events.iter().all(|f| f.handled && f.mapped), "mapped + handled");
+    }
+
+    #[test]
+    fn veh_handler_is_not_in_any_scope_table() {
+        // §VII-A: the oracle's handler is runtime state, invisible to the
+        // static .pdata analysis.
+        let sim = build();
+        let ntdll = sim.proc.module("ntdll.dll").unwrap();
+        let handler_rva = (sim.veh_handler - ntdll.base) as u32;
+        for rf in &ntdll.image.runtime_functions {
+            for scope in &rf.unwind.scopes {
+                if let cr_image::FilterRef::Function(frva) = scope.filter {
+                    assert_ne!(frva, handler_rva, "VEH handler must not appear as a filter");
+                }
+            }
+        }
+        // But it is registered at runtime.
+        assert!(sim.proc.veh_handlers().contains(&sim.veh_handler));
+    }
+}

@@ -1,0 +1,314 @@
+//! `ie-sim` — an Internet Explorer 11-like host process.
+//!
+//! Loads the eight Table II system DLLs (x64), with the jscript9 module
+//! carrying the `MUTX::Enter` idiom of the paper's §VI-A proof of
+//! concept: a `__try`-guarded `EnterCriticalSection` call whose scope
+//! table filter field holds the constant `1` (catch-all), plus a status
+//! field in the `ScriptEngine` object that records whether the last call
+//! raised.
+//!
+//! The host module exports:
+//! * `ProcessScript` — models "the JavaScript engine processes new script
+//!   code": it invokes `MUTX::Enter` on the engine object;
+//! * `RenderPage` — a benign page-render entry used by the browsing
+//!   workload.
+
+use super::calibration::CALIBRATION;
+use super::dlls::{generate_dll, DllSpec};
+use cr_image::{Machine, PeBuilder, PeImage};
+use cr_isa::{Asm, Mem as M, Reg};
+use cr_os::windows::api::ApiTable;
+use cr_os::windows::WinProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Host module base.
+pub const HOST_BASE: u64 = 0x1_4000_0000;
+
+/// A built IE-like process plus the addresses the workloads need.
+pub struct IeSim {
+    /// The process with all modules loaded.
+    pub proc: WinProc,
+    /// `ProcessScript` entry (the JS-reachable trigger).
+    pub process_script: u64,
+    /// `RenderPage` entry.
+    pub render_page: u64,
+    /// The `ScriptEngine` object address (jscript9 data).
+    pub script_engine: u64,
+    /// Per-module `(module name, on-path entry addresses, scratch)`.
+    pub on_path: Vec<(String, Vec<u64>, u64)>,
+}
+
+impl std::fmt::Debug for IeSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IeSim")
+            .field("modules", &self.proc.modules.len())
+            .finish()
+    }
+}
+
+/// How a JS-reachable API wrapper supplies its pointer argument — the
+/// three §V-B exclusion categories, built into the host binary so the
+/// classifier has something real to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgStyle {
+    /// `lea rcx, [rsp-0x200]` — short-lived stack out-parameter.
+    StackLocal,
+    /// Pointer loaded from a data field and dereferenced by the caller
+    /// right before the call.
+    DerefOutside,
+    /// Address materialized as an immediate in code — no writable memory
+    /// cell ever holds it ("volatile heap pointer, no previous
+    /// references stored in memory").
+    Volatile,
+}
+
+/// Scratch page all render-path API calls use for valid pointers.
+pub const SCRATCH_PAGE: u64 = HOST_BASE + 0x4000;
+/// Page referenced only from code immediates (the Volatile style).
+pub const VOLATILE_PAGE: u64 = HOST_BASE + 0x5000;
+/// Data field holding the DerefOutside pointer.
+pub const DEREF_FIELD: u64 = HOST_BASE + 0x3080;
+
+/// Build the full IE-sim process with only the curated API set.
+pub fn build() -> IeSim {
+    build_with_corpus(0, 0)
+}
+
+/// Build IE-sim with a generated API corpus of `generated` functions.
+///
+/// The host binary calls a sample of crash-resistant corpus APIs on the
+/// render path (valid pointers) and a second sample from the JS path with
+/// the three §V-B argument styles, so the funnel experiment has real
+/// call sites to harvest and classify.
+pub fn build_with_corpus(generated: usize, seed: u64) -> IeSim {
+    let api = ApiTable::with_corpus(generated, seed);
+    let mut proc = WinProc::new(api.clone());
+
+    for (i, c) in CALIBRATION.iter().filter(|c| c.in_table2).enumerate() {
+        let mut spec = DllSpec::from_calib_x64(c, i);
+        if c.name == "jscript9" {
+            spec.mutx_extra = Some(api.clone());
+        }
+        let img = generate_dll(&spec);
+        proc.load_module(&img);
+    }
+
+    let jscript9 = proc.module("jscript9.dll").expect("loaded").clone();
+    let engine = jscript9.export("ScriptEngine");
+    let mutx = jscript9.export("MUTX_Enter");
+
+    // Pick corpus samples: graceful (crash-resistant) APIs split between
+    // the render path and the JS path; some raw-deref APIs for realism.
+    let graceful: Vec<String> = api
+        .specs()
+        .iter()
+        .filter(|s| {
+            s.name.starts_with("ApiFn")
+                && s.has_pointer_arg()
+                && matches!(s.behavior, cr_os::windows::api::ApiBehavior::Graceful { .. })
+        })
+        .map(|s| s.name.clone())
+        .collect();
+    let render_graceful: Vec<&str> = graceful.iter().take(12).map(|s| s.as_str()).collect();
+    let js_graceful: Vec<&str> = graceful.iter().skip(12).take(11).map(|s| s.as_str()).collect();
+    let rawderef: Vec<String> = api
+        .specs()
+        .iter()
+        .filter(|s| {
+            s.name.starts_with("ApiFn")
+                && s.has_pointer_arg()
+                && matches!(s.behavior, cr_os::windows::api::ApiBehavior::RawDeref { .. })
+        })
+        .take(8)
+        .map(|s| s.name.clone())
+        .collect();
+
+    // Emit `call api(name)` with every pointer arg supplied per `style`.
+    let emit_call = |a: &mut Asm, api: &ApiTable, name: &str, style: Option<ArgStyle>| {
+        let spec = api.spec_at(api.address_of(name)).expect("known api").clone();
+        let arg_regs = [Rcx, Rdx, R8, R9];
+        for (i, at) in spec.args.iter().enumerate().take(4) {
+            let reg = arg_regs[i];
+            if at.is_pointer() {
+                match style {
+                    None => {
+                        a.mov_ri(reg, SCRATCH_PAGE + 0x100 * i as u64);
+                    }
+                    Some(ArgStyle::StackLocal) => {
+                        a.lea(reg, M::base_disp(Rsp, -0x200 - 0x10 * i as i32));
+                    }
+                    Some(ArgStyle::DerefOutside) => {
+                        a.mov_ri(R11, DEREF_FIELD);
+                        a.load(reg, M::base(R11));
+                        a.load_u8(R11, M::base(reg)); // caller-side deref
+                    }
+                    Some(ArgStyle::Volatile) => {
+                        a.mov_ri(reg, VOLATILE_PAGE + 0x40 * i as u64);
+                    }
+                }
+            } else {
+                a.mov_ri(reg, 8);
+            }
+        }
+        let addr = api.address_of(name);
+        a.mov_ri(Rax, addr);
+        a.call_reg(Rax);
+    };
+
+    // Host module.
+    let mut a = Asm::new(HOST_BASE + 0x1000);
+    a.global("ProcessScript");
+    a.push(Rbx); // keep stack 16-ish and give lea room
+    a.mov_ri(Rcx, engine);
+    a.mov_ri(Rax, mutx);
+    a.call_reg(Rax);
+    // JS-reachable API calls with the three §V-B argument styles.
+    emit_call(&mut a, &api, "GetPwrCapabilities", Some(ArgStyle::StackLocal));
+    for (k, name) in js_graceful.iter().enumerate() {
+        let style = match k {
+            0..=4 => ArgStyle::StackLocal,
+            5..=8 => ArgStyle::DerefOutside,
+            _ => ArgStyle::Volatile,
+        };
+        emit_call(&mut a, &api, name, Some(style));
+    }
+    a.pop(Rbx);
+    a.ret();
+    a.align(16);
+    a.global("RenderPage");
+    // Benign DOM work: bump a counter in host data.
+    a.mov_ri(R9, HOST_BASE + 0x3000);
+    a.load(Rax, M::base(R9));
+    a.add_ri(Rax, 1);
+    a.store(M::base(R9), Rax);
+    // Render-path API calls with valid pointers.
+    emit_call(&mut a, &api, "VirtualQuery", None);
+    for name in &render_graceful {
+        emit_call(&mut a, &api, name, None);
+    }
+    for name in &rawderef {
+        emit_call(&mut a, &api, name, None);
+    }
+    a.ret();
+    let assembled = a.assemble().expect("host assembles");
+    let rva = |s: &str| (assembled.sym(s) - HOST_BASE) as u32;
+    let mut b = PeBuilder::new("iexplore.exe", Machine::X64, HOST_BASE);
+    b.entry(rva("ProcessScript"));
+    b.export("ProcessScript", rva("ProcessScript"));
+    b.export("RenderPage", rva("RenderPage"));
+    b.text(0x1000, assembled.code.clone());
+    b.data(0x3000, vec![0u8; 0x100]);
+    let host = PeImage::parse(&b.build()).expect("host parses");
+    proc.load_module(&host);
+
+    // Pages and fields the API wrappers rely on.
+    proc.mem.map(SCRATCH_PAGE, 0x1000, cr_vm::Prot::RW);
+    proc.mem.map(VOLATILE_PAGE, 0x1000, cr_vm::Prot::RW);
+    proc.mem
+        .write_u64(DEREF_FIELD, SCRATCH_PAGE + 0x800)
+        .expect("host data mapped");
+
+    let mut on_path = Vec::new();
+    for (c, m) in CALIBRATION
+        .iter()
+        .filter(|c| c.in_table2)
+        .zip(proc.modules.clone())
+    {
+        let entries: Vec<u64> = (0..c.on_path)
+            .map(|i| m.export(&format!("OnPath{i}")))
+            .collect();
+        let scratch = m.export("Scratch");
+        on_path.push((m.name.clone(), entries, scratch));
+    }
+
+    IeSim {
+        process_script: HOST_BASE + rva("ProcessScript") as u64,
+        render_page: HOST_BASE + rva("RenderPage") as u64,
+        script_engine: engine,
+        on_path,
+        proc,
+    }
+}
+
+/// Browse `sites` synthetic websites: each visit renders a page, runs the
+/// JS engine, and exercises every on-path guarded code location once with
+/// a valid pointer (so browsing itself causes no access violations —
+/// matching the paper's §VII-C baseline).
+pub fn browse(sim: &mut IeSim, sites: usize, hook: &mut dyn OsHook) -> bool {
+    for _ in 0..sites {
+        if !matches!(
+            sim.proc.call(sim.render_page, &[], 1_000_000, hook),
+            cr_os::windows::CallOutcome::Returned(_)
+        ) {
+            return false;
+        }
+        if !matches!(
+            sim.proc.call(sim.process_script, &[], 1_000_000, hook),
+            cr_os::windows::CallOutcome::Returned(_)
+        ) {
+            return false;
+        }
+        let visits: Vec<(u64, u64)> = sim
+            .on_path
+            .iter()
+            .flat_map(|(_, entries, scratch)| entries.iter().map(|&e| (e, *scratch)))
+            .collect();
+        for (entry, scratch) in visits {
+            match sim.proc.call(entry, &[scratch], 1_000_000, hook) {
+                cr_os::windows::CallOutcome::Returned(_) => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn builds_and_browses_without_faults() {
+        let mut sim = build();
+        assert_eq!(sim.proc.modules.len(), 9, "8 system DLLs + host");
+        assert!(browse(&mut sim, 2, &mut NullHook));
+        assert!(sim.proc.alive());
+        assert!(
+            sim.proc.fault_log.is_empty(),
+            "browsing must not raise AVs: {:?}",
+            sim.proc.fault_log
+        );
+    }
+
+    #[test]
+    fn mutx_enter_is_a_memory_oracle() {
+        // The §VI-A PoC mechanics: force the EnterCriticalSection probe
+        // circumstances and point DebugInfo at x-0x10.
+        let mut sim = build();
+        let cs = sim.script_engine + super::super::dlls::ENGINE_CS_OFF;
+        // Probe an unmapped address.
+        sim.proc.mem.write_u64(cs, 0xdead_0000 - 0x10).unwrap();
+        sim.proc.mem.write(cs + 8, &(-2i32).to_le_bytes()).unwrap();
+        sim.proc.mem.write(cs + 16, &0i32.to_le_bytes()).unwrap();
+        sim.proc.mem.write_u64(cs + 24, 0).unwrap();
+        match sim.proc.call(sim.process_script, &[], 1_000_000, &mut NullHook) {
+            cr_os::windows::CallOutcome::Returned(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(sim.proc.alive(), "no crash — the oracle is crash-resistant");
+        let status = sim.proc.mem.read_u64(sim.script_engine).unwrap();
+        assert_eq!(status, 1, "status records the swallowed exception");
+
+        // Probe a mapped address: no exception, status stays 0.
+        let mapped = sim.script_engine; // any mapped addr
+        sim.proc.mem.write_u64(cs, mapped - 0x10).unwrap();
+        sim.proc.mem.write(cs + 8, &(-2i32).to_le_bytes()).unwrap();
+        sim.proc.mem.write(cs + 16, &0i32.to_le_bytes()).unwrap();
+        sim.proc.mem.write_u64(cs + 24, 0).unwrap();
+        sim.proc.call(sim.process_script, &[], 1_000_000, &mut NullHook);
+        let status = sim.proc.mem.read_u64(sim.script_engine).unwrap();
+        assert_eq!(status, 0, "mapped probe leaves status clear");
+    }
+}

@@ -1,0 +1,122 @@
+//! Windows-side targets: calibrated system DLLs and browser hosts.
+
+pub mod calibration;
+pub mod dlls;
+pub mod firefox;
+pub mod ie;
+
+pub use calibration::{calib, DllCalib, CALIBRATION};
+pub use dlls::{full_population_specs, generate_dll, DllSpec};
+pub use firefox::FirefoxSim;
+pub use ie::IeSim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_image::FilterRef;
+
+    #[test]
+    fn generated_dll_matches_calibration_structure() {
+        let c = calib("user32").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x64(c, 0));
+        // Guarded-function count equals guarded_before (from .pdata).
+        let guarded: usize = img
+            .runtime_functions
+            .iter()
+            .filter(|f| f.unwind.handler_rva.is_some() && !f.unwind.scopes.is_empty())
+            .count();
+        assert_eq!(guarded as u32, c.guarded_before);
+        // Every declared filter is referenced by some scope.
+        let referenced: std::collections::BTreeSet<u32> = img
+            .runtime_functions
+            .iter()
+            .flat_map(|f| f.unwind.scopes.iter())
+            .filter_map(|s| match s.filter {
+                FilterRef::Function(rva) => Some(rva),
+                FilterRef::CatchAll => None,
+            })
+            .collect();
+        assert_eq!(referenced.len() as u32, c.fx64_before);
+        // Distinct filter functions referenced ≤ filters_before, and
+        // catch-all scopes exist.
+        let mut filters: Vec<u32> = img
+            .runtime_functions
+            .iter()
+            .flat_map(|f| f.unwind.scopes.iter())
+            .filter_map(|s| match s.filter {
+                FilterRef::Function(rva) => Some(rva),
+                FilterRef::CatchAll => None,
+            })
+            .collect();
+        filters.sort_unstable();
+        filters.dedup();
+        assert!(filters.len() as u32 <= c.fx64_before);
+        let catchall = img
+            .runtime_functions
+            .iter()
+            .flat_map(|f| f.unwind.scopes.iter())
+            .filter(|s| s.filter == FilterRef::CatchAll)
+            .count();
+        assert!(catchall > 0);
+        // Exports for every guarded function.
+        assert!(img.exports.contains_key("Guarded0"));
+        assert!(img.exports.contains_key(&format!("Guarded{}", c.guarded_before - 1)));
+    }
+
+    #[test]
+    fn x86_variant_uses_x86_machine_and_counts() {
+        let c = calib("xmllite").unwrap();
+        let img = generate_dll(&DllSpec::from_calib_x86(c, 7));
+        assert_eq!(img.machine, cr_image::Machine::X86);
+        let guarded: usize = img
+            .runtime_functions
+            .iter()
+            .filter(|f| f.unwind.handler_rva.is_some() && !f.unwind.scopes.is_empty())
+            .count();
+        assert_eq!(guarded as u32, c.guarded_before);
+    }
+
+    #[test]
+    fn all_calibrated_dlls_generate() {
+        for (i, c) in CALIBRATION.iter().enumerate() {
+            let img = generate_dll(&DllSpec::from_calib_x64(c, i));
+            assert!(!img.runtime_functions.is_empty(), "{}", c.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod population_tests {
+    use super::dlls::full_population_specs;
+
+    #[test]
+    fn full_population_totals_match_prose() {
+        let specs = full_population_specs();
+        assert_eq!(specs.len(), 187, "187 analyzed DLLs");
+        let handlers: u32 = specs.iter().map(|s| s.guarded_total).sum();
+        let filters: u32 = specs.iter().map(|s| s.filters_total).sum();
+        let after: u32 = specs.iter().map(|s| s.filters_accepting).sum();
+        assert_eq!(handlers, 6_745, "C-specific exception handlers");
+        assert_eq!(filters, 5_751, "distinct filter functions");
+        assert_eq!(after, 808, "filters that handle access violations");
+    }
+
+    #[test]
+    fn full_population_specs_are_generatable() {
+        // Spot-check a sample (generating all 187 is the bench's job).
+        for spec in full_population_specs().iter().skip(10).step_by(40) {
+            let img = super::generate_dll(spec);
+            assert!(!img.runtime_functions.is_empty(), "{}", spec.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod population_av_tests {
+    #[test]
+    fn full_population_av_capable_total_matches_prose() {
+        let specs = super::dlls::full_population_specs();
+        let av: u32 = specs.iter().map(|s| s.guarded_accepting).sum();
+        assert_eq!(av, 1_797, "AV-capable handlers across 187 DLLs");
+    }
+}

@@ -1,0 +1,19 @@
+//! # cr-targets — synthetic analysis targets
+//!
+//! The binaries the discovery framework analyzes, built from scratch with
+//! `cr-isa`/`cr-image`:
+//!
+//! * [`servers`] — the five Linux servers of Table I (nginx, cherokee,
+//!   lighttpd, memcached, postgresql), each an ELF executable with the
+//!   crash-resistance idioms of the originals (see DESIGN.md).
+//! * [`browsers`] — Windows-side material for Tables II/III and §V-B:
+//!   system DLL images with calibrated SEH populations, plus Internet
+//!   Explorer- and Firefox-like host applications.
+//!
+//! The pipeline consumes only the *binary* artifacts (ELF/PE bytes and
+//! runtime behaviour); nothing here hands ground truth to the analyses.
+
+pub mod browsers;
+pub mod servers;
+
+pub use servers::{all as all_servers, ServerTarget};

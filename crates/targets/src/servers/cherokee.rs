@@ -1,0 +1,294 @@
+//! `cherokee-sim` — a multi-threaded HTTP server modeled on Cherokee 1.2.
+//!
+//! Each worker thread owns an epoll instance (with the shared listener
+//! registered) and loops `epoll_wait` with a 1-second timeout. The
+//! per-thread `epoll_event` buffer pointer lives in a thread context in
+//! writable memory and flows only into the syscall; an invalidated
+//! pointer leaves that worker spinning in a tight loop of failing
+//! `epoll_wait` calls — the **usable (⊕) primitive with a timing side
+//! channel** of §VI-D: the process survives, service continues on the
+//! remaining threads, measurably slower.
+
+use super::common::{build_elf, DataTemplate, ServerTarget, SrvAsm, DATA_BASE};
+use cr_isa::{Cond, Mem as M, Reg};
+use cr_os::linux::syscall::nr;
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Listening port.
+pub const PORT: u16 = 8082;
+/// Number of worker threads.
+pub const WORKERS: u64 = 3;
+
+const F_LISTEN: u64 = DATA_BASE;
+const F_RESPPTR: u64 = DATA_BASE + 0x18;
+const F_PATHPTR: u64 = DATA_BASE + 0x20;
+const F_FILEPTR: u64 = DATA_BASE + 0x28;
+const F_TMPPTR: u64 = DATA_BASE + 0x30;
+const SOCKADDR: u64 = DATA_BASE + 0x70;
+/// Worker thread contexts: `{epfd, ev_ptr, buf_ptr, pad}` × 3.
+pub const CTX_TABLE: u64 = DATA_BASE + 0x200;
+/// Context stride.
+pub const CTX_STRIDE: u64 = 32;
+const WEV_BUFS: u64 = DATA_BASE + 0x800; // 3 × 64-byte event buffers
+const WREQ_BUFS: u64 = DATA_BASE + 0x1000; // 3 × 0x400 request buffers
+const PATH_STR: u64 = DATA_BASE + 0x440;
+const TMP_STR: u64 = DATA_BASE + 0x480;
+const RESP_BUF: u64 = DATA_BASE + 0x600;
+const FILE_BUF: u64 = DATA_BASE + 0x700;
+const MAGIC_LISTEN: i32 = 0xFF;
+const RESP_LEN: u64 = 17;
+
+/// Build the cherokee-sim target.
+pub fn target() -> ServerTarget {
+    let mut s = SrvAsm::new();
+    s.a.global("entry");
+
+    // startup: listener socket
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 64);
+    s.sys(nr::LISTEN);
+
+    // spawn WORKERS threads, each with its context address on its stack
+    let worker = s.a.fresh();
+    s.a.zero(R14); // t
+    let spawn_loop = s.a.here();
+    s.a.cmp_ri(R14, WORKERS as i32);
+    let spawned = s.a.fresh();
+    s.a.jcc(Cond::Ge, spawned);
+    // stack = mmap(0, 0x8000); top = stack + 0x7000
+    s.a.zero(Rdi);
+    s.a.mov_ri(Rsi, 0x8000);
+    s.sys(nr::MMAP);
+    s.a.add_ri(Rax, 0x7000);
+    s.a.mov_rr(Rsi, Rax); // child stack top
+    // [top] = &ctx[t]
+    s.a.mov_rr(R11, R14);
+    s.a.shl(R11, 5);
+    s.a.mov_ri(R10, CTX_TABLE);
+    s.a.add_rr(R10, R11);
+    s.a.store(M::base(Rsi), R10);
+    s.a.zero(Rdi);
+    s.sys(nr::CLONE);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::E, worker); // child → worker body
+    s.a.add_ri(R14, 1);
+    s.a.jmp(spawn_loop);
+
+    // supervisor: periodic nanosleep forever
+    s.a.bind(spawned);
+    let ts = s.a.fresh();
+    let sup_loop = s.a.here();
+    s.a.lea_label(Rdi, ts);
+    s.a.zero(Rsi);
+    s.sys(nr::NANOSLEEP);
+    s.a.jmp(sup_loop);
+    // timespec {0s, 10ms} as inline code-segment data
+    s.a.align(8);
+    s.a.bind(ts);
+    s.a.bytes(&0u64.to_le_bytes());
+    s.a.bytes(&10_000_000u64.to_le_bytes());
+
+    // ---- worker body ----------------------------------------------------
+    s.a.bind(worker);
+    s.a.name("worker", worker);
+    s.a.load(R12, M::base(Rsp)); // r12 = &ctx
+    // epfd = epoll_create1; ctx.epfd = epfd
+    s.sys(nr::EPOLL_CREATE1);
+    s.a.store(M::base(R12), Rax);
+    // epoll_ctl(epfd, ADD, listen, {EPOLLIN, data=MAGIC})
+    // build event inline on own stack: [rsp-16]
+    s.a.sub_ri(Rsp, 32);
+    s.a.store_i(M::base(Rsp), 1);
+    s.a.mov_ri(R11, MAGIC_LISTEN as u64);
+    s.a.store(M::base_disp(Rsp, 4), R11);
+    s.a.load(Rdi, M::base(R12));
+    s.a.mov_ri(Rsi, 1);
+    s.load_field(Rdx, F_LISTEN);
+    s.a.mov_rr(R10, Rsp);
+    s.sys(nr::EPOLL_CTL);
+
+    let wloop = s.a.here();
+    // *** ⊕ primitive: epoll_wait(ctx.epfd, ctx.ev_ptr, 4, 1000ms). The
+    // *** event-buffer pointer comes from the thread context in writable
+    // *** memory and is NOT touched in user mode; on error the worker
+    // *** just loops — a tight EFAULT spin (timing side channel).
+    s.a.load(Rdi, M::base(R12));
+    s.a.load(Rsi, M::base_disp(R12, 8));
+    s.a.mov_ri(Rdx, 4);
+    s.a.mov_ri(R10, 1000);
+    s.sys(nr::EPOLL_WAIT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, wloop);
+
+    // accept one connection (nonblocking; another worker may have won)
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.a.mov_ri(R10, 0x800);
+    s.sys(nr::ACCEPT4);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, wloop);
+    s.a.mov_rr(R13, Rax);
+
+    // read request (single chunk; buffer ptr from ctx, touched ± — the
+    // worker parses the request in user mode).
+    s.a.mov_rr(Rdi, R13);
+    s.a.load(Rsi, M::base_disp(R12, 16));
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 256);
+    s.sys(nr::READ);
+    let wclose = s.a.fresh();
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, wclose);
+
+    // respond: open(path ±) + read(file ±) + write header/body (±).
+    s.load_field(Rdi, F_PATHPTR);
+    s.touch(Rdi);
+    s.a.zero(Rsi);
+    s.sys(nr::OPEN);
+    s.a.mov_rr(R9, Rax);
+    s.a.cmp_ri(R9, 0);
+    s.a.jcc(Cond::L, wclose);
+    s.a.mov_rr(Rdi, R9);
+    s.load_field(Rsi, F_FILEPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 128);
+    s.sys(nr::READ);
+    s.a.mov_rr(R15, Rax);
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch_write(Rsi, b'H' as i32);
+    s.a.mov_ri(Rdx, RESP_LEN);
+    s.a.zero(R10);
+    s.sys(nr::SENDTO);
+    s.a.cmp_ri(R15, 0);
+    let no_body = s.a.fresh();
+    s.a.jcc(Cond::Le, no_body);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_FILEPTR);
+    s.a.mov_rr(Rdx, R15);
+    s.a.zero(R10);
+    s.sys(nr::SENDTO);
+    s.a.bind(no_body);
+    // housekeeping: chmod(path ±) + mkdir(tmp ±) once per request.
+    s.load_field(Rdi, F_PATHPTR);
+    s.touch(Rdi);
+    s.a.mov_ri(Rsi, 0o644);
+    s.sys(nr::CHMOD);
+    s.load_field(Rdi, F_TMPPTR);
+    s.touch(Rdi);
+    s.sys(nr::MKDIR);
+
+    s.a.bind(wclose);
+    s.a.mov_rr(Rdi, R13);
+    s.sys(nr::CLOSE);
+    s.a.jmp(wloop);
+
+    // ---- data ----------------------------------------------------------
+    let mut d = DataTemplate::new();
+    d.put_u64(F_RESPPTR, RESP_BUF);
+    d.put_u64(F_PATHPTR, PATH_STR);
+    d.put_u64(F_FILEPTR, FILE_BUF);
+    d.put_u64(F_TMPPTR, TMP_STR);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(PATH_STR, b"/www/index.html\0");
+    d.put(TMP_STR, b"/www/cache\0");
+    d.put(RESP_BUF, b"HTTP/1.1 200 OK\n\n");
+    for t in 0..WORKERS {
+        let ctx = CTX_TABLE + t * CTX_STRIDE;
+        d.put_u64(ctx + 8, WEV_BUFS + t * 64);
+        d.put_u64(ctx + 16, WREQ_BUFS + t * 0x400);
+    }
+
+    ServerTarget {
+        name: "cherokee",
+        image: build_elf(s.a, d.build()),
+        port: PORT,
+        attacker_regions: vec![(DATA_BASE, super::common::DATA_SIZE)],
+        exercise,
+        boot_steps: 3_000_000,
+    }
+}
+
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2;
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
+    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    p.net.client_send(conn, b"GET /index.html\n\n");
+    p.run(4_000_000, hook);
+    let resp = p.net.client_recv(conn, 256);
+    p.net.client_close(conn);
+    p.run(100_000, hook);
+    resp.starts_with(b"HTTP/1.1 200 OK")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn boots_workers_and_serves() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!(p.threads().len() >= 1 + WORKERS as usize, "main + workers");
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!(p.alive());
+    }
+
+    #[test]
+    fn corrupted_worker_epoll_buffer_stalls_but_serves() {
+        // §VI-D: corrupt worker 0's ev_ptr → that worker spins on EFAULT;
+        // the other workers keep serving; the process never crashes.
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        p.mem.write_u64(CTX_TABLE + 8, 0xdead_0000).unwrap();
+        let before = p.efault_count;
+        assert!((t.exercise)(&mut p, &mut NullHook), "remaining workers serve");
+        assert!(p.alive(), "no crash");
+        assert!(p.efault_count > before, "stalled worker produces EFAULT stream");
+    }
+
+    #[test]
+    fn stalled_worker_increases_service_time() {
+        // The timing side channel: measure vtime for a batch of requests
+        // with 0 vs 1 stalled workers.
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        let t0 = p.vtime;
+        for _ in 0..3 {
+            assert!((t.exercise)(&mut p, &mut NullHook));
+        }
+        let healthy = p.vtime - t0;
+
+        let mut p2 = t.boot(&mut NullHook);
+        p2.mem.write_u64(CTX_TABLE + 8, 0xdead_0000).unwrap();
+        p2.run(200_000, &mut NullHook); // let the stall begin
+        let t0 = p2.vtime;
+        for _ in 0..3 {
+            assert!((t.exercise)(&mut p2, &mut NullHook));
+        }
+        let degraded = p2.vtime - t0;
+        assert!(
+            degraded > healthy,
+            "stalled worker must slow service: healthy={healthy} degraded={degraded}"
+        );
+    }
+}

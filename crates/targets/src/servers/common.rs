@@ -1,0 +1,231 @@
+//! Shared building blocks for the synthetic Linux servers.
+//!
+//! Every server follows the same physical layout — code at
+//! [`CODE_BASE`] (r-x), data at [`DATA_BASE`] (rw-) — and the same
+//! *idiom vocabulary*:
+//!
+//! * **memory-resident pointers**: buffer/path/event pointers live in
+//!   fields of the data segment and are loaded right before use. An
+//!   attacker with an arbitrary-write primitive can corrupt them, and the
+//!   taint seed over writable memory makes the discovery monitor flag
+//!   syscalls consuming them.
+//! * **the `touch` idiom**: most real servers dereference their buffers
+//!   in user mode around syscalls (parsing, `strlen`, memcpy). Sites with
+//!   a user-mode touch crash when the pointer is invalidated — the "±"
+//!   cells of Table I. Sites whose pointer flows *only* into the syscall
+//!   and whose error path tears the connection down cleanly survive — the
+//!   "⊕" cells.
+
+use cr_image::{ElfImage, ElfSegment, SegPerm};
+use cr_isa::{Asm, Inst, Mem as M, Reg, Rm, Width};
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+
+/// Base of the code segment.
+pub const CODE_BASE: u64 = 0x40_0000;
+/// Base of the writable data segment.
+pub const DATA_BASE: u64 = 0x60_0000;
+/// Size of the data segment (zero-initialized beyond the template).
+pub const DATA_SIZE: u64 = 0x2_0000;
+
+/// `MSG_DONTWAIT`-style flag understood by the recv/accept paths.
+pub const MSG_DONTWAIT: u64 = 0x40;
+
+/// A synthetic server: its binary image plus the driver knowledge the
+/// framework needs (port, attacker-reachable regions, workload).
+pub struct ServerTarget {
+    /// Server name as it appears in Table I.
+    pub name: &'static str,
+    /// The ELF binary (parsed form; serialize with `to_bytes`).
+    pub image: ElfImage,
+    /// TCP port the server listens on.
+    pub port: u16,
+    /// Writable regions the monitor seeds as attacker-reachable
+    /// (label 0): the data segment and the mmap arena.
+    pub attacker_regions: Vec<(u64, u64)>,
+    /// Drive one full request/response cycle against a booted server.
+    /// Returns true if the service answered correctly.
+    pub exercise: fn(&mut LinuxProc, &mut dyn OsHook) -> bool,
+    /// Steps to allow for boot.
+    pub boot_steps: u64,
+}
+
+impl std::fmt::Debug for ServerTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTarget")
+            .field("name", &self.name)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl ServerTarget {
+    /// Load the image into a fresh process and run until it is listening
+    /// (blocked waiting for connections). Also seeds `/www` content.
+    pub fn boot(&self, hook: &mut dyn OsHook) -> LinuxProc {
+        let mut p = LinuxProc::load(&self.image);
+        p.vfs.mkdir("/www").expect("fresh vfs");
+        p.vfs
+            .write_file("/www/index.html", b"<html>crash-resist</html>")
+            .expect("fresh vfs");
+        p.vfs.write_file("/www/404.html", b"not found").expect("fresh vfs");
+        p.run(self.boot_steps, hook);
+        p
+    }
+}
+
+/// Assembler wrapper with the idiom vocabulary.
+pub struct SrvAsm {
+    /// Underlying assembler.
+    pub a: Asm,
+}
+
+impl SrvAsm {
+    /// New server assembler at [`CODE_BASE`].
+    pub fn new() -> SrvAsm {
+        SrvAsm { a: Asm::new(CODE_BASE) }
+    }
+
+    /// Emit `mov rax, nr; syscall`.
+    pub fn sys(&mut self, nr: u64) -> &mut Self {
+        self.a.mov_ri(Reg::Rax, nr);
+        self.a.syscall();
+        self
+    }
+
+    /// Load the pointer stored at static data address `field` into `reg`
+    /// — the memory-resident-pointer idiom.
+    pub fn load_field(&mut self, reg: Reg, field: u64) -> &mut Self {
+        self.a.mov_ri(reg, field);
+        self.a.load(reg, M::base(reg));
+        self
+    }
+
+    /// Store `reg` into the static data field at `field` (clobbers r11).
+    pub fn store_field(&mut self, field: u64, reg: Reg) -> &mut Self {
+        self.a.mov_ri(Reg::R11, field);
+        self.a.store(M::base(Reg::R11), reg);
+        self
+    }
+
+    /// Store an immediate into a static data field (clobbers r11).
+    pub fn store_field_i(&mut self, field: u64, imm: i32) -> &mut Self {
+        self.a.mov_ri(Reg::R11, field);
+        self.a.store_i(M::base(Reg::R11), imm);
+        self
+    }
+
+    /// The "±" idiom: touch the first byte behind `ptr_reg` in user mode
+    /// (models parsing/`strlen` around the syscall). Clobbers r11.
+    pub fn touch(&mut self, ptr_reg: Reg) -> &mut Self {
+        self.a.load_u8(Reg::R11, M::base(ptr_reg));
+        self
+    }
+
+    /// Store `byte` through `ptr_reg` (a user-mode write touch).
+    pub fn touch_write(&mut self, ptr_reg: Reg, byte: i32) -> &mut Self {
+        self.a.inst(Inst::MovRmI {
+            dst: Rm::Mem(M::base(ptr_reg)),
+            imm: byte,
+            width: Width::B1,
+        });
+        self
+    }
+}
+
+impl Default for SrvAsm {
+    fn default() -> Self {
+        SrvAsm::new()
+    }
+}
+
+/// Package assembled code plus a data-segment template into an ELF image.
+pub fn build_elf(asm: Asm, data_template: Vec<u8>) -> ElfImage {
+    let assembled = asm.assemble().expect("server assembles");
+    let entry = assembled.sym("entry");
+    ElfImage {
+        entry,
+        segments: vec![
+            ElfSegment {
+                vaddr: assembled.base,
+                memsz: assembled.code.len() as u64,
+                data: assembled.code,
+                perm: SegPerm::RX,
+            },
+            ElfSegment {
+                vaddr: DATA_BASE,
+                memsz: DATA_SIZE,
+                data: data_template,
+                perm: SegPerm::RW,
+            },
+        ],
+        symbols: assembled.symbols,
+    }
+}
+
+/// A data-segment template builder: place strings/values at offsets.
+#[derive(Debug, Default)]
+pub struct DataTemplate {
+    bytes: Vec<u8>,
+}
+
+impl DataTemplate {
+    /// Empty template.
+    pub fn new() -> DataTemplate {
+        DataTemplate::default()
+    }
+
+    /// Write `content` at `addr` (absolute, within the data segment).
+    pub fn put(&mut self, addr: u64, content: &[u8]) -> &mut Self {
+        assert!(addr >= DATA_BASE && addr + content.len() as u64 <= DATA_BASE + DATA_SIZE);
+        let off = (addr - DATA_BASE) as usize;
+        if self.bytes.len() < off + content.len() {
+            self.bytes.resize(off + content.len(), 0);
+        }
+        self.bytes[off..off + content.len()].copy_from_slice(content);
+        self
+    }
+
+    /// Write a little-endian u64 at `addr`.
+    pub fn put_u64(&mut self, addr: u64, v: u64) -> &mut Self {
+        self.put(addr, &v.to_le_bytes())
+    }
+
+    /// Finish.
+    pub fn build(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_template_layout() {
+        let mut t = DataTemplate::new();
+        t.put(DATA_BASE + 0x10, b"/www\0");
+        t.put_u64(DATA_BASE, 0x1234);
+        let b = t.build();
+        assert_eq!(&b[0..8], &0x1234u64.to_le_bytes());
+        assert_eq!(&b[0x10..0x15], b"/www\0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn data_template_bounds_checked() {
+        DataTemplate::new().put(DATA_BASE - 1, b"x");
+    }
+
+    #[test]
+    fn build_elf_shape() {
+        let mut s = SrvAsm::new();
+        s.a.global("entry");
+        s.a.ret();
+        let img = build_elf(s.a, vec![1, 2, 3]);
+        assert_eq!(img.entry, CODE_BASE);
+        assert_eq!(img.segments.len(), 2);
+        assert_eq!(img.segments[1].vaddr, DATA_BASE);
+        assert_eq!(img.segments[1].memsz, DATA_SIZE);
+    }
+}

@@ -1,0 +1,228 @@
+//! `lighttpd-sim` — a sequential accept/read/respond HTTP server modeled
+//! on Lighttpd 1.4.
+//!
+//! The usable (⊕) primitive is `read`: the request-buffer pointer lives
+//! in writable memory, flows only into the syscall, and any error closes
+//! the connection and returns to the accept loop. The response path
+//! touches its pointers in user mode (±).
+
+use super::common::{build_elf, DataTemplate, ServerTarget, SrvAsm, DATA_BASE};
+use cr_isa::{Cond, Mem as M, Reg};
+use cr_os::linux::syscall::nr;
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Listening port.
+pub const PORT: u16 = 8081;
+
+const F_LISTEN: u64 = DATA_BASE;
+const F_EPFD: u64 = DATA_BASE + 0x08;
+const F_EVPTR: u64 = DATA_BASE + 0x10;
+const F_RESPPTR: u64 = DATA_BASE + 0x18;
+const F_PATHPTR: u64 = DATA_BASE + 0x20;
+const F_FILEPTR: u64 = DATA_BASE + 0x28;
+const F_TMPPTR: u64 = DATA_BASE + 0x30;
+/// The request-buffer pointer field — the ⊕ `read` primitive's source.
+pub const F_BUFPTR: u64 = DATA_BASE + 0x38;
+const SOCKADDR: u64 = DATA_BASE + 0x70;
+const EV_BUF: u64 = DATA_BASE + 0x300;
+const PATH_STR: u64 = DATA_BASE + 0x440;
+const TMP_STR: u64 = DATA_BASE + 0x480;
+const RESP_BUF: u64 = DATA_BASE + 0x600;
+const FILE_BUF: u64 = DATA_BASE + 0x700;
+const REQ_BUF: u64 = DATA_BASE + 0x1000;
+
+const RESP_LEN: u64 = 17;
+
+/// Build the lighttpd-sim target.
+pub fn target() -> ServerTarget {
+    let mut s = SrvAsm::new();
+    s.a.global("entry");
+
+    // startup
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 16);
+    s.sys(nr::LISTEN);
+    s.sys(nr::EPOLL_CREATE1);
+    s.store_field(F_EPFD, Rax);
+
+    // accept loop
+    let accept_loop = s.a.here();
+    s.a.name("accept_loop", accept_loop);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.sys(nr::ACCEPT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, accept_loop);
+    s.a.mov_rr(R13, Rax); // connection fd
+
+    // read loop: accumulate until "\n\n"
+    s.a.zero(R14); // used
+    let read_loop = s.a.here();
+    let conn_done = s.a.fresh();
+    // *** ⊕ primitive: read(fd, buf_ptr + used, 64) — pointer from
+    // *** writable memory, untouched in user mode; error → clean close.
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_BUFPTR);
+    s.a.add_rr(Rsi, R14);
+    s.a.mov_ri(Rdx, 64);
+    s.sys(nr::READ);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, conn_done); // EFAULT / EOF → close, keep serving
+    s.a.add_rr(R14, Rax);
+    // complete? buf[used-2..] == "\n\n" (derefs only after success)
+    s.load_field(Rsi, F_BUFPTR);
+    s.a.cmp_ri(R14, 2);
+    s.a.jcc(Cond::L, read_loop);
+    s.a.lea(R10, M::base_index(Rsi, R14, 1, -2));
+    s.a.load_u8(R11, M::base(R10));
+    s.a.cmp_ri(R11, 10);
+    s.a.jcc(Cond::Ne, read_loop);
+    s.a.load_u8(R11, M::base_disp(R10, 1));
+    s.a.cmp_ri(R11, 10);
+    s.a.jcc(Cond::Ne, read_loop);
+
+    // idle-source poll: epoll_wait with a touched events pointer (±).
+    s.load_field(Rdi, F_EPFD);
+    s.load_field(Rsi, F_EVPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 4);
+    s.a.zero(R10);
+    s.sys(nr::EPOLL_WAIT);
+
+    // respond: open(path ±) / read(file ±) / write(resp ±) / body
+    s.load_field(Rdi, F_PATHPTR);
+    s.touch(Rdi);
+    s.a.zero(Rsi);
+    s.sys(nr::OPEN);
+    s.a.mov_rr(R9, Rax);
+    s.a.cmp_ri(R9, 0);
+    s.a.jcc(Cond::L, conn_done);
+    s.a.mov_rr(Rdi, R9);
+    s.load_field(Rsi, F_FILEPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 128);
+    s.sys(nr::READ);
+    s.a.mov_rr(R15, Rax);
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch_write(Rsi, b'H' as i32);
+    s.a.mov_ri(Rdx, RESP_LEN);
+    s.sys(nr::WRITE);
+    s.a.cmp_ri(R15, 0);
+    let no_body = s.a.fresh();
+    s.a.jcc(Cond::Le, no_body);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_FILEPTR);
+    s.a.mov_rr(Rdx, R15);
+    s.sys(nr::WRITE);
+    s.a.bind(no_body);
+    // per-request temp-file hygiene: unlink(tmp ±), symlink(tmp ±).
+    s.load_field(Rdi, F_TMPPTR);
+    s.touch(Rdi);
+    s.sys(nr::UNLINK);
+    s.load_field(Rdi, F_PATHPTR);
+    s.touch(Rdi);
+    s.load_field(Rsi, F_TMPPTR);
+    s.touch(Rsi);
+    s.sys(nr::SYMLINK);
+
+    s.a.bind(conn_done);
+    s.a.mov_rr(Rdi, R13);
+    s.sys(nr::CLOSE);
+    s.a.jmp(accept_loop);
+
+    let mut d = DataTemplate::new();
+    d.put_u64(F_EVPTR, EV_BUF);
+    d.put_u64(F_RESPPTR, RESP_BUF);
+    d.put_u64(F_PATHPTR, PATH_STR);
+    d.put_u64(F_FILEPTR, FILE_BUF);
+    d.put_u64(F_TMPPTR, TMP_STR);
+    d.put_u64(F_BUFPTR, REQ_BUF);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(PATH_STR, b"/www/index.html\0");
+    d.put(TMP_STR, b"/www/upload.tmp\0");
+    d.put(RESP_BUF, b"HTTP/1.1 200 OK\n\n");
+
+    ServerTarget {
+        name: "lighttpd",
+        image: build_elf(s.a, d.build()),
+        port: PORT,
+        attacker_regions: vec![(DATA_BASE, super::common::DATA_SIZE)],
+        exercise,
+        boot_steps: 2_000_000,
+    }
+}
+
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2;
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
+    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    p.run(500_000, hook);
+    p.net.client_send(conn, b"GET /index.html\n\n");
+    p.run(2_000_000, hook);
+    let resp = p.net.client_recv(conn, 256);
+    p.net.client_close(conn);
+    p.run(200_000, hook);
+    resp.starts_with(b"HTTP/1.1 200 OK")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_os::linux::RunExit;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn boots_and_serves_sequentially() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!((t.exercise)(&mut p, &mut NullHook), "second connection too");
+        assert!(p.alive());
+    }
+
+    #[test]
+    fn corrupted_read_buffer_is_crash_resistant() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        p.mem.write_u64(F_BUFPTR, 0xdead_0000).unwrap();
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.run(500_000, &mut NullHook);
+        p.net.client_send(conn, b"GET /\n\n");
+        let exit = p.run(2_000_000, &mut NullHook);
+        assert!(matches!(exit, RunExit::Idle), "server survives: {exit:?}");
+        assert!(p.alive());
+        assert!(p.efault_count >= 1);
+        assert!(p.net.server_closed(conn));
+        // Restore the pointer: service resumes (probe → restore → repeat).
+        p.mem.write_u64(F_BUFPTR, REQ_BUF).unwrap();
+        assert!((t.exercise)(&mut p, &mut NullHook));
+    }
+
+    #[test]
+    fn corrupted_path_pointer_crashes() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        p.mem.write_u64(F_PATHPTR, 0xdead_0000).unwrap();
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.run(500_000, &mut NullHook);
+        p.net.client_send(conn, b"GET /\n\n");
+        assert!(matches!(p.run(2_000_000, &mut NullHook), RunExit::Crashed(_)));
+    }
+}

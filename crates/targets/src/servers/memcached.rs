@@ -1,0 +1,291 @@
+//! `memcached-sim` — a key/value cache modeled on Memcached 1.4.
+//!
+//! One dedicated *connection-handling thread* owns the epoll loop; the
+//! main thread only supervises. Two findings reproduce here:
+//!
+//! * `read` is a usable (⊕) primitive: the command-buffer pointer lives
+//!   in writable memory, flows only into the syscall, and errors close
+//!   just the probed connection.
+//! * `epoll_wait` is the paper's **false positive**: on an `epoll_wait`
+//!   error the connection-handling thread exits while the process stays
+//!   alive. The framework (which only watches for crashes) reports it
+//!   usable — but subsequent connections are never processed (§V-A).
+
+use super::common::{build_elf, DataTemplate, ServerTarget, SrvAsm, DATA_BASE};
+use cr_isa::{Cond, Mem as M, Reg};
+use cr_os::linux::syscall::nr;
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Listening port.
+pub const PORT: u16 = 8083;
+
+const F_LISTEN: u64 = DATA_BASE;
+/// The worker's epoll fd field.
+pub const F_EPFD: u64 = DATA_BASE + 0x08;
+/// The worker's epoll event-buffer pointer — the false-positive source.
+pub const F_EVPTR: u64 = DATA_BASE + 0x10;
+const F_RESPPTR: u64 = DATA_BASE + 0x18;
+/// Command-buffer pointer — the ⊕ `read` primitive's source.
+pub const F_BUFPTR: u64 = DATA_BASE + 0x38;
+const F_STATSPTR: u64 = DATA_BASE + 0x40;
+const F_MSGPTR: u64 = DATA_BASE + 0x48;
+const SOCKADDR: u64 = DATA_BASE + 0x70;
+const EV_BUF: u64 = DATA_BASE + 0x300;
+const RESP_BUF: u64 = DATA_BASE + 0x600;
+const STATS_BUF: u64 = DATA_BASE + 0x680;
+const MSGHDR: u64 = DATA_BASE + 0x6C0;
+const IOVEC: u64 = DATA_BASE + 0x6F0;
+const CMD_BUF: u64 = DATA_BASE + 0x1000;
+const MAGIC_LISTEN: i32 = 0xFF;
+
+/// Build the memcached-sim target.
+pub fn target() -> ServerTarget {
+    let mut s = SrvAsm::new();
+    s.a.global("entry");
+
+    // startup
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 64);
+    s.sys(nr::LISTEN);
+
+    // spawn the connection-handling thread
+    let worker = s.a.fresh();
+    s.a.zero(Rdi);
+    s.a.mov_ri(Rsi, 0x8000);
+    s.sys(nr::MMAP);
+    s.a.add_ri(Rax, 0x7000);
+    s.a.mov_rr(Rsi, Rax);
+    s.a.zero(Rdi);
+    s.sys(nr::CLONE);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::E, worker);
+
+    // main thread: supervisor sleep loop (keeps the process alive even if
+    // the worker dies — the substance of the false positive)
+    let ts = s.a.fresh();
+    let sup = s.a.here();
+    s.a.lea_label(Rdi, ts);
+    s.a.zero(Rsi);
+    s.sys(nr::NANOSLEEP);
+    s.a.jmp(sup);
+    s.a.align(8);
+    s.a.bind(ts);
+    s.a.bytes(&0u64.to_le_bytes());
+    s.a.bytes(&50_000_000u64.to_le_bytes()); // 50 ms
+
+    // ---- connection-handling thread -------------------------------------
+    s.a.bind(worker);
+    s.a.name("worker", worker);
+    s.sys(nr::EPOLL_CREATE1);
+    s.store_field(F_EPFD, Rax);
+    // register listener
+    s.a.sub_ri(Rsp, 32);
+    s.a.store_i(M::base(Rsp), 1);
+    s.a.mov_ri(R11, MAGIC_LISTEN as u64);
+    s.a.store(M::base_disp(Rsp, 4), R11);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 1);
+    s.load_field(Rdx, F_LISTEN);
+    s.a.mov_rr(R10, Rsp);
+    s.sys(nr::EPOLL_CTL);
+
+    let wloop = s.a.here();
+    let die = s.a.fresh();
+    // *** The FALSE POSITIVE: epoll_wait with a memory-resident events
+    // *** pointer; on error the thread exits(1) — the process survives,
+    // *** but nobody serves connections anymore.
+    s.load_field(Rdi, F_EPFD);
+    s.load_field(Rsi, F_EVPTR);
+    s.a.mov_ri(Rdx, 8);
+    s.a.mov_ri(R10, (-1i64) as u64);
+    s.sys(nr::EPOLL_WAIT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, die);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::E, wloop);
+    // inspect first event's data — through the same pointer register the
+    // kernel just validated (rsi survives the syscall).
+    s.a.mov_rr(R15, Rsi);
+    s.a.load(R13, M::base_disp(R15, 4));
+    let handle_conn = s.a.fresh();
+    s.a.cmp_ri(R13, MAGIC_LISTEN);
+    s.a.jcc(Cond::Ne, handle_conn);
+    // accept, register conn with data=fd
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.a.mov_ri(R10, 0x800);
+    s.sys(nr::ACCEPT4);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, wloop);
+    s.a.store_i(M::base(Rsp), 1);
+    s.a.store(M::base_disp(Rsp, 4), Rax);
+    s.a.mov_rr(Rdx, Rax);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 1);
+    s.a.mov_rr(R10, Rsp);
+    s.sys(nr::EPOLL_CTL);
+    s.a.jmp(wloop);
+
+    // connection data: r13 = fd
+    s.a.bind(handle_conn);
+    let close_conn = s.a.fresh();
+    // *** ⊕ primitive: read(fd, cmd_buf ptr from memory, 64) — untouched;
+    // *** error → close just this connection, thread keeps serving.
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_BUFPTR);
+    s.a.mov_ri(Rdx, 64);
+    s.sys(nr::READ);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, close_conn);
+    // parse command (derefs buffer only after a successful read): 'g' → get
+    s.load_field(Rsi, F_BUFPTR);
+    s.a.load_u8(R11, M::base(Rsi));
+    s.a.cmp_ri(R11, b'g' as i32);
+    let respond_stats = s.a.fresh();
+    s.a.jcc(Cond::Ne, respond_stats);
+    // respond VALUE (resp ptr touched ±, sendto)
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch_write(Rsi, b'V' as i32);
+    s.a.mov_ri(Rdx, 22);
+    s.a.zero(R10);
+    s.sys(nr::SENDTO);
+    s.a.jmp(close_conn);
+    // stats command: write(fd, stats ptr touched ±) then a
+    // sendmsg(fd, msghdr ptr touched ±) with the uptime line.
+    s.a.bind(respond_stats);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_STATSPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 10);
+    s.sys(nr::WRITE);
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_MSGPTR);
+    s.touch(Rsi);
+    s.a.zero(Rdx);
+    s.sys(nr::SENDMSG);
+    s.a.bind(close_conn);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 2);
+    s.a.mov_rr(Rdx, R13);
+    s.a.zero(R10);
+    s.sys(nr::EPOLL_CTL);
+    s.a.mov_rr(Rdi, R13);
+    s.sys(nr::CLOSE);
+    s.a.jmp(wloop);
+
+    // thread death on epoll failure: exit(1) — thread-level exit only.
+    s.a.bind(die);
+    s.a.mov_ri(Rdi, 1);
+    s.sys(nr::EXIT);
+
+    let mut d = DataTemplate::new();
+    d.put_u64(F_EVPTR, EV_BUF);
+    d.put_u64(F_RESPPTR, RESP_BUF);
+    d.put_u64(F_BUFPTR, CMD_BUF);
+    d.put_u64(F_STATSPTR, STATS_BUF);
+    d.put_u64(F_MSGPTR, MSGHDR);
+    // struct msghdr: iov at +16, iovlen at +24; iovec = {STATS_BUF, 10}.
+    d.put_u64(MSGHDR + 16, IOVEC);
+    d.put_u64(MSGHDR + 24, 1);
+    d.put_u64(IOVEC, STATS_BUF);
+    d.put_u64(IOVEC + 8, 10);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(RESP_BUF, b"VALUE k 0 5\r\nhello\r\n\r\n");
+    d.put(STATS_BUF, b"STAT up 1\n");
+
+    ServerTarget {
+        name: "memcached",
+        image: build_elf(s.a, d.build()),
+        port: PORT,
+        attacker_regions: vec![(DATA_BASE, super::common::DATA_SIZE)],
+        exercise,
+        boot_steps: 2_000_000,
+    }
+}
+
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2;
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
+    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    p.net.client_send(conn, b"get key\r\n");
+    p.run(3_000_000, hook);
+    let resp = p.net.client_recv(conn, 64);
+    p.net.client_close(conn);
+    p.run(100_000, hook);
+    // The test suite also covers the stats command (the sendmsg path).
+    if let Some(stats) = p.net.client_connect(PORT) {
+        p.net.client_send(stats, b"stats\r\n");
+        p.run(3_000_000, hook);
+        let _ = p.net.client_recv(stats, 64);
+        p.net.client_close(stats);
+        p.run(100_000, hook);
+    }
+    resp.starts_with(b"VALUE")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn boots_and_answers_get() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!(p.alive());
+    }
+
+    #[test]
+    fn corrupted_cmd_buffer_is_crash_resistant() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        p.mem.write_u64(F_BUFPTR, 0xdead_0000).unwrap();
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.net.client_send(conn, b"get key\r\n");
+        p.run(3_000_000, &mut NullHook);
+        assert!(p.alive());
+        assert!(p.efault_count >= 1);
+        assert!(p.net.server_closed(conn), "probed connection closed");
+        // Restore → service continues: the thread survived.
+        p.mem.write_u64(F_BUFPTR, CMD_BUF).unwrap();
+        assert!((t.exercise)(&mut p, &mut NullHook));
+    }
+
+    #[test]
+    fn epoll_false_positive_thread_dies_silently() {
+        // The framework-visible outcome: EFAULT + process alive (looks
+        // usable). The ground truth: the connection-handling thread is
+        // gone and service is dead — the paper's false positive.
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        p.mem.write_u64(F_EVPTR, 0xdead_0000).unwrap();
+        // Trigger an epoll_wait cycle.
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.net.client_send(conn, b"get key\r\n");
+        p.run(3_000_000, &mut NullHook);
+        assert!(p.alive(), "process survives (main thread sleeps on)");
+        assert!(p.efault_count >= 1, "EFAULT observed");
+        // ...but the service is dead: new connections get no answer.
+        assert!(!(t.exercise)(&mut p, &mut NullHook), "service must be dead");
+        // And the worker thread has exited.
+        assert!(p.threads().iter().any(|th| th.exited()));
+    }
+}

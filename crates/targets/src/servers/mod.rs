@@ -1,0 +1,21 @@
+//! The five synthetic Linux servers of Table I.
+
+pub mod cherokee;
+pub mod common;
+pub mod lighttpd;
+pub mod memcached;
+pub mod nginx;
+pub mod postgresql;
+
+pub use common::{ServerTarget, DATA_BASE, DATA_SIZE};
+
+/// All five server targets in Table I column order.
+pub fn all() -> Vec<ServerTarget> {
+    vec![
+        nginx::target(),
+        cherokee::target(),
+        lighttpd::target(),
+        memcached::target(),
+        postgresql::target(),
+    ]
+}

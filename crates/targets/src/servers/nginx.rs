@@ -1,0 +1,471 @@
+//! `nginx-sim` — an event-driven HTTP server modeled on Nginx 1.9.
+//!
+//! Structure mirrors the real server closely enough for the paper's
+//! findings to reproduce:
+//!
+//! * single-threaded epoll event loop, multiple parallel connections;
+//! * per-connection buffer object (`ngx_buf_t`-like) in writable memory
+//!   holding the receive-buffer pointer — `recv` consumes that pointer
+//!   and tears the connection down cleanly on any error: the **usable
+//!   (⊕) crash-resistant primitive** of §V-A / §VI-C;
+//! * a partial request parks the connection with its buffer allocated
+//!   (the foothold the Nginx PoC exploits);
+//! * every other pointer-consuming syscall site "touches" its buffer in
+//!   user mode first (parsing, logging, response building), so pointer
+//!   invalidation crashes the process — the ± cells of Table I.
+
+use super::common::{build_elf, DataTemplate, ServerTarget, SrvAsm, DATA_BASE};
+use cr_isa::{AluOp, Cond, Inst, Mem as M, Reg, Rm, Width};
+use cr_os::linux::syscall::nr;
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Listening port.
+pub const PORT: u16 = 8080;
+
+// Data-segment fields.
+const F_LISTEN: u64 = DATA_BASE;
+const F_EPFD: u64 = DATA_BASE + 0x08;
+const F_EVPTR: u64 = DATA_BASE + 0x10;
+const F_RESPPTR: u64 = DATA_BASE + 0x18;
+const F_PATHPTR: u64 = DATA_BASE + 0x20;
+const F_LOGPTR: u64 = DATA_BASE + 0x28;
+const F_LINKPTR: u64 = DATA_BASE + 0x30;
+const F_TMPPTR: u64 = DATA_BASE + 0x38;
+const F_FILEPTR: u64 = DATA_BASE + 0x40;
+const F_UPSTREAM: u64 = DATA_BASE + 0x48;
+const F_REQCNT: u64 = DATA_BASE + 0x58;
+const EV_SCRATCH: u64 = DATA_BASE + 0x60; // 12-byte epoll_event build area
+const SOCKADDR: u64 = DATA_BASE + 0x70;
+const UPSTREAM_SA: u64 = DATA_BASE + 0x80;
+/// Connection slot table (`ngx_buf_t`-alike): 4 slots × 32 bytes
+/// `{fd, active, buf_ptr, buf_used}`.
+pub const CONN_TABLE: u64 = DATA_BASE + 0x100;
+/// Slot stride in bytes.
+pub const CONN_STRIDE: u64 = 32;
+const EV_BUF: u64 = DATA_BASE + 0x300;
+const PATH_STR: u64 = DATA_BASE + 0x440;
+const LOG_STR: u64 = DATA_BASE + 0x480;
+const LINK_STR: u64 = DATA_BASE + 0x4C0;
+const TMP_STR: u64 = DATA_BASE + 0x500;
+const RESP_BUF: u64 = DATA_BASE + 0x600;
+const FILE_BUF: u64 = DATA_BASE + 0x700;
+/// Per-connection receive buffers.
+pub const BUF_ARENA: u64 = DATA_BASE + 0x1000;
+/// Bytes per connection buffer.
+pub const BUF_SIZE: u64 = 0x400;
+
+const MAGIC_LISTEN: i32 = 0xFF;
+const RESP_LEN: u64 = 17; // "HTTP/1.1 200 OK\n\n"
+
+/// Build the nginx-sim binary image and driver metadata.
+pub fn target() -> ServerTarget {
+    let mut s = SrvAsm::new();
+    let a = &mut s.a;
+    a.global("entry");
+
+    // ---- startup: socket/bind/listen/epoll --------------------------------
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 64);
+    s.sys(nr::LISTEN);
+    s.sys(nr::EPOLL_CREATE1);
+    s.store_field(F_EPFD, Rax);
+    // epoll_ctl(epfd, ADD, listen_fd, {EPOLLIN, data=MAGIC_LISTEN})
+    s.store_field_i(EV_SCRATCH, 1); // events = EPOLLIN (writes 8 bytes; data next)
+    s.a.mov_ri(R11, EV_SCRATCH + 4);
+    s.a.store_i(M::base(R11), MAGIC_LISTEN);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 1);
+    s.load_field(Rdx, F_LISTEN);
+    s.a.mov_ri(R10, EV_SCRATCH);
+    s.sys(nr::EPOLL_CTL);
+
+    // ---- main event loop ---------------------------------------------------
+    let main_loop = s.a.here();
+    s.a.name("main_loop", main_loop);
+    s.load_field(Rdi, F_EPFD);
+    s.load_field(Rsi, F_EVPTR);
+    // nginx touches its event array in user mode (timer bookkeeping):
+    // invalidating F_EVPTR therefore crashes → epoll_wait is "±" here.
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 8);
+    s.a.mov_ri(R10, (-1i64) as u64);
+    s.sys(nr::EPOLL_WAIT);
+    s.a.mov_rr(Rbx, Rax); // n events
+    s.a.cmp_ri(Rbx, 0);
+    s.a.jcc(Cond::Le, main_loop);
+    s.a.zero(R14); // event index
+
+    let event_loop = s.a.here();
+    let next_event = s.a.fresh();
+    let close_conn = s.a.fresh();
+    s.a.cmp_rr(R14, Rbx);
+    s.a.jcc(Cond::Ge, main_loop);
+    // r13 = events[i].data  (packed 12-byte events: data at +4)
+    s.load_field(R15, F_EVPTR);
+    s.a.mov_rr(R11, R14);
+    s.a.shl(R11, 3);
+    s.a.add_rr(R15, R11);
+    s.a.mov_rr(R11, R14);
+    s.a.shl(R11, 2);
+    s.a.add_rr(R15, R11);
+    s.a.load(R13, M::base_disp(R15, 4));
+
+    let handle_conn = s.a.fresh();
+    s.a.cmp_ri(R13, MAGIC_LISTEN);
+    s.a.jcc(Cond::Ne, handle_conn);
+
+    // ---- accept path -------------------------------------------------------
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.a.mov_ri(R10, 0x800); // SOCK_NONBLOCK
+    s.sys(nr::ACCEPT4);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, next_event);
+    s.a.mov_rr(R9, Rax); // new fd
+    // find a free slot j in 0..4
+    s.a.zero(R12);
+    let find_slot = s.a.here();
+    let take_slot = s.a.fresh();
+    s.a.mov_rr(R11, R12);
+    s.a.shl(R11, 5);
+    s.a.mov_ri(R15, CONN_TABLE + 8);
+    s.a.add_rr(R15, R11);
+    s.a.cmp_mi(M::base(R15), 0); // slot.active == 0 ?
+    s.a.jcc(Cond::E, take_slot);
+    s.a.add_ri(R12, 1);
+    s.a.cmp_ri(R12, 4);
+    s.a.jcc(Cond::L, find_slot);
+    // no slot: drop connection
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    s.a.jmp(next_event);
+    s.a.bind(take_slot);
+    // slot base in r15-8; initialize {fd, active=1, buf_ptr, buf_used=0}
+    s.a.sub_ri(R15, 8);
+    s.a.store(M::base(R15), R9);
+    s.a.store_i(M::base_disp(R15, 8), 1);
+    s.a.mov_rr(R11, R12);
+    s.a.shl(R11, 10); // j * BUF_SIZE
+    s.a.mov_ri(R10, BUF_ARENA);
+    s.a.add_rr(R10, R11);
+    s.a.store(M::base_disp(R15, 16), R10);
+    s.a.store_i(M::base_disp(R15, 24), 0);
+    // epoll_ctl(epfd, ADD, fd, {EPOLLIN, data=j})
+    s.store_field_i(EV_SCRATCH, 1);
+    s.a.mov_ri(R11, EV_SCRATCH + 4);
+    s.a.store(M::base(R11), R12);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 1);
+    s.a.mov_rr(Rdx, R9);
+    s.a.mov_ri(R10, EV_SCRATCH);
+    s.sys(nr::EPOLL_CTL);
+    s.a.jmp(next_event);
+
+    // ---- connection data path ----------------------------------------------
+    s.a.bind(handle_conn);
+    // r12 = &conn_table[data]
+    s.a.mov_rr(R12, R13);
+    s.a.shl(R12, 5);
+    s.a.mov_ri(R11, CONN_TABLE);
+    s.a.add_rr(R12, R11);
+    // recv(fd, buf_ptr + used, 64, MSG_DONTWAIT)
+    // *** The usable crash-resistant primitive: the pointer comes from the
+    // *** connection object in writable memory, flows ONLY into the
+    // *** syscall, and every error tears the connection down cleanly.
+    s.a.load(Rdi, M::base(R12));
+    s.a.load(Rsi, M::base_disp(R12, 16));
+    s.a.inst(Inst::AluRRm { op: AluOp::Add, dst: Rsi, src: Rm::Mem(M::base_disp(R12, 24)), width: Width::B8 });
+    s.a.mov_ri(Rdx, 64);
+    s.a.mov_ri(R10, 0x40); // MSG_DONTWAIT
+    s.sys(nr::RECVFROM);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, close_conn); // error (EFAULT!) or EOF → clean close
+    // buf_used += n
+    s.a.inst(Inst::AluRmR { op: AluOp::Add, dst: Rm::Mem(M::base_disp(R12, 24)), src: Rax, width: Width::B8 });
+    // complete request? buf[used-2..] == "\n\n"
+    s.a.load(Rsi, M::base_disp(R12, 16));
+    s.a.load(R9, M::base_disp(R12, 24));
+    s.a.cmp_ri(R9, 2);
+    s.a.jcc(Cond::L, next_event);
+    s.a.lea(R10, M::base_index(Rsi, R9, 1, -2));
+    s.a.load_u8(R11, M::base(R10));
+    s.a.cmp_ri(R11, 10);
+    s.a.jcc(Cond::Ne, next_event);
+    s.a.load_u8(R11, M::base_disp(R10, 1));
+    s.a.cmp_ri(R11, 10);
+    s.a.jcc(Cond::Ne, next_event);
+
+    // ---- serve the request ---------------------------------------------------
+    // open(path, 0) — path pointer from memory, *touched* in user mode (±).
+    s.load_field(Rdi, F_PATHPTR);
+    s.touch(Rdi);
+    s.a.zero(Rsi);
+    s.sys(nr::OPEN);
+    s.a.mov_rr(R9, Rax); // file fd
+    s.a.cmp_ri(R9, 0);
+    s.a.jcc(Cond::L, close_conn);
+    // read(file, file_buf, 128) — buffer pointer from memory, touched (±).
+    s.a.mov_rr(Rdi, R9);
+    s.load_field(Rsi, F_FILEPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 128);
+    s.sys(nr::READ);
+    s.a.mov_rr(R15, Rax); // file length
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    // response header: write through resp_ptr (user-mode store, ±) then send.
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch_write(Rsi, b'H' as i32);
+    s.a.load(Rdi, M::base(R12));
+    s.a.mov_ri(Rdx, RESP_LEN);
+    s.a.zero(R10);
+    s.sys(nr::SENDTO);
+    // send file content.
+    s.a.cmp_ri(R15, 0);
+    let after_body = s.a.fresh();
+    s.a.jcc(Cond::Le, after_body);
+    s.a.load(Rdi, M::base(R12));
+    s.load_field(Rsi, F_FILEPTR);
+    s.a.mov_rr(Rdx, R15);
+    s.a.zero(R10);
+    s.sys(nr::SENDTO);
+    s.a.bind(after_body);
+
+    // maintenance (log rotation + upstream check) on the first request only.
+    s.a.mov_ri(R11, F_REQCNT);
+    s.a.load(R10, M::base(R11));
+    s.a.add_ri(R10, 1);
+    s.a.store(M::base(R11), R10);
+    s.a.cmp_ri(R10, 1);
+    s.a.jcc(Cond::Ne, close_conn);
+    let maint = s.a.fresh();
+    s.a.call_label(maint);
+    s.a.jmp(close_conn);
+
+    // ---- maintenance routine -------------------------------------------------
+    s.a.bind(maint);
+    s.a.name("maintenance", maint);
+    // unlink(link) — touched (±)
+    s.load_field(Rdi, F_LINKPTR);
+    s.touch(Rdi);
+    s.sys(nr::UNLINK);
+    // symlink(log, link) — both touched (±)
+    s.load_field(Rdi, F_LOGPTR);
+    s.touch(Rdi);
+    s.load_field(Rsi, F_LINKPTR);
+    s.touch(Rsi);
+    s.sys(nr::SYMLINK);
+    // chmod(log, 0644) — touched (±)
+    s.load_field(Rdi, F_LOGPTR);
+    s.touch(Rdi);
+    s.a.mov_ri(Rsi, 0o644);
+    s.sys(nr::CHMOD);
+    // mkdir(tmp) — touched (±)
+    s.load_field(Rdi, F_TMPPTR);
+    s.touch(Rdi);
+    s.sys(nr::MKDIR);
+    // upstream health check: connect(sock, upstream_sa, 16) — touched (±)
+    s.sys(nr::SOCKET);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_rr(R9, Rax);
+    s.load_field(Rsi, F_UPSTREAM);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::CONNECT);
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    // write an access-log line: open(log, O_CREAT) + write(resp template, ±)
+    s.load_field(Rdi, F_LOGPTR);
+    s.touch(Rdi);
+    s.a.mov_ri(Rsi, 0x40); // O_CREAT
+    s.sys(nr::OPEN);
+    s.a.mov_rr(R9, Rax);
+    s.a.cmp_ri(R9, 0);
+    let no_log = s.a.fresh();
+    s.a.jcc(Cond::L, no_log);
+    s.a.mov_rr(Rdi, R9);
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::WRITE);
+    s.a.mov_rr(Rdi, R9);
+    s.sys(nr::CLOSE);
+    s.a.bind(no_log);
+    s.a.ret();
+
+    // ---- connection teardown ---------------------------------------------------
+    s.a.bind(close_conn);
+    s.a.name("close_conn", close_conn);
+    s.load_field(Rdi, F_EPFD);
+    s.a.mov_ri(Rsi, 2); // EPOLL_CTL_DEL
+    s.a.load(Rdx, M::base(R12));
+    s.a.zero(R10);
+    s.sys(nr::EPOLL_CTL);
+    s.a.load(Rdi, M::base(R12));
+    s.sys(nr::CLOSE);
+    s.a.store_i(M::base_disp(R12, 8), 0);
+    s.a.store_i(M::base(R12), 0);
+    s.a.store_i(M::base_disp(R12, 24), 0);
+    s.a.bind(next_event);
+    s.a.add_ri(R14, 1);
+    s.a.jmp(event_loop);
+
+    // ---- data template -----------------------------------------------------------
+    let mut d = DataTemplate::new();
+    d.put_u64(F_EVPTR, EV_BUF);
+    d.put_u64(F_RESPPTR, RESP_BUF);
+    d.put_u64(F_PATHPTR, PATH_STR);
+    d.put_u64(F_LOGPTR, LOG_STR);
+    d.put_u64(F_LINKPTR, LINK_STR);
+    d.put_u64(F_TMPPTR, TMP_STR);
+    d.put_u64(F_FILEPTR, FILE_BUF);
+    d.put_u64(F_UPSTREAM, UPSTREAM_SA);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(UPSTREAM_SA, &sockaddr_in(9001));
+    d.put(PATH_STR, b"/www/index.html\0");
+    d.put(LOG_STR, b"/www/access.log\0");
+    d.put(LINK_STR, b"/www/access.log.1\0");
+    d.put(TMP_STR, b"/www/tmp\0");
+    d.put(RESP_BUF, b"HTTP/1.1 200 OK\n\n");
+
+    ServerTarget {
+        name: "nginx",
+        image: build_elf(s.a, d.build()),
+        port: PORT,
+        attacker_regions: vec![(DATA_BASE, super::common::DATA_SIZE)],
+        exercise,
+        boot_steps: 2_000_000,
+    }
+}
+
+/// sockaddr_in with the port in network byte order.
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2; // AF_INET
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+/// Drive one request/response cycle; true if the server answered.
+fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
+    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    p.run(500_000, hook);
+    p.net.client_send(conn, b"GET /index.html\n\n");
+    p.run(2_000_000, hook);
+    let resp = p.net.client_recv(conn, 256);
+    p.net.client_close(conn);
+    p.run(200_000, hook);
+    resp.starts_with(b"HTTP/1.1 200 OK")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_os::linux::RunExit;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn boots_and_serves() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!(p.net.is_listening(PORT));
+        assert!((t.exercise)(&mut p, &mut NullHook), "nginx-sim must serve a request");
+        assert!(p.alive());
+    }
+
+    #[test]
+    fn serves_multiple_parallel_connections() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        // Park a partial request on connection A.
+        let a = p.net.client_connect(PORT).unwrap();
+        p.run(500_000, &mut NullHook);
+        p.net.client_send(a, b"GET /par");
+        p.run(500_000, &mut NullHook);
+        // Full request on connection B while A is parked.
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        // Complete A.
+        p.net.client_send(a, b"tial\n\n");
+        p.run(2_000_000, &mut NullHook);
+        let resp = p.net.client_recv(a, 256);
+        assert!(resp.starts_with(b"HTTP/1.1 200 OK"), "parked connection completes");
+        assert!(p.alive());
+    }
+
+    #[test]
+    fn corrupting_conn_buffer_pointer_is_crash_resistant() {
+        // The §VI-C probe mechanics end to end: corrupt slot 0's buf_ptr,
+        // send more data → recv returns EFAULT → connection closed
+        // gracefully → server still serves others. Zero crashes.
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        let a = p.net.client_connect(PORT).unwrap();
+        p.run(500_000, &mut NullHook);
+        p.net.client_send(a, b"GET /par"); // partial → slot 0 allocated
+        p.run(500_000, &mut NullHook);
+        // Attacker write primitive: corrupt conn_table[0].buf_ptr.
+        p.mem.write_u64(CONN_TABLE + 16, 0xdead_0000).unwrap();
+        let efaults_before = p.efault_count;
+        p.net.client_send(a, b"tial\n\n");
+        match p.run(2_000_000, &mut NullHook) {
+            RunExit::Idle => {}
+            other => panic!("server must stay up, got {other:?}"),
+        }
+        assert!(p.alive(), "no crash");
+        assert_eq!(p.efault_count, efaults_before + 1, "probe visible as EFAULT");
+        assert!(p.net.server_closed(a), "probed connection torn down");
+        // Service continues for new connections.
+        assert!((t.exercise)(&mut p, &mut NullHook));
+    }
+
+    #[test]
+    fn corrupting_touched_pointer_crashes() {
+        // The ± behaviour: the file path pointer is dereferenced in user
+        // mode before open() — corruption crashes the process.
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        p.mem.write_u64(F_PATHPTR, 0xdead_0000).unwrap();
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.run(500_000, &mut NullHook);
+        p.net.client_send(conn, b"GET /x\n\n");
+        match p.run(2_000_000, &mut NullHook) {
+            RunExit::Crashed(c) => assert_eq!(c.fault.unwrap().addr, 0xdead_0000),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maintenance_exercises_table1_rows() {
+        // The first served request triggers unlink/symlink/chmod/mkdir/
+        // connect/write — they must all be observed during a test run.
+        use cr_os::OsHook;
+        #[derive(Default)]
+        struct SysLog(Vec<u64>);
+        impl cr_vm::Hook for SysLog {}
+        impl OsHook for SysLog {
+            fn on_syscall_ret(&mut self, _t: u32, nr_: u64, _r: i64) {
+                self.0.push(nr_);
+            }
+        }
+        let t = target();
+        let mut log = SysLog::default();
+        let mut p = t.boot(&mut log);
+        assert!((t.exercise)(&mut p, &mut log));
+        for expected in [nr::UNLINK, nr::SYMLINK, nr::CHMOD, nr::MKDIR, nr::CONNECT, nr::WRITE, nr::OPEN, nr::READ, nr::RECVFROM, nr::SENDTO, nr::EPOLL_WAIT] {
+            assert!(
+                log.0.contains(&expected),
+                "syscall {} must appear in the test run",
+                cr_os::linux::syscall::name(expected)
+            );
+        }
+    }
+}

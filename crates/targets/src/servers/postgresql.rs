@@ -1,0 +1,232 @@
+//! `postgresql-sim` — a process-per-connection database modeled on
+//! PostgreSQL 9.0.
+//!
+//! The real server forks a backend per connection; workers here are
+//! cloned threads whose *graceful exit after serving is expected
+//! behaviour* (see DESIGN.md substitution notes — the paper itself notes
+//! "a graceful process termination is sufficient for our purposes").
+//!
+//! The usable (⊕) primitive is the per-worker `epoll_wait`: its event
+//! buffer pointer lives in a worker context in writable memory; on error
+//! the worker exits cleanly while the postmaster keeps accepting new
+//! connections.
+
+use super::common::{build_elf, DataTemplate, ServerTarget, SrvAsm, DATA_BASE};
+use cr_isa::{Cond, Mem as M, Reg};
+use cr_os::linux::syscall::nr;
+use cr_os::linux::LinuxProc;
+use cr_os::OsHook;
+use Reg::*;
+
+/// Listening port.
+pub const PORT: u16 = 8084;
+/// Maximum live worker contexts.
+pub const MAX_WORKERS: u64 = 8;
+
+const F_LISTEN: u64 = DATA_BASE;
+const F_WIDX: u64 = DATA_BASE + 0x08;
+const F_RESPPTR: u64 = DATA_BASE + 0x18;
+const F_DATAPTR: u64 = DATA_BASE + 0x20;
+const F_WALPTR: u64 = DATA_BASE + 0x28;
+const SOCKADDR: u64 = DATA_BASE + 0x70;
+/// Worker contexts `{ev_ptr, buf_ptr, epfd, pad}` × MAX_WORKERS.
+pub const WCTX: u64 = DATA_BASE + 0x200;
+/// Worker context stride.
+pub const WCTX_STRIDE: u64 = 32;
+const WEV: u64 = DATA_BASE + 0x800;
+const WBUF: u64 = DATA_BASE + 0x1000;
+const RESP_BUF: u64 = DATA_BASE + 0x600;
+const DATA_STR: u64 = DATA_BASE + 0x440;
+const WAL_STR: u64 = DATA_BASE + 0x480;
+
+/// Build the postgresql-sim target.
+pub fn target() -> ServerTarget {
+    let mut s = SrvAsm::new();
+    s.a.global("entry");
+
+    // postmaster startup
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 64);
+    s.sys(nr::LISTEN);
+    // WAL-directory hygiene at boot: mkdir(wal ±), chmod(wal ±),
+    // unlink(stale lock ±).
+    s.load_field(Rdi, F_WALPTR);
+    s.touch(Rdi);
+    s.sys(nr::MKDIR);
+    s.load_field(Rdi, F_WALPTR);
+    s.touch(Rdi);
+    s.a.mov_ri(Rsi, 0o700);
+    s.sys(nr::CHMOD);
+    s.load_field(Rdi, F_DATAPTR);
+    s.touch(Rdi);
+    s.sys(nr::UNLINK);
+
+    // accept loop: one worker thread per connection
+    let worker = s.a.fresh();
+    let accept_loop = s.a.here();
+    s.a.name("accept_loop", accept_loop);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.sys(nr::ACCEPT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, accept_loop);
+    s.a.mov_rr(R13, Rax); // conn fd
+    // worker stack
+    s.a.zero(Rdi);
+    s.a.mov_ri(Rsi, 0x8000);
+    s.sys(nr::MMAP);
+    s.a.add_ri(Rax, 0x7000);
+    s.a.mov_rr(Rsi, Rax);
+    // pass conn fd and worker index on the child stack: [top]=fd, [top+8]=widx
+    s.a.store(M::base(Rsi), R13);
+    s.a.mov_ri(R11, F_WIDX);
+    s.a.load(R10, M::base(R11));
+    s.a.add_ri(R10, 1);
+    s.a.store(M::base(R11), R10);
+    s.a.and_ri(R10, (MAX_WORKERS - 1) as i32);
+    s.a.store(M::base_disp(Rsi, 8), R10);
+    s.a.zero(Rdi);
+    s.sys(nr::CLONE);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::E, worker);
+    s.a.jmp(accept_loop);
+
+    // ---- worker ----------------------------------------------------------
+    s.a.bind(worker);
+    s.a.name("worker", worker);
+    s.a.load(R13, M::base(Rsp)); // conn fd
+    s.a.load(R14, M::base_disp(Rsp, 8)); // worker index
+    // r12 = &wctx[widx]
+    s.a.mov_rr(R12, R14);
+    s.a.shl(R12, 5);
+    s.a.mov_ri(R11, WCTX);
+    s.a.add_rr(R12, R11);
+    // per-worker epoll on the connection
+    s.sys(nr::EPOLL_CREATE1);
+    s.a.store(M::base_disp(R12, 16), Rax);
+    s.a.sub_ri(Rsp, 32);
+    s.a.store_i(M::base(Rsp), 1);
+    s.a.store(M::base_disp(Rsp, 4), R13);
+    s.a.load(Rdi, M::base_disp(R12, 16));
+    s.a.mov_ri(Rsi, 1);
+    s.a.mov_rr(Rdx, R13);
+    s.a.mov_rr(R10, Rsp);
+    s.sys(nr::EPOLL_CTL);
+
+    let wexit = s.a.fresh();
+    let wloop = s.a.here();
+    // *** ⊕ primitive: epoll_wait(epfd, wctx.ev_ptr, 4, -1). Error →
+    // *** graceful worker exit; the postmaster keeps serving.
+    s.a.load(Rdi, M::base_disp(R12, 16));
+    s.a.load(Rsi, M::base(R12));
+    s.a.mov_ri(Rdx, 4);
+    s.a.mov_ri(R10, (-1i64) as u64);
+    s.sys(nr::EPOLL_WAIT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, wexit);
+    // read the query (buffer ptr from wctx, touched ± — the backend
+    // parses SQL in user mode).
+    s.a.mov_rr(Rdi, R13);
+    s.a.load(Rsi, M::base_disp(R12, 8));
+    s.touch(Rsi);
+    s.a.mov_ri(Rdx, 256);
+    s.sys(nr::READ);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::Le, wexit);
+    // respond a row (resp ptr touched ±).
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_RESPPTR);
+    s.touch_write(Rsi, b'R' as i32);
+    s.a.mov_ri(Rdx, 12);
+    s.sys(nr::WRITE);
+    s.a.jmp(wloop);
+
+    s.a.bind(wexit);
+    s.a.mov_rr(Rdi, R13);
+    s.sys(nr::CLOSE);
+    s.a.zero(Rdi);
+    s.sys(nr::EXIT); // graceful backend termination — expected behaviour
+
+    let mut d = DataTemplate::new();
+    d.put_u64(F_RESPPTR, RESP_BUF);
+    d.put_u64(F_DATAPTR, DATA_STR);
+    d.put_u64(F_WALPTR, WAL_STR);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(RESP_BUF, b"ROW 1 ok\n\n\n\0");
+    d.put(DATA_STR, b"/www/pg.lock\0");
+    d.put(WAL_STR, b"/www/wal\0");
+    for w in 0..MAX_WORKERS {
+        let ctx = WCTX + w * WCTX_STRIDE;
+        d.put_u64(ctx, WEV + w * 64);
+        d.put_u64(ctx + 8, WBUF + w * 0x200);
+    }
+
+    ServerTarget {
+        name: "postgresql",
+        image: build_elf(s.a, d.build()),
+        port: PORT,
+        attacker_regions: vec![(DATA_BASE, super::common::DATA_SIZE)],
+        exercise,
+        boot_steps: 2_000_000,
+    }
+}
+
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2;
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
+    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    p.run(500_000, hook);
+    p.net.client_send(conn, b"SELECT 1;\n");
+    p.run(3_000_000, hook);
+    let resp = p.net.client_recv(conn, 64);
+    p.net.client_close(conn);
+    p.run(500_000, hook);
+    resp.starts_with(b"ROW")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_vm::NullHook;
+
+    #[test]
+    fn serves_queries_via_workers() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!((t.exercise)(&mut p, &mut NullHook));
+        assert!(p.alive());
+        assert!(p.threads().len() >= 3, "postmaster + 2 workers");
+    }
+
+    #[test]
+    fn corrupted_worker_epoll_buffer_exits_worker_gracefully() {
+        let t = target();
+        let mut p = t.boot(&mut NullHook);
+        // Open a connection so worker 1 (wctx index 1) exists and parks.
+        let conn = p.net.client_connect(PORT).unwrap();
+        p.run(1_000_000, &mut NullHook);
+        // Corrupt its event-buffer pointer (attacker write primitive).
+        p.mem.write_u64(WCTX + WCTX_STRIDE, 0xdead_0000).unwrap();
+        // Nudge the worker awake with data.
+        p.net.client_send(conn, b"SELECT 1;\n");
+        p.run(3_000_000, &mut NullHook);
+        assert!(p.alive(), "no crash");
+        assert!(p.efault_count >= 1, "probe visible as EFAULT");
+        assert!(p.net.server_closed(conn), "worker tore the connection down");
+        // New connections still served.
+        assert!((t.exercise)(&mut p, &mut NullHook));
+    }
+}

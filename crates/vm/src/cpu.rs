@@ -1,0 +1,748 @@
+//! CPU state and single-step execution engine.
+
+use crate::hook::Hook;
+use crate::mem::{Fault, Memory};
+use cr_isa::{decode, AluOp, Cond, Decoded, Inst, Mem as MemOp, Reg, Rm, ShiftOp, Width};
+use std::collections::HashMap;
+
+/// Upper bound on cached decoded instructions before the cache resets.
+const ICACHE_CAP: usize = 1 << 16;
+
+/// Arithmetic flags (the subset the ISA's conditions need).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Evaluate a condition code against the flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || self.sf != self.of,
+            Cond::G => !self.zf && self.sf == self.of,
+        }
+    }
+}
+
+/// Why a [`Cpu::step`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The instruction retired normally.
+    Normal,
+    /// A `syscall` retired; the OS personality must service it.
+    Syscall,
+    /// A `cpuid` retired; used as a monitor hypercall by test drivers.
+    Hypercall,
+    /// An `int3` retired (breakpoint).
+    Breakpoint,
+    /// A `hlt` retired; targets use it as a cooperative yield.
+    Halt,
+    /// Illegal or undecodable instruction; `rip` unchanged.
+    IllegalInst,
+    /// Memory access violation; `rip` unchanged (points at the faulting
+    /// instruction so exception dispatch can locate the guarded region).
+    Fault(Fault),
+}
+
+/// Architectural register and flag state, plus a retired-instruction
+/// counter.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers, indexed by [`Reg::encoding`].
+    pub regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Arithmetic flags.
+    pub flags: Flags,
+    /// Retired instruction count.
+    pub steps: u64,
+    /// Decoded-instruction cache, keyed by VA and validated against the
+    /// memory generation (invalidated on map/unmap/protect/poke).
+    icache: HashMap<u64, Decoded>,
+    icache_gen: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A zeroed CPU.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; 16],
+            rip: 0,
+            flags: Flags::default(),
+            steps: 0,
+            icache: HashMap::new(),
+            icache_gen: 0,
+        }
+    }
+
+    /// Read a full 64-bit register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.encoding() as usize]
+    }
+
+    /// Write a full 64-bit register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.encoding() as usize] = v;
+    }
+
+    /// Read a register at the given width (zero-extended).
+    #[inline]
+    pub fn reg_w(&self, r: Reg, w: Width) -> u64 {
+        self.reg(r) & w.mask()
+    }
+
+    /// Write a register at the given width with x86 semantics:
+    /// 64-bit replaces, 32-bit zero-extends, 8-bit merges the low byte.
+    #[inline]
+    pub fn set_reg_w(&mut self, r: Reg, w: Width, v: u64) {
+        let cur = self.reg(r);
+        let nv = match w {
+            Width::B8 => v,
+            Width::B4 => v & 0xFFFF_FFFF,
+            Width::B1 => (cur & !0xFF) | (v & 0xFF),
+        };
+        self.set_reg(r, nv);
+    }
+
+    /// Effective address of a memory operand, given the address of the
+    /// *next* instruction (for RIP-relative operands).
+    pub fn effective_addr(&self, m: &MemOp, next_rip: u64) -> u64 {
+        if m.rip {
+            return next_rip.wrapping_add(m.disp as i64 as u64);
+        }
+        let mut a = m.disp as i64 as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.reg(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.reg(i).wrapping_mul(s as u64));
+        }
+        a
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64, w: Width) -> u64 {
+        let mask = w.mask();
+        let (a, b) = (a & mask, b & mask);
+        let sign = w.sign_bit();
+        let r = match op {
+            AluOp::Add => {
+                let r = a.wrapping_add(b) & mask;
+                self.flags.cf = r < a;
+                self.flags.of = (a ^ r) & (b ^ r) & sign != 0;
+                r
+            }
+            AluOp::Sub | AluOp::Cmp => {
+                let r = a.wrapping_sub(b) & mask;
+                self.flags.cf = a < b;
+                self.flags.of = (a ^ b) & (a ^ r) & sign != 0;
+                r
+            }
+            AluOp::And | AluOp::Test => {
+                self.flags.cf = false;
+                self.flags.of = false;
+                a & b
+            }
+            AluOp::Or => {
+                self.flags.cf = false;
+                self.flags.of = false;
+                a | b
+            }
+            AluOp::Xor => {
+                self.flags.cf = false;
+                self.flags.of = false;
+                a ^ b
+            }
+        };
+        self.flags.zf = r == 0;
+        self.flags.sf = r & sign != 0;
+        r
+    }
+
+    fn read_rm(
+        &self,
+        rm: Rm,
+        w: Width,
+        next: u64,
+        mem: &Memory,
+        hook: &mut dyn Hook,
+    ) -> Result<u64, Fault> {
+        match rm {
+            Rm::Reg(r) => Ok(self.reg_w(r, w)),
+            Rm::Mem(m) => {
+                let ea = self.effective_addr(&m, next);
+                let v = mem.read_width(ea, w.bytes())?;
+                hook.on_mem_read(self, ea, w.bytes());
+                Ok(v)
+            }
+        }
+    }
+
+    fn write_rm(
+        &mut self,
+        rm: Rm,
+        w: Width,
+        v: u64,
+        next: u64,
+        mem: &mut Memory,
+        hook: &mut dyn Hook,
+    ) -> Result<(), Fault> {
+        match rm {
+            Rm::Reg(r) => {
+                self.set_reg_w(r, w, v);
+                Ok(())
+            }
+            Rm::Mem(m) => {
+                let ea = self.effective_addr(&m, next);
+                mem.write_width(ea, v, w.bytes())?;
+                hook.on_mem_write(self, ea, w.bytes());
+                Ok(())
+            }
+        }
+    }
+
+    /// Execute one instruction.
+    ///
+    /// On a fault or illegal instruction, `rip` still points at the
+    /// offending instruction; otherwise it has advanced (or jumped).
+    pub fn step(&mut self, mem: &mut Memory, hook: &mut dyn Hook) -> Exit {
+        if self.icache_gen != mem.generation() || self.icache.len() >= ICACHE_CAP {
+            self.icache.clear();
+            self.icache_gen = mem.generation();
+        }
+        let d = if let Some(d) = self.icache.get(&self.rip) {
+            *d
+        } else {
+            let mut bytes = [0u8; 15];
+            let n = match mem.fetch(self.rip, &mut bytes) {
+                Ok(n) => n,
+                Err(f) => return Exit::Fault(f),
+            };
+            let d = match decode(&bytes[..n]) {
+                Ok(d) => d,
+                Err(_) => return Exit::IllegalInst,
+            };
+            self.icache.insert(self.rip, d);
+            d
+        };
+        let next = self.rip.wrapping_add(d.len as u64);
+        hook.on_inst(self, mem, &d.inst, self.rip, d.len);
+
+        macro_rules! fault {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(f) => return Exit::Fault(f),
+                }
+            };
+        }
+
+        let mut exit = Exit::Normal;
+        match d.inst {
+            Inst::MovRRm { dst, src, width } => {
+                let v = fault!(self.read_rm(src, width, next, mem, hook));
+                // Plain 32-bit loads zero-extend; byte loads via `mov r8`
+                // merge, byte loads via `movzx` are handled below.
+                match width {
+                    Width::B4 => self.set_reg(dst, v),
+                    _ => self.set_reg_w(dst, width, v),
+                }
+            }
+            Inst::MovRmR { dst, src, width } => {
+                let v = self.reg_w(src, width);
+                fault!(self.write_rm(dst, width, v, next, mem, hook));
+            }
+            Inst::MovRI { dst, imm } => self.set_reg(dst, imm),
+            Inst::MovRmI { dst, imm, width } => {
+                let v = imm as i64 as u64;
+                fault!(self.write_rm(dst, width, v, next, mem, hook));
+            }
+            Inst::Movzx { dst, src, .. } => {
+                let v = fault!(self.read_rm(src, Width::B1, next, mem, hook));
+                self.set_reg(dst, v & 0xFF);
+            }
+            Inst::Lea { dst, mem: m } => {
+                let ea = self.effective_addr(&m, next);
+                self.set_reg(dst, ea);
+            }
+            Inst::AluRRm { op, dst, src, width } => {
+                let a = self.reg_w(dst, width);
+                let b = fault!(self.read_rm(src, width, next, mem, hook));
+                let r = self.alu(op, a, b, width);
+                if op.writes_dst() {
+                    match width {
+                        Width::B4 => self.set_reg(dst, r),
+                        _ => self.set_reg_w(dst, width, r),
+                    }
+                }
+            }
+            Inst::AluRmR { op, dst, src, width } => {
+                let a = fault!(self.read_rm(dst, width, next, mem, hook));
+                let b = self.reg_w(src, width);
+                let r = self.alu(op, a, b, width);
+                if op.writes_dst() {
+                    fault!(self.write_rm(dst, width, r, next, mem, hook));
+                }
+            }
+            Inst::AluRmI { op, dst, imm, width } => {
+                let a = fault!(self.read_rm(dst, width, next, mem, hook));
+                let b = imm as i64 as u64;
+                let r = self.alu(op, a, b, width);
+                if op.writes_dst() {
+                    fault!(self.write_rm(dst, width, r, next, mem, hook));
+                }
+            }
+            Inst::ShiftRI { op, dst, amount } => {
+                let a = self.reg(dst);
+                let n = (amount & 63) as u32;
+                if n != 0 {
+                    let r = match op {
+                        ShiftOp::Shl => {
+                            self.flags.cf = n <= 64 && (a >> (64 - n)) & 1 != 0;
+                            a.wrapping_shl(n)
+                        }
+                        ShiftOp::Shr => {
+                            self.flags.cf = (a >> (n - 1)) & 1 != 0;
+                            a.wrapping_shr(n)
+                        }
+                        ShiftOp::Sar => {
+                            self.flags.cf = (a >> (n - 1)) & 1 != 0;
+                            ((a as i64) >> n) as u64
+                        }
+                    };
+                    self.flags.zf = r == 0;
+                    self.flags.sf = r & (1 << 63) != 0;
+                    self.set_reg(dst, r);
+                }
+            }
+            Inst::Neg(r) => {
+                let v = self.reg(r);
+                let res = 0u64.wrapping_sub(v);
+                self.flags.cf = v != 0;
+                self.flags.of = v == 1 << 63;
+                self.flags.zf = res == 0;
+                self.flags.sf = res & (1 << 63) != 0;
+                self.set_reg(r, res);
+            }
+            Inst::Not(r) => {
+                let v = self.reg(r);
+                self.set_reg(r, !v);
+            }
+            Inst::Imul { dst, src } => {
+                let a = self.reg(dst) as i64 as i128;
+                let b = fault!(self.read_rm(src, Width::B8, next, mem, hook)) as i64 as i128;
+                let full = a * b;
+                let trunc = full as i64;
+                self.flags.cf = full != trunc as i128;
+                self.flags.of = self.flags.cf;
+                self.flags.zf = trunc == 0;
+                self.flags.sf = trunc < 0;
+                self.set_reg(dst, trunc as u64);
+            }
+            Inst::Cmov { cond, dst, src } => {
+                // x86 semantics: the source is read (and may fault) even
+                // when the condition is false.
+                let v = fault!(self.read_rm(src, Width::B8, next, mem, hook));
+                if self.flags.cond(cond) {
+                    self.set_reg(dst, v);
+                }
+            }
+            Inst::Xchg(a, b) => {
+                let (va, vb) = (self.reg(a), self.reg(b));
+                self.set_reg(a, vb);
+                self.set_reg(b, va);
+            }
+            Inst::Push(r) => {
+                let sp = self.reg(Reg::Rsp).wrapping_sub(8);
+                let v = self.reg(r);
+                fault!(mem.write_u64(sp, v));
+                hook.on_mem_write(self, sp, 8);
+                self.set_reg(Reg::Rsp, sp);
+            }
+            Inst::Pop(r) => {
+                let sp = self.reg(Reg::Rsp);
+                let v = fault!(mem.read_u64(sp));
+                hook.on_mem_read(self, sp, 8);
+                self.set_reg(Reg::Rsp, sp.wrapping_add(8));
+                self.set_reg(r, v);
+            }
+            Inst::CallRel(rel) => {
+                let sp = self.reg(Reg::Rsp).wrapping_sub(8);
+                fault!(mem.write_u64(sp, next));
+                hook.on_mem_write(self, sp, 8);
+                self.set_reg(Reg::Rsp, sp);
+                let target = next.wrapping_add(rel as i64 as u64);
+                hook.on_call(self, next, target);
+                self.rip = target;
+                self.steps += 1;
+                return Exit::Normal;
+            }
+            Inst::CallRm(rm) => {
+                let target = fault!(self.read_rm(rm, Width::B8, next, mem, hook));
+                let sp = self.reg(Reg::Rsp).wrapping_sub(8);
+                fault!(mem.write_u64(sp, next));
+                hook.on_mem_write(self, sp, 8);
+                self.set_reg(Reg::Rsp, sp);
+                hook.on_call(self, next, target);
+                self.rip = target;
+                self.steps += 1;
+                return Exit::Normal;
+            }
+            Inst::JmpRel(rel) => {
+                self.rip = next.wrapping_add(rel as i64 as u64);
+                self.steps += 1;
+                return Exit::Normal;
+            }
+            Inst::JmpRm(rm) => {
+                let target = fault!(self.read_rm(rm, Width::B8, next, mem, hook));
+                self.rip = target;
+                self.steps += 1;
+                return Exit::Normal;
+            }
+            Inst::Jcc { cond, rel } => {
+                if self.flags.cond(cond) {
+                    self.rip = next.wrapping_add(rel as i64 as u64);
+                    self.steps += 1;
+                    return Exit::Normal;
+                }
+            }
+            Inst::Setcc { cond, dst } => {
+                let v = self.flags.cond(cond) as u64;
+                self.set_reg_w(dst, Width::B1, v);
+            }
+            Inst::Ret => {
+                let sp = self.reg(Reg::Rsp);
+                let ra = fault!(mem.read_u64(sp));
+                hook.on_mem_read(self, sp, 8);
+                self.set_reg(Reg::Rsp, sp.wrapping_add(8));
+                hook.on_ret(self, ra);
+                self.rip = ra;
+                self.steps += 1;
+                return Exit::Normal;
+            }
+            Inst::Syscall => {
+                // Hardware clobbers: rcx = return RIP, r11 = rflags.
+                self.set_reg(Reg::Rcx, next);
+                self.set_reg(Reg::R11, 0x202);
+                exit = Exit::Syscall;
+            }
+            Inst::Int3 => exit = Exit::Breakpoint,
+            Inst::Nop => {}
+            Inst::Ud2 => return Exit::IllegalInst,
+            Inst::Hlt => exit = Exit::Halt,
+            Inst::Cpuid => exit = Exit::Hypercall,
+        }
+        self.rip = next;
+        self.steps += 1;
+        exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NullHook;
+    use crate::mem::Prot;
+    use cr_isa::Asm;
+    use Reg::*;
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> (Cpu, Memory) {
+        let mut a = Asm::new(0x40_0000);
+        build(&mut a);
+        let asm = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x40_0000, asm.code.len() as u64 + 0x1000, Prot::RX);
+        mem.poke(0x40_0000, &asm.code).unwrap();
+        mem.map(0x7F_0000, 0x1_0000, Prot::RW); // stack
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x40_0000;
+        cpu.set_reg(Rsp, 0x7F_F000);
+        (cpu, mem)
+    }
+
+    fn run_until_halt(cpu: &mut Cpu, mem: &mut Memory) {
+        for _ in 0..10_000 {
+            match cpu.step(mem, &mut NullHook) {
+                Exit::Normal | Exit::Syscall => {}
+                Exit::Halt => return,
+                other => panic!("unexpected exit {other:?} at rip {:#x}", cpu.rip),
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10 into rax.
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.zero(Rax);
+            a.mov_ri(Rcx, 10);
+            let top = a.here();
+            a.add_rr(Rax, Rcx);
+            a.sub_ri(Rcx, 1);
+            a.cmp_ri(Rcx, 0);
+            a.jcc(cr_isa::Cond::Ne, top);
+            a.hlt();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 55);
+    }
+
+    #[test]
+    fn call_ret_stack() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            let f = a.fresh();
+            a.call_label(f);
+            a.hlt();
+            a.bind(f);
+            a.mov_ri(Rax, 0x1234);
+            a.ret();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 0x1234);
+        assert_eq!(cpu.reg(Rsp), 0x7F_F000);
+    }
+
+    #[test]
+    fn faulting_load_preserves_rip() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rdi, 0xdead_0000);
+            a.load(Rax, cr_isa::Mem::base(Rdi));
+            a.hlt();
+        });
+        assert_eq!(cpu.step(&mut mem, &mut NullHook), Exit::Normal);
+        let rip_before = cpu.rip;
+        match cpu.step(&mut mem, &mut NullHook) {
+            Exit::Fault(f) => {
+                assert_eq!(f.addr, 0xdead_0000);
+                assert!(!f.mapped);
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert_eq!(cpu.rip, rip_before, "rip must stay at the faulting instruction");
+    }
+
+    #[test]
+    fn width_semantics() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, 0xFFFF_FFFF_FFFF_FFFF);
+            // 32-bit mov zero-extends.
+            a.inst(cr_isa::Inst::MovRmI {
+                dst: cr_isa::Rm::Reg(Rax),
+                imm: -1,
+                width: cr_isa::Width::B4,
+            });
+            a.hlt();
+        });
+        // MovRmI with B4 writes via set_reg_w → zero-extends.
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 0x0000_0000_FFFF_FFFF);
+    }
+
+    #[test]
+    fn signed_conditions() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, (-5i64) as u64);
+            a.cmp_ri(Rax, 3);
+            a.mov_ri(Rbx, 0);
+            let ge = a.fresh();
+            a.jcc(cr_isa::Cond::Ge, ge);
+            a.mov_ri(Rbx, 1); // taken: -5 < 3
+            a.bind(ge);
+            a.hlt();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rbx), 1);
+    }
+
+    #[test]
+    fn unsigned_conditions() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, (-5i64) as u64); // huge unsigned
+            a.cmp_ri(Rax, 3);
+            a.mov_ri(Rbx, 0);
+            let be = a.fresh();
+            a.jcc(cr_isa::Cond::Be, be);
+            a.mov_ri(Rbx, 1); // taken: 0xfff..b > 3 unsigned
+            a.bind(be);
+            a.hlt();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rbx), 1);
+    }
+
+    #[test]
+    fn syscall_clobbers_rcx_r11() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rcx, 7);
+            a.syscall();
+            a.hlt();
+        });
+        assert_eq!(cpu.step(&mut mem, &mut NullHook), Exit::Normal);
+        let rip = cpu.rip;
+        assert_eq!(cpu.step(&mut mem, &mut NullHook), Exit::Syscall);
+        assert_eq!(cpu.reg(Rcx), rip + 2, "rcx = return address after syscall");
+    }
+
+    #[test]
+    fn rip_relative_load() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            let data = a.fresh();
+            a.load(Rax, cr_isa::Mem::rip(0)); // placeholder; fixed below
+            a.hlt();
+            a.bind(data);
+            a.bytes(&0xCAFE_u64.to_le_bytes());
+        });
+        // Patch: rewrite the first inst by assembling with the right disp.
+        // Simpler: execute a fresh program via lea_label.
+        let _ = (&mut cpu, &mut mem);
+        let mut a = Asm::new(0x40_0000);
+        let data = a.fresh();
+        a.lea_label(Rbx, data);
+        a.load(Rax, cr_isa::Mem::base(Rbx));
+        a.hlt();
+        a.bind(data);
+        a.bytes(&0xCAFE_u64.to_le_bytes());
+        let asm = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x40_0000, 0x1000, Prot::RX);
+        mem.poke(0x40_0000, &asm.code).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x40_0000;
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 0xCAFE);
+    }
+
+    #[test]
+    fn icache_invalidates_on_code_poke() {
+        // Run a loop twice; between runs, patch the loop body via poke
+        // (debugger-style write). The second run must see the new code.
+        let mut a = Asm::new(0x1000);
+        a.global("f");
+        a.mov_ri(Rax, 1);
+        a.hlt();
+        let asm = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x1000, Prot::RX);
+        mem.poke(0x1000, &asm.code).unwrap();
+        let mut cpu = Cpu::new();
+        cpu.rip = 0x1000;
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 1);
+        // Patch `mov rax, 1` → `mov rax, 2`.
+        let mut a2 = Asm::new(0x1000);
+        a2.mov_ri(Rax, 2);
+        a2.hlt();
+        mem.poke(0x1000, &a2.assemble().unwrap().code).unwrap();
+        cpu.rip = 0x1000;
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 2, "stale icache entry would return 1");
+    }
+
+    #[test]
+    fn ud2_is_illegal() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.ud2();
+        });
+        assert_eq!(cpu.step(&mut mem, &mut NullHook), Exit::IllegalInst);
+        assert_eq!(cpu.rip, 0x40_0000);
+    }
+
+    #[test]
+    fn extended_alu_instructions() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, 7);
+            a.inst(cr_isa::Inst::Neg(Rax)); // -7
+            a.mov_ri(Rbx, 3);
+            a.inst(cr_isa::Inst::Imul { dst: Rax, src: cr_isa::Rm::Reg(Rbx) }); // -21
+            a.inst(cr_isa::Inst::Not(Rax)); // !(-21) = 20
+            a.mov_ri(Rdx, 100);
+            a.inst(cr_isa::Inst::Xchg(Rax, Rdx)); // rax=100, rdx=20
+            a.hlt();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rax), 100);
+        assert_eq!(cpu.reg(Rdx), 20);
+    }
+
+    #[test]
+    fn cmov_moves_only_when_condition_holds() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, 1);
+            a.mov_ri(Rbx, 42);
+            a.mov_ri(Rdx, 99);
+            a.cmp_ri(Rax, 1);
+            a.inst(cr_isa::Inst::Cmov { cond: cr_isa::Cond::E, dst: Rsi, src: cr_isa::Rm::Reg(Rbx) });
+            a.inst(cr_isa::Inst::Cmov { cond: cr_isa::Cond::Ne, dst: Rdi, src: cr_isa::Rm::Reg(Rdx) });
+            a.hlt();
+        });
+        cpu.set_reg(Rsi, 0);
+        cpu.set_reg(Rdi, 7);
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rsi), 42, "taken cmov moves");
+        assert_eq!(cpu.reg(Rdi), 7, "untaken cmov preserves");
+    }
+
+    #[test]
+    fn cmov_source_faults_even_when_untaken() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rdi, 0xdead_0000);
+            a.cmp_ri(Rdi, 0); // NE
+            a.inst(cr_isa::Inst::Cmov {
+                cond: cr_isa::Cond::E, // false
+                dst: Rax,
+                src: cr_isa::Rm::Mem(cr_isa::Mem::base(Rdi)),
+            });
+            a.hlt();
+        });
+        loop {
+            match cpu.step(&mut mem, &mut NullHook) {
+                Exit::Normal => {}
+                Exit::Fault(f) => {
+                    assert_eq!(f.addr, 0xdead_0000);
+                    return;
+                }
+                e => panic!("expected fault, got {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn setcc() {
+        let (mut cpu, mut mem) = run_asm(|a| {
+            a.mov_ri(Rax, 5);
+            a.cmp_ri(Rax, 5);
+            a.mov_ri(Rbx, 0xFFFF);
+            a.setcc(cr_isa::Cond::E, Rbx);
+            a.hlt();
+        });
+        run_until_halt(&mut cpu, &mut mem);
+        assert_eq!(cpu.reg(Rbx), 0xFF01); // only low byte written
+    }
+}

@@ -1,0 +1,42 @@
+//! # cr-vm — paged-memory CPU emulator
+//!
+//! Executes the `cr-isa` x86-64 subset over a 4 KiB-paged address space
+//! with RWX permissions. Access violations surface as [`Fault`] values and
+//! leave `rip` at the faulting instruction, which is exactly what the OS
+//! personalities in `cr-os` need to implement signals (Linux) and SEH
+//! dispatch (Windows) — the two mechanisms crash-resistant primitives are
+//! made of.
+//!
+//! Instrumentation is pluggable via the [`Hook`] trait; the taint engine
+//! and coverage harvesting are hooks, mirroring the Pin/libdft/DynamoRIO
+//! tooling of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_vm::{Cpu, Memory, Prot, Exit, NullHook};
+//! use cr_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new(0x1000);
+//! a.mov_ri(Reg::Rax, 41);
+//! a.add_ri(Reg::Rax, 1);
+//! a.hlt();
+//! let code = a.assemble()?.code;
+//!
+//! let mut mem = Memory::new();
+//! mem.map(0x1000, 0x1000, Prot::RX);
+//! mem.poke(0x1000, &code)?;
+//! let mut cpu = Cpu::new();
+//! cpu.rip = 0x1000;
+//! while cpu.step(&mut mem, &mut NullHook) == Exit::Normal {}
+//! assert_eq!(cpu.reg(Reg::Rax), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cpu;
+mod hook;
+mod mem;
+
+pub use cpu::{Cpu, Exit, Flags};
+pub use hook::{CoverageHook, Hook, NullHook, PairHook};
+pub use mem::{Access, Fault, Memory, Prot, PAGE_SIZE};

@@ -1,0 +1,120 @@
+//! Property tests over the paged memory model — the foundation every
+//! fault-semantics claim rests on.
+
+use cr_vm::{Access, Memory, Prot, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn arb_prot() -> impl Strategy<Value = Prot> {
+    prop_oneof![
+        Just(Prot::NONE),
+        Just(Prot::R),
+        Just(Prot::RW),
+        Just(Prot::RX),
+        Just(Prot::RWX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_read_roundtrip(
+        page in 1u64..0x1000,
+        off in 0u64..(PAGE_SIZE - 64),
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut m = Memory::new();
+        m.map(page * PAGE_SIZE, PAGE_SIZE * 2, Prot::RW);
+        let addr = page * PAGE_SIZE + off;
+        m.write(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn cross_page_writes_are_consistent(
+        page in 1u64..0x1000,
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        // Straddle a page boundary on purpose.
+        let mut m = Memory::new();
+        m.map(page * PAGE_SIZE, PAGE_SIZE * 2, Prot::RW);
+        let addr = page * PAGE_SIZE + PAGE_SIZE - data.len() as u64 / 2 - 1;
+        m.write(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn check_agrees_with_read_write(
+        page in 1u64..0x100,
+        len in 1u64..(3 * PAGE_SIZE),
+        prot in arb_prot(),
+    ) {
+        let mut m = Memory::new();
+        let base = page * PAGE_SIZE;
+        m.map(base, PAGE_SIZE, prot);
+        // Read agreement.
+        let ok_read = m.check(base, len, Access::Read).is_ok();
+        let mut buf = vec![0u8; len as usize];
+        prop_assert_eq!(ok_read, m.read(base, &mut buf).is_ok());
+        // Write agreement.
+        let ok_write = m.check(base, len, Access::Write).is_ok();
+        prop_assert_eq!(ok_write, m.write(base, &buf).is_ok());
+        // Containment: a range fitting the mapped page succeeds iff the
+        // protection allows it.
+        if len <= PAGE_SIZE {
+            prop_assert_eq!(ok_read, prot.r);
+            prop_assert_eq!(ok_write, prot.w);
+        } else {
+            prop_assert!(!ok_read && !ok_write, "range exceeds the mapping");
+        }
+    }
+
+    #[test]
+    fn unmap_restores_fault_behaviour(page in 1u64..0x100) {
+        let mut m = Memory::new();
+        let base = page * PAGE_SIZE;
+        m.map(base, PAGE_SIZE, Prot::RW);
+        m.write_u64(base, 7).unwrap();
+        m.unmap(base, PAGE_SIZE);
+        let err = m.read_u64(base).unwrap_err();
+        prop_assert!(!err.mapped);
+        // Remapping zeroes contents.
+        m.map(base, PAGE_SIZE, Prot::RW);
+        prop_assert_eq!(m.read_u64(base).unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_reports_first_bad_address(
+        page in 1u64..0x100,
+        len in 1u64..PAGE_SIZE,
+    ) {
+        let mut m = Memory::new();
+        let base = page * PAGE_SIZE;
+        m.map(base, PAGE_SIZE, Prot::RW);
+        // Read starting in-bounds and running off the end.
+        let start = base + PAGE_SIZE - len;
+        let mut buf = vec![0u8; (len + 16) as usize];
+        let err = m.read(start, &mut buf).unwrap_err();
+        prop_assert_eq!(err.addr, base + PAGE_SIZE, "fault at the first unmapped byte");
+    }
+
+    #[test]
+    fn peek_poke_ignore_permissions_but_not_mapping(
+        page in 1u64..0x100,
+        prot in arb_prot(),
+        v in any::<u64>(),
+    ) {
+        let mut m = Memory::new();
+        let base = page * PAGE_SIZE;
+        m.map(base, PAGE_SIZE, prot);
+        m.poke(base, &v.to_le_bytes()).unwrap();
+        let mut b = [0u8; 8];
+        m.peek(base, &mut b).unwrap();
+        prop_assert_eq!(u64::from_le_bytes(b), v);
+        prop_assert!(m.peek(base + PAGE_SIZE, &mut b).is_err());
+    }
+}

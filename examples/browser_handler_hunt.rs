@@ -1,0 +1,69 @@
+//! Hunt for AV-capable exception handlers in browser modules — the
+//! paper's §IV-C pipeline: parse `.pdata`, symbolically vet every filter,
+//! cross-reference with a browsing trace, and print the candidates an
+//! attacker could actually trigger.
+//!
+//! ```sh
+//! cargo run --example browser_handler_hunt
+//! ```
+
+use cr_core::seh::{analyze_module, on_path_count, FilterClass};
+use cr_os::OsHook;
+use cr_vm::{CoverageHook, Hook};
+
+struct Cov(CoverageHook);
+
+impl Hook for Cov {
+    fn on_inst(
+        &mut self,
+        cpu: &cr_vm::Cpu,
+        mem: &mut cr_vm::Memory,
+        inst: &cr_isa::Inst,
+        va: u64,
+        len: usize,
+    ) {
+        self.0.on_inst(cpu, mem, inst, va, len);
+    }
+}
+
+impl OsHook for Cov {}
+
+fn main() {
+    println!("building ie-sim (8 system DLLs + host) and browsing 3 sites ...");
+    let mut sim = cr_targets::browsers::ie::build();
+    let mut cov = Cov(CoverageHook::new());
+    assert!(cr_targets::browsers::ie::browse(&mut sim, 3, &mut cov));
+    println!("trace: {} unique instruction addresses\n", cov.0.visited.len());
+
+    for module in sim.proc.modules.clone() {
+        if module.name == "iexplore.exe" {
+            continue;
+        }
+        let analysis = analyze_module(&module.image);
+        let on_path = on_path_count(&analysis, &cov.0.visited);
+        println!(
+            "{:<14} guarded {:>3} → AV-capable {:>3} → on path {:>3}   (filters {:>3} → {:>3}, undecided {})",
+            module.name,
+            analysis.guarded_before,
+            analysis.guarded_after,
+            on_path,
+            analysis.filters_before,
+            analysis.filters_after,
+            analysis.filters_undecided,
+        );
+        // Show a few concrete candidates with their vetting evidence.
+        for f in analysis.functions.iter().filter(|f| f.survives()).take(2) {
+            for s in f.scopes.iter().filter(|s| s.class.survives()).take(1) {
+                let why = match &s.class {
+                    FilterClass::CatchAll => "scope filter field = 1 (catch-all)".to_string(),
+                    FilterClass::AcceptsAv { witness } => {
+                        format!("solver witness: ExceptionCode = {witness:#x}")
+                    }
+                    FilterClass::Undecided { reason } => format!("undecided: {reason}"),
+                    FilterClass::RejectsAv => unreachable!(),
+                };
+                println!("      candidate @ {:#x}..{:#x} — {}", s.begin_va, s.end_va, why);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Defending against crash-resistant probing — the paper's §VII-C
+//! countermeasures in action:
+//!
+//! * the **rate-based detector** stays silent on browsing and asm.js
+//!   workloads but alarms on a probing attack;
+//! * the **mapped-only-AV policy** preserves the asm.js guard-page
+//!   optimization while making the first unmapped probe fatal.
+//!
+//! ```sh
+//! cargo run --release --example defense_monitor
+//! ```
+
+use cr_defense::policy::{asmjs_under_policy, probing_under_policy};
+use cr_defense::RateDetector;
+use cr_targets::browsers::firefox;
+use cr_vm::NullHook;
+
+fn main() {
+    let det = RateDetector::default();
+    println!("rate-based AV anomaly detection (window {} ms, threshold {}):", det.window_ms, det.threshold);
+
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for _ in 0..25 {
+        sim.proc.call(sim.render_page, &[], 100_000, &mut NullHook);
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!("  browsing:  {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for _ in 0..5 {
+        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+        sim.proc.run(200_000, &mut NullHook);
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!("  asm.js:    {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+
+    let mut sim = firefox::build();
+    let t0 = sim.proc.vtime;
+    for i in 0..200u64 {
+        firefox::probe(&mut sim, 0x9000_0000_0000 + i * 0x1000, &mut NullHook);
+    }
+    let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
+    println!("  probing:   {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+
+    println!("\nmapped-only-AV policy:");
+    let a = asmjs_under_policy(true);
+    println!("  asm.js under policy:  survived={} handled_faults={}", a.survived, a.handled_faults);
+    let p = probing_under_policy(true, 10);
+    println!(
+        "  probing under policy: survived={} probes_before_crash={}",
+        p.survived, p.probes_before_crash
+    );
+    println!("\ninformation hiding regains its 'one wrong guess = crash' guarantee");
+}

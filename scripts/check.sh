@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification: build, lints, tests, docs, bench smoke.
+set -euo pipefail
+cargo build --workspace --examples --benches
+cargo test --workspace
+cargo doc --workspace --no-deps
+cargo bench -p cr-bench -- --test
+echo "[check] all green"

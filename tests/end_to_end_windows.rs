@@ -1,0 +1,100 @@
+//! Cross-crate soundness check: the *static* verdicts of the SEH
+//! analysis (cr-image parsing + cr-symex filter vetting) must agree with
+//! the *dynamic* behaviour of the SEH dispatcher (cr-os executing the
+//! same filter machine code on a real fault).
+//!
+//! For every guarded function in a generated module:
+//! * if the analysis says some scope accepts access violations, calling
+//!   the function with an unmapped pointer must survive (the `__except`
+//!   block runs);
+//! * if the analysis says every scope rejects AVs, the same call must
+//!   crash the process.
+
+use cr_core::seh::analyze_module;
+use cr_os::windows::api::ApiTable;
+use cr_os::windows::{CallOutcome, WinProc};
+use cr_targets::browsers::{generate_dll, DllSpec};
+use cr_vm::NullHook;
+
+fn small_spec() -> DllSpec {
+    DllSpec {
+        name: "verify".into(),
+        machine: cr_image::Machine::X64,
+        image_base: 0x7FFA_0000_0000,
+        guarded_total: 12,
+        guarded_accepting: 5,
+        on_path: 0,
+        filters_total: 9,
+        filters_accepting: 4,
+        unknown_filter: false,
+        mutx_extra: None,
+        veh_extra: false,
+    }
+}
+
+#[test]
+fn static_verdicts_match_dynamic_dispatch() {
+    let img = generate_dll(&small_spec());
+    let analysis = analyze_module(&img);
+    assert_eq!(analysis.guarded_before, 12);
+    assert_eq!(analysis.guarded_after, 5);
+
+    let mut surviving_checked = 0;
+    let mut crashing_checked = 0;
+    for f in &analysis.functions {
+        // Fresh process per function: crashes are terminal.
+        let mut p = WinProc::new(ApiTable::curated_only());
+        p.load_module(&img);
+        let outcome = p.call(f.begin_va, &[0xdead_0000], 1_000_000, &mut NullHook);
+        if f.survives() {
+            match outcome {
+                CallOutcome::Returned(v) => {
+                    assert_eq!(v >> 16, 0xEEEE, "__except block value, got {v:#x}");
+                }
+                other => panic!(
+                    "analysis said AV-capable but call {:#x} → {other:?}",
+                    f.begin_va
+                ),
+            }
+            assert!(p.alive());
+            surviving_checked += 1;
+        } else {
+            assert!(
+                matches!(outcome, CallOutcome::Crashed(_)),
+                "analysis said rejects-AV but call {:#x} → {outcome:?}",
+                f.begin_va
+            );
+            crashing_checked += 1;
+        }
+    }
+    assert_eq!(surviving_checked, 5);
+    assert_eq!(crashing_checked, 7);
+}
+
+#[test]
+fn witness_codes_are_real_access_violation_codes() {
+    let img = generate_dll(&small_spec());
+    let analysis = analyze_module(&img);
+    for s in &analysis.scopes {
+        if let cr_core::seh::FilterClass::AcceptsAv { witness } = s.class {
+            assert_eq!(witness, 0xC000_0005, "witness must be the AV status code");
+        }
+    }
+}
+
+#[test]
+fn valid_pointers_never_fault() {
+    let img = generate_dll(&small_spec());
+    let analysis = analyze_module(&img);
+    let mut p = WinProc::new(ApiTable::curated_only());
+    p.load_module(&img);
+    p.mem.map(0x12_0000, 0x1000, cr_vm::Prot::RW);
+    p.mem.write_u64(0x12_0000, 0x42).unwrap();
+    for f in &analysis.functions {
+        match p.call(f.begin_va, &[0x12_0000], 1_000_000, &mut NullHook) {
+            CallOutcome::Returned(v) => assert_eq!(v, 0x42),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert!(p.fault_log.is_empty());
+}

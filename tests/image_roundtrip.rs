@@ -1,0 +1,97 @@
+//! Property tests over the binary-image substrate: arbitrary ELF images
+//! round-trip through write→parse, and arbitrary PE scope-table
+//! populations survive write→parse exactly. The discovery pipeline's
+//! first stage is only as good as these parsers.
+
+use cr_image::{
+    ElfImage, ElfSegment, FilterRef, Machine, PeBuilder, PeImage, ScopeEntry, SegPerm,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_perm() -> impl Strategy<Value = SegPerm> {
+    prop_oneof![
+        Just(SegPerm::R),
+        Just(SegPerm::RW),
+        Just(SegPerm::RX),
+        Just(SegPerm::RWX),
+    ]
+}
+
+fn arb_segment() -> impl Strategy<Value = ElfSegment> {
+    (
+        1u64..0x100,            // page index
+        proptest::collection::vec(any::<u8>(), 0..256),
+        0u64..0x1000,
+        arb_perm(),
+    )
+        .prop_map(|(page, data, extra, perm)| {
+            let memsz = data.len() as u64 + extra;
+            ElfSegment { vaddr: page * 0x1000, data, memsz, perm }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn elf_write_parse_roundtrip(
+        segments in proptest::collection::vec(arb_segment(), 1..5),
+        entry in any::<u64>(),
+        syms in proptest::collection::btree_map("[a-z_][a-z0-9_]{0,12}", any::<u64>(), 0..8),
+    ) {
+        let img = ElfImage {
+            entry,
+            segments,
+            symbols: syms.into_iter().collect::<BTreeMap<_, _>>(),
+        };
+        let parsed = ElfImage::parse(&img.to_bytes()).expect("own output parses");
+        prop_assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn pe_scope_tables_roundtrip(
+        scope_specs in proptest::collection::vec(
+            (0x1000u32..0x2000, 1u32..0x40, prop_oneof![Just(None), (0x1000u32..0x2000).prop_map(Some)]),
+            1..20
+        ),
+        base_page in 1u64..0x1000,
+    ) {
+        let image_base = base_page * 0x1_0000;
+        let mut b = PeBuilder::new("prop.dll", Machine::X64, image_base);
+        b.text(0x1000, vec![0x90u8; 0x1000]);
+        let mut expected = Vec::new();
+        for (i, (begin, len, filter)) in scope_specs.iter().enumerate() {
+            let begin = *begin & !0xF;
+            let end = begin + *len;
+            let scope = ScopeEntry {
+                begin_rva: begin,
+                end_rva: end,
+                filter: match filter {
+                    None => FilterRef::CatchAll,
+                    Some(rva) => FilterRef::Function(*rva),
+                },
+                target_rva: end + 4,
+            };
+            // Give each function a unique begin so sort order is stable.
+            let fb = 0x1000 + (i as u32) * 0x40;
+            b.function_with_seh(fb, fb + 0x40, 0x1000, vec![scope]);
+            expected.push((fb, scope));
+        }
+        let img = PeImage::parse(&b.build()).expect("own output parses");
+        expected.sort_by_key(|(fb, _)| *fb);
+        prop_assert_eq!(img.runtime_functions.len(), expected.len());
+        for (rf, (fb, scope)) in img.runtime_functions.iter().zip(&expected) {
+            prop_assert_eq!(rf.begin_rva, *fb);
+            prop_assert_eq!(rf.unwind.scopes.len(), 1);
+            prop_assert_eq!(rf.unwind.scopes[0], *scope);
+        }
+    }
+
+    #[test]
+    fn pe_parser_rejects_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must never panic; errors are fine.
+        let _ = PeImage::parse(&bytes);
+        let _ = ElfImage::parse(&bytes);
+    }
+}

@@ -1,0 +1,63 @@
+//! Oracle ground-truth consistency: every §VI memory oracle must agree
+//! with the process's actual memory map on a mixed probe set, without
+//! crashing its host.
+
+use cr_exploits::firefox::FirefoxOracle;
+use cr_exploits::ie::IeOracle;
+use cr_exploits::nginx::NginxOracle;
+use cr_exploits::{MemoryOracle, ProbeResult};
+
+#[test]
+fn ie_oracle_matches_ground_truth() {
+    let mut o = IeOracle::new();
+    let base = 0x61_0000_0000u64;
+    // Collect pages to map first (borrow rules), then run.
+    for i in (0..8u64).step_by(2) {
+        o.sim().proc.mem.map(base + i * 0x1000, 0x1000, cr_vm::Prot::RW);
+    }
+    for i in 0..8u64 {
+        let addr = base + i * 0x1000;
+        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        assert_eq!(o.probe(addr), expect, "page {i}");
+    }
+    assert!(!o.crashed());
+}
+
+#[test]
+fn firefox_oracle_matches_ground_truth() {
+    let mut o = FirefoxOracle::new();
+    let base = 0x62_0000_0000u64;
+    for i in (0..8u64).step_by(2) {
+        o.sim().proc.mem.map(base + i * 0x1000, 0x1000, cr_vm::Prot::R);
+    }
+    for i in 0..8u64 {
+        let addr = base + i * 0x1000;
+        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        assert_eq!(o.probe(addr), expect, "page {i}");
+    }
+    assert!(!o.crashed());
+}
+
+#[test]
+fn nginx_oracle_matches_ground_truth() {
+    let mut o = NginxOracle::new();
+    let base = 0x63_0000_0000u64;
+    for i in (0..6u64).step_by(2) {
+        o.proc().mem.map(base + i * 0x1000, 0x1000, cr_vm::Prot::RW);
+    }
+    for i in 0..6u64 {
+        let addr = base + i * 0x1000 + 0x100;
+        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        assert_eq!(o.probe(addr), expect, "page {i}");
+    }
+    assert!(!o.crashed());
+}
+
+#[test]
+fn oracles_report_probe_counts() {
+    let mut o = IeOracle::new();
+    assert_eq!(o.probes(), 0);
+    o.probe(0xdead_0000);
+    o.probe(0xdead_1000);
+    assert_eq!(o.probes(), 2);
+}
