@@ -66,7 +66,8 @@ fn bench_pe_parse(c: &mut Criterion) {
     let bytes_img = cr_targets::browsers::generate_dll(&spec);
     // Re-serialize via builder is not exposed; parse the in-memory image's
     // raw sections round-trip instead: rebuild bytes with PeBuilder once.
-    let mut b = cr_image::PeBuilder::new("user32.dll", cr_image::Machine::X64, bytes_img.image_base);
+    let mut b =
+        cr_image::PeBuilder::new("user32.dll", cr_image::Machine::X64, bytes_img.image_base);
     b.text(0x1000, bytes_img.section_at(0x1000).unwrap().data.clone());
     let bytes = b.build();
     c.bench_function("image/pe-parse", |bch| {

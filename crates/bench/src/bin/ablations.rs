@@ -22,7 +22,10 @@ fn main() {
 
     // ---- 1. invalidation phase --------------------------------------------
     println!("\n[1] active pointer invalidation (nginx):");
-    let target = cr_targets::all_servers().into_iter().find(|t| t.name == "nginx").unwrap();
+    let target = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == "nginx")
+        .unwrap();
     let report = discover_server(&target);
     let candidates = report.findings.len();
     let usable = report
@@ -49,7 +52,11 @@ fn main() {
             .iter()
             .filter(|rf| {
                 rf.unwind.handler_rva.is_some()
-                    && rf.unwind.scopes.iter().any(|s| s.filter == FilterRef::CatchAll)
+                    && rf
+                        .unwind
+                        .scopes
+                        .iter()
+                        .any(|s| s.filter == FilterRef::CatchAll)
             })
             .count();
         let full = analyze_module(&img);
@@ -60,7 +67,10 @@ fn main() {
             c.name, catchall_only, full.guarded_after, missed
         );
     }
-    assert!(missed_total > 0, "symex must add candidates beyond catch-all");
+    assert!(
+        missed_total > 0,
+        "symex must add candidates beyond catch-all"
+    );
 
     // ---- 3. byte- vs word-granular taint ------------------------------------
     // The paper extends libdft with byte-granular tracking. Emulate the
@@ -99,8 +109,16 @@ fn main() {
 
     // ---- 4. execution-path cross-referencing --------------------------------
     println!("\n[4] static AV-capable locations vs actually-triggered (Table II):");
-    let statically: u32 = CALIBRATION.iter().filter(|c| c.in_table2).map(|c| c.guarded_after).sum();
-    let on_path: u32 = CALIBRATION.iter().filter(|c| c.in_table2).map(|c| c.on_path).sum();
+    let statically: u32 = CALIBRATION
+        .iter()
+        .filter(|c| c.in_table2)
+        .map(|c| c.guarded_after)
+        .sum();
+    let on_path: u32 = CALIBRATION
+        .iter()
+        .filter(|c| c.in_table2)
+        .map(|c| c.on_path)
+        .sum();
     println!(
         "    static after-symex: {statically}   on browse path: {on_path}   \
          overstatement factor: {:.1}x",

@@ -1,0 +1,122 @@
+//! Campaign scaling bench: serial vs sharded wall time, cold vs warm
+//! content-addressed cache, as machine-readable JSON.
+//!
+//! Three runs over the same SEH campaign (a slice of the §V-C module
+//! population, `CAMPAIGN_MODULES` wide, default 24):
+//!
+//! 1. **serial cold** — `jobs = 1`, fresh cache directory;
+//! 2. **sharded cold** — `jobs = CAMPAIGN_JOBS` (default 8), another
+//!    fresh cache directory;
+//! 3. **sharded warm** — same jobs, rerun against run 2's cache.
+//!
+//! Asserts the paper-level invariants while it measures: serial and
+//! sharded runs must produce byte-identical deterministic reports, and
+//! the warm rerun must not invoke the SAT solver at all.
+
+use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(serde::Serialize)]
+struct RunStats {
+    wall_us: u64,
+    filter_hits: u64,
+    filter_misses: u64,
+    module_hits: u64,
+    module_misses: u64,
+    hit_rate: f64,
+    solver_calls: u64,
+}
+
+#[derive(serde::Serialize)]
+struct ScaleReport {
+    modules: usize,
+    jobs: usize,
+    serial_cold: RunStats,
+    sharded_cold: RunStats,
+    sharded_warm: RunStats,
+    sharded_speedup: f64,
+    warm_speedup: f64,
+    deterministic: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    cr_bench::banner("campaign scaling — serial vs sharded, cold vs warm cache");
+    let modules = env_usize("CAMPAIGN_MODULES", 24);
+    let jobs = env_usize("CAMPAIGN_JOBS", 8);
+
+    let specs = cr_targets::browsers::full_population_specs();
+    let tasks: Vec<CampaignTask> = specs
+        .iter()
+        .take(modules)
+        .map(|s| CampaignTask::SehAnalysis(s.name.clone()))
+        .collect();
+    let spec = CampaignSpec {
+        name: "campaign-scale".into(),
+        seed: 2017,
+        tasks,
+    };
+
+    let scratch = std::env::temp_dir().join(format!("cr-campaign-scale-{}", std::process::id()));
+    let serial_dir = scratch.join("serial");
+    let sharded_dir = scratch.join("sharded");
+
+    let run = |jobs: usize, dir: PathBuf| {
+        let before = cr_symex::solver_calls();
+        let report = run_campaign(
+            &spec,
+            &EngineConfig {
+                jobs,
+                retries: 0,
+                cache_dir: Some(dir),
+            },
+        )
+        .expect("campaign cache I/O");
+        let m = report.metrics.clone();
+        let results = report.results_json();
+        (m, results, cr_symex::solver_calls() - before)
+    };
+
+    eprintln!("[campaign_scale] serial cold ({modules} modules) ...");
+    let (serial_m, serial_results, serial_solver) = run(1, serial_dir);
+    eprintln!("[campaign_scale] sharded cold (jobs={jobs}) ...");
+    let (cold_m, cold_results, cold_solver) = run(jobs, sharded_dir.clone());
+    eprintln!("[campaign_scale] sharded warm ...");
+    let (warm_m, warm_results, warm_solver) = run(jobs, sharded_dir);
+
+    let stats = |m: &cr_campaign::CampaignMetrics, solver: u64| RunStats {
+        wall_us: m.total_wall_us,
+        filter_hits: m.cache.filter_hits,
+        filter_misses: m.cache.filter_misses,
+        module_hits: m.cache.module_hits,
+        module_misses: m.cache.module_misses,
+        hit_rate: m.cache.hit_rate(),
+        solver_calls: solver,
+    };
+    let deterministic = serial_results == cold_results && cold_results == warm_results;
+    let report = ScaleReport {
+        modules,
+        jobs,
+        serial_cold: stats(&serial_m, serial_solver),
+        sharded_cold: stats(&cold_m, cold_solver),
+        sharded_warm: stats(&warm_m, warm_solver),
+        sharded_speedup: serial_m.total_wall_us as f64 / cold_m.total_wall_us.max(1) as f64,
+        warm_speedup: cold_m.total_wall_us as f64 / warm_m.total_wall_us.max(1) as f64,
+        deterministic,
+    };
+    println!("{}", report.to_json());
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        deterministic,
+        "serial and sharded reports must be byte-identical"
+    );
+    assert_eq!(warm_solver, 0, "warm rerun must not touch the SAT solver");
+}

@@ -30,7 +30,8 @@ fn main() {
     let mut sim = firefox::build();
     let t0 = sim.proc.vtime;
     for _ in 0..10 {
-        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+        sim.proc
+            .call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
         sim.proc.run(200_000, &mut NullHook); // gaps between bursts
     }
     let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);

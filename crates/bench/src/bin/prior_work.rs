@@ -61,7 +61,10 @@ fn main() {
     let ntdll = fx.proc.module("ntdll.dll").expect("loaded").clone();
     let handler_rva = (fx.veh_handler - ntdll.base) as u32;
     let statically_visible = ntdll.image.runtime_functions.iter().any(|rf| {
-        rf.unwind.scopes.iter().any(|s| s.filter == FilterRef::Function(handler_rva))
+        rf.unwind
+            .scopes
+            .iter()
+            .any(|s| s.filter == FilterRef::Function(handler_rva))
     });
     println!(
         "Firefox VEH handler @ {:#x}: appears in scope tables: {} — registered at runtime: {}",
@@ -69,7 +72,10 @@ fn main() {
         statically_visible,
         fx.proc.veh_handlers().contains(&fx.veh_handler)
     );
-    assert!(!statically_visible, "static analysis must miss the VEH oracle");
+    assert!(
+        !statically_visible,
+        "static analysis must miss the VEH oracle"
+    );
     assert!(fx.proc.veh_handlers().contains(&fx.veh_handler));
 
     println!("\n§VII-A reproduced: IE found automatically, Firefox missed (VEH limitation)");

@@ -30,7 +30,10 @@ fn main() {
         guarded_after += a.guarded_after;
         undecided += a.filters_undecided;
     }
-    println!("modules analyzed:                 {:>6}   (paper: 187)", specs.len());
+    println!(
+        "modules analyzed:                 {:>6}   (paper: 187)",
+        specs.len()
+    );
     println!("C-specific exception handlers:    {handlers:>6}   (paper: 6,745)");
     println!("distinct filter functions:        {filters:>6}   (paper: 5,751)");
     println!("filters surviving symex:          {filters_after:>6}   (paper: 808)");

@@ -23,7 +23,9 @@ fn main() {
                 f.sources,
                 matches!(
                     f.classification,
-                    cr_core::Classification::Usable { service_after: true }
+                    cr_core::Classification::Usable {
+                        service_after: true
+                    }
                 )
             );
         }

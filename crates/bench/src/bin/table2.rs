@@ -29,7 +29,10 @@ fn main() {
     eprintln!("[table2] building ie-sim and browsing ...");
     let mut sim = cr_targets::browsers::ie::build();
     let mut cov = Cov(CoverageHook::new());
-    assert!(cr_targets::browsers::ie::browse(&mut sim, 3, &mut cov), "browse workload");
+    assert!(
+        cr_targets::browsers::ie::browse(&mut sim, 3, &mut cov),
+        "browse workload"
+    );
 
     let mut rows = Vec::new();
     for module in sim.proc.modules.clone() {

@@ -14,8 +14,12 @@ fn main() {
             continue;
         }
         eprintln!("[table3] generating + analyzing {} (x64, x86) ...", c.name);
-        x64.push(analyze_module(&generate_dll(&DllSpec::from_calib_x64(c, i))));
-        x86.push(analyze_module(&generate_dll(&DllSpec::from_calib_x86(c, i))));
+        x64.push(analyze_module(&generate_dll(&DllSpec::from_calib_x64(
+            c, i,
+        ))));
+        x86.push(analyze_module(&generate_dll(&DllSpec::from_calib_x86(
+            c, i,
+        ))));
     }
     println!("{}", render_table3(&x64, &x86));
     let undecided: usize = x64.iter().map(|a| a.filters_undecided).sum();

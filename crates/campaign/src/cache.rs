@@ -1,0 +1,435 @@
+//! The content-addressed analysis cache.
+//!
+//! Two tables, both keyed by stable content hashes
+//! ([`cr_core::stable_hash`]):
+//!
+//! * **filter verdicts** — keyed by `machine:sha256(filter code bytes)`
+//!   ([`cr_core::seh::filter_key`]); identical filter code shared by
+//!   several modules is symbolically executed exactly once per corpus
+//!   lifetime;
+//! * **module analyses** — summary rows keyed by the image content hash
+//!   ([`cr_core::seh::image_content_hash`]); a warm rerun skips the
+//!   whole module analysis, solver included.
+//!
+//! With `--cache DIR` the cache persists as one JSONL file
+//! (`analysis-cache.jsonl`, one entry per line, sorted by key so the
+//! file is byte-stable), loaded before the campaign and rewritten
+//! after. Without a directory the cache lives in memory only — still
+//! useful, since campaigns repeat filter bodies across modules.
+
+use crate::json::Json;
+use cr_core::seh::VerdictCache;
+use cr_symex::FilterVerdict;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Name of the persisted cache file inside `--cache DIR`.
+pub const CACHE_FILE: &str = "analysis-cache.jsonl";
+
+/// Cached summary of one module analysis (the campaign-visible subset
+/// of [`cr_core::seh::ModuleSehAnalysis`]).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct SehSummary {
+    /// Module name.
+    pub module: String,
+    /// x64 container?
+    pub is_x64: bool,
+    /// Guarded locations before symbolic vetting (Table II "before").
+    pub guarded_before: usize,
+    /// Guarded locations after symbolic vetting (Table II "after").
+    pub guarded_after: usize,
+    /// Unique filters before vetting (Table III "before").
+    pub filters_before: usize,
+    /// Filters surviving vetting (Table III "after").
+    pub filters_after: usize,
+    /// Filters the executor could not decide.
+    pub filters_undecided: usize,
+}
+
+/// Hit/miss counters, shared across worker threads.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    filter_hits: AtomicU64,
+    filter_misses: AtomicU64,
+    module_hits: AtomicU64,
+    module_misses: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`], for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStatsSnapshot {
+    /// Filter-verdict lookups served from the cache.
+    pub filter_hits: u64,
+    /// Filter-verdict lookups that fell through to symbolic execution.
+    pub filter_misses: u64,
+    /// Module lookups served from the cache.
+    pub module_hits: u64,
+    /// Module lookups that fell through to full analysis.
+    pub module_misses: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit fraction over all lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.filter_hits + self.module_hits;
+        let total = hits + self.filter_misses + self.module_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    filters: HashMap<String, FilterVerdict>,
+    modules: HashMap<String, SehSummary>,
+}
+
+/// The campaign-wide analysis cache. Cheap interior locking: entries
+/// are tiny and lookups are rare next to the symbolic execution they
+/// save, so a single `Mutex` is not a bottleneck.
+#[derive(Default)]
+pub struct AnalysisCache {
+    tables: Mutex<Tables>,
+    stats: CacheStats,
+}
+
+impl AnalysisCache {
+    /// Fresh, empty, memory-only cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Load the cache persisted under `dir`, or an empty cache when no
+    /// file exists yet.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading the file, or a malformed line (the cache is
+    /// machine-written; corruption should be loud, not silent).
+    pub fn load(dir: &Path) -> io::Result<AnalysisCache> {
+        let path = dir.join(CACHE_FILE);
+        let cache = AnalysisCache::new();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e),
+        };
+        let mut tables = cache.tables.lock().unwrap();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            parse_entry(line, &mut tables).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), lineno + 1),
+                )
+            })?;
+        }
+        drop(tables);
+        Ok(cache)
+    }
+
+    /// Persist all entries under `dir` (created if missing). Entries
+    /// are written sorted by key, so equal caches produce equal files.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory or writing the file.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tables = self.tables.lock().unwrap();
+        let filters: BTreeMap<_, _> = tables.filters.iter().collect();
+        let modules: BTreeMap<_, _> = tables.modules.iter().collect();
+        let mut out = String::new();
+        for (key, verdict) in filters {
+            out.push_str(&format!(
+                "{{\"kind\":\"filter\",\"key\":{},\"verdict\":{}}}\n",
+                serde::Serialize::to_json(key),
+                serde::Serialize::to_json(verdict)
+            ));
+        }
+        for (key, summary) in modules {
+            out.push_str(&format!(
+                "{{\"kind\":\"module\",\"key\":{},\"summary\":{}}}\n",
+                serde::Serialize::to_json(key),
+                serde::Serialize::to_json(summary)
+            ));
+        }
+        drop(tables);
+        let mut f = std::fs::File::create(dir.join(CACHE_FILE))?;
+        f.write_all(out.as_bytes())
+    }
+
+    /// Look up a filter verdict.
+    pub fn get_filter(&self, key: &str) -> Option<FilterVerdict> {
+        let hit = self.tables.lock().unwrap().filters.get(key).cloned();
+        self.stats.count_filter(hit.is_some());
+        hit
+    }
+
+    /// Store a filter verdict.
+    pub fn put_filter(&self, key: &str, verdict: &FilterVerdict) {
+        self.tables
+            .lock()
+            .unwrap()
+            .filters
+            .insert(key.to_string(), verdict.clone());
+    }
+
+    /// Look up a module summary.
+    pub fn get_module(&self, key: &str) -> Option<SehSummary> {
+        let hit = self.tables.lock().unwrap().modules.get(key).cloned();
+        self.stats.count_module(hit.is_some());
+        hit
+    }
+
+    /// Store a module summary.
+    pub fn put_module(&self, key: &str, summary: &SehSummary) {
+        self.tables
+            .lock()
+            .unwrap()
+            .modules
+            .insert(key.to_string(), summary.clone());
+    }
+
+    /// Entry counts: `(filter_verdicts, module_summaries)`.
+    pub fn len(&self) -> (usize, usize) {
+        let t = self.tables.lock().unwrap();
+        (t.filters.len(), t.modules.len())
+    }
+
+    /// Whether both tables are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            filter_hits: self.stats.filter_hits.load(Ordering::Relaxed),
+            filter_misses: self.stats.filter_misses.load(Ordering::Relaxed),
+            module_hits: self.stats.module_hits.load(Ordering::Relaxed),
+            module_misses: self.stats.module_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CacheStats {
+    fn count_filter(&self, hit: bool) {
+        let c = if hit {
+            &self.filter_hits
+        } else {
+            &self.filter_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+    fn count_module(&self, hit: bool) {
+        let c = if hit {
+            &self.module_hits
+        } else {
+            &self.module_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Adapter giving [`cr_core::seh::analyze_module_cached`] a view of a
+/// shared [`AnalysisCache`] (the core trait wants `&mut self` for
+/// `put`; the cache locks internally, so a shared reference suffices).
+pub struct SharedVerdictCache<'a>(pub &'a AnalysisCache);
+
+impl VerdictCache for SharedVerdictCache<'_> {
+    fn get(&self, key: &str) -> Option<FilterVerdict> {
+        self.0.get_filter(key)
+    }
+    fn put(&mut self, key: &str, verdict: &FilterVerdict) {
+        self.0.put_filter(key, verdict);
+    }
+}
+
+fn parse_entry(line: &str, tables: &mut Tables) -> Result<(), String> {
+    let v = Json::parse(line)?;
+    let key = v
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or("entry without string `key`")?
+        .to_string();
+    match v.get("kind").and_then(Json::as_str) {
+        Some("filter") => {
+            let verdict = parse_verdict(v.get("verdict").ok_or("filter entry without verdict")?)?;
+            tables.filters.insert(key, verdict);
+            Ok(())
+        }
+        Some("module") => {
+            let summary = parse_summary(v.get("summary").ok_or("module entry without summary")?)?;
+            tables.modules.insert(key, summary);
+            Ok(())
+        }
+        other => Err(format!("unknown entry kind {other:?}")),
+    }
+}
+
+fn parse_verdict(v: &Json) -> Result<FilterVerdict, String> {
+    // Externally tagged: a unit variant is a bare string, the rest are
+    // single-key objects.
+    if let Some(s) = v.as_str() {
+        return match s {
+            "RejectsAccessViolation" => Ok(FilterVerdict::RejectsAccessViolation),
+            other => Err(format!("unknown unit verdict {other:?}")),
+        };
+    }
+    if let Some(code) = v
+        .get("AcceptsAccessViolation")
+        .and_then(|p| p.get("witness_code"))
+        .and_then(Json::as_u64)
+    {
+        return Ok(FilterVerdict::AcceptsAccessViolation { witness_code: code });
+    }
+    if let Some(reason) = v.get("Unknown").and_then(Json::as_str) {
+        return Ok(FilterVerdict::Unknown(intern(reason)));
+    }
+    Err(format!("unparseable verdict {v:?}"))
+}
+
+fn parse_summary(v: &Json) -> Result<SehSummary, String> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("summary missing numeric {name:?}"))
+    };
+    Ok(SehSummary {
+        module: v
+            .get("module")
+            .and_then(Json::as_str)
+            .ok_or("summary missing `module`")?
+            .to_string(),
+        is_x64: v
+            .get("is_x64")
+            .and_then(Json::as_bool)
+            .ok_or("summary missing `is_x64`")?,
+        guarded_before: field("guarded_before")?,
+        guarded_after: field("guarded_after")?,
+        filters_before: field("filters_before")?,
+        filters_after: field("filters_after")?,
+        filters_undecided: field("filters_undecided")?,
+    })
+}
+
+/// `FilterVerdict::Unknown` carries a `&'static str`; reloaded reasons
+/// are interned in a process-global pool so repeated cache loads don't
+/// leak a new allocation per load.
+fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut pool = pool.lock().unwrap();
+    if let Some(&existing) = pool.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables(cache: &AnalysisCache) {
+        cache.put_filter("x64:aaaa", &FilterVerdict::RejectsAccessViolation);
+        cache.put_filter(
+            "x64:bbbb",
+            &FilterVerdict::AcceptsAccessViolation {
+                witness_code: 0xC0000005,
+            },
+        );
+        cache.put_filter("x86:cccc", &FilterVerdict::Unknown("call to helper"));
+        cache.put_module(
+            "deadbeef",
+            &SehSummary {
+                module: "user32".into(),
+                is_x64: true,
+                guarded_before: 10,
+                guarded_after: 3,
+                filters_before: 7,
+                filters_after: 2,
+                filters_undecided: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let dir = std::env::temp_dir().join(format!("cr-cache-rt-{}", std::process::id()));
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        cache.save(&dir).unwrap();
+
+        let back = AnalysisCache::load(&dir).unwrap();
+        assert_eq!(back.len(), (3, 1));
+        assert_eq!(
+            back.get_filter("x64:aaaa"),
+            Some(FilterVerdict::RejectsAccessViolation)
+        );
+        assert_eq!(
+            back.get_filter("x64:bbbb"),
+            Some(FilterVerdict::AcceptsAccessViolation {
+                witness_code: 0xC0000005
+            })
+        );
+        assert_eq!(
+            back.get_filter("x86:cccc"),
+            Some(FilterVerdict::Unknown("call to helper"))
+        );
+        assert_eq!(back.get_module("deadbeef").unwrap().module, "user32");
+
+        // Saving the reloaded cache reproduces the file byte for byte.
+        let bytes1 = std::fs::read(dir.join(CACHE_FILE)).unwrap();
+        back.save(&dir).unwrap();
+        let bytes2 = std::fs::read(dir.join(CACHE_FILE)).unwrap();
+        assert_eq!(bytes1, bytes2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_loads_empty() {
+        let cache = AnalysisCache::load(Path::new("/nonexistent/cr-cache")).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupt_lines_are_loud() {
+        let dir = std::env::temp_dir().join(format!("cr-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), "{\"kind\":\"filter\"}\n").unwrap();
+        assert!(AnalysisCache::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        assert!(cache.get_filter("x64:aaaa").is_some());
+        assert!(cache.get_filter("x64:unknown").is_none());
+        assert!(cache.get_module("deadbeef").is_some());
+        assert!(cache.get_module("feedface").is_none());
+        let s = cache.stats();
+        assert_eq!((s.filter_hits, s.filter_misses), (1, 1));
+        assert_eq!((s.module_hits, s.module_misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interning_reuses_reasons() {
+        let a = intern("same reason");
+        let b = intern("same reason");
+        assert!(std::ptr::eq(a, b));
+    }
+}

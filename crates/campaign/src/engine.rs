@@ -1,0 +1,307 @@
+//! The campaign engine — spec in, sharded execution, report out.
+//!
+//! Each [`CampaignTask`] maps to one of the repo's task-granular entry
+//! points ([`cr_core::discover_server`],
+//! [`cr_core::seh::analyze_module_cached`],
+//! [`cr_core::api_fuzzer::run_funnel`], [`cr_exploits::scan`]). Tasks
+//! fan out over the [`crate::pool`] and share one
+//! [`AnalysisCache`]; results are re-ordered by spec index, so the
+//! deterministic half of the report is identical no matter how many
+//! workers ran it.
+
+use crate::cache::{AnalysisCache, SehSummary, SharedVerdictCache};
+use crate::metrics::CampaignMetrics;
+use crate::pool::run_sharded;
+use crate::spec::{CampaignSpec, CampaignTask};
+use cr_core::seh::{self, analyze_module_cached};
+use cr_exploits::MemoryOracle;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Engine knobs (the CLI's `--jobs/--cache/--retries`).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (1 = serial).
+    pub jobs: usize,
+    /// Extra attempts for a panicking task.
+    pub retries: u32,
+    /// Cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 1,
+            retries: 1,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Deterministic result of one task.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum TaskResult {
+    /// Table-I server pipeline summary.
+    Server {
+        /// Server name.
+        server: String,
+        /// Syscalls observed during the workload.
+        observed_syscalls: usize,
+        /// Classified candidate findings.
+        findings: usize,
+        /// Findings classified usable with service intact.
+        usable: usize,
+    },
+    /// SEH analysis summary plus its cache key.
+    Seh {
+        /// Image content hash (the module cache key).
+        image_hash: String,
+        /// The cached/recomputed summary row.
+        summary: SehSummary,
+    },
+    /// §V-B funnel counts.
+    Funnel {
+        /// Corpus size.
+        total: usize,
+        /// Functions with pointer arguments.
+        with_pointer_args: usize,
+        /// Crash-resistant candidates.
+        crash_resistant: usize,
+        /// Candidates reachable from JavaScript.
+        js_reachable: usize,
+        /// Usable primitives (controllable pointer argument).
+        usable: usize,
+    },
+    /// §VI oracle scan outcome: a region is hidden at a secret
+    /// address, and the oracle sweeps the window for it.
+    Poc {
+        /// Oracle name (from the oracle itself).
+        oracle: String,
+        /// Addresses found mapped in the probe window.
+        mapped: usize,
+        /// Probes issued.
+        probes: u64,
+        /// Whether the sweep located the hidden region.
+        located: bool,
+        /// Whether the target crashed (a usable oracle never does).
+        crashed: bool,
+    },
+}
+
+/// One task's row in the deterministic report.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct TaskRecord {
+    /// Task index in spec order.
+    pub index: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// The result, absent when the task failed.
+    pub result: Option<TaskResult>,
+    /// Final panic message when the task failed.
+    pub error: Option<String>,
+}
+
+/// Everything a campaign run produces.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CampaignReport {
+    /// The spec that ran.
+    pub spec: CampaignSpec,
+    /// Deterministic per-task rows, in spec order.
+    pub records: Vec<TaskRecord>,
+    /// Run-variant metrics (timings, attempts, cache counters).
+    pub metrics: CampaignMetrics,
+}
+
+impl CampaignReport {
+    /// JSON of the deterministic half only (spec + records). Two runs
+    /// of the same spec — serial or sharded, any worker count —
+    /// produce identical bytes.
+    pub fn results_json(&self) -> String {
+        use serde::Serialize;
+        let mut out = String::from("{\"spec\":");
+        self.spec.write_json(&mut out);
+        out.push_str(",\"records\":");
+        self.records.write_json(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Run a campaign.
+///
+/// # Errors
+///
+/// Only cache I/O fails the whole campaign (a corrupt or unwritable
+/// `--cache DIR` should be loud); individual task failures land in
+/// their [`TaskRecord`].
+pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<CampaignReport> {
+    let cache = match &cfg.cache_dir {
+        Some(dir) => AnalysisCache::load(dir)?,
+        None => AnalysisCache::new(),
+    };
+
+    let started = Instant::now();
+    let execs = run_sharded(cfg.jobs, spec.tasks.len(), cfg.retries, |i| {
+        execute_task(&spec.tasks[i], spec.seed, &cache)
+    });
+    let total_wall_us = started.elapsed().as_micros() as u64;
+
+    if let Some(dir) = &cfg.cache_dir {
+        cache.save(dir)?;
+    }
+
+    let labels: Vec<(String, &'static str)> =
+        spec.tasks.iter().map(|t| (t.label(), t.kind())).collect();
+    let records: Vec<TaskRecord> = execs
+        .iter()
+        .map(|e| TaskRecord {
+            index: e.index,
+            label: labels[e.index].0.clone(),
+            result: e.outcome.as_ref().ok().cloned(),
+            error: e.outcome.as_ref().err().cloned(),
+        })
+        .collect();
+    let metrics = CampaignMetrics::from_executions(
+        cfg.jobs.max(1),
+        total_wall_us,
+        cache.stats(),
+        &labels,
+        &execs,
+    );
+    Ok(CampaignReport {
+        spec: spec.clone(),
+        records,
+        metrics,
+    })
+}
+
+fn execute_task(task: &CampaignTask, seed: u64, cache: &AnalysisCache) -> TaskResult {
+    match task {
+        CampaignTask::ServerDiscovery(name) => run_server(name),
+        CampaignTask::SehAnalysis(name) => run_seh(name, cache),
+        CampaignTask::ApiFunnel { corpus_size } => run_funnel(*corpus_size, seed),
+        CampaignTask::PocScan(name) => run_poc(name),
+    }
+}
+
+fn run_server(name: &str) -> TaskResult {
+    let target = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("unknown server {name:?}"));
+    let report = cr_core::discover_server(&target);
+    TaskResult::Server {
+        server: report.server.clone(),
+        observed_syscalls: report.observed_syscalls.len(),
+        findings: report.findings.len(),
+        usable: report.usable().len(),
+    }
+}
+
+fn run_seh(name: &str, cache: &AnalysisCache) -> TaskResult {
+    let spec = cr_targets::browsers::full_population_specs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown dll {name:?}"));
+    let img = cr_targets::browsers::generate_dll(&spec);
+    let image_hash = seh::image_content_hash(&img);
+    let summary = match cache.get_module(&image_hash) {
+        Some(s) => s,
+        None => {
+            let a = analyze_module_cached(&img, &mut SharedVerdictCache(cache));
+            let s = SehSummary {
+                module: a.module,
+                is_x64: a.is_x64,
+                guarded_before: a.guarded_before,
+                guarded_after: a.guarded_after,
+                filters_before: a.filters_before,
+                filters_after: a.filters_after,
+                filters_undecided: a.filters_undecided,
+            };
+            cache.put_module(&image_hash, &s);
+            s
+        }
+    };
+    TaskResult::Seh {
+        image_hash,
+        summary,
+    }
+}
+
+fn run_funnel(corpus_size: usize, seed: u64) -> TaskResult {
+    let mut sim = cr_targets::browsers::ie::build_with_corpus(corpus_size, seed);
+    let report = cr_core::api_fuzzer::run_funnel(&mut sim, 2);
+    TaskResult::Funnel {
+        total: report.total,
+        with_pointer_args: report.with_pointer_args,
+        crash_resistant: report.crash_resistant,
+        js_reachable: report.js_reachable,
+        usable: report.usable,
+    }
+}
+
+/// Per-oracle probe windows: the IE oracle walks the DLL region, the
+/// Firefox oracle the §VII hidden-region window, the nginx oracle the
+/// server heap window its PoC tests use.
+/// Per-oracle §VI scenario: secret region (address, length) and the
+/// probe window (start, end, stride) swept for it — the same shapes
+/// the `poc_exploits` bench uses.
+fn poc_scenario(oracle: &str) -> (u64, u64, u64, u64, u64) {
+    match oracle {
+        "ie" => (
+            0x31_4159_0000,
+            0x4000,
+            0x31_4000_0000,
+            0x31_4200_0000,
+            0x1_0000,
+        ),
+        "firefox" => (
+            0x27_1828_1000,
+            0x2000,
+            0x27_1800_0000,
+            0x27_1900_0000,
+            0x1000,
+        ),
+        "nginx" => (
+            0x55_0000_2000,
+            0x1000,
+            0x55_0000_0000,
+            0x55_0001_0000,
+            0x1000,
+        ),
+        other => panic!("unknown oracle {other:?}"),
+    }
+}
+
+fn run_poc(name: &str) -> TaskResult {
+    let (secret, len, start, end, stride) = poc_scenario(name);
+    // The defense hides a SafeStack-style region at the secret address;
+    // the oracle must locate it with zero crashes.
+    let mut oracle: Box<dyn MemoryOracle> = match name {
+        "ie" => {
+            let mut o = cr_exploits::ie::IeOracle::new();
+            o.sim().proc.mem.map(secret, len, cr_vm::Prot::RW);
+            Box::new(o)
+        }
+        "firefox" => {
+            let mut o = cr_exploits::firefox::FirefoxOracle::new();
+            o.sim().proc.mem.map(secret, len, cr_vm::Prot::RW);
+            Box::new(o)
+        }
+        "nginx" => {
+            let mut o = cr_exploits::nginx::NginxOracle::new();
+            o.proc().mem.map(secret, len, cr_vm::Prot::RW);
+            Box::new(o)
+        }
+        other => panic!("unknown oracle {other:?}"),
+    };
+    let out = cr_exploits::scan(oracle.as_mut(), start, end, stride);
+    TaskResult::Poc {
+        oracle: oracle.name().to_string(),
+        mapped: out.mapped.len(),
+        probes: out.probes,
+        located: out.mapped.contains(&secret),
+        crashed: out.crashed,
+    }
+}

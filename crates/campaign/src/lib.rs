@@ -1,0 +1,47 @@
+//! # cr-campaign — sharded discovery campaigns
+//!
+//! The paper's evaluation is a *campaign*: the same analyses repeated
+//! over many independent targets — five servers (Table I), 187 system
+//! modules (§V-C), an API-funnel run (§V-B) and the §VI PoC oracles.
+//! This crate turns that into an engine:
+//!
+//! * [`spec::CampaignSpec`] — a serializable enumeration of tasks;
+//! * [`pool`] — a work-stealing worker pool (`--jobs N`) with per-task
+//!   panic isolation and bounded retry;
+//! * [`cache::AnalysisCache`] — a content-addressed cache: filter
+//!   verdicts keyed by the hash of the filter's code bytes, module
+//!   analyses by the image hash, persisted as JSONL so a warm rerun
+//!   skips all symbolic execution;
+//! * [`engine::run_campaign`] — fan-out, re-ordering and metrics. The
+//!   deterministic half of the report
+//!   ([`engine::CampaignReport::results_json`]) is byte-identical
+//!   across worker counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_campaign::{CampaignSpec, CampaignTask, EngineConfig, run_campaign};
+//!
+//! let spec = CampaignSpec {
+//!     name: "doc".into(),
+//!     seed: 2017,
+//!     tasks: vec![CampaignTask::SehAnalysis("xmllite".into())],
+//! };
+//! let report = run_campaign(&spec, &EngineConfig::default())?;
+//! assert_eq!(report.records.len(), 1);
+//! assert!(report.records[0].result.is_some());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod spec;
+
+pub use cache::{AnalysisCache, CacheStatsSnapshot, SehSummary, SharedVerdictCache, CACHE_FILE};
+pub use engine::{run_campaign, CampaignReport, EngineConfig, TaskRecord, TaskResult};
+pub use metrics::{CampaignMetrics, TaskMetrics};
+pub use pool::{run_sharded, TaskExecution};
+pub use spec::{CampaignSpec, CampaignTask, DEFAULT_SEED};

@@ -1,0 +1,79 @@
+//! Campaign metrics — wall-time and outcome accounting.
+//!
+//! Metrics are deliberately separated from task *results*: results are
+//! deterministic (the `--jobs 8` report must equal the serial one byte
+//! for byte), while wall times and scheduling metadata vary run to
+//! run. [`crate::engine::CampaignReport::results_json`] serializes only
+//! the deterministic half.
+
+use crate::cache::CacheStatsSnapshot;
+use crate::pool::TaskExecution;
+
+/// Scheduling/outcome metadata for one task.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct TaskMetrics {
+    /// Task index in spec order.
+    pub index: usize,
+    /// Human-readable label (`seh:user32`, …).
+    pub label: String,
+    /// Task family (`server` / `seh` / `funnel` / `poc`).
+    pub kind: String,
+    /// Whether the task produced a result.
+    pub ok: bool,
+    /// Attempts used (1 = first-try success).
+    pub attempts: u32,
+    /// Wall time across attempts, microseconds.
+    pub wall_us: u64,
+}
+
+/// Whole-campaign metrics.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct CampaignMetrics {
+    /// Worker count the campaign ran with.
+    pub jobs: usize,
+    /// Tasks that produced a result.
+    pub succeeded: usize,
+    /// Tasks that kept panicking past the retry bound.
+    pub failed: usize,
+    /// End-to-end campaign wall time, microseconds.
+    pub total_wall_us: u64,
+    /// Sum of per-task wall times, microseconds (≫ `total_wall_us`
+    /// when sharding helps).
+    pub task_wall_us: u64,
+    /// Cache hit/miss counters for this run.
+    pub cache: CacheStatsSnapshot,
+    /// Per-task rows, in spec order.
+    pub tasks: Vec<TaskMetrics>,
+}
+
+impl CampaignMetrics {
+    /// Assemble metrics from pool executions.
+    pub fn from_executions<T>(
+        jobs: usize,
+        total_wall_us: u64,
+        cache: CacheStatsSnapshot,
+        labels: &[(String, &'static str)],
+        execs: &[TaskExecution<T>],
+    ) -> CampaignMetrics {
+        let tasks: Vec<TaskMetrics> = execs
+            .iter()
+            .map(|e| TaskMetrics {
+                index: e.index,
+                label: labels[e.index].0.clone(),
+                kind: labels[e.index].1.to_string(),
+                ok: e.outcome.is_ok(),
+                attempts: e.attempts,
+                wall_us: e.wall.as_micros() as u64,
+            })
+            .collect();
+        CampaignMetrics {
+            jobs,
+            succeeded: tasks.iter().filter(|t| t.ok).count(),
+            failed: tasks.iter().filter(|t| !t.ok).count(),
+            total_wall_us,
+            task_wall_us: tasks.iter().map(|t| t.wall_us).sum(),
+            cache,
+            tasks,
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Work-stealing worker pool with per-task panic isolation.
+//!
+//! `--jobs N` spawns N scoped worker threads that pull task indices
+//! from a shared atomic counter — the degenerate (and contention-free)
+//! form of work stealing: every worker steals the next undone task, so
+//! long tasks never serialize behind short ones and no static
+//! partitioning is needed. Each task runs under
+//! [`std::panic::catch_unwind`]: a panicking task is retried up to the
+//! configured bound and, if it keeps failing, recorded as failed
+//! without taking the worker (or the campaign) down.
+//!
+//! The workspace vendors no `crossbeam`/`rayon` (offline build), so
+//! the pool is plain `std`: [`std::thread::scope`] + atomics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What happened to one task, with scheduling metadata.
+#[derive(Debug)]
+pub struct TaskExecution<T> {
+    /// Index of the task in the submitted order.
+    pub index: usize,
+    /// 1 for a first-try success; `1 + retries` when every attempt
+    /// panicked.
+    pub attempts: u32,
+    /// Wall time across all attempts.
+    pub wall: Duration,
+    /// The task's value, or the final panic message.
+    pub outcome: Result<T, String>,
+}
+
+/// Run `count` tasks on `jobs` workers, retrying each panicking task
+/// up to `retries` extra times. Results come back in task order, one
+/// entry per task, regardless of which worker ran what when.
+///
+/// `task` must be callable from any worker — shared state goes through
+/// interior mutability (the campaign cache already locks internally).
+///
+/// # Panics
+///
+/// Panics only on poisoned internal locks (i.e. never, unless the
+/// allocator itself fails mid-collection).
+pub fn run_sharded<T, F>(jobs: usize, count: usize, retries: u32, task: F) -> Vec<TaskExecution<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TaskExecution<T>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+
+    let worker = |_worker_id: usize| loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        if index >= count {
+            break;
+        }
+        let exec = run_one(index, retries, &task);
+        *slots[index].lock().unwrap() = Some(exec);
+    };
+
+    if jobs == 1 {
+        // Inline fast path: same isolation semantics, no threads.
+        worker(0);
+    } else {
+        std::thread::scope(|s| {
+            for id in 0..jobs {
+                s.spawn(move || worker(id));
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every index was claimed"))
+        .collect()
+}
+
+fn run_one<T, F>(index: usize, retries: u32, task: &F) -> TaskExecution<T>
+where
+    F: Fn(usize) -> T,
+{
+    let started = Instant::now();
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| task(index))) {
+            Ok(value) => {
+                return TaskExecution {
+                    index,
+                    attempts,
+                    wall: started.elapsed(),
+                    outcome: Ok(value),
+                }
+            }
+            Err(payload) => {
+                if attempts > retries {
+                    return TaskExecution {
+                        index,
+                        attempts,
+                        wall: started.elapsed(),
+                        outcome: Err(panic_message(payload.as_ref())),
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once_in_order() {
+        for jobs in [1, 2, 8] {
+            let hits: Vec<AtomicU32> = (0..40).map(|_| AtomicU32::new(0)).collect();
+            let out = run_sharded(jobs, 40, 0, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                i * 3
+            });
+            assert_eq!(out.len(), 40);
+            for (i, e) in out.iter().enumerate() {
+                assert_eq!(e.index, i);
+                assert_eq!(e.attempts, 1);
+                assert_eq!(*e.outcome.as_ref().unwrap(), i * 3);
+            }
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_workers_really_share_the_queue() {
+        let seen = Mutex::new(BTreeSet::new());
+        run_sharded(4, 50, 0, |i| {
+            // Long enough that one worker cannot drain the queue before
+            // the other three have spawned.
+            std::thread::sleep(Duration::from_millis(2));
+            seen.lock()
+                .unwrap()
+                .insert((i, format!("{:?}", std::thread::current().id())));
+        });
+        let ids: BTreeSet<String> = seen
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert!(
+            ids.len() > 1,
+            "with 4 workers and 100 tasks, >1 thread must run tasks"
+        );
+    }
+
+    #[test]
+    fn panicking_task_is_retried_then_reported() {
+        let tries = AtomicU32::new(0);
+        let out = run_sharded(2, 3, 2, |i| {
+            if i == 1 {
+                tries.fetch_add(1, Ordering::Relaxed);
+                panic!("task {i} exploded");
+            }
+            i
+        });
+        assert_eq!(tries.load(Ordering::Relaxed), 3, "1 try + 2 retries");
+        assert_eq!(out[0].outcome.as_ref().unwrap(), &0);
+        assert_eq!(out[2].outcome.as_ref().unwrap(), &2);
+        assert_eq!(out[1].attempts, 3);
+        assert_eq!(out[1].outcome.as_ref().unwrap_err(), "task 1 exploded");
+    }
+
+    #[test]
+    fn flaky_task_succeeds_on_retry() {
+        let tries = AtomicU32::new(0);
+        let out = run_sharded(1, 1, 3, |_| {
+            if tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("first attempt only");
+            }
+            7u32
+        });
+        assert_eq!(out[0].attempts, 2);
+        assert_eq!(*out[0].outcome.as_ref().unwrap(), 7);
+    }
+
+    #[test]
+    fn zero_jobs_degrades_to_one() {
+        let out = run_sharded(0, 2, 0, |i| i);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.outcome.is_ok()));
+    }
+}

@@ -1,0 +1,209 @@
+//! Campaign specifications — what a discovery campaign should run.
+//!
+//! A [`CampaignSpec`] enumerates independent analysis tasks over the
+//! paper's three primitive families (Table I servers, §IV-C SEH
+//! modules, the §V-B API funnel) plus the §VI PoC oracles. Specs
+//! serialize to JSON (for `--spec` files and report embedding) and
+//! parse back via the in-crate [`Json`](crate::json::Json) reader.
+
+use crate::json::Json;
+
+/// One unit of campaign work. Tasks are independent by construction —
+/// the pool may run them in any order on any worker.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum CampaignTask {
+    /// Run the Table-I syscall pipeline on one server target.
+    ServerDiscovery(String),
+    /// SEH-analyze one module from the §V-C population.
+    SehAnalysis(String),
+    /// Run the §V-B Windows API funnel with the given corpus size.
+    ApiFunnel {
+        /// Number of synthetic corpus functions (plus the curated set).
+        corpus_size: usize,
+    },
+    /// Drive one §VI memory oracle over its probe window.
+    PocScan(String),
+}
+
+impl CampaignTask {
+    /// Short machine-readable task family name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignTask::ServerDiscovery(_) => "server",
+            CampaignTask::SehAnalysis(_) => "seh",
+            CampaignTask::ApiFunnel { .. } => "funnel",
+            CampaignTask::PocScan(_) => "poc",
+        }
+    }
+
+    /// Human-readable label, e.g. `seh:user32`.
+    pub fn label(&self) -> String {
+        match self {
+            CampaignTask::ServerDiscovery(n) => format!("server:{n}"),
+            CampaignTask::SehAnalysis(n) => format!("seh:{n}"),
+            CampaignTask::ApiFunnel { corpus_size } => format!("funnel:{corpus_size}"),
+            CampaignTask::PocScan(n) => format!("poc:{n}"),
+        }
+    }
+}
+
+/// A full campaign: a name, the RNG seed threaded into every
+/// rand-driven workload, and the task list.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct CampaignSpec {
+    /// Campaign name (report header).
+    pub name: String,
+    /// Seed for corpus generation and synthetic workloads.
+    pub seed: u64,
+    /// The tasks, in spec order. Report records keep this order
+    /// regardless of worker scheduling.
+    pub tasks: Vec<CampaignTask>,
+}
+
+/// Default seed — the paper's publication year, matching the CLI
+/// funnel default.
+pub const DEFAULT_SEED: u64 = 2017;
+
+impl CampaignSpec {
+    /// The built-in full campaign: every server, every calibrated DLL,
+    /// the standard funnel, every PoC oracle.
+    pub fn builtin(seed: u64) -> CampaignSpec {
+        let mut tasks: Vec<CampaignTask> =
+            ["nginx", "cherokee", "lighttpd", "memcached", "postgresql"]
+                .iter()
+                .map(|s| CampaignTask::ServerDiscovery(s.to_string()))
+                .collect();
+        for c in cr_targets::browsers::CALIBRATION {
+            tasks.push(CampaignTask::SehAnalysis(c.name.to_string()));
+        }
+        tasks.push(CampaignTask::ApiFunnel { corpus_size: 2_000 });
+        for o in ["ie", "firefox", "nginx"] {
+            tasks.push(CampaignTask::PocScan(o.to_string()));
+        }
+        CampaignSpec {
+            name: "builtin-full".into(),
+            seed,
+            tasks,
+        }
+    }
+
+    /// Parse a spec from its JSON form (the shape [`serde::Serialize`]
+    /// emits; `name` and `seed` may be omitted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let root = Json::parse(text)?;
+        let name = match root.get("name") {
+            Some(v) => v
+                .as_str()
+                .ok_or("spec `name` must be a string")?
+                .to_string(),
+            None => "campaign".to_string(),
+        };
+        let seed = match root.get("seed") {
+            Some(v) => v
+                .as_u64()
+                .ok_or("spec `seed` must be a non-negative integer")?,
+            None => DEFAULT_SEED,
+        };
+        let raw_tasks = root
+            .get("tasks")
+            .and_then(Json::as_arr)
+            .ok_or("spec needs a `tasks` array")?;
+        let mut tasks = Vec::with_capacity(raw_tasks.len());
+        for t in raw_tasks {
+            tasks.push(parse_task(t)?);
+        }
+        Ok(CampaignSpec { name, seed, tasks })
+    }
+}
+
+fn parse_task(v: &Json) -> Result<CampaignTask, String> {
+    let fields = v.as_obj().ok_or("each task must be an object")?;
+    let [(tag, payload)] = fields else {
+        return Err("each task must have exactly one variant key".into());
+    };
+    match tag.as_str() {
+        "ServerDiscovery" => Ok(CampaignTask::ServerDiscovery(
+            payload
+                .as_str()
+                .ok_or("ServerDiscovery takes a server name")?
+                .to_string(),
+        )),
+        "SehAnalysis" => Ok(CampaignTask::SehAnalysis(
+            payload
+                .as_str()
+                .ok_or("SehAnalysis takes a module name")?
+                .to_string(),
+        )),
+        "ApiFunnel" => {
+            let corpus_size = payload
+                .get("corpus_size")
+                .and_then(Json::as_usize)
+                .ok_or("ApiFunnel takes {\"corpus_size\": N}")?;
+            Ok(CampaignTask::ApiFunnel { corpus_size })
+        }
+        "PocScan" => Ok(CampaignTask::PocScan(
+            payload
+                .as_str()
+                .ok_or("PocScan takes an oracle name")?
+                .to_string(),
+        )),
+        other => Err(format!("unknown task kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn builtin_covers_all_families() {
+        let spec = CampaignSpec::builtin(DEFAULT_SEED);
+        for kind in ["server", "seh", "funnel", "poc"] {
+            assert!(
+                spec.tasks.iter().any(|t| t.kind() == kind),
+                "missing {kind}"
+            );
+        }
+        assert_eq!(spec.tasks.iter().filter(|t| t.kind() == "seh").count(), 10);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = CampaignSpec {
+            name: "rt".into(),
+            seed: 99,
+            tasks: vec![
+                CampaignTask::ServerDiscovery("nginx".into()),
+                CampaignTask::SehAnalysis("user32".into()),
+                CampaignTask::ApiFunnel { corpus_size: 123 },
+                CampaignTask::PocScan("ie".into()),
+            ],
+        };
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let spec = CampaignSpec::from_json(r#"{"tasks":[{"PocScan":"ie"}]}"#).unwrap();
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.tasks.len(), 1);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(CampaignSpec::from_json("{}").is_err());
+        assert!(CampaignSpec::from_json(r#"{"tasks":[{"Bogus":1}]}"#).is_err());
+        assert!(CampaignSpec::from_json(r#"{"tasks":[{"ApiFunnel":{}}]}"#).is_err());
+        assert!(CampaignSpec::from_json(
+            r#"{"tasks":[{"ServerDiscovery":"a","SehAnalysis":"b"}]}"#
+        )
+        .is_err());
+    }
+}

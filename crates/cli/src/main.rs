@@ -6,13 +6,28 @@
 //! crash-resist cfg <server>            static CFG + syscall sites
 //! crash-resist funnel [corpus-size]    §V-B Windows API funnel
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
+//! crash-resist campaign [options]      sharded multi-task campaign
 //! crash-resist list                    available targets
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (e.g. a campaign task
+//! kept panicking), `2` usage error, `3` unknown target name.
 
+use cr_campaign::{run_campaign, CampaignSpec, EngineConfig, TaskResult};
 use cr_core::seh::{analyze_module, FilterClass};
 use cr_core::static_cfg;
 use cr_core::syscall_finder::{discover_server, Classification};
 use cr_exploits::{MemoryOracle, ProbeResult};
+use std::path::PathBuf;
+
+/// Success.
+const EXIT_OK: i32 = 0;
+/// A task or analysis failed at runtime.
+const EXIT_RUNTIME: i32 = 1;
+/// Malformed invocation (bad flag, missing operand, unparseable file).
+const EXIT_USAGE: i32 = 2;
+/// Syntactically fine, but the named server/DLL/oracle does not exist.
+const EXIT_UNKNOWN_TARGET: i32 = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,12 +35,21 @@ fn main() {
         Some("discover") => cmd_discover(args.get(1).map(String::as_str)),
         Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
         Some("cfg") => cmd_cfg(args.get(1).map(String::as_str)),
-        Some("funnel") => cmd_funnel(args.get(1).and_then(|s| s.parse().ok())),
-        Some("poc") => cmd_poc(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("funnel") => cmd_funnel(args.get(1).map(String::as_str)),
+        Some("poc") => cmd_poc(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("list") => cmd_list(),
-        _ => {
+        None | Some("help" | "-h" | "--help") => {
             print!("{}", HELP);
-            2
+            EXIT_OK
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}");
+            eprint!("{}", HELP);
+            EXIT_USAGE
         }
     };
     std::process::exit(code);
@@ -40,36 +64,65 @@ USAGE:
     crash-resist cfg <server>            static CFG recovery + syscall sites
     crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
+    crash-resist campaign [options]      run a sharded discovery campaign
     crash-resist list                    list available servers/DLLs/oracles
+
+CAMPAIGN OPTIONS:
+    --spec FILE     JSON campaign spec (default: the built-in full campaign)
+    --jobs N        worker threads (default 1)
+    --cache DIR     persist the content-addressed analysis cache here
+    --seed S        RNG seed for rand-driven workloads (default 2017)
+    --retries R     extra attempts for a panicking task (default 1)
+    --json          emit the full report as JSON instead of a summary
+
+ENVIRONMENT:
+    CR_SEED         default seed when --seed is not given
+
+EXIT CODES:
+    0 success   1 runtime failure   2 usage error   3 unknown target
 ";
 
+/// Seed precedence: explicit flag, then `CR_SEED`, then the default.
+fn effective_seed(flag: Option<u64>) -> u64 {
+    flag.or_else(|| std::env::var("CR_SEED").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(cr_campaign::DEFAULT_SEED)
+}
+
 fn cmd_list() -> i32 {
-    println!("servers:  nginx cherokee lighttpd memcached postgresql");
-    print!("dlls:    ");
-    for c in cr_targets::browsers::CALIBRATION {
-        print!(" {}", c.name);
-    }
-    println!();
+    let servers: Vec<&str> = cr_targets::all_servers().iter().map(|t| t.name).collect();
+    let dlls: Vec<&str> = cr_targets::browsers::CALIBRATION
+        .iter()
+        .map(|c| c.name)
+        .collect();
+    println!("servers:  {}", servers.join(" "));
+    println!("dlls:     {}", dlls.join(" "));
     println!("oracles:  ie firefox nginx");
-    0
+    EXIT_OK
 }
 
 fn cmd_discover(name: Option<&str>) -> i32 {
     let Some(name) = name else {
         eprintln!("usage: crash-resist discover <server>");
-        return 2;
+        return EXIT_USAGE;
     };
-    let Some(target) = cr_targets::all_servers().into_iter().find(|t| t.name == name) else {
+    let Some(target) = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == name)
+    else {
         eprintln!("unknown server {name:?} (try `crash-resist list`)");
-        return 2;
+        return EXIT_UNKNOWN_TARGET;
     };
     eprintln!("discovering crash-resistant primitives in {name} ...");
     let report = discover_server(&target);
     for f in &report.findings {
         let verdict = match f.classification {
             Classification::CrashesOnInvalidation => "crashes-on-invalidation",
-            Classification::Usable { service_after: true } => "USABLE",
-            Classification::Usable { service_after: false } => "usable(FALSE-POSITIVE)",
+            Classification::Usable {
+                service_after: true,
+            } => "USABLE",
+            Classification::Usable {
+                service_after: false,
+            } => "usable(FALSE-POSITIVE)",
             Classification::NotRetriggered => "not-retriggered",
         };
         println!(
@@ -78,13 +131,13 @@ fn cmd_discover(name: Option<&str>) -> i32 {
         );
     }
     println!("{} usable primitive(s)", report.usable().len());
-    0
+    EXIT_OK
 }
 
 fn cmd_analyze(name: Option<&str>) -> i32 {
     let Some(name) = name else {
         eprintln!("usage: crash-resist analyze <dll>");
-        return 2;
+        return EXIT_USAGE;
     };
     let Some((i, c)) = cr_targets::browsers::CALIBRATION
         .iter()
@@ -92,9 +145,10 @@ fn cmd_analyze(name: Option<&str>) -> i32 {
         .find(|(_, c)| c.name == name)
     else {
         eprintln!("unknown dll {name:?} (try `crash-resist list`)");
-        return 2;
+        return EXIT_UNKNOWN_TARGET;
     };
-    let img = cr_targets::browsers::generate_dll(&cr_targets::browsers::DllSpec::from_calib_x64(c, i));
+    let img =
+        cr_targets::browsers::generate_dll(&cr_targets::browsers::DllSpec::from_calib_x64(c, i));
     let a = analyze_module(&img);
     println!(
         "{}: {} guarded functions, {} AV-capable after symbolic execution",
@@ -115,17 +169,20 @@ fn cmd_analyze(name: Option<&str>) -> i32 {
             println!("  candidate {:#x}..{:#x}  {}", s.begin_va, s.end_va, why);
         }
     }
-    0
+    EXIT_OK
 }
 
 fn cmd_cfg(name: Option<&str>) -> i32 {
     let Some(name) = name else {
         eprintln!("usage: crash-resist cfg <server>");
-        return 2;
+        return EXIT_USAGE;
     };
-    let Some(target) = cr_targets::all_servers().into_iter().find(|t| t.name == name) else {
-        eprintln!("unknown server {name:?}");
-        return 2;
+    let Some(target) = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == name)
+    else {
+        eprintln!("unknown server {name:?} (try `crash-resist list`)");
+        return EXIT_UNKNOWN_TARGET;
     };
     let seg = &target.image.segments[0];
     let src = (seg.vaddr, seg.data.as_slice());
@@ -139,26 +196,36 @@ fn cmd_cfg(name: Option<&str>) -> i32 {
     for site in cfg.syscall_sites() {
         println!("  syscall @ {site:#x}");
     }
-    0
+    EXIT_OK
 }
 
-fn cmd_funnel(corpus: Option<usize>) -> i32 {
-    let corpus = corpus.unwrap_or(2_000);
-    eprintln!("building ie-sim with a {corpus}-function corpus ...");
-    let mut sim = cr_targets::browsers::ie::build_with_corpus(corpus, 2017);
+fn cmd_funnel(corpus: Option<&str>) -> i32 {
+    let corpus = match corpus {
+        None => 2_000,
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("bad corpus size {s:?}");
+                return EXIT_USAGE;
+            }
+        },
+    };
+    let seed = effective_seed(None);
+    eprintln!("building ie-sim with a {corpus}-function corpus (seed {seed}) ...");
+    let mut sim = cr_targets::browsers::ie::build_with_corpus(corpus, seed);
     let report = cr_core::api_fuzzer::run_funnel(&mut sim, 2);
     print!("{}", cr_core::report::render_funnel(&report));
-    0
+    EXIT_OK
 }
 
 fn cmd_poc(oracle: Option<&str>, addr: Option<&str>) -> i32 {
     let (Some(oracle), Some(addr)) = (oracle, addr) else {
         eprintln!("usage: crash-resist poc <ie|firefox|nginx> <hexaddr>");
-        return 2;
+        return EXIT_USAGE;
     };
     let Ok(addr) = u64::from_str_radix(addr.trim_start_matches("0x"), 16) else {
         eprintln!("bad address {addr:?}");
-        return 2;
+        return EXIT_USAGE;
     };
     let (verdict, probes, crashed) = match oracle {
         "ie" => {
@@ -174,8 +241,8 @@ fn cmd_poc(oracle: Option<&str>, addr: Option<&str>) -> i32 {
             (o.probe(addr), o.probes(), o.crashed())
         }
         other => {
-            eprintln!("unknown oracle {other:?}");
-            return 2;
+            eprintln!("unknown oracle {other:?} (try `crash-resist list`)");
+            return EXIT_UNKNOWN_TARGET;
         }
     };
     println!(
@@ -187,5 +254,177 @@ fn cmd_poc(oracle: Option<&str>, addr: Option<&str>) -> i32 {
         },
         if crashed { "YES" } else { "0" }
     );
-    0
+    EXIT_OK
+}
+
+fn cmd_campaign(args: &[String]) -> i32 {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut seed_flag: Option<u64> = None;
+    let mut retries = 1u32;
+    let mut json = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            flag @ ("--spec" | "--jobs" | "--cache" | "--seed" | "--retries") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{flag} needs a value");
+                    return EXIT_USAGE;
+                };
+                let ok = match flag {
+                    "--spec" => {
+                        spec_path = Some(PathBuf::from(v));
+                        true
+                    }
+                    "--cache" => {
+                        cache_dir = Some(PathBuf::from(v));
+                        true
+                    }
+                    "--jobs" => v.parse().map(|n| jobs = n).is_ok(),
+                    "--seed" => v.parse().map(|s| seed_flag = Some(s)).is_ok(),
+                    "--retries" => v.parse().map(|r| retries = r).is_ok(),
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
+                    return EXIT_USAGE;
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown campaign option {other:?}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+
+    let mut spec = match &spec_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return EXIT_USAGE;
+                }
+            };
+            match CampaignSpec::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bad spec {}: {e}", path.display());
+                    return EXIT_USAGE;
+                }
+            }
+        }
+        None => CampaignSpec::builtin(effective_seed(seed_flag)),
+    };
+    // An explicit seed (flag or CR_SEED) overrides the spec file's.
+    if seed_flag.is_some() || std::env::var("CR_SEED").is_ok() {
+        spec.seed = effective_seed(seed_flag);
+    }
+
+    let cfg = EngineConfig {
+        jobs,
+        retries,
+        cache_dir,
+    };
+    eprintln!(
+        "campaign {:?}: {} task(s) on {} worker(s), seed {} ...",
+        spec.name,
+        spec.tasks.len(),
+        cfg.jobs.max(1),
+        spec.seed
+    );
+    let report = match run_campaign(&spec, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign cache error: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+
+    if json {
+        use serde::Serialize;
+        println!("{}", report.to_json());
+    } else {
+        for rec in &report.records {
+            match (&rec.result, &rec.error) {
+                (Some(res), _) => println!("  {:<18} {}", rec.label, summarize(res)),
+                (None, Some(err)) => println!("  {:<18} FAILED: {err}", rec.label),
+                (None, None) => println!("  {:<18} FAILED", rec.label),
+            }
+        }
+        let m = &report.metrics;
+        println!(
+            "{} ok, {} failed in {:.1} ms wall ({:.1} ms of task time, {} worker(s))",
+            m.succeeded,
+            m.failed,
+            m.total_wall_us as f64 / 1e3,
+            m.task_wall_us as f64 / 1e3,
+            m.jobs
+        );
+        println!(
+            "cache: {}/{} filter hits, {}/{} module hits ({:.0}% overall)",
+            m.cache.filter_hits,
+            m.cache.filter_hits + m.cache.filter_misses,
+            m.cache.module_hits,
+            m.cache.module_hits + m.cache.module_misses,
+            m.cache.hit_rate() * 100.0
+        );
+    }
+    if report.metrics.failed > 0 {
+        EXIT_RUNTIME
+    } else {
+        EXIT_OK
+    }
+}
+
+fn summarize(res: &TaskResult) -> String {
+    match res {
+        TaskResult::Server {
+            observed_syscalls,
+            findings,
+            usable,
+            ..
+        } => {
+            format!("{observed_syscalls} syscalls, {findings} findings, {usable} usable")
+        }
+        TaskResult::Seh { summary, .. } => format!(
+            "{} -> {} guarded, {} -> {} filters ({} undecided)",
+            summary.guarded_before,
+            summary.guarded_after,
+            summary.filters_before,
+            summary.filters_after,
+            summary.filters_undecided
+        ),
+        TaskResult::Funnel {
+            total,
+            crash_resistant,
+            js_reachable,
+            usable,
+            ..
+        } => {
+            format!("{total} APIs, {crash_resistant} crash-resistant, {js_reachable} JS-reachable, {usable} usable")
+        }
+        TaskResult::Poc {
+            oracle,
+            mapped,
+            probes,
+            located,
+            crashed,
+        } => format!(
+            "{oracle}: {} in {probes} probes ({mapped} mapped){}",
+            if *located {
+                "located hidden region"
+            } else {
+                "hidden region NOT found"
+            },
+            if *crashed { ", CRASHED" } else { "" }
+        ),
+    }
 }

@@ -79,7 +79,12 @@ pub fn fuzz_corpus(api: &ApiTable) -> BTreeSet<String> {
         }
         // Empty address space: every pointer is invalid.
         let mut mem = Memory::new();
-        let args = [FUZZ_BAD_PTR, FUZZ_BAD_PTR + 0x1000, FUZZ_BAD_PTR + 0x2000, 8];
+        let args = [
+            FUZZ_BAD_PTR,
+            FUZZ_BAD_PTR + 0x1000,
+            FUZZ_BAD_PTR + 0x2000,
+            8,
+        ];
         match execute_api(spec, args, &mut mem, 0) {
             ApiOutcome::Returned(_) => {
                 survivors.insert(spec.name.clone());
@@ -170,7 +175,12 @@ impl OsHook for HarvestMonitor {
             .spec_at(self.api.address_of(name))
             .expect("known api")
             .clone();
-        let arg_regs = [cr_isa::Reg::Rcx, cr_isa::Reg::Rdx, cr_isa::Reg::R8, cr_isa::Reg::R9];
+        let arg_regs = [
+            cr_isa::Reg::Rcx,
+            cr_isa::Reg::Rdx,
+            cr_isa::Reg::R8,
+            cr_isa::Reg::R9,
+        ];
         let mut exclusions = Vec::new();
         for (i, at) in spec.args.iter().enumerate().take(4) {
             if at.is_pointer() {

@@ -14,15 +14,19 @@
 //!   filter functions (§IV-C, Tables II and III).
 //!
 //! Supporting machinery: [`provenance`] (pointer-origin tracking),
-//! [`static_cfg`] (recursive-descent control-flow recovery) and
-//! [`report`] (table rendering for the experiment harness).
+//! [`static_cfg`] (recursive-descent control-flow recovery),
+//! [`report`] (table rendering for the experiment harness) and
+//! [`stable_hash`] (content addressing for the campaign cache).
 
 pub mod api_fuzzer;
 pub mod provenance;
 pub mod report;
 pub mod seh;
+pub mod stable_hash;
 pub mod static_cfg;
 pub mod syscall_finder;
 
 pub use provenance::Provenance;
+pub use seh::{analyze_module, analyze_module_cached, NoCache, VerdictCache};
+pub use stable_hash::{fnv1a64, sha256_hex, Sha256};
 pub use syscall_finder::{discover_server, Classification, ServerReport, SyscallFinding};

@@ -33,7 +33,10 @@ pub struct Provenance {
 impl Provenance {
     /// Track loads from the given `(base, len)` regions.
     pub fn new(regions: Vec<(u64, u64)>) -> Provenance {
-        Provenance { regions, regs: [None; 16] }
+        Provenance {
+            regions,
+            regs: [None; 16],
+        }
     }
 
     /// Whether `addr` is inside a tracked region.
@@ -76,14 +79,21 @@ impl Hook for Provenance {
                 _ => self.set(dst, None),
             },
             Inst::MovRI { dst, .. } => self.set(dst, None),
-            Inst::MovRmI { dst: Rm::Reg(r), .. } => self.set(r, None),
+            Inst::MovRmI {
+                dst: Rm::Reg(r), ..
+            } => self.set(r, None),
             Inst::Movzx { dst, .. } => self.set(dst, None),
             Inst::Lea { dst, mem } => {
                 // Address arithmetic: inherit the base pointer's source.
                 let src = mem.base.and_then(|b| self.source(b));
                 self.set(dst, src);
             }
-            Inst::AluRRm { op, dst, src, width } => {
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 if !op.writes_dst() {
                     return;
                 }
@@ -97,7 +107,12 @@ impl Hook for Provenance {
                     self.set(dst, None);
                 }
             }
-            Inst::AluRmR { op, dst: Rm::Reg(r), src, width } => {
+            Inst::AluRmR {
+                op,
+                dst: Rm::Reg(r),
+                src,
+                width,
+            } => {
                 if !op.writes_dst() {
                     return;
                 }
@@ -110,11 +125,16 @@ impl Hook for Provenance {
                     self.set(r, None);
                 }
             }
-            Inst::AluRmI { op, dst: Rm::Reg(r), width, .. }
-                if op.writes_dst() && !(matches!(op, AluOp::Add | AluOp::Sub) && width == Width::B8)
-                => {
-                    self.set(r, None);
-                }
+            Inst::AluRmI {
+                op,
+                dst: Rm::Reg(r),
+                width,
+                ..
+            } if op.writes_dst()
+                && !(matches!(op, AluOp::Add | AluOp::Sub) && width == Width::B8) =>
+            {
+                self.set(r, None);
+            }
             Inst::ShiftRI { dst, .. } => self.set(dst, None),
             Inst::Neg(r) | Inst::Not(r) => self.set(r, None),
             Inst::Imul { dst, .. } => self.set(dst, None),

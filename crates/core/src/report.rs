@@ -19,8 +19,12 @@ use std::collections::HashMap;
 pub fn table1_cell(report: &ServerReport, sc: u64) -> &'static str {
     match report.finding(sc).map(|f| f.classification) {
         Some(Classification::CrashesOnInvalidation) => "±",
-        Some(Classification::Usable { service_after: true }) => "(+)",
-        Some(Classification::Usable { service_after: false }) => "+!",
+        Some(Classification::Usable {
+            service_after: true,
+        }) => "(+)",
+        Some(Classification::Usable {
+            service_after: false,
+        }) => "+!",
         Some(Classification::NotRetriggered) => "?",
         None if report.observed_syscalls.contains(&sc) => "-",
         None => "·",
@@ -42,9 +46,11 @@ pub fn render_table1(reports: &[ServerReport]) -> String {
         }
         out.push('\n');
     }
-    out.push_str("\nlegend: ± candidate, crashes on invalidation; (+) usable; \
+    out.push_str(
+        "\nlegend: ± candidate, crashes on invalidation; (+) usable; \
                   +! usable per framework but service dead (false positive);\n\
-                  - observed, pointer not controllable; · not observed; ? not re-triggered\n");
+                  - observed, pointer not controllable; · not observed; ? not re-triggered\n",
+    );
     out
 }
 
@@ -97,16 +103,31 @@ pub fn render_table3(x64: &[ModuleSehAnalysis], x86: &[ModuleSehAnalysis]) -> St
 /// Render the §V-B API funnel.
 pub fn render_funnel(f: &FunnelReport) -> String {
     let mut out = String::new();
-    out.push_str(&format!("API functions in corpus:          {:>8}\n", f.total));
+    out.push_str(&format!(
+        "API functions in corpus:          {:>8}\n",
+        f.total
+    ));
     out.push_str(&format!(
         "  with pointer arguments:         {:>8}  ({:.1}%)\n",
         f.with_pointer_args,
         100.0 * f.with_pointer_args as f64 / f.total as f64
     ));
-    out.push_str(&format!("  crash-resistant after fuzzing:  {:>8}\n", f.crash_resistant));
-    out.push_str(&format!("  on browse execution path:       {:>8}\n", f.on_execution_path));
-    out.push_str(&format!("  triggered from JS context:      {:>8}\n", f.js_reachable));
-    out.push_str(&format!("  with controllable pointer arg:  {:>8}\n", f.usable));
+    out.push_str(&format!(
+        "  crash-resistant after fuzzing:  {:>8}\n",
+        f.crash_resistant
+    ));
+    out.push_str(&format!(
+        "  on browse execution path:       {:>8}\n",
+        f.on_execution_path
+    ));
+    out.push_str(&format!(
+        "  triggered from JS context:      {:>8}\n",
+        f.js_reachable
+    ));
+    out.push_str(&format!(
+        "  with controllable pointer arg:  {:>8}\n",
+        f.usable
+    ));
     out.push_str("  exclusion reasons:\n");
     for (k, v) in &f.exclusions {
         out.push_str(&format!("    {k:<28}{v:>8}\n"));
@@ -131,7 +152,9 @@ mod tests {
                     arg_index: 1,
                     sources: vec![0x60_0110],
                     tainted_by_input: false,
-                    classification: Classification::Usable { service_after: true },
+                    classification: Classification::Usable {
+                        service_after: true,
+                    },
                     efaults_observed: 1,
                 },
                 SyscallFinding {

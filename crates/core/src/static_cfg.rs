@@ -172,12 +172,17 @@ pub fn analyze_function(code: &dyn CodeSource, entry: u64) -> FunctionCfg {
                 break;
             }
         }
-        let end = insts.last().map(|&(v, i)| {
-            v + cr_isa::encode(&i).map(|b| b.len() as u64).unwrap_or(1)
-        });
+        let end = insts
+            .last()
+            .map(|&(v, i)| v + cr_isa::encode(&i).map(|b| b.len() as u64).unwrap_or(1));
         f.blocks.insert(
             start,
-            BasicBlock { start, end: end.unwrap_or(start), insts, successors },
+            BasicBlock {
+                start,
+                end: end.unwrap_or(start),
+                insts,
+                successors,
+            },
         );
     }
     f.syscall_sites.sort_unstable();
@@ -275,12 +280,19 @@ mod tests {
     fn static_sites_cover_dynamic_candidates_on_nginx() {
         // Every syscall the dynamic monitor can ever observe must be a
         // statically enumerable site.
-        let t = cr_targets::all_servers().into_iter().find(|s| s.name == "nginx").unwrap();
+        let t = cr_targets::all_servers()
+            .into_iter()
+            .find(|s| s.name == "nginx")
+            .unwrap();
         let seg = &t.image.segments[0];
         let src = (seg.vaddr, seg.data.as_slice());
         let cfg = analyze(&src, &[t.image.entry]);
         let sites = cfg.syscall_sites();
-        assert!(sites.len() >= 15, "nginx-sim has many syscall sites, got {}", sites.len());
+        assert!(
+            sites.len() >= 15,
+            "nginx-sim has many syscall sites, got {}",
+            sites.len()
+        );
         assert!(cfg.inst_count() > 100);
     }
 }

@@ -20,12 +20,12 @@
 //!    verification step that exposes the Memcached false positive.
 
 use crate::provenance::{ProvBank, Provenance};
+use cr_isa::{Inst, Reg, Rm, Width};
 use cr_os::linux::syscall::{self, efault_capable, pointer_args};
 use cr_os::OsHook;
 use cr_taint::{RegShadow, TaintEngine};
 use cr_targets::ServerTarget;
 use cr_vm::{Cpu, Hook, Memory, NullHook};
-use cr_isa::{Inst, Reg, Rm, Width};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Argument registers in syscall ABI order.
@@ -200,7 +200,10 @@ impl OsHook for FinderMonitor {
                 continue; // NULL argument (e.g. accept's addr)
             }
             let source = self.prov.source(reg);
-            let tainted = self.taint.reg_taint(reg, Width::B8).contains(LABEL_NET_INPUT);
+            let tainted = self
+                .taint
+                .reg_taint(reg, Width::B8)
+                .contains(LABEL_NET_INPUT);
             if source.is_some() || tainted {
                 let c = self
                     .candidates
@@ -225,7 +228,8 @@ impl OsHook for FinderMonitor {
         // Network input becomes a taint source.
         if matches!(nr, syscall::nr::READ | syscall::nr::RECVFROM) && ret > 0 {
             if let Some(&(_, args)) = self.last_args.get(&tid) {
-                self.taint.taint_region(args[1], ret as u64, LABEL_NET_INPUT);
+                self.taint
+                    .taint_region(args[1], ret as u64, LABEL_NET_INPUT);
             }
         }
     }
@@ -247,7 +251,13 @@ pub struct CorruptMonitor {
 impl CorruptMonitor {
     /// Corrupt `cells` with `bad`.
     pub fn new(cells: BTreeSet<u64>, bad: u64) -> CorruptMonitor {
-        CorruptMonitor { cells, bad, originals: BTreeMap::new(), pokes: 0, armed: true }
+        CorruptMonitor {
+            cells,
+            bad,
+            originals: BTreeMap::new(),
+            pokes: 0,
+            armed: true,
+        }
     }
 
     /// Restore every corrupted cell in `mem`.
@@ -264,7 +274,12 @@ impl Hook for CorruptMonitor {
             return;
         }
         // Only 64-bit loads can pull in a corruptible pointer.
-        if let Inst::MovRRm { src: Rm::Mem(m), width: Width::B8, .. } = inst {
+        if let Inst::MovRRm {
+            src: Rm::Mem(m),
+            width: Width::B8,
+            ..
+        } = inst
+        {
             let ea = cpu.effective_addr(m, va.wrapping_add(len as u64));
             if self.cells.contains(&ea) {
                 if let Ok(orig) = mem.read_u64(ea) {
@@ -317,7 +332,11 @@ pub fn discover_server(target: &ServerTarget) -> ServerReport {
             efaults_observed: efaults,
         });
     }
-    ServerReport { server: target.name.to_string(), observed_syscalls: observed, findings }
+    ServerReport {
+        server: target.name.to_string(),
+        observed_syscalls: observed,
+        findings,
+    }
 }
 
 fn classify(target: &ServerTarget, cand: &Candidate) -> (Classification, u64) {
@@ -354,7 +373,10 @@ fn classify(target: &ServerTarget, cand: &Candidate) -> (Classification, u64) {
     if p.crash().is_some() {
         return (Classification::CrashesOnInvalidation, p.efault_count);
     }
-    (Classification::Usable { service_after }, p.efault_count.max(efaults))
+    (
+        Classification::Usable { service_after },
+        p.efault_count.max(efaults),
+    )
 }
 
 #[cfg(test)]
@@ -376,13 +398,17 @@ mod tests {
         let recv = r.finding(nr::RECVFROM).expect("recv candidate found");
         assert_eq!(
             recv.classification,
-            Classification::Usable { service_after: true },
+            Classification::Usable {
+                service_after: true
+            },
             "nginx recv is the paper's ⊕ primitive"
         );
         assert!(recv.efaults_observed >= 1);
         // And the touched sites crash (± cells).
         for sc in [nr::OPEN, nr::CHMOD, nr::MKDIR, nr::UNLINK] {
-            let f = r.finding(sc).unwrap_or_else(|| panic!("{} candidate", syscall::name(sc)));
+            let f = r
+                .finding(sc)
+                .unwrap_or_else(|| panic!("{} candidate", syscall::name(sc)));
             assert_eq!(
                 f.classification,
                 Classification::CrashesOnInvalidation,
@@ -397,7 +423,12 @@ mod tests {
         let r = report_for("lighttpd");
         let read = r.finding(nr::READ).expect("read candidate");
         assert!(
-            matches!(read.classification, Classification::Usable { service_after: true }),
+            matches!(
+                read.classification,
+                Classification::Usable {
+                    service_after: true
+                }
+            ),
             "lighttpd read must be usable, got {:?}",
             read.classification
         );
@@ -410,24 +441,41 @@ mod tests {
         // Framework verdict: usable. Manual verification: service dead.
         assert_eq!(
             ep.classification,
-            Classification::Usable { service_after: false },
+            Classification::Usable {
+                service_after: false
+            },
             "the Memcached false positive"
         );
         let read = r.finding(nr::READ).expect("read candidate");
-        assert_eq!(read.classification, Classification::Usable { service_after: true });
+        assert_eq!(
+            read.classification,
+            Classification::Usable {
+                service_after: true
+            }
+        );
     }
 
     #[test]
     fn cherokee_epoll_wait_is_usable() {
         let r = report_for("cherokee");
         let ep = r.finding(nr::EPOLL_WAIT).expect("epoll_wait candidate");
-        assert_eq!(ep.classification, Classification::Usable { service_after: true });
+        assert_eq!(
+            ep.classification,
+            Classification::Usable {
+                service_after: true
+            }
+        );
     }
 
     #[test]
     fn postgresql_epoll_wait_is_usable() {
         let r = report_for("postgresql");
         let ep = r.finding(nr::EPOLL_WAIT).expect("epoll_wait candidate");
-        assert_eq!(ep.classification, Classification::Usable { service_after: true });
+        assert_eq!(
+            ep.classification,
+            Classification::Usable {
+                service_after: true
+            }
+        );
     }
 }

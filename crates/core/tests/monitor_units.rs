@@ -30,7 +30,12 @@ fn one_shot(build: impl FnOnce(&mut Asm)) -> ElfImage {
                 data: asm.code,
                 perm: SegPerm::RX,
             },
-            ElfSegment { vaddr: DATA, memsz: 0x1000, data: vec![0; 0x100], perm: SegPerm::RW },
+            ElfSegment {
+                vaddr: DATA,
+                memsz: 0x1000,
+                data: vec![0; 0x100],
+                perm: SegPerm::RW,
+            },
         ],
         symbols: asm.symbols,
     }
@@ -54,8 +59,14 @@ fn memory_resident_pointer_becomes_candidate() {
     let mut mon = FinderMonitor::new(vec![(DATA, 0x1000)]);
     let mut p = LinuxProc::load(&img);
     assert_eq!(p.run(100_000, &mut mon), RunExit::Exited(0));
-    let cand = mon.candidates.get(&(nr::WRITE, 1)).expect("write arg1 candidate");
-    assert_eq!(cand.sources.iter().copied().collect::<Vec<_>>(), vec![DATA + 0x40]);
+    let cand = mon
+        .candidates
+        .get(&(nr::WRITE, 1))
+        .expect("write arg1 candidate");
+    assert_eq!(
+        cand.sources.iter().copied().collect::<Vec<_>>(),
+        vec![DATA + 0x40]
+    );
 }
 
 #[test]
@@ -175,7 +186,10 @@ fn per_thread_banks_do_not_cross_contaminate() {
     let mut mon = FinderMonitor::new(vec![(DATA, 0x1000)]);
     let mut p = LinuxProc::load(&img);
     p.run(1_000_000, &mut mon);
-    assert!(mon.candidates.contains_key(&(nr::WRITE, 1)), "parent flagged");
+    assert!(
+        mon.candidates.contains_key(&(nr::WRITE, 1)),
+        "parent flagged"
+    );
     assert!(
         !mon.candidates.contains_key(&(nr::SENDTO, 1)),
         "child's constant pointer must not inherit the parent's provenance: {:?}",

@@ -29,7 +29,8 @@ pub fn asmjs_under_policy(strict: bool) -> PolicyOutcome {
     let mut sim = firefox::build();
     sim.proc.strict_unmapped_policy = strict;
     for _ in 0..3 {
-        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+        sim.proc
+            .call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
     }
     PolicyOutcome {
         survived: sim.proc.alive(),
@@ -72,14 +73,20 @@ mod tests {
         let relaxed = asmjs_under_policy(false);
         let strict = asmjs_under_policy(true);
         assert!(relaxed.survived && strict.survived);
-        assert_eq!(relaxed.handled_faults, strict.handled_faults, "guard-page faults still handled");
+        assert_eq!(
+            relaxed.handled_faults, strict.handled_faults,
+            "guard-page faults still handled"
+        );
         assert_eq!(strict.handled_faults, 60, "3 bursts of 20");
     }
 
     #[test]
     fn policy_kills_probing_at_first_unmapped_touch() {
         let relaxed = probing_under_policy(false, 10);
-        assert!(relaxed.survived, "without the policy the oracle probes freely");
+        assert!(
+            relaxed.survived,
+            "without the policy the oracle probes freely"
+        );
         assert_eq!(relaxed.probes_before_crash, 10);
 
         let strict = probing_under_policy(true, 10);

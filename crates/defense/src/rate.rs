@@ -38,7 +38,10 @@ impl Default for RateDetector {
     fn default() -> Self {
         // Calibrated from the asm.js measurements: bursts of 20 within a
         // window are benign; probing produces hundreds+.
-        RateDetector { window_ms: 100, threshold: 50 }
+        RateDetector {
+            window_ms: 100,
+            threshold: 50,
+        }
     }
 }
 
@@ -61,11 +64,7 @@ impl RateDetector {
     /// Analyze a fault log spanning `[start_vtime, end_vtime)`.
     pub fn analyze(&self, log: &[FaultEvent], start_vtime: u64, end_vtime: u64) -> RateReport {
         let window = self.window_ms * STEPS_PER_MS;
-        let handled: Vec<u64> = log
-            .iter()
-            .filter(|f| f.handled)
-            .map(|f| f.vtime)
-            .collect();
+        let handled: Vec<u64> = log.iter().filter(|f| f.handled).map(|f| f.vtime).collect();
         let mut peak = 0usize;
         let mut alarm_at = None;
         let mut lo = 0usize;
@@ -85,7 +84,11 @@ impl RateDetector {
         RateReport {
             handled_faults: handled.len(),
             peak_window: peak,
-            faults_per_second: if span_s > 0.0 { handled.len() as f64 / span_s } else { 0.0 },
+            faults_per_second: if span_s > 0.0 {
+                handled.len() as f64 / span_s
+            } else {
+                0.0
+            },
             alarm: alarm_at.is_some(),
             alarm_at,
         }
@@ -119,7 +122,8 @@ mod tests {
         let mut sim = firefox::build();
         let t0 = sim.proc.vtime;
         for _ in 0..5 {
-            sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+            sim.proc
+                .call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
             // Breaks between bursts (the paper's observation).
             sim.proc.run(200_000, &mut NullHook);
         }

@@ -47,7 +47,14 @@ impl MovingRegion {
         assert!(!slots.is_empty());
         let current = start % slots.len();
         mem.map(slots[current], size, Prot::RW);
-        MovingRegion { slots, size, period, current, probe_count: 0, relocations: 0 }
+        MovingRegion {
+            slots,
+            size,
+            period,
+            current,
+            probe_count: 0,
+            relocations: 0,
+        }
     }
 
     /// Current region base.
@@ -140,7 +147,12 @@ mod tests {
     fn static_region_is_always_located_and_valid() {
         let mut o = IeOracle::new();
         let mut d = MovingRegion::new(&mut o.sim().proc.mem, slots(), 0x1000, u64::MAX, 3);
-        let out = scan_under_rerand(&mut o, &mut d, |o| &mut o.sim().proc.mem as *mut _, 0x10_0000);
+        let out = scan_under_rerand(
+            &mut o,
+            &mut d,
+            |o| &mut o.sim().proc.mem as *mut _,
+            0x10_0000,
+        );
         assert!(out.located && out.still_valid);
         assert_eq!(d.relocations(), 0);
     }
@@ -153,12 +165,18 @@ mod tests {
         let mut any_stale_or_missed = false;
         let mut o = IeOracle::new();
         for trial in 0..4u64 {
-            let base_slots: Vec<u64> =
-                slots().iter().map(|s| s + (trial + 1) * 0x1_0000_0000).collect();
+            let base_slots: Vec<u64> = slots()
+                .iter()
+                .map(|s| s + (trial + 1) * 0x1_0000_0000)
+                .collect();
             let start = base_slots.len() - 1;
             let mut d = MovingRegion::new(&mut o.sim().proc.mem, base_slots, 0x1000, 2, start);
-            let out =
-                scan_under_rerand(&mut o, &mut d, |o| &mut o.sim().proc.mem as *mut _, 0x10_0000);
+            let out = scan_under_rerand(
+                &mut o,
+                &mut d,
+                |o| &mut o.sim().proc.mem as *mut _,
+                0x10_0000,
+            );
             assert!(d.relocations() > 0, "defender must have moved");
             if !out.located || !out.still_valid {
                 any_stale_or_missed = true;

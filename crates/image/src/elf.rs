@@ -92,7 +92,11 @@ fn perm_to_pflags(p: SegPerm) -> u32 {
 }
 
 fn pflags_to_perm(f: u32) -> SegPerm {
-    SegPerm { r: f & PF_R != 0, w: f & PF_W != 0, x: f & PF_X != 0 }
+    SegPerm {
+        r: f & PF_R != 0,
+        w: f & PF_W != 0,
+        x: f & PF_X != 0,
+    }
 }
 
 struct ElfWriter<'a> {
@@ -116,9 +120,7 @@ impl<'a> ElfWriter<'a> {
         // Segment raw data, each aligned to 8.
         let mut seg_offsets = Vec::new();
         for seg in &self.img.segments {
-            while out.len() % 8 != 0 {
-                out.push(0);
-            }
+            pad8(&mut out);
             seg_offsets.push(out.len());
             out.extend_from_slice(&seg.data);
         }
@@ -131,16 +133,12 @@ impl<'a> ElfWriter<'a> {
             strtab.extend_from_slice(name.as_bytes());
             strtab.push(0);
         }
-        while out.len() % 8 != 0 {
-            out.push(0);
-        }
+        pad8(&mut out);
         let strtab_off = out.len();
         out.extend_from_slice(&strtab);
 
         // .symtab — Elf64_Sym is 24 bytes; first entry is the null symbol.
-        while out.len() % 8 != 0 {
-            out.push(0);
-        }
+        pad8(&mut out);
         let symtab_off = out.len();
         out.extend_from_slice(&[0u8; 24]);
         for ((_, &addr), &noff) in self.img.symbols.iter().zip(&name_offsets) {
@@ -162,16 +160,12 @@ impl<'a> ElfWriter<'a> {
             shstrtab.extend_from_slice(n.as_bytes());
             shstrtab.push(0);
         }
-        while out.len() % 8 != 0 {
-            out.push(0);
-        }
+        pad8(&mut out);
         let shstrtab_off = out.len();
         out.extend_from_slice(&shstrtab);
 
         // Section headers: null, .strtab, .symtab, .shstrtab, one .load per segment.
-        while out.len() % 8 != 0 {
-            out.push(0);
-        }
+        pad8(&mut out);
         let shoff = out.len();
         let shnum = 4 + self.img.segments.len();
         let mut shdrs = Vec::with_capacity(shnum * shentsize);
@@ -199,9 +193,25 @@ impl<'a> ElfWriter<'a> {
         push_shdr(shname_off[0], 0, 0, 0, 0, 0, 0); // null
         push_shdr(shname_off[1], SHT_STRTAB, strtab_off, strtab.len(), 0, 0, 0);
         push_shdr(shname_off[2], SHT_SYMTAB, symtab_off, symtab_size, 1, 24, 0);
-        push_shdr(shname_off[3], SHT_STRTAB, shstrtab_off, shstrtab.len(), 0, 0, 0);
+        push_shdr(
+            shname_off[3],
+            SHT_STRTAB,
+            shstrtab_off,
+            shstrtab.len(),
+            0,
+            0,
+            0,
+        );
         for (seg, &off) in self.img.segments.iter().zip(&seg_offsets) {
-            push_shdr(shname_off[4], SHT_PROGBITS, off, seg.data.len(), 0, 0, seg.vaddr);
+            push_shdr(
+                shname_off[4],
+                SHT_PROGBITS,
+                off,
+                seg.data.len(),
+                0,
+                0,
+                seg.vaddr,
+            );
         }
         out.extend_from_slice(&shdrs);
 
@@ -266,7 +276,9 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
         return Err(ImageError::BadMagic("ELF"));
     }
     if bytes[4] != ELFCLASS64 || bytes[5] != ELFDATA2LSB {
-        return Err(ImageError::Unsupported("only ELF64 little-endian is supported"));
+        return Err(ImageError::Unsupported(
+            "only ELF64 little-endian is supported",
+        ));
     }
     let entry = rd_u64(bytes, 24)?;
     let phoff = rd_u64(bytes, 32)? as usize;
@@ -292,7 +304,12 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
             .get(off..off + filesz)
             .ok_or(ImageError::Truncated("segment data"))?
             .to_vec();
-        segments.push(ElfSegment { vaddr, data, memsz, perm: pflags_to_perm(flags) });
+        segments.push(ElfSegment {
+            vaddr,
+            data,
+            memsz,
+            perm: pflags_to_perm(flags),
+        });
     }
 
     // Symbols: find SHT_SYMTAB and its linked strtab.
@@ -333,7 +350,16 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
         }
     }
 
-    Ok(ElfImage { entry, segments, symbols })
+    Ok(ElfImage {
+        entry,
+        segments,
+        symbols,
+    })
+}
+
+/// Zero-pad to the next 8-byte boundary.
+fn pad8(out: &mut Vec<u8>) {
+    out.resize(out.len().next_multiple_of(8), 0);
 }
 
 #[cfg(test)]
@@ -374,10 +400,16 @@ mod tests {
 
     #[test]
     fn magic_is_checked() {
-        assert!(matches!(ElfImage::parse(b"nope"), Err(ImageError::BadMagic(_))));
+        assert!(matches!(
+            ElfImage::parse(b"nope"),
+            Err(ImageError::BadMagic(_))
+        ));
         let mut bytes = sample().to_bytes();
         bytes[4] = 1; // ELFCLASS32
-        assert!(matches!(ElfImage::parse(&bytes), Err(ImageError::Unsupported(_))));
+        assert!(matches!(
+            ElfImage::parse(&bytes),
+            Err(ImageError::Unsupported(_))
+        ));
     }
 
     #[test]

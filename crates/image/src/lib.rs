@@ -34,13 +34,29 @@ pub struct SegPerm {
 
 impl SegPerm {
     /// Read-only.
-    pub const R: SegPerm = SegPerm { r: true, w: false, x: false };
+    pub const R: SegPerm = SegPerm {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// Read-write.
-    pub const RW: SegPerm = SegPerm { r: true, w: true, x: false };
+    pub const RW: SegPerm = SegPerm {
+        r: true,
+        w: true,
+        x: false,
+    };
     /// Read-execute.
-    pub const RX: SegPerm = SegPerm { r: true, w: false, x: true };
+    pub const RX: SegPerm = SegPerm {
+        r: true,
+        w: false,
+        x: true,
+    };
     /// Read-write-execute (used only by tests; targets are W^X).
-    pub const RWX: SegPerm = SegPerm { r: true, w: true, x: true };
+    pub const RWX: SegPerm = SegPerm {
+        r: true,
+        w: true,
+        x: true,
+    };
 }
 
 impl std::fmt::Display for SegPerm {

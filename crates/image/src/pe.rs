@@ -178,6 +178,10 @@ impl PeImage {
     }
 }
 
+/// Builder-side function record: begin/end RVAs plus the optional
+/// `(handler_rva, scopes)` unwind payload.
+type FunctionSpec = (u32, u32, Option<(u32, Vec<ScopeEntry>)>);
+
 /// Builder for PE32+ images with exports and SEH scope tables.
 ///
 /// # Examples
@@ -205,7 +209,7 @@ pub struct PeBuilder {
     text: Option<(u32, Vec<u8>)>,
     data: Option<(u32, Vec<u8>)>,
     exports: BTreeMap<String, u32>,
-    functions: Vec<(u32, u32, Option<(u32, Vec<ScopeEntry>)>)>,
+    functions: Vec<FunctionSpec>,
 }
 
 impl PeBuilder {
@@ -266,7 +270,8 @@ impl PeBuilder {
         handler_rva: u32,
         scopes: Vec<ScopeEntry>,
     ) -> &mut Self {
-        self.functions.push((begin_rva, end_rva, Some((handler_rva, scopes))));
+        self.functions
+            .push((begin_rva, end_rva, Some((handler_rva, scopes))));
         self
     }
 
@@ -436,13 +441,16 @@ impl PeBuilder {
         out[opt + 32..opt + 36].copy_from_slice(&SECTION_ALIGN.to_le_bytes());
         out[opt + 36..opt + 40].copy_from_slice(&FILE_ALIGN.to_le_bytes());
         let size_of_image = align_up(
-            secs.iter().map(|s| s.rva + s.data.len() as u32).max().unwrap_or(0),
+            secs.iter()
+                .map(|s| s.rva + s.data.len() as u32)
+                .max()
+                .unwrap_or(0),
             SECTION_ALIGN,
         );
         out[opt + 56..opt + 60].copy_from_slice(&size_of_image.to_le_bytes());
         out[opt + 60..opt + 64].copy_from_slice(&headers_size.to_le_bytes());
         out[opt + 108..opt + 112].copy_from_slice(&16u32.to_le_bytes()); // NumberOfRvaAndSizes
-        // Data directory 0: export table.
+                                                                         // Data directory 0: export table.
         let dd = opt + 112;
         out[dd..dd + 4].copy_from_slice(&rdata_rva.to_le_bytes());
         out[dd + 4..dd + 8].copy_from_slice(&export_dir_size.to_le_bytes());
@@ -511,7 +519,9 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
     let opt = coff + 20;
     let magic = rd_u16(bytes, opt)?;
     if magic != 0x20B {
-        return Err(ImageError::Unsupported("only PE32+ optional headers supported"));
+        return Err(ImageError::Unsupported(
+            "only PE32+ optional headers supported",
+        ));
     }
     let entry_rva = rd_u32(bytes, opt + 16)?;
     let image_base = rd_u64(bytes, opt + 24)?;
@@ -525,7 +535,9 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
     let mut sections = Vec::new();
     for i in 0..nsec {
         let h = shdr_base + i * 40;
-        let name_raw = bytes.get(h..h + 8).ok_or(ImageError::Truncated("section header"))?;
+        let name_raw = bytes
+            .get(h..h + 8)
+            .ok_or(ImageError::Truncated("section header"))?;
         let name = String::from_utf8_lossy(name_raw)
             .trim_end_matches('\0')
             .to_string();
@@ -554,7 +566,11 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
     let rva_read = |rva: u32, len: usize| -> Result<Vec<u8>, ImageError> {
         let s = sections
             .iter()
-            .find(|s| rva >= s.rva && (rva as u64) < s.rva as u64 + s.data.len().max(s.virtual_size as usize) as u64)
+            .find(|s| {
+                rva >= s.rva
+                    && (rva as u64)
+                        < s.rva as u64 + s.data.len().max(s.virtual_size as usize) as u64
+            })
             .ok_or(ImageError::Malformed("RVA outside all sections"))?;
         let off = (rva - s.rva) as usize;
         let mut out = vec![0u8; len];
@@ -604,7 +620,10 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
             let flags = head[0] >> 3;
             let ncodes = head[2] as usize;
             let codes_size = ncodes.div_ceil(2) * 4; // 2-byte codes, 4-aligned
-            let mut unwind = UnwindInfo { handler_rva: None, scopes: Vec::new() };
+            let mut unwind = UnwindInfo {
+                handler_rva: None,
+                scopes: Vec::new(),
+            };
             if flags & 0x1 != 0 {
                 // UNW_FLAG_EHANDLER
                 let h = rva_read(unwind_rva + 4 + codes_size as u32, 4)?;
@@ -634,7 +653,11 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
                     }
                 }
             }
-            runtime_functions.push(RuntimeFunction { begin_rva, end_rva, unwind });
+            runtime_functions.push(RuntimeFunction {
+                begin_rva,
+                end_rva,
+                unwind,
+            });
         }
     }
 
@@ -747,10 +770,16 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(PeImage::parse(b"not a pe"), Err(ImageError::BadMagic(_))));
+        assert!(matches!(
+            PeImage::parse(b"not a pe"),
+            Err(ImageError::BadMagic(_))
+        ));
         let mut bytes = sample();
         bytes[PE_SIG_OFF] = b'X';
-        assert!(matches!(PeImage::parse(&bytes), Err(ImageError::BadMagic(_))));
+        assert!(matches!(
+            PeImage::parse(&bytes),
+            Err(ImageError::BadMagic(_))
+        ));
     }
 
     #[test]

@@ -136,7 +136,12 @@ pub struct Asm {
 impl Asm {
     /// Create an assembler whose output will live at virtual address `base`.
     pub fn new(base: u64) -> Asm {
-        Asm { base, items: Vec::new(), bindings: Vec::new(), symbols: Vec::new() }
+        Asm {
+            base,
+            items: Vec::new(),
+            bindings: Vec::new(),
+            symbols: Vec::new(),
+        }
     }
 
     /// Allocate a fresh, unbound label.
@@ -197,7 +202,11 @@ impl Asm {
 
     /// `mov dst, src` (register to register, 64-bit).
     pub fn mov_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
-        self.inst(Inst::MovRRm { dst, src: Rm::Reg(src), width: Width::B8 })
+        self.inst(Inst::MovRRm {
+            dst,
+            src: Rm::Reg(src),
+            width: Width::B8,
+        })
     }
 
     /// `movabs dst, imm`.
@@ -207,27 +216,47 @@ impl Asm {
 
     /// `mov dst, qword [mem]`.
     pub fn load(&mut self, dst: Reg, mem: Mem) -> &mut Asm {
-        self.inst(Inst::MovRRm { dst, src: Rm::Mem(mem), width: Width::B8 })
+        self.inst(Inst::MovRRm {
+            dst,
+            src: Rm::Mem(mem),
+            width: Width::B8,
+        })
     }
 
     /// `mov dst, byte [mem]` zero-extended.
     pub fn load_u8(&mut self, dst: Reg, mem: Mem) -> &mut Asm {
-        self.inst(Inst::Movzx { dst, src: Rm::Mem(mem), src_width: Width::B1 })
+        self.inst(Inst::Movzx {
+            dst,
+            src: Rm::Mem(mem),
+            src_width: Width::B1,
+        })
     }
 
     /// `mov qword [mem], src`.
     pub fn store(&mut self, mem: Mem, src: Reg) -> &mut Asm {
-        self.inst(Inst::MovRmR { dst: Rm::Mem(mem), src, width: Width::B8 })
+        self.inst(Inst::MovRmR {
+            dst: Rm::Mem(mem),
+            src,
+            width: Width::B8,
+        })
     }
 
     /// `mov byte [mem], src`.
     pub fn store_u8(&mut self, mem: Mem, src: Reg) -> &mut Asm {
-        self.inst(Inst::MovRmR { dst: Rm::Mem(mem), src, width: Width::B1 })
+        self.inst(Inst::MovRmR {
+            dst: Rm::Mem(mem),
+            src,
+            width: Width::B1,
+        })
     }
 
     /// `mov qword [mem], imm32` (sign-extended).
     pub fn store_i(&mut self, mem: Mem, imm: i32) -> &mut Asm {
-        self.inst(Inst::MovRmI { dst: Rm::Mem(mem), imm, width: Width::B8 })
+        self.inst(Inst::MovRmI {
+            dst: Rm::Mem(mem),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `lea dst, [mem]`.
@@ -249,62 +278,120 @@ impl Asm {
 
     /// `add dst, src`.
     pub fn add_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
-        self.inst(Inst::AluRRm { op: AluOp::Add, dst, src: Rm::Reg(src), width: Width::B8 })
+        self.inst(Inst::AluRRm {
+            op: AluOp::Add,
+            dst,
+            src: Rm::Reg(src),
+            width: Width::B8,
+        })
     }
 
     /// `add dst, imm32`.
     pub fn add_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
-        self.inst(Inst::AluRmI { op: AluOp::Add, dst: Rm::Reg(dst), imm, width: Width::B8 })
+        self.inst(Inst::AluRmI {
+            op: AluOp::Add,
+            dst: Rm::Reg(dst),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `sub dst, src`.
     pub fn sub_rr(&mut self, dst: Reg, src: Reg) -> &mut Asm {
-        self.inst(Inst::AluRRm { op: AluOp::Sub, dst, src: Rm::Reg(src), width: Width::B8 })
+        self.inst(Inst::AluRRm {
+            op: AluOp::Sub,
+            dst,
+            src: Rm::Reg(src),
+            width: Width::B8,
+        })
     }
 
     /// `sub dst, imm32`.
     pub fn sub_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
-        self.inst(Inst::AluRmI { op: AluOp::Sub, dst: Rm::Reg(dst), imm, width: Width::B8 })
+        self.inst(Inst::AluRmI {
+            op: AluOp::Sub,
+            dst: Rm::Reg(dst),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `and dst, imm32`.
     pub fn and_ri(&mut self, dst: Reg, imm: i32) -> &mut Asm {
-        self.inst(Inst::AluRmI { op: AluOp::And, dst: Rm::Reg(dst), imm, width: Width::B8 })
+        self.inst(Inst::AluRmI {
+            op: AluOp::And,
+            dst: Rm::Reg(dst),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `xor dst, dst` — the canonical zeroing idiom.
     pub fn zero(&mut self, dst: Reg) -> &mut Asm {
-        self.inst(Inst::AluRmR { op: AluOp::Xor, dst: Rm::Reg(dst), src: dst, width: Width::B8 })
+        self.inst(Inst::AluRmR {
+            op: AluOp::Xor,
+            dst: Rm::Reg(dst),
+            src: dst,
+            width: Width::B8,
+        })
     }
 
     /// `cmp a, b`.
     pub fn cmp_rr(&mut self, a: Reg, b: Reg) -> &mut Asm {
-        self.inst(Inst::AluRRm { op: AluOp::Cmp, dst: a, src: Rm::Reg(b), width: Width::B8 })
+        self.inst(Inst::AluRRm {
+            op: AluOp::Cmp,
+            dst: a,
+            src: Rm::Reg(b),
+            width: Width::B8,
+        })
     }
 
     /// `cmp a, imm32`.
     pub fn cmp_ri(&mut self, a: Reg, imm: i32) -> &mut Asm {
-        self.inst(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Reg(a), imm, width: Width::B8 })
+        self.inst(Inst::AluRmI {
+            op: AluOp::Cmp,
+            dst: Rm::Reg(a),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `cmp qword [mem], imm32`.
     pub fn cmp_mi(&mut self, mem: Mem, imm: i32) -> &mut Asm {
-        self.inst(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Mem(mem), imm, width: Width::B8 })
+        self.inst(Inst::AluRmI {
+            op: AluOp::Cmp,
+            dst: Rm::Mem(mem),
+            imm,
+            width: Width::B8,
+        })
     }
 
     /// `test a, a`.
     pub fn test_rr(&mut self, a: Reg) -> &mut Asm {
-        self.inst(Inst::AluRmR { op: AluOp::Test, dst: Rm::Reg(a), src: a, width: Width::B8 })
+        self.inst(Inst::AluRmR {
+            op: AluOp::Test,
+            dst: Rm::Reg(a),
+            src: a,
+            width: Width::B8,
+        })
     }
 
     /// `shl dst, n`.
     pub fn shl(&mut self, dst: Reg, n: u8) -> &mut Asm {
-        self.inst(Inst::ShiftRI { op: ShiftOp::Shl, dst, amount: n })
+        self.inst(Inst::ShiftRI {
+            op: ShiftOp::Shl,
+            dst,
+            amount: n,
+        })
     }
 
     /// `shr dst, n`.
     pub fn shr(&mut self, dst: Reg, n: u8) -> &mut Asm {
-        self.inst(Inst::ShiftRI { op: ShiftOp::Shr, dst, amount: n })
+        self.inst(Inst::ShiftRI {
+            op: ShiftOp::Shr,
+            dst,
+            amount: n,
+        })
     }
 
     /// `push r`.
@@ -429,7 +516,10 @@ impl Asm {
                 }
                 Item::LeaLabel(r, l) => {
                     let rel = rel32(label_off(*l)?, next)?;
-                    code.extend(encode(&Inst::Lea { dst: *r, mem: Mem::rip(rel) })?);
+                    code.extend(encode(&Inst::Lea {
+                        dst: *r,
+                        mem: Mem::rip(rel),
+                    })?);
                 }
                 Item::MovLabelAddr(r, l) => {
                     let addr = self.base + label_off(*l)? as u64;
@@ -437,9 +527,7 @@ impl Asm {
                 }
                 Item::Bytes(b) => code.extend_from_slice(b),
                 Item::Align(_) => {
-                    for _ in here..next {
-                        code.push(0xCC);
-                    }
+                    code.resize(code.len() + (next - here), 0xCC);
                 }
             }
             debug_assert_eq!(code.len(), next, "layout/emit size mismatch at item {i}");
@@ -450,7 +538,11 @@ impl Asm {
             let o = label_off(*l)?;
             symbols.insert(name.clone(), self.base + o as u64);
         }
-        Ok(Assembled { code, base: self.base, symbols })
+        Ok(Assembled {
+            code,
+            base: self.base,
+            symbols,
+        })
     }
 }
 
@@ -480,7 +572,10 @@ mod tests {
         let insts = disassemble(&asm.code, 0x1000);
         assert_eq!(insts.last().unwrap().1, Inst::Ret);
         // The jcc must skip exactly over the jmp (5 bytes).
-        let jcc = insts.iter().find(|(_, i, _)| matches!(i, Inst::Jcc { .. })).unwrap();
+        let jcc = insts
+            .iter()
+            .find(|(_, i, _)| matches!(i, Inst::Jcc { .. }))
+            .unwrap();
         match jcc.1 {
             Inst::Jcc { rel, .. } => assert_eq!(rel, 5),
             _ => unreachable!(),
@@ -541,7 +636,13 @@ mod tests {
         a.ret();
         let asm = a.assemble().unwrap();
         let d = crate::decode::decode(&asm.code).unwrap();
-        assert_eq!(d.inst, Inst::MovRI { dst: Rcx, imm: 0x7000 + 10 });
+        assert_eq!(
+            d.inst,
+            Inst::MovRI {
+                dst: Rcx,
+                imm: 0x7000 + 10
+            }
+        );
     }
 
     #[test]

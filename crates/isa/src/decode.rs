@@ -109,14 +109,20 @@ fn parse_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
 
     if mode == 0b11 {
         let r = Reg::from_encoding(rm3 | (rex.b as u8) << 3);
-        return Ok(ModRm { reg, rm: Rm::Reg(r) });
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Reg(r),
+        });
     }
 
     // Memory operand.
     if mode == 0b00 && rm3 == 0b101 {
         // RIP-relative.
         let disp = cur.i32()?;
-        return Ok(ModRm { reg, rm: Rm::Mem(Mem::rip(disp)) });
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Mem(Mem::rip(disp)),
+        });
     }
 
     let (base, index) = if rm3 == 0b100 {
@@ -153,7 +159,15 @@ fn parse_modrm(cur: &mut Cursor<'_>, rex: Rex) -> Result<ModRm, DecodeError> {
         _ => unreachable!(),
     };
 
-    Ok(ModRm { reg, rm: Rm::Mem(Mem { base, index, disp, rip: false }) })
+    Ok(ModRm {
+        reg,
+        rm: Rm::Mem(Mem {
+            base,
+            index,
+            disp,
+            rip: false,
+        }),
+    })
 }
 
 fn alu_from_mr_opcode(op: u8) -> Option<AluOp> {
@@ -192,7 +206,12 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
     let mut rex = Rex::default();
     let mut b = cur.u8()?;
     if (0x40..=0x4F).contains(&b) {
-        rex = Rex { w: b & 8 != 0, r: b & 4 != 0, x: b & 2 != 0, b: b & 1 != 0 };
+        rex = Rex {
+            w: b & 8 != 0,
+            r: b & 4 != 0,
+            x: b & 2 != 0,
+            b: b & 1 != 0,
+        };
         b = cur.u8()?;
     }
     let wq = if rex.w { Width::B8 } else { Width::B4 };
@@ -204,38 +223,69 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
             let m = parse_modrm(&mut cur, rex)?;
             let reg = Reg::from_encoding(m.reg);
             if b & 2 != 0 {
-                Inst::MovRRm { dst: reg, src: m.rm, width }
+                Inst::MovRRm {
+                    dst: reg,
+                    src: m.rm,
+                    width,
+                }
             } else {
-                Inst::MovRmR { dst: m.rm, src: reg, width }
+                Inst::MovRmR {
+                    dst: m.rm,
+                    src: reg,
+                    width,
+                }
             }
         }
         0xB8..=0xBF => {
             let dst = Reg::from_encoding((b - 0xB8) | (rex.b as u8) << 3);
             if rex.w {
-                Inst::MovRI { dst, imm: cur.u64()? }
+                Inst::MovRI {
+                    dst,
+                    imm: cur.u64()?,
+                }
             } else {
                 // mov r32, imm32 zero-extends.
-                Inst::MovRI { dst, imm: cur.i32()? as u32 as u64 }
+                Inst::MovRI {
+                    dst,
+                    imm: cur.i32()? as u32 as u64,
+                }
             }
         }
         0xC6 => {
             let m = parse_modrm(&mut cur, rex)?;
             if m.reg & 7 != 0 {
-                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+                return Err(DecodeError::BadExtension {
+                    opcode: b,
+                    ext: m.reg & 7,
+                });
             }
-            Inst::MovRmI { dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+            Inst::MovRmI {
+                dst: m.rm,
+                imm: cur.i8()? as i32,
+                width: Width::B1,
+            }
         }
         0xC7 => {
             let m = parse_modrm(&mut cur, rex)?;
             if m.reg & 7 != 0 {
-                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+                return Err(DecodeError::BadExtension {
+                    opcode: b,
+                    ext: m.reg & 7,
+                });
             }
-            Inst::MovRmI { dst: m.rm, imm: cur.i32()?, width: wq }
+            Inst::MovRmI {
+                dst: m.rm,
+                imm: cur.i32()?,
+                width: wq,
+            }
         }
         0x8D => {
             let m = parse_modrm(&mut cur, rex)?;
             match m.rm {
-                Rm::Mem(mem) => Inst::Lea { dst: Reg::from_encoding(m.reg), mem },
+                Rm::Mem(mem) => Inst::Lea {
+                    dst: Reg::from_encoding(m.reg),
+                    mem,
+                },
                 Rm::Reg(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 0 }),
             }
         }
@@ -245,50 +295,92 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
             let op = alu_from_mr_opcode(b).expect("listed opcode");
             let width = if b & 1 == 0 { Width::B1 } else { wq };
             let m = parse_modrm(&mut cur, rex)?;
-            Inst::AluRmR { op, dst: m.rm, src: Reg::from_encoding(m.reg), width }
+            Inst::AluRmR {
+                op,
+                dst: m.rm,
+                src: Reg::from_encoding(m.reg),
+                width,
+            }
         }
         0x02 | 0x03 | 0x0A | 0x0B | 0x22 | 0x23 | 0x2A | 0x2B | 0x32 | 0x33 | 0x3A | 0x3B => {
             let op = alu_from_mr_opcode(b & !0x02).expect("listed opcode");
             let width = if b & 1 == 0 { Width::B1 } else { wq };
             let m = parse_modrm(&mut cur, rex)?;
-            Inst::AluRRm { op, dst: Reg::from_encoding(m.reg), src: m.rm, width }
+            Inst::AluRRm {
+                op,
+                dst: Reg::from_encoding(m.reg),
+                src: m.rm,
+                width,
+            }
         }
         0x80 => {
             let m = parse_modrm(&mut cur, rex)?;
-            let op = alu_from_ext(m.reg & 7)
-                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
-            Inst::AluRmI { op, dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+            let op = alu_from_ext(m.reg & 7).ok_or(DecodeError::BadExtension {
+                opcode: b,
+                ext: m.reg & 7,
+            })?;
+            Inst::AluRmI {
+                op,
+                dst: m.rm,
+                imm: cur.i8()? as i32,
+                width: Width::B1,
+            }
         }
         0x81 => {
             let m = parse_modrm(&mut cur, rex)?;
-            let op = alu_from_ext(m.reg & 7)
-                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
-            Inst::AluRmI { op, dst: m.rm, imm: cur.i32()?, width: wq }
+            let op = alu_from_ext(m.reg & 7).ok_or(DecodeError::BadExtension {
+                opcode: b,
+                ext: m.reg & 7,
+            })?;
+            Inst::AluRmI {
+                op,
+                dst: m.rm,
+                imm: cur.i32()?,
+                width: wq,
+            }
         }
         0x83 => {
             // imm8 sign-extended form (accepted for leniency; we never emit it).
             let m = parse_modrm(&mut cur, rex)?;
-            let op = alu_from_ext(m.reg & 7)
-                .ok_or(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 })?;
-            Inst::AluRmI { op, dst: m.rm, imm: cur.i8()? as i32, width: wq }
+            let op = alu_from_ext(m.reg & 7).ok_or(DecodeError::BadExtension {
+                opcode: b,
+                ext: m.reg & 7,
+            })?;
+            Inst::AluRmI {
+                op,
+                dst: m.rm,
+                imm: cur.i8()? as i32,
+                width: wq,
+            }
         }
         0xF6 => {
             let m = parse_modrm(&mut cur, rex)?;
             if m.reg & 7 != 0 {
-                return Err(DecodeError::BadExtension { opcode: b, ext: m.reg & 7 });
+                return Err(DecodeError::BadExtension {
+                    opcode: b,
+                    ext: m.reg & 7,
+                });
             }
-            Inst::AluRmI { op: AluOp::Test, dst: m.rm, imm: cur.i8()? as i32, width: Width::B1 }
+            Inst::AluRmI {
+                op: AluOp::Test,
+                dst: m.rm,
+                imm: cur.i8()? as i32,
+                width: Width::B1,
+            }
         }
         0xF7 => {
             let m = parse_modrm(&mut cur, rex)?;
             match m.reg & 7 {
-                0 => Inst::AluRmI { op: AluOp::Test, dst: m.rm, imm: cur.i32()?, width: wq },
+                0 => Inst::AluRmI {
+                    op: AluOp::Test,
+                    dst: m.rm,
+                    imm: cur.i32()?,
+                    width: wq,
+                },
                 2 | 3 => {
                     let r = match m.rm {
                         Rm::Reg(r) => r,
-                        Rm::Mem(_) => {
-                            return Err(DecodeError::BadExtension { opcode: b, ext: 8 })
-                        }
+                        Rm::Mem(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 8 }),
                     };
                     if m.reg & 7 == 2 {
                         Inst::Not(r)
@@ -318,7 +410,11 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
                 Rm::Reg(r) => r,
                 Rm::Mem(_) => return Err(DecodeError::BadExtension { opcode: b, ext: 8 }),
             };
-            Inst::ShiftRI { op, dst, amount: cur.u8()? }
+            Inst::ShiftRI {
+                op,
+                dst,
+                amount: cur.u8()?,
+            }
         }
         0x50..=0x57 => Inst::Push(Reg::from_encoding((b - 0x50) | (rex.b as u8) << 3)),
         0x58..=0x5F => Inst::Pop(Reg::from_encoding((b - 0x58) | (rex.b as u8) << 3)),
@@ -345,32 +441,44 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
                 0xA2 => Inst::Cpuid,
                 0xB6 => {
                     let m = parse_modrm(&mut cur, rex)?;
-                    Inst::Movzx { dst: Reg::from_encoding(m.reg), src: m.rm, src_width: Width::B1 }
+                    Inst::Movzx {
+                        dst: Reg::from_encoding(m.reg),
+                        src: m.rm,
+                        src_width: Width::B1,
+                    }
                 }
                 0xAF => {
                     let m = parse_modrm(&mut cur, rex)?;
-                    Inst::Imul { dst: Reg::from_encoding(m.reg), src: m.rm }
+                    Inst::Imul {
+                        dst: Reg::from_encoding(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0x40..=0x4F => {
-                    let cond = Cond::from_encoding(b2 - 0x40)
-                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    let cond =
+                        Cond::from_encoding(b2 - 0x40).ok_or(DecodeError::UnknownOpcode0F(b2))?;
                     let m = parse_modrm(&mut cur, rex)?;
-                    Inst::Cmov { cond, dst: Reg::from_encoding(m.reg), src: m.rm }
+                    Inst::Cmov {
+                        cond,
+                        dst: Reg::from_encoding(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0x80..=0x8F => {
-                    let cond = Cond::from_encoding(b2 - 0x80)
-                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
-                    Inst::Jcc { cond, rel: cur.i32()? }
+                    let cond =
+                        Cond::from_encoding(b2 - 0x80).ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    Inst::Jcc {
+                        cond,
+                        rel: cur.i32()?,
+                    }
                 }
                 0x90..=0x9F => {
-                    let cond = Cond::from_encoding(b2 - 0x90)
-                        .ok_or(DecodeError::UnknownOpcode0F(b2))?;
+                    let cond =
+                        Cond::from_encoding(b2 - 0x90).ok_or(DecodeError::UnknownOpcode0F(b2))?;
                     let m = parse_modrm(&mut cur, rex)?;
                     match m.rm {
                         Rm::Reg(r) => Inst::Setcc { cond, dst: r },
-                        Rm::Mem(_) => {
-                            return Err(DecodeError::BadExtension { opcode: b2, ext: 8 })
-                        }
+                        Rm::Mem(_) => return Err(DecodeError::BadExtension { opcode: b2, ext: 8 }),
                     }
                 }
                 _ => return Err(DecodeError::UnknownOpcode0F(b2)),
@@ -416,28 +524,82 @@ mod tests {
 
     #[test]
     fn roundtrip_basics() {
-        roundtrip(Inst::MovRRm { dst: Rax, src: Rm::Reg(Rbx), width: Width::B8 });
-        roundtrip(Inst::MovRRm { dst: R9, src: Rm::Mem(Mem::base_disp(R13, -8)), width: Width::B8 });
+        roundtrip(Inst::MovRRm {
+            dst: Rax,
+            src: Rm::Reg(Rbx),
+            width: Width::B8,
+        });
+        roundtrip(Inst::MovRRm {
+            dst: R9,
+            src: Rm::Mem(Mem::base_disp(R13, -8)),
+            width: Width::B8,
+        });
         roundtrip(Inst::MovRmR {
             dst: Rm::Mem(Mem::base_index(Rbx, R14, 4, 0x1000)),
             src: R8,
             width: Width::B4,
         });
-        roundtrip(Inst::MovRI { dst: R15, imm: u64::MAX });
-        roundtrip(Inst::MovRmI { dst: Rm::Mem(Mem::rip(-16)), imm: -1, width: Width::B8 });
-        roundtrip(Inst::Lea { dst: Rcx, mem: Mem::base_disp(Rsp, 0x40) });
-        roundtrip(Inst::Movzx { dst: Rdx, src: Rm::Mem(Mem::base(Rdi)), src_width: Width::B1 });
+        roundtrip(Inst::MovRI {
+            dst: R15,
+            imm: u64::MAX,
+        });
+        roundtrip(Inst::MovRmI {
+            dst: Rm::Mem(Mem::rip(-16)),
+            imm: -1,
+            width: Width::B8,
+        });
+        roundtrip(Inst::Lea {
+            dst: Rcx,
+            mem: Mem::base_disp(Rsp, 0x40),
+        });
+        roundtrip(Inst::Movzx {
+            dst: Rdx,
+            src: Rm::Mem(Mem::base(Rdi)),
+            src_width: Width::B1,
+        });
     }
 
     #[test]
     fn roundtrip_alu() {
-        for op in [AluOp::Add, AluOp::Or, AluOp::And, AluOp::Sub, AluOp::Xor, AluOp::Cmp] {
-            roundtrip(Inst::AluRRm { op, dst: Rax, src: Rm::Reg(R11), width: Width::B8 });
-            roundtrip(Inst::AluRmR { op, dst: Rm::Mem(Mem::base(Rsi)), src: Rdx, width: Width::B8 });
-            roundtrip(Inst::AluRmI { op, dst: Rm::Reg(Rbp), imm: 0x7FFF_0000, width: Width::B8 });
+        for op in [
+            AluOp::Add,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Sub,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ] {
+            roundtrip(Inst::AluRRm {
+                op,
+                dst: Rax,
+                src: Rm::Reg(R11),
+                width: Width::B8,
+            });
+            roundtrip(Inst::AluRmR {
+                op,
+                dst: Rm::Mem(Mem::base(Rsi)),
+                src: Rdx,
+                width: Width::B8,
+            });
+            roundtrip(Inst::AluRmI {
+                op,
+                dst: Rm::Reg(Rbp),
+                imm: 0x7FFF_0000,
+                width: Width::B8,
+            });
         }
-        roundtrip(Inst::AluRmR { op: AluOp::Test, dst: Rm::Reg(Rax), src: Rax, width: Width::B8 });
-        roundtrip(Inst::AluRmI { op: AluOp::Test, dst: Rm::Reg(Rdi), imm: 1, width: Width::B4 });
+        roundtrip(Inst::AluRmR {
+            op: AluOp::Test,
+            dst: Rm::Reg(Rax),
+            src: Rax,
+            width: Width::B8,
+        });
+        roundtrip(Inst::AluRmI {
+            op: AluOp::Test,
+            dst: Rm::Reg(Rdi),
+            imm: 1,
+            width: Width::B4,
+        });
     }
 
     #[test]
@@ -456,13 +618,24 @@ mod tests {
 
     #[test]
     fn roundtrip_misc() {
-        for i in [Inst::Syscall, Inst::Int3, Inst::Nop, Inst::Ud2, Inst::Hlt, Inst::Cpuid] {
+        for i in [
+            Inst::Syscall,
+            Inst::Int3,
+            Inst::Nop,
+            Inst::Ud2,
+            Inst::Hlt,
+            Inst::Cpuid,
+        ] {
             roundtrip(i);
         }
         roundtrip(Inst::Push(Rdi));
         roundtrip(Inst::Pop(R15));
         for op in [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar] {
-            roundtrip(Inst::ShiftRI { op, dst: Rbx, amount: 17 });
+            roundtrip(Inst::ShiftRI {
+                op,
+                dst: Rbx,
+                amount: 17,
+            });
         }
     }
 
@@ -480,7 +653,12 @@ mod tests {
         let d = decode(&[0x48, 0x83, 0xC0, 0x01]).unwrap();
         assert_eq!(
             d.inst,
-            Inst::AluRmI { op: AluOp::Add, dst: Rm::Reg(Rax), imm: 1, width: Width::B8 }
+            Inst::AluRmI {
+                op: AluOp::Add,
+                dst: Rm::Reg(Rax),
+                imm: 1,
+                width: Width::B8
+            }
         );
     }
 
@@ -493,14 +671,24 @@ mod tests {
     #[test]
     fn unknown_opcode_reported() {
         assert_eq!(decode(&[0x06]), Err(DecodeError::UnknownOpcode(0x06)));
-        assert_eq!(decode(&[0x0F, 0xFF]), Err(DecodeError::UnknownOpcode0F(0xFF)));
+        assert_eq!(
+            decode(&[0x0F, 0xFF]),
+            Err(DecodeError::UnknownOpcode0F(0xFF))
+        );
     }
 
     #[test]
     fn linear_sweep() {
         let mut code = Vec::new();
         code.extend(encode(&Inst::Push(Rbp)).unwrap());
-        code.extend(encode(&Inst::MovRRm { dst: Rbp, src: Rm::Reg(Rsp), width: Width::B8 }).unwrap());
+        code.extend(
+            encode(&Inst::MovRRm {
+                dst: Rbp,
+                src: Rm::Reg(Rsp),
+                width: Width::B8,
+            })
+            .unwrap(),
+        );
         code.extend(encode(&Inst::Ret).unwrap());
         let insts = disassemble(&code, 0x40_0000);
         assert_eq!(insts.len(), 3);

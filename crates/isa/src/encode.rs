@@ -293,7 +293,10 @@ pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
         Inst::MovRmI { dst, imm, width } => match width {
             Width::B1 => {
                 if !(-128..=127).contains(&imm) {
-                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                    return Err(EncodeError::ImmOutOfRange {
+                        imm: imm as i64,
+                        width,
+                    });
                 }
                 e.op(&[0xC6]).reg_field(0, false).rm(dst).imm8(imm as i8);
                 if let Rm::Reg(r) = dst {
@@ -301,10 +304,18 @@ pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
                 }
             }
             _ => {
-                e.w(width).op(&[0xC7]).reg_field(0, false).rm(dst).imm32(imm);
+                e.w(width)
+                    .op(&[0xC7])
+                    .reg_field(0, false)
+                    .rm(dst)
+                    .imm32(imm);
             }
         },
-        Inst::Movzx { dst, src, src_width } => {
+        Inst::Movzx {
+            dst,
+            src,
+            src_width,
+        } => {
             if src_width != Width::B1 {
                 return Err(EncodeError::UnsupportedForm("movzx from non-byte source"));
             }
@@ -322,7 +333,12 @@ pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
                 .reg_field(dst.low3(), dst.needs_ext())
                 .rm_mem(mem);
         }
-        Inst::AluRRm { op, dst, src, width } => {
+        Inst::AluRRm {
+            op,
+            dst,
+            src,
+            width,
+        } => {
             e.w(width)
                 .op(&[alu_opcode_rm_dir(op, width)])
                 .byte_reg(dst, width)
@@ -332,7 +348,12 @@ pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
                 e.byte_reg(r, width);
             }
         }
-        Inst::AluRmR { op, dst, src, width } => {
+        Inst::AluRmR {
+            op,
+            dst,
+            src,
+            width,
+        } => {
             e.w(width)
                 .op(&[alu_opcode_mr_dir(op, width)])
                 .byte_reg(src, width)
@@ -342,27 +363,49 @@ pub fn encode(inst: &Inst) -> Result<Vec<u8>, EncodeError> {
                 e.byte_reg(r, width);
             }
         }
-        Inst::AluRmI { op, dst, imm, width } => match (op, width) {
+        Inst::AluRmI {
+            op,
+            dst,
+            imm,
+            width,
+        } => match (op, width) {
             (AluOp::Test, Width::B1) => {
                 if !(-128..=127).contains(&imm) {
-                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                    return Err(EncodeError::ImmOutOfRange {
+                        imm: imm as i64,
+                        width,
+                    });
                 }
                 e.op(&[0xF6]).reg_field(0, false).rm(dst).imm8(imm as i8);
             }
             (AluOp::Test, _) => {
-                e.w(width).op(&[0xF7]).reg_field(0, false).rm(dst).imm32(imm);
+                e.w(width)
+                    .op(&[0xF7])
+                    .reg_field(0, false)
+                    .rm(dst)
+                    .imm32(imm);
             }
             (_, Width::B1) => {
                 if !(-128..=127).contains(&imm) {
-                    return Err(EncodeError::ImmOutOfRange { imm: imm as i64, width });
+                    return Err(EncodeError::ImmOutOfRange {
+                        imm: imm as i64,
+                        width,
+                    });
                 }
-                e.op(&[0x80]).reg_field(op.ext(), false).rm(dst).imm8(imm as i8);
+                e.op(&[0x80])
+                    .reg_field(op.ext(), false)
+                    .rm(dst)
+                    .imm8(imm as i8);
                 if let Rm::Reg(r) = dst {
                     e.byte_reg(r, width);
                 }
             }
             _ => {
-                e.w(width).op(&[0x81]).reg_field(op.ext(), false).rm(dst).imm32(imm);
+                e.w(width)
+                    .op(&[0x81])
+                    .reg_field(op.ext(), false)
+                    .rm(dst)
+                    .imm32(imm);
             }
         },
         Inst::ShiftRI { op, dst, amount } => {
@@ -468,12 +511,20 @@ mod tests {
     fn mov_reg_reg() {
         // mov rax, rbx => REX.W 8B C3  (RM direction)
         assert_eq!(
-            enc(Inst::MovRRm { dst: Rax, src: Rm::Reg(Rbx), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Reg(Rbx),
+                width: Width::B8
+            }),
             vec![0x48, 0x8B, 0xC3]
         );
         // mov r15, rax => REX.WR 8B F8
         assert_eq!(
-            enc(Inst::MovRRm { dst: R15, src: Rm::Reg(Rax), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: R15,
+                src: Rm::Reg(Rax),
+                width: Width::B8
+            }),
             vec![0x4C, 0x8B, 0xF8]
         );
     }
@@ -482,27 +533,47 @@ mod tests {
     fn mov_load_store() {
         // mov rax, [rbx] => 48 8B 03
         assert_eq!(
-            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(Rbx)), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Mem(Mem::base(Rbx)),
+                width: Width::B8
+            }),
             vec![0x48, 0x8B, 0x03]
         );
         // mov [rbp], rax needs disp8=0: 48 89 45 00
         assert_eq!(
-            enc(Inst::MovRmR { dst: Rm::Mem(Mem::base(Rbp)), src: Rax, width: Width::B8 }),
+            enc(Inst::MovRmR {
+                dst: Rm::Mem(Mem::base(Rbp)),
+                src: Rax,
+                width: Width::B8
+            }),
             vec![0x48, 0x89, 0x45, 0x00]
         );
         // mov [rsp], rax needs SIB: 48 89 04 24
         assert_eq!(
-            enc(Inst::MovRmR { dst: Rm::Mem(Mem::base(Rsp)), src: Rax, width: Width::B8 }),
+            enc(Inst::MovRmR {
+                dst: Rm::Mem(Mem::base(Rsp)),
+                src: Rax,
+                width: Width::B8
+            }),
             vec![0x48, 0x89, 0x04, 0x24]
         );
         // r13 behaves like rbp (low3 = 101): mov rax, [r13] => 49 8B 45 00
         assert_eq!(
-            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(R13)), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Mem(Mem::base(R13)),
+                width: Width::B8
+            }),
             vec![0x49, 0x8B, 0x45, 0x00]
         );
         // r12 behaves like rsp: mov rax, [r12] => 49 8B 04 24
         assert_eq!(
-            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::base(R12)), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Mem(Mem::base(R12)),
+                width: Width::B8
+            }),
             vec![0x49, 0x8B, 0x04, 0x24]
         );
     }
@@ -511,7 +582,11 @@ mod tests {
     fn rip_relative() {
         // mov rax, [rip+0x100] => 48 8B 05 00 01 00 00
         assert_eq!(
-            enc(Inst::MovRRm { dst: Rax, src: Rm::Mem(Mem::rip(0x100)), width: Width::B8 }),
+            enc(Inst::MovRRm {
+                dst: Rax,
+                src: Rm::Mem(Mem::rip(0x100)),
+                width: Width::B8
+            }),
             vec![0x48, 0x8B, 0x05, 0x00, 0x01, 0x00, 0x00]
         );
     }
@@ -531,7 +606,10 @@ mod tests {
 
     #[test]
     fn movabs() {
-        let bytes = enc(Inst::MovRI { dst: Rdi, imm: 0x1122_3344_5566_7788 });
+        let bytes = enc(Inst::MovRI {
+            dst: Rdi,
+            imm: 0x1122_3344_5566_7788,
+        });
         assert_eq!(bytes[0], 0x48);
         assert_eq!(bytes[1], 0xBF);
         assert_eq!(&bytes[2..], 0x1122_3344_5566_7788u64.to_le_bytes());
@@ -549,7 +627,10 @@ mod tests {
         assert_eq!(enc(Inst::CallRel(0x10)), vec![0xE8, 0x10, 0, 0, 0]);
         assert_eq!(enc(Inst::JmpRel(-5)), vec![0xE9, 0xFB, 0xFF, 0xFF, 0xFF]);
         assert_eq!(
-            enc(Inst::Jcc { cond: Cond::E, rel: 8 }),
+            enc(Inst::Jcc {
+                cond: Cond::E,
+                rel: 8
+            }),
             vec![0x0F, 0x84, 0x08, 0, 0, 0]
         );
         assert_eq!(enc(Inst::Ret), vec![0xC3]);
@@ -560,12 +641,22 @@ mod tests {
     fn alu_imm() {
         // cmp rax, 0 => 48 81 F8 00000000 (or 83 short form; we always use 81)
         assert_eq!(
-            enc(Inst::AluRmI { op: AluOp::Cmp, dst: Rm::Reg(Rax), imm: 0, width: Width::B8 }),
+            enc(Inst::AluRmI {
+                op: AluOp::Cmp,
+                dst: Rm::Reg(Rax),
+                imm: 0,
+                width: Width::B8
+            }),
             vec![0x48, 0x81, 0xF8, 0, 0, 0, 0]
         );
         // xor rax, rax MR form => 48 31 C0
         assert_eq!(
-            enc(Inst::AluRmR { op: AluOp::Xor, dst: Rm::Reg(Rax), src: Rax, width: Width::B8 }),
+            enc(Inst::AluRmR {
+                op: AluOp::Xor,
+                dst: Rm::Reg(Rax),
+                src: Rax,
+                width: Width::B8
+            }),
             vec![0x48, 0x31, 0xC0]
         );
     }
@@ -574,7 +665,11 @@ mod tests {
     fn shifts() {
         // shl rax, 3 => 48 C1 E0 03
         assert_eq!(
-            enc(Inst::ShiftRI { op: ShiftOp::Shl, dst: Rax, amount: 3 }),
+            enc(Inst::ShiftRI {
+                op: ShiftOp::Shl,
+                dst: Rax,
+                amount: 3
+            }),
             vec![0x48, 0xC1, 0xE0, 0x03]
         );
     }
@@ -582,19 +677,31 @@ mod tests {
     #[test]
     fn byte_ops_force_rex_for_sil() {
         // mov sil, al must carry a bare REX prefix.
-        let b = enc(Inst::MovRmR { dst: Rm::Reg(Rsi), src: Rax, width: Width::B1 });
+        let b = enc(Inst::MovRmR {
+            dst: Rm::Reg(Rsi),
+            src: Rax,
+            width: Width::B1,
+        });
         assert_eq!(b, vec![0x40, 0x88, 0xC6]);
     }
 
     #[test]
     fn imm_range_checked() {
-        let err = encode(&Inst::MovRmI { dst: Rm::Reg(Rax), imm: 300, width: Width::B1 });
+        let err = encode(&Inst::MovRmI {
+            dst: Rm::Reg(Rax),
+            imm: 300,
+            width: Width::B1,
+        });
         assert!(matches!(err, Err(EncodeError::ImmOutOfRange { .. })));
     }
 
     #[test]
     fn movzx_dword_rejected() {
-        let err = encode(&Inst::Movzx { dst: Rax, src: Rm::Reg(Rbx), src_width: Width::B4 });
+        let err = encode(&Inst::Movzx {
+            dst: Rax,
+            src: Rm::Reg(Rbx),
+            src_width: Width::B4,
+        });
         assert!(matches!(err, Err(EncodeError::UnsupportedForm(_))));
     }
 }

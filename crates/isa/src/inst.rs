@@ -72,12 +72,22 @@ pub struct Mem {
 impl Mem {
     /// `[base]`
     pub fn base(base: Reg) -> Mem {
-        Mem { base: Some(base), index: None, disp: 0, rip: false }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+            rip: false,
+        }
     }
 
     /// `[base + disp]`
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { base: Some(base), index: None, disp, rip: false }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+            rip: false,
+        }
     }
 
     /// `[base + index*scale + disp]`
@@ -89,18 +99,33 @@ impl Mem {
     pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid SIB scale {scale}");
         assert!(index != Reg::Rsp, "rsp cannot be an index register");
-        Mem { base: Some(base), index: Some((index, scale)), disp, rip: false }
+        Mem {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+            rip: false,
+        }
     }
 
     /// `[rip + disp]` — displacement is relative to the *end* of the
     /// containing instruction.
     pub fn rip(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip: true }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip: true,
+        }
     }
 
     /// `[disp]` — absolute 32-bit address (encoded via SIB with no base).
     pub fn abs(disp: i32) -> Mem {
-        Mem { base: None, index: None, disp, rip: false }
+        Mem {
+            base: None,
+            index: None,
+            disp,
+            rip: false,
+        }
     }
 }
 
@@ -365,11 +390,26 @@ pub enum Inst {
     /// `lea reg, [mem]`.
     Lea { dst: Reg, mem: Mem },
     /// ALU op `op reg, r/m` (result in register; RM direction).
-    AluRRm { op: AluOp, dst: Reg, src: Rm, width: Width },
+    AluRRm {
+        op: AluOp,
+        dst: Reg,
+        src: Rm,
+        width: Width,
+    },
     /// ALU op `op r/m, reg` (result in r/m; MR direction).
-    AluRmR { op: AluOp, dst: Rm, src: Reg, width: Width },
+    AluRmR {
+        op: AluOp,
+        dst: Rm,
+        src: Reg,
+        width: Width,
+    },
     /// ALU op `op r/m, imm32`.
-    AluRmI { op: AluOp, dst: Rm, imm: i32, width: Width },
+    AluRmI {
+        op: AluOp,
+        dst: Rm,
+        imm: i32,
+        width: Width,
+    },
     /// Shift by immediate.
     ShiftRI { op: ShiftOp, dst: Reg, amount: u8 },
     /// `neg r64` — two's-complement negation.
@@ -460,15 +500,34 @@ impl fmt::Display for Inst {
             Inst::MovRmR { dst, src, width } => write!(f, "mov {width} {dst}, {src}"),
             Inst::MovRI { dst, imm } => write!(f, "movabs {dst}, {imm:#x}"),
             Inst::MovRmI { dst, imm, width } => write!(f, "mov {width} {dst}, {imm:#x}"),
-            Inst::Movzx { dst, src, src_width } => write!(f, "movzx {dst}, {src_width} {src}"),
+            Inst::Movzx {
+                dst,
+                src,
+                src_width,
+            } => write!(f, "movzx {dst}, {src_width} {src}"),
             Inst::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
-            Inst::AluRRm { op, dst, src, width } => {
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 write!(f, "{} {dst}, {width} {src}", op.mnemonic())
             }
-            Inst::AluRmR { op, dst, src, width } => {
+            Inst::AluRmR {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 write!(f, "{} {width} {dst}, {src}", op.mnemonic())
             }
-            Inst::AluRmI { op, dst, imm, width } => {
+            Inst::AluRmI {
+                op,
+                dst,
+                imm,
+                width,
+            } => {
                 write!(f, "{} {width} {dst}, {imm:#x}", op.mnemonic())
             }
             Inst::ShiftRI { op, dst, amount } => write!(f, "{} {dst}, {amount}", op.mnemonic()),
@@ -533,18 +592,33 @@ mod tests {
 
     #[test]
     fn mem_operand_extraction() {
-        let i = Inst::MovRRm { dst: Reg::Rax, src: Rm::Mem(Mem::base(Reg::Rdi)), width: Width::B8 };
+        let i = Inst::MovRRm {
+            dst: Reg::Rax,
+            src: Rm::Mem(Mem::base(Reg::Rdi)),
+            width: Width::B8,
+        };
         assert_eq!(i.mem_operand(), Some(Mem::base(Reg::Rdi)));
-        let lea = Inst::Lea { dst: Reg::Rax, mem: Mem::base(Reg::Rdi) };
+        let lea = Inst::Lea {
+            dst: Reg::Rax,
+            mem: Mem::base(Reg::Rdi),
+        };
         assert_eq!(lea.mem_operand(), None);
-        let rr = Inst::MovRRm { dst: Reg::Rax, src: Rm::Reg(Reg::Rbx), width: Width::B8 };
+        let rr = Inst::MovRRm {
+            dst: Reg::Rax,
+            src: Rm::Reg(Reg::Rbx),
+            width: Width::B8,
+        };
         assert_eq!(rr.mem_operand(), None);
     }
 
     #[test]
     fn terminators() {
         assert!(Inst::Ret.is_terminator());
-        assert!(Inst::Jcc { cond: Cond::E, rel: 0 }.is_terminator());
+        assert!(Inst::Jcc {
+            cond: Cond::E,
+            rel: 0
+        }
+        .is_terminator());
         assert!(!Inst::Nop.is_terminator());
         assert!(!Inst::Syscall.is_terminator());
     }

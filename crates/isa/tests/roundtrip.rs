@@ -21,7 +21,12 @@ fn arb_mem() -> impl Strategy<Value = Mem> {
         // [base + disp]
         (arb_reg(), any::<i32>()).prop_map(|(b, d)| Mem::base_disp(b, d)),
         // [base + index*scale + disp]
-        (arb_reg(), arb_index_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<i32>())
+        (
+            arb_reg(),
+            arb_index_reg(),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            any::<i32>()
+        )
             .prop_map(|(b, i, s, d)| Mem::base_index(b, i, s, d)),
         // [rip + disp]
         any::<i32>().prop_map(Mem::rip),
@@ -60,15 +65,20 @@ fn imm_for(width: Width) -> BoxedStrategy<i32> {
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (arb_reg(), arb_rm(), arb_width())
-            .prop_map(|(dst, src, width)| Inst::MovRRm { dst, src, width }),
-        (arb_rm(), arb_reg(), arb_width())
-            .prop_map(|(dst, src, width)| Inst::MovRmR { dst, src, width }),
+        (arb_reg(), arb_rm(), arb_width()).prop_map(|(dst, src, width)| Inst::MovRRm {
+            dst,
+            src,
+            width
+        }),
+        (arb_rm(), arb_reg(), arb_width()).prop_map(|(dst, src, width)| Inst::MovRmR {
+            dst,
+            src,
+            width
+        }),
         (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
-        (arb_rm(), arb_width())
-            .prop_flat_map(|(dst, width)| {
-                imm_for(width).prop_map(move |imm| Inst::MovRmI { dst, imm, width })
-            }),
+        (arb_rm(), arb_width()).prop_flat_map(|(dst, width)| {
+            imm_for(width).prop_map(move |imm| Inst::MovRmI { dst, imm, width })
+        }),
         (arb_reg(), arb_rm()).prop_map(|(dst, src)| Inst::Movzx {
             dst,
             src,
@@ -81,14 +91,30 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 if op == AluOp::Test {
                     None
                 } else {
-                    Some(Inst::AluRRm { op, dst, src, width })
+                    Some(Inst::AluRRm {
+                        op,
+                        dst,
+                        src,
+                        width,
+                    })
                 }
             }
         ),
-        (arb_alu(), arb_rm(), arb_reg(), arb_width())
-            .prop_map(|(op, dst, src, width)| Inst::AluRmR { op, dst, src, width }),
+        (arb_alu(), arb_rm(), arb_reg(), arb_width()).prop_map(|(op, dst, src, width)| {
+            Inst::AluRmR {
+                op,
+                dst,
+                src,
+                width,
+            }
+        }),
         (arb_alu(), arb_rm(), arb_width()).prop_flat_map(|(op, dst, width)| {
-            imm_for(width).prop_map(move |imm| Inst::AluRmI { op, dst, imm, width })
+            imm_for(width).prop_map(move |imm| Inst::AluRmI {
+                op,
+                dst,
+                imm,
+                width,
+            })
         }),
         (
             prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
@@ -99,8 +125,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         arb_reg().prop_map(Inst::Neg),
         arb_reg().prop_map(Inst::Not),
         (arb_reg(), arb_rm()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
-        (arb_cond(), arb_reg(), arb_rm())
-            .prop_map(|(cond, dst, src)| Inst::Cmov { cond, dst, src }),
+        (arb_cond(), arb_reg(), arb_rm()).prop_map(|(cond, dst, src)| Inst::Cmov {
+            cond,
+            dst,
+            src
+        }),
         (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Xchg(a, b)),
         arb_reg().prop_map(Inst::Push),
         arb_reg().prop_map(Inst::Pop),

@@ -62,8 +62,13 @@ impl Vfs {
         if !self.parent_exists(path) {
             return Err(FsError::NotFound);
         }
-        self.nodes
-            .insert(path.to_string(), Node::File { data: data.to_vec(), mode: 0o644 });
+        self.nodes.insert(
+            path.to_string(),
+            Node::File {
+                data: data.to_vec(),
+                mode: 0o644,
+            },
+        );
         Ok(())
     }
 
@@ -135,7 +140,8 @@ impl Vfs {
         if !self.parent_exists(linkpath) {
             return Err(FsError::NotFound);
         }
-        self.nodes.insert(linkpath.to_string(), Node::Symlink(target.to_string()));
+        self.nodes
+            .insert(linkpath.to_string(), Node::Symlink(target.to_string()));
         Ok(())
     }
 

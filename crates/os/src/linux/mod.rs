@@ -148,9 +148,14 @@ impl LinuxProc {
     pub fn load(image: &ElfImage) -> LinuxProc {
         let mut mem = Memory::new();
         for seg in &image.segments {
-            let prot = Prot { r: seg.perm.r, w: seg.perm.w, x: seg.perm.x };
+            let prot = Prot {
+                r: seg.perm.r,
+                w: seg.perm.w,
+                x: seg.perm.x,
+            };
             mem.map(seg.vaddr, seg.memsz.max(seg.data.len() as u64), prot);
-            mem.poke(seg.vaddr, &seg.data).expect("segment fits its mapping");
+            mem.poke(seg.vaddr, &seg.data)
+                .expect("segment fits its mapping");
         }
         mem.map(STACK_TOP - STACK_SIZE, STACK_SIZE, Prot::RW);
         let mut cpu = Cpu::new();
@@ -170,7 +175,11 @@ impl LinuxProc {
                 pending: None,
                 timer_fired: false,
             }],
-            fds: vec![Some(FdObj::Console), Some(FdObj::Console), Some(FdObj::Console)],
+            fds: vec![
+                Some(FdObj::Console),
+                Some(FdObj::Console),
+                Some(FdObj::Console),
+            ],
             sig_handlers: HashMap::new(),
             next_tid: 1,
             mmap_next: MMAP_BASE,
@@ -297,7 +306,11 @@ impl LinuxProc {
     fn deliver_fault(&mut self, idx: usize, fault: Option<Fault>) {
         let tid = self.threads[idx].tid;
         let rip = self.threads[idx].cpu.rip;
-        let signal = if fault.is_some() { SIGSEGV } else { 4 /* SIGILL */ };
+        let signal = if fault.is_some() {
+            SIGSEGV
+        } else {
+            4 /* SIGILL */
+        };
         if let Some(&handler) = self.sig_handlers.get(&signal) {
             // Minimal signal delivery: jump to the handler with the signal
             // number in rdi. (No sigreturn — handlers in our targets
@@ -307,7 +320,12 @@ impl LinuxProc {
             cpu.rip = handler;
             return;
         }
-        self.crashed = Some(CrashInfo { tid, rip, fault, signal });
+        self.crashed = Some(CrashInfo {
+            tid,
+            rip,
+            fault,
+            signal,
+        });
     }
 
     fn pick_thread(&mut self) -> Option<usize> {
@@ -325,7 +343,9 @@ impl LinuxProc {
         self.threads
             .iter()
             .filter_map(|t| match t.state {
-                ThreadState::Blocked { deadline: Some(d), .. } => Some(d),
+                ThreadState::Blocked {
+                    deadline: Some(d), ..
+                } => Some(d),
                 _ => None,
             })
             .min()
@@ -335,7 +355,9 @@ impl LinuxProc {
         let vtime = self.vtime;
         let mut to_wake = Vec::new();
         for (i, t) in self.threads.iter().enumerate() {
-            let ThreadState::Blocked { wait, deadline } = t.state else { continue };
+            let ThreadState::Blocked { wait, deadline } = t.state else {
+                continue;
+            };
             let timer_fired = deadline.map(|d| vtime >= d).unwrap_or(false);
             let ready = match wait {
                 Wait::ConnReadable(id) => self.net.server_readable(id),
@@ -361,9 +383,10 @@ impl LinuxProc {
             .iter()
             .filter(|(fd, _)| match self.fds.get(*fd as usize) {
                 Some(Some(FdObj::Conn(id))) => self.net.server_readable(*id),
-                Some(Some(FdObj::Socket { port: Some(p), listening: true })) => {
-                    self.net.has_pending(*p)
-                }
+                Some(Some(FdObj::Socket {
+                    port: Some(p),
+                    listening: true,
+                })) => self.net.has_pending(*p),
                 _ => false,
             })
             .count()
@@ -384,9 +407,7 @@ impl LinuxProc {
         let mut out = Vec::new();
         for i in 0..4096 {
             let mut b = [0u8];
-            self.mem
-                .read(ptr + i, &mut b)
-                .map_err(|_| -errno::EFAULT)?;
+            self.mem.read(ptr + i, &mut b).map_err(|_| -errno::EFAULT)?;
             if b[0] == 0 {
                 return Ok(String::from_utf8_lossy(&out).into_owned());
             }
@@ -490,7 +511,11 @@ impl LinuxProc {
                     (Ok(iov), Ok(iovlen)) if iovlen >= 1 => {
                         match (self.mem.read_u64(iov), self.mem.read_u64(iov + 8)) {
                             (Ok(base), Ok(len)) => {
-                                let fwd = if nr_ == nr::SENDMSG { nr::WRITE } else { nr::READ };
+                                let fwd = if nr_ == nr::SENDMSG {
+                                    nr::WRITE
+                                } else {
+                                    nr::READ
+                                };
                                 let a2 = [fd as u64, base, len, 0, 0, 0];
                                 return self.dispatch(idx, fwd, a2, hook);
                             }
@@ -533,7 +558,10 @@ impl LinuxProc {
                     _ => -errno::EBADF,
                 }
             }
-            nr::SOCKET => self.alloc_fd(FdObj::Socket { port: None, listening: false }),
+            nr::SOCKET => self.alloc_fd(FdObj::Socket {
+                port: None,
+                listening: false,
+            }),
             nr::BIND => {
                 let (fd, addr) = (args[0] as usize, args[1]);
                 let mut sa = [0u8; 4];
@@ -553,7 +581,10 @@ impl LinuxProc {
             nr::LISTEN => {
                 let fd = args[0] as usize;
                 match self.fds.get_mut(fd) {
-                    Some(Some(FdObj::Socket { port: Some(p), listening })) => {
+                    Some(Some(FdObj::Socket {
+                        port: Some(p),
+                        listening,
+                    })) => {
                         *listening = true;
                         let p = *p;
                         self.net.listen(p);
@@ -581,7 +612,9 @@ impl LinuxProc {
                                     self.alloc_fd(FdObj::Conn(id))
                                 }
                                 None if nonblock => -errno::EAGAIN,
-                                None => return self.block(idx, nr_, args, Wait::Accept(port), None),
+                                None => {
+                                    return self.block(idx, nr_, args, Wait::Accept(port), None)
+                                }
                             }
                         }
                     }
@@ -597,7 +630,9 @@ impl LinuxProc {
                     -errno::ECONNREFUSED
                 }
             }
-            nr::EPOLL_CREATE1 => self.alloc_fd(FdObj::Epoll { interests: Vec::new() }),
+            nr::EPOLL_CREATE1 => self.alloc_fd(FdObj::Epoll {
+                interests: Vec::new(),
+            }),
             nr::EPOLL_CTL => {
                 let (epfd, op, fd, event) = (args[0] as usize, args[1], args[2] as i32, args[3]);
                 let data = if op == 2 {
@@ -723,7 +758,11 @@ impl LinuxProc {
                 self.mem.protect(
                     args[0],
                     args[1],
-                    Prot { r: prot & 1 != 0, w: prot & 2 != 0, x: prot & 4 != 0 },
+                    Prot {
+                        r: prot & 1 != 0,
+                        w: prot & 2 != 0,
+                        x: prot & 4 != 0,
+                    },
                 );
                 0
             }
@@ -805,9 +844,10 @@ impl LinuxProc {
             }
             let ready = match self.fds.get(fd as usize) {
                 Some(Some(FdObj::Conn(id))) => self.net.server_readable(*id),
-                Some(Some(FdObj::Socket { port: Some(p), listening: true })) => {
-                    self.net.has_pending(*p)
-                }
+                Some(Some(FdObj::Socket {
+                    port: Some(p),
+                    listening: true,
+                })) => self.net.has_pending(*p),
                 _ => false,
             };
             if ready {
@@ -825,7 +865,10 @@ impl LinuxProc {
             Some(FdObj::Console) => Some(FdKind::Console),
             Some(FdObj::Conn(id)) => Some(FdKind::Conn(*id)),
             Some(FdObj::File { .. }) => Some(FdKind::File),
-            Some(FdObj::Socket { port: Some(p), listening: true }) => Some(FdKind::Listener(*p)),
+            Some(FdObj::Socket {
+                port: Some(p),
+                listening: true,
+            }) => Some(FdKind::Listener(*p)),
             Some(FdObj::Socket { .. }) => Some(FdKind::Socket),
             Some(FdObj::Epoll { .. }) => Some(FdKind::Epoll),
             None => None,

@@ -70,7 +70,10 @@ impl VirtualNet {
 
     /// Whether `port` has a connection waiting to be accepted.
     pub fn has_pending(&self, port: u16) -> bool {
-        self.backlog.get(&port).map(|q| !q.is_empty()).unwrap_or(false)
+        self.backlog
+            .get(&port)
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
     }
 
     /// Driver side: send bytes to the server.
@@ -82,7 +85,9 @@ impl VirtualNet {
 
     /// Driver side: read up to `max` response bytes.
     pub fn client_recv(&mut self, id: ConnId, max: usize) -> Vec<u8> {
-        let Some(c) = self.conns.get_mut(&id) else { return Vec::new() };
+        let Some(c) = self.conns.get_mut(&id) else {
+            return Vec::new();
+        };
         let n = max.min(c.to_client.len());
         c.to_client.drain(..n).collect()
     }

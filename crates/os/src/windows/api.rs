@@ -154,11 +154,18 @@ impl ApiTable {
             let has_ptr = args.iter().any(|a| a.is_pointer());
             // ~3.5% of pointer-taking functions are graceful.
             let behavior = if has_ptr && rng.gen_bool(0.035) {
-                ApiBehavior::Graceful { error_ret: 0, success_ret: 1 }
+                ApiBehavior::Graceful {
+                    error_ret: 0,
+                    success_ret: 1,
+                }
             } else {
                 ApiBehavior::RawDeref { success_ret: 1 }
             };
-            specs.push(ApiSpec { name: format!("ApiFn{i:05}"), args, behavior });
+            specs.push(ApiSpec {
+                name: format!("ApiFn{i:05}"),
+                args,
+                behavior,
+            });
         }
         let by_name = specs
             .iter()
@@ -256,7 +263,12 @@ fn curated() -> Vec<ApiSpec> {
         },
         ApiSpec {
             name: "WriteConsoleA".into(),
-            args: vec![A::Scalar, A::PtrIn { len: 1 }, A::Scalar, A::PtrOut { len: 4 }],
+            args: vec![
+                A::Scalar,
+                A::PtrIn { len: 1 },
+                A::Scalar,
+                A::PtrOut { len: 4 },
+            ],
             behavior: B::Special(SpecialApi::WriteConsole),
         },
         ApiSpec {
@@ -271,18 +283,31 @@ fn curated() -> Vec<ApiSpec> {
         },
         ApiSpec {
             name: "ReadFile".into(),
-            args: vec![A::Scalar, A::PtrOut { len: 64 }, A::Scalar, A::PtrOut { len: 4 }],
+            args: vec![
+                A::Scalar,
+                A::PtrOut { len: 64 },
+                A::Scalar,
+                A::PtrOut { len: 4 },
+            ],
             behavior: B::RawDeref { success_ret: 1 },
         },
         ApiSpec {
             name: "WriteFile".into(),
-            args: vec![A::Scalar, A::PtrIn { len: 64 }, A::Scalar, A::PtrOut { len: 4 }],
+            args: vec![
+                A::Scalar,
+                A::PtrIn { len: 64 },
+                A::Scalar,
+                A::PtrOut { len: 4 },
+            ],
             behavior: B::RawDeref { success_ret: 1 },
         },
         ApiSpec {
             name: "IsBadReadPtr".into(),
             args: vec![A::PtrIn { len: 1 }, A::Scalar],
-            behavior: B::Graceful { error_ret: 1, success_ret: 0 },
+            behavior: B::Graceful {
+                error_ret: 1,
+                success_ret: 0,
+            },
         },
         ApiSpec {
             // User→kernel→user callback path: faults are swallowed with no
@@ -311,7 +336,10 @@ pub enum ApiOutcome {
 /// (run loop or fuzzer) interprets the outcome.
 pub fn execute_api(spec: &ApiSpec, args: [u64; 4], mem: &mut Memory, vtime: u64) -> ApiOutcome {
     match spec.behavior {
-        ApiBehavior::Graceful { error_ret, success_ret } => {
+        ApiBehavior::Graceful {
+            error_ret,
+            success_ret,
+        } => {
             for (i, a) in spec.args.iter().enumerate() {
                 let ptr = args[i];
                 match a {
@@ -399,10 +427,10 @@ fn execute_special(s: SpecialApi, args: [u64; 4], mem: &mut Memory, vtime: u64) 
             let (state, protect) = match mem.prot_at(addr) {
                 Some(p) => {
                     let prot = match (p.r, p.w, p.x) {
-                        (true, true, _) => 0x04u32,  // PAGE_READWRITE
-                        (true, false, true) => 0x20, // PAGE_EXECUTE_READ
+                        (true, true, _) => 0x04u32,   // PAGE_READWRITE
+                        (true, false, true) => 0x20,  // PAGE_EXECUTE_READ
                         (true, false, false) => 0x02, // PAGE_READONLY
-                        _ => 0x01,                   // PAGE_NOACCESS
+                        _ => 0x01,                    // PAGE_NOACCESS
                     };
                     (0x1000u32, prot) // MEM_COMMIT
                 }
@@ -499,9 +527,7 @@ mod tests {
         let graceful = t
             .specs()
             .iter()
-            .filter(|s| {
-                s.has_pointer_arg() && matches!(s.behavior, ApiBehavior::Graceful { .. })
-            })
+            .filter(|s| s.has_pointer_arg() && matches!(s.behavior, ApiBehavior::Graceful { .. }))
             .count();
         assert!(graceful > 0, "some graceful functions must exist");
     }
@@ -582,12 +608,18 @@ mod tests {
         let mut mem = Memory::new();
         mem.map(0x5000, 0x1000, Prot::RW); // buf
         mem.map(0x9000, 0x1000, Prot::RX); // probed region
-        // Probe mapped memory.
-        assert_eq!(execute_api(spec, [0x9000, 0x5000, 48, 0], &mut mem, 0), ApiOutcome::Returned(48));
+                                           // Probe mapped memory.
+        assert_eq!(
+            execute_api(spec, [0x9000, 0x5000, 48, 0], &mut mem, 0),
+            ApiOutcome::Returned(48)
+        );
         let state = mem.read_width(0x5000 + 32, 4).unwrap() as u32;
         assert_eq!(state, 0x1000, "MEM_COMMIT");
         // Probe unmapped memory — still no fault, different answer.
-        assert_eq!(execute_api(spec, [0xdead_0000, 0x5000, 48, 0], &mut mem, 0), ApiOutcome::Returned(48));
+        assert_eq!(
+            execute_api(spec, [0xdead_0000, 0x5000, 48, 0], &mut mem, 0),
+            ApiOutcome::Returned(48)
+        );
         let state = mem.read_width(0x5000 + 32, 4).unwrap() as u32;
         assert_eq!(state, 0x10000, "MEM_FREE");
     }
@@ -595,13 +627,20 @@ mod tests {
     #[test]
     fn enter_critical_section_probes_debug_info() {
         let t = ApiTable::curated_only();
-        let spec = t.specs().iter().find(|s| s.name == "EnterCriticalSection").unwrap();
+        let spec = t
+            .specs()
+            .iter()
+            .find(|s| s.name == "EnterCriticalSection")
+            .unwrap();
         let mut mem = Memory::new();
         mem.map(0x5000, 0x1000, Prot::RW);
         // Benign CS: no forced circumstances → no probe, lock taken.
         mem.write_u64(0x5000, 0xdead_0000).unwrap(); // DebugInfo (bad!)
         mem.write(0x5008, &(-1i32).to_le_bytes()).unwrap(); // LockCount free
-        assert_eq!(execute_api(spec, [0x5000, 0, 0, 0], &mut mem, 0), ApiOutcome::Returned(0));
+        assert_eq!(
+            execute_api(spec, [0x5000, 0, 0, 0], &mut mem, 0),
+            ApiOutcome::Returned(0)
+        );
         // Forced circumstances: LockCount = -2 → probes DebugInfo+0x10.
         mem.write(0x5008, &(-2i32).to_le_bytes()).unwrap();
         mem.write(0x5010, &0i32.to_le_bytes()).unwrap();

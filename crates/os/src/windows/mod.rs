@@ -205,7 +205,11 @@ impl WinProc {
         for s in &image.sections {
             let va = image.image_base + s.rva as u64;
             let size = s.virtual_size.max(s.data.len() as u32) as u64;
-            let prot = Prot { r: s.perm.r, w: s.perm.w, x: s.perm.x };
+            let prot = Prot {
+                r: s.perm.r,
+                w: s.perm.w,
+                x: s.perm.x,
+            };
             self.mem.map(va, size.max(1), prot);
             self.mem.poke(va, &s.data).expect("section fits");
         }
@@ -253,7 +257,12 @@ impl WinProc {
         let rsp = stack_top - 0x40;
         cpu.set_reg(cr_isa::Reg::Rsp, rsp);
         self.mem.write_u64(rsp, TRAP_PAGE).expect("stack mapped");
-        self.threads.push(WinThread { tid, cpu, state: TState::Runnable, stack_top });
+        self.threads.push(WinThread {
+            tid,
+            cpu,
+            state: TState::Runnable,
+            stack_top,
+        });
         tid
     }
 
@@ -287,7 +296,12 @@ impl WinProc {
             cpu.rip = addr;
             let mut rsp = stack_top - 0x100;
             for (i, &a) in args.iter().enumerate().take(4) {
-                let regs = [cr_isa::Reg::Rcx, cr_isa::Reg::Rdx, cr_isa::Reg::R8, cr_isa::Reg::R9];
+                let regs = [
+                    cr_isa::Reg::Rcx,
+                    cr_isa::Reg::Rdx,
+                    cr_isa::Reg::R8,
+                    cr_isa::Reg::R9,
+                ];
                 cpu.set_reg(regs[i], a);
             }
             rsp -= 8;
@@ -491,11 +505,14 @@ impl WinProc {
         let mut resume_skip = false;
 
         // §VII-C policy: an access to unmapped memory is always fatal.
-        let policy_blocks = self.strict_unmapped_policy
-            && matches!(fault, Some(f) if !f.mapped);
+        let policy_blocks = self.strict_unmapped_policy && matches!(fault, Some(f) if !f.mapped);
 
         // 1. Vectored handlers (runtime-registered, process-wide).
-        for h in if policy_blocks { Vec::new() } else { self.veh.clone() } {
+        for h in if policy_blocks {
+            Vec::new()
+        } else {
+            self.veh.clone()
+        } {
             let verdict = self.run_handler_code(h, code, fault);
             if verdict == -1 {
                 // EXCEPTION_CONTINUE_EXECUTION: the handler repaired the

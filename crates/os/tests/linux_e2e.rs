@@ -53,7 +53,7 @@ fn echo_server() -> ElfImage {
     let done = a.fresh();
     a.cmp_ri(Rax, 0);
     a.jcc(Cond::Le, done); // error or EOF → exit gracefully
-    // write(r13, rsp+16, n)
+                           // write(r13, rsp+16, n)
     a.mov_rr(Rdx, Rax);
     a.mov_ri(Rax, nr::WRITE);
     a.mov_rr(Rdi, R13);
@@ -128,8 +128,12 @@ fn corrupted_read_pointer_yields_efault_not_crash() {
     let conn = p.net.client_connect(8080).unwrap();
     p.run(1_000_000, &mut NullHook);
     p.net.client_send(conn, b"probe");
-    let mut mon =
-        PointerCorruptor { target_nr: nr::READ, bad_addr: 0xdead_0000, fired: false, efaults_seen: 0 };
+    let mut mon = PointerCorruptor {
+        target_nr: nr::READ,
+        bad_addr: 0xdead_0000,
+        fired: false,
+        efaults_seen: 0,
+    };
     let exit = p.run(1_000_000, &mut mon);
     // The kernel reported EFAULT; the server's error path exited
     // gracefully. Crucially: NOT Crashed.
@@ -251,7 +255,11 @@ fn epoll_timeout_advances_virtual_time() {
     };
     let mut p = LinuxProc::load(&img);
     assert_eq!(p.run(1_000_000, &mut NullHook), RunExit::Exited(0));
-    assert!(p.vtime >= 5000, "virtual time must cover the timeout, got {}", p.vtime);
+    assert!(
+        p.vtime >= 5000,
+        "virtual time must cover the timeout, got {}",
+        p.vtime
+    );
 }
 
 #[test]

@@ -4,8 +4,8 @@
 
 use cr_image::{FilterRef, Machine, PeBuilder, PeImage, ScopeEntry};
 use cr_isa::{Asm, Cond, Inst, Mem as M, Reg, Rm, Width};
-use cr_os::windows::{CallOutcome, WinProc, STATUS_ACCESS_VIOLATION};
 use cr_os::windows::api::ApiTable;
+use cr_os::windows::{CallOutcome, WinProc, STATUS_ACCESS_VIOLATION};
 use cr_vm::NullHook;
 use Reg::*;
 
@@ -46,7 +46,11 @@ fn probe_dll() -> PeImage {
     // Filter: accept only access violations.
     a.global("FilterAvOnly");
     a.load(Rax, M::base(Rcx)); // rax = &EXCEPTION_RECORD
-    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+    a.inst(Inst::MovRRm {
+        dst: Rax,
+        src: Rm::Mem(M::base(Rax)),
+        width: Width::B4,
+    });
     a.inst(Inst::AluRmI {
         op: cr_isa::AluOp::Cmp,
         dst: Rm::Reg(Rax),
@@ -66,7 +70,12 @@ fn probe_dll() -> PeImage {
     let rva = |name: &str| (asm.sym(name) - BASE) as u32;
     let mut b = PeBuilder::new("probe.dll", Machine::X64, BASE);
     b.entry(rva("ProbeGuarded"));
-    for name in ["ProbeGuarded", "ProbeFiltered", "ProbeUnguarded", "FilterAvOnly"] {
+    for name in [
+        "ProbeGuarded",
+        "ProbeFiltered",
+        "ProbeUnguarded",
+        "FilterAvOnly",
+    ] {
         b.export(name, rva(name));
     }
     b.function_with_seh(
@@ -170,7 +179,11 @@ fn veh_handler_swallows_fault() {
     let mut a = Asm::new(0x2_0000_0000);
     a.global("veh");
     a.load(Rax, M::base(Rcx));
-    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+    a.inst(Inst::MovRRm {
+        dst: Rax,
+        src: Rm::Mem(M::base(Rax)),
+        width: Width::B4,
+    });
     a.inst(Inst::AluRmI {
         op: cr_isa::AluOp::Cmp,
         dst: Rm::Reg(Rax),
@@ -212,7 +225,11 @@ fn api_dispatch_and_virtual_query_oracle() {
     a.call_reg(Rax);
     // return the State dword
     a.mov_ri(Rdx, 0x3_0000_2000 + 32);
-    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rdx)), width: Width::B4 });
+    a.inst(Inst::MovRRm {
+        dst: Rax,
+        src: Rm::Mem(M::base(Rdx)),
+        width: Width::B4,
+    });
     a.ret();
     let code = a.assemble().unwrap();
 
@@ -276,7 +293,10 @@ fn sleep_api_advances_time() {
         CallOutcome::Returned(_) => {}
         other => panic!("{other:?}"),
     }
-    assert!(p.vtime - before >= 3000, "Sleep(3) must advance ≥3000 steps");
+    assert!(
+        p.vtime - before >= 3000,
+        "Sleep(3) must advance ≥3000 steps"
+    );
 }
 
 #[test]

@@ -1,0 +1,137 @@
+//! Offline `criterion` subset.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! `bench_function`, `benchmark_group` + `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple best-of-batches wall-clock timer printed as `ns/iter`; there
+//! is no statistical analysis. `--test` (passed by `cargo bench --
+//! --test` and by `cargo test` over harness-less bench targets) runs
+//! each bench exactly once for correctness checking.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per bench in measurement mode.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode, sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            best_ns: f64::INFINITY,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test bench {name} ... ok");
+        } else {
+            println!("bench {name:<40} {:>12.1} ns/iter ({} iters)", b.best_ns, b.iters);
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample size for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (restores the default sample size).
+    pub fn finish(self) {
+        self.criterion.sample_size = 30;
+    }
+}
+
+/// Per-bench measurement interface.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure the closure, keeping the best observed per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.best_ns = 0.0;
+            return;
+        }
+        let deadline = Instant::now() + TIME_BUDGET;
+        let mut total_iters = 0u64;
+        let mut best = f64::INFINITY;
+        while total_iters < self.sample_size as u64 && Instant::now() < deadline {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            best = best.min(ns.max(1.0));
+            total_iters += 1;
+        }
+        self.best_ns = best;
+        self.iters = total_iters.max(1);
+    }
+}
+
+/// Re-export matching criterion's helper.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

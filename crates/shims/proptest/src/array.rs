@@ -1,0 +1,22 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Four values from the same strategy as a `[T; 4]`.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform<S, 4> {
+    Uniform { element }
+}
+
+/// Strategy for `[S::Value; N]`.
+#[derive(Clone)]
+pub struct Uniform<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::fmt;
+
+/// Uniform choice from a slice of values.
+pub fn select<T: Clone + fmt::Debug + 'static>(values: &[T]) -> Select<T> {
+    assert!(!values.is_empty(), "select() needs at least one value");
+    Select { values: values.to_vec() }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len())].clone()
+    }
+}

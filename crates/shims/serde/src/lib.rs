@@ -1,0 +1,274 @@
+//! Offline `serde` subset: JSON serialization only.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of serde it uses: `#[derive(serde::Serialize)]` plus a
+//! [`Serialize`] trait that renders **canonical JSON** (object keys in
+//! declaration order, no whitespace, `\u` escapes for control
+//! characters). Enum representation matches serde's external tagging:
+//!
+//! * unit variant → `"Name"`
+//! * newtype variant → `{"Name":value}`
+//! * struct/tuple variant → `{"Name":{...}}` / `{"Name":[...]}`
+//!
+//! Canonical output matters here: the campaign engine content-addresses
+//! cached analyses by hashing exactly these bytes.
+
+#![forbid(unsafe_code)]
+
+// Let macro-generated `::serde::` paths resolve inside this crate's own
+// tests as well as in downstream crates.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// JSON serialization, serde-compatible in shape.
+pub trait Serialize {
+    /// Append this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value's JSON rendering as an owned string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Escape and append one JSON string body (no surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        escape_into(self, out);
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Always include a decimal point so the value re-parses as
+            // floating-point.
+            let s = format!("{self}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.write_json(out),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+fn write_map<'a, K: AsRef<str> + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        k.as_ref().write_json(out);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: AsRef<str> + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+impl<K: AsRef<str> + Ord + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        // Deterministic output regardless of hasher state.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write_map(entries.into_iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_strings() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\n".to_json(), "\"a\\\"b\\n\"");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(2.0f64.to_json(), "2.0");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        let m: BTreeMap<String, usize> =
+            [("b".to_string(), 2), ("a".to_string(), 1)].into_iter().collect();
+        assert_eq!(m.to_json(), "{\"a\":1,\"b\":2}");
+        assert_eq!(Some(5u32).to_json(), "5");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+    }
+
+    #[derive(Serialize)]
+    struct Point {
+        x: u64,
+        y: Vec<u64>,
+    }
+
+    #[derive(Serialize)]
+    enum Verdict {
+        Plain,
+        Accepts { witness: u64 },
+        Reason(&'static str),
+        Pair(u32, u32),
+    }
+
+    #[derive(Serialize)]
+    struct Unit;
+
+    #[derive(Serialize)]
+    struct Wrap(u64, bool);
+
+    #[test]
+    fn derived_struct() {
+        assert_eq!(Point { x: 1, y: vec![2, 3] }.to_json(), "{\"x\":1,\"y\":[2,3]}");
+        assert_eq!(Unit.to_json(), "null");
+        assert_eq!(Wrap(9, false).to_json(), "[9,false]");
+    }
+
+    #[test]
+    fn derived_enum_external_tagging() {
+        assert_eq!(Verdict::Plain.to_json(), "\"Plain\"");
+        assert_eq!(Verdict::Accepts { witness: 7 }.to_json(), "{\"Accepts\":{\"witness\":7}}");
+        assert_eq!(Verdict::Reason("x").to_json(), "{\"Reason\":\"x\"}");
+        assert_eq!(Verdict::Pair(1, 2).to_json(), "{\"Pair\":[1,2]}");
+    }
+}

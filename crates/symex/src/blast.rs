@@ -10,6 +10,19 @@ use crate::expr::{mask_of, BinOp, BoolExpr, CmpOp, Expr};
 use crate::sat::{solve, Cnf, SolveOutcome};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`check`] invocations.
+///
+/// Lets harnesses (the campaign engine's warm-cache acceptance check,
+/// benchmarks) assert how much solver work a pipeline actually did —
+/// e.g. that a fully cached rerun performs **zero** solver calls.
+static SOLVER_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total satisfiability checks performed by this process so far.
+pub fn solver_calls() -> u64 {
+    SOLVER_CALLS.load(Ordering::Relaxed)
+}
 
 /// A satisfying assignment: variable name → value.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,6 +63,7 @@ impl SatResult {
 
 /// Check satisfiability of the conjunction of `constraints`.
 pub fn check(constraints: &[BoolExpr]) -> SatResult {
+    SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
     let mut b = Blaster::new();
     let mut roots = Vec::new();
     for c in constraints {
@@ -101,7 +115,12 @@ impl Blaster {
         let mut cnf = Cnf::new();
         let t = cnf.fresh();
         cnf.clause(&[t]);
-        Blaster { cnf, t, vars: HashMap::new(), cache: HashMap::new() }
+        Blaster {
+            cnf,
+            t,
+            vars: HashMap::new(),
+            cache: HashMap::new(),
+        }
     }
 
     fn lit_false(&self) -> i32 {
@@ -212,7 +231,7 @@ impl Blaster {
                     BinOp::Shl | BinOp::Shr => {
                         let n: usize = b.as_const().ok_or("shift by non-constant amount")? as usize;
                         let mut out = vec![self.lit_false(); 64];
-                        for i in 0..64usize {
+                        for (i, o) in out.iter_mut().enumerate() {
                             let src = if *op == BinOp::Shl {
                                 i.checked_sub(n)
                             } else {
@@ -220,7 +239,7 @@ impl Blaster {
                                 (j < 64).then_some(j)
                             };
                             if let Some(s) = src {
-                                out[i] = ab[s];
+                                *o = ab[s];
                             }
                         }
                         out
@@ -384,10 +403,15 @@ mod tests {
         let x = Expr::var("x", 32);
         let sh = Expr::bin(BinOp::Shr, x.clone(), Expr::c(28));
         // high nibble == 0xC constrains x's top bits.
-        let cs = [eq64(sh, Expr::c(0xC)), eq64(x.clone(), Expr::c(0xC000_0005))];
+        let cs = [
+            eq64(sh, Expr::c(0xC)),
+            eq64(x.clone(), Expr::c(0xC000_0005)),
+        ];
         assert!(check(&cs).is_sat());
-        let cs = [eq64(Expr::bin(BinOp::Shr, x.clone(), Expr::c(28)), Expr::c(0xC)),
-                  eq64(x, Expr::c(0x1000_0005))];
+        let cs = [
+            eq64(Expr::bin(BinOp::Shr, x.clone(), Expr::c(28)), Expr::c(0xC)),
+            eq64(x, Expr::c(0x1000_0005)),
+        ];
         assert_eq!(check(&cs), SatResult::Unsat);
     }
 
@@ -407,10 +431,7 @@ mod tests {
         // (x == 1 ∨ x == 2) ∧ ¬(x == 1) → x == 2.
         let x = Expr::var("x", 32);
         let c = BoolExpr::and(
-            BoolExpr::or(
-                eq64(x.clone(), Expr::c(1)),
-                eq64(x.clone(), Expr::c(2)),
-            ),
+            BoolExpr::or(eq64(x.clone(), Expr::c(1)), eq64(x.clone(), Expr::c(2))),
             BoolExpr::not(eq64(x, Expr::c(1))),
         );
         match check(&[c]) {

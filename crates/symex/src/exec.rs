@@ -41,7 +41,9 @@ pub trait CodeSource {
 impl CodeSource for (u64, &[u8]) {
     fn read_code(&self, va: u64, buf: &mut [u8]) -> usize {
         let (base, bytes) = self;
-        let Some(off) = va.checked_sub(*base) else { return 0 };
+        let Some(off) = va.checked_sub(*base) else {
+            return 0;
+        };
         let off = off as usize;
         if off >= bytes.len() {
             return 0;
@@ -53,7 +55,7 @@ impl CodeSource for (u64, &[u8]) {
 }
 
 /// Verdict for one filter function.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum FilterVerdict {
     /// Some path handles an access violation (returns ≠ 0). The witness
     /// model pins the symbolic exception-record fields.
@@ -71,7 +73,7 @@ pub enum FilterVerdict {
 }
 
 /// Result of analyzing one filter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct FilterAnalysis {
     /// The verdict.
     pub verdict: FilterVerdict,
@@ -131,7 +133,14 @@ impl SymState {
         mem.insert(RECORD_ADDR + 0x18, (Expr::var("num_params", 32), 32));
         mem.insert(RECORD_ADDR + 0x20, (Expr::var("info0", 64), 64));
         mem.insert(RECORD_ADDR + 0x28, (Expr::var("info1", 64), 64));
-        SymState { regs, mem, flags: None, path: Vec::new(), rip: entry, steps: 0 }
+        SymState {
+            regs,
+            mem,
+            flags: None,
+            path: Vec::new(),
+            rip: entry,
+            steps: 0,
+        }
     }
 
     fn reg(&self, r: Reg) -> Rc<Expr> {
@@ -144,7 +153,10 @@ impl SymState {
 }
 
 enum PathEnd {
-    Ret { value: Rc<Expr>, path: Vec<BoolExpr> },
+    Ret {
+        value: Rc<Expr>,
+        path: Vec<BoolExpr>,
+    },
     Aborted(&'static str),
 }
 
@@ -159,7 +171,10 @@ pub struct SymExec {
 
 impl Default for SymExec {
     fn default() -> Self {
-        SymExec { max_paths: 64, max_steps: 512 }
+        SymExec {
+            max_paths: 64,
+            max_steps: 512,
+        }
     }
 }
 
@@ -200,7 +215,9 @@ impl SymExec {
                     StepOut::Fork(cond) => {
                         // True branch.
                         let next = st.rip.wrapping_add(d.len as u64);
-                        let Inst::Jcc { rel, .. } = d.inst else { unreachable!() };
+                        let Inst::Jcc { rel, .. } = d.inst else {
+                            unreachable!()
+                        };
                         let mut taken = st.clone();
                         taken.path.push(cond.clone());
                         taken.rip = next.wrapping_add(rel as i64 as u64);
@@ -254,7 +271,12 @@ impl SymExec {
             None if completed == 0 => FilterVerdict::Unknown("no complete path"),
             None => FilterVerdict::RejectsAccessViolation,
         };
-        FilterAnalysis { verdict, completed_paths: completed, aborted_paths: aborted, steps: total_steps }
+        FilterAnalysis {
+            verdict,
+            completed_paths: completed,
+            aborted_paths: aborted,
+            steps: total_steps,
+        }
     }
 
     fn step(&self, st: &mut SymState, inst: &Inst, len: usize, fresh: &mut u32) -> StepOut {
@@ -334,7 +356,12 @@ impl SymExec {
                 let e = ea_symbolic(st, &mem, next);
                 st.set_reg(dst, e);
             }
-            Inst::AluRRm { op, dst, src, width } => {
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 let a = width_read(st.reg(dst), width);
                 let b = match src {
                     Rm::Reg(r) => width_read(st.reg(r), width),
@@ -343,12 +370,22 @@ impl SymExec {
                         load(st, ea, width, fresh)
                     }
                 };
-                st.flags = Some(FlagsDef { op, a: a.clone(), b: b.clone(), width: width_bits(width) });
+                st.flags = Some(FlagsDef {
+                    op,
+                    a: a.clone(),
+                    b: b.clone(),
+                    width: width_bits(width),
+                });
                 if op.writes_dst() {
                     st.set_reg(dst, apply_alu(op, a, b, width));
                 }
             }
-            Inst::AluRmR { op, dst, src, width } => {
+            Inst::AluRmR {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 let b = width_read(st.reg(src), width);
                 let a = match dst {
                     Rm::Reg(r) => width_read(st.reg(r), width),
@@ -357,7 +394,12 @@ impl SymExec {
                         load(st, ea, width, fresh)
                     }
                 };
-                st.flags = Some(FlagsDef { op, a: a.clone(), b: b.clone(), width: width_bits(width) });
+                st.flags = Some(FlagsDef {
+                    op,
+                    a: a.clone(),
+                    b: b.clone(),
+                    width: width_bits(width),
+                });
                 if op.writes_dst() {
                     let r = apply_alu(op, a, b, width);
                     match dst {
@@ -369,7 +411,12 @@ impl SymExec {
                     }
                 }
             }
-            Inst::AluRmI { op, dst, imm, width } => {
+            Inst::AluRmI {
+                op,
+                dst,
+                imm,
+                width,
+            } => {
                 let b = Expr::c((imm as i64 as u64) & width_mask(width));
                 let a = match dst {
                     Rm::Reg(r) => width_read(st.reg(r), width),
@@ -378,7 +425,12 @@ impl SymExec {
                         load(st, ea, width, fresh)
                     }
                 };
-                st.flags = Some(FlagsDef { op, a: a.clone(), b: b.clone(), width: width_bits(width) });
+                st.flags = Some(FlagsDef {
+                    op,
+                    a: a.clone(),
+                    b: b.clone(),
+                    width: width_bits(width),
+                });
                 if op.writes_dst() {
                     let r = apply_alu(op, a, b, width);
                     match dst {
@@ -406,7 +458,12 @@ impl SymExec {
             }
             Inst::Neg(r) => {
                 let v = st.reg(r);
-                st.flags = Some(FlagsDef { op: AluOp::Sub, a: Expr::c(0), b: v.clone(), width: 64 });
+                st.flags = Some(FlagsDef {
+                    op: AluOp::Sub,
+                    a: Expr::c(0),
+                    b: v.clone(),
+                    width: 64,
+                });
                 st.set_reg(r, Expr::bin(BinOp::Sub, Expr::c(0), v));
             }
             Inst::Not(r) => {
@@ -484,7 +541,9 @@ impl SymExec {
                     None => abort!("unsupported condition"),
                     Some(b) => match b.as_const() {
                         Some(true) => {
-                            let Inst::Jcc { rel, .. } = *inst else { unreachable!() };
+                            let Inst::Jcc { rel, .. } = *inst else {
+                                unreachable!()
+                            };
                             st.rip = next.wrapping_add(rel as i64 as u64);
                             return StepOut::Continue;
                         }
@@ -507,7 +566,10 @@ impl SymExec {
             }
             Inst::Ret => {
                 let value = width_read(st.reg(Reg::Rax), Width::B4);
-                return StepOut::End(PathEnd::Ret { value, path: st.path.clone() });
+                return StepOut::End(PathEnd::Ret {
+                    value,
+                    path: st.path.clone(),
+                });
             }
             Inst::Syscall | Inst::Int3 | Inst::Ud2 | Inst::Hlt | Inst::Cpuid => {
                 abort!("system instruction in filter")
@@ -714,7 +776,9 @@ mod tests {
         });
         assert_eq!(
             analyze(&f),
-            FilterVerdict::AcceptsAccessViolation { witness_code: EXCEPTION_ACCESS_VIOLATION }
+            FilterVerdict::AcceptsAccessViolation {
+                witness_code: EXCEPTION_ACCESS_VIOLATION
+            }
         );
     }
 
@@ -749,7 +813,9 @@ mod tests {
         });
         assert_eq!(
             analyze(&f),
-            FilterVerdict::AcceptsAccessViolation { witness_code: EXCEPTION_ACCESS_VIOLATION }
+            FilterVerdict::AcceptsAccessViolation {
+                witness_code: EXCEPTION_ACCESS_VIOLATION
+            }
         );
     }
 
@@ -813,7 +879,10 @@ mod tests {
             a.ret();
         });
         // 0xC0000005 >> 30 == 3, so AV is in the accepted class.
-        assert!(matches!(analyze(&f), FilterVerdict::AcceptsAccessViolation { .. }));
+        assert!(matches!(
+            analyze(&f),
+            FilterVerdict::AcceptsAccessViolation { .. }
+        ));
     }
 
     #[test]
@@ -823,7 +892,10 @@ mod tests {
             a.mov_ri(Reg::Rax, (-1i64) as u64);
             a.ret();
         });
-        assert!(matches!(analyze(&f), FilterVerdict::AcceptsAccessViolation { .. }));
+        assert!(matches!(
+            analyze(&f),
+            FilterVerdict::AcceptsAccessViolation { .. }
+        ));
     }
 
     #[test]
@@ -867,7 +939,10 @@ mod tests {
             a.zero(Reg::Rax);
             a.ret();
         });
-        assert!(matches!(analyze(&f), FilterVerdict::AcceptsAccessViolation { .. }));
+        assert!(matches!(
+            analyze(&f),
+            FilterVerdict::AcceptsAccessViolation { .. }
+        ));
     }
 
     #[test]
@@ -910,7 +985,10 @@ mod tests {
             a.zero(Reg::Rax);
             a.ret();
         });
-        assert!(matches!(analyze(&f), FilterVerdict::AcceptsAccessViolation { .. }));
+        assert!(matches!(
+            analyze(&f),
+            FilterVerdict::AcceptsAccessViolation { .. }
+        ));
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Expr {
     /// Panics if `bits` is 0 or greater than 64.
     pub fn var(name: &str, bits: u32) -> Rc<Expr> {
         assert!((1..=64).contains(&bits), "bits must be in 1..=64");
-        Rc::new(Expr::Var { name: name.to_string(), bits })
+        Rc::new(Expr::Var {
+            name: name.to_string(),
+            bits,
+        })
     }
 
     /// Smart binary constructor with constant folding and light
@@ -78,9 +81,7 @@ impl Expr {
             (BinOp::Sub, _, Expr::Const(0)) => return a,
             (BinOp::And, _, Expr::Const(u64::MAX)) => return a,
             (BinOp::And, Expr::Const(u64::MAX), _) => return b,
-            (BinOp::And, _, Expr::Const(0)) | (BinOp::And, Expr::Const(0), _) => {
-                return Expr::c(0)
-            }
+            (BinOp::And, _, Expr::Const(0)) | (BinOp::And, Expr::Const(0), _) => return Expr::c(0),
             // Masking a variable to at least its own width is a no-op.
             (BinOp::And, Expr::Var { bits, .. }, Expr::Const(m))
                 if *m == mask_of(*bits) || (*m & mask_of(*bits)) == mask_of(*bits) =>
@@ -99,6 +100,7 @@ impl Expr {
     }
 
     /// Bitwise not.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `!`-operator sugar
     pub fn not(a: Rc<Expr>) -> Rc<Expr> {
         if let Expr::Const(x) = &*a {
             return Expr::c(!x);
@@ -365,10 +367,19 @@ mod tests {
 
     #[test]
     fn bool_folding() {
-        assert_eq!(BoolExpr::cmp(CmpOp::Eq, 64, Expr::c(1), Expr::c(1)), BoolExpr::True);
-        assert_eq!(BoolExpr::cmp(CmpOp::Ult, 8, Expr::c(0xFF), Expr::c(1)), BoolExpr::False);
+        assert_eq!(
+            BoolExpr::cmp(CmpOp::Eq, 64, Expr::c(1), Expr::c(1)),
+            BoolExpr::True
+        );
+        assert_eq!(
+            BoolExpr::cmp(CmpOp::Ult, 8, Expr::c(0xFF), Expr::c(1)),
+            BoolExpr::False
+        );
         // Signed at 8 bits: 0xFF = -1 < 1.
-        assert_eq!(BoolExpr::cmp(CmpOp::Slt, 8, Expr::c(0xFF), Expr::c(1)), BoolExpr::True);
+        assert_eq!(
+            BoolExpr::cmp(CmpOp::Slt, 8, Expr::c(0xFF), Expr::c(1)),
+            BoolExpr::True
+        );
         let x = BoolExpr::cmp(CmpOp::Eq, 64, Expr::var("a", 64), Expr::c(3));
         assert_eq!(BoolExpr::and(BoolExpr::True, x.clone()), x);
         assert_eq!(BoolExpr::and(BoolExpr::False, x.clone()), BoolExpr::False);

@@ -36,7 +36,7 @@ mod exec;
 mod expr;
 mod sat;
 
-pub use blast::{check, Model, SatResult};
+pub use blast::{check, solver_calls, Model, SatResult};
 pub use exec::{
     CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR, EXCEPTION_ACCESS_VIOLATION,
     EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH, EXCEPTION_EXECUTE_HANDLER,

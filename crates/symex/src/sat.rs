@@ -33,7 +33,10 @@ impl Cnf {
     /// Panics if a literal references an unallocated variable.
     pub fn clause(&mut self, lits: &[i32]) {
         for &l in lits {
-            assert!(l != 0 && (l.unsigned_abs() as usize) <= self.num_vars, "bad literal {l}");
+            assert!(
+                l != 0 && (l.unsigned_abs() as usize) <= self.num_vars,
+                "bad literal {l}"
+            );
         }
         self.clauses.push(lits.to_vec());
     }
@@ -64,9 +67,7 @@ pub fn solve(cnf: &Cnf) -> SolveOutcome {
         decisions: 0,
     };
     match s.search() {
-        Some(true) => {
-            SolveOutcome::Sat(s.assign.into_iter().map(|a| a.unwrap_or(false)).collect())
-        }
+        Some(true) => SolveOutcome::Sat(s.assign.into_iter().map(|a| a.unwrap_or(false)).collect()),
         Some(false) => SolveOutcome::Unsat,
         None => SolveOutcome::BudgetExhausted,
     }
@@ -148,7 +149,11 @@ impl Dpll<'_> {
         }
         for &value in &[true, false] {
             let mark = self.trail.len();
-            let lit = if value { (var + 1) as i32 } else { -((var + 1) as i32) };
+            let lit = if value {
+                (var + 1) as i32
+            } else {
+                -((var + 1) as i32)
+            };
             self.set(lit);
             match self.search() {
                 Some(true) => return Some(true),
@@ -256,9 +261,9 @@ mod tests {
             c.clause(&[row[0], row[1]]); // each pigeon somewhere
         }
         for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in i1 + 1..3 {
-                    c.clause(&[-p[i1][j], -p[i2][j]]); // no two share a hole
+            for (i1, row1) in p.iter().enumerate() {
+                for row2 in &p[i1 + 1..] {
+                    c.clause(&[-row1[j], -row2[j]]); // no two share a hole
                 }
             }
         }

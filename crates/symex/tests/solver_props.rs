@@ -37,10 +37,18 @@ impl ExprAst {
                     BinOp::Or => x | y,
                     BinOp::Xor => x ^ y,
                     BinOp::Shl => {
-                        if y >= 64 { 0 } else { x << y }
+                        if y >= 64 {
+                            0
+                        } else {
+                            x << y
+                        }
                     }
                     BinOp::Shr => {
-                        if y >= 64 { 0 } else { x >> y }
+                        if y >= 64 {
+                            0
+                        } else {
+                            x >> y
+                        }
                     }
                 }
             }
@@ -66,8 +74,11 @@ fn arb_expr() -> impl Strategy<Value = ExprAst> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| ExprAst::Bin(op, Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| ExprAst::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.prop_map(|a| ExprAst::Not(Box::new(a))),
         ]
     })

@@ -325,7 +325,12 @@ impl Hook for TaintEngine {
                 let t = self.addr_taint(&mem);
                 self.set_reg_taint(dst, t);
             }
-            Inst::AluRRm { op, dst, src, width } => {
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 if op.writes_dst() {
                     // Zeroing idioms: xor r,r / sub r,r clear taint.
                     if matches!(op, AluOp::Xor | AluOp::Sub) && src == Rm::Reg(dst) {
@@ -334,12 +339,21 @@ impl Hook for TaintEngine {
                         let t = self
                             .reg_taint(dst, width)
                             .union(self.rm_union(cpu, src, width, next));
-                        let w = if width == Width::B1 { Width::B1 } else { Width::B8 };
+                        let w = if width == Width::B1 {
+                            Width::B1
+                        } else {
+                            Width::B8
+                        };
                         self.write_rm_bytes(cpu, Rm::Reg(dst), w, &[t; 8], next);
                     }
                 }
             }
-            Inst::AluRmR { op, dst, src, width } => {
+            Inst::AluRmR {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 if op.writes_dst() {
                     if matches!(op, AluOp::Xor | AluOp::Sub) && dst == Rm::Reg(src) {
                         self.set_reg_taint(src, TaintSet::EMPTY);
@@ -366,18 +380,18 @@ impl Hook for TaintEngine {
                 self.set_reg_taint(r, t);
             }
             Inst::Imul { dst, src } => {
-                let t = self
-                    .reg_taint(dst, Width::B8)
-                    .union(self.rm_union(cpu, src, Width::B8, next));
+                let t =
+                    self.reg_taint(dst, Width::B8)
+                        .union(self.rm_union(cpu, src, Width::B8, next));
                 self.set_reg_taint(dst, t);
             }
             Inst::Cmov { dst, src, cond } => {
                 // Conservative: the destination may take the source's
                 // taint regardless of the (untracked) condition.
                 let _ = cond;
-                let t = self
-                    .reg_taint(dst, Width::B8)
-                    .union(self.rm_union(cpu, src, Width::B8, next));
+                let t =
+                    self.reg_taint(dst, Width::B8)
+                        .union(self.rm_union(cpu, src, Width::B8, next));
                 self.set_reg_taint(dst, t);
             }
             Inst::Xchg(a, b) => {
@@ -431,7 +445,10 @@ mod tests {
     use cr_vm::{Cpu, Exit, Memory, Prot};
     use Reg::*;
 
-    fn exec(build: impl FnOnce(&mut Asm), setup: impl FnOnce(&mut Memory, &mut TaintEngine)) -> (Cpu, TaintEngine) {
+    fn exec(
+        build: impl FnOnce(&mut Asm),
+        setup: impl FnOnce(&mut Memory, &mut TaintEngine),
+    ) -> (Cpu, TaintEngine) {
         let mut a = Asm::new(0x40_0000);
         build(&mut a);
         let asm = a.assemble().unwrap();
@@ -605,7 +622,10 @@ mod tests {
                 a.mov_ri(Rdi, 0x10_0000);
                 a.load(Rax, MemOp::base(Rdi));
                 a.mov_ri(Rbx, 3);
-                a.inst(cr_isa::Inst::Imul { dst: Rbx, src: cr_isa::Rm::Reg(Rax) });
+                a.inst(cr_isa::Inst::Imul {
+                    dst: Rbx,
+                    src: cr_isa::Rm::Reg(Rax),
+                });
                 a.inst(cr_isa::Inst::Xchg(Rbx, Rdx));
                 a.hlt();
             },
@@ -614,8 +634,14 @@ mod tests {
                 t.taint_region(0x10_0000, 8, 2);
             },
         );
-        assert!(t.reg_taint(Rdx, Width::B8).contains(2), "taint followed imul+xchg");
-        assert!(!t.reg_taint(Rbx, Width::B8).is_tainted(), "xchg moved taint out");
+        assert!(
+            t.reg_taint(Rdx, Width::B8).contains(2),
+            "taint followed imul+xchg"
+        );
+        assert!(
+            !t.reg_taint(Rbx, Width::B8).is_tainted(),
+            "xchg moved taint out"
+        );
     }
 
     #[test]

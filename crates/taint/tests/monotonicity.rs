@@ -13,12 +13,12 @@ const CELLS: u64 = 8;
 /// A tiny straight-line program over 4 registers and 8 memory cells.
 #[derive(Debug, Clone)]
 enum Op {
-    Load(u8, u8),     // reg <- cell
-    Store(u8, u8),    // cell <- reg
-    MovRR(u8, u8),    // reg <- reg
-    Add(u8, u8),      // reg += reg
-    Xor(u8, u8),      // reg ^= reg
-    Imm(u8),          // reg <- constant
+    Load(u8, u8),  // reg <- cell
+    Store(u8, u8), // cell <- reg
+    MovRR(u8, u8), // reg <- reg
+    Add(u8, u8),   // reg += reg
+    Xor(u8, u8),   // reg ^= reg
+    Imm(u8),       // reg <- constant
 }
 
 const REGS: [Reg; 4] = [Reg::Rax, Reg::Rbx, Reg::Rsi, Reg::Rdi];

@@ -38,16 +38,126 @@ pub struct DllCalib {
 
 /// The calibrated population, in paper row order.
 pub const CALIBRATION: &[DllCalib] = &[
-    DllCalib { name: "user32", guarded_before: 70, guarded_after: 63, on_path: 40, fx64_before: 9, fx64_after: 4, fx86_before: 17, fx86_after: 6, in_table2: true, in_table3: true },
-    DllCalib { name: "kernel32", guarded_before: 76, guarded_after: 66, on_path: 14, fx64_before: 60, fx64_after: 12, fx86_before: 50, fx86_after: 10, in_table2: true, in_table3: true },
-    DllCalib { name: "msvcrt", guarded_before: 129, guarded_after: 10, on_path: 3, fx64_before: 129, fx64_after: 9, fx86_before: 33, fx86_after: 5, in_table2: true, in_table3: true },
-    DllCalib { name: "jscript9", guarded_before: 22, guarded_after: 6, on_path: 4, fx64_before: 29, fx64_after: 6, fx86_before: 6, fx86_after: 2, in_table2: true, in_table3: true },
-    DllCalib { name: "rpcrt4", guarded_before: 62, guarded_after: 20, on_path: 6, fx64_before: 62, fx64_after: 20, fx86_before: 25, fx86_after: 8, in_table2: true, in_table3: false },
-    DllCalib { name: "sechost", guarded_before: 133, guarded_after: 11, on_path: 0, fx64_before: 126, fx64_after: 4, fx86_before: 19, fx86_after: 9, in_table2: true, in_table3: true },
-    DllCalib { name: "ws2_32", guarded_before: 82, guarded_after: 29, on_path: 10, fx64_before: 55, fx64_after: 25, fx86_before: 25, fx86_after: 7, in_table2: true, in_table3: true },
-    DllCalib { name: "xmllite", guarded_before: 10, guarded_after: 2, on_path: 1, fx64_before: 10, fx64_after: 0, fx86_before: 10, fx86_after: 0, in_table2: true, in_table3: true },
-    DllCalib { name: "kernelbase", guarded_before: 60, guarded_after: 24, on_path: 0, fx64_before: 54, fx64_after: 21, fx86_before: 21, fx86_after: 8, in_table2: false, in_table3: true },
-    DllCalib { name: "ntdll", guarded_before: 90, guarded_after: 30, on_path: 0, fx64_before: 71, fx64_after: 25, fx86_before: 25, fx86_after: 9, in_table2: false, in_table3: true },
+    DllCalib {
+        name: "user32",
+        guarded_before: 70,
+        guarded_after: 63,
+        on_path: 40,
+        fx64_before: 9,
+        fx64_after: 4,
+        fx86_before: 17,
+        fx86_after: 6,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "kernel32",
+        guarded_before: 76,
+        guarded_after: 66,
+        on_path: 14,
+        fx64_before: 60,
+        fx64_after: 12,
+        fx86_before: 50,
+        fx86_after: 10,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "msvcrt",
+        guarded_before: 129,
+        guarded_after: 10,
+        on_path: 3,
+        fx64_before: 129,
+        fx64_after: 9,
+        fx86_before: 33,
+        fx86_after: 5,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "jscript9",
+        guarded_before: 22,
+        guarded_after: 6,
+        on_path: 4,
+        fx64_before: 29,
+        fx64_after: 6,
+        fx86_before: 6,
+        fx86_after: 2,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "rpcrt4",
+        guarded_before: 62,
+        guarded_after: 20,
+        on_path: 6,
+        fx64_before: 62,
+        fx64_after: 20,
+        fx86_before: 25,
+        fx86_after: 8,
+        in_table2: true,
+        in_table3: false,
+    },
+    DllCalib {
+        name: "sechost",
+        guarded_before: 133,
+        guarded_after: 11,
+        on_path: 0,
+        fx64_before: 126,
+        fx64_after: 4,
+        fx86_before: 19,
+        fx86_after: 9,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "ws2_32",
+        guarded_before: 82,
+        guarded_after: 29,
+        on_path: 10,
+        fx64_before: 55,
+        fx64_after: 25,
+        fx86_before: 25,
+        fx86_after: 7,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "xmllite",
+        guarded_before: 10,
+        guarded_after: 2,
+        on_path: 1,
+        fx64_before: 10,
+        fx64_after: 0,
+        fx86_before: 10,
+        fx86_after: 0,
+        in_table2: true,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "kernelbase",
+        guarded_before: 60,
+        guarded_after: 24,
+        on_path: 0,
+        fx64_before: 54,
+        fx64_after: 21,
+        fx86_before: 21,
+        fx86_after: 8,
+        in_table2: false,
+        in_table3: true,
+    },
+    DllCalib {
+        name: "ntdll",
+        guarded_before: 90,
+        guarded_after: 30,
+        on_path: 0,
+        fx64_before: 71,
+        fx64_after: 25,
+        fx86_before: 25,
+        fx86_after: 9,
+        in_table2: false,
+        in_table3: true,
+    },
 ];
 
 /// Row by name.

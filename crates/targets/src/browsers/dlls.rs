@@ -98,6 +98,14 @@ impl DllSpec {
 /// the remaining 177 modules carry deterministic pseudo-random
 /// populations scaled so the totals land exactly.
 pub fn full_population_specs() -> Vec<DllSpec> {
+    full_population_specs_seeded(0xD511)
+}
+
+/// [`full_population_specs`] with an explicit seed for the synthetic
+/// modules' pseudo-random populations. The calibrated rows and the
+/// workspace-wide totals are invariant under the seed — only how the
+/// synthetic remainder is distributed across `mod000..mod176` moves.
+pub fn full_population_specs_seeded(seed: u64) -> Vec<DllSpec> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -118,7 +126,7 @@ pub fn full_population_specs() -> Vec<DllSpec> {
     let mut filters_after: u32 = specs.iter().map(|s| s.filters_accepting).sum();
 
     let remaining = TOTAL_DLLS - specs.len();
-    let mut rng = StdRng::seed_from_u64(0xD511);
+    let mut rng = StdRng::seed_from_u64(seed);
     for k in 0..remaining {
         let left = (remaining - k) as u32;
         let h_quota = (TOTAL_HANDLERS - handlers) / left;
@@ -139,14 +147,20 @@ pub fn full_population_specs() -> Vec<DllSpec> {
                     rng.gen_range(q.saturating_sub(q / 3).max(1)..=q + q / 3)
                 }
             };
-            (jitter(h_quota, &mut rng), jitter(f_quota, &mut rng), fa_quota.min(f_quota))
+            (
+                jitter(h_quota, &mut rng),
+                jitter(f_quota, &mut rng),
+                fa_quota.min(f_quota),
+            )
         };
         let h = h.max(2);
         let f = f.min(h * 4).max(1); // scopes can reference several filters
         let fa = fa.min(f).min(h.saturating_sub(1));
         // guarded_accepting must leave rejecting functions when rejecting
         // filters exist, and cover accepting filters.
-        let accepting = fa.max(if fa == f { h } else { (h / 4).max(fa) }).min(h.saturating_sub(u32::from(fa < f)));
+        let accepting = fa
+            .max(if fa == f { h } else { (h / 4).max(fa) })
+            .min(h.saturating_sub(u32::from(fa < f)));
         specs.push(DllSpec {
             name: format!("mod{k:03}"),
             machine: Machine::X64,
@@ -430,9 +444,7 @@ pub fn generate_dll(spec: &DllSpec) -> PeImage {
                 end_rva: rva(&format!("G{i}_te{k}")),
                 filter: match choice {
                     FilterChoice::CatchAll => FilterRef::CatchAll,
-                    FilterChoice::Filter(idx) => {
-                        FilterRef::Function(rva(&format!("Filter{idx}")))
-                    }
+                    FilterChoice::Filter(idx) => FilterRef::Function(rva(&format!("Filter{idx}"))),
                 },
                 target_rva: rva(&format!("G{i}_ex{k}")),
             })
@@ -473,7 +485,11 @@ pub fn generate_dll(spec: &DllSpec) -> PeImage {
 /// Load `ExceptionCode` into eax (filter prologue).
 fn emit_load_code(a: &mut Asm) {
     a.load(Rax, M::base(Rcx)); // rax = &EXCEPTION_RECORD
-    a.inst(Inst::MovRRm { dst: Rax, src: Rm::Mem(M::base(Rax)), width: Width::B4 });
+    a.inst(Inst::MovRRm {
+        dst: Rax,
+        src: Rm::Mem(M::base(Rax)),
+        width: Width::B4,
+    });
 }
 
 fn cmp_eax(a: &mut Asm, code: u32) {

@@ -52,7 +52,9 @@ pub struct FirefoxSim {
 
 impl std::fmt::Debug for FirefoxSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FirefoxSim").field("job", &self.job).finish()
+        f.debug_struct("FirefoxSim")
+            .field("job", &self.job)
+            .finish()
     }
 }
 
@@ -189,20 +191,30 @@ mod tests {
         assert_eq!(probe(&mut sim, job, &mut NullHook), Some(true));
         assert!(sim.proc.alive(), "zero crashes");
         // The unmapped probe produced exactly one handled fault.
-        assert!(sim.proc.fault_log.iter().any(|f| f.handled && f.addr == Some(0xdead_0000)));
+        assert!(sim
+            .proc
+            .fault_log
+            .iter()
+            .any(|f| f.handled && f.addr == Some(0xdead_0000)));
     }
 
     #[test]
     fn asmjs_bench_generates_handled_mapped_faults() {
         let mut sim = build();
         let before = sim.proc.fault_log.len();
-        match sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook) {
+        match sim
+            .proc
+            .call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook)
+        {
             cr_os::windows::CallOutcome::Returned(_) => {}
             other => panic!("{other:?}"),
         }
         let events: Vec<_> = sim.proc.fault_log[before..].to_vec();
         assert_eq!(events.len(), 20, "one burst of 20 guard-page faults");
-        assert!(events.iter().all(|f| f.handled && f.mapped), "mapped + handled");
+        assert!(
+            events.iter().all(|f| f.handled && f.mapped),
+            "mapped + handled"
+        );
     }
 
     #[test]

@@ -106,19 +106,30 @@ pub fn build_with_corpus(generated: usize, seed: u64) -> IeSim {
         .filter(|s| {
             s.name.starts_with("ApiFn")
                 && s.has_pointer_arg()
-                && matches!(s.behavior, cr_os::windows::api::ApiBehavior::Graceful { .. })
+                && matches!(
+                    s.behavior,
+                    cr_os::windows::api::ApiBehavior::Graceful { .. }
+                )
         })
         .map(|s| s.name.clone())
         .collect();
     let render_graceful: Vec<&str> = graceful.iter().take(12).map(|s| s.as_str()).collect();
-    let js_graceful: Vec<&str> = graceful.iter().skip(12).take(11).map(|s| s.as_str()).collect();
+    let js_graceful: Vec<&str> = graceful
+        .iter()
+        .skip(12)
+        .take(11)
+        .map(|s| s.as_str())
+        .collect();
     let rawderef: Vec<String> = api
         .specs()
         .iter()
         .filter(|s| {
             s.name.starts_with("ApiFn")
                 && s.has_pointer_arg()
-                && matches!(s.behavior, cr_os::windows::api::ApiBehavior::RawDeref { .. })
+                && matches!(
+                    s.behavior,
+                    cr_os::windows::api::ApiBehavior::RawDeref { .. }
+                )
         })
         .take(8)
         .map(|s| s.name.clone())
@@ -126,7 +137,10 @@ pub fn build_with_corpus(generated: usize, seed: u64) -> IeSim {
 
     // Emit `call api(name)` with every pointer arg supplied per `style`.
     let emit_call = |a: &mut Asm, api: &ApiTable, name: &str, style: Option<ArgStyle>| {
-        let spec = api.spec_at(api.address_of(name)).expect("known api").clone();
+        let spec = api
+            .spec_at(api.address_of(name))
+            .expect("known api")
+            .clone();
         let arg_regs = [Rcx, Rdx, R8, R9];
         for (i, at) in spec.args.iter().enumerate().take(4) {
             let reg = arg_regs[i];
@@ -164,7 +178,12 @@ pub fn build_with_corpus(generated: usize, seed: u64) -> IeSim {
     a.mov_ri(Rax, mutx);
     a.call_reg(Rax);
     // JS-reachable API calls with the three §V-B argument styles.
-    emit_call(&mut a, &api, "GetPwrCapabilities", Some(ArgStyle::StackLocal));
+    emit_call(
+        &mut a,
+        &api,
+        "GetPwrCapabilities",
+        Some(ArgStyle::StackLocal),
+    );
     for (k, name) in js_graceful.iter().enumerate() {
         let style = match k {
             0..=4 => ArgStyle::StackLocal,
@@ -293,7 +312,10 @@ mod tests {
         sim.proc.mem.write(cs + 8, &(-2i32).to_le_bytes()).unwrap();
         sim.proc.mem.write(cs + 16, &0i32.to_le_bytes()).unwrap();
         sim.proc.mem.write_u64(cs + 24, 0).unwrap();
-        match sim.proc.call(sim.process_script, &[], 1_000_000, &mut NullHook) {
+        match sim
+            .proc
+            .call(sim.process_script, &[], 1_000_000, &mut NullHook)
+        {
             cr_os::windows::CallOutcome::Returned(_) => {}
             other => panic!("{other:?}"),
         }
@@ -307,7 +329,8 @@ mod tests {
         sim.proc.mem.write(cs + 8, &(-2i32).to_le_bytes()).unwrap();
         sim.proc.mem.write(cs + 16, &0i32.to_le_bytes()).unwrap();
         sim.proc.mem.write_u64(cs + 24, 0).unwrap();
-        sim.proc.call(sim.process_script, &[], 1_000_000, &mut NullHook);
+        sim.proc
+            .call(sim.process_script, &[], 1_000_000, &mut NullHook);
         let status = sim.proc.mem.read_u64(sim.script_engine).unwrap();
         assert_eq!(status, 0, "mapped probe leaves status clear");
     }

@@ -6,7 +6,7 @@ pub mod firefox;
 pub mod ie;
 
 pub use calibration::{calib, DllCalib, CALIBRATION};
-pub use dlls::{full_population_specs, generate_dll, DllSpec};
+pub use dlls::{full_population_specs, full_population_specs_seeded, generate_dll, DllSpec};
 pub use firefox::FirefoxSim;
 pub use ie::IeSim;
 
@@ -60,7 +60,9 @@ mod tests {
         assert!(catchall > 0);
         // Exports for every guarded function.
         assert!(img.exports.contains_key("Guarded0"));
-        assert!(img.exports.contains_key(&format!("Guarded{}", c.guarded_before - 1)));
+        assert!(img
+            .exports
+            .contains_key(&format!("Guarded{}", c.guarded_before - 1)));
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl ServerTarget {
         p.vfs
             .write_file("/www/index.html", b"<html>crash-resist</html>")
             .expect("fresh vfs");
-        p.vfs.write_file("/www/404.html", b"not found").expect("fresh vfs");
+        p.vfs
+            .write_file("/www/404.html", b"not found")
+            .expect("fresh vfs");
         p.run(self.boot_steps, hook);
         p
     }
@@ -83,7 +85,9 @@ pub struct SrvAsm {
 impl SrvAsm {
     /// New server assembler at [`CODE_BASE`].
     pub fn new() -> SrvAsm {
-        SrvAsm { a: Asm::new(CODE_BASE) }
+        SrvAsm {
+            a: Asm::new(CODE_BASE),
+        }
     }
 
     /// Emit `mov rax, nr; syscall`.

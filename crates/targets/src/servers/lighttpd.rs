@@ -172,7 +172,9 @@ fn sockaddr_in(port: u16) -> [u8; 16] {
 }
 
 fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
-    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    let Some(conn) = p.net.client_connect(PORT) else {
+        return false;
+    };
     p.run(500_000, hook);
     p.net.client_send(conn, b"GET /index.html\n\n");
     p.run(2_000_000, hook);
@@ -223,6 +225,9 @@ mod tests {
         let conn = p.net.client_connect(PORT).unwrap();
         p.run(500_000, &mut NullHook);
         p.net.client_send(conn, b"GET /\n\n");
-        assert!(matches!(p.run(2_000_000, &mut NullHook), RunExit::Crashed(_)));
+        assert!(matches!(
+            p.run(2_000_000, &mut NullHook),
+            RunExit::Crashed(_)
+        ));
     }
 }

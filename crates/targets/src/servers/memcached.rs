@@ -221,7 +221,9 @@ fn sockaddr_in(port: u16) -> [u8; 16] {
 }
 
 fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
-    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    let Some(conn) = p.net.client_connect(PORT) else {
+        return false;
+    };
     p.net.client_send(conn, b"get key\r\n");
     p.run(3_000_000, hook);
     let resp = p.net.client_recv(conn, 64);

@@ -131,7 +131,7 @@ pub fn target() -> ServerTarget {
     s.a.cmp_ri(Rax, 0);
     s.a.jcc(Cond::L, next_event);
     s.a.mov_rr(R9, Rax); // new fd
-    // find a free slot j in 0..4
+                         // find a free slot j in 0..4
     s.a.zero(R12);
     let find_slot = s.a.here();
     let take_slot = s.a.fresh();
@@ -183,14 +183,24 @@ pub fn target() -> ServerTarget {
     // *** syscall, and every error tears the connection down cleanly.
     s.a.load(Rdi, M::base(R12));
     s.a.load(Rsi, M::base_disp(R12, 16));
-    s.a.inst(Inst::AluRRm { op: AluOp::Add, dst: Rsi, src: Rm::Mem(M::base_disp(R12, 24)), width: Width::B8 });
+    s.a.inst(Inst::AluRRm {
+        op: AluOp::Add,
+        dst: Rsi,
+        src: Rm::Mem(M::base_disp(R12, 24)),
+        width: Width::B8,
+    });
     s.a.mov_ri(Rdx, 64);
     s.a.mov_ri(R10, 0x40); // MSG_DONTWAIT
     s.sys(nr::RECVFROM);
     s.a.cmp_ri(Rax, 0);
     s.a.jcc(Cond::Le, close_conn); // error (EFAULT!) or EOF → clean close
-    // buf_used += n
-    s.a.inst(Inst::AluRmR { op: AluOp::Add, dst: Rm::Mem(M::base_disp(R12, 24)), src: Rax, width: Width::B8 });
+                                   // buf_used += n
+    s.a.inst(Inst::AluRmR {
+        op: AluOp::Add,
+        dst: Rm::Mem(M::base_disp(R12, 24)),
+        src: Rax,
+        width: Width::B8,
+    });
     // complete request? buf[used-2..] == "\n\n"
     s.a.load(Rsi, M::base_disp(R12, 16));
     s.a.load(R9, M::base_disp(R12, 24));
@@ -357,7 +367,9 @@ fn sockaddr_in(port: u16) -> [u8; 16] {
 
 /// Drive one request/response cycle; true if the server answered.
 fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
-    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    let Some(conn) = p.net.client_connect(PORT) else {
+        return false;
+    };
     p.run(500_000, hook);
     p.net.client_send(conn, b"GET /index.html\n\n");
     p.run(2_000_000, hook);
@@ -378,7 +390,10 @@ mod tests {
         let t = target();
         let mut p = t.boot(&mut NullHook);
         assert!(p.net.is_listening(PORT));
-        assert!((t.exercise)(&mut p, &mut NullHook), "nginx-sim must serve a request");
+        assert!(
+            (t.exercise)(&mut p, &mut NullHook),
+            "nginx-sim must serve a request"
+        );
         assert!(p.alive());
     }
 
@@ -397,7 +412,10 @@ mod tests {
         p.net.client_send(a, b"tial\n\n");
         p.run(2_000_000, &mut NullHook);
         let resp = p.net.client_recv(a, 256);
-        assert!(resp.starts_with(b"HTTP/1.1 200 OK"), "parked connection completes");
+        assert!(
+            resp.starts_with(b"HTTP/1.1 200 OK"),
+            "parked connection completes"
+        );
         assert!(p.alive());
     }
 
@@ -421,7 +439,11 @@ mod tests {
             other => panic!("server must stay up, got {other:?}"),
         }
         assert!(p.alive(), "no crash");
-        assert_eq!(p.efault_count, efaults_before + 1, "probe visible as EFAULT");
+        assert_eq!(
+            p.efault_count,
+            efaults_before + 1,
+            "probe visible as EFAULT"
+        );
         assert!(p.net.server_closed(a), "probed connection torn down");
         // Service continues for new connections.
         assert!((t.exercise)(&mut p, &mut NullHook));
@@ -460,7 +482,19 @@ mod tests {
         let mut log = SysLog::default();
         let mut p = t.boot(&mut log);
         assert!((t.exercise)(&mut p, &mut log));
-        for expected in [nr::UNLINK, nr::SYMLINK, nr::CHMOD, nr::MKDIR, nr::CONNECT, nr::WRITE, nr::OPEN, nr::READ, nr::RECVFROM, nr::SENDTO, nr::EPOLL_WAIT] {
+        for expected in [
+            nr::UNLINK,
+            nr::SYMLINK,
+            nr::CHMOD,
+            nr::MKDIR,
+            nr::CONNECT,
+            nr::WRITE,
+            nr::OPEN,
+            nr::READ,
+            nr::RECVFROM,
+            nr::SENDTO,
+            nr::EPOLL_WAIT,
+        ] {
             assert!(
                 log.0.contains(&expected),
                 "syscall {} must appear in the test run",

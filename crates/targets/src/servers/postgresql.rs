@@ -78,7 +78,7 @@ pub fn target() -> ServerTarget {
     s.a.cmp_ri(Rax, 0);
     s.a.jcc(Cond::L, accept_loop);
     s.a.mov_rr(R13, Rax); // conn fd
-    // worker stack
+                          // worker stack
     s.a.zero(Rdi);
     s.a.mov_ri(Rsi, 0x8000);
     s.sys(nr::MMAP);
@@ -103,7 +103,7 @@ pub fn target() -> ServerTarget {
     s.a.name("worker", worker);
     s.a.load(R13, M::base(Rsp)); // conn fd
     s.a.load(R14, M::base_disp(Rsp, 8)); // worker index
-    // r12 = &wctx[widx]
+                                         // r12 = &wctx[widx]
     s.a.mov_rr(R12, R14);
     s.a.shl(R12, 5);
     s.a.mov_ri(R11, WCTX);
@@ -186,7 +186,9 @@ fn sockaddr_in(port: u16) -> [u8; 16] {
 }
 
 fn exercise(p: &mut LinuxProc, hook: &mut dyn OsHook) -> bool {
-    let Some(conn) = p.net.client_connect(PORT) else { return false };
+    let Some(conn) = p.net.client_connect(PORT) else {
+        return false;
+    };
     p.run(500_000, hook);
     p.net.client_send(conn, b"SELECT 1;\n");
     p.run(3_000_000, hook);

@@ -291,7 +291,12 @@ impl Cpu {
                 let ea = self.effective_addr(&m, next);
                 self.set_reg(dst, ea);
             }
-            Inst::AluRRm { op, dst, src, width } => {
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 let a = self.reg_w(dst, width);
                 let b = fault!(self.read_rm(src, width, next, mem, hook));
                 let r = self.alu(op, a, b, width);
@@ -302,7 +307,12 @@ impl Cpu {
                     }
                 }
             }
-            Inst::AluRmR { op, dst, src, width } => {
+            Inst::AluRmR {
+                op,
+                dst,
+                src,
+                width,
+            } => {
                 let a = fault!(self.read_rm(dst, width, next, mem, hook));
                 let b = self.reg_w(src, width);
                 let r = self.alu(op, a, b, width);
@@ -310,7 +320,12 @@ impl Cpu {
                     fault!(self.write_rm(dst, width, r, next, mem, hook));
                 }
             }
-            Inst::AluRmI { op, dst, imm, width } => {
+            Inst::AluRmI {
+                op,
+                dst,
+                imm,
+                width,
+            } => {
                 let a = fault!(self.read_rm(dst, width, next, mem, hook));
                 let b = imm as i64 as u64;
                 let r = self.alu(op, a, b, width);
@@ -545,7 +560,10 @@ mod tests {
             }
             other => panic!("expected fault, got {other:?}"),
         }
-        assert_eq!(cpu.rip, rip_before, "rip must stay at the faulting instruction");
+        assert_eq!(
+            cpu.rip, rip_before,
+            "rip must stay at the faulting instruction"
+        );
     }
 
     #[test]
@@ -680,7 +698,10 @@ mod tests {
             a.mov_ri(Rax, 7);
             a.inst(cr_isa::Inst::Neg(Rax)); // -7
             a.mov_ri(Rbx, 3);
-            a.inst(cr_isa::Inst::Imul { dst: Rax, src: cr_isa::Rm::Reg(Rbx) }); // -21
+            a.inst(cr_isa::Inst::Imul {
+                dst: Rax,
+                src: cr_isa::Rm::Reg(Rbx),
+            }); // -21
             a.inst(cr_isa::Inst::Not(Rax)); // !(-21) = 20
             a.mov_ri(Rdx, 100);
             a.inst(cr_isa::Inst::Xchg(Rax, Rdx)); // rax=100, rdx=20
@@ -698,8 +719,16 @@ mod tests {
             a.mov_ri(Rbx, 42);
             a.mov_ri(Rdx, 99);
             a.cmp_ri(Rax, 1);
-            a.inst(cr_isa::Inst::Cmov { cond: cr_isa::Cond::E, dst: Rsi, src: cr_isa::Rm::Reg(Rbx) });
-            a.inst(cr_isa::Inst::Cmov { cond: cr_isa::Cond::Ne, dst: Rdi, src: cr_isa::Rm::Reg(Rdx) });
+            a.inst(cr_isa::Inst::Cmov {
+                cond: cr_isa::Cond::E,
+                dst: Rsi,
+                src: cr_isa::Rm::Reg(Rbx),
+            });
+            a.inst(cr_isa::Inst::Cmov {
+                cond: cr_isa::Cond::Ne,
+                dst: Rdi,
+                src: cr_isa::Rm::Reg(Rdx),
+            });
             a.hlt();
         });
         cpu.set_reg(Rsi, 0);

@@ -24,15 +24,35 @@ pub struct Prot {
 
 impl Prot {
     /// No access (guard page).
-    pub const NONE: Prot = Prot { r: false, w: false, x: false };
+    pub const NONE: Prot = Prot {
+        r: false,
+        w: false,
+        x: false,
+    };
     /// Read-only.
-    pub const R: Prot = Prot { r: true, w: false, x: false };
+    pub const R: Prot = Prot {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// Read-write.
-    pub const RW: Prot = Prot { r: true, w: true, x: false };
+    pub const RW: Prot = Prot {
+        r: true,
+        w: true,
+        x: false,
+    };
     /// Read-execute.
-    pub const RX: Prot = Prot { r: true, w: false, x: true };
+    pub const RX: Prot = Prot {
+        r: true,
+        w: false,
+        x: true,
+    };
     /// Read-write-execute (tests only; targets are W^X).
-    pub const RWX: Prot = Prot { r: true, w: true, x: true };
+    pub const RWX: Prot = Prot {
+        r: true,
+        w: true,
+        x: true,
+    };
 
     /// Whether the protection admits the given access kind.
     #[inline]
@@ -101,7 +121,11 @@ impl std::fmt::Display for Fault {
             "{} fault at {:#x} ({})",
             self.access,
             self.addr,
-            if self.mapped { "protection" } else { "unmapped" }
+            if self.mapped {
+                "protection"
+            } else {
+                "unmapped"
+            }
         )
     }
 }
@@ -127,14 +151,19 @@ impl Default for Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memory").field("pages", &self.pages.len()).finish()
+        f.debug_struct("Memory")
+            .field("pages", &self.pages.len())
+            .finish()
     }
 }
 
 impl Memory {
     /// An empty address space.
     pub fn new() -> Memory {
-        Memory { pages: HashMap::new(), generation: 0 }
+        Memory {
+            pages: HashMap::new(),
+            generation: 0,
+        }
     }
 
     /// A counter bumped on every operation that could change executable
@@ -154,7 +183,10 @@ impl Memory {
         for pn in first..=last {
             self.pages
                 .entry(pn)
-                .or_insert_with(|| Page { prot, data: Box::new([0; PAGE_SIZE as usize]) })
+                .or_insert_with(|| Page {
+                    prot,
+                    data: Box::new([0; PAGE_SIZE as usize]),
+                })
                 .prot = prot;
         }
     }
@@ -219,10 +251,18 @@ impl Memory {
         for pn in first..=last {
             match self.pages.get(&pn) {
                 None => {
-                    return Err(Fault { addr: (pn * PAGE_SIZE).max(addr), access, mapped: false })
+                    return Err(Fault {
+                        addr: (pn * PAGE_SIZE).max(addr),
+                        access,
+                        mapped: false,
+                    })
                 }
                 Some(p) if !p.prot.allows(access) => {
-                    return Err(Fault { addr: (pn * PAGE_SIZE).max(addr), access, mapped: true })
+                    return Err(Fault {
+                        addr: (pn * PAGE_SIZE).max(addr),
+                        access,
+                        mapped: true,
+                    })
                 }
                 Some(_) => {}
             }
@@ -275,8 +315,20 @@ impl Memory {
                 }
                 Some(_) if done > 0 => break,
                 None if done > 0 => break,
-                Some(_) => return Err(Fault { addr: a, access: Access::Exec, mapped: true }),
-                None => return Err(Fault { addr: a, access: Access::Exec, mapped: false }),
+                Some(_) => {
+                    return Err(Fault {
+                        addr: a,
+                        access: Access::Exec,
+                        mapped: true,
+                    })
+                }
+                None => {
+                    return Err(Fault {
+                        addr: a,
+                        access: Access::Exec,
+                        mapped: false,
+                    })
+                }
             }
         }
         Ok(done)
@@ -309,10 +361,11 @@ impl Memory {
             let a = addr + i as u64;
             let pn = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
-            let page = self
-                .pages
-                .get_mut(&pn)
-                .ok_or(Fault { addr: a, access: Access::Write, mapped: false })?;
+            let page = self.pages.get_mut(&pn).ok_or(Fault {
+                addr: a,
+                access: Access::Write,
+                mapped: false,
+            })?;
             let n = (buf.len() - i).min(PAGE_SIZE as usize - off);
             page.data[off..off + n].copy_from_slice(&buf[i..i + n]);
             i += n;
@@ -331,10 +384,11 @@ impl Memory {
             let a = addr + i as u64;
             let pn = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
-            let page = self
-                .pages
-                .get(&pn)
-                .ok_or(Fault { addr: a, access: Access::Read, mapped: false })?;
+            let page = self.pages.get(&pn).ok_or(Fault {
+                addr: a,
+                access: Access::Read,
+                mapped: false,
+            })?;
             let n = (buf.len() - i).min(PAGE_SIZE as usize - off);
             buf[i..i + n].copy_from_slice(&page.data[off..off + n]);
             i += n;
@@ -395,9 +449,19 @@ impl Memory {
             let pn = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
             match self.pages.get(&pn) {
-                None => return Err(Fault { addr: a, access, mapped: false }),
+                None => {
+                    return Err(Fault {
+                        addr: a,
+                        access,
+                        mapped: false,
+                    })
+                }
                 Some(p) if !p.prot.allows(access) => {
-                    return Err(Fault { addr: a, access, mapped: true })
+                    return Err(Fault {
+                        addr: a,
+                        access,
+                        mapped: true,
+                    })
                 }
                 Some(p) => {
                     let n = (len as usize - i).min(PAGE_SIZE as usize - off);
@@ -422,9 +486,19 @@ impl Memory {
             let pn = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
             match self.pages.get_mut(&pn) {
-                None => return Err(Fault { addr: a, access, mapped: false }),
+                None => {
+                    return Err(Fault {
+                        addr: a,
+                        access,
+                        mapped: false,
+                    })
+                }
                 Some(p) if !p.prot.allows(access) => {
-                    return Err(Fault { addr: a, access, mapped: true })
+                    return Err(Fault {
+                        addr: a,
+                        access,
+                        mapped: true,
+                    })
                 }
                 Some(p) => {
                     let n = (len as usize - i).min(PAGE_SIZE as usize - off);
@@ -458,7 +532,14 @@ mod tests {
     fn unmapped_faults() {
         let m = Memory::new();
         let err = m.read_u64(0x5000).unwrap_err();
-        assert_eq!(err, Fault { addr: 0x5000, access: Access::Read, mapped: false });
+        assert_eq!(
+            err,
+            Fault {
+                addr: 0x5000,
+                access: Access::Read,
+                mapped: false
+            }
+        );
     }
 
     #[test]
@@ -537,7 +618,11 @@ mod tests {
 
     #[test]
     fn fault_display() {
-        let f = Fault { addr: 0x1234, access: Access::Write, mapped: false };
+        let f = Fault {
+            addr: 0x1234,
+            access: Access::Write,
+            mapped: false,
+        };
         assert_eq!(f.to_string(), "write fault at 0x1234 (unmapped)");
     }
 }

@@ -33,7 +33,10 @@ fn main() {
     let mut sim = cr_targets::browsers::ie::build();
     let mut cov = Cov(CoverageHook::new());
     assert!(cr_targets::browsers::ie::browse(&mut sim, 3, &mut cov));
-    println!("trace: {} unique instruction addresses\n", cov.0.visited.len());
+    println!(
+        "trace: {} unique instruction addresses\n",
+        cov.0.visited.len()
+    );
 
     for module in sim.proc.modules.clone() {
         if module.name == "iexplore.exe" {
@@ -62,7 +65,10 @@ fn main() {
                     FilterClass::Undecided { reason } => format!("undecided: {reason}"),
                     FilterClass::RejectsAv => unreachable!(),
                 };
-                println!("      candidate @ {:#x}..{:#x} — {}", s.begin_va, s.end_va, why);
+                println!(
+                    "      candidate @ {:#x}..{:#x} — {}",
+                    s.begin_va, s.end_va, why
+                );
             }
         }
     }

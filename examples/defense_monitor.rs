@@ -17,7 +17,10 @@ use cr_vm::NullHook;
 
 fn main() {
     let det = RateDetector::default();
-    println!("rate-based AV anomaly detection (window {} ms, threshold {}):", det.window_ms, det.threshold);
+    println!(
+        "rate-based AV anomaly detection (window {} ms, threshold {}):",
+        det.window_ms, det.threshold
+    );
 
     let mut sim = firefox::build();
     let t0 = sim.proc.vtime;
@@ -25,16 +28,23 @@ fn main() {
         sim.proc.call(sim.render_page, &[], 100_000, &mut NullHook);
     }
     let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
-    println!("  browsing:  {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+    println!(
+        "  browsing:  {:>5} AVs, peak {:>4}/window → alarm: {}",
+        r.handled_faults, r.peak_window, r.alarm
+    );
 
     let mut sim = firefox::build();
     let t0 = sim.proc.vtime;
     for _ in 0..5 {
-        sim.proc.call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
+        sim.proc
+            .call(sim.asmjs_bench, &[], 1_000_000, &mut NullHook);
         sim.proc.run(200_000, &mut NullHook);
     }
     let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
-    println!("  asm.js:    {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+    println!(
+        "  asm.js:    {:>5} AVs, peak {:>4}/window → alarm: {}",
+        r.handled_faults, r.peak_window, r.alarm
+    );
 
     let mut sim = firefox::build();
     let t0 = sim.proc.vtime;
@@ -42,11 +52,17 @@ fn main() {
         firefox::probe(&mut sim, 0x9000_0000_0000 + i * 0x1000, &mut NullHook);
     }
     let r = det.analyze(&sim.proc.fault_log, t0, sim.proc.vtime);
-    println!("  probing:   {:>5} AVs, peak {:>4}/window → alarm: {}", r.handled_faults, r.peak_window, r.alarm);
+    println!(
+        "  probing:   {:>5} AVs, peak {:>4}/window → alarm: {}",
+        r.handled_faults, r.peak_window, r.alarm
+    );
 
     println!("\nmapped-only-AV policy:");
     let a = asmjs_under_policy(true);
-    println!("  asm.js under policy:  survived={} handled_faults={}", a.survived, a.handled_faults);
+    println!(
+        "  asm.js under policy:  survived={} handled_faults={}",
+        a.survived, a.handled_faults
+    );
     let p = probing_under_policy(true, 10);
     println!(
         "  probing under policy: survived={} probes_before_crash={}",

@@ -22,7 +22,11 @@ fn main() {
     let secret = 0x31_4159_0000u64;
     ie.sim().proc.mem.map(secret, 0x4000, cr_vm::Prot::RW);
     let found = find_region(&mut ie, 0x31_4100_0000, 0x31_4200_0000, 0x1_0000);
-    println!("      found {found:?} in {} probes, crashes: {}\n", ie.probes(), ie.crashed() as u8);
+    println!(
+        "      found {found:?} in {} probes, crashes: {}\n",
+        ie.probes(),
+        ie.crashed() as u8
+    );
 
     // --- Firefox 46 -----------------------------------------------------------
     println!("[2/4] Firefox 46 — background thread + ntdll VEH oracle");
@@ -30,7 +34,11 @@ fn main() {
     let secret = 0x27_1828_1000u64;
     fx.sim().proc.mem.map(secret, 0x2000, cr_vm::Prot::RW);
     let found = find_region(&mut fx, secret - 0x10_0000, secret + 0x10_0000, 0x1000);
-    println!("      found {found:?} in {} probes, crashes: {}\n", fx.probes(), fx.crashed() as u8);
+    println!(
+        "      found {found:?} in {} probes, crashes: {}\n",
+        fx.probes(),
+        fx.crashed() as u8
+    );
 
     // --- Nginx 1.9 --------------------------------------------------------------
     println!("[3/4] Nginx 1.9 — parallel-connection recv oracle");
@@ -38,12 +46,19 @@ fn main() {
     let secret = 0x55_0000_4000u64;
     ng.proc().mem.map(secret, 0x1000, cr_vm::Prot::RW);
     let found = find_region(&mut ng, 0x55_0000_0000, 0x55_0001_0000, 0x1000);
-    println!("      found {found:?} in {} probes, crashes: {}\n", ng.probes(), ng.crashed() as u8);
+    println!(
+        "      found {found:?} in {} probes, crashes: {}\n",
+        ng.probes(),
+        ng.crashed() as u8
+    );
 
     // --- Cherokee 1.2 -------------------------------------------------------------
     println!("[4/4] Cherokee 1.2 — epoll_wait timing side channel");
     let mut ck = CherokeeOracle::new();
-    println!("      calibrated healthy batch latency: {} steps", ck.baseline());
+    println!(
+        "      calibrated healthy batch latency: {} steps",
+        ck.baseline()
+    );
     ck.proc().mem.map(0x77_0000_0000, 0x1000, cr_vm::Prot::RW);
     let mapped = ck.probe(0x77_0000_0000);
     let unmapped = ck.probe(0x88_0000_0000);

@@ -12,9 +12,16 @@
 use cr_core::syscall_finder::{discover_server, Classification};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nginx".to_string());
-    let Some(target) = cr_targets::all_servers().into_iter().find(|t| t.name == name) else {
-        eprintln!("unknown server {name:?}; available: nginx cherokee lighttpd memcached postgresql");
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nginx".to_string());
+    let Some(target) = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == name)
+    else {
+        eprintln!(
+            "unknown server {name:?}; available: nginx cherokee lighttpd memcached postgresql"
+        );
         std::process::exit(1);
     };
 
@@ -33,17 +40,22 @@ fn main() {
     for f in &report.findings {
         let verdict = match f.classification {
             Classification::CrashesOnInvalidation => "crashes on invalidation (±)",
-            Classification::Usable { service_after: true } => "USABLE — service survives (⊕)",
-            Classification::Usable { service_after: false } => {
-                "usable per framework, service dead (false positive)"
-            }
+            Classification::Usable {
+                service_after: true,
+            } => "USABLE — service survives (⊕)",
+            Classification::Usable {
+                service_after: false,
+            } => "usable per framework, service dead (false positive)",
             Classification::NotRetriggered => "not re-triggered",
         };
         println!(
             "  {:<12} arg {}  sources {:?}  → {}",
             f.syscall_name,
             f.arg_index,
-            f.sources.iter().map(|s| format!("{s:#x}")).collect::<Vec<_>>(),
+            f.sources
+                .iter()
+                .map(|s| format!("{s:#x}"))
+                .collect::<Vec<_>>(),
             verdict
         );
     }

@@ -1,8 +1,32 @@
 #!/usr/bin/env bash
-# Full verification: build, lints, tests, docs, bench smoke.
+# The tier-1 gate. Everything CI (and the roadmap) requires, in order:
+# formatting, lints-as-errors, release build, tests.
+#
+# Usage: scripts/check.sh [--offline]
+#   --offline   forward to every cargo invocation (hermetic builds;
+#               the workspace vendors its registry deps under
+#               crates/shims/, so offline is expected to work).
 set -euo pipefail
-cargo build --workspace --examples --benches
-cargo test --workspace
-cargo doc --workspace --no-deps
-cargo bench -p cr-bench -- --test
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) CARGO_FLAGS+=("--offline") ;;
+    *)
+      echo "usage: scripts/check.sh [--offline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run() {
+  echo "[check] $*"
+  "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings
+run cargo build --release "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
+run cargo test -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 echo "[check] all green"

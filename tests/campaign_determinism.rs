@@ -1,0 +1,165 @@
+//! Campaign engine acceptance tests (the cr-campaign tentpole):
+//!
+//! * a `--jobs 8` campaign produces **byte-identical** deterministic
+//!   results to a serial run of the same spec;
+//! * a warm rerun against a persisted cache is served almost entirely
+//!   from the cache and never invokes the SAT solver.
+
+use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// `cr_symex::solver_calls()` is process-wide; tests that count it (or
+/// feed it) take this lock so the harness's parallelism can't bleed
+/// solver calls across tests.
+static SOLO: Mutex<()> = Mutex::new(());
+
+fn solo() -> std::sync::MutexGuard<'static, ()> {
+    SOLO.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A mixed-family spec that touches every task kind without taking
+/// minutes: three SEH modules, one server, a small funnel, one oracle.
+fn mixed_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "determinism".into(),
+        seed: 2017,
+        tasks: vec![
+            CampaignTask::SehAnalysis("xmllite".into()),
+            CampaignTask::SehAnalysis("jscript9".into()),
+            CampaignTask::ServerDiscovery("nginx".into()),
+            CampaignTask::ApiFunnel { corpus_size: 200 },
+            CampaignTask::PocScan("nginx".into()),
+            CampaignTask::SehAnalysis("xmllite".into()),
+        ],
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cr-campaign-test-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn sharded_campaign_is_byte_identical_to_serial() {
+    let _guard = solo();
+    let spec = mixed_spec();
+    let serial = run_campaign(
+        &spec,
+        &EngineConfig {
+            jobs: 1,
+            retries: 0,
+            cache_dir: None,
+        },
+    )
+    .expect("serial run");
+    let sharded = run_campaign(
+        &spec,
+        &EngineConfig {
+            jobs: 8,
+            retries: 0,
+            cache_dir: None,
+        },
+    )
+    .expect("sharded run");
+
+    assert_eq!(serial.records.len(), spec.tasks.len());
+    assert!(
+        serial.records.iter().all(|r| r.result.is_some()),
+        "all tasks succeed"
+    );
+    assert_eq!(serial.results_json(), sharded.results_json());
+    // Scheduling metadata may differ; outcome counts must not.
+    assert_eq!(serial.metrics.succeeded, sharded.metrics.succeeded);
+    assert_eq!(sharded.metrics.failed, 0);
+}
+
+#[test]
+fn warm_rerun_is_served_from_the_cache_without_the_solver() {
+    let _guard = solo();
+    let dir = scratch("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = CampaignSpec {
+        name: "warm".into(),
+        seed: 2017,
+        tasks: vec![
+            CampaignTask::SehAnalysis("xmllite".into()),
+            CampaignTask::SehAnalysis("jscript9".into()),
+            CampaignTask::SehAnalysis("user32".into()),
+        ],
+    };
+    let cfg = EngineConfig {
+        jobs: 2,
+        retries: 0,
+        cache_dir: Some(dir.clone()),
+    };
+
+    let cold = run_campaign(&spec, &cfg).expect("cold run");
+    assert_eq!(
+        cold.metrics.cache.module_hits, 0,
+        "first run cannot hit the module cache"
+    );
+
+    let solver_before = cr_symex::solver_calls();
+    let warm = run_campaign(&spec, &cfg).expect("warm run");
+    let solver_after = cr_symex::solver_calls();
+
+    assert_eq!(
+        solver_after - solver_before,
+        0,
+        "warm rerun skips all symbolic execution"
+    );
+    let s = warm.metrics.cache;
+    assert!(
+        s.hit_rate() >= 0.95,
+        "warm rerun must be served >=95% from the cache, got {:.3} ({s:?})",
+        s.hit_rate()
+    );
+    assert_eq!(s.module_hits, 3);
+    assert_eq!(s.module_misses, 0);
+    assert_eq!(
+        warm.results_json(),
+        cold.results_json(),
+        "cache must not change results"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_tasks_are_isolated_and_reported() {
+    let _guard = solo();
+    let spec = CampaignSpec {
+        name: "isolation".into(),
+        seed: 2017,
+        tasks: vec![
+            CampaignTask::SehAnalysis("no-such-module".into()),
+            CampaignTask::SehAnalysis("xmllite".into()),
+        ],
+    };
+    let report = run_campaign(
+        &spec,
+        &EngineConfig {
+            jobs: 2,
+            retries: 1,
+            cache_dir: None,
+        },
+    )
+    .expect("campaign survives task panics");
+    assert_eq!(report.metrics.failed, 1);
+    assert_eq!(report.metrics.succeeded, 1);
+    let bad = &report.records[0];
+    assert!(bad.result.is_none());
+    assert!(bad
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("no-such-module"));
+    assert_eq!(
+        report.metrics.tasks[0].attempts, 2,
+        "one retry before giving up"
+    );
+    assert!(
+        report.records[1].result.is_some(),
+        "healthy task unaffected"
+    );
+}

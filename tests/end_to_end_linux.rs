@@ -31,7 +31,10 @@ fn lighttpd_finding_is_directly_exploitable() {
     assert!(matches!(exit, RunExit::Idle), "server survives: {exit:?}");
     assert!(p.alive());
     assert!(p.efault_count >= 1, "the probe is visible as -EFAULT");
-    assert!(p.net.server_closed(conn), "graceful per-connection teardown");
+    assert!(
+        p.net.server_closed(conn),
+        "graceful per-connection teardown"
+    );
 }
 
 #[test]
@@ -52,7 +55,10 @@ fn crashing_finding_really_crashes() {
     p.run(500_000, &mut NullHook);
     p.net.client_send(conn, b"GET /\n\n");
     let exit = p.run(2_000_000, &mut NullHook);
-    assert!(matches!(exit, RunExit::Crashed(_)), "touched pointer crashes: {exit:?}");
+    assert!(
+        matches!(exit, RunExit::Crashed(_)),
+        "touched pointer crashes: {exit:?}"
+    );
 }
 
 #[test]
@@ -71,12 +77,26 @@ fn all_five_servers_have_a_usable_primitive() {
 
 #[test]
 fn discovery_is_deterministic() {
-    let t1 = cr_targets::all_servers().into_iter().find(|t| t.name == "memcached").unwrap();
-    let t2 = cr_targets::all_servers().into_iter().find(|t| t.name == "memcached").unwrap();
+    let t1 = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == "memcached")
+        .unwrap();
+    let t2 = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == "memcached")
+        .unwrap();
     let r1 = discover_server(&t1);
     let r2 = discover_server(&t2);
     assert_eq!(r1.observed_syscalls, r2.observed_syscalls);
-    let k1: Vec<_> = r1.findings.iter().map(|f| (f.syscall, f.sources.clone())).collect();
-    let k2: Vec<_> = r2.findings.iter().map(|f| (f.syscall, f.sources.clone())).collect();
+    let k1: Vec<_> = r1
+        .findings
+        .iter()
+        .map(|f| (f.syscall, f.sources.clone()))
+        .collect();
+    let k2: Vec<_> = r2
+        .findings
+        .iter()
+        .map(|f| (f.syscall, f.sources.clone()))
+        .collect();
     assert_eq!(k1, k2, "same binary + same workload → same findings");
 }

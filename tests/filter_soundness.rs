@@ -39,13 +39,25 @@ impl FilterAst {
         match self {
             FilterAst::Ret(c) => *c,
             FilterAst::IfCodeEq(k, a, b) => {
-                if code == *k { a.eval(code, flags) } else { b.eval(code, flags) }
+                if code == *k {
+                    a.eval(code, flags)
+                } else {
+                    b.eval(code, flags)
+                }
             }
             FilterAst::IfSeverity(s, a, b) => {
-                if (code >> 30) as u8 == *s { a.eval(code, flags) } else { b.eval(code, flags) }
+                if (code >> 30) as u8 == *s {
+                    a.eval(code, flags)
+                } else {
+                    b.eval(code, flags)
+                }
             }
             FilterAst::IfFlagsBit(m, a, b) => {
-                if flags & m != 0 { a.eval(code, flags) } else { b.eval(code, flags) }
+                if flags & m != 0 {
+                    a.eval(code, flags)
+                } else {
+                    b.eval(code, flags)
+                }
             }
         }
     }
@@ -95,7 +107,11 @@ impl FilterAst {
     /// `r8d` = flags; `r11` is per-test scratch.
     fn compile(&self, a: &mut Asm) {
         a.load(Reg::R9, M::base(Reg::Rcx));
-        a.inst(Inst::MovRRm { dst: Reg::R10, src: Rm::Mem(M::base(Reg::R9)), width: Width::B4 });
+        a.inst(Inst::MovRRm {
+            dst: Reg::R10,
+            src: Rm::Mem(M::base(Reg::R9)),
+            width: Width::B4,
+        });
         a.inst(Inst::MovRRm {
             dst: Reg::R8,
             src: Rm::Mem(M::base_disp(Reg::R9, 4)),
@@ -166,10 +182,21 @@ fn arb_filter() -> impl Strategy<Value = FilterAst> {
                 inner.clone()
             )
                 .prop_map(|(k, a, b)| FilterAst::IfCodeEq(k, Box::new(a), Box::new(b))),
-            (0u8..4, inner.clone(), inner.clone())
-                .prop_map(|(s, a, b)| FilterAst::IfSeverity(s, Box::new(a), Box::new(b))),
-            (prop_oneof![Just(1u32), Just(2), Just(0x10)], inner.clone(), inner)
-                .prop_map(|(m, a, b)| FilterAst::IfFlagsBit(m, Box::new(a), Box::new(b))),
+            (0u8..4, inner.clone(), inner.clone()).prop_map(|(s, a, b)| FilterAst::IfSeverity(
+                s,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (
+                prop_oneof![Just(1u32), Just(2), Just(0x10)],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(m, a, b)| FilterAst::IfFlagsBit(
+                    m,
+                    Box::new(a),
+                    Box::new(b)
+                )),
         ]
     })
 }

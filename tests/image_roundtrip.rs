@@ -3,9 +3,7 @@
 //! populations survive write→parse exactly. The discovery pipeline's
 //! first stage is only as good as these parsers.
 
-use cr_image::{
-    ElfImage, ElfSegment, FilterRef, Machine, PeBuilder, PeImage, ScopeEntry, SegPerm,
-};
+use cr_image::{ElfImage, ElfSegment, FilterRef, Machine, PeBuilder, PeImage, ScopeEntry, SegPerm};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -20,14 +18,19 @@ fn arb_perm() -> impl Strategy<Value = SegPerm> {
 
 fn arb_segment() -> impl Strategy<Value = ElfSegment> {
     (
-        1u64..0x100,            // page index
+        1u64..0x100, // page index
         proptest::collection::vec(any::<u8>(), 0..256),
         0u64..0x1000,
         arb_perm(),
     )
         .prop_map(|(page, data, extra, perm)| {
             let memsz = data.len() as u64 + extra;
-            ElfSegment { vaddr: page * 0x1000, data, memsz, perm }
+            ElfSegment {
+                vaddr: page * 0x1000,
+                data,
+                memsz,
+                perm,
+            }
         })
 }
 

@@ -13,11 +13,18 @@ fn ie_oracle_matches_ground_truth() {
     let base = 0x61_0000_0000u64;
     // Collect pages to map first (borrow rules), then run.
     for i in (0..8u64).step_by(2) {
-        o.sim().proc.mem.map(base + i * 0x1000, 0x1000, cr_vm::Prot::RW);
+        o.sim()
+            .proc
+            .mem
+            .map(base + i * 0x1000, 0x1000, cr_vm::Prot::RW);
     }
     for i in 0..8u64 {
         let addr = base + i * 0x1000;
-        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        let expect = if i % 2 == 0 {
+            ProbeResult::Mapped
+        } else {
+            ProbeResult::Unmapped
+        };
         assert_eq!(o.probe(addr), expect, "page {i}");
     }
     assert!(!o.crashed());
@@ -28,11 +35,18 @@ fn firefox_oracle_matches_ground_truth() {
     let mut o = FirefoxOracle::new();
     let base = 0x62_0000_0000u64;
     for i in (0..8u64).step_by(2) {
-        o.sim().proc.mem.map(base + i * 0x1000, 0x1000, cr_vm::Prot::R);
+        o.sim()
+            .proc
+            .mem
+            .map(base + i * 0x1000, 0x1000, cr_vm::Prot::R);
     }
     for i in 0..8u64 {
         let addr = base + i * 0x1000;
-        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        let expect = if i % 2 == 0 {
+            ProbeResult::Mapped
+        } else {
+            ProbeResult::Unmapped
+        };
         assert_eq!(o.probe(addr), expect, "page {i}");
     }
     assert!(!o.crashed());
@@ -47,7 +61,11 @@ fn nginx_oracle_matches_ground_truth() {
     }
     for i in 0..6u64 {
         let addr = base + i * 0x1000 + 0x100;
-        let expect = if i % 2 == 0 { ProbeResult::Mapped } else { ProbeResult::Unmapped };
+        let expect = if i % 2 == 0 {
+            ProbeResult::Mapped
+        } else {
+            ProbeResult::Unmapped
+        };
         assert_eq!(o.probe(addr), expect, "page {i}");
     }
     assert!(!o.crashed());
