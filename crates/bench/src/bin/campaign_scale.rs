@@ -76,6 +76,7 @@ fn main() {
                 jobs,
                 retries: 0,
                 cache_dir: Some(dir),
+                ..EngineConfig::default()
             },
         )
         .expect("campaign cache I/O");

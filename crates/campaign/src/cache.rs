@@ -16,6 +16,20 @@
 //! file is byte-stable), loaded before the campaign and rewritten
 //! after. Without a directory the cache lives in memory only — still
 //! useful, since campaigns repeat filter bodies across modules.
+//!
+//! ## Corruption handling
+//!
+//! Each persisted line is framed as `CRC32HEX ' ' JSON` (CRC-32/IEEE
+//! over the JSON bytes). Loading validates the frame, the CRC and the
+//! JSON shape; a line failing any check is **quarantined** — appended
+//! verbatim to [`QUARANTINE_FILE`] and dropped from the tables — and
+//! the load continues. A quarantined entry simply misses on its next
+//! lookup and is recomputed; one torn write never costs a whole warm
+//! cache. Unframed legacy lines (starting with `{`) still load.
+//!
+//! Saving is atomic: the file is written to a temporary sibling and
+//! renamed into place, so a campaign killed mid-save leaves either the
+//! old cache or the new one, never a torn hybrid.
 
 use crate::json::Json;
 use cr_core::seh::VerdictCache;
@@ -28,6 +42,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// Name of the persisted cache file inside `--cache DIR`.
 pub const CACHE_FILE: &str = "analysis-cache.jsonl";
+
+/// Quarantine file: cache lines that failed CRC or parse validation,
+/// appended verbatim at load time.
+pub const QUARANTINE_FILE: &str = "cache.quarantine.jsonl";
 
 /// Cached summary of one module analysis (the campaign-visible subset
 /// of [`cr_core::seh::ModuleSehAnalysis`]).
@@ -97,6 +115,7 @@ struct Tables {
 pub struct AnalysisCache {
     tables: Mutex<Tables>,
     stats: CacheStats,
+    quarantined: AtomicU64,
 }
 
 impl AnalysisCache {
@@ -108,10 +127,15 @@ impl AnalysisCache {
     /// Load the cache persisted under `dir`, or an empty cache when no
     /// file exists yet.
     ///
+    /// Malformed lines (bad frame, CRC mismatch, unparseable JSON) do
+    /// **not** fail the load: each is appended to [`QUARANTINE_FILE`],
+    /// counted in [`AnalysisCache::quarantined`], and skipped, so the
+    /// healthy remainder of the cache stays warm.
+    ///
     /// # Errors
     ///
-    /// I/O failure reading the file, or a malformed line (the cache is
-    /// machine-written; corruption should be loud, not silent).
+    /// Real I/O failure only (unreadable cache file, unwritable
+    /// quarantine file).
     pub fn load(dir: &Path) -> io::Result<AnalysisCache> {
         let path = dir.join(CACHE_FILE);
         let cache = AnalysisCache::new();
@@ -120,51 +144,105 @@ impl AnalysisCache {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
             Err(e) => return Err(e),
         };
-        let mut tables = cache.tables.lock().unwrap();
-        for (lineno, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+        let mut quarantine: Vec<&str> = Vec::new();
+        {
+            let mut tables = cache.tables.lock().unwrap();
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let ok = unframe(line).and_then(|json| parse_entry(json, &mut tables));
+                if ok.is_err() {
+                    quarantine.push(line);
+                }
             }
-            parse_entry(line, &mut tables).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{}:{}: {e}", path.display(), lineno + 1),
-                )
-            })?;
         }
-        drop(tables);
+        if !quarantine.is_empty() {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(QUARANTINE_FILE))?;
+            for line in &quarantine {
+                f.write_all(line.as_bytes())?;
+                f.write_all(b"\n")?;
+            }
+            cache
+                .quarantined
+                .store(quarantine.len() as u64, Ordering::Relaxed);
+        }
         Ok(cache)
+    }
+
+    /// Lines rejected (and quarantined) by the last [`AnalysisCache::load`].
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Persist all entries under `dir` (created if missing). Entries
     /// are written sorted by key, so equal caches produce equal files.
+    /// The write is atomic: a temporary file is renamed into place.
     ///
     /// # Errors
     ///
     /// I/O failure creating the directory or writing the file.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
+        self.save_with(dir, |_, _| {})
+    }
+
+    /// [`AnalysisCache::save`] with a per-record hook: `mutate` sees
+    /// each framed line (`CRC32HEX ' ' JSON`) together with its index
+    /// in the sorted save order, and may rewrite it in place. This is
+    /// the fault-injection point for corrupt/torn record chaos — the
+    /// index is the stable scope key a
+    /// [`cr_chaos::FaultInjector`] decision is keyed on.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory or writing the file.
+    pub fn save_with(
+        &self,
+        dir: &Path,
+        mut mutate: impl FnMut(usize, &mut String),
+    ) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let tables = self.tables.lock().unwrap();
         let filters: BTreeMap<_, _> = tables.filters.iter().collect();
         let modules: BTreeMap<_, _> = tables.modules.iter().collect();
         let mut out = String::new();
+        let mut index = 0usize;
+        let mut push = |record: String, out: &mut String| {
+            let mut line = frame(&record);
+            mutate(index, &mut line);
+            index += 1;
+            out.push_str(&line);
+            out.push('\n');
+        };
         for (key, verdict) in filters {
-            out.push_str(&format!(
-                "{{\"kind\":\"filter\",\"key\":{},\"verdict\":{}}}\n",
-                serde::Serialize::to_json(key),
-                serde::Serialize::to_json(verdict)
-            ));
+            push(
+                format!(
+                    "{{\"kind\":\"filter\",\"key\":{},\"verdict\":{}}}",
+                    serde::Serialize::to_json(key),
+                    serde::Serialize::to_json(verdict)
+                ),
+                &mut out,
+            );
         }
         for (key, summary) in modules {
-            out.push_str(&format!(
-                "{{\"kind\":\"module\",\"key\":{},\"summary\":{}}}\n",
-                serde::Serialize::to_json(key),
-                serde::Serialize::to_json(summary)
-            ));
+            push(
+                format!(
+                    "{{\"kind\":\"module\",\"key\":{},\"summary\":{}}}",
+                    serde::Serialize::to_json(key),
+                    serde::Serialize::to_json(summary)
+                ),
+                &mut out,
+            );
         }
         drop(tables);
-        let mut f = std::fs::File::create(dir.join(CACHE_FILE))?;
-        f.write_all(out.as_bytes())
+        // Write-then-rename: a crash mid-save leaves the old file
+        // intact, never a torn hybrid.
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out.as_bytes())?;
+        std::fs::rename(&tmp, dir.join(CACHE_FILE))
     }
 
     /// Look up a filter verdict.
@@ -254,6 +332,43 @@ impl VerdictCache for SharedVerdictCache<'_> {
     }
 }
 
+/// CRC-32/IEEE (the zlib polynomial), bitwise — entries are short and
+/// saves are rare, so no table is warranted.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frame one JSON record for persistence: `CRC32HEX ' ' JSON`.
+fn frame(json: &str) -> String {
+    format!("{:08x} {json}", crc32(json.as_bytes()))
+}
+
+/// Validate one persisted line and return its JSON payload. Bare
+/// `{...}` lines (the pre-CRC format) pass through unchecked.
+fn unframe(line: &str) -> Result<&str, String> {
+    if line.starts_with('{') {
+        return Ok(line); // legacy unframed record
+    }
+    let (tok, json) = line.split_once(' ').ok_or("missing CRC frame")?;
+    if tok.len() != 8 || !tok.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("bad CRC token {tok:?}"));
+    }
+    let want = u32::from_str_radix(tok, 16).map_err(|e| e.to_string())?;
+    let got = crc32(json.as_bytes());
+    if got != want {
+        return Err(format!("CRC mismatch: frame {want:08x}, payload {got:08x}"));
+    }
+    Ok(json)
+}
+
 fn parse_entry(line: &str, tables: &mut Tables) -> Result<(), String> {
     let v = Json::parse(line)?;
     let key = v
@@ -341,6 +456,12 @@ fn intern(s: &str) -> &'static str {
 mod tests {
     use super::*;
 
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cr-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     fn sample_tables(cache: &AnalysisCache) {
         cache.put_filter("x64:aaaa", &FilterVerdict::RejectsAccessViolation);
         cache.put_filter(
@@ -366,13 +487,14 @@ mod tests {
 
     #[test]
     fn round_trips_through_jsonl() {
-        let dir = std::env::temp_dir().join(format!("cr-cache-rt-{}", std::process::id()));
+        let dir = scratch("rt");
         let cache = AnalysisCache::new();
         sample_tables(&cache);
         cache.save(&dir).unwrap();
 
         let back = AnalysisCache::load(&dir).unwrap();
         assert_eq!(back.len(), (3, 1));
+        assert_eq!(back.quarantined(), 0);
         assert_eq!(
             back.get_filter("x64:aaaa"),
             Some(FilterVerdict::RejectsAccessViolation)
@@ -398,18 +520,123 @@ mod tests {
     }
 
     #[test]
-    fn missing_dir_loads_empty() {
-        let cache = AnalysisCache::load(Path::new("/nonexistent/cr-cache")).unwrap();
-        assert!(cache.is_empty());
+    fn every_persisted_line_is_crc_framed() {
+        let dir = scratch("framed");
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        cache.save(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        for line in text.lines() {
+            let json = unframe(line).expect("valid frame");
+            assert!(json.starts_with('{'));
+            assert!(!line.starts_with('{'), "line must carry a CRC prefix");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_lines_are_loud() {
-        let dir = std::env::temp_dir().join(format!("cr-cache-bad-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(CACHE_FILE), "{\"kind\":\"filter\"}\n").unwrap();
-        assert!(AnalysisCache::load(&dir).is_err());
+    fn missing_dir_loads_empty() {
+        let cache = AnalysisCache::load(Path::new("/nonexistent/cr-cache")).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.quarantined(), 0);
+    }
+
+    /// Regression: a malformed line must not abort the whole load — it
+    /// is quarantined and the healthy lines still come back warm.
+    #[test]
+    fn corrupt_lines_are_quarantined_not_fatal() {
+        let dir = scratch("bad");
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        cache.save(&dir).unwrap();
+
+        // Corrupt one line: flip a payload byte under an intact CRC.
+        let text = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let victim = lines
+            .iter()
+            .position(|l| l.contains("deadbeef"))
+            .expect("module line");
+        lines[victim] = lines[victim].replace("user32", "us#r32");
+        // And append pure garbage plus a torn half-line.
+        lines.push("not a cache line at all".into());
+        let torn = &lines[0][..lines[0].len() / 2];
+        lines.push(torn.to_string());
+        std::fs::write(dir.join(CACHE_FILE), lines.join("\n")).unwrap();
+
+        let back = AnalysisCache::load(&dir).expect("load must survive corruption");
+        assert_eq!(back.quarantined(), 3);
+        // Healthy entries stayed warm; the corrupted module dropped out.
+        assert_eq!(back.len(), (3, 0));
+        assert!(back.get_filter("x64:aaaa").is_some());
+        assert!(back.get_module("deadbeef").is_none());
+        // The rejects landed verbatim in the quarantine file.
+        let q = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(q.lines().count(), 3);
+        assert!(q.contains("us#r32"));
+        assert!(q.contains("not a cache line at all"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_unframed_lines_still_load() {
+        let dir = scratch("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(CACHE_FILE),
+            "{\"kind\":\"filter\",\"key\":\"x64:old\",\"verdict\":\"RejectsAccessViolation\"}\n",
+        )
+        .unwrap();
+        let cache = AnalysisCache::load(&dir).unwrap();
+        assert_eq!(cache.quarantined(), 0);
+        assert_eq!(
+            cache.get_filter("x64:old"),
+            Some(FilterVerdict::RejectsAccessViolation)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_temporary_files() {
+        let dir = scratch("atomic");
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        cache.save(&dir).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![CACHE_FILE.to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_with_mutator_produces_quarantinable_lines() {
+        let dir = scratch("mutate");
+        let cache = AnalysisCache::new();
+        sample_tables(&cache);
+        // Corrupt record 1 and tear record 2 of the 4 sorted records.
+        cache
+            .save_with(&dir, |i, line| match i {
+                1 => *line = line.replace('"', "#"),
+                2 => line.truncate(line.len() / 2),
+                _ => {}
+            })
+            .unwrap();
+        let back = AnalysisCache::load(&dir).unwrap();
+        assert_eq!(back.quarantined(), 2);
+        // Records 1 and 2 (both filters in sorted order) dropped out;
+        // filter 0 and the module survived.
+        assert_eq!(back.len(), (1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_rejects_single_byte_changes() {
+        let line = frame(r#"{"kind":"filter","key":"k","verdict":"RejectsAccessViolation"}"#);
+        assert!(unframe(&line).is_ok());
+        let tampered = line.replace("filter", "filteR");
+        assert!(unframe(&tampered).is_err());
     }
 
     #[test]

@@ -8,25 +8,50 @@
 //! [`AnalysisCache`]; results are re-ordered by spec index, so the
 //! deterministic half of the report is identical no matter how many
 //! workers ran it.
+//!
+//! ## Fault injection
+//!
+//! With an [`EngineConfig::injector`], the engine threads a
+//! [`cr_chaos::FaultInjector`] through every hot path: at the top of
+//! each attempt ([`Site::WorkerPanic`], [`Site::TaskStall`]), between
+//! image generation and parsing ([`Site::ImageBytes`]), before
+//! symbolic vetting ([`Site::SolverBudget`]) and while persisting the
+//! cache ([`Site::CacheRecord`]). Decisions are keyed on the task's
+//! spec index (or a cache record's save-order index), so the same plan
+//! injects the same faults at any `--jobs` count —
+//! [`expected_error_counts`] predicts the per-class totals exactly.
 
 use crate::cache::{AnalysisCache, SehSummary, SharedVerdictCache};
+use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
 use crate::metrics::CampaignMetrics;
-use crate::pool::run_sharded;
+use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
 use crate::spec::{CampaignSpec, CampaignTask};
-use cr_core::seh::{self, analyze_module_cached};
-use cr_exploits::MemoryOracle;
+use cr_chaos::{FaultInjector, FaultKind, Site};
+use cr_core::seh::{self, analyze_module_cached, NoCache};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Engine knobs (the CLI's `--jobs/--cache/--retries`).
+/// Engine knobs (the CLI's `--jobs/--cache/--retries/--deadline-ms`).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (1 = serial).
     pub jobs: usize,
-    /// Extra attempts for a panicking task.
+    /// Extra attempts for a failing task.
     pub retries: u32,
     /// Cache directory; `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Per-attempt virtual-time deadline in milliseconds (`None`
+    /// disables deadline classification).
+    pub deadline_ms: Option<u64>,
+    /// Per-attempt wall-clock watchdog in milliseconds; off by default
+    /// (wall time is nondeterministic, so reports under the watchdog
+    /// are not byte-stable).
+    pub wall_watchdog_ms: Option<u64>,
+    /// Base for seeded exponential retry backoff, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Fault injector; `None` runs the pipeline unperturbed.
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +60,10 @@ impl Default for EngineConfig {
             jobs: 1,
             retries: 1,
             cache_dir: None,
+            deadline_ms: Some(DEFAULT_DEADLINE_MS),
+            wall_watchdog_ms: None,
+            backoff_base_ms: 1,
+            injector: None,
         }
     }
 }
@@ -98,8 +127,8 @@ pub struct TaskRecord {
     pub label: String,
     /// The result, absent when the task failed.
     pub result: Option<TaskResult>,
-    /// Final panic message when the task failed.
-    pub error: Option<String>,
+    /// The final attempt's classified error when the task failed.
+    pub error: Option<TaskError>,
 }
 
 /// Everything a campaign run produces.
@@ -109,20 +138,31 @@ pub struct CampaignReport {
     pub spec: CampaignSpec,
     /// Deterministic per-task rows, in spec order.
     pub records: Vec<TaskRecord>,
+    /// Per-class counts over every failed attempt (recovered ones
+    /// included) plus quarantined cache records.
+    pub errors: ErrorCounts,
+    /// `true` when at least one task has no result — the campaign
+    /// completed, but its coverage is partial.
+    pub degraded: bool,
     /// Run-variant metrics (timings, attempts, cache counters).
     pub metrics: CampaignMetrics,
 }
 
 impl CampaignReport {
-    /// JSON of the deterministic half only (spec + records). Two runs
-    /// of the same spec — serial or sharded, any worker count —
-    /// produce identical bytes.
+    /// JSON of the deterministic half only (spec, records, error
+    /// accounting, degraded flag). Two runs of the same spec under the
+    /// same fault plan — serial or sharded, any worker count — produce
+    /// identical bytes.
     pub fn results_json(&self) -> String {
         use serde::Serialize;
         let mut out = String::from("{\"spec\":");
         self.spec.write_json(&mut out);
         out.push_str(",\"records\":");
         self.records.write_json(&mut out);
+        out.push_str(",\"errors\":");
+        self.errors.write_json(&mut out);
+        out.push_str(",\"degraded\":");
+        self.degraded.write_json(&mut out);
         out.push('}');
         out
     }
@@ -132,23 +172,45 @@ impl CampaignReport {
 ///
 /// # Errors
 ///
-/// Only cache I/O fails the whole campaign (a corrupt or unwritable
-/// `--cache DIR` should be loud); individual task failures land in
-/// their [`TaskRecord`].
+/// Only cache I/O fails the whole campaign (an unreadable or
+/// unwritable `--cache DIR` should be loud); individual task failures
+/// land in their [`TaskRecord`], and corrupt cache *content* is
+/// quarantined, not fatal.
 pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<CampaignReport> {
     let cache = match &cfg.cache_dir {
         Some(dir) => AnalysisCache::load(dir)?,
         None => AnalysisCache::new(),
     };
+    let quarantined = cache.quarantined();
+    let solver_before = cr_symex::solver_calls();
+    let injector = cfg.injector.as_deref();
 
+    let pool_cfg = PoolConfig {
+        jobs: cfg.jobs,
+        retries: cfg.retries,
+        seed: spec.seed,
+        deadline_ms: cfg.deadline_ms,
+        wall_watchdog_ms: cfg.wall_watchdog_ms,
+        backoff_base_ms: cfg.backoff_base_ms,
+        ..PoolConfig::default()
+    };
     let started = Instant::now();
-    let execs = run_sharded(cfg.jobs, spec.tasks.len(), cfg.retries, |i| {
-        execute_task(&spec.tasks[i], spec.seed, &cache)
+    let execs = run_pool(&pool_cfg, spec.tasks.len(), |ctx| {
+        execute_task(&spec.tasks[ctx.index], &cache, injector, ctx)
     });
     let total_wall_us = started.elapsed().as_micros() as u64;
 
     if let Some(dir) = &cfg.cache_dir {
-        cache.save(dir)?;
+        match injector {
+            Some(inj) if inj.plan().arms(Site::CacheRecord) => {
+                cache.save_with(dir, |i, line| {
+                    if let Some(kind) = inj.fires(Site::CacheRecord, i as u64, 0) {
+                        inj.corrupt_record(kind, i as u64, line);
+                    }
+                })?
+            }
+            _ => cache.save(dir)?,
+        }
     }
 
     let labels: Vec<(String, &'static str)> =
@@ -162,9 +224,19 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
             error: e.outcome.as_ref().err().cloned(),
         })
         .collect();
+    let mut errors = ErrorCounts::default();
+    for e in &execs {
+        for err in &e.attempt_errors {
+            errors.record(err.kind);
+        }
+    }
+    errors.add(TaskErrorKind::CacheCorrupt, quarantined);
+    let degraded = records.iter().any(|r| r.result.is_none());
     let metrics = CampaignMetrics::from_executions(
         cfg.jobs.max(1),
         total_wall_us,
+        cr_symex::solver_calls() - solver_before,
+        quarantined,
         cache.stats(),
         &labels,
         &execs,
@@ -172,16 +244,96 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
     Ok(CampaignReport {
         spec: spec.clone(),
         records,
+        errors,
+        degraded,
         metrics,
     })
 }
 
-fn execute_task(task: &CampaignTask, seed: u64, cache: &AnalysisCache) -> TaskResult {
+/// Predict the per-class error counts [`run_campaign`] will report for
+/// `spec` under `cfg` — an exact, side-effect-free mirror of the
+/// per-attempt fault decision order in [`execute_task`] (worker panic,
+/// then stall, then image bytes, then solver budget; first firing site
+/// wins the attempt). Counts **injected** faults only; a spec whose
+/// tasks fail on their own (unknown targets, say) will report more.
+///
+/// Cache-record faults fire at save time against the *previous* run's
+/// records, so they are accounted separately (see
+/// [`FaultInjector::fired_count`] with [`Site::CacheRecord`], and the
+/// quarantine counter on the following load).
+pub fn expected_error_counts(spec: &CampaignSpec, cfg: &EngineConfig) -> ErrorCounts {
+    let mut counts = ErrorCounts::default();
+    let Some(inj) = cfg.injector.as_deref() else {
+        return counts;
+    };
+    for (i, task) in spec.tasks.iter().enumerate() {
+        for attempt in 0..=cfg.retries {
+            match simulate_attempt(inj, task, i as u64, attempt, cfg.deadline_ms) {
+                Some(kind) => counts.record(kind),
+                None => break,
+            }
+        }
+    }
+    counts
+}
+
+/// The injected failure class (if any) of one simulated attempt. Must
+/// mirror [`execute_task`] exactly.
+fn simulate_attempt(
+    inj: &FaultInjector,
+    task: &CampaignTask,
+    key: u64,
+    attempt: u32,
+    deadline_ms: Option<u64>,
+) -> Option<TaskErrorKind> {
+    if let Some(FaultKind::Panic) = inj.would_fire(Site::WorkerPanic, key, attempt) {
+        return Some(TaskErrorKind::Panic);
+    }
+    if let Some(FaultKind::Stall { virtual_ms }) = inj.would_fire(Site::TaskStall, key, attempt) {
+        if deadline_ms.is_some_and(|d| virtual_ms > d) {
+            return Some(TaskErrorKind::TimedOut);
+        }
+    }
+    if matches!(task, CampaignTask::SehAnalysis(_)) {
+        if let Some(FaultKind::BitFlip { .. } | FaultKind::Truncate { .. }) =
+            inj.would_fire(Site::ImageBytes, key, attempt)
+        {
+            return Some(TaskErrorKind::ImageMalformed);
+        }
+        if let Some(FaultKind::SolverBudget { .. }) =
+            inj.would_fire(Site::SolverBudget, key, attempt)
+        {
+            return Some(TaskErrorKind::SolverBudget);
+        }
+    }
+    None
+}
+
+fn execute_task(
+    task: &CampaignTask,
+    cache: &AnalysisCache,
+    inj: Option<&FaultInjector>,
+    ctx: &TaskCtx,
+) -> Result<TaskResult, TaskError> {
+    let key = ctx.index as u64;
+    ctx.checkpoint()?;
+    if let Some(inj) = inj {
+        if let Some(FaultKind::Panic) = inj.fires(Site::WorkerPanic, key, ctx.attempt) {
+            panic!(
+                "chaos: injected panic at worker.panic (task {key}, attempt {})",
+                ctx.attempt
+            );
+        }
+        if let Some(FaultKind::Stall { virtual_ms }) = inj.fires(Site::TaskStall, key, ctx.attempt)
+        {
+            ctx.stall(virtual_ms)?;
+        }
+    }
     match task {
-        CampaignTask::ServerDiscovery(name) => run_server(name),
-        CampaignTask::SehAnalysis(name) => run_seh(name, cache),
-        CampaignTask::ApiFunnel { corpus_size } => run_funnel(*corpus_size, seed),
-        CampaignTask::PocScan(name) => run_poc(name),
+        CampaignTask::ServerDiscovery(name) => Ok(run_server(name)),
+        CampaignTask::SehAnalysis(name) => run_seh(name, cache, inj, ctx),
+        CampaignTask::ApiFunnel { corpus_size } => Ok(run_funnel(*corpus_size, ctx.seed)),
+        CampaignTask::PocScan(name) => Ok(run_poc(name)),
     }
 }
 
@@ -199,11 +351,54 @@ fn run_server(name: &str) -> TaskResult {
     }
 }
 
-fn run_seh(name: &str, cache: &AnalysisCache) -> TaskResult {
+fn run_seh(
+    name: &str,
+    cache: &AnalysisCache,
+    inj: Option<&FaultInjector>,
+    ctx: &TaskCtx,
+) -> Result<TaskResult, TaskError> {
     let spec = cr_targets::browsers::full_population_specs()
         .into_iter()
         .find(|s| s.name == name)
         .unwrap_or_else(|| panic!("unknown dll {name:?}"));
+    let key = ctx.index as u64;
+
+    if let Some(inj) = inj {
+        if let Some(kind @ (FaultKind::BitFlip { .. } | FaultKind::Truncate { .. })) =
+            inj.fires(Site::ImageBytes, key, ctx.attempt)
+        {
+            // Corrupt the raw bytes between generation and parsing.
+            // Either the parser rejects them (the hardened common case)
+            // or the mutation landed in slack space and the image still
+            // parses — both are classified ImageMalformed so accounting
+            // stays exact.
+            let mut bytes = cr_targets::browsers::generate_dll_bytes(&spec);
+            inj.mutate_bytes(kind, key, &mut bytes);
+            return Err(match cr_image::PeImage::parse(&bytes) {
+                Err(e) => TaskError::image_malformed(format!(
+                    "chaos: mutated image rejected by parser: {e}"
+                )),
+                Ok(_) => TaskError::image_malformed(
+                    "chaos: mutation landed in slack space; image still parses",
+                ),
+            });
+        }
+        if let Some(FaultKind::SolverBudget { max_steps }) =
+            inj.fires(Site::SolverBudget, key, ctx.attempt)
+        {
+            // Run the real analysis under a clamped step budget so the
+            // exhaustion path is exercised, but without the shared
+            // cache: Unknown verdicts from a starved solver must not
+            // poison warm reruns.
+            let img = cr_targets::browsers::generate_dll(&spec);
+            let _ =
+                cr_symex::with_step_budget(max_steps, || analyze_module_cached(&img, &mut NoCache));
+            return Err(TaskError::solver_budget(format!(
+                "chaos: solver step budget clamped to {max_steps}"
+            )));
+        }
+    }
+
     let img = cr_targets::browsers::generate_dll(&spec);
     let image_hash = seh::image_content_hash(&img);
     let summary = match cache.get_module(&image_hash) {
@@ -223,10 +418,10 @@ fn run_seh(name: &str, cache: &AnalysisCache) -> TaskResult {
             s
         }
     };
-    TaskResult::Seh {
+    Ok(TaskResult::Seh {
         image_hash,
         summary,
-    }
+    })
 }
 
 fn run_funnel(corpus_size: usize, seed: u64) -> TaskResult {
@@ -241,9 +436,6 @@ fn run_funnel(corpus_size: usize, seed: u64) -> TaskResult {
     }
 }
 
-/// Per-oracle probe windows: the IE oracle walks the DLL region, the
-/// Firefox oracle the §VII hidden-region window, the nginx oracle the
-/// server heap window its PoC tests use.
 /// Per-oracle §VI scenario: secret region (address, length) and the
 /// probe window (start, end, stride) swept for it — the same shapes
 /// the `poc_exploits` bench uses.
@@ -278,7 +470,7 @@ fn run_poc(name: &str) -> TaskResult {
     let (secret, len, start, end, stride) = poc_scenario(name);
     // The defense hides a SafeStack-style region at the secret address;
     // the oracle must locate it with zero crashes.
-    let mut oracle: Box<dyn MemoryOracle> = match name {
+    let mut oracle: Box<dyn cr_exploits::MemoryOracle> = match name {
         "ie" => {
             let mut o = cr_exploits::ie::IeOracle::new();
             o.sim().proc.mem.map(secret, len, cr_vm::Prot::RW);

@@ -1,0 +1,204 @@
+//! Structured error taxonomy for campaign tasks.
+//!
+//! Every failed task *attempt* is classified into one of a small set
+//! of [`TaskErrorKind`]s, and the campaign report aggregates them into
+//! [`ErrorCounts`]. The taxonomy is what makes chaos runs checkable:
+//! the `chaos` CLI verb compares the observed per-class counts against
+//! the counts the fault plan predicts.
+
+/// The failure class of one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum TaskErrorKind {
+    /// The task panicked (caught by the pool; worker survives).
+    Panic,
+    /// The task exceeded its deadline (virtual-time stall or wall-clock
+    /// watchdog cancellation).
+    TimedOut,
+    /// A module image failed to parse (corrupt bytes).
+    ImageMalformed,
+    /// Symbolic execution ran out of solver budget.
+    SolverBudget,
+    /// A persisted cache record failed CRC or parse validation.
+    CacheCorrupt,
+    /// An I/O operation failed.
+    Io,
+}
+
+impl TaskErrorKind {
+    /// Every kind, in the stable reporting order.
+    pub const ALL: [TaskErrorKind; 6] = [
+        TaskErrorKind::Panic,
+        TaskErrorKind::TimedOut,
+        TaskErrorKind::ImageMalformed,
+        TaskErrorKind::SolverBudget,
+        TaskErrorKind::CacheCorrupt,
+        TaskErrorKind::Io,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskErrorKind::Panic => "panic",
+            TaskErrorKind::TimedOut => "timed_out",
+            TaskErrorKind::ImageMalformed => "image_malformed",
+            TaskErrorKind::SolverBudget => "solver_budget",
+            TaskErrorKind::CacheCorrupt => "cache_corrupt",
+            TaskErrorKind::Io => "io",
+        }
+    }
+}
+
+/// A classified task failure.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct TaskError {
+    /// The failure class.
+    pub kind: TaskErrorKind,
+    /// Human-readable detail (deterministic for injected faults).
+    pub message: String,
+}
+
+impl TaskError {
+    /// Construct an error of `kind` with `message`.
+    pub fn new(kind: TaskErrorKind, message: impl Into<String>) -> TaskError {
+        TaskError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A [`TaskErrorKind::Panic`] error.
+    pub fn panic(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::Panic, message)
+    }
+
+    /// A [`TaskErrorKind::TimedOut`] error.
+    pub fn timed_out(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::TimedOut, message)
+    }
+
+    /// A [`TaskErrorKind::ImageMalformed`] error.
+    pub fn image_malformed(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::ImageMalformed, message)
+    }
+
+    /// A [`TaskErrorKind::SolverBudget`] error.
+    pub fn solver_budget(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::SolverBudget, message)
+    }
+
+    /// A [`TaskErrorKind::CacheCorrupt`] error.
+    pub fn cache_corrupt(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::CacheCorrupt, message)
+    }
+
+    /// A [`TaskErrorKind::Io`] error.
+    pub fn io(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::Io, message)
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind.name(), self.message)
+    }
+}
+
+/// Per-class failure counters over a whole campaign. Counts every
+/// failed *attempt*, including attempts whose task later recovered on
+/// retry — that is what makes the counts comparable with what a fault
+/// plan predicts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ErrorCounts {
+    /// Attempts that panicked.
+    pub panic: u64,
+    /// Attempts that exceeded a deadline.
+    pub timed_out: u64,
+    /// Attempts that hit a malformed image.
+    pub image_malformed: u64,
+    /// Attempts that exhausted the solver budget.
+    pub solver_budget: u64,
+    /// Cache records rejected at load (CRC/parse) — counted once per
+    /// quarantined record, not per attempt.
+    pub cache_corrupt: u64,
+    /// Attempts that failed on I/O.
+    pub io: u64,
+}
+
+impl ErrorCounts {
+    /// Bump the counter for `kind`.
+    pub fn record(&mut self, kind: TaskErrorKind) {
+        *self.slot(kind) += 1;
+    }
+
+    /// Add `n` to the counter for `kind`.
+    pub fn add(&mut self, kind: TaskErrorKind, n: u64) {
+        *self.slot(kind) += n;
+    }
+
+    /// The counter for `kind`.
+    pub fn get(&self, kind: TaskErrorKind) -> u64 {
+        match kind {
+            TaskErrorKind::Panic => self.panic,
+            TaskErrorKind::TimedOut => self.timed_out,
+            TaskErrorKind::ImageMalformed => self.image_malformed,
+            TaskErrorKind::SolverBudget => self.solver_budget,
+            TaskErrorKind::CacheCorrupt => self.cache_corrupt,
+            TaskErrorKind::Io => self.io,
+        }
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        TaskErrorKind::ALL.iter().map(|&k| self.get(k)).sum()
+    }
+
+    fn slot(&mut self, kind: TaskErrorKind) -> &mut u64 {
+        match kind {
+            TaskErrorKind::Panic => &mut self.panic,
+            TaskErrorKind::TimedOut => &mut self.timed_out,
+            TaskErrorKind::ImageMalformed => &mut self.image_malformed,
+            TaskErrorKind::SolverBudget => &mut self.solver_budget,
+            TaskErrorKind::CacheCorrupt => &mut self.cache_corrupt,
+            TaskErrorKind::Io => &mut self.io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_round_trip_every_kind() {
+        let mut c = ErrorCounts::default();
+        for (i, &kind) in TaskErrorKind::ALL.iter().enumerate() {
+            c.add(kind, i as u64 + 1);
+        }
+        for (i, &kind) in TaskErrorKind::ALL.iter().enumerate() {
+            assert_eq!(c.get(kind), i as u64 + 1, "{}", kind.name());
+        }
+        assert_eq!(c.total(), (1..=6).sum::<u64>());
+    }
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = TaskError::timed_out("virtual deadline 200ms exceeded");
+        assert_eq!(e.to_string(), "[timed_out] virtual deadline 200ms exceeded");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = TaskErrorKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "panic",
+                "timed_out",
+                "image_malformed",
+                "solver_budget",
+                "cache_corrupt",
+                "io"
+            ]
+        );
+    }
+}

@@ -7,15 +7,21 @@
 //!
 //! * [`spec::CampaignSpec`] — a serializable enumeration of tasks;
 //! * [`pool`] — a work-stealing worker pool (`--jobs N`) with per-task
-//!   panic isolation and bounded retry;
+//!   panic isolation, virtual-time deadlines, and seeded retry
+//!   backoff (fresh seed per attempt);
+//! * [`error`] — the structured failure taxonomy
+//!   ([`error::TaskErrorKind`]) every failed attempt is classified
+//!   into, aggregated per class in the report;
 //! * [`cache::AnalysisCache`] — a content-addressed cache: filter
 //!   verdicts keyed by the hash of the filter's code bytes, module
-//!   analyses by the image hash, persisted as JSONL so a warm rerun
-//!   skips all symbolic execution;
-//! * [`engine::run_campaign`] — fan-out, re-ordering and metrics. The
+//!   analyses by the image hash, persisted as CRC-framed JSONL
+//!   (corrupt lines are quarantined, saves are atomic) so a warm
+//!   rerun skips all symbolic execution;
+//! * [`engine::run_campaign`] — fan-out, re-ordering and metrics,
+//!   optionally under a [`cr_chaos::FaultInjector`]. The
 //!   deterministic half of the report
 //!   ([`engine::CampaignReport::results_json`]) is byte-identical
-//!   across worker counts.
+//!   across worker counts, fault plans included.
 //!
 //! # Examples
 //!
@@ -35,13 +41,19 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod spec;
 
-pub use cache::{AnalysisCache, CacheStatsSnapshot, SehSummary, SharedVerdictCache, CACHE_FILE};
-pub use engine::{run_campaign, CampaignReport, EngineConfig, TaskRecord, TaskResult};
+pub use cache::{
+    AnalysisCache, CacheStatsSnapshot, SehSummary, SharedVerdictCache, CACHE_FILE, QUARANTINE_FILE,
+};
+pub use engine::{
+    expected_error_counts, run_campaign, CampaignReport, EngineConfig, TaskRecord, TaskResult,
+};
+pub use error::{ErrorCounts, TaskError, TaskErrorKind};
 pub use metrics::{CampaignMetrics, TaskMetrics};
-pub use pool::{run_sharded, TaskExecution};
+pub use pool::{run_pool, PoolConfig, TaskCtx, TaskExecution, DEFAULT_DEADLINE_MS};
 pub use spec::{CampaignSpec, CampaignTask, DEFAULT_SEED};

@@ -22,8 +22,13 @@ pub struct TaskMetrics {
     pub ok: bool,
     /// Attempts used (1 = first-try success).
     pub attempts: u32,
+    /// Failed attempts, by error class name, in attempt order.
+    /// Non-empty with `ok: true` means the task recovered on retry.
+    pub attempt_errors: Vec<String>,
     /// Wall time across attempts, microseconds.
     pub wall_us: u64,
+    /// Milliseconds slept in retry backoff.
+    pub backoff_ms: u64,
 }
 
 /// Whole-campaign metrics.
@@ -33,13 +38,21 @@ pub struct CampaignMetrics {
     pub jobs: usize,
     /// Tasks that produced a result.
     pub succeeded: usize,
-    /// Tasks that kept panicking past the retry bound.
+    /// Tasks that kept failing past the retry bound.
     pub failed: usize,
     /// End-to-end campaign wall time, microseconds.
     pub total_wall_us: u64,
     /// Sum of per-task wall times, microseconds (≫ `total_wall_us`
     /// when sharding helps).
     pub task_wall_us: u64,
+    /// Total milliseconds slept in retry backoff across all tasks.
+    pub backoff_ms: u64,
+    /// SAT-solver invocations during this campaign (delta of the
+    /// process-wide [`cr_symex::solver_calls`] counter). Zero on a
+    /// fully warm rerun.
+    pub solver_calls: u64,
+    /// Cache lines quarantined while loading `--cache DIR`.
+    pub quarantined: u64,
     /// Cache hit/miss counters for this run.
     pub cache: CacheStatsSnapshot,
     /// Per-task rows, in spec order.
@@ -51,6 +64,8 @@ impl CampaignMetrics {
     pub fn from_executions<T>(
         jobs: usize,
         total_wall_us: u64,
+        solver_calls: u64,
+        quarantined: u64,
         cache: CacheStatsSnapshot,
         labels: &[(String, &'static str)],
         execs: &[TaskExecution<T>],
@@ -63,7 +78,13 @@ impl CampaignMetrics {
                 kind: labels[e.index].1.to_string(),
                 ok: e.outcome.is_ok(),
                 attempts: e.attempts,
+                attempt_errors: e
+                    .attempt_errors
+                    .iter()
+                    .map(|err| err.kind.name().to_string())
+                    .collect(),
                 wall_us: e.wall.as_micros() as u64,
+                backoff_ms: e.backoff_ms,
             })
             .collect();
         CampaignMetrics {
@@ -72,6 +93,9 @@ impl CampaignMetrics {
             failed: tasks.iter().filter(|t| !t.ok).count(),
             total_wall_us,
             task_wall_us: tasks.iter().map(|t| t.wall_us).sum(),
+            backoff_ms: tasks.iter().map(|t| t.backoff_ms).sum(),
+            solver_calls,
+            quarantined,
             cache,
             tasks,
         }

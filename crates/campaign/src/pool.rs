@@ -1,74 +1,220 @@
-//! Work-stealing worker pool with per-task panic isolation.
+//! Work-stealing worker pool with panic isolation, per-task deadlines,
+//! and seeded retry backoff.
 //!
-//! `--jobs N` spawns N scoped worker threads that pull task indices
+//! `jobs = N` spawns N scoped worker threads that pull task indices
 //! from a shared atomic counter — the degenerate (and contention-free)
 //! form of work stealing: every worker steals the next undone task, so
 //! long tasks never serialize behind short ones and no static
-//! partitioning is needed. Each task runs under
-//! [`std::panic::catch_unwind`]: a panicking task is retried up to the
-//! configured bound and, if it keeps failing, recorded as failed
-//! without taking the worker (or the campaign) down.
+//! partitioning is needed.
+//!
+//! Robustness semantics per task:
+//!
+//! * each attempt runs under [`std::panic::catch_unwind`] — a panic is
+//!   classified [`TaskErrorKind::Panic`](crate::error::TaskErrorKind)
+//!   without taking the worker down;
+//! * each attempt gets a [`TaskCtx`] carrying a *virtual* clock: code
+//!   that stalls (really or via fault injection) charges virtual
+//!   milliseconds with [`TaskCtx::stall`], and exceeding the configured
+//!   deadline classifies the attempt
+//!   [`TaskErrorKind::TimedOut`](crate::error::TaskErrorKind). Virtual
+//!   time never sleeps, so chaos runs stay fast and deterministic;
+//! * an optional wall-clock watchdog (off by default — wall time is
+//!   nondeterministic) cancels attempts cooperatively: the watchdog
+//!   thread flips a per-task flag that [`TaskCtx::checkpoint`] turns
+//!   into `TimedOut`;
+//! * failed attempts back off exponentially with seeded jitter before
+//!   retrying, and every attempt derives a fresh seed from
+//!   `(pool seed, task index, attempt)` — a retry is a genuinely new
+//!   trial, not a replay of the failing one;
+//! * every failed attempt's classified error is kept in
+//!   [`TaskExecution::attempt_errors`] so reports can account for
+//!   recovered faults, not just terminal ones.
 //!
 //! The workspace vendors no `crossbeam`/`rayon` (offline build), so
 //! the pool is plain `std`: [`std::thread::scope`] + atomics.
 
+use crate::error::TaskError;
+use cr_chaos::derive_seed;
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Pool knobs. [`PoolConfig::default`] is serial, one retry, a
+/// 200 ms virtual deadline and no wall watchdog.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (values < 1 degrade to 1).
+    pub jobs: usize,
+    /// Extra attempts for a failing task.
+    pub retries: u32,
+    /// Base seed; attempt `a` of task `i` runs with
+    /// `derive_seed(&[seed, i, a])` for `a > 0` and `seed` itself for
+    /// the first attempt (so fault-free runs are seed-stable).
+    pub seed: u64,
+    /// Per-attempt *virtual* deadline in milliseconds; `None` disables
+    /// deadline classification entirely.
+    pub deadline_ms: Option<u64>,
+    /// Per-attempt *wall-clock* watchdog in milliseconds; `None` (the
+    /// default) disables the watchdog thread. Cancellation is
+    /// cooperative — tasks notice at their next [`TaskCtx::checkpoint`].
+    pub wall_watchdog_ms: Option<u64>,
+    /// Backoff before retry `a` is `min(cap, base << (a-1))` plus
+    /// seeded jitter in `[0, base)` milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound for the exponential backoff component.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            jobs: 1,
+            retries: 1,
+            seed: 0,
+            deadline_ms: Some(DEFAULT_DEADLINE_MS),
+            wall_watchdog_ms: None,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 64,
+        }
+    }
+}
+
+/// Default per-attempt virtual deadline (milliseconds).
+pub const DEFAULT_DEADLINE_MS: u64 = 200;
+
+/// Per-attempt execution context handed to the task closure.
+///
+/// Carries the attempt's derived seed, the virtual clock, and the
+/// cooperative cancellation flag. Not `Sync` (the virtual clock is a
+/// [`Cell`]); each attempt gets its own.
+pub struct TaskCtx<'a> {
+    /// Task index in submission order (the stable fault-scope key).
+    pub index: usize,
+    /// Attempt number, 0-based.
+    pub attempt: u32,
+    /// Seed for this attempt (fresh per attempt — see [`PoolConfig::seed`]).
+    pub seed: u64,
+    cancel: &'a AtomicBool,
+    virtual_ms: Cell<u64>,
+    deadline_ms: Option<u64>,
+}
+
+impl TaskCtx<'_> {
+    /// Charge `ms` virtual milliseconds to this attempt's clock.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskErrorKind::TimedOut`](crate::error::TaskErrorKind) when the
+    /// accumulated virtual time exceeds the configured deadline, or when
+    /// the wall watchdog has cancelled this task.
+    pub fn stall(&self, ms: u64) -> Result<(), TaskError> {
+        let t = self.virtual_ms.get().saturating_add(ms);
+        self.virtual_ms.set(t);
+        if let Some(d) = self.deadline_ms {
+            if t > d {
+                return Err(TaskError::timed_out(format!(
+                    "task {} attempt {}: virtual clock {t}ms exceeded deadline {d}ms",
+                    self.index, self.attempt
+                )));
+            }
+        }
+        self.checkpoint()
+    }
+
+    /// Cooperative cancellation point.
+    ///
+    /// # Errors
+    ///
+    /// [`TaskErrorKind::TimedOut`](crate::error::TaskErrorKind) when the
+    /// wall watchdog cancelled this task.
+    pub fn checkpoint(&self) -> Result<(), TaskError> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(TaskError::timed_out(format!(
+                "task {} attempt {}: cancelled by wall-clock watchdog",
+                self.index, self.attempt
+            )));
+        }
+        Ok(())
+    }
+
+    /// Virtual milliseconds charged so far this attempt.
+    pub fn virtual_ms(&self) -> u64 {
+        self.virtual_ms.get()
+    }
+}
 
 /// What happened to one task, with scheduling metadata.
 #[derive(Debug)]
 pub struct TaskExecution<T> {
     /// Index of the task in the submitted order.
     pub index: usize,
-    /// 1 for a first-try success; `1 + retries` when every attempt
-    /// panicked.
+    /// Attempts used (1 = first-try success).
     pub attempts: u32,
-    /// Wall time across all attempts.
+    /// Wall time across all attempts (including backoff).
     pub wall: Duration,
-    /// The task's value, or the final panic message.
-    pub outcome: Result<T, String>,
+    /// The task's value, or the final attempt's classified error.
+    pub outcome: Result<T, TaskError>,
+    /// The classified error of every *failed* attempt, in attempt
+    /// order. Non-empty even when `outcome` is `Ok` (the task
+    /// recovered on retry).
+    pub attempt_errors: Vec<TaskError>,
+    /// Total milliseconds slept in retry backoff.
+    pub backoff_ms: u64,
 }
 
-/// Run `count` tasks on `jobs` workers, retrying each panicking task
-/// up to `retries` extra times. Results come back in task order, one
-/// entry per task, regardless of which worker ran what when.
+/// Run `count` tasks on a pool configured by `cfg`. Results come back
+/// in task order, one entry per task, regardless of which worker ran
+/// what when.
 ///
 /// `task` must be callable from any worker — shared state goes through
 /// interior mutability (the campaign cache already locks internally).
+/// A returned `Err` is a classified failure; a panic is caught and
+/// classified as [`TaskErrorKind::Panic`](crate::error::TaskErrorKind).
+/// Either failure is retried up to `cfg.retries` extra times.
 ///
 /// # Panics
 ///
 /// Panics only on poisoned internal locks (i.e. never, unless the
 /// allocator itself fails mid-collection).
-pub fn run_sharded<T, F>(jobs: usize, count: usize, retries: u32, task: F) -> Vec<TaskExecution<T>>
+pub fn run_pool<T, F>(cfg: &PoolConfig, count: usize, task: F) -> Vec<TaskExecution<T>>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(&TaskCtx) -> Result<T, TaskError> + Sync,
 {
-    let jobs = jobs.max(1).min(count.max(1));
+    let jobs = cfg.jobs.max(1).min(count.max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<TaskExecution<T>>>> =
         (0..count).map(|_| Mutex::new(None)).collect();
+    let cancels: Vec<AtomicBool> = (0..count).map(|_| AtomicBool::new(false)).collect();
+    // Attempt start times for the wall watchdog: task index -> Instant.
+    let running: Vec<Mutex<Option<Instant>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let done = AtomicBool::new(false);
 
     let worker = |_worker_id: usize| loop {
         let index = next.fetch_add(1, Ordering::Relaxed);
         if index >= count {
             break;
         }
-        let exec = run_one(index, retries, &task);
+        let exec = run_one(cfg, index, &cancels[index], &running[index], &task);
         *slots[index].lock().unwrap() = Some(exec);
     };
 
-    if jobs == 1 {
+    if jobs == 1 && cfg.wall_watchdog_ms.is_none() {
         // Inline fast path: same isolation semantics, no threads.
         worker(0);
     } else {
         std::thread::scope(|s| {
-            for id in 0..jobs {
-                s.spawn(move || worker(id));
+            let handles: Vec<_> = (0..jobs).map(|id| s.spawn(move || worker(id))).collect();
+            if let Some(limit_ms) = cfg.wall_watchdog_ms {
+                let (done, cancels, running) = (&done, &cancels[..], &running[..]);
+                s.spawn(move || watchdog(limit_ms, done, cancels, running));
             }
+            for h in handles {
+                let _ = h.join();
+            }
+            done.store(true, Ordering::Relaxed);
         });
     }
 
@@ -78,34 +224,122 @@ where
         .collect()
 }
 
-fn run_one<T, F>(index: usize, retries: u32, task: &F) -> TaskExecution<T>
-where
-    F: Fn(usize) -> T,
-{
-    let started = Instant::now();
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        match catch_unwind(AssertUnwindSafe(|| task(index))) {
-            Ok(value) => {
-                return TaskExecution {
-                    index,
-                    attempts,
-                    wall: started.elapsed(),
-                    outcome: Ok(value),
-                }
-            }
-            Err(payload) => {
-                if attempts > retries {
-                    return TaskExecution {
-                        index,
-                        attempts,
-                        wall: started.elapsed(),
-                        outcome: Err(panic_message(payload.as_ref())),
-                    };
-                }
+/// Watchdog loop: cancel any attempt running longer than `limit_ms`
+/// wall milliseconds. Runs until `done` is set by the pool.
+fn watchdog(
+    limit_ms: u64,
+    done: &AtomicBool,
+    cancels: &[AtomicBool],
+    running: &[Mutex<Option<Instant>>],
+) {
+    let tick = Duration::from_millis((limit_ms / 4).clamp(1, 20));
+    while !done.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        for (index, start) in running.iter().enumerate() {
+            let expired = start
+                .lock()
+                .unwrap()
+                .is_some_and(|t| t.elapsed().as_millis() as u64 > limit_ms);
+            if expired {
+                cancels[index].store(true, Ordering::Relaxed);
             }
         }
+    }
+}
+
+fn run_one<T, F>(
+    cfg: &PoolConfig,
+    index: usize,
+    cancel: &AtomicBool,
+    running: &Mutex<Option<Instant>>,
+    task: &F,
+) -> TaskExecution<T>
+where
+    F: Fn(&TaskCtx) -> Result<T, TaskError>,
+{
+    let started = Instant::now();
+    let mut attempt_errors = Vec::new();
+    let mut backoff_ms = 0u64;
+    for attempt in 0..=cfg.retries {
+        let ctx = TaskCtx {
+            index,
+            attempt,
+            seed: attempt_seed(cfg.seed, index, attempt),
+            cancel,
+            virtual_ms: Cell::new(0),
+            deadline_ms: cfg.deadline_ms,
+        };
+        cancel.store(false, Ordering::Relaxed);
+        *running.lock().unwrap() = Some(Instant::now());
+        let outcome = catch_unwind(AssertUnwindSafe(|| task(&ctx)));
+        *running.lock().unwrap() = None;
+        let error = match outcome {
+            Ok(Ok(value)) => {
+                return TaskExecution {
+                    index,
+                    attempts: attempt + 1,
+                    wall: started.elapsed(),
+                    outcome: Ok(value),
+                    attempt_errors,
+                    backoff_ms,
+                };
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => TaskError::panic(panic_message(payload.as_ref())),
+        };
+        attempt_errors.push(error);
+        if attempt < cfg.retries {
+            let pause = backoff_pause(cfg, index, attempt);
+            backoff_ms += pause;
+            if pause > 0 {
+                std::thread::sleep(Duration::from_millis(pause));
+            }
+        }
+    }
+    TaskExecution {
+        index,
+        attempts: cfg.retries + 1,
+        wall: started.elapsed(),
+        outcome: Err(attempt_errors.last().expect("at least one attempt").clone()),
+        attempt_errors,
+        backoff_ms,
+    }
+}
+
+/// Seed for attempt `attempt` of task `index`: the pool seed itself on
+/// the first attempt (fault-free runs are seed-stable), a fresh
+/// derivation afterwards so retries are new trials.
+pub fn attempt_seed(seed: u64, index: usize, attempt: u32) -> u64 {
+    if attempt == 0 {
+        seed
+    } else {
+        derive_seed(&[seed, index as u64, attempt as u64])
+    }
+}
+
+/// Backoff (milliseconds) after failed attempt `attempt` of task
+/// `index`: exponential in the attempt, capped, plus seeded jitter so
+/// simultaneously failing tasks do not retry in lockstep.
+fn backoff_pause(cfg: &PoolConfig, index: usize, attempt: u32) -> u64 {
+    if cfg.backoff_base_ms == 0 {
+        return 0;
+    }
+    let exp = cfg
+        .backoff_base_ms
+        .saturating_shl(attempt.min(16))
+        .min(cfg.backoff_cap_ms);
+    let jitter = derive_seed(&[cfg.seed, index as u64, attempt as u64, 0xBAC0FF])
+        % cfg.backoff_base_ms.max(1);
+    exp + jitter
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
     }
 }
 
@@ -122,21 +356,33 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::TaskErrorKind;
     use std::collections::BTreeSet;
     use std::sync::atomic::AtomicU32;
+
+    fn quick(jobs: usize, retries: u32) -> PoolConfig {
+        PoolConfig {
+            jobs,
+            retries,
+            seed: 42,
+            backoff_base_ms: 0,
+            ..PoolConfig::default()
+        }
+    }
 
     #[test]
     fn runs_every_task_exactly_once_in_order() {
         for jobs in [1, 2, 8] {
             let hits: Vec<AtomicU32> = (0..40).map(|_| AtomicU32::new(0)).collect();
-            let out = run_sharded(jobs, 40, 0, |i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-                i * 3
+            let out = run_pool(&quick(jobs, 0), 40, |ctx| {
+                hits[ctx.index].fetch_add(1, Ordering::Relaxed);
+                Ok(ctx.index * 3)
             });
             assert_eq!(out.len(), 40);
             for (i, e) in out.iter().enumerate() {
                 assert_eq!(e.index, i);
                 assert_eq!(e.attempts, 1);
+                assert!(e.attempt_errors.is_empty());
                 assert_eq!(*e.outcome.as_ref().unwrap(), i * 3);
             }
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -146,13 +392,14 @@ mod tests {
     #[test]
     fn parallel_workers_really_share_the_queue() {
         let seen = Mutex::new(BTreeSet::new());
-        run_sharded(4, 50, 0, |i| {
+        run_pool(&quick(4, 0), 50, |ctx| {
             // Long enough that one worker cannot drain the queue before
             // the other three have spawned.
             std::thread::sleep(Duration::from_millis(2));
             seen.lock()
                 .unwrap()
-                .insert((i, format!("{:?}", std::thread::current().id())));
+                .insert((ctx.index, format!("{:?}", std::thread::current().id())));
+            Ok(())
         });
         let ids: BTreeSet<String> = seen
             .lock()
@@ -162,43 +409,136 @@ mod tests {
             .collect();
         assert!(
             ids.len() > 1,
-            "with 4 workers and 100 tasks, >1 thread must run tasks"
+            "with 4 workers and 50 tasks, >1 thread must run tasks"
         );
     }
 
     #[test]
     fn panicking_task_is_retried_then_reported() {
         let tries = AtomicU32::new(0);
-        let out = run_sharded(2, 3, 2, |i| {
-            if i == 1 {
+        let out = run_pool(&quick(2, 2), 3, |ctx| {
+            if ctx.index == 1 {
                 tries.fetch_add(1, Ordering::Relaxed);
-                panic!("task {i} exploded");
+                panic!("task {} exploded", ctx.index);
             }
-            i
+            Ok(ctx.index)
         });
         assert_eq!(tries.load(Ordering::Relaxed), 3, "1 try + 2 retries");
         assert_eq!(out[0].outcome.as_ref().unwrap(), &0);
         assert_eq!(out[2].outcome.as_ref().unwrap(), &2);
         assert_eq!(out[1].attempts, 3);
-        assert_eq!(out[1].outcome.as_ref().unwrap_err(), "task 1 exploded");
+        let err = out[1].outcome.as_ref().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::Panic);
+        assert_eq!(err.message, "task 1 exploded");
+        assert_eq!(out[1].attempt_errors.len(), 3);
     }
 
     #[test]
-    fn flaky_task_succeeds_on_retry() {
+    fn flaky_task_succeeds_on_retry_and_keeps_the_error() {
         let tries = AtomicU32::new(0);
-        let out = run_sharded(1, 1, 3, |_| {
+        let out = run_pool(&quick(1, 3), 1, |_| {
             if tries.fetch_add(1, Ordering::Relaxed) == 0 {
-                panic!("first attempt only");
+                return Err(TaskError::io("first attempt only"));
             }
-            7u32
+            Ok(7u32)
         });
         assert_eq!(out[0].attempts, 2);
         assert_eq!(*out[0].outcome.as_ref().unwrap(), 7);
+        assert_eq!(out[0].attempt_errors.len(), 1);
+        assert_eq!(out[0].attempt_errors[0].kind, TaskErrorKind::Io);
+    }
+
+    #[test]
+    fn attempt_seeds_differ_but_first_is_stable() {
+        assert_eq!(attempt_seed(99, 5, 0), 99);
+        let s1 = attempt_seed(99, 5, 1);
+        let s2 = attempt_seed(99, 5, 2);
+        assert_ne!(s1, 99);
+        assert_ne!(s1, s2);
+        assert_ne!(attempt_seed(99, 6, 1), s1, "seed is per-task");
+    }
+
+    #[test]
+    fn virtual_deadline_classifies_timed_out() {
+        let cfg = PoolConfig {
+            deadline_ms: Some(100),
+            ..quick(1, 0)
+        };
+        let out = run_pool(&cfg, 2, |ctx| {
+            if ctx.index == 0 {
+                ctx.stall(250)?; // exceeds the 100ms virtual deadline
+                unreachable!("stall past deadline must error");
+            }
+            ctx.stall(50)?; // within deadline: fine
+            Ok(ctx.virtual_ms())
+        });
+        let err = out[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::TimedOut);
+        assert!(err.message.contains("250ms"), "{}", err.message);
+        assert_eq!(*out[1].outcome.as_ref().unwrap(), 50);
+    }
+
+    #[test]
+    fn stall_accumulates_across_calls() {
+        let cfg = PoolConfig {
+            deadline_ms: Some(100),
+            ..quick(1, 0)
+        };
+        let out = run_pool(&cfg, 1, |ctx| -> Result<(), TaskError> {
+            ctx.stall(60)?;
+            ctx.stall(60)?; // 120 total > 100
+            unreachable!();
+        });
+        assert_eq!(
+            out[0].outcome.as_ref().unwrap_err().kind,
+            TaskErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn wall_watchdog_cancels_stuck_tasks() {
+        let cfg = PoolConfig {
+            wall_watchdog_ms: Some(20),
+            ..quick(2, 0)
+        };
+        let out = run_pool(&cfg, 2, |ctx| {
+            if ctx.index == 0 {
+                // "Stuck" loop that still hits checkpoints.
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_secs(5) {
+                    ctx.checkpoint()?;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Ok(())
+        });
+        let err = out[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.kind, TaskErrorKind::TimedOut);
+        assert!(err.message.contains("watchdog"), "{}", err.message);
+        assert!(out[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn backoff_grows_and_is_recorded() {
+        let tries = AtomicU32::new(0);
+        let cfg = PoolConfig {
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            ..quick(1, 3)
+        };
+        let out = run_pool(&cfg, 1, |_| {
+            tries.fetch_add(1, Ordering::Relaxed);
+            Err::<(), _>(TaskError::io("always fails"))
+        });
+        assert_eq!(out[0].attempts, 4);
+        // 3 backoffs of at least base ms each, plus jitter.
+        assert!(out[0].backoff_ms >= 3, "got {}", out[0].backoff_ms);
+        assert!(out[0].wall >= Duration::from_millis(3));
     }
 
     #[test]
     fn zero_jobs_degrades_to_one() {
-        let out = run_sharded(0, 2, 0, |i| i);
+        let out = run_pool(&quick(0, 0), 2, |ctx| Ok(ctx.index));
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|e| e.outcome.is_ok()));
     }

@@ -87,6 +87,23 @@ impl CampaignSpec {
         }
     }
 
+    /// A small fixed campaign for smoke tests and chaos validation:
+    /// one server, four modules, a small funnel, one oracle — every
+    /// task family represented, but seconds instead of minutes.
+    pub fn smoke(seed: u64) -> CampaignSpec {
+        let mut tasks = vec![CampaignTask::ServerDiscovery("nginx".into())];
+        for c in cr_targets::browsers::CALIBRATION.iter().take(4) {
+            tasks.push(CampaignTask::SehAnalysis(c.name.to_string()));
+        }
+        tasks.push(CampaignTask::ApiFunnel { corpus_size: 200 });
+        tasks.push(CampaignTask::PocScan("ie".into()));
+        CampaignSpec {
+            name: "builtin-smoke".into(),
+            seed,
+            tasks,
+        }
+    }
+
     /// Parse a spec from its JSON form (the shape [`serde::Serialize`]
     /// emits; `name` and `seed` may be omitted).
     ///
@@ -170,6 +187,18 @@ mod tests {
             );
         }
         assert_eq!(spec.tasks.iter().filter(|t| t.kind() == "seh").count(), 10);
+    }
+
+    #[test]
+    fn smoke_covers_all_families_but_stays_small() {
+        let spec = CampaignSpec::smoke(DEFAULT_SEED);
+        for kind in ["server", "seh", "funnel", "poc"] {
+            assert!(
+                spec.tasks.iter().any(|t| t.kind() == kind),
+                "missing {kind}"
+            );
+        }
+        assert!(spec.tasks.len() <= 8);
     }
 
     #[test]

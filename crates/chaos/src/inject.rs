@@ -1,0 +1,245 @@
+//! The injector: deterministic fault decisions plus byte mutators.
+
+use crate::mix::{derive_seed, hash_str, mix64};
+use crate::plan::{FaultKind, FaultPlan, Site};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decides, deterministically, which faults fire where, and carries
+/// the per-site fired counters for reporting.
+///
+/// Scope keys are caller-chosen stable identifiers: the campaign
+/// engine uses the task's spec index, the cache uses a record's
+/// position in the sorted save order. Identical `(site, key, attempt)`
+/// queries always agree, so [`FaultInjector::would_fire`] can predict
+/// the full injection schedule without side effects.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fired: [AtomicU64; Site::ALL.len()],
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            fired: Default::default(),
+        }
+    }
+
+    /// An injector that never fires (the empty plan).
+    pub fn disarmed() -> FaultInjector {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Pure decision: the fault (if any) that fires at `site` for
+    /// scope `key` on `attempt`. No counters are touched.
+    pub fn would_fire(&self, site: Site, key: u64, attempt: u32) -> Option<FaultKind> {
+        let site_tag = hash_str(site.name());
+        self.plan
+            .faults
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.site == site)
+            .find(|(fi, f)| {
+                attempt < f.max_triggers
+                    && mix64(derive_seed(&[self.plan.seed, site_tag, *fi as u64, key])) % 1000
+                        < f.per_mille as u64
+            })
+            .map(|(_, f)| f.kind)
+    }
+
+    /// [`FaultInjector::would_fire`], recording the firing in the
+    /// per-site counters. Call this from real injection points only.
+    pub fn fires(&self, site: Site, key: u64, attempt: u32) -> Option<FaultKind> {
+        let hit = self.would_fire(site, key, attempt);
+        if hit.is_some() {
+            self.fired[site_index(site)].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// How many times `site` actually fired so far.
+    pub fn fired_count(&self, site: Site) -> u64 {
+        self.fired[site_index(site)].load(Ordering::Relaxed)
+    }
+
+    /// Total firings across all sites.
+    pub fn fired_total(&self) -> u64 {
+        Site::ALL.iter().map(|&s| self.fired_count(s)).sum()
+    }
+
+    /// Apply a byte-stream fault ([`FaultKind::BitFlip`] /
+    /// [`FaultKind::Truncate`]) to `bytes`, seeded by `key` so the
+    /// mutation is reproducible. Other kinds are no-ops.
+    pub fn mutate_bytes(&self, kind: FaultKind, key: u64, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        match kind {
+            FaultKind::BitFlip { flips } => {
+                for i in 0..flips {
+                    let d = mix64(derive_seed(&[self.plan.seed, key, i as u64]));
+                    let pos = (d as usize) % bytes.len();
+                    bytes[pos] ^= 1 << ((d >> 48) % 8);
+                }
+            }
+            FaultKind::Truncate { keep_per_mille } => {
+                let keep = (bytes.len() as u64 * keep_per_mille.min(1000) as u64 / 1000) as usize;
+                bytes.truncate(keep);
+            }
+            _ => {}
+        }
+    }
+
+    /// Apply a record fault ([`FaultKind::CorruptRecord`] /
+    /// [`FaultKind::TornRecord`]) to one serialized line. The result
+    /// stays valid UTF-8; other kinds are no-ops.
+    pub fn corrupt_record(&self, kind: FaultKind, key: u64, line: &mut String) {
+        if line.is_empty() {
+            return;
+        }
+        match kind {
+            FaultKind::CorruptRecord => {
+                let mut b = std::mem::take(line).into_bytes();
+                let d = mix64(derive_seed(&[self.plan.seed, key]));
+                let mut pos = (d as usize) % b.len();
+                // Land on an ASCII byte so the line stays valid UTF-8.
+                while b[pos] >= 0x80 {
+                    pos = (pos + 1) % b.len();
+                }
+                b[pos] = if b[pos] == b'#' { b'@' } else { b'#' };
+                *line = String::from_utf8(b).expect("ASCII-only mutation");
+            }
+            FaultKind::TornRecord => {
+                let mut cut = line.len() / 2;
+                while cut > 0 && !line.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                line.truncate(cut);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn site_index(site: Site) -> usize {
+    Site::ALL
+        .iter()
+        .position(|&s| s == site)
+        .expect("known site")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SiteFault;
+
+    fn one_site_plan(site: Site, kind: FaultKind, per_mille: u16, max_triggers: u32) -> FaultPlan {
+        FaultPlan {
+            name: "test".into(),
+            seed: 7,
+            faults: vec![SiteFault {
+                site,
+                kind,
+                per_mille,
+                max_triggers,
+            }],
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::new(one_site_plan(Site::WorkerPanic, FaultKind::Panic, 500, 1));
+        let b = FaultInjector::new(one_site_plan(Site::WorkerPanic, FaultKind::Panic, 500, 1));
+        let c = FaultInjector::new(
+            one_site_plan(Site::WorkerPanic, FaultKind::Panic, 500, 1).with_seed(8),
+        );
+        let pattern = |inj: &FaultInjector| {
+            (0..64)
+                .map(|k| inj.would_fire(Site::WorkerPanic, k, 0).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c), "seed must matter");
+        assert!(pattern(&a).iter().any(|&f| f), "p=0.5 over 64 keys fires");
+        assert!(!pattern(&a).iter().all(|&f| f), "p=0.5 over 64 keys skips");
+    }
+
+    #[test]
+    fn max_triggers_bounds_attempts_not_keys() {
+        let inj = FaultInjector::new(one_site_plan(Site::TaskStall, FaultKind::Panic, 1000, 2));
+        assert!(inj.would_fire(Site::TaskStall, 5, 0).is_some());
+        assert!(inj.would_fire(Site::TaskStall, 5, 1).is_some());
+        assert!(inj.would_fire(Site::TaskStall, 5, 2).is_none());
+        assert!(inj.would_fire(Site::TaskStall, 6, 0).is_some());
+    }
+
+    #[test]
+    fn fires_counts_but_would_fire_does_not() {
+        let inj = FaultInjector::new(one_site_plan(Site::ImageBytes, FaultKind::Panic, 1000, 1));
+        inj.would_fire(Site::ImageBytes, 0, 0);
+        assert_eq!(inj.fired_count(Site::ImageBytes), 0);
+        inj.fires(Site::ImageBytes, 0, 0);
+        inj.fires(Site::ImageBytes, 1, 0);
+        assert_eq!(inj.fired_count(Site::ImageBytes), 2);
+        assert_eq!(inj.fired_total(), 2);
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let inj = FaultInjector::disarmed();
+        for site in Site::ALL {
+            assert!(inj.would_fire(site, 0, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_reproducible() {
+        let inj = FaultInjector::new(FaultPlan::none().with_seed(3));
+        let orig = vec![0u8; 256];
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        inj.mutate_bytes(FaultKind::BitFlip { flips: 8 }, 9, &mut a);
+        inj.mutate_bytes(FaultKind::BitFlip { flips: 8 }, 9, &mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, orig);
+        let mut c = orig.clone();
+        inj.mutate_bytes(FaultKind::BitFlip { flips: 8 }, 10, &mut c);
+        assert_ne!(a, c, "different keys flip different bits");
+    }
+
+    #[test]
+    fn truncate_keeps_fraction() {
+        let inj = FaultInjector::disarmed();
+        let mut v = vec![1u8; 1000];
+        inj.mutate_bytes(
+            FaultKind::Truncate {
+                keep_per_mille: 400,
+            },
+            0,
+            &mut v,
+        );
+        assert_eq!(v.len(), 400);
+    }
+
+    #[test]
+    fn record_corruption_changes_line_but_keeps_utf8() {
+        let inj = FaultInjector::disarmed();
+        let orig = r#"{"kind":"module","key":"abc","n":1}"#.to_string();
+        let mut line = orig.clone();
+        inj.corrupt_record(FaultKind::CorruptRecord, 4, &mut line);
+        assert_ne!(line, orig);
+        assert_eq!(line.len(), orig.len());
+
+        let mut torn = orig.clone();
+        inj.corrupt_record(FaultKind::TornRecord, 4, &mut torn);
+        assert!(torn.len() < orig.len());
+        assert!(orig.starts_with(&torn));
+    }
+}

@@ -1,0 +1,50 @@
+//! # cr-chaos — deterministic fault injection for the campaign pipeline
+//!
+//! The paper studies code that survives hostile memory probes without
+//! crashing; this crate holds the *pipeline itself* to that standard.
+//! It provides a seedable, fully deterministic fault-injection layer
+//! that the campaign engine threads through its hot paths: worker
+//! panics, task stalls (virtual-time delays), solver budget
+//! exhaustion, byte corruption of module images before parsing, and
+//! corrupt/torn JSONL cache records.
+//!
+//! ## Determinism contract
+//!
+//! Whether a fault fires depends **only** on
+//! `(plan.seed, site, fault-position-in-plan, scope key, attempt)` —
+//! never on wall-clock time, thread scheduling, or global counters.
+//! The scope key is stable by construction (the task's spec index, or
+//! a cache record's position in the sorted save order), so two runs of
+//! the same spec under the same plan inject the *exact same* faults at
+//! any `--jobs` count, and expected fault accounting can be computed
+//! up front with [`FaultInjector::would_fire`].
+//!
+//! A triggered site keeps firing for the first `max_triggers` attempts
+//! of an afflicted scope and then stops, so a task retried at least
+//! `max_triggers` times always recovers from injected faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_chaos::{FaultInjector, FaultPlan, Site};
+//!
+//! let plan = FaultPlan::builtin("panics").unwrap();
+//! let inj = FaultInjector::new(plan);
+//! // Deterministic: the same (site, key, attempt) always decides the same.
+//! let a = inj.would_fire(Site::WorkerPanic, 3, 0).is_some();
+//! let b = inj.would_fire(Site::WorkerPanic, 3, 0).is_some();
+//! assert_eq!(a, b);
+//! // Attempts past max_triggers never fire: retries recover.
+//! assert!(inj.would_fire(Site::WorkerPanic, 3, 9).is_none());
+//! // Built-in "mayhem" arms every site.
+//! let mayhem = FaultPlan::builtin("mayhem").unwrap();
+//! assert!(Site::ALL.iter().all(|&s| mayhem.arms(s)));
+//! ```
+
+mod inject;
+mod mix;
+mod plan;
+
+pub use inject::FaultInjector;
+pub use mix::{derive_seed, hash_str, mix64};
+pub use plan::{FaultKind, FaultPlan, Site, SiteFault, BUILTIN_PLANS};

@@ -1,0 +1,236 @@
+//! Fault plans — what to inject, where, and how often.
+
+/// A named injection point in the campaign pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum Site {
+    /// Inside a worker, at the top of a task attempt: the task panics.
+    WorkerPanic,
+    /// At the start of a task attempt: the task stalls for a
+    /// virtual-time delay (tripping the per-task deadline when one is
+    /// configured).
+    TaskStall,
+    /// Before symbolic filter vetting: the solver step budget is
+    /// forced down so paths abort with budget exhaustion.
+    SolverBudget,
+    /// Between image generation and parsing: the raw image bytes are
+    /// corrupted (bit flips or truncation).
+    ImageBytes,
+    /// During cache persistence: a serialized JSONL record is
+    /// corrupted or torn.
+    CacheRecord,
+}
+
+impl Site {
+    /// Every site, in a stable order.
+    pub const ALL: [Site; 5] = [
+        Site::WorkerPanic,
+        Site::TaskStall,
+        Site::SolverBudget,
+        Site::ImageBytes,
+        Site::CacheRecord,
+    ];
+
+    /// Stable machine-readable name (used in fault decisions, so
+    /// renaming a site changes every seeded plan).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::WorkerPanic => "worker.panic",
+            Site::TaskStall => "task.stall",
+            Site::SolverBudget => "solver.budget",
+            Site::ImageBytes => "image.bytes",
+            Site::CacheRecord => "cache.record",
+        }
+    }
+
+    /// Parse a site from its [`Site::name`] form.
+    pub fn parse(s: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|site| site.name() == s)
+    }
+}
+
+/// What happens when a site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum FaultKind {
+    /// Panic with a deterministic message.
+    Panic,
+    /// Stall the task for this much *virtual* time. No real sleeping
+    /// happens; the delay is charged against the per-task deadline.
+    Stall {
+        /// Virtual milliseconds charged to the task clock.
+        virtual_ms: u64,
+    },
+    /// Clamp the symbolic executor's per-path step budget.
+    SolverBudget {
+        /// The forced budget (paths abort once they exceed it).
+        max_steps: usize,
+    },
+    /// Flip this many seeded bit positions in the byte stream.
+    BitFlip {
+        /// Number of single-bit flips.
+        flips: u32,
+    },
+    /// Truncate the byte stream, keeping this fraction (per mille).
+    Truncate {
+        /// Kept length in 1/1000ths of the original.
+        keep_per_mille: u16,
+    },
+    /// Overwrite bytes inside one serialized record (CRC mismatch).
+    CorruptRecord,
+    /// Cut one serialized record short mid-line (torn write).
+    TornRecord,
+}
+
+/// One armed fault: a site, what to inject, and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct SiteFault {
+    /// Where to inject.
+    pub site: Site,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Firing probability per scope key, in 1/1000ths (0..=1000).
+    pub per_mille: u16,
+    /// An afflicted scope fires on attempts `0..max_triggers` and then
+    /// recovers, so `retries >= max_triggers` guarantees recovery.
+    pub max_triggers: u32,
+}
+
+/// A complete, seedable fault plan.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct FaultPlan {
+    /// Plan name (report header, `--plan NAME`).
+    pub name: String,
+    /// Seed for all fault decisions and byte mutations.
+    pub seed: u64,
+    /// The armed faults. Several faults may share a site; the first
+    /// one whose draw passes wins for a given scope key.
+    pub faults: Vec<SiteFault>,
+}
+
+/// Names of the built-in plans, in presentation order.
+pub const BUILTIN_PLANS: [&str; 7] = [
+    "none", "panics", "stalls", "solver", "image", "cache", "mayhem",
+];
+
+impl FaultPlan {
+    /// The empty plan: no site ever fires.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            name: "none".into(),
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Look up a built-in plan by name (see [`BUILTIN_PLANS`]).
+    ///
+    /// Every built-in plan uses `max_triggers: 1`, so campaigns with at
+    /// least one retry fully recover from what it injects.
+    pub fn builtin(name: &str) -> Option<FaultPlan> {
+        let fault = |site, kind, per_mille| SiteFault {
+            site,
+            kind,
+            per_mille,
+            max_triggers: 1,
+        };
+        let faults: Vec<SiteFault> = match name {
+            "none" => Vec::new(),
+            "panics" => vec![fault(Site::WorkerPanic, FaultKind::Panic, 500)],
+            "stalls" => vec![fault(
+                Site::TaskStall,
+                FaultKind::Stall { virtual_ms: 250 },
+                600,
+            )],
+            "solver" => vec![fault(
+                Site::SolverBudget,
+                FaultKind::SolverBudget { max_steps: 4 },
+                500,
+            )],
+            "image" => vec![
+                fault(Site::ImageBytes, FaultKind::BitFlip { flips: 16 }, 350),
+                fault(
+                    Site::ImageBytes,
+                    FaultKind::Truncate {
+                        keep_per_mille: 400,
+                    },
+                    350,
+                ),
+            ],
+            "cache" => vec![
+                fault(Site::CacheRecord, FaultKind::CorruptRecord, 250),
+                fault(Site::CacheRecord, FaultKind::TornRecord, 150),
+            ],
+            "mayhem" => {
+                let mut all = Vec::new();
+                for n in ["panics", "stalls", "solver", "image", "cache"] {
+                    all.extend(FaultPlan::builtin(n).expect("builtin").faults);
+                }
+                all
+            }
+            _ => return None,
+        };
+        Some(FaultPlan {
+            name: name.into(),
+            seed: 2017,
+            faults,
+        })
+    }
+
+    /// This plan with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// This plan with every fault at `site` removed (e.g. to rerun a
+    /// campaign warm without re-corrupting the cache it just healed).
+    pub fn without_site(mut self, site: Site) -> FaultPlan {
+        self.faults.retain(|f| f.site != site);
+        self
+    }
+
+    /// Whether any fault is armed at `site`.
+    pub fn arms(&self, site: Site) -> bool {
+        self.faults.iter().any(|f| f.site == site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_all_resolve() {
+        for name in BUILTIN_PLANS {
+            let plan = FaultPlan::builtin(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(plan.name, name);
+            assert!(plan.faults.iter().all(|f| f.max_triggers == 1));
+            assert!(plan.faults.iter().all(|f| f.per_mille <= 1000));
+        }
+        assert!(FaultPlan::builtin("bogus").is_none());
+    }
+
+    #[test]
+    fn mayhem_covers_every_site() {
+        let plan = FaultPlan::builtin("mayhem").unwrap();
+        for site in Site::ALL {
+            assert!(plan.arms(site), "mayhem misses {}", site.name());
+        }
+    }
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in Site::ALL {
+            assert_eq!(Site::parse(site.name()), Some(site));
+        }
+        assert_eq!(Site::parse("nope"), None);
+    }
+
+    #[test]
+    fn without_site_disarms() {
+        let plan = FaultPlan::builtin("mayhem")
+            .unwrap()
+            .without_site(Site::CacheRecord);
+        assert!(!plan.arms(Site::CacheRecord));
+        assert!(plan.arms(Site::WorkerPanic));
+    }
+}

@@ -7,13 +7,20 @@
 //! crash-resist funnel [corpus-size]    §V-B Windows API funnel
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
 //! crash-resist campaign [options]      sharded multi-task campaign
+//! crash-resist chaos [options]         campaign under an injected fault plan
 //! crash-resist list                    available targets
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (e.g. a campaign task
-//! kept panicking), `2` usage error, `3` unknown target name.
+//! kept panicking, or a chaos invariant broke), `2` usage error, `3`
+//! unknown target name, `4` campaign completed but degraded (some
+//! tasks produced no result).
 
-use cr_campaign::{run_campaign, CampaignSpec, EngineConfig, TaskResult};
+use cr_campaign::{
+    expected_error_counts, run_campaign, AnalysisCache, CampaignSpec, EngineConfig, ErrorCounts,
+    TaskResult,
+};
+use cr_chaos::{FaultInjector, FaultPlan, Site, BUILTIN_PLANS};
 use cr_core::seh::{analyze_module, FilterClass};
 use cr_core::static_cfg;
 use cr_core::syscall_finder::{discover_server, Classification};
@@ -28,6 +35,9 @@ const EXIT_RUNTIME: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 /// Syntactically fine, but the named server/DLL/oracle does not exist.
 const EXIT_UNKNOWN_TARGET: i32 = 3;
+/// The campaign completed and the report is sound, but at least one
+/// task has no result: coverage is partial.
+const EXIT_DEGRADED: i32 = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +51,7 @@ fn main() {
             args.get(2).map(String::as_str),
         ),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("list") => cmd_list(),
         None | Some("help" | "-h" | "--help") => {
             print!("{}", HELP);
@@ -65,6 +76,7 @@ USAGE:
     crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
     crash-resist campaign [options]      run a sharded discovery campaign
+    crash-resist chaos [options]         run a campaign under a fault plan
     crash-resist list                    list available servers/DLLs/oracles
 
 CAMPAIGN OPTIONS:
@@ -72,14 +84,21 @@ CAMPAIGN OPTIONS:
     --jobs N        worker threads (default 1)
     --cache DIR     persist the content-addressed analysis cache here
     --seed S        RNG seed for rand-driven workloads (default 2017)
-    --retries R     extra attempts for a panicking task (default 1)
+    --retries R     extra attempts for a failing task (default 1)
+    --deadline-ms D per-attempt virtual-time deadline (default 200)
     --json          emit the full report as JSON instead of a summary
+
+CHAOS OPTIONS (campaign options above, plus):
+    --plan NAME     built-in fault plan (default mayhem; see `list`)
+    --summary-json  emit a compact machine-checkable summary as JSON
 
 ENVIRONMENT:
     CR_SEED         default seed when --seed is not given
 
 EXIT CODES:
-    0 success   1 runtime failure   2 usage error   3 unknown target
+    0 success           1 runtime failure / broken chaos invariant
+    2 usage error       3 unknown target
+    4 campaign completed but degraded (some tasks have no result)
 ";
 
 /// Seed precedence: explicit flag, then `CR_SEED`, then the default.
@@ -97,6 +116,7 @@ fn cmd_list() -> i32 {
     println!("servers:  {}", servers.join(" "));
     println!("dlls:     {}", dlls.join(" "));
     println!("oracles:  ie firefox nginx");
+    println!("plans:    {}", BUILTIN_PLANS.join(" "));
     EXIT_OK
 }
 
@@ -257,82 +277,143 @@ fn cmd_poc(oracle: Option<&str>, addr: Option<&str>) -> i32 {
     EXIT_OK
 }
 
-fn cmd_campaign(args: &[String]) -> i32 {
-    let mut spec_path: Option<PathBuf> = None;
-    let mut jobs = 1usize;
-    let mut cache_dir: Option<PathBuf> = None;
-    let mut seed_flag: Option<u64> = None;
-    let mut retries = 1u32;
-    let mut json = false;
+/// Flags shared by the `campaign` and `chaos` verbs.
+struct CampaignFlags {
+    spec_path: Option<PathBuf>,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    seed_flag: Option<u64>,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    json: bool,
+    /// chaos only: built-in fault plan name.
+    plan: String,
+    /// chaos only: compact machine-checkable summary.
+    summary_json: bool,
+}
 
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--json" => {
-                json = true;
-                i += 1;
-            }
-            flag @ ("--spec" | "--jobs" | "--cache" | "--seed" | "--retries") => {
-                let Some(v) = args.get(i + 1) else {
-                    eprintln!("{flag} needs a value");
-                    return EXIT_USAGE;
-                };
-                let ok = match flag {
-                    "--spec" => {
-                        spec_path = Some(PathBuf::from(v));
-                        true
-                    }
-                    "--cache" => {
-                        cache_dir = Some(PathBuf::from(v));
-                        true
-                    }
-                    "--jobs" => v.parse().map(|n| jobs = n).is_ok(),
-                    "--seed" => v.parse().map(|s| seed_flag = Some(s)).is_ok(),
-                    "--retries" => v.parse().map(|r| retries = r).is_ok(),
-                    _ => unreachable!(),
-                };
-                if !ok {
-                    eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
-                    return EXIT_USAGE;
+impl CampaignFlags {
+    /// Parse `args`; `chaos` additionally accepts `--plan` and
+    /// `--summary-json`. Prints the usage error itself and returns
+    /// `Err(EXIT_USAGE)` so callers can `return` the code directly.
+    fn parse(verb: &str, args: &[String], chaos: bool) -> Result<CampaignFlags, i32> {
+        let mut f = CampaignFlags {
+            spec_path: None,
+            jobs: 1,
+            cache_dir: None,
+            seed_flag: None,
+            retries: 1,
+            deadline_ms: Some(cr_campaign::DEFAULT_DEADLINE_MS),
+            json: false,
+            plan: "mayhem".to_string(),
+            summary_json: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--json" => {
+                    f.json = true;
+                    i += 1;
                 }
-                i += 2;
-            }
-            other => {
-                eprintln!("unknown campaign option {other:?}");
-                return EXIT_USAGE;
+                "--summary-json" if chaos => {
+                    f.summary_json = true;
+                    i += 1;
+                }
+                flag @ ("--spec" | "--jobs" | "--cache" | "--seed" | "--retries"
+                | "--deadline-ms") => {
+                    let Some(v) = args.get(i + 1) else {
+                        eprintln!("{flag} needs a value");
+                        return Err(EXIT_USAGE);
+                    };
+                    let ok = match flag {
+                        "--spec" => {
+                            f.spec_path = Some(PathBuf::from(v));
+                            true
+                        }
+                        "--cache" => {
+                            f.cache_dir = Some(PathBuf::from(v));
+                            true
+                        }
+                        "--jobs" => v.parse().map(|n| f.jobs = n).is_ok(),
+                        "--seed" => v.parse().map(|s| f.seed_flag = Some(s)).is_ok(),
+                        "--retries" => v.parse().map(|r| f.retries = r).is_ok(),
+                        "--deadline-ms" => v
+                            .parse()
+                            .map(|d| f.deadline_ms = if d == 0 { None } else { Some(d) })
+                            .is_ok(),
+                        _ => unreachable!(),
+                    };
+                    if !ok {
+                        eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
+                        return Err(EXIT_USAGE);
+                    }
+                    i += 2;
+                }
+                "--plan" if chaos => {
+                    let Some(v) = args.get(i + 1) else {
+                        eprintln!("--plan needs a value");
+                        return Err(EXIT_USAGE);
+                    };
+                    f.plan = v.clone();
+                    i += 2;
+                }
+                other => {
+                    eprintln!("unknown {verb} option {other:?}");
+                    return Err(EXIT_USAGE);
+                }
             }
         }
+        Ok(f)
     }
 
-    let mut spec = match &spec_path {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
+    /// Resolve the campaign spec: `--spec FILE`, else `fallback`, with
+    /// an explicit seed (flag or `CR_SEED`) overriding the spec's own.
+    fn resolve_spec(
+        &self,
+        fallback: impl FnOnce(u64) -> CampaignSpec,
+    ) -> Result<CampaignSpec, i32> {
+        let mut spec = match &self.spec_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| {
                     eprintln!("cannot read {}: {e}", path.display());
-                    return EXIT_USAGE;
-                }
-            };
-            match CampaignSpec::from_json(&text) {
-                Ok(s) => s,
-                Err(e) => {
+                    EXIT_USAGE
+                })?;
+                CampaignSpec::from_json(&text).map_err(|e| {
                     eprintln!("bad spec {}: {e}", path.display());
-                    return EXIT_USAGE;
-                }
+                    EXIT_USAGE
+                })?
             }
+            None => fallback(effective_seed(self.seed_flag)),
+        };
+        if self.seed_flag.is_some() || std::env::var("CR_SEED").is_ok() {
+            spec.seed = effective_seed(self.seed_flag);
         }
-        None => CampaignSpec::builtin(effective_seed(seed_flag)),
-    };
-    // An explicit seed (flag or CR_SEED) overrides the spec file's.
-    if seed_flag.is_some() || std::env::var("CR_SEED").is_ok() {
-        spec.seed = effective_seed(seed_flag);
+        Ok(spec)
     }
 
-    let cfg = EngineConfig {
-        jobs,
-        retries,
-        cache_dir,
+    fn engine_config(&self, injector: Option<std::sync::Arc<FaultInjector>>) -> EngineConfig {
+        EngineConfig {
+            jobs: self.jobs,
+            retries: self.retries,
+            cache_dir: self.cache_dir.clone(),
+            deadline_ms: self.deadline_ms,
+            injector,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> i32 {
+    let flags = match CampaignFlags::parse("campaign", args, false) {
+        Ok(f) => f,
+        Err(code) => return code,
     };
+    let spec = match flags.resolve_spec(CampaignSpec::builtin) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let json = flags.json;
+    let cfg = flags.engine_config(None);
     eprintln!(
         "campaign {:?}: {} task(s) on {} worker(s), seed {} ...",
         spec.name,
@@ -377,8 +458,212 @@ fn cmd_campaign(args: &[String]) -> i32 {
             m.cache.hit_rate() * 100.0
         );
     }
-    if report.metrics.failed > 0 {
+    if report.degraded {
+        EXIT_DEGRADED
+    } else {
+        EXIT_OK
+    }
+}
+
+/// `crash-resist chaos`: run the campaign twice under a named fault
+/// plan (a cold phase that also corrupts cache records on save, then a
+/// warm phase over the damaged cache) and assert the chaos invariants:
+///
+/// 1. **completeness** — every spec task has a record, in order;
+/// 2. **accounting** — observed per-class error counts equal the
+///    simulated counts for the injected faults, and the warm phase's
+///    `cache_corrupt` count equals the number of records the cold
+///    phase corrupted;
+/// 3. **determinism** — an identical rerun produces a byte-identical
+///    deterministic report;
+/// 4. **clean cache** — after the warm phase rewrites the store, a
+///    final reload quarantines nothing.
+fn cmd_chaos(args: &[String]) -> i32 {
+    let flags = match CampaignFlags::parse("chaos", args, true) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let Some(plan) = FaultPlan::builtin(&flags.plan) else {
+        eprintln!(
+            "unknown fault plan {:?} (have: {})",
+            flags.plan,
+            BUILTIN_PLANS.join(" ")
+        );
+        return EXIT_UNKNOWN_TARGET;
+    };
+    let spec = match flags.resolve_spec(CampaignSpec::smoke) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let plan = plan.with_seed(effective_seed(flags.seed_flag));
+
+    // The two-phase cache invariants need a persistent directory; use
+    // a scratch one (removed afterwards) unless --cache was given. The
+    // determinism rerun always gets its own fresh directory, so both
+    // cold runs start from the same (empty) cache state.
+    let scratch = std::env::temp_dir().join(format!("cr-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cache_dir = match &flags.cache_dir {
+        Some(d) => d.clone(),
+        None => scratch.join("main"),
+    };
+    let rerun_dir = scratch.join("rerun");
+
+    let run_phase = |plan: &FaultPlan,
+                     dir: &PathBuf|
+     -> Result<
+        (cr_campaign::CampaignReport, std::sync::Arc<FaultInjector>),
+        std::io::Error,
+    > {
+        let injector = std::sync::Arc::new(FaultInjector::new(plan.clone()));
+        let mut cfg = flags.engine_config(Some(injector.clone()));
+        cfg.cache_dir = Some(dir.clone());
+        run_campaign(&spec, &cfg).map(|r| (r, injector))
+    };
+
+    eprintln!(
+        "chaos plan {:?} (seed {}): {} task(s) on {} worker(s) ...",
+        plan.name,
+        plan.seed,
+        spec.tasks.len(),
+        flags.jobs.max(1)
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let outcome =
+        (|| -> std::io::Result<(cr_campaign::CampaignReport, Vec<String>, ErrorCounts)> {
+            let (cold, cold_inj) = run_phase(&plan, &cache_dir)?;
+            let cfg_for_expect =
+                flags.engine_config(Some(std::sync::Arc::new(FaultInjector::new(plan.clone()))));
+
+            // I1: completeness — spec order, one record per task.
+            if cold.records.len() != spec.tasks.len() {
+                failures.push(format!(
+                    "completeness: {} records for {} tasks",
+                    cold.records.len(),
+                    spec.tasks.len()
+                ));
+            }
+            for (i, rec) in cold.records.iter().enumerate() {
+                if rec.index != i || rec.label != spec.tasks[i].label() {
+                    failures.push(format!("completeness: record {i} is {:?}", rec.label));
+                }
+            }
+
+            // I2: accounting — every injected fault shows up in its class,
+            // nothing else does. The cold phase starts from an empty cache,
+            // so its quarantine count must be zero.
+            let expected = expected_error_counts(&spec, &cfg_for_expect);
+            if cold.errors != expected {
+                failures.push(format!(
+                    "accounting: observed {:?}, expected {:?}",
+                    cold.errors, expected
+                ));
+            }
+
+            // I3: determinism — identical rerun from an equally fresh
+            // cache, byte-identical deterministic report.
+            let (cold2, _) = run_phase(&plan, &rerun_dir)?;
+            if cold.results_json() != cold2.results_json() {
+                failures.push("determinism: rerun produced a different report".to_string());
+            }
+
+            // Warm phase: stop corrupting saves, run over the damaged
+            // store. Every record the cold phase corrupted must be
+            // quarantined and recomputed.
+            let corrupted = cold_inj.fired_count(Site::CacheRecord);
+            let warm_plan = plan.clone().without_site(Site::CacheRecord);
+            let (warm, _) = run_phase(&warm_plan, &cache_dir)?;
+            let mut warm_expected = expected_error_counts(
+                &spec,
+                &flags.engine_config(Some(std::sync::Arc::new(FaultInjector::new(
+                    warm_plan.clone(),
+                )))),
+            );
+            warm_expected.cache_corrupt += corrupted;
+            if warm.errors != warm_expected {
+                failures.push(format!(
+                "accounting(warm): observed {:?}, expected {:?} ({corrupted} corrupted record(s))",
+                warm.errors, warm_expected
+            ));
+            }
+
+            // I4: the warm save rewrote the store cleanly.
+            let reload = AnalysisCache::load(&cache_dir)?;
+            if reload.quarantined() != 0 {
+                failures.push(format!(
+                    "clean-cache: final reload still quarantines {} line(s)",
+                    reload.quarantined()
+                ));
+            }
+
+            let fired: Vec<String> = Site::ALL
+                .iter()
+                .map(|&s| format!("{}:{}", s.name(), cold_inj.fired_count(s)))
+                .collect();
+            Ok((cold, fired, warm.errors))
+        })();
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let (cold, fired, warm_errors) = match outcome {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("chaos cache error: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+
+    if flags.json {
+        use serde::Serialize;
+        println!("{}", cold.to_json());
+    }
+    if flags.summary_json {
+        use serde::Serialize;
+        let mut out = String::from("{\"plan\":");
+        plan.name.write_json(&mut out);
+        out.push_str(",\"seed\":");
+        plan.seed.write_json(&mut out);
+        out.push_str(",\"tasks\":");
+        cold.records.len().write_json(&mut out);
+        out.push_str(",\"errors\":");
+        cold.errors.write_json(&mut out);
+        out.push_str(",\"warm_errors\":");
+        warm_errors.write_json(&mut out);
+        out.push_str(",\"degraded\":");
+        cold.degraded.write_json(&mut out);
+        out.push_str(",\"fired\":[");
+        for (i, f) in fired.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            f.write_json(&mut out);
+        }
+        out.push_str("],\"invariants\":");
+        if failures.is_empty() { "ok" } else { "BROKEN" }.write_json(&mut out);
+        out.push('}');
+        println!("{out}");
+    }
+    if !flags.json && !flags.summary_json {
+        println!(
+            "plan {:?}: {} fault(s) fired ({}), error classes {:?}",
+            plan.name,
+            fired
+                .iter()
+                .filter_map(|f| f.rsplit(':').next()?.parse::<u64>().ok())
+                .sum::<u64>(),
+            fired.join(" "),
+            cold.errors
+        );
+    }
+
+    for f in &failures {
+        eprintln!("chaos invariant broken: {f}");
+    }
+    if !failures.is_empty() {
         EXIT_RUNTIME
+    } else if cold.degraded {
+        EXIT_DEGRADED
     } else {
         EXIT_OK
     }

@@ -67,7 +67,7 @@ fn list_rows_are_aligned() {
     let (code, stdout, _) = run(&["list"]);
     assert_eq!(code, 0);
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 3);
+    assert_eq!(lines.len(), 4);
     // Every row's first name starts in the same column.
     let cols: Vec<usize> = lines
         .iter()
@@ -81,6 +81,30 @@ fn list_rows_are_aligned() {
         "misaligned list: {stdout}"
     );
     assert!(lines[1].contains("user32"));
+    assert!(lines[3].contains("mayhem"));
+}
+
+#[test]
+fn chaos_usage_and_unknown_plan_exit_codes() {
+    let cases: &[&[&str]] = &[
+        &["chaos", "--bogus-flag"],
+        &["chaos", "--plan"],
+        &["chaos", "--jobs", "many"],
+    ];
+    for args in cases {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, 2, "{args:?} -> stderr: {stderr}");
+    }
+    let (code, _, stderr) = run(&["chaos", "--plan", "no-such-plan"]);
+    assert_eq!(code, 3, "stderr: {stderr}");
+    assert!(stderr.contains("unknown fault plan"));
+}
+
+#[test]
+fn campaign_rejects_summary_json_flag() {
+    // --summary-json is chaos-only; campaign must reject it.
+    let (code, _, stderr) = run(&["campaign", "--summary-json"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
 }
 
 #[test]

@@ -253,22 +253,37 @@ impl<'a> ElfWriter<'a> {
     }
 }
 
+/// Upper bound on cumulative segment bytes copied out of one file:
+/// corrupt headers must not turn a small input into an OOM amplifier.
+const MAX_SEGMENT_BYTES: usize = 64 << 20;
+
 fn rd_u16(b: &[u8], off: usize) -> Result<u16, ImageError> {
-    b.get(off..off + 2)
+    off.checked_add(2)
+        .and_then(|end| b.get(off..end))
         .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u16"))
 }
 
 fn rd_u32(b: &[u8], off: usize) -> Result<u32, ImageError> {
-    b.get(off..off + 4)
+    off.checked_add(4)
+        .and_then(|end| b.get(off..end))
         .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u32"))
 }
 
 fn rd_u64(b: &[u8], off: usize) -> Result<u64, ImageError> {
-    b.get(off..off + 8)
+    off.checked_add(8)
+        .and_then(|end| b.get(off..end))
         .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u64"))
+}
+
+/// `a + b` with offset-overflow mapped to [`ImageError::Malformed`] —
+/// corrupt headers routinely carry offsets near `u64::MAX`, which must
+/// parse-fail, not trip debug overflow checks.
+fn off_add(a: usize, b: usize) -> Result<usize, ImageError> {
+    a.checked_add(b)
+        .ok_or(ImageError::Malformed("offset overflow"))
 }
 
 fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
@@ -289,8 +304,9 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
     let shnum = rd_u16(bytes, 60)? as usize;
 
     let mut segments = Vec::new();
+    let mut copied = 0usize;
     for i in 0..phnum {
-        let at = phoff + i * phentsize;
+        let at = off_add(phoff, i * phentsize)?;
         let ptype = rd_u32(bytes, at)?;
         if ptype != PT_LOAD {
             continue;
@@ -300,8 +316,12 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
         let vaddr = rd_u64(bytes, at + 16)?;
         let filesz = rd_u64(bytes, at + 32)? as usize;
         let memsz = rd_u64(bytes, at + 40)?;
+        copied = off_add(copied, filesz)?;
+        if copied > MAX_SEGMENT_BYTES {
+            return Err(ImageError::Malformed("segment data exceeds sanity cap"));
+        }
         let data = bytes
-            .get(off..off + filesz)
+            .get(off..off_add(off, filesz)?)
             .ok_or(ImageError::Truncated("segment data"))?
             .to_vec();
         segments.push(ElfSegment {
@@ -315,7 +335,7 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
     // Symbols: find SHT_SYMTAB and its linked strtab.
     let mut symbols = BTreeMap::new();
     for i in 0..shnum {
-        let at = shoff + i * shentsize;
+        let at = off_add(shoff, i * shentsize)?;
         if rd_u32(bytes, at + 4)? != SHT_SYMTAB {
             continue;
         }
@@ -326,14 +346,17 @@ fn parse_elf(bytes: &[u8]) -> Result<ElfImage, ImageError> {
         if entsize == 0 {
             return Err(ImageError::Malformed("symtab entsize 0"));
         }
-        let str_at = shoff + link * shentsize;
+        let str_at = link
+            .checked_mul(shentsize)
+            .ok_or(ImageError::Malformed("offset overflow"))
+            .and_then(|x| off_add(shoff, x))?;
         let str_off = rd_u64(bytes, str_at + 24)? as usize;
         let str_size = rd_u64(bytes, str_at + 32)? as usize;
         let strtab = bytes
-            .get(str_off..str_off + str_size)
+            .get(str_off..off_add(str_off, str_size)?)
             .ok_or(ImageError::Truncated("strtab"))?;
         for s in (0..size / entsize).skip(1) {
-            let sat = off + s * entsize;
+            let sat = off_add(off, s * entsize)?;
             let name_off = rd_u32(bytes, sat)? as usize;
             let value = rd_u64(bytes, sat + 8)?;
             let name_bytes = strtab

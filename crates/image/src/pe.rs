@@ -486,22 +486,38 @@ fn align_up(v: u32, a: u32) -> u32 {
     v.div_ceil(a) * a
 }
 
+/// Upper bound on any single parser allocation or cumulative section
+/// copy: corrupt length fields must parse-fail, not become OOM
+/// amplifiers (a 4-byte export count can otherwise demand a 16 GiB
+/// name-pointer table).
+const MAX_READ_BYTES: usize = 16 << 20;
+
 fn rd_u16(b: &[u8], off: usize) -> Result<u16, ImageError> {
-    b.get(off..off + 2)
+    off.checked_add(2)
+        .and_then(|end| b.get(off..end))
         .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u16"))
 }
 
 fn rd_u32(b: &[u8], off: usize) -> Result<u32, ImageError> {
-    b.get(off..off + 4)
+    off.checked_add(4)
+        .and_then(|end| b.get(off..end))
         .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u32"))
 }
 
 fn rd_u64(b: &[u8], off: usize) -> Result<u64, ImageError> {
-    b.get(off..off + 8)
+    off.checked_add(8)
+        .and_then(|end| b.get(off..end))
         .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
         .ok_or(ImageError::Truncated("u64"))
+}
+
+/// `a + b` over file-controlled RVAs with overflow mapped to
+/// [`ImageError::Malformed`] instead of a debug-build panic.
+fn rva_add(a: u32, b: u32) -> Result<u32, ImageError> {
+    a.checked_add(b)
+        .ok_or(ImageError::Malformed("RVA overflow"))
 }
 
 fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
@@ -509,7 +525,7 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
         return Err(ImageError::BadMagic("PE (MZ)"));
     }
     let pe_off = rd_u32(bytes, 0x3C)? as usize;
-    if bytes.get(pe_off..pe_off + 4) != Some(b"PE\0\0".as_slice()) {
+    if bytes.get(pe_off..pe_off.saturating_add(4)) != Some(b"PE\0\0".as_slice()) {
         return Err(ImageError::BadMagic("PE signature"));
     }
     let coff = pe_off + 4;
@@ -533,6 +549,7 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
     // Sections.
     let shdr_base = opt + opt_size;
     let mut sections = Vec::new();
+    let mut copied = 0usize;
     for i in 0..nsec {
         let h = shdr_base + i * 40;
         let name_raw = bytes
@@ -546,8 +563,12 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
         let raw_size = rd_u32(bytes, h + 16)? as usize;
         let raw_off = rd_u32(bytes, h + 20)? as usize;
         let chars = rd_u32(bytes, h + 36)?;
+        copied = copied.saturating_add(raw_size);
+        if copied > MAX_READ_BYTES {
+            return Err(ImageError::Malformed("section data exceeds sanity cap"));
+        }
         let data = bytes
-            .get(raw_off..raw_off + raw_size)
+            .get(raw_off..raw_off.saturating_add(raw_size))
             .ok_or(ImageError::Truncated("section data"))?
             .to_vec();
         sections.push(PeSection {
@@ -564,6 +585,9 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
     }
 
     let rva_read = |rva: u32, len: usize| -> Result<Vec<u8>, ImageError> {
+        if len > MAX_READ_BYTES {
+            return Err(ImageError::Malformed("read length exceeds sanity cap"));
+        }
         let s = sections
             .iter()
             .find(|s| {
@@ -592,6 +616,11 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
         let eat_rva = u32::from_le_bytes(dir[28..32].try_into().unwrap());
         let npt_rva = u32::from_le_bytes(dir[32..36].try_into().unwrap());
         let ord_rva = u32::from_le_bytes(dir[36..40].try_into().unwrap());
+        if nnames > 0x10000 {
+            return Err(ImageError::Malformed(
+                "export name count exceeds sanity cap",
+            ));
+        }
         dll_name = read_cstr(&rva_read(name_rva, 256)?);
         let npt = rva_read(npt_rva, 4 * nnames)?;
         let ords = rva_read(ord_rva, 2 * nnames)?;
@@ -599,7 +628,7 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
             let nrva = u32::from_le_bytes(npt[4 * i..4 * i + 4].try_into().unwrap());
             let name = read_cstr(&rva_read(nrva, 256)?);
             let ord = u16::from_le_bytes(ords[2 * i..2 * i + 2].try_into().unwrap()) as u32;
-            let fn_rva_bytes = rva_read(eat_rva + 4 * ord, 4)?;
+            let fn_rva_bytes = rva_read(rva_add(eat_rva, 4 * ord)?, 4)?;
             let fn_rva = u32::from_le_bytes(fn_rva_bytes.try_into().unwrap());
             exports.insert(name, fn_rva);
         }
@@ -626,31 +655,34 @@ fn parse_pe(bytes: &[u8]) -> Result<PeImage, ImageError> {
             };
             if flags & 0x1 != 0 {
                 // UNW_FLAG_EHANDLER
-                let h = rva_read(unwind_rva + 4 + codes_size as u32, 4)?;
+                let handler_at = rva_add(unwind_rva, 4 + codes_size as u32)?;
+                let h = rva_read(handler_at, 4)?;
                 let handler_rva = u32::from_le_bytes(h.try_into().unwrap());
                 unwind.handler_rva = Some(handler_rva);
-                let lsda_rva = unwind_rva + 4 + codes_size as u32 + 4;
+                let lsda_rva = rva_add(handler_at, 4)?;
                 let cnt_bytes = rva_read(lsda_rva, 4)?;
                 let count = u32::from_le_bytes(cnt_bytes.try_into().unwrap());
-                // Sanity-cap the scope count; a corrupt image must not OOM us.
-                if count <= 0x10000 {
-                    let scopes_raw = rva_read(lsda_rva + 4, count as usize * 16)?;
-                    for sc in scopes_raw.chunks_exact(16) {
-                        let begin = u32::from_le_bytes(sc[0..4].try_into().unwrap());
-                        let end = u32::from_le_bytes(sc[4..8].try_into().unwrap());
-                        let filt = u32::from_le_bytes(sc[8..12].try_into().unwrap());
-                        let target = u32::from_le_bytes(sc[12..16].try_into().unwrap());
-                        unwind.scopes.push(ScopeEntry {
-                            begin_rva: begin,
-                            end_rva: end,
-                            filter: if filt == 1 {
-                                FilterRef::CatchAll
-                            } else {
-                                FilterRef::Function(filt)
-                            },
-                            target_rva: target,
-                        });
-                    }
+                // Sanity-cap the scope count; a corrupt image must not
+                // OOM us — and must not be silently half-parsed either.
+                if count > 0x10000 {
+                    return Err(ImageError::Malformed("scope count exceeds sanity cap"));
+                }
+                let scopes_raw = rva_read(rva_add(lsda_rva, 4)?, count as usize * 16)?;
+                for sc in scopes_raw.chunks_exact(16) {
+                    let begin = u32::from_le_bytes(sc[0..4].try_into().unwrap());
+                    let end = u32::from_le_bytes(sc[4..8].try_into().unwrap());
+                    let filt = u32::from_le_bytes(sc[8..12].try_into().unwrap());
+                    let target = u32::from_le_bytes(sc[12..16].try_into().unwrap());
+                    unwind.scopes.push(ScopeEntry {
+                        begin_rva: begin,
+                        end_rva: end,
+                        filter: if filt == 1 {
+                            FilterRef::CatchAll
+                        } else {
+                            FilterRef::Function(filt)
+                        },
+                        target_rva: target,
+                    });
                 }
             }
             runtime_functions.push(RuntimeFunction {

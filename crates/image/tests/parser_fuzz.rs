@@ -1,0 +1,211 @@
+//! Parser robustness properties: seeded corruption of well-formed
+//! images must produce `Ok` or a typed [`ImageError`] — never a panic,
+//! debug-overflow abort, or outsized allocation. These back the chaos
+//! layer's `image.bytes` fault site: the campaign engine feeds mutated
+//! bytes straight into these parsers and relies on a clean `Err`.
+
+use cr_image::{
+    ElfImage, ElfSegment, FilterRef, ImageError, Machine, PeBuilder, PeImage, ScopeEntry, SegPerm,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn elf_sample_bytes() -> Vec<u8> {
+    let mut symbols = BTreeMap::new();
+    symbols.insert("main".to_string(), 0x40_1000u64);
+    symbols.insert("helper".to_string(), 0x40_1040u64);
+    ElfImage {
+        entry: 0x40_1000,
+        segments: vec![
+            ElfSegment {
+                vaddr: 0x40_1000,
+                data: vec![0x90; 0x80],
+                memsz: 0x80,
+                perm: SegPerm::RX,
+            },
+            ElfSegment {
+                vaddr: 0x60_0000,
+                data: vec![1, 2, 3, 4],
+                memsz: 0x2000,
+                perm: SegPerm::RW,
+            },
+        ],
+        symbols,
+    }
+    .to_bytes()
+}
+
+fn pe_sample_bytes() -> Vec<u8> {
+    let mut b = PeBuilder::new("fuzz.dll", Machine::X64, 0x1_8000_0000);
+    b.text(0x1000, vec![0x90; 0x100]);
+    b.data(0x3000, vec![0xAA; 0x20]);
+    b.entry(0x1000);
+    b.export("GuardedFn", 0x1000);
+    b.export("FilterA", 0x1080);
+    b.function_with_seh(
+        0x1000,
+        0x1040,
+        0x10C0,
+        vec![ScopeEntry {
+            begin_rva: 0x1008,
+            end_rva: 0x1020,
+            filter: FilterRef::Function(0x1080),
+            target_rva: 0x1030,
+        }],
+    );
+    b.build()
+}
+
+/// SplitMix64 step — the same generator family the chaos crate uses,
+/// so corpus mutations here match `FaultInjector::mutate_bytes` shapes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Flip `flips` seeded bits anywhere in the buffer.
+fn flip_bits(bytes: &mut [u8], seed: u64, flips: u32) {
+    for i in 0..flips as u64 {
+        let d = mix(seed.wrapping_add(i));
+        let pos = (d % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << ((d >> 48) % 8);
+    }
+}
+
+/// Overwrite a seeded 4-byte-aligned word with an adversarial length /
+/// offset value — the mutation class most likely to reach overflow and
+/// allocation paths.
+fn inflate_word(bytes: &mut [u8], seed: u64) {
+    let words = bytes.len() / 4;
+    let d = mix(seed);
+    let at = (d % words as u64) as usize * 4;
+    let val: u32 = match (d >> 32) % 4 {
+        0 => u32::MAX,
+        1 => u32::MAX - 3,
+        2 => 0x8000_0000,
+        _ => 0x7FFF_FFF0,
+    };
+    bytes[at..at + 4].copy_from_slice(&val.to_le_bytes());
+}
+
+/// The parse outcome must be a value or a typed error; reaching this
+/// function at all (no panic, no abort) is most of the property.
+fn accepts(res: Result<impl Sized, ImageError>) {
+    match res {
+        Ok(_) => {}
+        Err(
+            ImageError::BadMagic(_)
+            | ImageError::Truncated(_)
+            | ImageError::Malformed(_)
+            | ImageError::Unsupported(_),
+        ) => {}
+    }
+}
+
+proptest! {
+    #[test]
+    fn elf_survives_bit_flips(seed in any::<u64>(), flips in 1u32..64) {
+        let mut bytes = elf_sample_bytes();
+        flip_bits(&mut bytes, seed, flips);
+        accepts(ElfImage::parse(&bytes));
+    }
+
+    #[test]
+    fn elf_survives_truncation(seed in any::<u64>()) {
+        let bytes = elf_sample_bytes();
+        let keep = (mix(seed) % (bytes.len() as u64 + 1)) as usize;
+        accepts(ElfImage::parse(&bytes[..keep]));
+    }
+
+    #[test]
+    fn elf_survives_length_inflation(seed in any::<u64>(), extra_flips in 0u32..8) {
+        let mut bytes = elf_sample_bytes();
+        inflate_word(&mut bytes, seed);
+        flip_bits(&mut bytes, seed ^ 0xE1F, extra_flips);
+        accepts(ElfImage::parse(&bytes));
+    }
+
+    #[test]
+    fn pe_survives_bit_flips(seed in any::<u64>(), flips in 1u32..64) {
+        let mut bytes = pe_sample_bytes();
+        flip_bits(&mut bytes, seed, flips);
+        accepts(PeImage::parse(&bytes));
+    }
+
+    #[test]
+    fn pe_survives_truncation(seed in any::<u64>()) {
+        let bytes = pe_sample_bytes();
+        let keep = (mix(seed) % (bytes.len() as u64 + 1)) as usize;
+        accepts(PeImage::parse(&bytes[..keep]));
+    }
+
+    #[test]
+    fn pe_survives_length_inflation(seed in any::<u64>(), extra_flips in 0u32..8) {
+        let mut bytes = pe_sample_bytes();
+        inflate_word(&mut bytes, seed);
+        flip_bits(&mut bytes, seed ^ 0x9E, extra_flips);
+        accepts(PeImage::parse(&bytes));
+    }
+}
+
+/// Regression for the scope-count sanity cap: a corrupt LSDA count
+/// used to be *silently skipped* (scopes dropped, image "parses"),
+/// which under-reports SEH coverage. It must now be a hard parse
+/// error.
+#[test]
+fn inflated_scope_count_is_rejected_not_skipped() {
+    let good = pe_sample_bytes();
+    let img = PeImage::parse(&good).unwrap();
+    assert_eq!(img.runtime_functions[0].unwind.scopes.len(), 1);
+
+    // The LSDA begins with the little-endian scope count (1 here); it
+    // is the only dword with that layout directly before our single
+    // 16-byte scope record, so patch it by scanning for count=1
+    // followed by the known scope begin_rva.
+    let needle: Vec<u8> = 1u32
+        .to_le_bytes()
+        .iter()
+        .chain(0x1008u32.to_le_bytes().iter())
+        .copied()
+        .collect();
+    let at = good
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("LSDA count + first scope present in image");
+    let mut bad = good.clone();
+    bad[at..at + 4].copy_from_slice(&0x7FFF_FFFFu32.to_le_bytes());
+    match PeImage::parse(&bad) {
+        Err(ImageError::Malformed(msg)) => assert!(msg.contains("scope count")),
+        other => panic!("inflated scope count must be Malformed, got {other:?}"),
+    }
+
+    // Just past the cap boundary is also rejected; at the boundary it
+    // is an ordinary (truncated) read, not a silent skip.
+    bad[at..at + 4].copy_from_slice(&0x10001u32.to_le_bytes());
+    assert!(matches!(
+        PeImage::parse(&bad),
+        Err(ImageError::Malformed(_))
+    ));
+}
+
+/// The export-table name count feeds allocations; corrupt counts must
+/// be rejected before any table copy.
+#[test]
+fn inflated_export_count_is_rejected() {
+    let good = pe_sample_bytes();
+    // Export directory: NumberOfNames at +24 from the directory start.
+    // Locate the directory by its AddressOfNames/AddressOfNameOrdinals
+    // being nonzero: patch by scanning for the name count (2 exports).
+    let img = PeImage::parse(&good).unwrap();
+    assert_eq!(img.exports.len(), 2);
+    let needle = [2u32.to_le_bytes(), 2u32.to_le_bytes()].concat();
+    let at = good
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("export function/name counts present");
+    let mut bad = good.clone();
+    bad[at + 4..at + 8].copy_from_slice(&0x4000_0000u32.to_le_bytes());
+    assert!(PeImage::parse(&bad).is_err());
+}

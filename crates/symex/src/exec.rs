@@ -173,9 +173,33 @@ impl Default for SymExec {
     fn default() -> Self {
         SymExec {
             max_paths: 64,
-            max_steps: 512,
+            max_steps: STEP_BUDGET_OVERRIDE.with(|o| o.get()).unwrap_or(512),
         }
     }
+}
+
+thread_local! {
+    static STEP_BUDGET_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with every [`SymExec::default`] on this thread clamped to
+/// `max_steps` instructions per path.
+///
+/// This is the fault-injection hook for solver-budget exhaustion:
+/// callers that build their executor through `Default` (the module
+/// analysis pipeline does) see the clamped budget, so paths abort with
+/// "step budget exhausted" instead of completing. The previous
+/// override is restored on exit, including on unwind.
+pub fn with_step_budget<R>(max_steps: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STEP_BUDGET_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(STEP_BUDGET_OVERRIDE.with(|o| o.replace(Some(max_steps))));
+    f()
 }
 
 impl SymExec {
@@ -1016,6 +1040,22 @@ mod tests {
             matches!(analyze(&f), FilterVerdict::AcceptsAccessViolation { .. }),
             "jo is now precisely modeled"
         );
+    }
+
+    #[test]
+    fn step_budget_override_scopes_and_restores() {
+        assert_eq!(SymExec::default().max_steps, 512);
+        let inner = with_step_budget(4, || {
+            let nested = with_step_budget(2, || SymExec::default().max_steps);
+            assert_eq!(nested, 2);
+            SymExec::default().max_steps
+        });
+        assert_eq!(inner, 4);
+        assert_eq!(SymExec::default().max_steps, 512);
+
+        // Restored even when the closure unwinds.
+        let _ = std::panic::catch_unwind(|| with_step_budget(1, || panic!("boom")));
+        assert_eq!(SymExec::default().max_steps, 512);
     }
 
     #[test]

@@ -38,8 +38,9 @@ mod sat;
 
 pub use blast::{check, solver_calls, Model, SatResult};
 pub use exec::{
-    CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR, EXCEPTION_ACCESS_VIOLATION,
-    EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH, EXCEPTION_EXECUTE_HANDLER,
+    with_step_budget, CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR,
+    EXCEPTION_ACCESS_VIOLATION, EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH,
+    EXCEPTION_EXECUTE_HANDLER,
 };
 pub use expr::{BinOp, BoolExpr, CmpOp, Expr};
 pub use sat::{solve, Cnf, SolveOutcome};

@@ -221,6 +221,18 @@ pub const ENGINE_CS_OFF: u64 = 0x10;
 /// Panics on inconsistent specs (e.g. rejecting scopes but no rejecting
 /// filters).
 pub fn generate_dll(spec: &DllSpec) -> PeImage {
+    PeImage::parse(&generate_dll_bytes(spec)).expect("generated image parses")
+}
+
+/// Raw PE bytes for `spec`, before parsing. Fault-injection harnesses
+/// use this to corrupt the byte stream between generation and
+/// [`PeImage::parse`]; [`generate_dll`] is the parse-immediately form.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (e.g. rejecting scopes but no rejecting
+/// filters).
+pub fn generate_dll_bytes(spec: &DllSpec) -> Vec<u8> {
     let base = spec.image_base;
     let text_rva: u32 = 0x1000;
     let mut a = Asm::new(base + text_rva as u64);
@@ -477,7 +489,7 @@ pub fn generate_dll(spec: &DllSpec) -> PeImage {
     }
 
     b.text(text_rva, assembled.code.clone());
-    PeImage::parse(&b.build()).expect("generated image parses")
+    b.build()
 }
 
 // ---- filter shapes ---------------------------------------------------------

@@ -6,7 +6,9 @@ pub mod firefox;
 pub mod ie;
 
 pub use calibration::{calib, DllCalib, CALIBRATION};
-pub use dlls::{full_population_specs, full_population_specs_seeded, generate_dll, DllSpec};
+pub use dlls::{
+    full_population_specs, full_population_specs_seeded, generate_dll, generate_dll_bytes, DllSpec,
+};
 pub use firefox::FirefoxSim;
 pub use ie::IeSim;
 

@@ -29,4 +29,18 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings
 run cargo build --release "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 run cargo test -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
+
+# chaos-smoke: the smoke campaign under the mayhem fault plan must exit
+# cleanly with exactly the golden per-class error accounting. The
+# summary is deterministic by construction (fixed seed, worker-count
+# independent), so a plain byte diff is the whole check.
+echo "[check] chaos-smoke (mayhem plan, fixed seed)"
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+target/release/crash-resist chaos --plan mayhem --jobs 2 --summary-json \
+  2>/dev/null > "$smoke_out"
+if ! diff -u scripts/golden/chaos_smoke.json "$smoke_out"; then
+  echo "[check] chaos-smoke summary diverged from scripts/golden/chaos_smoke.json" >&2
+  exit 1
+fi
 echo "[check] all green"

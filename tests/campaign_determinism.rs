@@ -5,7 +5,7 @@
 //! * a warm rerun against a persisted cache is served almost entirely
 //!   from the cache and never invokes the SAT solver.
 
-use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig};
+use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig, TaskErrorKind};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
@@ -48,7 +48,7 @@ fn sharded_campaign_is_byte_identical_to_serial() {
         &EngineConfig {
             jobs: 1,
             retries: 0,
-            cache_dir: None,
+            ..EngineConfig::default()
         },
     )
     .expect("serial run");
@@ -57,7 +57,7 @@ fn sharded_campaign_is_byte_identical_to_serial() {
         &EngineConfig {
             jobs: 8,
             retries: 0,
-            cache_dir: None,
+            ..EngineConfig::default()
         },
     )
     .expect("sharded run");
@@ -91,6 +91,7 @@ fn warm_rerun_is_served_from_the_cache_without_the_solver() {
         jobs: 2,
         retries: 0,
         cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
     };
 
     let cold = run_campaign(&spec, &cfg).expect("cold run");
@@ -141,7 +142,7 @@ fn failed_tasks_are_isolated_and_reported() {
         &EngineConfig {
             jobs: 2,
             retries: 1,
-            cache_dir: None,
+            ..EngineConfig::default()
         },
     )
     .expect("campaign survives task panics");
@@ -149,11 +150,11 @@ fn failed_tasks_are_isolated_and_reported() {
     assert_eq!(report.metrics.succeeded, 1);
     let bad = &report.records[0];
     assert!(bad.result.is_none());
-    assert!(bad
-        .error
-        .as_deref()
-        .unwrap_or("")
-        .contains("no-such-module"));
+    let err = bad.error.as_ref().expect("failed task carries its error");
+    assert_eq!(err.kind, TaskErrorKind::Panic, "unknown module panics");
+    assert!(err.message.contains("no-such-module"));
+    assert!(report.degraded, "a result-less task degrades the report");
+    assert_eq!(report.errors.panic, 2, "both attempts are counted");
     assert_eq!(
         report.metrics.tasks[0].attempts, 2,
         "one retry before giving up"
