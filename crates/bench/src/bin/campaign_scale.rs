@@ -7,11 +7,18 @@
 //! 1. **serial cold** — `jobs = 1`, fresh cache directory;
 //! 2. **sharded cold** — `jobs = CAMPAIGN_JOBS` (default 8), another
 //!    fresh cache directory;
-//! 3. **sharded warm** — same jobs, rerun against run 2's cache.
+//! 3. **sharded warm** — same jobs, rerun against run 2's cache;
+//! 4. **sharded cold, traced** — run 2 again under an active cr-trace
+//!    session, to price the observability spine. Because a single cold
+//!    run's wall time is scheduling-noise-dominated at the default
+//!    workload, the `trace_overhead` ratio compares best-of-N wall
+//!    times from `CAMPAIGN_PRICE_ROUNDS` (default 3) alternating
+//!    untraced/traced cold pairs; expect it near 1.0 (within ~5%) on a
+//!    quiet machine.
 //!
-//! Asserts the paper-level invariants while it measures: serial and
-//! sharded runs must produce byte-identical deterministic reports, and
-//! the warm rerun must not invoke the SAT solver at all.
+//! Asserts the paper-level invariants while it measures: serial,
+//! sharded, and traced runs must produce byte-identical deterministic
+//! reports, and the warm rerun must not invoke the SAT solver at all.
 
 use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig};
 use serde::Serialize;
@@ -35,6 +42,13 @@ struct ScaleReport {
     serial_cold: RunStats,
     sharded_cold: RunStats,
     sharded_warm: RunStats,
+    sharded_cold_traced: RunStats,
+    trace_events: usize,
+    trace_dropped: u64,
+    /// Traced / untraced best-of-N sharded-cold wall ratio (1.0 = free).
+    trace_overhead: f64,
+    /// How many untraced/traced cold pairs fed `trace_overhead`.
+    price_rounds: usize,
     sharded_speedup: f64,
     warm_speedup: f64,
     deterministic: bool,
@@ -51,6 +65,7 @@ fn main() {
     cr_bench::banner("campaign scaling — serial vs sharded, cold vs warm cache");
     let modules = env_usize("CAMPAIGN_MODULES", 24);
     let jobs = env_usize("CAMPAIGN_JOBS", 8);
+    let price_rounds = env_usize("CAMPAIGN_PRICE_ROUNDS", 3).max(1);
 
     let specs = cr_targets::browsers::full_population_specs();
     let tasks: Vec<CampaignTask> = specs
@@ -58,11 +73,12 @@ fn main() {
         .take(modules)
         .map(|s| CampaignTask::SehAnalysis(s.name.clone()))
         .collect();
-    let spec = CampaignSpec {
-        name: "campaign-scale".into(),
-        seed: 2017,
-        tasks,
-    };
+    let spec = CampaignSpec::builder()
+        .name("campaign-scale")
+        .seed(2017)
+        .tasks(tasks)
+        .build()
+        .expect("scale spec is valid");
 
     let scratch = std::env::temp_dir().join(format!("cr-campaign-scale-{}", std::process::id()));
     let serial_dir = scratch.join("serial");
@@ -92,6 +108,38 @@ fn main() {
     eprintln!("[campaign_scale] sharded warm ...");
     let (warm_m, warm_results, warm_solver) = run(jobs, sharded_dir);
 
+    // Price the tracing spine. One cold run's wall time swings far more
+    // than the spine costs, so run paired cold runs — flipping which of
+    // untraced/traced goes first each round to cancel in-pair ordering
+    // drift — and compare the best (minimum) wall on each side, the
+    // standard noise-resistant estimator for a near-zero overhead.
+    eprintln!("[campaign_scale] pricing the trace spine ({price_rounds} cold pair(s)) ...");
+    let mut untraced_best = cold_m.total_wall_us;
+    let mut traced_best = u64::MAX;
+    let mut traced_first = None;
+    let run_traced = |round: usize, traced_best: &mut u64, traced_first: &mut Option<_>| {
+        cr_trace::start();
+        let (m, results, solver) = run(jobs, scratch.join(format!("price-traced-{round}")));
+        let trace = cr_trace::finish();
+        *traced_best = (*traced_best).min(m.total_wall_us);
+        if traced_first.is_none() {
+            *traced_first = Some((m, results, solver, trace));
+        }
+    };
+    for round in 0..price_rounds {
+        if round % 2 == 0 {
+            let (m, _, _) = run(jobs, scratch.join(format!("price-untraced-{round}")));
+            untraced_best = untraced_best.min(m.total_wall_us);
+            run_traced(round, &mut traced_best, &mut traced_first);
+        } else {
+            run_traced(round, &mut traced_best, &mut traced_first);
+            let (m, _, _) = run(jobs, scratch.join(format!("price-untraced-{round}")));
+            untraced_best = untraced_best.min(m.total_wall_us);
+        }
+    }
+    let (traced_m, traced_results, traced_solver, trace) =
+        traced_first.expect("at least one traced round ran");
+
     let stats = |m: &cr_campaign::CampaignMetrics, solver: u64| RunStats {
         wall_us: m.total_wall_us,
         filter_hits: m.cache.filter_hits,
@@ -101,13 +149,20 @@ fn main() {
         hit_rate: m.cache.hit_rate(),
         solver_calls: solver,
     };
-    let deterministic = serial_results == cold_results && cold_results == warm_results;
+    let deterministic = serial_results == cold_results
+        && cold_results == warm_results
+        && cold_results == traced_results;
     let report = ScaleReport {
         modules,
         jobs,
         serial_cold: stats(&serial_m, serial_solver),
         sharded_cold: stats(&cold_m, cold_solver),
         sharded_warm: stats(&warm_m, warm_solver),
+        sharded_cold_traced: stats(&traced_m, traced_solver),
+        trace_events: trace.events.len(),
+        trace_dropped: trace.dropped,
+        trace_overhead: traced_best as f64 / untraced_best.max(1) as f64,
+        price_rounds,
         sharded_speedup: serial_m.total_wall_us as f64 / cold_m.total_wall_us.max(1) as f64,
         warm_speedup: cold_m.total_wall_us as f64 / warm_m.total_wall_us.max(1) as f64,
         deterministic,
@@ -117,7 +172,11 @@ fn main() {
     let _ = std::fs::remove_dir_all(&scratch);
     assert!(
         deterministic,
-        "serial and sharded reports must be byte-identical"
+        "serial, sharded, and traced reports must be byte-identical"
     );
     assert_eq!(warm_solver, 0, "warm rerun must not touch the SAT solver");
+    assert!(
+        !trace.events.is_empty(),
+        "the traced run must produce events"
+    );
 }

@@ -1,0 +1,203 @@
+//! Fluent, validated construction of [`CampaignSpec`]s.
+//!
+//! Struct-literal construction allowed specs the engine cannot run
+//! well — empty task lists, duplicate task identities that break the
+//! "spec index = task identity" invariant the pool and fault injector
+//! rely on. [`CampaignSpec::builder`] moves those checks to a single
+//! [`CampaignSpecBuilder::build`] call with typed [`SpecError`]s
+//! instead of downstream panics.
+
+use crate::spec::{CampaignSpec, CampaignTask, DEFAULT_SEED};
+
+/// Why a [`CampaignSpecBuilder::build`] call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The campaign name was empty (reports key on it).
+    EmptyName,
+    /// No tasks were added; an empty campaign has no meaning.
+    NoTasks,
+    /// Two tasks share an identity (label); carries the label.
+    /// Task identity keys retry seeds, fault-injection scopes, and
+    /// trace attribution, so it must be unique within a spec.
+    DuplicateTask(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyName => write!(f, "campaign name must not be empty"),
+            SpecError::NoTasks => write!(f, "campaign needs at least one task"),
+            SpecError::DuplicateTask(label) => {
+                write!(f, "duplicate task {label:?} (task identity must be unique)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Builder returned by [`CampaignSpec::builder`]. Defaults: name
+/// `campaign`, seed [`DEFAULT_SEED`], no tasks.
+#[derive(Debug, Clone)]
+pub struct CampaignSpecBuilder {
+    name: String,
+    seed: u64,
+    tasks: Vec<CampaignTask>,
+}
+
+impl Default for CampaignSpecBuilder {
+    fn default() -> CampaignSpecBuilder {
+        CampaignSpecBuilder::new()
+    }
+}
+
+impl CampaignSpecBuilder {
+    /// A builder with the defaults.
+    pub fn new() -> CampaignSpecBuilder {
+        CampaignSpecBuilder {
+            name: "campaign".into(),
+            seed: DEFAULT_SEED,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Set the campaign name.
+    pub fn name(mut self, name: impl Into<String>) -> CampaignSpecBuilder {
+        self.name = name.into();
+        self
+    }
+
+    /// Set the seed threaded into every rand-driven workload.
+    pub fn seed(mut self, seed: u64) -> CampaignSpecBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Append one task.
+    pub fn task(mut self, task: CampaignTask) -> CampaignSpecBuilder {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Append several tasks, keeping their order.
+    pub fn tasks(mut self, tasks: impl IntoIterator<Item = CampaignTask>) -> CampaignSpecBuilder {
+        self.tasks.extend(tasks);
+        self
+    }
+
+    /// Append a [`CampaignTask::ServerDiscovery`] task.
+    pub fn server(self, name: impl Into<String>) -> CampaignSpecBuilder {
+        self.task(CampaignTask::ServerDiscovery(name.into()))
+    }
+
+    /// Append a [`CampaignTask::SehAnalysis`] task.
+    pub fn seh(self, module: impl Into<String>) -> CampaignSpecBuilder {
+        self.task(CampaignTask::SehAnalysis(module.into()))
+    }
+
+    /// Append a [`CampaignTask::ApiFunnel`] task.
+    pub fn funnel(self, corpus_size: usize) -> CampaignSpecBuilder {
+        self.task(CampaignTask::ApiFunnel { corpus_size })
+    }
+
+    /// Append a [`CampaignTask::PocScan`] task.
+    pub fn poc(self, oracle: impl Into<String>) -> CampaignSpecBuilder {
+        self.task(CampaignTask::PocScan(oracle.into()))
+    }
+
+    /// Validate and assemble the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::EmptyName`] for a blank name, [`SpecError::NoTasks`]
+    /// for an empty task list, [`SpecError::DuplicateTask`] when two
+    /// tasks share a label.
+    pub fn build(self) -> Result<CampaignSpec, SpecError> {
+        if self.name.trim().is_empty() {
+            return Err(SpecError::EmptyName);
+        }
+        if self.tasks.is_empty() {
+            return Err(SpecError::NoTasks);
+        }
+        let mut labels: Vec<String> = self.tasks.iter().map(CampaignTask::label).collect();
+        labels.sort();
+        if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(SpecError::DuplicateTask(dup[0].clone()));
+        }
+        Ok(CampaignSpec {
+            name: self.name,
+            seed: self.seed,
+            tasks: self.tasks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_valid_spec_with_defaults() {
+        let spec = CampaignSpec::builder().poc("ie").build().unwrap();
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.tasks, vec![CampaignTask::PocScan("ie".into())]);
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        let err = CampaignSpec::builder().name("  ").poc("ie").build();
+        assert_eq!(err, Err(SpecError::EmptyName));
+    }
+
+    #[test]
+    fn rejects_empty_task_list() {
+        assert_eq!(CampaignSpec::builder().build(), Err(SpecError::NoTasks));
+    }
+
+    #[test]
+    fn rejects_duplicate_tasks() {
+        let err = CampaignSpec::builder()
+            .seh("user32")
+            .server("nginx")
+            .seh("user32")
+            .build();
+        assert_eq!(err, Err(SpecError::DuplicateTask("seh:user32".into())));
+        // Same payload under different families is not a duplicate.
+        assert!(CampaignSpec::builder()
+            .server("nginx")
+            .poc("nginx")
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn spec_errors_display_and_compose() {
+        let err: Box<dyn std::error::Error> = Box::new(SpecError::DuplicateTask("x".into()));
+        assert!(err.to_string().contains("duplicate task"));
+        assert!(SpecError::NoTasks.to_string().contains("at least one"));
+        assert!(SpecError::EmptyName.to_string().contains("name"));
+    }
+
+    #[test]
+    fn tasks_helper_preserves_order() {
+        let spec = CampaignSpec::builder()
+            .tasks(vec![
+                CampaignTask::ServerDiscovery("nginx".into()),
+                CampaignTask::ApiFunnel { corpus_size: 10 },
+            ])
+            .poc("ie")
+            .build()
+            .unwrap();
+        let labels: Vec<String> = spec.tasks.iter().map(CampaignTask::label).collect();
+        assert_eq!(labels, ["server:nginx", "funnel:10", "poc:ie"]);
+    }
+
+    #[test]
+    fn deprecated_shim_still_compiles_without_validation() {
+        #[allow(deprecated)]
+        let spec = CampaignSpec::from_parts("legacy", 7, Vec::new());
+        assert_eq!(spec.name, "legacy");
+        assert!(spec.tasks.is_empty(), "shim must not validate");
+    }
+}

@@ -25,7 +25,7 @@ use crate::cache::{AnalysisCache, SehSummary, SharedVerdictCache};
 use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
 use crate::metrics::CampaignMetrics;
 use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
-use crate::spec::{CampaignSpec, CampaignTask};
+use crate::spec::{CampaignSpec, CampaignTask, TaskKind};
 use cr_chaos::{FaultInjector, FaultKind, Site};
 use cr_core::seh::{self, analyze_module_cached, NoCache};
 use std::path::PathBuf;
@@ -177,13 +177,27 @@ impl CampaignReport {
 /// land in their [`TaskRecord`], and corrupt cache *content* is
 /// quarantined, not fatal.
 pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<CampaignReport> {
+    cr_trace::begin_run(&spec.name);
     let cache = match &cfg.cache_dir {
-        Some(dir) => AnalysisCache::load(dir)?,
+        Some(dir) => {
+            let mut span = cr_trace::span(cr_trace::Stage::Cache, "cache.load");
+            let cache = AnalysisCache::load(dir)?;
+            span.set_detail(|| {
+                let (filters, modules) = cache.len();
+                format!(
+                    "filters={filters} modules={modules} quarantined={}",
+                    cache.quarantined()
+                )
+            });
+            cache
+        }
         None => AnalysisCache::new(),
     };
     let quarantined = cache.quarantined();
     let solver_before = cr_symex::solver_calls();
     let injector = cfg.injector.as_deref();
+    let labels: Vec<(String, TaskKind)> =
+        spec.tasks.iter().map(|t| (t.label(), t.kind())).collect();
 
     let pool_cfg = PoolConfig {
         jobs: cfg.jobs,
@@ -195,12 +209,32 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
         ..PoolConfig::default()
     };
     let started = Instant::now();
+    // The pool span's detail deliberately omits the worker count: the
+    // deterministic event sequence must not vary with `--jobs`.
+    let mut pool_span = cr_trace::span(cr_trace::Stage::Schedule, "pool");
+    pool_span.set_detail(|| format!("tasks={}", spec.tasks.len()));
     let execs = run_pool(&pool_cfg, spec.tasks.len(), |ctx| {
-        execute_task(&spec.tasks[ctx.index], &cache, injector, ctx)
+        // Identity goes into the detail up front so an unwinding panic
+        // still leaves an attributable span; the outcome is appended
+        // only when the attempt returns normally.
+        let mut span = cr_trace::span(cr_trace::Stage::Schedule, "attempt");
+        span.set_detail(|| labels[ctx.index].0.clone());
+        let outcome = execute_task(&spec.tasks[ctx.index], &cache, injector, ctx);
+        span.append_detail(|| match &outcome {
+            Ok(_) => "ok".into(),
+            Err(e) => format!("err={}", e.kind.name()),
+        });
+        outcome
     });
+    drop(pool_span);
     let total_wall_us = started.elapsed().as_micros() as u64;
 
     if let Some(dir) = &cfg.cache_dir {
+        let mut span = cr_trace::span(cr_trace::Stage::Cache, "cache.save");
+        span.set_detail(|| {
+            let (filters, modules) = cache.len();
+            format!("filters={filters} modules={modules}")
+        });
         match injector {
             Some(inj) if inj.plan().arms(Site::CacheRecord) => {
                 cache.save_with(dir, |i, line| {
@@ -213,8 +247,6 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
         }
     }
 
-    let labels: Vec<(String, &'static str)> =
-        spec.tasks.iter().map(|t| (t.label(), t.kind())).collect();
     let records: Vec<TaskRecord> = execs
         .iter()
         .map(|e| TaskRecord {

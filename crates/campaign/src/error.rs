@@ -6,8 +6,11 @@
 //! the `chaos` CLI verb compares the observed per-class counts against
 //! the counts the fault plan predicts.
 
-/// The failure class of one task attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+/// The failure class of one task attempt. Serializes to the same
+/// snake_case strings ([`TaskErrorKind::name`]) the metrics JSON
+/// always carried, so swapping the old free-form strings for this enum
+/// changed no wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaskErrorKind {
     /// The task panicked (caught by the pool; worker survives).
     Panic,
@@ -45,6 +48,12 @@ impl TaskErrorKind {
             TaskErrorKind::CacheCorrupt => "cache_corrupt",
             TaskErrorKind::Io => "io",
         }
+    }
+}
+
+impl serde::Serialize for TaskErrorKind {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
     }
 }
 
@@ -200,5 +209,13 @@ mod tests {
                 "io"
             ]
         );
+    }
+
+    #[test]
+    fn kinds_serialize_to_their_names() {
+        use serde::Serialize;
+        for kind in TaskErrorKind::ALL {
+            assert_eq!(kind.to_json(), format!("\"{}\"", kind.name()));
+        }
     }
 }

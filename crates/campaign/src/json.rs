@@ -1,375 +1,23 @@
-//! A minimal JSON reader for cache files and campaign specs.
+//! JSON reading for cache files, campaign specs, and reports.
 //!
-//! The workspace's (vendored) `serde` only serializes; the campaign
-//! engine needs to read back its own output — cache JSONL lines and
-//! `--spec` files — so this module carries a small recursive-descent
-//! parser for exactly the JSON this workspace emits, plus enough
-//! generality (floats, unicode escapes) to accept hand-written specs.
+//! The recursive-descent parser used to live here; it moved to
+//! [`cr_trace::json`] so the trace crate can read `trace.jsonl` without
+//! depending on the campaign engine. This module re-exports it — every
+//! existing `cr_campaign::json::Json` use keeps compiling unchanged.
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Non-negative integer (no decimal point or exponent).
-    UInt(u64),
-    /// Negative integer.
-    Int(i64),
-    /// Anything with a decimal point or exponent.
-    Float(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object, in source order (duplicate keys keep the last).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parse a complete JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// String payload.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Unsigned integer payload (accepts exact non-negative `Int`).
-    pub fn as_u64(&self) -> Option<u64> {
-        match *self {
-            Json::UInt(n) => Some(n),
-            Json::Int(n) if n >= 0 => Some(n as u64),
-            _ => None,
-        }
-    }
-
-    /// `as_u64` narrowed to `usize`.
-    pub fn as_usize(&self) -> Option<usize> {
-        self.as_u64().and_then(|n| usize::try_from(n).ok())
-    }
-
-    /// Bool payload.
-    pub fn as_bool(&self) -> Option<bool> {
-        match *self {
-            Json::Bool(b) => Some(b),
-            _ => None,
-        }
-    }
-
-    /// Array payload.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Object payload.
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(fields) => Some(fields),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'n') => self.eat_lit("null", Json::Null),
-            Some(b't') => self.eat_lit("true", Json::Bool(true)),
-            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|b| b as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hi = self.hex4()?;
-                            let cp = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: require the low half.
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
-                                    self.pos += 2;
-                                    let lo = self.hex4()?;
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
-                                } else {
-                                    return Err("lone high surrogate".into());
-                                }
-                            } else {
-                                hi
-                            };
-                            out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
-                        }
-                        other => return Err(format!("bad escape \\{}", other as char)),
-                    }
-                }
-                Some(b) if b < 0x20 => return Err("raw control char in string".into()),
-                Some(_) => {
-                    // Copy one UTF-8 scalar verbatim.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        let chunk = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .ok_or("truncated \\u escape")?;
-        let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
-        let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
-        self.pos += 4;
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        if is_float {
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|e| e.to_string())
-        } else if text.starts_with('-') {
-            text.parse::<i64>()
-                .map(Json::Int)
-                .map_err(|e| e.to_string())
-        } else {
-            text.parse::<u64>()
-                .map(Json::UInt)
-                .map_err(|e| e.to_string())
-        }
-    }
-}
+pub use cr_trace::Json;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::Json;
 
     #[test]
-    fn parses_scalars() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+    fn reexport_still_parses_campaign_shapes() {
+        let v = Json::parse(r#"{"tasks":[{"PocScan":"ie"}],"seed":2017}"#).unwrap();
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(2017));
         assert_eq!(
-            Json::parse("18446744073709551615").unwrap(),
-            Json::UInt(u64::MAX)
-        );
-        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
-        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Float(1500.0));
-        assert_eq!(
-            Json::parse("\"a\\nb\\u0041\"").unwrap(),
-            Json::Str("a\nbA".into())
-        );
-        assert_eq!(
-            Json::parse("\"\\uD83D\\uDE00\"").unwrap(),
-            Json::Str("😀".into())
-        );
-    }
-
-    #[test]
-    fn parses_structures() {
-        let v = Json::parse(r#"{"a":[1,2,{"b":false}],"c":"x"}"#).unwrap();
-        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
-        let arr = v.get("a").and_then(Json::as_arr).unwrap();
-        assert_eq!(arr.len(), 3);
-        assert_eq!(arr[2].get("b").and_then(Json::as_bool), Some(false));
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("").is_err());
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("12 34").is_err());
-        assert!(Json::parse("\"\\q\"").is_err());
-    }
-
-    #[test]
-    fn round_trips_workspace_serializer() {
-        use serde::Serialize;
-        #[derive(serde::Serialize)]
-        struct S {
-            name: String,
-            n: u64,
-            flag: bool,
-            items: Vec<i32>,
-        }
-        let s = S {
-            name: "weird \"quote\"\n".into(),
-            n: 7,
-            flag: true,
-            items: vec![-1, 2],
-        };
-        let v = Json::parse(&s.to_json()).unwrap();
-        assert_eq!(
-            v.get("name").and_then(Json::as_str),
-            Some("weird \"quote\"\n")
-        );
-        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
-        assert_eq!(
-            v.get("items").and_then(Json::as_arr).unwrap()[0],
-            Json::Int(-1)
+            v.get("tasks").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
         );
     }
 }

@@ -26,27 +26,33 @@
 //! # Examples
 //!
 //! ```
-//! use cr_campaign::{CampaignSpec, CampaignTask, EngineConfig, run_campaign};
+//! use cr_campaign::prelude::*;
 //!
-//! let spec = CampaignSpec {
-//!     name: "doc".into(),
-//!     seed: 2017,
-//!     tasks: vec![CampaignTask::SehAnalysis("xmllite".into())],
-//! };
+//! let spec = CampaignSpec::builder()
+//!     .name("doc")
+//!     .seh("xmllite")
+//!     .build()
+//!     .expect("one task, non-empty name");
 //! let report = run_campaign(&spec, &EngineConfig::default())?;
 //! assert_eq!(report.records.len(), 1);
 //! assert!(report.records[0].result.is_some());
+//! let envelope = report.to_report();
+//! assert!(envelope.to_json().starts_with("{\"schema_version\":1,\"kind\":\"campaign\""));
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod builder;
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod prelude;
+pub mod report;
 pub mod spec;
 
+pub use builder::{CampaignSpecBuilder, SpecError};
 pub use cache::{
     AnalysisCache, CacheStatsSnapshot, SehSummary, SharedVerdictCache, CACHE_FILE, QUARANTINE_FILE,
 };
@@ -56,4 +62,5 @@ pub use engine::{
 pub use error::{ErrorCounts, TaskError, TaskErrorKind};
 pub use metrics::{CampaignMetrics, TaskMetrics};
 pub use pool::{run_pool, PoolConfig, TaskCtx, TaskExecution, DEFAULT_DEADLINE_MS};
-pub use spec::{CampaignSpec, CampaignTask, DEFAULT_SEED};
+pub use report::{Report, ReportKind, SCHEMA_VERSION};
+pub use spec::{CampaignSpec, CampaignTask, TaskKind, DEFAULT_SEED};

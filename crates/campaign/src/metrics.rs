@@ -7,7 +7,9 @@
 //! the deterministic half.
 
 use crate::cache::CacheStatsSnapshot;
+use crate::error::TaskErrorKind;
 use crate::pool::TaskExecution;
+use crate::spec::TaskKind;
 
 /// Scheduling/outcome metadata for one task.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
@@ -16,15 +18,17 @@ pub struct TaskMetrics {
     pub index: usize,
     /// Human-readable label (`seh:user32`, …).
     pub label: String,
-    /// Task family (`server` / `seh` / `funnel` / `poc`).
-    pub kind: String,
+    /// Task family; serializes to `server` / `seh` / `funnel` / `poc`
+    /// exactly as the former free-form string did.
+    pub kind: TaskKind,
     /// Whether the task produced a result.
     pub ok: bool,
     /// Attempts used (1 = first-try success).
     pub attempts: u32,
-    /// Failed attempts, by error class name, in attempt order.
-    /// Non-empty with `ok: true` means the task recovered on retry.
-    pub attempt_errors: Vec<String>,
+    /// Failed attempts, by error class, in attempt order. Non-empty
+    /// with `ok: true` means the task recovered on retry. Serializes
+    /// to the same snake_case names as before.
+    pub attempt_errors: Vec<TaskErrorKind>,
     /// Wall time across attempts, microseconds.
     pub wall_us: u64,
     /// Milliseconds slept in retry backoff.
@@ -67,7 +71,7 @@ impl CampaignMetrics {
         solver_calls: u64,
         quarantined: u64,
         cache: CacheStatsSnapshot,
-        labels: &[(String, &'static str)],
+        labels: &[(String, TaskKind)],
         execs: &[TaskExecution<T>],
     ) -> CampaignMetrics {
         let tasks: Vec<TaskMetrics> = execs
@@ -75,14 +79,10 @@ impl CampaignMetrics {
             .map(|e| TaskMetrics {
                 index: e.index,
                 label: labels[e.index].0.clone(),
-                kind: labels[e.index].1.to_string(),
+                kind: labels[e.index].1,
                 ok: e.outcome.is_ok(),
                 attempts: e.attempts,
-                attempt_errors: e
-                    .attempt_errors
-                    .iter()
-                    .map(|err| err.kind.name().to_string())
-                    .collect(),
+                attempt_errors: e.attempt_errors.iter().map(|err| err.kind).collect(),
                 wall_us: e.wall.as_micros() as u64,
                 backoff_ms: e.backoff_ms,
             })

@@ -112,6 +112,7 @@ impl TaskCtx<'_> {
     pub fn stall(&self, ms: u64) -> Result<(), TaskError> {
         let t = self.virtual_ms.get().saturating_add(ms);
         self.virtual_ms.set(t);
+        cr_trace::advance_virtual(ms);
         if let Some(d) = self.deadline_ms {
             if t > d {
                 return Err(TaskError::timed_out(format!(
@@ -199,6 +200,9 @@ where
         }
         let exec = run_one(cfg, index, &cancels[index], &running[index], &task);
         *slots[index].lock().unwrap() = Some(exec);
+        // Drain this worker's trace ring at the task boundary so
+        // long-lived workers never overflow it mid-campaign.
+        cr_trace::flush_local();
     };
 
     if jobs == 1 && cfg.wall_watchdog_ms.is_none() {
@@ -257,6 +261,12 @@ fn run_one<T, F>(
 where
     F: Fn(&TaskCtx) -> Result<T, TaskError>,
 {
+    // Outcome of one attempt, decided inside its trace scope so retry
+    // events share the attempt's deterministic sequence numbering.
+    enum AttemptStep<T> {
+        Done(T),
+        Failed(TaskError, u64),
+    }
     let started = Instant::now();
     let mut attempt_errors = Vec::new();
     let mut backoff_ms = 0u64;
@@ -271,10 +281,27 @@ where
         };
         cancel.store(false, Ordering::Relaxed);
         *running.lock().unwrap() = Some(Instant::now());
-        let outcome = catch_unwind(AssertUnwindSafe(|| task(&ctx)));
+        let step = cr_trace::task_scope(index as u64, attempt, || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(&ctx)));
+            let error = match outcome {
+                Ok(Ok(value)) => return AttemptStep::Done(value),
+                Ok(Err(e)) => e,
+                Err(payload) => TaskError::panic(panic_message(payload.as_ref())),
+            };
+            let pause = if attempt < cfg.retries {
+                let pause = backoff_pause(cfg, index, attempt);
+                cr_trace::emit(cr_trace::Stage::Retry, "backoff", || {
+                    format!("error={} pause_ms={pause}", error.kind.name())
+                });
+                pause
+            } else {
+                0
+            };
+            AttemptStep::Failed(error, pause)
+        });
         *running.lock().unwrap() = None;
-        let error = match outcome {
-            Ok(Ok(value)) => {
+        match step {
+            AttemptStep::Done(value) => {
                 return TaskExecution {
                     index,
                     attempts: attempt + 1,
@@ -284,15 +311,12 @@ where
                     backoff_ms,
                 };
             }
-            Ok(Err(e)) => e,
-            Err(payload) => TaskError::panic(panic_message(payload.as_ref())),
-        };
-        attempt_errors.push(error);
-        if attempt < cfg.retries {
-            let pause = backoff_pause(cfg, index, attempt);
-            backoff_ms += pause;
-            if pause > 0 {
-                std::thread::sleep(Duration::from_millis(pause));
+            AttemptStep::Failed(error, pause) => {
+                attempt_errors.push(error);
+                backoff_ms += pause;
+                if pause > 0 {
+                    std::thread::sleep(Duration::from_millis(pause));
+                }
             }
         }
     }

@@ -1,0 +1,13 @@
+//! One-stop imports for campaign consumers.
+//!
+//! `use cr_campaign::prelude::*;` brings in everything a CLI or test
+//! needs to build a spec, run it, and frame the output: the builder
+//! API, the engine entry point, the typed task/error enums, and the
+//! versioned [`Report`] envelope.
+
+pub use crate::builder::{CampaignSpecBuilder, SpecError};
+pub use crate::engine::{run_campaign, CampaignReport, EngineConfig, TaskRecord, TaskResult};
+pub use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
+pub use crate::metrics::{CampaignMetrics, TaskMetrics};
+pub use crate::report::{Report, ReportKind, SCHEMA_VERSION};
+pub use crate::spec::{CampaignSpec, CampaignTask, TaskKind, DEFAULT_SEED};

@@ -6,7 +6,49 @@
 //! serialize to JSON (for `--spec` files and report embedding) and
 //! parse back via the in-crate [`Json`](crate::json::Json) reader.
 
+use crate::builder::CampaignSpecBuilder;
 use crate::json::Json;
+
+/// The four task families a campaign draws from. Serializes to the
+/// same short names (`server` / `seh` / `funnel` / `poc`) the metrics
+/// JSON always used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TaskKind {
+    /// Table-I server syscall discovery.
+    Server,
+    /// §IV-C SEH module analysis.
+    Seh,
+    /// §V-B Windows API funnel.
+    Funnel,
+    /// §VI PoC memory-oracle scan.
+    Poc,
+}
+
+impl TaskKind {
+    /// Every kind, in the stable reporting order.
+    pub const ALL: [TaskKind; 4] = [
+        TaskKind::Server,
+        TaskKind::Seh,
+        TaskKind::Funnel,
+        TaskKind::Poc,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Server => "server",
+            TaskKind::Seh => "seh",
+            TaskKind::Funnel => "funnel",
+            TaskKind::Poc => "poc",
+        }
+    }
+}
+
+impl serde::Serialize for TaskKind {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
+    }
+}
 
 /// One unit of campaign work. Tasks are independent by construction —
 /// the pool may run them in any order on any worker.
@@ -26,13 +68,13 @@ pub enum CampaignTask {
 }
 
 impl CampaignTask {
-    /// Short machine-readable task family name.
-    pub fn kind(&self) -> &'static str {
+    /// The task's family.
+    pub fn kind(&self) -> TaskKind {
         match self {
-            CampaignTask::ServerDiscovery(_) => "server",
-            CampaignTask::SehAnalysis(_) => "seh",
-            CampaignTask::ApiFunnel { .. } => "funnel",
-            CampaignTask::PocScan(_) => "poc",
+            CampaignTask::ServerDiscovery(_) => TaskKind::Server,
+            CampaignTask::SehAnalysis(_) => TaskKind::Seh,
+            CampaignTask::ApiFunnel { .. } => TaskKind::Funnel,
+            CampaignTask::PocScan(_) => TaskKind::Poc,
         }
     }
 
@@ -65,43 +107,61 @@ pub struct CampaignSpec {
 pub const DEFAULT_SEED: u64 = 2017;
 
 impl CampaignSpec {
-    /// The built-in full campaign: every server, every calibrated DLL,
-    /// the standard funnel, every PoC oracle.
-    pub fn builtin(seed: u64) -> CampaignSpec {
-        let mut tasks: Vec<CampaignTask> =
-            ["nginx", "cherokee", "lighttpd", "memcached", "postgresql"]
-                .iter()
-                .map(|s| CampaignTask::ServerDiscovery(s.to_string()))
-                .collect();
-        for c in cr_targets::browsers::CALIBRATION {
-            tasks.push(CampaignTask::SehAnalysis(c.name.to_string()));
-        }
-        tasks.push(CampaignTask::ApiFunnel { corpus_size: 2_000 });
-        for o in ["ie", "firefox", "nginx"] {
-            tasks.push(CampaignTask::PocScan(o.to_string()));
-        }
+    /// Start building a spec fluently; validation happens at
+    /// [`CampaignSpecBuilder::build`].
+    pub fn builder() -> CampaignSpecBuilder {
+        CampaignSpecBuilder::new()
+    }
+
+    /// Assemble a spec from raw parts without validation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CampaignSpec::builder()`, which validates at `.build()`"
+    )]
+    pub fn from_parts(
+        name: impl Into<String>,
+        seed: u64,
+        tasks: Vec<CampaignTask>,
+    ) -> CampaignSpec {
         CampaignSpec {
-            name: "builtin-full".into(),
+            name: name.into(),
             seed,
             tasks,
         }
+    }
+
+    /// The built-in full campaign: every server, every calibrated DLL,
+    /// the standard funnel, every PoC oracle.
+    pub fn builtin(seed: u64) -> CampaignSpec {
+        let mut b = CampaignSpec::builder().name("builtin-full").seed(seed);
+        for s in ["nginx", "cherokee", "lighttpd", "memcached", "postgresql"] {
+            b = b.server(s);
+        }
+        for c in cr_targets::browsers::CALIBRATION {
+            b = b.seh(c.name);
+        }
+        b = b.funnel(2_000);
+        for o in ["ie", "firefox", "nginx"] {
+            b = b.poc(o);
+        }
+        b.build().expect("builtin spec is valid")
     }
 
     /// A small fixed campaign for smoke tests and chaos validation:
     /// one server, four modules, a small funnel, one oracle — every
     /// task family represented, but seconds instead of minutes.
     pub fn smoke(seed: u64) -> CampaignSpec {
-        let mut tasks = vec![CampaignTask::ServerDiscovery("nginx".into())];
+        let mut b = CampaignSpec::builder()
+            .name("builtin-smoke")
+            .seed(seed)
+            .server("nginx");
         for c in cr_targets::browsers::CALIBRATION.iter().take(4) {
-            tasks.push(CampaignTask::SehAnalysis(c.name.to_string()));
+            b = b.seh(c.name);
         }
-        tasks.push(CampaignTask::ApiFunnel { corpus_size: 200 });
-        tasks.push(CampaignTask::PocScan("ie".into()));
-        CampaignSpec {
-            name: "builtin-smoke".into(),
-            seed,
-            tasks,
-        }
+        b.funnel(200)
+            .poc("ie")
+            .build()
+            .expect("smoke spec is valid")
     }
 
     /// Parse a spec from its JSON form (the shape [`serde::Serialize`]
@@ -180,39 +240,56 @@ mod tests {
     #[test]
     fn builtin_covers_all_families() {
         let spec = CampaignSpec::builtin(DEFAULT_SEED);
-        for kind in ["server", "seh", "funnel", "poc"] {
+        for kind in TaskKind::ALL {
             assert!(
                 spec.tasks.iter().any(|t| t.kind() == kind),
-                "missing {kind}"
+                "missing {}",
+                kind.name()
             );
         }
-        assert_eq!(spec.tasks.iter().filter(|t| t.kind() == "seh").count(), 10);
+        assert_eq!(
+            spec.tasks
+                .iter()
+                .filter(|t| t.kind() == TaskKind::Seh)
+                .count(),
+            10
+        );
+        // The builder keeps spec order: servers, modules, funnel, pocs.
+        assert_eq!(spec.tasks[0].kind(), TaskKind::Server);
+        assert_eq!(spec.tasks.last().unwrap().kind(), TaskKind::Poc);
     }
 
     #[test]
     fn smoke_covers_all_families_but_stays_small() {
         let spec = CampaignSpec::smoke(DEFAULT_SEED);
-        for kind in ["server", "seh", "funnel", "poc"] {
+        for kind in TaskKind::ALL {
             assert!(
                 spec.tasks.iter().any(|t| t.kind() == kind),
-                "missing {kind}"
+                "missing {}",
+                kind.name()
             );
         }
         assert!(spec.tasks.len() <= 8);
     }
 
     #[test]
+    fn kind_names_serialize_like_the_old_strings() {
+        let names: Vec<&str> = TaskKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["server", "seh", "funnel", "poc"]);
+        assert_eq!(TaskKind::Seh.to_json(), "\"seh\"");
+    }
+
+    #[test]
     fn spec_round_trips_through_json() {
-        let spec = CampaignSpec {
-            name: "rt".into(),
-            seed: 99,
-            tasks: vec![
-                CampaignTask::ServerDiscovery("nginx".into()),
-                CampaignTask::SehAnalysis("user32".into()),
-                CampaignTask::ApiFunnel { corpus_size: 123 },
-                CampaignTask::PocScan("ie".into()),
-            ],
-        };
+        let spec = CampaignSpec::builder()
+            .name("rt")
+            .seed(99)
+            .server("nginx")
+            .seh("user32")
+            .funnel(123)
+            .poc("ie")
+            .build()
+            .unwrap();
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
     }

@@ -55,11 +55,15 @@ impl FaultInjector {
     }
 
     /// [`FaultInjector::would_fire`], recording the firing in the
-    /// per-site counters. Call this from real injection points only.
+    /// per-site counters and emitting a `fault` trace event. Call this
+    /// from real injection points only.
     pub fn fires(&self, site: Site, key: u64, attempt: u32) -> Option<FaultKind> {
         let hit = self.would_fire(site, key, attempt);
-        if hit.is_some() {
+        if let Some(kind) = hit {
             self.fired[site_index(site)].fetch_add(1, Ordering::Relaxed);
+            cr_trace::emit(cr_trace::Stage::Fault, site.name(), || {
+                format!("kind={} key={key} attempt={attempt}", kind.name())
+            });
         }
         hit
     }

@@ -80,6 +80,22 @@ pub enum FaultKind {
     TornRecord,
 }
 
+impl FaultKind {
+    /// Stable machine-readable name of the fault kind (payload fields
+    /// are not included; trace events carry them in the detail string).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall { .. } => "stall",
+            FaultKind::SolverBudget { .. } => "solver_budget",
+            FaultKind::BitFlip { .. } => "bit_flip",
+            FaultKind::Truncate { .. } => "truncate",
+            FaultKind::CorruptRecord => "corrupt_record",
+            FaultKind::TornRecord => "torn_record",
+        }
+    }
+}
+
 /// One armed fault: a site, what to inject, and how often.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct SiteFault {

@@ -8,8 +8,15 @@
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
 //! crash-resist campaign [options]      sharded multi-task campaign
 //! crash-resist chaos [options]         campaign under an injected fault plan
+//! crash-resist report <trace>...       render stage latencies from trace files
 //! crash-resist list                    available targets
 //! ```
+//!
+//! All machine-readable output (`--json`, `--summary-json`) is framed
+//! in the versioned [`cr_campaign::Report`] envelope
+//! (`{"schema_version":1,"kind":…,"results":…,"metrics":…}`), and
+//! `campaign`/`chaos` accept `--trace FILE` to capture a structured
+//! execution trace (`report` renders it).
 //!
 //! Exit codes: `0` success, `1` runtime failure (e.g. a campaign task
 //! kept panicking, or a chaos invariant broke), `2` usage error, `3`
@@ -18,7 +25,7 @@
 
 use cr_campaign::{
     expected_error_counts, run_campaign, AnalysisCache, CampaignSpec, EngineConfig, ErrorCounts,
-    TaskResult,
+    Report, ReportKind, TaskResult,
 };
 use cr_chaos::{FaultInjector, FaultPlan, Site, BUILTIN_PLANS};
 use cr_core::seh::{analyze_module, FilterClass};
@@ -52,7 +59,8 @@ fn main() {
         ),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
-        Some("list") => cmd_list(),
+        Some("report") => cmd_report(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
         None | Some("help" | "-h" | "--help") => {
             print!("{}", HELP);
             EXIT_OK
@@ -77,7 +85,8 @@ USAGE:
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
     crash-resist campaign [options]      run a sharded discovery campaign
     crash-resist chaos [options]         run a campaign under a fault plan
-    crash-resist list                    list available servers/DLLs/oracles
+    crash-resist report <trace>...       per-stage latencies + timeline from traces
+    crash-resist list [--json]           list available servers/DLLs/oracles
 
 CAMPAIGN OPTIONS:
     --spec FILE     JSON campaign spec (default: the built-in full campaign)
@@ -86,11 +95,15 @@ CAMPAIGN OPTIONS:
     --seed S        RNG seed for rand-driven workloads (default 2017)
     --retries R     extra attempts for a failing task (default 1)
     --deadline-ms D per-attempt virtual-time deadline (default 200)
+    --trace FILE    write a structured execution trace (JSONL) here
     --json          emit the full report as JSON instead of a summary
 
 CHAOS OPTIONS (campaign options above, plus):
     --plan NAME     built-in fault plan (default mayhem; see `list`)
     --summary-json  emit a compact machine-checkable summary as JSON
+
+REPORT OPTIONS:
+    --json          emit the stage statistics as JSON instead of tables
 
 ENVIRONMENT:
     CR_SEED         default seed when --seed is not given
@@ -107,16 +120,39 @@ fn effective_seed(flag: Option<u64>) -> u64 {
         .unwrap_or(cr_campaign::DEFAULT_SEED)
 }
 
-fn cmd_list() -> i32 {
+fn cmd_list(args: &[String]) -> i32 {
+    let json = match args {
+        [] => false,
+        [flag] if flag == "--json" => true,
+        _ => {
+            eprintln!("usage: crash-resist list [--json]");
+            return EXIT_USAGE;
+        }
+    };
     let servers: Vec<&str> = cr_targets::all_servers().iter().map(|t| t.name).collect();
     let dlls: Vec<&str> = cr_targets::browsers::CALIBRATION
         .iter()
         .map(|c| c.name)
         .collect();
-    println!("servers:  {}", servers.join(" "));
-    println!("dlls:     {}", dlls.join(" "));
-    println!("oracles:  ie firefox nginx");
-    println!("plans:    {}", BUILTIN_PLANS.join(" "));
+    let oracles = ["ie", "firefox", "nginx"];
+    if json {
+        use serde::Serialize;
+        let mut results = String::from("{\"servers\":");
+        servers.write_json(&mut results);
+        results.push_str(",\"dlls\":");
+        dlls.write_json(&mut results);
+        results.push_str(",\"oracles\":");
+        oracles.write_json(&mut results);
+        results.push_str(",\"plans\":");
+        BUILTIN_PLANS.write_json(&mut results);
+        results.push('}');
+        println!("{}", Report::new(ReportKind::List, results, None).to_json());
+    } else {
+        println!("servers:  {}", servers.join(" "));
+        println!("dlls:     {}", dlls.join(" "));
+        println!("oracles:  {}", oracles.join(" "));
+        println!("plans:    {}", BUILTIN_PLANS.join(" "));
+    }
     EXIT_OK
 }
 
@@ -286,6 +322,8 @@ struct CampaignFlags {
     retries: u32,
     deadline_ms: Option<u64>,
     json: bool,
+    /// write a structured execution trace (JSONL) here.
+    trace: Option<PathBuf>,
     /// chaos only: built-in fault plan name.
     plan: String,
     /// chaos only: compact machine-checkable summary.
@@ -305,6 +343,7 @@ impl CampaignFlags {
             retries: 1,
             deadline_ms: Some(cr_campaign::DEFAULT_DEADLINE_MS),
             json: false,
+            trace: None,
             plan: "mayhem".to_string(),
             summary_json: false,
         };
@@ -320,7 +359,7 @@ impl CampaignFlags {
                     i += 1;
                 }
                 flag @ ("--spec" | "--jobs" | "--cache" | "--seed" | "--retries"
-                | "--deadline-ms") => {
+                | "--deadline-ms" | "--trace") => {
                     let Some(v) = args.get(i + 1) else {
                         eprintln!("{flag} needs a value");
                         return Err(EXIT_USAGE);
@@ -332,6 +371,10 @@ impl CampaignFlags {
                         }
                         "--cache" => {
                             f.cache_dir = Some(PathBuf::from(v));
+                            true
+                        }
+                        "--trace" => {
+                            f.trace = Some(PathBuf::from(v));
                             true
                         }
                         "--jobs" => v.parse().map(|n| f.jobs = n).is_ok(),
@@ -401,6 +444,31 @@ impl CampaignFlags {
             ..EngineConfig::default()
         }
     }
+
+    /// Begin trace collection when `--trace FILE` was given.
+    fn start_trace(&self) {
+        if self.trace.is_some() {
+            cr_trace::start();
+        }
+    }
+
+    /// Stop trace collection and write the JSONL file. Returns an exit
+    /// code on I/O failure; `None` means nothing to do or success.
+    fn finish_trace(&self) -> Option<i32> {
+        let path = self.trace.as_ref()?;
+        let trace = cr_trace::finish();
+        if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+            eprintln!("cannot write trace {}: {e}", path.display());
+            return Some(EXIT_RUNTIME);
+        }
+        eprintln!(
+            "trace: {} event(s) ({} dropped) -> {}",
+            trace.events.len(),
+            trace.dropped,
+            path.display()
+        );
+        None
+    }
 }
 
 fn cmd_campaign(args: &[String]) -> i32 {
@@ -421,7 +489,12 @@ fn cmd_campaign(args: &[String]) -> i32 {
         cfg.jobs.max(1),
         spec.seed
     );
-    let report = match run_campaign(&spec, &cfg) {
+    flags.start_trace();
+    let outcome = run_campaign(&spec, &cfg);
+    if let Some(code) = flags.finish_trace() {
+        return code;
+    }
+    let report = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign cache error: {e}");
@@ -430,8 +503,7 @@ fn cmd_campaign(args: &[String]) -> i32 {
     };
 
     if json {
-        use serde::Serialize;
-        println!("{}", report.to_json());
+        println!("{}", report.to_report().to_json());
     } else {
         for rec in &report.records {
             match (&rec.result, &rec.error) {
@@ -529,6 +601,7 @@ fn cmd_chaos(args: &[String]) -> i32 {
         flags.jobs.max(1)
     );
 
+    flags.start_trace();
     let mut failures: Vec<String> = Vec::new();
     let outcome =
         (|| -> std::io::Result<(cr_campaign::CampaignReport, Vec<String>, ErrorCounts)> {
@@ -605,6 +678,9 @@ fn cmd_chaos(args: &[String]) -> i32 {
         })();
 
     let _ = std::fs::remove_dir_all(&scratch);
+    if let Some(code) = flags.finish_trace() {
+        return code;
+    }
 
     let (cold, fired, warm_errors) = match outcome {
         Ok(t) => t,
@@ -615,34 +691,38 @@ fn cmd_chaos(args: &[String]) -> i32 {
     };
 
     if flags.json {
-        use serde::Serialize;
-        println!("{}", cold.to_json());
+        println!("{}", cold.to_report().to_json());
     }
     if flags.summary_json {
         use serde::Serialize;
-        let mut out = String::from("{\"plan\":");
-        plan.name.write_json(&mut out);
-        out.push_str(",\"seed\":");
-        plan.seed.write_json(&mut out);
-        out.push_str(",\"tasks\":");
-        cold.records.len().write_json(&mut out);
-        out.push_str(",\"errors\":");
-        cold.errors.write_json(&mut out);
-        out.push_str(",\"warm_errors\":");
-        warm_errors.write_json(&mut out);
-        out.push_str(",\"degraded\":");
-        cold.degraded.write_json(&mut out);
-        out.push_str(",\"fired\":[");
+        let mut results = String::from("{\"plan\":");
+        plan.name.write_json(&mut results);
+        results.push_str(",\"seed\":");
+        plan.seed.write_json(&mut results);
+        results.push_str(",\"tasks\":");
+        cold.records.len().write_json(&mut results);
+        results.push_str(",\"errors\":");
+        cold.errors.write_json(&mut results);
+        results.push_str(",\"warm_errors\":");
+        warm_errors.write_json(&mut results);
+        results.push_str(",\"degraded\":");
+        cold.degraded.write_json(&mut results);
+        results.push_str(",\"fired\":[");
         for (i, f) in fired.iter().enumerate() {
             if i > 0 {
-                out.push(',');
+                results.push(',');
             }
-            f.write_json(&mut out);
+            f.write_json(&mut results);
         }
-        out.push_str("],\"invariants\":");
-        if failures.is_empty() { "ok" } else { "BROKEN" }.write_json(&mut out);
-        out.push('}');
-        println!("{out}");
+        results.push_str("],\"invariants\":");
+        if failures.is_empty() { "ok" } else { "BROKEN" }.write_json(&mut results);
+        results.push('}');
+        // The summary is the byte-deterministic half (the smoke golden
+        // diffs it), so it rides in `results` with no `metrics`.
+        println!(
+            "{}",
+            Report::new(ReportKind::Chaos, results, None).to_json()
+        );
     }
     if !flags.json && !flags.summary_json {
         println!(
@@ -667,6 +747,136 @@ fn cmd_chaos(args: &[String]) -> i32 {
     } else {
         EXIT_OK
     }
+}
+
+/// `crash-resist report`: merge one or more `--trace` files and render
+/// per-stage latency tables (p50/p95/max over span durations) plus a
+/// campaign timeline of schedule spans. With `--json`, emits a
+/// [`ReportKind::Report`] envelope: stage/event counts in `results`,
+/// wall-clock latency statistics in `metrics`.
+fn cmd_report(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown report option {flag:?}");
+                return EXIT_USAGE;
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: crash-resist report <trace.jsonl>... [--json]");
+        return EXIT_USAGE;
+    }
+    let mut traces = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return EXIT_USAGE;
+            }
+        };
+        match cr_trace::Trace::parse_jsonl(&text) {
+            Ok(t) => traces.push(t),
+            Err(e) => {
+                eprintln!("bad trace {}: {e}", path.display());
+                return EXIT_USAGE;
+            }
+        }
+    }
+    let n_files = traces.len();
+    let merged = cr_trace::Trace::merge(traces);
+    let stats = merged.stage_stats();
+    let stage_names: Vec<&str> = merged.stages().iter().map(|s| s.name()).collect();
+
+    if json {
+        use serde::Serialize;
+        let mut results = String::from("{\"files\":");
+        n_files.write_json(&mut results);
+        results.push_str(",\"events\":");
+        merged.events.len().write_json(&mut results);
+        results.push_str(",\"dropped\":");
+        merged.dropped.write_json(&mut results);
+        results.push_str(",\"stages\":");
+        stage_names.write_json(&mut results);
+        results.push('}');
+        let mut metrics = String::from("{\"stages\":[");
+        for (i, s) in stats.iter().enumerate() {
+            if i > 0 {
+                metrics.push(',');
+            }
+            metrics.push_str("{\"stage\":");
+            s.stage.name().write_json(&mut metrics);
+            metrics.push_str(",\"events\":");
+            s.events.write_json(&mut metrics);
+            metrics.push_str(",\"spans\":");
+            s.spans.write_json(&mut metrics);
+            metrics.push_str(",\"p50_us\":");
+            s.hist.p50().unwrap_or(0).write_json(&mut metrics);
+            metrics.push_str(",\"p95_us\":");
+            s.hist.p95().unwrap_or(0).write_json(&mut metrics);
+            metrics.push_str(",\"max_us\":");
+            s.hist.max().write_json(&mut metrics);
+            metrics.push('}');
+        }
+        metrics.push_str("]}");
+        println!(
+            "{}",
+            Report::new(ReportKind::Report, results, Some(metrics)).to_json()
+        );
+        return EXIT_OK;
+    }
+
+    println!(
+        "trace report: {n_files} file(s), {} event(s), {} dropped",
+        merged.events.len(),
+        merged.dropped
+    );
+    println!("stages: {}", stage_names.join(" "));
+    println!(
+        "{:<10} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "stage", "events", "spans", "p50_us", "p95_us", "max_us"
+    );
+    for s in &stats {
+        println!(
+            "{:<10} {:>7} {:>7} {:>9} {:>9} {:>9}",
+            s.stage.name(),
+            s.events,
+            s.spans,
+            s.hist.p50().unwrap_or(0),
+            s.hist.p95().unwrap_or(0),
+            s.hist.max()
+        );
+    }
+
+    // Merged campaign timeline: scheduling spans across all runs, in
+    // wall order within each run.
+    const TIMELINE_ROWS: usize = 40;
+    let mut rows: Vec<&cr_trace::Event> = merged
+        .events
+        .iter()
+        .filter(|e| e.stage == cr_trace::Stage::Schedule && e.dur_us.is_some())
+        .collect();
+    rows.sort_by_key(|e| (e.run, e.wall_us, e.seq));
+    println!("timeline ({} schedule span(s)):", rows.len());
+    for e in rows.iter().take(TIMELINE_ROWS) {
+        println!(
+            "  [run {}] +{:>8}us  {:<12} {} ({}us)",
+            e.run,
+            e.wall_us,
+            e.name,
+            e.detail,
+            e.dur_us.unwrap_or(0)
+        );
+    }
+    if rows.len() > TIMELINE_ROWS {
+        println!("  ... and {} more", rows.len() - TIMELINE_ROWS);
+    }
+    EXIT_OK
 }
 
 fn summarize(res: &TaskResult) -> String {

@@ -73,7 +73,11 @@ impl ElfImage {
     /// Returns [`ImageError`] on malformed headers, wrong class/endianness,
     /// or out-of-bounds references.
     pub fn parse(bytes: &[u8]) -> Result<ElfImage, ImageError> {
-        parse_elf(bytes)
+        let mut span = cr_trace::span(cr_trace::Stage::Parse, "elf.parse");
+        span.set_detail(|| format!("bytes={}", bytes.len()));
+        let parsed = parse_elf(bytes);
+        span.append_detail(|| format!("ok={}", parsed.is_ok()));
+        parsed
     }
 }
 

@@ -141,7 +141,11 @@ impl PeImage {
     /// Returns [`ImageError`] on bad magic, truncation, or unsupported
     /// optional-header magic.
     pub fn parse(bytes: &[u8]) -> Result<PeImage, ImageError> {
-        parse_pe(bytes)
+        let mut span = cr_trace::span(cr_trace::Stage::Parse, "pe.parse");
+        span.set_detail(|| format!("bytes={}", bytes.len()));
+        let parsed = parse_pe(bytes);
+        span.append_detail(|| format!("ok={}", parsed.is_ok()));
+        parsed
     }
 
     /// Virtual address of an exported symbol.

@@ -209,6 +209,30 @@ impl SymExec {
     /// `rcx = PEXCEPTION_POINTERS`, `rdx = establisher frame`, and the
     /// return value in `eax` decides handling.
     pub fn analyze_filter(&self, code: &dyn CodeSource, entry: u64) -> FilterAnalysis {
+        // Advisory span: whether this solver call happens at all can
+        // depend on scheduling (another worker may populate the shared
+        // verdict cache first), so it must not join the deterministic
+        // event sequence.
+        let mut span = cr_trace::span_advisory(cr_trace::Stage::Symex, "filter.vet");
+        let analysis = self.analyze_filter_inner(code, entry);
+        span.set_detail(|| {
+            let verdict = match analysis.verdict {
+                FilterVerdict::AcceptsAccessViolation { .. } => "accepts_av",
+                FilterVerdict::RejectsAccessViolation => "rejects_av",
+                FilterVerdict::Unknown(_) => "unknown",
+            };
+            format!(
+                "steps={} budget={} completed={} aborted={} verdict={verdict}",
+                analysis.steps,
+                self.max_steps,
+                analysis.completed_paths,
+                analysis.aborted_paths.len(),
+            )
+        });
+        analysis
+    }
+
+    fn analyze_filter_inner(&self, code: &dyn CodeSource, entry: u64) -> FilterAnalysis {
         let mut pending = vec![SymState::filter_harness(entry)];
         let mut ends = Vec::new();
         let mut total_steps = 0usize;

@@ -1,0 +1,277 @@
+//! Trace records: pipeline stages and the [`Event`] shape.
+
+use crate::json::Json;
+use serde::Serialize;
+
+/// The pipeline stage an event belongs to. Stages partition the
+/// campaign's hot paths: module parsing, symbolic execution, the
+/// analysis cache, pool scheduling, retry backoff and injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Image parsing (`cr_image::PeImage::parse` / `ElfImage::parse`).
+    Parse,
+    /// Symbolic execution of one exception filter.
+    Symex,
+    /// Analysis-cache load/save.
+    Cache,
+    /// Pool scheduling: one task attempt, or a whole campaign run.
+    Schedule,
+    /// Retry backoff between failed attempts.
+    Retry,
+    /// An injected fault actually fired.
+    Fault,
+}
+
+impl Stage {
+    /// Every stage, in the stable reporting order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Symex,
+        Stage::Cache,
+        Stage::Schedule,
+        Stage::Retry,
+        Stage::Fault,
+    ];
+
+    /// Stable machine-readable name (`parse` / `symex` / `cache` /
+    /// `schedule` / `retry` / `fault`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Symex => "symex",
+            Stage::Cache => "cache",
+            Stage::Schedule => "schedule",
+            Stage::Retry => "retry",
+            Stage::Fault => "fault",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn parse_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl Serialize for Stage {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
+    }
+}
+
+/// One trace record — a point event, or a completed span (when
+/// [`Event::dur_us`] is set).
+///
+/// ## Determinism contract
+///
+/// Everything except `wall_us` and `dur_us` is deterministic for
+/// deterministic (`det: true`) events: two runs of the same spec under
+/// the same fault plan produce the same sequence at any `--jobs` count.
+/// `wall_us`/`dur_us` are wall-clock measurements and vary run to run —
+/// [`Event::deterministic_json`] strips them. Advisory events
+/// (`det: false`, e.g. per-filter solver spans, whose *count* depends
+/// on cross-task cache races) are additionally excluded from
+/// [`crate::Trace::deterministic_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Campaign run index within the trace session (chaos traces hold
+    /// several runs: cold, determinism rerun, warm).
+    pub run: u32,
+    /// Task identity (spec index); `None` for coordinator events like
+    /// cache load/save.
+    pub task: Option<u64>,
+    /// Attempt number the event belongs to (0 for coordinator events).
+    pub attempt: u32,
+    /// Emission order within `(run, task, attempt)` on the emitting
+    /// thread, starting at 0 per attempt scope.
+    pub seq: u64,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Event name (e.g. `attempt`, `cache.load`, `worker.panic`).
+    pub name: String,
+    /// Deterministic detail string (outcome, counts, fault kind…).
+    pub detail: String,
+    /// Whether this event is part of the deterministic sequence.
+    pub det: bool,
+    /// Virtual milliseconds charged to the attempt when the event was
+    /// emitted (deterministic).
+    pub virtual_ms: u64,
+    /// **Non-deterministic**: wall microseconds since session start
+    /// (span start for spans, emission time for point events).
+    pub wall_us: u64,
+    /// **Non-deterministic**: span duration in wall microseconds;
+    /// `None` for point events.
+    pub dur_us: Option<u64>,
+}
+
+impl Event {
+    /// Sort key giving the canonical deterministic order: task events
+    /// grouped by `(run, task, attempt, virtual_ms)`, coordinator
+    /// events (`task: None`) after all tasks of their run. Within a
+    /// group, deterministic events come first in emission order;
+    /// advisory events follow in theirs (the two use independent
+    /// sequence counters, so their `seq` values are not comparable).
+    pub fn sort_key(&self) -> (u32, u64, u32, u64, u8, u64) {
+        (
+            self.run,
+            self.task.map_or(u64::MAX, |t| t),
+            self.attempt,
+            self.virtual_ms,
+            u8::from(!self.det),
+            self.seq,
+        )
+    }
+
+    /// Full JSON line, wall stamps included.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_fields(&mut out, true);
+        out
+    }
+
+    /// JSON of the deterministic fields only (`wall_us`/`dur_us`
+    /// stripped) — the byte-comparable form.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        self.write_fields(&mut out, false);
+        out
+    }
+
+    fn write_fields(&self, out: &mut String, wall: bool) {
+        out.push_str("{\"run\":");
+        self.run.write_json(out);
+        out.push_str(",\"task\":");
+        self.task.write_json(out);
+        out.push_str(",\"attempt\":");
+        self.attempt.write_json(out);
+        out.push_str(",\"seq\":");
+        self.seq.write_json(out);
+        out.push_str(",\"stage\":");
+        self.stage.write_json(out);
+        out.push_str(",\"name\":");
+        self.name.write_json(out);
+        out.push_str(",\"detail\":");
+        self.detail.write_json(out);
+        out.push_str(",\"det\":");
+        self.det.write_json(out);
+        out.push_str(",\"virtual_ms\":");
+        self.virtual_ms.write_json(out);
+        if wall {
+            out.push_str(",\"wall_us\":");
+            self.wall_us.write_json(out);
+            out.push_str(",\"dur_us\":");
+            self.dur_us.write_json(out);
+        }
+        out.push('}');
+    }
+
+    /// Parse one event from its [`Event::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let num = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("event missing numeric {k:?}"))
+        };
+        let stage_name = v
+            .get("stage")
+            .and_then(Json::as_str)
+            .ok_or("event missing `stage`")?;
+        let stage = Stage::parse_name(stage_name).ok_or(format!("unknown stage {stage_name:?}"))?;
+        let task = match v.get("task") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(t.as_u64().ok_or("event `task` must be a number or null")?),
+        };
+        let dur_us = match v.get("dur_us") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(
+                d.as_u64()
+                    .ok_or("event `dur_us` must be a number or null")?,
+            ),
+        };
+        Ok(Event {
+            run: num("run")? as u32,
+            task,
+            attempt: num("attempt")? as u32,
+            seq: num("seq")?,
+            stage,
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("event missing `name`")?
+                .to_string(),
+            detail: v
+                .get("detail")
+                .and_then(Json::as_str)
+                .ok_or("event missing `detail`")?
+                .to_string(),
+            det: v.get("det").and_then(Json::as_bool).unwrap_or(true),
+            virtual_ms: num("virtual_ms")?,
+            wall_us: num("wall_us").unwrap_or(0),
+            dur_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            run: 1,
+            task: Some(3),
+            attempt: 2,
+            seq: 7,
+            stage: Stage::Symex,
+            name: "filter.vet".into(),
+            detail: "steps=12".into(),
+            det: false,
+            virtual_ms: 250,
+            wall_us: 12345,
+            dur_us: Some(678),
+        }
+    }
+
+    #[test]
+    fn stage_names_are_stable_and_invertible() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["parse", "symex", "cache", "schedule", "retry", "fault"]
+        );
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::parse_name("bogus"), None);
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = sample();
+        let back = Event::from_json(&Json::parse(&e.to_json()).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn deterministic_json_strips_wall_fields() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_us = 99999;
+        b.dur_us = Some(1);
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(!a.deterministic_json().contains("wall_us"));
+        assert!(!a.deterministic_json().contains("dur_us"));
+    }
+
+    #[test]
+    fn coordinator_events_sort_after_task_events() {
+        let mut coord = sample();
+        coord.task = None;
+        coord.attempt = 0;
+        assert!(sample().sort_key() < coord.sort_key());
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-bucket latency histograms: 32 power-of-two buckets over
+//! microsecond durations, mergeable across workers and trace files.
+
+/// Number of buckets. Bucket `i` covers `[2^(i-1), 2^i - 1]` µs for
+/// `i >= 1`; bucket 0 holds exactly 0 µs; the last bucket absorbs
+/// everything above `2^30` µs (~18 minutes).
+pub const BUCKETS: usize = 32;
+
+/// A latency histogram with fixed power-of-two bucket boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a duration in microseconds: 0 → 0, 1 → 1,
+/// 2..=3 → 2, 4..=7 → 3, …, capped at `BUCKETS - 1`.
+pub fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (0 for bucket 0, `2^i - 1`
+/// otherwise). The top bucket's nominal bound understates what it can
+/// absorb; quantile queries clamp to the observed max instead.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i.min(63)) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.max = self.max.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample, in microseconds (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in
+    /// microseconds: the inclusive upper bound of the bucket holding
+    /// the quantile rank, clamped to the observed max. Returns `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample at quantile q, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate in microseconds (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate in microseconds (`None` when empty).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every boundary: 2^k lands in bucket k+1, 2^k - 1 in bucket k.
+        for k in 1..BUCKETS - 1 {
+            let bound = 1u64 << k;
+            assert_eq!(bucket_index(bound - 1), k, "below boundary 2^{k}");
+            assert_eq!(bucket_index(bound), k + 1, "at boundary 2^{k}");
+        }
+    }
+
+    #[test]
+    fn upper_bounds_match_index_ranges() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        for i in 1..BUCKETS {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i);
+            if i < BUCKETS - 1 {
+                assert_eq!(bucket_index(ub + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        h.record(5); // bucket 3, upper bound 7 — but max is 5
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.p95(), Some(5));
+        assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(3); // bucket 2
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.p50(), Some(3));
+        // rank for p95 = 95 > 90, so it falls in the slow bucket.
+        assert_eq!(h.p95(), Some(1000));
+        assert_eq!(h.quantile(0.90), Some(3));
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(100);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.counts()[bucket_index(100)], 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded event ring: overwrites the oldest record when full and
+//! counts what it dropped, so tracing never blocks on the hot path.
+//!
+//! Storage grows lazily (amortised append) up to the fixed capacity —
+//! creating a ring allocates nothing, so short traces never pay for
+//! the worst-case buffer.
+
+use crate::event::Event;
+
+/// Bounded circular buffer of [`Event`]s with an overwrite-oldest
+/// policy. Each worker thread owns one; the collector drains them at
+/// task boundaries.
+#[derive(Debug)]
+pub struct Ring {
+    /// Allocated slots; grows on demand, never past `capacity`.
+    slots: Vec<Option<Event>>,
+    /// Maximum number of slots (fixed at construction).
+    capacity: usize,
+    /// Next write position.
+    head: usize,
+    /// Number of live records (`<= capacity`).
+    len: usize,
+    /// Records overwritten before they could be drained.
+    dropped: u64,
+}
+
+impl Ring {
+    /// Create a ring holding at most `capacity` events (min 1).
+    /// Allocation is deferred until events arrive.
+    pub fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.head == self.slots.len() && self.slots.len() < self.capacity {
+            self.slots.push(Some(event));
+            self.len += 1;
+        } else if self.slots[self.head].replace(event).is_some() {
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events overwritten since the last [`Ring::drain`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Remove and return all buffered events in insertion order,
+    /// together with the dropped-count, resetting both.
+    pub fn drain(&mut self) -> (Vec<Event>, u64) {
+        let cap = self.slots.len().max(1);
+        let mut out = Vec::with_capacity(self.len);
+        // Oldest record sits at `head` once the ring has wrapped (it
+        // only wraps after growing to full capacity); at index 0 while
+        // still growing or after a previous drain.
+        let start = if self.len == self.capacity {
+            self.head
+        } else {
+            0
+        };
+        for i in 0..self.len {
+            if let Some(e) = self.slots[(start + i) % cap].take() {
+                out.push(e);
+            }
+        }
+        self.head = 0;
+        self.len = 0;
+        let dropped = std::mem::take(&mut self.dropped);
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            run: 0,
+            task: Some(0),
+            attempt: 0,
+            seq,
+            stage: Stage::Schedule,
+            name: "t".into(),
+            detail: String::new(),
+            det: true,
+            virtual_ms: 0,
+            wall_us: 0,
+            dur_us: None,
+        }
+    }
+
+    #[test]
+    fn drains_in_insertion_order() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let mut r = Ring::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 6);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [6, 7, 8, 9]
+        );
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = Ring::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        let (events, dropped) = r.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn drain_resets_for_reuse() {
+        let mut r = Ring::new(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        r.drain();
+        r.push(ev(7));
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), [7]);
+    }
+}

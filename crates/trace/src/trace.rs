@@ -1,0 +1,266 @@
+//! A drained trace: the sorted event list, JSONL (de)serialization,
+//! multi-file merge, and per-stage latency statistics.
+
+use crate::event::{Event, Stage};
+use crate::hist::Histogram;
+use crate::json::Json;
+use serde::Serialize;
+
+/// Trace file schema version (the JSONL header's `schema_version`).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// A completed trace session: events in canonical order plus the count
+/// of records lost to ring overflow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events sorted by [`Event::sort_key`].
+    pub events: Vec<Event>,
+    /// Events overwritten in per-thread rings before they could be
+    /// drained (0 unless a ring overflowed).
+    pub dropped: u64,
+}
+
+/// Latency statistics for one stage of the pipeline.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// The stage.
+    pub stage: Stage,
+    /// Total events attributed to the stage (points and spans).
+    pub events: u64,
+    /// Spans only (events carrying a duration).
+    pub spans: u64,
+    /// Histogram over span durations (µs); empty when the stage had no
+    /// spans.
+    pub hist: Histogram,
+}
+
+impl Trace {
+    /// Render the trace as JSONL: a header line
+    /// `{"schema_version":1,"kind":"trace","events":N,"dropped":D}`
+    /// followed by one event per line, wall stamps included.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema_version\":");
+        TRACE_SCHEMA_VERSION.write_json(&mut out);
+        out.push_str(",\"kind\":\"trace\",\"events\":");
+        (self.events.len() as u64).write_json(&mut out);
+        out.push_str(",\"dropped\":");
+        self.dropped.write_json(&mut out);
+        out.push_str("}\n");
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a [`Trace::to_jsonl`] document, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, a header
+    /// mismatch, or an unsupported schema version.
+    pub fn parse_jsonl(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or("empty trace file")?;
+        let header = Json::parse(header_line).map_err(|e| format!("bad trace header: {e}"))?;
+        let version = header
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("trace header missing `schema_version`")?;
+        if version != u64::from(TRACE_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported trace schema_version {version} (expected {TRACE_SCHEMA_VERSION})"
+            ));
+        }
+        match header.get("kind").and_then(Json::as_str) {
+            Some("trace") => {}
+            other => return Err(format!("trace header kind {other:?}, expected \"trace\"")),
+        }
+        let declared = header
+            .get("events")
+            .and_then(Json::as_u64)
+            .ok_or("trace header missing `events`")?;
+        let dropped = header
+            .get("dropped")
+            .and_then(Json::as_u64)
+            .ok_or("trace header missing `dropped`")?;
+        let mut events = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let v = Json::parse(line).map_err(|e| format!("bad event on line {}: {e}", i + 2))?;
+            events.push(
+                Event::from_json(&v).map_err(|e| format!("bad event on line {}: {e}", i + 2))?,
+            );
+        }
+        if events.len() as u64 != declared {
+            return Err(format!(
+                "trace header declares {declared} events, file holds {}",
+                events.len()
+            ));
+        }
+        Ok(Trace { events, dropped })
+    }
+
+    /// The byte-comparable rendering: deterministic events only, one
+    /// JSON object per line, wall stamps stripped.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.iter().filter(|e| e.det) {
+            out.push_str(&e.deterministic_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merge traces from several files into one timeline, offsetting
+    /// each input's run indices past the previous input's so run
+    /// identity stays unambiguous, then re-sorting canonically.
+    pub fn merge(traces: Vec<Trace>) -> Trace {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut run_base: u32 = 0;
+        for t in traces {
+            let runs = t.events.iter().map(|e| e.run + 1).max().unwrap_or(0);
+            events.extend(t.events.into_iter().map(|mut e| {
+                e.run += run_base;
+                e
+            }));
+            dropped += t.dropped;
+            run_base += runs;
+        }
+        events.sort_by_key(Event::sort_key);
+        Trace { events, dropped }
+    }
+
+    /// Stages present in this trace, in [`Stage::ALL`] order.
+    pub fn stages(&self) -> Vec<Stage> {
+        Stage::ALL
+            .into_iter()
+            .filter(|s| self.events.iter().any(|e| e.stage == *s))
+            .collect()
+    }
+
+    /// Per-stage event counts and span-latency histograms, in
+    /// [`Stage::ALL`] order, stages with no events omitted.
+    pub fn stage_stats(&self) -> Vec<StageStats> {
+        let mut out = Vec::new();
+        for stage in Stage::ALL {
+            let mut stats = StageStats {
+                stage,
+                events: 0,
+                spans: 0,
+                hist: Histogram::new(),
+            };
+            for e in self.events.iter().filter(|e| e.stage == stage) {
+                stats.events += 1;
+                if let Some(dur) = e.dur_us {
+                    stats.spans += 1;
+                    stats.hist.record(dur);
+                }
+            }
+            if stats.events > 0 {
+                out.push(stats);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(run: u32, task: Option<u64>, seq: u64, stage: Stage, dur: Option<u64>) -> Event {
+        Event {
+            run,
+            task,
+            attempt: 0,
+            seq,
+            stage,
+            name: "n".into(),
+            detail: "d".into(),
+            det: true,
+            virtual_ms: 0,
+            wall_us: seq * 10,
+            dur_us: dur,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                ev(0, Some(0), 0, Stage::Parse, Some(3)),
+                ev(0, Some(0), 1, Stage::Symex, None),
+                ev(0, None, 0, Stage::Cache, Some(40)),
+            ],
+            dropped: 2,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = sample();
+        let text = t.to_jsonl();
+        assert!(text
+            .starts_with("{\"schema_version\":1,\"kind\":\"trace\",\"events\":3,\"dropped\":2}\n"));
+        assert_eq!(Trace::parse_jsonl(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_rejects_bad_headers() {
+        assert!(Trace::parse_jsonl("").is_err());
+        assert!(Trace::parse_jsonl("{\"kind\":\"trace\"}\n").is_err());
+        assert!(Trace::parse_jsonl(
+            "{\"schema_version\":99,\"kind\":\"trace\",\"events\":0,\"dropped\":0}\n"
+        )
+        .is_err());
+        assert!(Trace::parse_jsonl(
+            "{\"schema_version\":1,\"kind\":\"campaign\",\"events\":0,\"dropped\":0}\n"
+        )
+        .is_err());
+        // Declared count mismatch.
+        assert!(Trace::parse_jsonl(
+            "{\"schema_version\":1,\"kind\":\"trace\",\"events\":5,\"dropped\":0}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn merge_offsets_run_indices() {
+        let mut a = sample();
+        a.events.iter_mut().for_each(|e| e.run = 1); // runs 0..=1 occupied
+        let b = sample();
+        let merged = Trace::merge(vec![a, b]);
+        assert_eq!(merged.dropped, 4);
+        // Input B's run 0 lands after input A's two runs.
+        assert!(merged.events.iter().any(|e| e.run == 2));
+        let keys: Vec<_> = merged.events.iter().map(Event::sort_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn stage_stats_split_points_and_spans() {
+        let stats = sample().stage_stats();
+        let names: Vec<&str> = stats.iter().map(|s| s.stage.name()).collect();
+        assert_eq!(names, ["parse", "symex", "cache"]);
+        assert_eq!(stats[0].spans, 1);
+        assert_eq!(stats[0].hist.max(), 3);
+        assert_eq!(stats[1].spans, 0);
+        assert_eq!(stats[1].hist.total(), 0);
+        assert_eq!(
+            sample().stages(),
+            [Stage::Parse, Stage::Symex, Stage::Cache]
+        );
+    }
+
+    #[test]
+    fn deterministic_json_filters_advisory() {
+        let mut t = sample();
+        t.events[1].det = false;
+        let det = t.deterministic_json();
+        assert_eq!(det.lines().count(), 2);
+        assert!(!det.contains("wall_us"));
+    }
+}

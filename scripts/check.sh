@@ -33,14 +33,44 @@ run cargo test -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 # chaos-smoke: the smoke campaign under the mayhem fault plan must exit
 # cleanly with exactly the golden per-class error accounting. The
 # summary is deterministic by construction (fixed seed, worker-count
-# independent), so a plain byte diff is the whole check.
+# independent), so a plain byte diff is the whole check. The same run
+# captures a trace for the trace-smoke step below.
 echo "[check] chaos-smoke (mayhem plan, fixed seed)"
-smoke_out="$(mktemp)"
-trap 'rm -f "$smoke_out"' EXIT
+smoke_tmp="$(mktemp -d)"
+trap 'rm -rf "$smoke_tmp"' EXIT
 target/release/crash-resist chaos --plan mayhem --jobs 2 --summary-json \
-  2>/dev/null > "$smoke_out"
-if ! diff -u scripts/golden/chaos_smoke.json "$smoke_out"; then
+  --trace "$smoke_tmp/trace.jsonl" 2>/dev/null > "$smoke_tmp/chaos.json"
+if ! diff -u scripts/golden/chaos_smoke.json "$smoke_tmp/chaos.json"; then
   echo "[check] chaos-smoke summary diverged from scripts/golden/chaos_smoke.json" >&2
   exit 1
 fi
+
+# trace-smoke: the chaos trace must parse, and the report must see
+# every pipeline stage (fault events included) — the stage line is
+# golden.
+echo "[check] trace-smoke (report over the chaos trace)"
+target/release/crash-resist report "$smoke_tmp/trace.jsonl" > "$smoke_tmp/report.txt"
+grep '^stages: ' "$smoke_tmp/report.txt" > "$smoke_tmp/stages.txt"
+if ! diff -u scripts/golden/trace_stages.txt "$smoke_tmp/stages.txt"; then
+  echo "[check] trace stage set diverged from scripts/golden/trace_stages.txt" >&2
+  exit 1
+fi
+
+# schema check: every machine-readable output carries the versioned
+# envelope (schema_version first, a known kind).
+echo "[check] report schema (schema_version on every JSON output)"
+envelope='^{"schema_version":1,"kind":"'
+head -n1 "$smoke_tmp/trace.jsonl" | grep -q '^{"schema_version":1,"kind":"trace"' \
+  || { echo "[check] trace header lacks schema_version" >&2; exit 1; }
+target/release/crash-resist report --json "$smoke_tmp/trace.jsonl" \
+  | grep -q "${envelope}report\"" \
+  || { echo "[check] report --json lacks the envelope" >&2; exit 1; }
+target/release/crash-resist list --json | grep -q "${envelope}list\"" \
+  || { echo "[check] list --json lacks the envelope" >&2; exit 1; }
+grep -q "${envelope}chaos\"" "$smoke_tmp/chaos.json" \
+  || { echo "[check] chaos --summary-json lacks the envelope" >&2; exit 1; }
+printf '{"tasks":[{"PocScan":"ie"}]}' > "$smoke_tmp/spec.json"
+target/release/crash-resist campaign --spec "$smoke_tmp/spec.json" --json 2>/dev/null \
+  | grep -q "${envelope}campaign\"" \
+  || { echo "[check] campaign --json lacks the envelope" >&2; exit 1; }
 echo "[check] all green"

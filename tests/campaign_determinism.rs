@@ -5,7 +5,7 @@
 //! * a warm rerun against a persisted cache is served almost entirely
 //!   from the cache and never invokes the SAT solver.
 
-use cr_campaign::{run_campaign, CampaignSpec, CampaignTask, EngineConfig, TaskErrorKind};
+use cr_campaign::prelude::*;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
@@ -20,11 +20,14 @@ fn solo() -> std::sync::MutexGuard<'static, ()> {
 
 /// A mixed-family spec that touches every task kind without taking
 /// minutes: three SEH modules, one server, a small funnel, one oracle.
+/// The deliberate duplicate task would be rejected by the builder, so
+/// this uses the unvalidated (deprecated) constructor on purpose.
+#[allow(deprecated)]
 fn mixed_spec() -> CampaignSpec {
-    CampaignSpec {
-        name: "determinism".into(),
-        seed: 2017,
-        tasks: vec![
+    CampaignSpec::from_parts(
+        "determinism",
+        2017,
+        vec![
             CampaignTask::SehAnalysis("xmllite".into()),
             CampaignTask::SehAnalysis("jscript9".into()),
             CampaignTask::ServerDiscovery("nginx".into()),
@@ -32,7 +35,7 @@ fn mixed_spec() -> CampaignSpec {
             CampaignTask::PocScan("nginx".into()),
             CampaignTask::SehAnalysis("xmllite".into()),
         ],
-    }
+    )
 }
 
 fn scratch(tag: &str) -> PathBuf {
@@ -78,15 +81,14 @@ fn warm_rerun_is_served_from_the_cache_without_the_solver() {
     let _guard = solo();
     let dir = scratch("warm");
     let _ = std::fs::remove_dir_all(&dir);
-    let spec = CampaignSpec {
-        name: "warm".into(),
-        seed: 2017,
-        tasks: vec![
-            CampaignTask::SehAnalysis("xmllite".into()),
-            CampaignTask::SehAnalysis("jscript9".into()),
-            CampaignTask::SehAnalysis("user32".into()),
-        ],
-    };
+    let spec = CampaignSpec::builder()
+        .name("warm")
+        .seed(2017)
+        .seh("xmllite")
+        .seh("jscript9")
+        .seh("user32")
+        .build()
+        .expect("warm spec is valid");
     let cfg = EngineConfig {
         jobs: 2,
         retries: 0,
@@ -129,14 +131,13 @@ fn warm_rerun_is_served_from_the_cache_without_the_solver() {
 #[test]
 fn failed_tasks_are_isolated_and_reported() {
     let _guard = solo();
-    let spec = CampaignSpec {
-        name: "isolation".into(),
-        seed: 2017,
-        tasks: vec![
-            CampaignTask::SehAnalysis("no-such-module".into()),
-            CampaignTask::SehAnalysis("xmllite".into()),
-        ],
-    };
+    let spec = CampaignSpec::builder()
+        .name("isolation")
+        .seed(2017)
+        .seh("no-such-module")
+        .seh("xmllite")
+        .build()
+        .expect("isolation spec is valid");
     let report = run_campaign(
         &spec,
         &EngineConfig {
