@@ -23,7 +23,7 @@
 
 use crate::cache::{AnalysisCache, SehSummary, SharedVerdictCache};
 use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
-use crate::metrics::CampaignMetrics;
+use crate::metrics::{CampaignMetrics, SolverStats};
 use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
 use crate::spec::{CampaignSpec, CampaignTask, TaskKind};
 use cr_chaos::{FaultInjector, FaultKind, Site};
@@ -195,6 +195,8 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
     };
     let quarantined = cache.quarantined();
     let solver_before = cr_symex::solver_calls();
+    let memo_lookups_before = cr_symex::memo_lookups();
+    let memo_hits_before = cr_symex::memo_hits();
     let injector = cfg.injector.as_deref();
     let labels: Vec<(String, TaskKind)> =
         spec.tasks.iter().map(|t| (t.label(), t.kind())).collect();
@@ -267,7 +269,11 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
     let metrics = CampaignMetrics::from_executions(
         cfg.jobs.max(1),
         total_wall_us,
-        cr_symex::solver_calls() - solver_before,
+        SolverStats {
+            calls: cr_symex::solver_calls() - solver_before,
+            memo_lookups: cr_symex::memo_lookups() - memo_lookups_before,
+            memo_hits: cr_symex::memo_hits() - memo_hits_before,
+        },
         quarantined,
         cache.stats(),
         &labels,

@@ -35,6 +35,18 @@ pub struct TaskMetrics {
     pub backoff_ms: u64,
 }
 
+/// Decision-procedure counter deltas for one campaign run, sampled
+/// from the process-wide `cr-symex` counters before and after.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// `check` invocations.
+    pub calls: u64,
+    /// Normalized-query memo probes.
+    pub memo_lookups: u64,
+    /// Normalized-query memo hits.
+    pub memo_hits: u64,
+}
+
 /// Whole-campaign metrics.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct CampaignMetrics {
@@ -53,8 +65,16 @@ pub struct CampaignMetrics {
     pub backoff_ms: u64,
     /// SAT-solver invocations during this campaign (delta of the
     /// process-wide [`cr_symex::solver_calls`] counter). Zero on a
-    /// fully warm rerun.
+    /// fully warm rerun. Memo hits count: they are check invocations,
+    /// answered without blasting or solving.
     pub solver_calls: u64,
+    /// Normalized-query memo probes during this campaign (delta of
+    /// [`cr_symex::memo_lookups`]).
+    pub solver_memo_lookups: u64,
+    /// Normalized-query memo hits during this campaign (delta of
+    /// [`cr_symex::memo_hits`]) — structurally repeated queries
+    /// answered beneath the content-addressed verdict cache.
+    pub solver_memo_hits: u64,
     /// Cache lines quarantined while loading `--cache DIR`.
     pub quarantined: u64,
     /// Cache hit/miss counters for this run.
@@ -68,7 +88,7 @@ impl CampaignMetrics {
     pub fn from_executions<T>(
         jobs: usize,
         total_wall_us: u64,
-        solver_calls: u64,
+        solver: SolverStats,
         quarantined: u64,
         cache: CacheStatsSnapshot,
         labels: &[(String, TaskKind)],
@@ -94,7 +114,9 @@ impl CampaignMetrics {
             total_wall_us,
             task_wall_us: tasks.iter().map(|t| t.wall_us).sum(),
             backoff_ms: tasks.iter().map(|t| t.backoff_ms).sum(),
-            solver_calls,
+            solver_calls: solver.calls,
+            solver_memo_lookups: solver.memo_lookups,
+            solver_memo_hits: solver.memo_hits,
             quarantined,
             cache,
             tasks,

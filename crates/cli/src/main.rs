@@ -792,6 +792,12 @@ fn cmd_report(args: &[String]) -> i32 {
     let merged = cr_trace::Trace::merge(traces);
     let stats = merged.stage_stats();
     let stage_names: Vec<&str> = merged.stages().iter().map(|s| s.name()).collect();
+    // Decision-procedure counters from the advisory symex events.
+    let solver_checks = merged.count_events(cr_trace::Stage::Symex, "solver.check");
+    let solver_memo_hits =
+        merged.count_events_with(cr_trace::Stage::Symex, "solver.check", "memo=hit");
+    let solver_memo_misses =
+        merged.count_events_with(cr_trace::Stage::Symex, "solver.check", "memo=miss");
 
     if json {
         use serde::Serialize;
@@ -823,7 +829,13 @@ fn cmd_report(args: &[String]) -> i32 {
             s.hist.max().write_json(&mut metrics);
             metrics.push('}');
         }
-        metrics.push_str("]}");
+        metrics.push_str("],\"solver\":{\"checks\":");
+        solver_checks.write_json(&mut metrics);
+        metrics.push_str(",\"memo_hits\":");
+        solver_memo_hits.write_json(&mut metrics);
+        metrics.push_str(",\"memo_misses\":");
+        solver_memo_misses.write_json(&mut metrics);
+        metrics.push_str("}}");
         println!(
             "{}",
             Report::new(ReportKind::Report, results, Some(metrics)).to_json()
@@ -852,6 +864,9 @@ fn cmd_report(args: &[String]) -> i32 {
             s.hist.max()
         );
     }
+    println!(
+        "solver: checks={solver_checks} memo_hits={solver_memo_hits} memo_misses={solver_memo_misses}"
+    );
 
     // Merged campaign timeline: scheduling spans across all runs, in
     // wall order within each run.

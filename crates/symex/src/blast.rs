@@ -5,40 +5,131 @@
 //! the decision procedure behind filter vetting: the only query class the
 //! pipeline needs is QF_BV satisfiability, so a ripple-carry/comparator
 //! encoding plus DPLL replaces the paper's use of Z3.
+//!
+//! The procedure runs on interned terms (see [`crate::term`]): each
+//! query is folded into a persistent per-thread [`TermArena`], so the
+//! encoder keys its cache by `u32` term id instead of hashing whole
+//! subtrees, structurally equal subterms are encoded once regardless of
+//! how the `Rc` DAG was built, and the per-worker scratch (arena,
+//! clause buffer, literal pools) is reused across queries. Beneath the
+//! caller-visible verdict caches sits a process-wide **normalized-query
+//! memo**: the constraint set is canonicalized with variables renamed
+//! in first-occurrence order, and structurally identical queries — the
+//! same filter logic duplicated across modules under different byte
+//! encodings or variable names — are answered without blasting or
+//! solving. The memo is sound because blasting and solving are pure
+//! deterministic functions of the normalized structure.
 
 use crate::expr::{mask_of, BinOp, BoolExpr, CmpOp, Expr};
-use crate::sat::{solve, Cnf, SolveOutcome};
-use std::collections::HashMap;
+use crate::sat::{solve, solve_reference, Cnf, SolveOutcome};
+use crate::term::{
+    sym_intern, sym_lookup, sym_name, BoolId, BoolNode, SymId, TermArena, TermId, TermNode,
+};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide count of [`check`] invocations.
 ///
 /// Lets harnesses (the campaign engine's warm-cache acceptance check,
 /// benchmarks) assert how much solver work a pipeline actually did —
-/// e.g. that a fully cached rerun performs **zero** solver calls.
+/// e.g. that a fully cached rerun performs **zero** solver calls. Memo
+/// hits still count: they are check invocations, answered cheaply.
 static SOLVER_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of normalized-query memo probes.
+static MEMO_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of normalized-query memo hits.
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 
 /// Total satisfiability checks performed by this process so far.
 pub fn solver_calls() -> u64 {
     SOLVER_CALLS.load(Ordering::Relaxed)
 }
 
-/// A satisfying assignment: variable name → value.
+/// Total normalized-query memo probes so far.
+pub fn memo_lookups() -> u64 {
+    MEMO_LOOKUPS.load(Ordering::Relaxed)
+}
+
+/// Total normalized-query memo hits so far.
+pub fn memo_hits() -> u64 {
+    MEMO_HITS.load(Ordering::Relaxed)
+}
+
+/// Memoized outcome of one normalized query. Sat models are stored by
+/// normalized variable index and renamed back on a hit.
+#[derive(Debug, Clone)]
+enum MemoEntry {
+    Sat(Vec<u64>),
+    Unsat,
+    Unknown(&'static str),
+}
+
+/// The process-wide normalized-query memo. `BTreeMap` because its
+/// empty constructor is `const`; keys are full canonical
+/// serializations (not hashes), so a hit is a structural identity, not
+/// a probabilistic one.
+static QUERY_MEMO: Mutex<BTreeMap<Vec<u8>, MemoEntry>> = Mutex::new(BTreeMap::new());
+
+/// Drop every entry in the normalized-query memo. Benchmarks use this
+/// to measure honestly cold runs; production code never needs it.
+pub fn reset_query_memo() {
+    QUERY_MEMO.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+thread_local! {
+    static REFERENCE: Cell<bool> = const { Cell::new(false) };
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Run `f` with [`check`] routed through the pre-interning pipeline
+/// (`Rc`-pointer-keyed blaster, scan-every-clause DPLL, no memo) on
+/// this thread. Test and benchmark hook: the differential proptests
+/// compare verdicts across both pipelines, and `solver_bench` uses it
+/// as the measured baseline.
+pub fn with_reference_pipeline<R>(f: impl FnOnce() -> R) -> R {
+    REFERENCE.with(|r| {
+        let prev = r.replace(true);
+        let out = f();
+        r.set(prev);
+        out
+    })
+}
+
+/// A satisfying assignment: variable → value. Stores interned
+/// [`SymId`]s internally; [`Model::get`] keeps the string interface
+/// callers already use.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Model {
-    values: HashMap<String, u64>,
+    /// `(symbol, value)` pairs, sorted by symbol id.
+    values: Vec<(SymId, u64)>,
 }
 
 impl Model {
+    fn from_pairs(mut values: Vec<(SymId, u64)>) -> Model {
+        values.sort_unstable_by_key(|&(s, _)| s);
+        Model { values }
+    }
+
+    fn get_sym(&self, sym: SymId) -> Option<u64> {
+        self.values
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| self.values[i].1)
+    }
+
     /// Value of `name` (0 if the variable did not occur).
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        sym_lookup(name).and_then(|s| self.get_sym(s)).unwrap_or(0)
     }
 
     /// Iterate over `(name, value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|&(s, v)| (sym_name(s), v))
     }
 }
 
@@ -50,7 +141,8 @@ pub enum SatResult {
     /// Unsatisfiable.
     Unsat,
     /// The formula uses a construct the encoder cannot handle
-    /// (currently: shifts by non-constant amounts).
+    /// (currently: shifts by non-constant amounts) or the solver gave
+    /// up within its budget.
     Unknown(&'static str),
 }
 
@@ -64,73 +156,239 @@ impl SatResult {
 /// Check satisfiability of the conjunction of `constraints`.
 pub fn check(constraints: &[BoolExpr]) -> SatResult {
     SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
-    let mut b = Blaster::new();
-    let mut roots = Vec::new();
+    if REFERENCE.with(Cell::get) {
+        return reference::check_reference_inner(constraints);
+    }
+    SCRATCH.with(|s| check_interned(&mut s.borrow_mut(), constraints))
+}
+
+/// Check satisfiability through the pre-interning pipeline directly.
+/// Same verdict semantics as [`check`] (see [`with_reference_pipeline`]).
+pub fn check_reference(constraints: &[BoolExpr]) -> SatResult {
+    SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
+    reference::check_reference_inner(constraints)
+}
+
+fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
+    let mut span = cr_trace::span_advisory(cr_trace::Stage::Symex, "solver.check");
+    s.begin_query();
     for c in constraints {
-        match c {
-            BoolExpr::True => continue,
-            BoolExpr::False => return SatResult::Unsat,
-            _ => match b.bool_lit(c) {
-                Ok(l) => roots.push(l),
-                Err(e) => return SatResult::Unknown(e),
-            },
+        let id = s.intern_bool(c);
+        if id == TermArena::FALSE {
+            span.set_detail(|| "memo=short verdict=unsat".into());
+            return SatResult::Unsat;
         }
-    }
-    for l in roots {
-        b.cnf.clause(&[l]);
-    }
-    match solve(&b.cnf) {
-        SolveOutcome::Unsat => SatResult::Unsat,
-        SolveOutcome::BudgetExhausted => SatResult::Unknown("SAT decision budget exhausted"),
-        SolveOutcome::Sat(assign) => {
-            let mut model = Model::default();
-            for (name, (bits, lits)) in &b.vars {
-                let mut v = 0u64;
-                for (i, &lit) in lits.iter().enumerate() {
-                    if assign[(lit.unsigned_abs() - 1) as usize] {
-                        v |= 1 << i;
-                    }
-                }
-                model.values.insert(name.clone(), v & mask_of(*bits));
-            }
-            SatResult::Sat(model)
+        if id == TermArena::TRUE {
+            continue;
         }
+        s.roots.push(id);
     }
+    let shape = s.arena.normalize(&s.roots);
+    MEMO_LOOKUPS.fetch_add(1, Ordering::Relaxed);
+    let hit = QUERY_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&shape.key)
+        .cloned();
+    if let Some(entry) = hit {
+        MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        span.set_detail(|| format!("memo=hit vars={}", shape.vars.len()));
+        return match entry {
+            MemoEntry::Unsat => SatResult::Unsat,
+            MemoEntry::Unknown(e) => SatResult::Unknown(e),
+            MemoEntry::Sat(vals) => SatResult::Sat(Model::from_pairs(
+                shape
+                    .vars
+                    .iter()
+                    .zip(vals)
+                    .map(|(&(sym, _), v)| (sym, v))
+                    .collect(),
+            )),
+        };
+    }
+    let result = s.blast_and_solve();
+    let entry = match &result {
+        SatResult::Unsat => MemoEntry::Unsat,
+        SatResult::Unknown(e) => MemoEntry::Unknown(e),
+        SatResult::Sat(model) => MemoEntry::Sat(
+            shape
+                .vars
+                .iter()
+                .map(|&(sym, _)| model.get_sym(sym).unwrap_or(0))
+                .collect(),
+        ),
+    };
+    span.set_detail(|| {
+        format!(
+            "memo=miss vars={} clauses={}",
+            shape.vars.len(),
+            s.cnf.num_clauses()
+        )
+    });
+    QUERY_MEMO
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(shape.key, entry);
+    result
 }
 
-struct Blaster {
+/// One query variable: interned name, declared width, and where its
+/// fresh bit literals start in [`Scratch::var_lits`].
+struct QueryVar {
+    sym: SymId,
+    bits: u32,
+    lit_off: u32,
+}
+
+/// Per-thread decision-procedure state, persistent across queries.
+///
+/// The arena and its id-indexed caches live for the thread; per-query
+/// state (clause buffer, literal pools) is reset by [`Scratch::begin_query`]
+/// without freeing allocations, and the id-indexed encoder caches are
+/// invalidated wholesale by bumping `epoch` instead of clearing.
+struct Scratch {
+    arena: TermArena,
+    /// `Rc::as_ptr` → interned id for the current query only (`Rc`
+    /// allocations are reused across queries, so pointer identity must
+    /// not outlive the query).
+    ptr_memo: HashMap<usize, TermId>,
+    /// Interned non-trivial constraint roots of the current query.
+    roots: Vec<BoolId>,
     cnf: Cnf,
-    /// Constant-true literal.
+    /// Constant-true literal of the current query's formula.
     t: i32,
-    /// name → (bits, bit literals LSB-first, length = bits).
-    vars: HashMap<String, (u32, Vec<i32>)>,
-    /// Expression cache by DAG node identity.
-    cache: HashMap<usize, Vec<i32>>,
+    epoch: u64,
+    /// Encoder cache: term id → offset of its 64 bit-literals in `pool`.
+    enc_epoch: Vec<u64>,
+    enc_off: Vec<u32>,
+    /// Encoder cache: bool id → its CNF literal.
+    blit_epoch: Vec<u64>,
+    blit: Vec<i32>,
+    /// Symbol id → index into `query_vars` for the current query.
+    var_epoch: Vec<u64>,
+    var_slot: Vec<u32>,
+    query_vars: Vec<QueryVar>,
+    /// Fresh bit literals of every query variable, concatenated.
+    var_lits: Vec<i32>,
+    /// Bit-literal pool: each encoded term owns 64 consecutive slots.
+    pool: Vec<i32>,
 }
 
-type Bits = Vec<i32>;
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            arena: TermArena::new(),
+            ptr_memo: HashMap::new(),
+            roots: Vec::new(),
+            cnf: Cnf::new(),
+            t: 0,
+            epoch: 0,
+            enc_epoch: Vec::new(),
+            enc_off: Vec::new(),
+            blit_epoch: Vec::new(),
+            blit: Vec::new(),
+            var_epoch: Vec::new(),
+            var_slot: Vec::new(),
+            query_vars: Vec::new(),
+            var_lits: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
 
-impl Blaster {
-    fn new() -> Blaster {
-        let mut cnf = Cnf::new();
-        let t = cnf.fresh();
-        cnf.clause(&[t]);
-        Blaster {
-            cnf,
-            t,
-            vars: HashMap::new(),
-            cache: HashMap::new(),
+    fn begin_query(&mut self) {
+        self.epoch += 1;
+        self.ptr_memo.clear();
+        self.roots.clear();
+        self.query_vars.clear();
+        self.var_lits.clear();
+        self.pool.clear();
+        self.cnf.clear();
+        self.t = self.cnf.fresh();
+        let t = self.t;
+        self.cnf.clause(&[t]);
+    }
+
+    fn intern_expr(&mut self, e: &Rc<Expr>) -> TermId {
+        let key = Rc::as_ptr(e) as usize;
+        if let Some(&id) = self.ptr_memo.get(&key) {
+            return id;
+        }
+        let id = match &**e {
+            Expr::Const(v) => self.arena.cst(*v),
+            Expr::Var { name, bits } => {
+                let sym = sym_intern(name);
+                self.arena.var(sym, *bits)
+            }
+            Expr::Bin(op, a, b) => {
+                let ia = self.intern_expr(a);
+                let ib = self.intern_expr(b);
+                self.arena.bin(*op, ia, ib)
+            }
+            Expr::Not(a) => {
+                let ia = self.intern_expr(a);
+                self.arena.not(ia)
+            }
+        };
+        self.ptr_memo.insert(key, id);
+        id
+    }
+
+    fn intern_bool(&mut self, e: &BoolExpr) -> BoolId {
+        match e {
+            BoolExpr::True => TermArena::TRUE,
+            BoolExpr::False => TermArena::FALSE,
+            BoolExpr::Cmp { op, width, a, b } => {
+                let ia = self.intern_expr(a);
+                let ib = self.intern_expr(b);
+                self.arena.cmp(*op, *width, ia, ib)
+            }
+            BoolExpr::And(a, b) => {
+                let ia = self.intern_bool(a);
+                let ib = self.intern_bool(b);
+                self.arena.and_b(ia, ib)
+            }
+            BoolExpr::Or(a, b) => {
+                let ia = self.intern_bool(a);
+                let ib = self.intern_bool(b);
+                self.arena.or_b(ia, ib)
+            }
+            BoolExpr::Not(a) => {
+                let ia = self.intern_bool(a);
+                self.arena.not_b(ia)
+            }
+        }
+    }
+
+    fn blast_and_solve(&mut self) -> SatResult {
+        for i in 0..self.roots.len() {
+            let root = self.roots[i];
+            match self.bool_lit(root) {
+                Ok(l) => self.cnf.clause(&[l]),
+                Err(e) => return SatResult::Unknown(e),
+            }
+        }
+        match solve(&self.cnf) {
+            SolveOutcome::Unsat => SatResult::Unsat,
+            SolveOutcome::BudgetExhausted => SatResult::Unknown("SAT decision budget exhausted"),
+            SolveOutcome::Sat(assign) => {
+                let mut pairs = Vec::with_capacity(self.query_vars.len());
+                for qv in &self.query_vars {
+                    let mut v = 0u64;
+                    let lits = &self.var_lits[qv.lit_off as usize..(qv.lit_off + qv.bits) as usize];
+                    for (i, &lit) in lits.iter().enumerate() {
+                        if assign[(lit.unsigned_abs() - 1) as usize] {
+                            v |= 1 << i;
+                        }
+                    }
+                    pairs.push((qv.sym, v & mask_of(qv.bits)));
+                }
+                SatResult::Sat(Model::from_pairs(pairs))
+            }
         }
     }
 
     fn lit_false(&self) -> i32 {
         -self.t
-    }
-
-    fn const_bits(&self, v: u64) -> Bits {
-        (0..64)
-            .map(|i| if v & (1 << i) != 0 { self.t } else { -self.t })
-            .collect()
     }
 
     fn and_gate(&mut self, a: i32, b: i32) -> i32 {
@@ -188,126 +446,481 @@ impl Blaster {
         self.or_gate(t, bc)
     }
 
-    fn adder(&mut self, a: &Bits, b: &Bits, carry_in: i32) -> Bits {
-        let mut out = Vec::with_capacity(64);
-        let mut carry = carry_in;
-        for i in 0..64 {
-            out.push(self.xor3(a[i], b[i], carry));
-            carry = self.maj(a[i], b[i], carry);
-        }
-        out
+    /// Reserve a fresh 64-slot encoding in `pool`, returning its offset.
+    fn alloc_slot(&mut self) -> usize {
+        let off = self.pool.len();
+        self.pool.resize(off + 64, 0);
+        off
     }
 
-    fn expr_bits(&mut self, e: &Rc<Expr>) -> Result<Bits, &'static str> {
-        let key = Rc::as_ptr(e) as usize;
-        if let Some(b) = self.cache.get(&key) {
-            return Ok(b.clone());
+    /// Bit literals of a variable for the current query, creating its
+    /// fresh CNF variables on first use (keyed by symbol, mirroring the
+    /// name-keyed table of the reference blaster).
+    fn var_slot_of(&mut self, sym: SymId, bits: u32) -> usize {
+        let si = sym.index();
+        if self.var_epoch.len() <= si {
+            self.var_epoch.resize(si + 1, 0);
+            self.var_slot.resize(si + 1, 0);
         }
-        let bits = match &**e {
-            Expr::Const(v) => self.const_bits(*v),
-            Expr::Var { name, bits } => {
-                if !self.vars.contains_key(name) {
-                    let lits: Vec<i32> = (0..*bits).map(|_| self.cnf.fresh()).collect();
-                    self.vars.insert(name.clone(), (*bits, lits));
-                }
-                let (nbits, lits) = &self.vars[name];
-                let mut full = lits.clone();
-                debug_assert_eq!(*nbits as usize, full.len());
-                full.resize(64, self.lit_false());
-                full
+        if self.var_epoch[si] != self.epoch {
+            let lit_off = self.var_lits.len() as u32;
+            for _ in 0..bits {
+                let l = self.cnf.fresh();
+                self.var_lits.push(l);
             }
-            Expr::Bin(op, a, b) => {
-                let ab = self.expr_bits(a)?;
-                let bb = self.expr_bits(b)?;
+            self.var_slot[si] = self.query_vars.len() as u32;
+            self.query_vars.push(QueryVar { sym, bits, lit_off });
+            self.var_epoch[si] = self.epoch;
+        }
+        self.var_slot[si] as usize
+    }
+
+    /// Encode term `id`, returning the offset of its 64 bit-literals
+    /// (LSB first) in `pool`. Cached per term id for the query.
+    fn expr_bits(&mut self, id: TermId) -> Result<usize, &'static str> {
+        let ti = id.index();
+        if self.enc_epoch.len() <= ti {
+            let n = self.arena.num_terms().max(ti + 1);
+            self.enc_epoch.resize(n, 0);
+            self.enc_off.resize(n, 0);
+        }
+        if self.enc_epoch[ti] == self.epoch {
+            return Ok(self.enc_off[ti] as usize);
+        }
+        let off = match self.arena.term(id) {
+            TermNode::Const(v) => {
+                let off = self.alloc_slot();
+                for i in 0..64 {
+                    self.pool[off + i] = if v & (1 << i) != 0 { self.t } else { -self.t };
+                }
+                off
+            }
+            TermNode::Var { sym, bits } => {
+                let slot = self.var_slot_of(sym, bits);
+                let qv = &self.query_vars[slot];
+                let (lit_off, nbits) = (qv.lit_off as usize, qv.bits as usize);
+                let off = self.alloc_slot();
+                let f = self.lit_false();
+                for i in 0..64 {
+                    self.pool[off + i] = if i < nbits {
+                        self.var_lits[lit_off + i]
+                    } else {
+                        f
+                    };
+                }
+                off
+            }
+            TermNode::Bin(op, a, b) => {
+                let ao = self.expr_bits(a)?;
+                let bo = self.expr_bits(b)?;
+                let mut out = [0i32; 64];
                 match op {
-                    BinOp::And => (0..64).map(|i| self.and_gate(ab[i], bb[i])).collect(),
-                    BinOp::Or => (0..64).map(|i| self.or_gate(ab[i], bb[i])).collect(),
-                    BinOp::Xor => (0..64).map(|i| self.xor_gate(ab[i], bb[i])).collect(),
-                    BinOp::Add => self.adder(&ab, &bb, self.lit_false()),
-                    BinOp::Sub => {
-                        let nb: Bits = bb.iter().map(|&l| -l).collect();
-                        self.adder(&ab, &nb, self.t)
-                    }
-                    BinOp::Shl | BinOp::Shr => {
-                        let n: usize = b.as_const().ok_or("shift by non-constant amount")? as usize;
-                        let mut out = vec![self.lit_false(); 64];
+                    BinOp::And => {
                         for (i, o) in out.iter_mut().enumerate() {
-                            let src = if *op == BinOp::Shl {
+                            let (x, y) = (self.pool[ao + i], self.pool[bo + i]);
+                            *o = self.and_gate(x, y);
+                        }
+                    }
+                    BinOp::Or => {
+                        for (i, o) in out.iter_mut().enumerate() {
+                            let (x, y) = (self.pool[ao + i], self.pool[bo + i]);
+                            *o = self.or_gate(x, y);
+                        }
+                    }
+                    BinOp::Xor => {
+                        for (i, o) in out.iter_mut().enumerate() {
+                            let (x, y) = (self.pool[ao + i], self.pool[bo + i]);
+                            *o = self.xor_gate(x, y);
+                        }
+                    }
+                    BinOp::Add => self.adder_into(ao, bo, false, &mut out),
+                    BinOp::Sub => self.adder_into(ao, bo, true, &mut out),
+                    BinOp::Shl | BinOp::Shr => {
+                        let n = self
+                            .arena
+                            .const_of(b)
+                            .ok_or("shift by non-constant amount")?
+                            as usize;
+                        let f = self.lit_false();
+                        for (i, o) in out.iter_mut().enumerate() {
+                            let src = if op == BinOp::Shl {
                                 i.checked_sub(n)
                             } else {
                                 let j = i + n;
                                 (j < 64).then_some(j)
                             };
-                            if let Some(s) = src {
-                                *o = ab[s];
-                            }
+                            *o = match src {
+                                Some(s) => self.pool[ao + s],
+                                None => f,
+                            };
                         }
-                        out
                     }
                 }
+                let off = self.alloc_slot();
+                self.pool[off..off + 64].copy_from_slice(&out);
+                off
             }
-            Expr::Not(a) => {
-                let ab = self.expr_bits(a)?;
-                ab.iter().map(|&l| -l).collect()
+            TermNode::Not(a) => {
+                let ao = self.expr_bits(a)?;
+                let off = self.alloc_slot();
+                for i in 0..64 {
+                    self.pool[off + i] = -self.pool[ao + i];
+                }
+                off
             }
         };
-        self.cache.insert(key, bits.clone());
-        Ok(bits)
+        self.enc_epoch[ti] = self.epoch;
+        self.enc_off[ti] = off as u32;
+        Ok(off)
     }
 
-    fn eq_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
-        let mut acc = self.t;
-        for i in 0..width as usize {
-            let x = self.xor_gate(a[i], b[i]);
-            acc = self.and_gate(acc, -x);
+    /// Ripple-carry add of the encodings at `ao` and `bo`; `sub`
+    /// negates `b` and seeds the carry (two's-complement subtract).
+    fn adder_into(&mut self, ao: usize, bo: usize, sub: bool, out: &mut [i32; 64]) {
+        let mut carry = if sub { self.t } else { self.lit_false() };
+        for (i, o) in out.iter_mut().enumerate() {
+            let x = self.pool[ao + i];
+            let y = if sub {
+                -self.pool[bo + i]
+            } else {
+                self.pool[bo + i]
+            };
+            *o = self.xor3(x, y, carry);
+            carry = self.maj(x, y, carry);
         }
-        acc
     }
 
-    fn ult_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
+    /// Comparator literal over the encodings at `ao`/`bo`. `signed`
+    /// flips the sign bit of both operands first (two's-complement
+    /// order is unsigned order with the sign bit inverted).
+    fn ult_lit(&mut self, ao: usize, bo: usize, width: u32, signed: bool) -> i32 {
         // LSB-to-MSB borrow chain: lt = (!a & b) | ((a == b) & lt_prev)
+        let s = (width - 1) as usize;
         let mut lt = self.lit_false();
         for i in 0..width as usize {
-            let na_and_b = self.and_gate(-a[i], b[i]);
-            let eq = -self.xor_gate(a[i], b[i]);
+            let flip = signed && i == s;
+            let a = if flip {
+                -self.pool[ao + i]
+            } else {
+                self.pool[ao + i]
+            };
+            let b = if flip {
+                -self.pool[bo + i]
+            } else {
+                self.pool[bo + i]
+            };
+            let na_and_b = self.and_gate(-a, b);
+            let eq = -self.xor_gate(a, b);
             let keep = self.and_gate(eq, lt);
             lt = self.or_gate(na_and_b, keep);
         }
         lt
     }
 
-    fn bool_lit(&mut self, e: &BoolExpr) -> Result<i32, &'static str> {
-        Ok(match e {
-            BoolExpr::True => self.t,
-            BoolExpr::False => self.lit_false(),
-            BoolExpr::Cmp { op, width, a, b } => {
-                let ab = self.expr_bits(a)?;
-                let bb = self.expr_bits(b)?;
+    fn eq_lit(&mut self, ao: usize, bo: usize, width: u32) -> i32 {
+        let mut acc = self.t;
+        for i in 0..width as usize {
+            let (a, b) = (self.pool[ao + i], self.pool[bo + i]);
+            let x = self.xor_gate(a, b);
+            acc = self.and_gate(acc, -x);
+        }
+        acc
+    }
+
+    /// CNF literal of boolean term `id`. Cached per bool id for the
+    /// query (the arena makes boolean structure a DAG too).
+    fn bool_lit(&mut self, id: BoolId) -> Result<i32, &'static str> {
+        let bi = id.index();
+        if self.blit_epoch.len() <= bi {
+            let n = self.arena.num_bools().max(bi + 1);
+            self.blit_epoch.resize(n, 0);
+            self.blit.resize(n, 0);
+        }
+        if self.blit_epoch[bi] == self.epoch {
+            return Ok(self.blit[bi]);
+        }
+        let lit = match self.arena.bool_node(id) {
+            BoolNode::True => self.t,
+            BoolNode::False => self.lit_false(),
+            BoolNode::Cmp { op, width, a, b } => {
+                let ao = self.expr_bits(a)?;
+                let bo = self.expr_bits(b)?;
                 match op {
-                    CmpOp::Eq => self.eq_lit(&ab, &bb, *width),
-                    CmpOp::Ne => -self.eq_lit(&ab, &bb, *width),
-                    CmpOp::Ult => self.ult_lit(&ab, &bb, *width),
-                    CmpOp::Slt => {
-                        // Flip sign bits then unsigned compare.
-                        let s = (*width - 1) as usize;
-                        let mut af = ab.clone();
-                        let mut bf = bb.clone();
-                        af[s] = -af[s];
-                        bf[s] = -bf[s];
-                        self.ult_lit(&af, &bf, *width)
-                    }
+                    CmpOp::Eq => self.eq_lit(ao, bo, width),
+                    CmpOp::Ne => -self.eq_lit(ao, bo, width),
+                    CmpOp::Ult => self.ult_lit(ao, bo, width, false),
+                    CmpOp::Slt => self.ult_lit(ao, bo, width, true),
                 }
             }
-            BoolExpr::And(a, b) => {
+            BoolNode::And(a, b) => {
                 let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
                 self.and_gate(la, lb)
             }
-            BoolExpr::Or(a, b) => {
+            BoolNode::Or(a, b) => {
                 let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
                 self.or_gate(la, lb)
             }
-            BoolExpr::Not(a) => -self.bool_lit(a)?,
-        })
+            BoolNode::Not(a) => -self.bool_lit(a)?,
+        };
+        self.blit_epoch[bi] = self.epoch;
+        self.blit[bi] = lit;
+        Ok(lit)
+    }
+}
+
+/// The pre-interning pipeline, kept verbatim: an `Rc`-pointer-keyed
+/// Tseitin blaster feeding the scan-every-clause DPLL. Baseline for
+/// `solver_bench` and oracle for the differential proptests.
+mod reference {
+    use super::*;
+
+    pub(super) fn check_reference_inner(constraints: &[BoolExpr]) -> SatResult {
+        let mut b = Blaster::new();
+        let mut roots = Vec::new();
+        for c in constraints {
+            match c {
+                BoolExpr::True => continue,
+                BoolExpr::False => return SatResult::Unsat,
+                _ => match b.bool_lit(c) {
+                    Ok(l) => roots.push(l),
+                    Err(e) => return SatResult::Unknown(e),
+                },
+            }
+        }
+        for l in roots {
+            b.cnf.clause(&[l]);
+        }
+        match solve_reference(&b.cnf) {
+            SolveOutcome::Unsat => SatResult::Unsat,
+            SolveOutcome::BudgetExhausted => SatResult::Unknown("SAT decision budget exhausted"),
+            SolveOutcome::Sat(assign) => {
+                let mut pairs = Vec::with_capacity(b.vars.len());
+                for (name, (bits, lits)) in &b.vars {
+                    let mut v = 0u64;
+                    for (i, &lit) in lits.iter().enumerate() {
+                        if assign[(lit.unsigned_abs() - 1) as usize] {
+                            v |= 1 << i;
+                        }
+                    }
+                    pairs.push((sym_intern(name), v & mask_of(*bits)));
+                }
+                SatResult::Sat(Model::from_pairs(pairs))
+            }
+        }
+    }
+
+    struct Blaster {
+        pub(super) cnf: Cnf,
+        /// Constant-true literal.
+        t: i32,
+        /// name → (bits, bit literals LSB-first, length = bits).
+        pub(super) vars: HashMap<String, (u32, Vec<i32>)>,
+        /// Expression cache by DAG node identity.
+        cache: HashMap<usize, Vec<i32>>,
+    }
+
+    type Bits = Vec<i32>;
+
+    impl Blaster {
+        fn new() -> Blaster {
+            let mut cnf = Cnf::new();
+            let t = cnf.fresh();
+            cnf.clause(&[t]);
+            Blaster {
+                cnf,
+                t,
+                vars: HashMap::new(),
+                cache: HashMap::new(),
+            }
+        }
+
+        fn lit_false(&self) -> i32 {
+            -self.t
+        }
+
+        fn const_bits(&self, v: u64) -> Bits {
+            (0..64)
+                .map(|i| if v & (1 << i) != 0 { self.t } else { -self.t })
+                .collect()
+        }
+
+        fn and_gate(&mut self, a: i32, b: i32) -> i32 {
+            if a == self.t {
+                return b;
+            }
+            if b == self.t {
+                return a;
+            }
+            if a == -self.t || b == -self.t {
+                return -self.t;
+            }
+            let o = self.cnf.fresh();
+            self.cnf.clause(&[-o, a]);
+            self.cnf.clause(&[-o, b]);
+            self.cnf.clause(&[o, -a, -b]);
+            o
+        }
+
+        fn or_gate(&mut self, a: i32, b: i32) -> i32 {
+            -self.and_gate(-a, -b)
+        }
+
+        fn xor_gate(&mut self, a: i32, b: i32) -> i32 {
+            if a == self.t {
+                return -b;
+            }
+            if a == -self.t {
+                return b;
+            }
+            if b == self.t {
+                return -a;
+            }
+            if b == -self.t {
+                return a;
+            }
+            let o = self.cnf.fresh();
+            self.cnf.clause(&[-o, a, b]);
+            self.cnf.clause(&[-o, -a, -b]);
+            self.cnf.clause(&[o, -a, b]);
+            self.cnf.clause(&[o, a, -b]);
+            o
+        }
+
+        fn xor3(&mut self, a: i32, b: i32, c: i32) -> i32 {
+            let ab = self.xor_gate(a, b);
+            self.xor_gate(ab, c)
+        }
+
+        fn maj(&mut self, a: i32, b: i32, c: i32) -> i32 {
+            let ab = self.and_gate(a, b);
+            let ac = self.and_gate(a, c);
+            let bc = self.and_gate(b, c);
+            let t = self.or_gate(ab, ac);
+            self.or_gate(t, bc)
+        }
+
+        fn adder(&mut self, a: &Bits, b: &Bits, carry_in: i32) -> Bits {
+            let mut out = Vec::with_capacity(64);
+            let mut carry = carry_in;
+            for i in 0..64 {
+                out.push(self.xor3(a[i], b[i], carry));
+                carry = self.maj(a[i], b[i], carry);
+            }
+            out
+        }
+
+        fn expr_bits(&mut self, e: &Rc<Expr>) -> Result<Bits, &'static str> {
+            let key = Rc::as_ptr(e) as usize;
+            if let Some(b) = self.cache.get(&key) {
+                return Ok(b.clone());
+            }
+            let bits = match &**e {
+                Expr::Const(v) => self.const_bits(*v),
+                Expr::Var { name, bits } => {
+                    if !self.vars.contains_key(name) {
+                        let lits: Vec<i32> = (0..*bits).map(|_| self.cnf.fresh()).collect();
+                        self.vars.insert(name.clone(), (*bits, lits));
+                    }
+                    let (nbits, lits) = &self.vars[name];
+                    let mut full = lits.clone();
+                    debug_assert_eq!(*nbits as usize, full.len());
+                    full.resize(64, self.lit_false());
+                    full
+                }
+                Expr::Bin(op, a, b) => {
+                    let ab = self.expr_bits(a)?;
+                    let bb = self.expr_bits(b)?;
+                    match op {
+                        BinOp::And => (0..64).map(|i| self.and_gate(ab[i], bb[i])).collect(),
+                        BinOp::Or => (0..64).map(|i| self.or_gate(ab[i], bb[i])).collect(),
+                        BinOp::Xor => (0..64).map(|i| self.xor_gate(ab[i], bb[i])).collect(),
+                        BinOp::Add => self.adder(&ab, &bb, self.lit_false()),
+                        BinOp::Sub => {
+                            let nb: Bits = bb.iter().map(|&l| -l).collect();
+                            self.adder(&ab, &nb, self.t)
+                        }
+                        BinOp::Shl | BinOp::Shr => {
+                            let n: usize =
+                                b.as_const().ok_or("shift by non-constant amount")? as usize;
+                            let mut out = vec![self.lit_false(); 64];
+                            for (i, o) in out.iter_mut().enumerate() {
+                                let src = if *op == BinOp::Shl {
+                                    i.checked_sub(n)
+                                } else {
+                                    let j = i + n;
+                                    (j < 64).then_some(j)
+                                };
+                                if let Some(s) = src {
+                                    *o = ab[s];
+                                }
+                            }
+                            out
+                        }
+                    }
+                }
+                Expr::Not(a) => {
+                    let ab = self.expr_bits(a)?;
+                    ab.iter().map(|&l| -l).collect()
+                }
+            };
+            self.cache.insert(key, bits.clone());
+            Ok(bits)
+        }
+
+        fn eq_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
+            let mut acc = self.t;
+            for i in 0..width as usize {
+                let x = self.xor_gate(a[i], b[i]);
+                acc = self.and_gate(acc, -x);
+            }
+            acc
+        }
+
+        fn ult_lit(&mut self, a: &Bits, b: &Bits, width: u32) -> i32 {
+            // LSB-to-MSB borrow chain: lt = (!a & b) | ((a == b) & lt_prev)
+            let mut lt = self.lit_false();
+            for i in 0..width as usize {
+                let na_and_b = self.and_gate(-a[i], b[i]);
+                let eq = -self.xor_gate(a[i], b[i]);
+                let keep = self.and_gate(eq, lt);
+                lt = self.or_gate(na_and_b, keep);
+            }
+            lt
+        }
+
+        fn bool_lit(&mut self, e: &BoolExpr) -> Result<i32, &'static str> {
+            Ok(match e {
+                BoolExpr::True => self.t,
+                BoolExpr::False => self.lit_false(),
+                BoolExpr::Cmp { op, width, a, b } => {
+                    let ab = self.expr_bits(a)?;
+                    let bb = self.expr_bits(b)?;
+                    match op {
+                        CmpOp::Eq => self.eq_lit(&ab, &bb, *width),
+                        CmpOp::Ne => -self.eq_lit(&ab, &bb, *width),
+                        CmpOp::Ult => self.ult_lit(&ab, &bb, *width),
+                        CmpOp::Slt => {
+                            // Flip sign bits then unsigned compare.
+                            let s = (*width - 1) as usize;
+                            let mut af = ab.clone();
+                            let mut bf = bb.clone();
+                            af[s] = -af[s];
+                            bf[s] = -bf[s];
+                            self.ult_lit(&af, &bf, *width)
+                        }
+                    }
+                }
+                BoolExpr::And(a, b) => {
+                    let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
+                    self.and_gate(la, lb)
+                }
+                BoolExpr::Or(a, b) => {
+                    let (la, lb) = (self.bool_lit(a)?, self.bool_lit(b)?);
+                    self.or_gate(la, lb)
+                }
+                BoolExpr::Not(a) => -self.bool_lit(a)?,
+            })
+        }
     }
 }
 
@@ -461,6 +1074,96 @@ mod tests {
                 }
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_hits_on_alpha_equivalent_queries() {
+        reset_query_memo();
+        // Fresh names so no earlier test primed these structures.
+        let p = Expr::var("memo_test_p", 32);
+        let q = Expr::var("memo_test_q", 32);
+        let lookups0 = memo_lookups();
+        let hits0 = memo_hits();
+        let r1 = check(&[eq64(p, Expr::c(0x1234_5678))]);
+        assert_eq!(memo_hits() - hits0, 0, "first query is a miss");
+        let r2 = check(&[eq64(q, Expr::c(0x1234_5678))]);
+        assert!(memo_lookups() - lookups0 >= 2);
+        assert_eq!(
+            memo_hits() - hits0,
+            1,
+            "alpha-equivalent query must hit the memo"
+        );
+        match (r1, r2) {
+            (SatResult::Sat(m1), SatResult::Sat(m2)) => {
+                assert_eq!(m1.get("memo_test_p"), 0x1234_5678);
+                assert_eq!(m2.get("memo_test_q"), 0x1234_5678, "hit renames the model");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_replays_all_outcome_kinds() {
+        reset_query_memo();
+        let x = Expr::var("memo_kinds_x", 8);
+        let unsat = [eq64(x.clone(), Expr::c(0x100))];
+        assert_eq!(check(&unsat), SatResult::Unsat);
+        assert_eq!(check(&unsat), SatResult::Unsat, "unsat replays");
+        let n = Expr::var("memo_kinds_n", 8);
+        let sh = Rc::new(Expr::Bin(BinOp::Shl, x, n));
+        let unknown = [eq64(sh, Expr::c(4))];
+        let first = check(&unknown);
+        assert_eq!(check(&unknown), first, "unknown replays");
+    }
+
+    #[test]
+    fn reference_pipeline_agrees() {
+        let x = Expr::var("ref_x", 16);
+        let y = Expr::var("ref_y", 16);
+        // Antisymmetric var-var compares at 4 bits: wide enough to
+        // exercise the comparator chain, small enough to stay inside
+        // the reference solver's decision budget (the watched solver
+        // proves the 16-bit variant in-budget; the baseline cannot).
+        let s = Expr::var("ref_s", 4);
+        let t = Expr::var("ref_t", 4);
+        let sets: Vec<Vec<BoolExpr>> = vec![
+            vec![eq64(x.clone(), Expr::c(7))],
+            vec![
+                BoolExpr::cmp(CmpOp::Ult, 4, s.clone(), t.clone()),
+                BoolExpr::cmp(CmpOp::Ult, 4, t.clone(), s.clone()),
+            ],
+            vec![
+                BoolExpr::cmp(CmpOp::Ult, 16, x.clone(), Expr::c(3)),
+                BoolExpr::cmp(CmpOp::Ult, 16, Expr::c(3), x.clone()),
+            ],
+            vec![BoolExpr::cmp(
+                CmpOp::Eq,
+                16,
+                Expr::bin(
+                    BinOp::And,
+                    Expr::bin(BinOp::Add, x.clone(), y.clone()),
+                    Expr::c(0xFF),
+                ),
+                Expr::c(0x42),
+            )],
+        ];
+        for cs in &sets {
+            let new = check(cs);
+            let old = with_reference_pipeline(|| check(cs));
+            let direct = check_reference(cs);
+            assert_eq!(
+                std::mem::discriminant(&new),
+                std::mem::discriminant(&old),
+                "pipelines must agree on {cs:?}"
+            );
+            assert_eq!(old, direct);
+            if let (SatResult::Sat(m), SatResult::Sat(mr)) = (&new, &old) {
+                for c in cs {
+                    assert!(c.eval(&|n| m.get(n)));
+                    assert!(c.eval(&|n| mr.get(n)));
+                }
+            }
         }
     }
 }

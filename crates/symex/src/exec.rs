@@ -284,6 +284,14 @@ impl SymExec {
         let mut aborted = Vec::new();
         let mut accept_witness = None;
         let mut any_unknown_solver = false;
+        // The AV pin is path-independent; build it once and share the
+        // `Rc` DAG across every per-path query.
+        let code_is_av = BoolExpr::cmp(
+            CmpOp::Eq,
+            32,
+            Expr::var(CODE_VAR, 32),
+            Expr::c(EXCEPTION_ACCESS_VIOLATION),
+        );
         for end in &ends {
             match end {
                 PathEnd::Aborted(r) => aborted.push(*r),
@@ -294,12 +302,7 @@ impl SymExec {
                     }
                     // Query: path ∧ code == AV ∧ eax != 0.
                     let mut cs = path.clone();
-                    cs.push(BoolExpr::cmp(
-                        CmpOp::Eq,
-                        32,
-                        Expr::var(CODE_VAR, 32),
-                        Expr::c(EXCEPTION_ACCESS_VIOLATION),
-                    ));
+                    cs.push(code_is_av.clone());
                     cs.push(BoolExpr::cmp(CmpOp::Ne, 32, value.clone(), Expr::c(0)));
                     match check(&cs) {
                         SatResult::Sat(m) => {

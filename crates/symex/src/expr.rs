@@ -152,7 +152,7 @@ pub(crate) fn mask_of(bits: u32) -> u64 {
     }
 }
 
-fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+pub(crate) fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
     match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

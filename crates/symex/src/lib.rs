@@ -10,8 +10,11 @@
 //!   folding;
 //! * [`SymExec`] — a path-forking symbolic executor over the `cr-isa`
 //!   instruction subset, with the Windows x64 filter ABI as harness;
-//! * [`check`] — QF_BV satisfiability by Tseitin bit-blasting to CNF and
-//!   a DPLL SAT solver, returning witness models.
+//! * [`check`] — QF_BV satisfiability: constraints are folded into a
+//!   hash-consed per-thread term arena ([`term`]), Tseitin bit-blasted
+//!   to CNF, and decided by a two-watched-literal DPLL solver, with a
+//!   process-wide normalized-query memo answering structurally repeated
+//!   queries without solving. Witness models come back as [`Model`].
 //!
 //! # Examples
 //!
@@ -35,12 +38,16 @@ mod blast;
 mod exec;
 mod expr;
 mod sat;
+pub mod term;
 
-pub use blast::{check, solver_calls, Model, SatResult};
+pub use blast::{
+    check, check_reference, memo_hits, memo_lookups, reset_query_memo, solver_calls,
+    with_reference_pipeline, Model, SatResult,
+};
 pub use exec::{
     with_step_budget, CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR,
     EXCEPTION_ACCESS_VIOLATION, EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH,
     EXCEPTION_EXECUTE_HANDLER,
 };
 pub use expr::{BinOp, BoolExpr, CmpOp, Expr};
-pub use sat::{solve, Cnf, SolveOutcome};
+pub use sat::{solve, solve_reference, Cnf, SolveOutcome};

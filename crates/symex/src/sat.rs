@@ -1,17 +1,30 @@
-//! A small DPLL SAT solver.
+//! A small SAT solver with two-watched-literal unit propagation.
 //!
-//! Decides the CNF formulas produced by the bit-blaster. Formula sizes for
-//! exception-filter queries are a few thousand variables and clauses, well
-//! within reach of plain DPLL with unit propagation.
+//! Decides the CNF formulas produced by the bit-blaster. Formula sizes
+//! for exception-filter queries are a few thousand variables and
+//! clauses; the watched-literal scheme visits only the clauses whose
+//! watch is falsified instead of rescanning the whole formula on every
+//! propagation round, which is where the bulk of the old solver's time
+//! went.
+//!
+//! [`solve_reference`] keeps the previous scan-every-clause DPLL alive
+//! verbatim: it is the baseline for `solver_bench` and the oracle for
+//! the old-vs-new differential proptests.
 
 /// A CNF formula. Literals are non-zero `i32`s: variable `v` is `v`
 /// (positive) or `-v` (negated); variables are numbered from 1.
+///
+/// Clauses live in one flat literal buffer with end offsets — adding a
+/// clause is a single `extend_from_slice`, and [`Cnf::clear`] lets a
+/// worker reuse the allocation across queries.
 #[derive(Debug, Clone, Default)]
 pub struct Cnf {
     /// Number of variables.
     pub num_vars: usize,
-    /// Clauses (disjunctions of literals).
-    pub clauses: Vec<Vec<i32>>,
+    /// All clause literals, concatenated.
+    lits: Vec<i32>,
+    /// Exclusive end offset of each clause in `lits`.
+    ends: Vec<u32>,
 }
 
 impl Cnf {
@@ -28,17 +41,47 @@ impl Cnf {
 
     /// Add a clause.
     ///
-    /// # Panics
-    ///
-    /// Panics if a literal references an unallocated variable.
+    /// Literal validity (non-zero, references an allocated variable) is
+    /// a `debug_assert!` — the blaster is the only producer and emits
+    /// literals straight from [`Cnf::fresh`], so release builds skip
+    /// the per-literal scan on this hot path.
     pub fn clause(&mut self, lits: &[i32]) {
         for &l in lits {
-            assert!(
+            debug_assert!(
                 l != 0 && (l.unsigned_abs() as usize) <= self.num_vars,
                 "bad literal {l}"
             );
         }
-        self.clauses.push(lits.to_vec());
+        self.lits.extend_from_slice(lits);
+        self.ends.push(self.lits.len() as u32);
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Total literal count across all clauses.
+    pub fn num_lits(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The `i`-th clause as a literal slice.
+    pub fn clause_at(&self, i: usize) -> &[i32] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.lits[start..self.ends[i] as usize]
+    }
+
+    /// Iterate over all clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[i32]> + '_ {
+        (0..self.num_clauses()).map(|i| self.clause_at(i))
+    }
+
+    /// Reset to an empty formula, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.num_vars = 0;
+        self.lits.clear();
+        self.ends.clear();
     }
 }
 
@@ -54,14 +97,253 @@ pub enum SolveOutcome {
     BudgetExhausted,
 }
 
-/// Decision budget for [`solve`]. Filter-vetting formulas use a few
-/// hundred decisions; anything near the budget is pathological.
+/// Decision budget for [`solve`] and [`solve_reference`]. Filter-vetting
+/// formulas use a few hundred decisions; anything near the budget is
+/// pathological.
 const DECISION_BUDGET: u64 = 200_000;
 
-/// Decide a CNF formula with plain DPLL and a decision budget.
+/// Decide a CNF formula with two-watched-literal DPLL.
+///
+/// Deterministic by construction: decisions follow a static activity
+/// order (occurrence count descending, variable index ascending) with
+/// phase `true` first, and propagation order is fixed by clause and
+/// trail order. The same formula always yields the same outcome — the
+/// property the normalized-query memo relies on.
 pub fn solve(cnf: &Cnf) -> SolveOutcome {
+    Watched::new(cnf).map_or(SolveOutcome::Unsat, Watched::search)
+}
+
+struct Frame {
+    lit: i32,
+    mark: usize,
+    cursor: usize,
+    flipped: bool,
+}
+
+struct Watched {
+    /// 0 = unassigned, 1 = true, 2 = false; indexed by variable − 1.
+    assign: Vec<u8>,
+    /// Clause indices watching each literal slot (see [`Watched::slot`]).
+    watches: Vec<Vec<u32>>,
+    /// Normalized clause literals (deduped, tautologies dropped),
+    /// flat; the first two literals of each clause are its watches.
+    db: Vec<i32>,
+    /// `(start, len)` of each clause in `db`.
+    bounds: Vec<(u32, u32)>,
+    /// Assigned literals in assignment order.
+    trail: Vec<i32>,
+    /// Trail cursor: literals before it have been propagated.
+    propagated: usize,
+    /// Open decisions (chronological backtracking).
+    frames: Vec<Frame>,
+    /// Variables (0-based) in static activity order.
+    order: Vec<u32>,
+    /// Scan position into `order` for the next decision.
+    cursor: usize,
+    decisions: u64,
+}
+
+impl Watched {
+    /// Literal → watch-list slot: variable `v` positive is `2(v−1)`,
+    /// negative is `2(v−1)+1`.
+    fn slot(lit: i32) -> usize {
+        ((lit.unsigned_abs() as usize - 1) << 1) | usize::from(lit < 0)
+    }
+
+    /// Build the solver state; `None` means a top-level conflict was
+    /// found while loading clauses (immediately UNSAT).
+    fn new(cnf: &Cnf) -> Option<Watched> {
+        let nv = cnf.num_vars;
+        let mut s = Watched {
+            assign: vec![0; nv],
+            watches: vec![Vec::new(); 2 * nv],
+            db: Vec::with_capacity(cnf.num_lits()),
+            bounds: Vec::with_capacity(cnf.num_clauses()),
+            trail: Vec::with_capacity(nv),
+            propagated: 0,
+            frames: Vec::new(),
+            order: Vec::new(),
+            cursor: 0,
+            decisions: 0,
+        };
+        let mut counts = vec![0u32; nv];
+        let mut tmp: Vec<i32> = Vec::new();
+        for clause in cnf.clauses() {
+            // Normalize: drop duplicate literals; a clause containing
+            // both `l` and `¬l` is a tautology and is dropped whole.
+            tmp.clear();
+            let mut taut = false;
+            'lits: for &l in clause {
+                for &m in &tmp {
+                    if m == l {
+                        continue 'lits;
+                    }
+                    if m == -l {
+                        taut = true;
+                        break 'lits;
+                    }
+                }
+                tmp.push(l);
+            }
+            if taut {
+                continue;
+            }
+            for &l in &tmp {
+                counts[l.unsigned_abs() as usize - 1] += 1;
+            }
+            match tmp.len() {
+                0 => return None,
+                1 => match s.value(tmp[0]) {
+                    None => s.enqueue(tmp[0]),
+                    Some(true) => {}
+                    Some(false) => return None,
+                },
+                _ => {
+                    let ci = s.bounds.len() as u32;
+                    let start = s.db.len() as u32;
+                    s.db.extend_from_slice(&tmp);
+                    s.bounds.push((start, tmp.len() as u32));
+                    s.watches[Watched::slot(tmp[0])].push(ci);
+                    s.watches[Watched::slot(tmp[1])].push(ci);
+                }
+            }
+        }
+        let mut order: Vec<u32> = (0..nv as u32).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(counts[v as usize]), v));
+        s.order = order;
+        Some(s)
+    }
+
+    fn value(&self, lit: i32) -> Option<bool> {
+        match self.assign[lit.unsigned_abs() as usize - 1] {
+            0 => None,
+            1 => Some(lit > 0),
+            _ => Some(lit < 0),
+        }
+    }
+
+    fn enqueue(&mut self, lit: i32) {
+        self.assign[lit.unsigned_abs() as usize - 1] = if lit > 0 { 1 } else { 2 };
+        self.trail.push(lit);
+    }
+
+    /// Propagate every queued assignment; `false` means conflict.
+    fn propagate(&mut self) -> bool {
+        while self.propagated < self.trail.len() {
+            let lit = self.trail[self.propagated];
+            self.propagated += 1;
+            let fl = -lit;
+            let wslot = Watched::slot(fl);
+            let mut i = 0;
+            while i < self.watches[wslot].len() {
+                let ci = self.watches[wslot][i] as usize;
+                let (start, len) = self.bounds[ci];
+                let (start, len) = (start as usize, len as usize);
+                // Keep the falsified watch in slot 1.
+                if self.db[start] == fl {
+                    self.db.swap(start, start + 1);
+                }
+                let w0 = self.db[start];
+                if self.value(w0) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                for k in 2..len {
+                    let l = self.db[start + k];
+                    if self.value(l) != Some(false) {
+                        self.db[start + 1] = l;
+                        self.db[start + k] = fl;
+                        self.watches[Watched::slot(l)].push(ci as u32);
+                        self.watches[wslot].swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                match self.value(w0) {
+                    None => {
+                        self.enqueue(w0);
+                        i += 1;
+                    }
+                    Some(false) => return false,
+                    Some(true) => unreachable!("satisfied clause handled above"),
+                }
+            }
+        }
+        true
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        for &l in &self.trail[mark..] {
+            self.assign[l.unsigned_abs() as usize - 1] = 0;
+        }
+        self.trail.truncate(mark);
+        self.propagated = mark;
+    }
+
+    fn search(mut self) -> SolveOutcome {
+        loop {
+            if !self.propagate() {
+                // Chronological backtracking: flip the deepest
+                // unflipped decision, abandoning flipped ones.
+                loop {
+                    let Some(f) = self.frames.pop() else {
+                        return SolveOutcome::Unsat;
+                    };
+                    self.undo_to(f.mark);
+                    self.cursor = f.cursor;
+                    if !f.flipped {
+                        self.enqueue(-f.lit);
+                        self.frames.push(Frame {
+                            lit: -f.lit,
+                            mark: f.mark,
+                            cursor: f.cursor,
+                            flipped: true,
+                        });
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Decide the next unassigned variable in activity order.
+            while self.cursor < self.order.len()
+                && self.assign[self.order[self.cursor] as usize] != 0
+            {
+                self.cursor += 1;
+            }
+            let Some(&var) = self.order.get(self.cursor) else {
+                // Full assignment with propagation complete and no
+                // conflict: every clause is satisfied.
+                return SolveOutcome::Sat(self.assign.iter().map(|&a| a == 1).collect());
+            };
+            self.decisions += 1;
+            if self.decisions > DECISION_BUDGET {
+                return SolveOutcome::BudgetExhausted;
+            }
+            let lit = (var + 1) as i32;
+            self.frames.push(Frame {
+                lit,
+                mark: self.trail.len(),
+                cursor: self.cursor,
+                flipped: false,
+            });
+            self.enqueue(lit);
+        }
+    }
+}
+
+/// The pre-watched-literal DPLL, kept as the measured baseline and the
+/// differential-test oracle. Same decision budget, same outcomes on
+/// every in-budget instance as [`solve`] (models may differ; both are
+/// valid).
+pub fn solve_reference(cnf: &Cnf) -> SolveOutcome {
+    let clauses: Vec<&[i32]> = cnf.clauses().collect();
     let mut s = Dpll {
-        clauses: &cnf.clauses,
+        clauses: &clauses,
         assign: vec![None; cnf.num_vars],
         trail: Vec::new(),
         decisions: 0,
@@ -74,7 +356,7 @@ pub fn solve(cnf: &Cnf) -> SolveOutcome {
 }
 
 struct Dpll<'a> {
-    clauses: &'a [Vec<i32>],
+    clauses: &'a [&'a [i32]],
     assign: Vec<Option<bool>>,
     trail: Vec<usize>,
     decisions: u64,
@@ -101,7 +383,7 @@ impl Dpll<'_> {
                 let mut unassigned = None;
                 let mut n_unassigned = 0;
                 let mut satisfied = false;
-                for &lit in clause {
+                for &lit in *clause {
                     match self.lit_val(lit) {
                         Some(true) => {
                             satisfied = true;
@@ -173,7 +455,7 @@ impl Dpll<'_> {
         for clause in self.clauses {
             let mut sat = false;
             let mut cand = None;
-            for &lit in clause {
+            for &lit in *clause {
                 match self.lit_val(lit) {
                     Some(true) => {
                         sat = true;
@@ -201,6 +483,22 @@ mod tests {
         match solve(c) {
             SolveOutcome::Sat(m) => m,
             other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    fn check_model(c: &Cnf, m: &[bool]) {
+        for clause in c.clauses() {
+            assert!(
+                clause.iter().any(|&l| {
+                    let v = m[(l.unsigned_abs() - 1) as usize];
+                    if l > 0 {
+                        v
+                    } else {
+                        !v
+                    }
+                }),
+                "model violates clause {clause:?}"
+            );
         }
     }
 
@@ -268,6 +566,7 @@ mod tests {
             }
         }
         assert_eq!(solve(&c), SolveOutcome::Unsat);
+        assert_eq!(solve_reference(&c), SolveOutcome::Unsat);
     }
 
     #[test]
@@ -280,16 +579,70 @@ mod tests {
         c.clause(&[vars[4], vars[5], -vars[6]]);
         c.clause(&[-vars[3], -vars[5]]);
         c.clause(&[vars[7]]);
+        check_model(&c, &model(&c));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_normalized() {
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        let b = c.fresh();
+        c.clause(&[a, a, b]); // duplicate literal
+        c.clause(&[a, -a]); // tautology
+        c.clause(&[-b]);
         let m = model(&c);
-        for clause in &c.clauses {
-            assert!(clause.iter().any(|&l| {
-                let v = m[(l.unsigned_abs() - 1) as usize];
-                if l > 0 {
-                    v
-                } else {
-                    !v
-                }
-            }));
+        check_model(&c, &m);
+        assert!(!m[1]);
+    }
+
+    #[test]
+    fn flat_storage_round_trips_clauses() {
+        let mut c = Cnf::new();
+        let a = c.fresh();
+        let b = c.fresh();
+        c.clause(&[a, b]);
+        c.clause(&[-a]);
+        c.clause(&[a, -b, a]);
+        assert_eq!(c.num_clauses(), 3);
+        assert_eq!(c.num_lits(), 6);
+        assert_eq!(c.clause_at(0), &[a, b]);
+        assert_eq!(c.clause_at(1), &[-a]);
+        assert_eq!(c.clause_at(2), &[a, -b, a]);
+        c.clear();
+        assert_eq!(c.num_vars, 0);
+        assert_eq!(c.num_clauses(), 0);
+        assert_eq!(c.num_lits(), 0);
+    }
+
+    #[test]
+    fn watched_agrees_with_reference_on_unit_chains() {
+        // A long implication chain forces heavy propagation through
+        // both engines: a1 ∧ (¬a1∨a2) ∧ ... ∧ (¬a_{n−1}∨a_n).
+        let mut c = Cnf::new();
+        let vars: Vec<i32> = (0..64).map(|_| c.fresh()).collect();
+        c.clause(&[vars[0]]);
+        for w in vars.windows(2) {
+            c.clause(&[-w[0], w[1]]);
+        }
+        let m = model(&c);
+        assert!(m.iter().all(|&v| v));
+        assert!(matches!(solve_reference(&c), SolveOutcome::Sat(_)));
+        // Now pin the tail false: UNSAT both ways.
+        c.clause(&[-vars[63]]);
+        assert_eq!(solve(&c), SolveOutcome::Unsat);
+        assert_eq!(solve_reference(&c), SolveOutcome::Unsat);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn clause_rejects_bad_literals_in_debug() {
+        for bad in [0i32, 3, -5] {
+            let got = std::panic::catch_unwind(|| {
+                let mut c = Cnf::new();
+                c.fresh();
+                c.clause(&[bad]);
+            });
+            assert!(got.is_err(), "literal {bad} must trip the debug assert");
         }
     }
 }

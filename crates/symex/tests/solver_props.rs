@@ -1,8 +1,13 @@
 //! Property tests for the bit-blasting solver: every SAT model must
-//! actually satisfy the constraints, and satisfiable-by-construction
-//! formulas must come back SAT.
+//! actually satisfy the constraints, satisfiable-by-construction
+//! formulas must come back SAT, and the interned pipeline must agree
+//! with the retained reference pipeline (old blaster + scan-all DPLL)
+//! on both raw CNF and full constraint-set queries.
 
-use cr_symex::{check, BinOp, BoolExpr, CmpOp, Expr, SatResult};
+use cr_symex::{
+    check, check_reference, solve, solve_reference, BinOp, BoolExpr, CmpOp, Cnf, Expr, SatResult,
+    SolveOutcome,
+};
 use proptest::prelude::*;
 use std::rc::Rc;
 
@@ -141,6 +146,97 @@ proptest! {
         }
     }
 
+    /// The watched-literal solver and the retained scan-all reference
+    /// solver must agree on SAT/UNSAT for random CNF instances. Models
+    /// may legitimately differ, so each is validated against the
+    /// formula rather than compared to the other.
+    #[test]
+    fn watched_and_reference_dpll_agree_on_random_cnf(
+        num_vars in 1i32..=8,
+        raw in proptest::collection::vec(
+            proptest::collection::vec((1i32..=8, any::<bool>()), 1..5),
+            0..24,
+        ),
+    ) {
+        let mut cnf = Cnf::new();
+        cnf.num_vars = num_vars as usize;
+        let clauses: Vec<Vec<i32>> = raw
+            .iter()
+            .map(|cl| {
+                cl.iter()
+                    .map(|&(v, neg)| {
+                        let v = (v - 1) % num_vars + 1;
+                        if neg { -v } else { v }
+                    })
+                    .collect()
+            })
+            .collect();
+        for cl in &clauses {
+            cnf.clause(cl);
+        }
+        let new = solve(&cnf);
+        let old = solve_reference(&cnf);
+        // Instances this small never exhaust either budget.
+        prop_assert_eq!(
+            std::mem::discriminant(&new),
+            std::mem::discriminant(&old),
+            "watched={:?} reference={:?}",
+            new,
+            old
+        );
+        for outcome in [&new, &old] {
+            if let SolveOutcome::Sat(model) = outcome {
+                for cl in &clauses {
+                    prop_assert!(
+                        cl.iter().any(|&l| {
+                            let val = model[(l.unsigned_abs() - 1) as usize];
+                            (l > 0) == val
+                        }),
+                        "model fails clause {:?}",
+                        cl
+                    );
+                }
+            }
+        }
+    }
+
+    /// Full-pipeline differential: `check` (interned arena + watched
+    /// solver + memo) and `check_reference` (old Rc-pointer blaster +
+    /// scan-all DPLL) must return the same verdict for pinned queries,
+    /// which are always in-budget for both solvers.
+    #[test]
+    fn check_agrees_with_reference_on_pinned_queries(
+        ast in arb_expr(),
+        vals in proptest::array::uniform4(any::<u32>()),
+        off in 0u64..2,
+    ) {
+        let vals64 = [vals[0] as u64, vals[1] as u64, vals[2] as u64, vals[3] as u64];
+        let target = (ast.eval(&vals64).wrapping_add(off)) & 0xFFFF_FFFF;
+        let mut cs: Vec<BoolExpr> = (0..4)
+            .map(|i| {
+                BoolExpr::cmp(CmpOp::Eq, 32, Expr::var(&format!("v{i}"), 32), Expr::c(vals64[i]))
+            })
+            .collect();
+        cs.push(BoolExpr::cmp(CmpOp::Eq, 32, ast.build(), Expr::c(target)));
+        let new = check(&cs);
+        let old = check_reference(&cs);
+        prop_assert_eq!(
+            std::mem::discriminant(&new),
+            std::mem::discriminant(&old),
+            "new={:?} old={:?}",
+            new,
+            old
+        );
+        // off == 0 pins the expression to its concrete value: SAT.
+        prop_assert_eq!(new.is_sat(), off == 0);
+        if let (SatResult::Sat(mn), SatResult::Sat(mo)) = (&new, &old) {
+            for c in &cs {
+                prop_assert!(c.eval(&|n| mn.get(n)));
+                prop_assert!(c.eval(&|n| mo.get(n)));
+            }
+        }
+    }
+
     /// Unsigned comparison is a total order consistent with equality.
     #[test]
     fn comparison_trichotomy(a in any::<u32>(), b in any::<u32>()) {
@@ -158,5 +254,40 @@ proptest! {
         with_gt.push(gt);
         prop_assert_eq!(check(&with_lt).is_sat(), a < b);
         prop_assert_eq!(check(&with_gt).is_sat(), b < a);
+    }
+}
+
+// Fuzz the debug-path literal validation in `Cnf::clause`: any clause
+// containing a zero or out-of-range literal must panic under
+// `debug_assertions` (release builds skip the check for speed).
+#[cfg(debug_assertions)]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn clause_literal_fuzz_panics_on_invalid(
+        num_vars in 1i32..=6,
+        mut lits in proptest::collection::vec(-6i32..=6, 1..6),
+        bad in prop_oneof![Just(0i32), 7i32..=20, -20i32..=-7],
+        at in any::<usize>(),
+    ) {
+        let mut cnf = Cnf::new();
+        cnf.num_vars = num_vars as usize;
+        // Clamp the fuzzed clause to valid literals, then plant exactly
+        // one invalid literal at a random position.
+        for l in &mut lits {
+            if *l == 0 || l.unsigned_abs() as i32 > num_vars {
+                *l = 1;
+            }
+        }
+        let at = at % lits.len();
+        lits[at] = bad;
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cnf.clause(&lits);
+        }));
+        std::panic::set_hook(prev);
+        prop_assert!(r.is_err(), "invalid literal {} must panic in debug", bad);
     }
 }

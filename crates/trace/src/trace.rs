@@ -132,6 +132,25 @@ impl Trace {
         Trace { events, dropped }
     }
 
+    /// Count events in `stage` with exactly this `name`. Counters like
+    /// the decision procedure's `solver.check` events are advisory, so
+    /// counting them never perturbs the deterministic view.
+    pub fn count_events(&self, stage: Stage, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.stage == stage && e.name == name)
+            .count()
+    }
+
+    /// Like [`Trace::count_events`], further requiring the event detail
+    /// to contain `detail_substr` (e.g. `memo=hit`).
+    pub fn count_events_with(&self, stage: Stage, name: &str, detail_substr: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.stage == stage && e.name == name && e.detail.contains(detail_substr))
+            .count()
+    }
+
     /// Stages present in this trace, in [`Stage::ALL`] order.
     pub fn stages(&self) -> Vec<Stage> {
         Stage::ALL
@@ -252,6 +271,33 @@ mod tests {
         assert_eq!(
             sample().stages(),
             [Stage::Parse, Stage::Symex, Stage::Cache]
+        );
+    }
+
+    #[test]
+    fn count_events_filters_by_stage_name_and_detail() {
+        let mut t = sample();
+        t.events[1].name = "solver.check".into();
+        t.events[1].detail = "memo=hit vars=2".into();
+        t.events.push({
+            let mut e = ev(0, Some(0), 2, Stage::Symex, None);
+            e.name = "solver.check".into();
+            e.detail = "memo=miss vars=1 clauses=9".into();
+            e
+        });
+        assert_eq!(t.count_events(Stage::Symex, "solver.check"), 2);
+        assert_eq!(t.count_events(Stage::Parse, "solver.check"), 0);
+        assert_eq!(
+            t.count_events_with(Stage::Symex, "solver.check", "memo=hit"),
+            1
+        );
+        assert_eq!(
+            t.count_events_with(Stage::Symex, "solver.check", "memo=miss"),
+            1
+        );
+        assert_eq!(
+            t.count_events_with(Stage::Symex, "solver.check", "memo=never"),
+            0
         );
     }
 

@@ -73,4 +73,20 @@ printf '{"tasks":[{"PocScan":"ie"}]}' > "$smoke_tmp/spec.json"
 target/release/crash-resist campaign --spec "$smoke_tmp/spec.json" --json 2>/dev/null \
   | grep -q "${envelope}campaign\"" \
   || { echo "[check] campaign --json lacks the envelope" >&2; exit 1; }
+
+# solver-bench smoke: a small corpus through the decision-procedure
+# bench. Only the non-timing invariants gate: the interned and
+# reference pipelines must agree on every verdict, and the warm pass
+# must answer every query from the normalized-query memo (the binary
+# itself asserts hit == lookup == queries x rounds). Wall-time ratios
+# are recorded in the JSON, never asserted.
+echo "[check] solver-bench smoke (verdict parity + memo hits)"
+SOLVER_BENCH_QUERIES=64 SOLVER_BENCH_ROUNDS=1 \
+  SOLVER_BENCH_OUT="$smoke_tmp/solver.json" \
+  target/release/solver_bench > /dev/null 2> "$smoke_tmp/solver.log" \
+  || { cat "$smoke_tmp/solver.log" >&2; echo "[check] solver_bench failed" >&2; exit 1; }
+grep -q '"verdict_parity":true' "$smoke_tmp/solver.json" \
+  || { echo "[check] solver_bench verdict parity failed" >&2; exit 1; }
+grep -q '"memo_warm":{[^}]*"memo_hits":64' "$smoke_tmp/solver.json" \
+  || { echo "[check] solver_bench warm pass did not hit the memo" >&2; exit 1; }
 echo "[check] all green"

@@ -282,4 +282,32 @@ proptest! {
             prop_assert!(accepted, "dynamic survival must imply a symex accept");
         }
     }
+
+    /// Pipeline differential: the interned decision procedure (term
+    /// arena + watched-literal DPLL + normalized-query memo) and the
+    /// retained reference pipeline (Rc-pointer blaster + scan-all DPLL)
+    /// must produce identical analyses for random compiled filters.
+    /// Filter queries are tiny, so both solvers stay in budget.
+    #[test]
+    fn old_and_new_pipelines_agree_on_filter_verdicts(ast in arb_filter()) {
+        let img = build_module(&ast);
+        let filter_rva = img
+            .runtime_functions
+            .iter()
+            .flat_map(|rf| rf.unwind.scopes.iter())
+            .find_map(|s| match s.filter {
+                FilterRef::Function(rva) => Some(rva),
+                _ => None,
+            })
+            .unwrap();
+        let code = cr_core::seh::PeCode::new(&img);
+        let addr = BASE + filter_rva as u64;
+        let new = SymExec::default().analyze_filter(&code, addr);
+        let old =
+            cr_symex::with_reference_pipeline(|| SymExec::default().analyze_filter(&code, addr));
+        prop_assert_eq!(&new.verdict, &old.verdict, "pipeline divergence for {:?}", ast);
+        prop_assert_eq!(new.completed_paths, old.completed_paths);
+        prop_assert_eq!(&new.aborted_paths, &old.aborted_paths);
+        prop_assert_eq!(new.steps, old.steps);
+    }
 }
