@@ -1,0 +1,189 @@
+//! Serve-layer load bench: cold-vs-warm request cost and concurrent
+//! client throughput against an in-process resident server, as
+//! machine-readable JSON written to `BENCH_serve.json`.
+//!
+//! One server, `SERVE_LOAD_CLIENTS` concurrent client connections
+//! (default 8, the acceptance floor), `SERVE_LOAD_REQUESTS` requests
+//! each (default 4). The first request is the cold one — it populates
+//! the process-wide warm state (resident parsed image, module
+//! summaries, verdicts, solver memo) — and every subsequent request
+//! measures the warm path.
+//!
+//! Asserts the serve determinism contract while it measures: every
+//! completed request's result document must be byte-identical, warm
+//! requests must never reach the solver, and no request may execute
+//! more than once. Wall-time numbers are recorded, never asserted.
+
+use cr_serve::{Client, ServeConfig, Server};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct ServeLoadReport {
+    clients: usize,
+    requests_per_client: usize,
+    total_requests: usize,
+    cold_us: u64,
+    /// One warm request with no concurrent load: the pure cache win.
+    warm_solo_us: u64,
+    /// Client-observed warm latencies under full concurrency —
+    /// queueing delay included, which is the point of a load bench.
+    warm_p50_us: u64,
+    warm_p95_us: u64,
+    warm_max_us: u64,
+    /// Completed warm requests per second across all clients.
+    throughput_rps: f64,
+    /// Wall time of the concurrent warm phase.
+    warm_phase_us: u64,
+    /// Cold latency over solo warm latency: what the warm state buys.
+    cold_vs_warm: f64,
+    busy_rejections: u64,
+    requests_completed: u64,
+    frames_sent: u64,
+    solver_calls_warm: u64,
+    deterministic: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+// Two SEH modules: the fully cacheable workload, so the warm path
+// exercises exactly the resident-image + summary + verdict caches.
+const SPEC: &str = r#"{"name":"serve-load","seed":2017,"tasks":[{"SehAnalysis":"xmllite"},{"SehAnalysis":"jscript9"}]}"#;
+
+fn main() {
+    cr_bench::banner("serve load — cold vs warm latency, concurrent client throughput");
+    let clients = env_usize("SERVE_LOAD_CLIENTS", 8);
+    let requests_per_client = env_usize("SERVE_LOAD_REQUESTS", 4);
+    let out_path = std::env::var("SERVE_LOAD_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    let server = Server::bind(ServeConfig {
+        // Deep enough that backpressure is visible but not dominant.
+        admit_capacity: clients * 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("clean drain"));
+
+    // Cold request: populates every layer of the warm state.
+    eprintln!("[serve_load] cold request ...");
+    let mut warmup = Client::connect(&addr).expect("connect");
+    let started = Instant::now();
+    let cold = warmup.request(SPEC).expect("cold request");
+    let cold_us = started.elapsed().as_micros() as u64;
+    assert!(cold.completed(), "cold error={:?}", cold.error);
+    let reference = cold.result.clone().expect("cold result document");
+
+    // Warm phase: `clients` threads hammering the same spec.
+    eprintln!(
+        "[serve_load] warm phase: {clients} client(s) x {requests_per_client} request(s) ..."
+    );
+    let solver_before = cr_symex::solver_calls();
+    let phase_started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("warm connect");
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut identical = true;
+                for _ in 0..requests_per_client {
+                    let started = Instant::now();
+                    let response = client
+                        .request_with_retry(SPEC, 50)
+                        .expect("warm request transport");
+                    latencies.push(started.elapsed().as_micros() as u64);
+                    assert!(
+                        response.completed(),
+                        "warm request rejected: busy={:?} error={:?}",
+                        response.busy,
+                        response.error
+                    );
+                    identical &= response.result.as_deref() == Some(reference.as_slice());
+                }
+                (latencies, identical)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut deterministic = true;
+    for w in workers {
+        let (lat, identical) = w.join().expect("client thread");
+        latencies.extend(lat);
+        deterministic &= identical;
+    }
+    let warm_phase_us = phase_started.elapsed().as_micros() as u64;
+    let solver_calls_warm = cr_symex::solver_calls() - solver_before;
+
+    // One more warm request with the server otherwise idle: the pure
+    // per-request warm cost, no queueing delay.
+    let started = Instant::now();
+    let solo = warmup.request(SPEC).expect("solo warm request");
+    let warm_solo_us = started.elapsed().as_micros() as u64;
+    assert!(solo.completed(), "solo error={:?}", solo.error);
+    deterministic &= solo.result.as_deref() == Some(reference.as_slice());
+
+    for ((conn, req), n) in handle.execution_counts() {
+        assert_eq!(n, 1, "request ({conn},{req}) executed {n} times");
+    }
+
+    // Drain and collect lifetime stats.
+    let mut closer = Client::connect(&addr).expect("closer connect");
+    closer.shutdown().expect("shutdown ack");
+    let stats = runner.join().expect("server thread");
+
+    latencies.sort_unstable();
+    let total_requests = latencies.len();
+    let warm_p50_us = percentile(&latencies, 0.50);
+    let report = ServeLoadReport {
+        clients,
+        requests_per_client,
+        total_requests,
+        cold_us,
+        warm_solo_us,
+        warm_p50_us,
+        warm_p95_us: percentile(&latencies, 0.95),
+        warm_max_us: latencies.last().copied().unwrap_or(0),
+        throughput_rps: total_requests as f64 / (warm_phase_us.max(1) as f64 / 1e6),
+        warm_phase_us,
+        cold_vs_warm: cold_us as f64 / warm_solo_us.max(1) as f64,
+        busy_rejections: stats.busy_rejections,
+        requests_completed: stats.requests_completed,
+        frames_sent: stats.frames_sent,
+        solver_calls_warm,
+        deterministic,
+    };
+    let json = report.to_json();
+    println!("{json}");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench report");
+    eprintln!("[serve_load] wrote {out_path}");
+
+    assert!(
+        deterministic,
+        "every warm result must be byte-identical to the cold one"
+    );
+    assert_eq!(
+        solver_calls_warm, 0,
+        "warm requests must never reach the solver"
+    );
+    assert_eq!(
+        stats.requests_completed,
+        (total_requests + 2) as u64,
+        "every admitted request must complete ({stats:?})"
+    );
+}

@@ -47,6 +47,21 @@ pub const CACHE_FILE: &str = "analysis-cache.jsonl";
 /// appended verbatim at load time.
 pub const QUARANTINE_FILE: &str = "cache.quarantine.jsonl";
 
+/// A parsed module image held resident in memory, keyed by module
+/// name and stamped with the image content hash. The serve layer keeps
+/// these warm across requests so the Nth request for a module does
+/// zero image generation and zero parsing; one-shot campaigns get the
+/// same benefit for specs that repeat a module. Never persisted —
+/// images are cheap to regenerate relative to their size on disk, and
+/// the persisted [`SehSummary`] table already skips the analysis.
+#[derive(Debug)]
+pub struct ImageArtifact {
+    /// Content hash of the image bytes ([`cr_core::seh::image_content_hash`]).
+    pub hash: String,
+    /// The parsed image.
+    pub image: cr_image::PeImage,
+}
+
 /// Cached summary of one module analysis (the campaign-visible subset
 /// of [`cr_core::seh::ModuleSehAnalysis`]).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
@@ -74,6 +89,8 @@ pub struct CacheStats {
     filter_misses: AtomicU64,
     module_hits: AtomicU64,
     module_misses: AtomicU64,
+    image_hits: AtomicU64,
+    image_misses: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheStats`], for reports.
@@ -87,10 +104,18 @@ pub struct CacheStatsSnapshot {
     pub module_hits: u64,
     /// Module lookups that fell through to full analysis.
     pub module_misses: u64,
+    /// Parsed-image lookups served from the resident artifact table.
+    pub image_hits: u64,
+    /// Parsed-image lookups that fell through to generate + parse.
+    pub image_misses: u64,
 }
 
 impl CacheStatsSnapshot {
-    /// Hit fraction over all lookups (0.0 when nothing was looked up).
+    /// Hit fraction over the persistent content-addressed layers
+    /// (filter verdicts + module summaries); 0.0 when nothing was
+    /// looked up. Image traffic is excluded: the resident artifact
+    /// table lives in process memory only, so a fresh process always
+    /// misses it regardless of how warm the on-disk cache is.
     pub fn hit_rate(&self) -> f64 {
         let hits = self.filter_hits + self.module_hits;
         let total = hits + self.filter_misses + self.module_misses;
@@ -114,6 +139,10 @@ struct Tables {
 #[derive(Default)]
 pub struct AnalysisCache {
     tables: Mutex<Tables>,
+    /// Resident parsed images, keyed by module name. Memory-only (see
+    /// [`ImageArtifact`]); a separate lock so image lookups never
+    /// contend with verdict traffic.
+    images: Mutex<HashMap<String, std::sync::Arc<ImageArtifact>>>,
     stats: CacheStats,
     quarantined: AtomicU64,
 }
@@ -277,6 +306,32 @@ impl AnalysisCache {
             .insert(key.to_string(), summary.clone());
     }
 
+    /// Look up a resident parsed image by module name.
+    pub fn get_image(&self, module: &str) -> Option<std::sync::Arc<ImageArtifact>> {
+        let hit = self.images.lock().unwrap().get(module).cloned();
+        self.stats.count_image(hit.is_some());
+        hit
+    }
+
+    /// Store a parsed image under `module` and return the shared
+    /// artifact handle (an existing entry for the module is replaced).
+    pub fn put_image(
+        &self,
+        module: &str,
+        hash: impl Into<String>,
+        image: cr_image::PeImage,
+    ) -> std::sync::Arc<ImageArtifact> {
+        let artifact = std::sync::Arc::new(ImageArtifact {
+            hash: hash.into(),
+            image,
+        });
+        self.images
+            .lock()
+            .unwrap()
+            .insert(module.to_string(), artifact.clone());
+        artifact
+    }
+
     /// Entry counts: `(filter_verdicts, module_summaries)`.
     pub fn len(&self) -> (usize, usize) {
         let t = self.tables.lock().unwrap();
@@ -295,6 +350,8 @@ impl AnalysisCache {
             filter_misses: self.stats.filter_misses.load(Ordering::Relaxed),
             module_hits: self.stats.module_hits.load(Ordering::Relaxed),
             module_misses: self.stats.module_misses.load(Ordering::Relaxed),
+            image_hits: self.stats.image_hits.load(Ordering::Relaxed),
+            image_misses: self.stats.image_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -316,6 +373,14 @@ impl CacheStats {
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
+    fn count_image(&self, hit: bool) {
+        let c = if hit {
+            &self.image_hits
+        } else {
+            &self.image_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Adapter giving [`cr_core::seh::analyze_module_cached`] a view of a
@@ -333,8 +398,9 @@ impl VerdictCache for SharedVerdictCache<'_> {
 }
 
 /// CRC-32/IEEE (the zlib polynomial), bitwise — entries are short and
-/// saves are rare, so no table is warranted.
-fn crc32(bytes: &[u8]) -> u32 {
+/// saves are rare, so no table is warranted. Public because the serve
+/// layer frames its wire protocol with the same checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
         crc ^= b as u32;
@@ -651,6 +717,26 @@ mod tests {
         assert_eq!((s.filter_hits, s.filter_misses), (1, 1));
         assert_eq!((s.module_hits, s.module_misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn image_artifacts_are_shared_and_counted() {
+        let cache = AnalysisCache::new();
+        assert!(cache.get_image("nginx.exe").is_none());
+        let spec = cr_targets::browsers::full_population_specs()
+            .into_iter()
+            .next()
+            .expect("non-empty population");
+        let img = cr_targets::browsers::generate_dll(&spec);
+        let put = cache.put_image("nginx.exe", "cafebabe", img);
+        let got = cache.get_image("nginx.exe").expect("resident image");
+        assert!(std::sync::Arc::ptr_eq(&put, &got));
+        assert_eq!(got.hash, "cafebabe");
+        let s = cache.stats();
+        assert_eq!((s.image_hits, s.image_misses), (1, 1));
+        // Image traffic is resident-only and stays out of the
+        // persistent-cache hit rate.
+        assert!((s.hit_rate() - 0.0).abs() < 1e-9);
     }
 
     #[test]

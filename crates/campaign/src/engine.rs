@@ -29,6 +29,7 @@ use crate::spec::{CampaignSpec, CampaignTask, TaskKind};
 use cr_chaos::{FaultInjector, FaultKind, Site};
 use cr_core::seh::{self, analyze_module_cached, NoCache};
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,6 +53,11 @@ pub struct EngineConfig {
     pub backoff_base_ms: u64,
     /// Fault injector; `None` runs the pipeline unperturbed.
     pub injector: Option<Arc<FaultInjector>>,
+    /// External abort flag (request cancellation, server shutdown).
+    /// Once set, unstarted tasks fail fast as
+    /// [`TaskErrorKind::Cancelled`] and the campaign returns early
+    /// with a degraded report.
+    pub abort: Option<Arc<AtomicBool>>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +70,7 @@ impl Default for EngineConfig {
             wall_watchdog_ms: None,
             backoff_base_ms: 1,
             injector: None,
+            abort: None,
         }
     }
 }
@@ -193,10 +200,44 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
         }
         None => AnalysisCache::new(),
     };
+    let report = run_campaign_with_cache(spec, cfg, &cache);
+
+    if let Some(dir) = &cfg.cache_dir {
+        let mut span = cr_trace::span(cr_trace::Stage::Cache, "cache.save");
+        span.set_detail(|| {
+            let (filters, modules) = cache.len();
+            format!("filters={filters} modules={modules}")
+        });
+        match cfg.injector.as_deref() {
+            Some(inj) if inj.plan().arms(Site::CacheRecord) => {
+                cache.save_with(dir, |i, line| {
+                    if let Some(kind) = inj.fires(Site::CacheRecord, i as u64, 0) {
+                        inj.corrupt_record(kind, i as u64, line);
+                    }
+                })?
+            }
+            _ => cache.save(dir)?,
+        }
+    }
+    Ok(report)
+}
+
+/// The disk-free core of [`run_campaign`]: run `spec` against an
+/// already-resident [`AnalysisCache`]. No trace run is begun and no
+/// cache I/O happens — the caller owns both, which is what lets a
+/// resident server share one warm cache (verdicts, module summaries,
+/// parsed images) across many requests and persist it once at
+/// shutdown.
+pub fn run_campaign_with_cache(
+    spec: &CampaignSpec,
+    cfg: &EngineConfig,
+    cache: &AnalysisCache,
+) -> CampaignReport {
     let quarantined = cache.quarantined();
     let solver_before = cr_symex::solver_calls();
     let memo_lookups_before = cr_symex::memo_lookups();
     let memo_hits_before = cr_symex::memo_hits();
+    let cache_before = cache.stats();
     let injector = cfg.injector.as_deref();
     let labels: Vec<(String, TaskKind)> =
         spec.tasks.iter().map(|t| (t.label(), t.kind())).collect();
@@ -208,6 +249,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
         deadline_ms: cfg.deadline_ms,
         wall_watchdog_ms: cfg.wall_watchdog_ms,
         backoff_base_ms: cfg.backoff_base_ms,
+        abort: cfg.abort.clone(),
         ..PoolConfig::default()
     };
     let started = Instant::now();
@@ -221,7 +263,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
         // only when the attempt returns normally.
         let mut span = cr_trace::span(cr_trace::Stage::Schedule, "attempt");
         span.set_detail(|| labels[ctx.index].0.clone());
-        let outcome = execute_task(&spec.tasks[ctx.index], &cache, injector, ctx);
+        let outcome = execute_task(&spec.tasks[ctx.index], cache, injector, ctx);
         span.append_detail(|| match &outcome {
             Ok(_) => "ok".into(),
             Err(e) => format!("err={}", e.kind.name()),
@@ -230,24 +272,6 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
     });
     drop(pool_span);
     let total_wall_us = started.elapsed().as_micros() as u64;
-
-    if let Some(dir) = &cfg.cache_dir {
-        let mut span = cr_trace::span(cr_trace::Stage::Cache, "cache.save");
-        span.set_detail(|| {
-            let (filters, modules) = cache.len();
-            format!("filters={filters} modules={modules}")
-        });
-        match injector {
-            Some(inj) if inj.plan().arms(Site::CacheRecord) => {
-                cache.save_with(dir, |i, line| {
-                    if let Some(kind) = inj.fires(Site::CacheRecord, i as u64, 0) {
-                        inj.corrupt_record(kind, i as u64, line);
-                    }
-                })?
-            }
-            _ => cache.save(dir)?,
-        }
-    }
 
     let records: Vec<TaskRecord> = execs
         .iter()
@@ -266,6 +290,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
     }
     errors.add(TaskErrorKind::CacheCorrupt, quarantined);
     let degraded = records.iter().any(|r| r.result.is_none());
+    let cache_now = cache.stats();
     let metrics = CampaignMetrics::from_executions(
         cfg.jobs.max(1),
         total_wall_us,
@@ -275,17 +300,24 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &EngineConfig) -> std::io::Result<
             memo_hits: cr_symex::memo_hits() - memo_hits_before,
         },
         quarantined,
-        cache.stats(),
+        crate::cache::CacheStatsSnapshot {
+            filter_hits: cache_now.filter_hits - cache_before.filter_hits,
+            filter_misses: cache_now.filter_misses - cache_before.filter_misses,
+            module_hits: cache_now.module_hits - cache_before.module_hits,
+            module_misses: cache_now.module_misses - cache_before.module_misses,
+            image_hits: cache_now.image_hits - cache_before.image_hits,
+            image_misses: cache_now.image_misses - cache_before.image_misses,
+        },
         &labels,
         &execs,
     );
-    Ok(CampaignReport {
+    CampaignReport {
         spec: spec.clone(),
         records,
         errors,
         degraded,
         metrics,
-    })
+    }
 }
 
 /// Predict the per-class error counts [`run_campaign`] will report for
@@ -437,12 +469,22 @@ fn run_seh(
         }
     }
 
-    let img = cr_targets::browsers::generate_dll(&spec);
-    let image_hash = seh::image_content_hash(&img);
+    // Resident parsed-image lookup: a warm hit skips generation and
+    // parsing entirely (the fault paths above bypass this table — a
+    // corrupted image must never become the resident artifact).
+    let artifact = match cache.get_image(name) {
+        Some(a) => a,
+        None => {
+            let img = cr_targets::browsers::generate_dll(&spec);
+            let hash = seh::image_content_hash(&img);
+            cache.put_image(name, hash, img)
+        }
+    };
+    let image_hash = artifact.hash.clone();
     let summary = match cache.get_module(&image_hash) {
         Some(s) => s,
         None => {
-            let a = analyze_module_cached(&img, &mut SharedVerdictCache(cache));
+            let a = analyze_module_cached(&artifact.image, &mut SharedVerdictCache(cache));
             let s = SehSummary {
                 module: a.module,
                 is_x64: a.is_x64,

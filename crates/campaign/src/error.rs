@@ -25,17 +25,20 @@ pub enum TaskErrorKind {
     CacheCorrupt,
     /// An I/O operation failed.
     Io,
+    /// The attempt was cancelled (request abort or shutdown deadline).
+    Cancelled,
 }
 
 impl TaskErrorKind {
     /// Every kind, in the stable reporting order.
-    pub const ALL: [TaskErrorKind; 6] = [
+    pub const ALL: [TaskErrorKind; 7] = [
         TaskErrorKind::Panic,
         TaskErrorKind::TimedOut,
         TaskErrorKind::ImageMalformed,
         TaskErrorKind::SolverBudget,
         TaskErrorKind::CacheCorrupt,
         TaskErrorKind::Io,
+        TaskErrorKind::Cancelled,
     ];
 
     /// Stable machine-readable name.
@@ -47,6 +50,7 @@ impl TaskErrorKind {
             TaskErrorKind::SolverBudget => "solver_budget",
             TaskErrorKind::CacheCorrupt => "cache_corrupt",
             TaskErrorKind::Io => "io",
+            TaskErrorKind::Cancelled => "cancelled",
         }
     }
 }
@@ -104,6 +108,11 @@ impl TaskError {
     pub fn io(message: impl Into<String>) -> TaskError {
         TaskError::new(TaskErrorKind::Io, message)
     }
+
+    /// A [`TaskErrorKind::Cancelled`] error.
+    pub fn cancelled(message: impl Into<String>) -> TaskError {
+        TaskError::new(TaskErrorKind::Cancelled, message)
+    }
 }
 
 impl std::fmt::Display for TaskError {
@@ -131,6 +140,8 @@ pub struct ErrorCounts {
     pub cache_corrupt: u64,
     /// Attempts that failed on I/O.
     pub io: u64,
+    /// Attempts cancelled by a request abort or shutdown deadline.
+    pub cancelled: u64,
 }
 
 impl ErrorCounts {
@@ -153,6 +164,7 @@ impl ErrorCounts {
             TaskErrorKind::SolverBudget => self.solver_budget,
             TaskErrorKind::CacheCorrupt => self.cache_corrupt,
             TaskErrorKind::Io => self.io,
+            TaskErrorKind::Cancelled => self.cancelled,
         }
     }
 
@@ -169,6 +181,7 @@ impl ErrorCounts {
             TaskErrorKind::SolverBudget => &mut self.solver_budget,
             TaskErrorKind::CacheCorrupt => &mut self.cache_corrupt,
             TaskErrorKind::Io => &mut self.io,
+            TaskErrorKind::Cancelled => &mut self.cancelled,
         }
     }
 }
@@ -186,7 +199,7 @@ mod tests {
         for (i, &kind) in TaskErrorKind::ALL.iter().enumerate() {
             assert_eq!(c.get(kind), i as u64 + 1, "{}", kind.name());
         }
-        assert_eq!(c.total(), (1..=6).sum::<u64>());
+        assert_eq!(c.total(), (1..=7).sum::<u64>());
     }
 
     #[test]
@@ -206,7 +219,8 @@ mod tests {
                 "image_malformed",
                 "solver_budget",
                 "cache_corrupt",
-                "io"
+                "io",
+                "cancelled"
             ]
         );
     }

@@ -54,10 +54,12 @@ pub mod spec;
 
 pub use builder::{CampaignSpecBuilder, SpecError};
 pub use cache::{
-    AnalysisCache, CacheStatsSnapshot, SehSummary, SharedVerdictCache, CACHE_FILE, QUARANTINE_FILE,
+    crc32, AnalysisCache, CacheStatsSnapshot, ImageArtifact, SehSummary, SharedVerdictCache,
+    CACHE_FILE, QUARANTINE_FILE,
 };
 pub use engine::{
-    expected_error_counts, run_campaign, CampaignReport, EngineConfig, TaskRecord, TaskResult,
+    expected_error_counts, run_campaign, run_campaign_with_cache, CampaignReport, EngineConfig,
+    TaskRecord, TaskResult,
 };
 pub use error::{ErrorCounts, TaskError, TaskErrorKind};
 pub use metrics::{CampaignMetrics, SolverStats, TaskMetrics};

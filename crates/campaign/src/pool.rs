@@ -38,7 +38,7 @@ use cr_chaos::derive_seed;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Pool knobs. [`PoolConfig::default`] is serial, one retry, a
@@ -65,6 +65,12 @@ pub struct PoolConfig {
     pub backoff_base_ms: u64,
     /// Upper bound for the exponential backoff component.
     pub backoff_cap_ms: u64,
+    /// External abort flag (request cancellation, server shutdown
+    /// deadline). Checked before every attempt: once set, remaining
+    /// tasks fail fast as
+    /// [`TaskErrorKind::Cancelled`](crate::error::TaskErrorKind)
+    /// without running. `None` (the default) never aborts.
+    pub abort: Option<Arc<AtomicBool>>,
 }
 
 impl Default for PoolConfig {
@@ -77,6 +83,7 @@ impl Default for PoolConfig {
             wall_watchdog_ms: None,
             backoff_base_ms: 1,
             backoff_cap_ms: 64,
+            abort: None,
         }
     }
 }
@@ -271,6 +278,24 @@ where
     let mut attempt_errors = Vec::new();
     let mut backoff_ms = 0u64;
     for attempt in 0..=cfg.retries {
+        if cfg
+            .abort
+            .as_ref()
+            .is_some_and(|a| a.load(Ordering::Relaxed))
+        {
+            let err = TaskError::cancelled(format!(
+                "task {index}: campaign aborted before attempt {attempt}"
+            ));
+            attempt_errors.push(err.clone());
+            return TaskExecution {
+                index,
+                attempts: attempt + 1,
+                wall: started.elapsed(),
+                outcome: Err(err),
+                attempt_errors,
+                backoff_ms,
+            };
+        }
         let ctx = TaskCtx {
             index,
             attempt,
@@ -558,6 +583,32 @@ mod tests {
         // 3 backoffs of at least base ms each, plus jitter.
         assert!(out[0].backoff_ms >= 3, "got {}", out[0].backoff_ms);
         assert!(out[0].wall >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn abort_flag_fails_remaining_tasks_fast() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let cfg = PoolConfig {
+            abort: Some(abort.clone()),
+            ..quick(1, 2)
+        };
+        let ran = AtomicU32::new(0);
+        let out = run_pool(&cfg, 4, |ctx| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if ctx.index == 1 {
+                abort.store(true, Ordering::Relaxed);
+            }
+            Ok(ctx.index)
+        });
+        // Tasks 0 and 1 ran; 2 and 3 were cancelled without running.
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert!(out[0].outcome.is_ok());
+        assert!(out[1].outcome.is_ok());
+        for e in &out[2..] {
+            let err = e.outcome.as_ref().unwrap_err();
+            assert_eq!(err.kind, TaskErrorKind::Cancelled);
+            assert_eq!(e.attempts, 1, "no attempt ran");
+        }
     }
 
     #[test]

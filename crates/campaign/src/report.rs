@@ -33,15 +33,18 @@ pub enum ReportKind {
     List,
     /// A trace analysis (`report --json`).
     Report,
+    /// Resident-server lifetime statistics (`serve --stats-json`).
+    Serve,
 }
 
 impl ReportKind {
     /// Every kind, in a stable order.
-    pub const ALL: [ReportKind; 4] = [
+    pub const ALL: [ReportKind; 5] = [
         ReportKind::Campaign,
         ReportKind::Chaos,
         ReportKind::List,
         ReportKind::Report,
+        ReportKind::Serve,
     ];
 
     /// Stable machine-readable name.
@@ -51,6 +54,7 @@ impl ReportKind {
             ReportKind::Chaos => "chaos",
             ReportKind::List => "list",
             ReportKind::Report => "report",
+            ReportKind::Serve => "serve",
         }
     }
 }
@@ -156,7 +160,7 @@ mod tests {
     #[test]
     fn kind_names_are_stable() {
         let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["campaign", "chaos", "list", "report"]);
+        assert_eq!(names, ["campaign", "chaos", "list", "report", "serve"]);
     }
 
     #[test]

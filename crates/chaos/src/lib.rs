@@ -36,9 +36,12 @@
 //! assert_eq!(a, b);
 //! // Attempts past max_triggers never fire: retries recover.
 //! assert!(inj.would_fire(Site::WorkerPanic, 3, 9).is_none());
-//! // Built-in "mayhem" arms every site.
+//! // Built-in "mayhem" arms every campaign-pipeline site; the serve
+//! // layer's sites belong to the "wire" plan.
 //! let mayhem = FaultPlan::builtin("mayhem").unwrap();
-//! assert!(Site::ALL.iter().all(|&s| mayhem.arms(s)));
+//! assert!(Site::CAMPAIGN.iter().all(|&s| mayhem.arms(s)));
+//! let wire = FaultPlan::builtin("wire").unwrap();
+//! assert!(Site::SERVE.iter().all(|&s| wire.arms(s)));
 //! ```
 
 mod inject;

@@ -1,6 +1,7 @@
 //! Fault plans — what to inject, where, and how often.
 
-/// A named injection point in the campaign pipeline.
+/// A named injection point in the campaign pipeline or the serving
+/// layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
 pub enum Site {
     /// Inside a worker, at the top of a task attempt: the task panics.
@@ -18,17 +19,42 @@ pub enum Site {
     /// During cache persistence: a serialized JSONL record is
     /// corrupted or torn.
     CacheRecord,
+    /// Right after `accept()` in the serve layer: the connection is
+    /// dropped before any frame is exchanged.
+    ServeConnDrop,
+    /// While the server writes a response frame: only a prefix of the
+    /// encoded frame reaches the wire before the connection dies.
+    ServeFrame,
+    /// While the server writes a response frame: the write stalls
+    /// mid-frame (a slow-loris peer, seen from the other side).
+    ServeStall,
 }
 
 impl Site {
     /// Every site, in a stable order.
-    pub const ALL: [Site; 5] = [
+    pub const ALL: [Site; 8] = [
+        Site::WorkerPanic,
+        Site::TaskStall,
+        Site::SolverBudget,
+        Site::ImageBytes,
+        Site::CacheRecord,
+        Site::ServeConnDrop,
+        Site::ServeFrame,
+        Site::ServeStall,
+    ];
+
+    /// The campaign-pipeline subset (what the `mayhem` plan arms; the
+    /// `serve.*` sites belong to the `wire` plan).
+    pub const CAMPAIGN: [Site; 5] = [
         Site::WorkerPanic,
         Site::TaskStall,
         Site::SolverBudget,
         Site::ImageBytes,
         Site::CacheRecord,
     ];
+
+    /// The serving-layer subset (what the `wire` plan arms).
+    pub const SERVE: [Site; 3] = [Site::ServeConnDrop, Site::ServeFrame, Site::ServeStall];
 
     /// Stable machine-readable name (used in fault decisions, so
     /// renaming a site changes every seeded plan).
@@ -39,6 +65,9 @@ impl Site {
             Site::SolverBudget => "solver.budget",
             Site::ImageBytes => "image.bytes",
             Site::CacheRecord => "cache.record",
+            Site::ServeConnDrop => "serve.conn",
+            Site::ServeFrame => "serve.frame",
+            Site::ServeStall => "serve.loris",
         }
     }
 
@@ -78,6 +107,8 @@ pub enum FaultKind {
     CorruptRecord,
     /// Cut one serialized record short mid-line (torn write).
     TornRecord,
+    /// Sever a connection outright (the serve layer closes the socket).
+    Disconnect,
 }
 
 impl FaultKind {
@@ -92,6 +123,7 @@ impl FaultKind {
             FaultKind::Truncate { .. } => "truncate",
             FaultKind::CorruptRecord => "corrupt_record",
             FaultKind::TornRecord => "torn_record",
+            FaultKind::Disconnect => "disconnect",
         }
     }
 }
@@ -122,9 +154,10 @@ pub struct FaultPlan {
     pub faults: Vec<SiteFault>,
 }
 
-/// Names of the built-in plans, in presentation order.
-pub const BUILTIN_PLANS: [&str; 7] = [
-    "none", "panics", "stalls", "solver", "image", "cache", "mayhem",
+/// Names of the built-in plans, in presentation order. `mayhem` arms
+/// every campaign-pipeline site; `wire` arms every serving-layer site.
+pub const BUILTIN_PLANS: [&str; 8] = [
+    "none", "panics", "stalls", "solver", "image", "cache", "wire", "mayhem",
 ];
 
 impl FaultPlan {
@@ -174,6 +207,22 @@ impl FaultPlan {
             "cache" => vec![
                 fault(Site::CacheRecord, FaultKind::CorruptRecord, 250),
                 fault(Site::CacheRecord, FaultKind::TornRecord, 150),
+            ],
+            // Per-frame rates compound: a response is ~6 frames, so
+            // 100‰ per frame already kills nearly half the
+            // connections. Keep the rates low enough that a majority
+            // of requests complete and the storm stays a storm, not a
+            // blackout.
+            "wire" => vec![
+                fault(Site::ServeConnDrop, FaultKind::Disconnect, 150),
+                fault(
+                    Site::ServeFrame,
+                    FaultKind::Truncate {
+                        keep_per_mille: 500,
+                    },
+                    60,
+                ),
+                fault(Site::ServeStall, FaultKind::Stall { virtual_ms: 40 }, 100),
             ],
             "mayhem" => {
                 let mut all = Vec::new();
@@ -226,11 +275,40 @@ mod tests {
     }
 
     #[test]
-    fn mayhem_covers_every_site() {
+    fn mayhem_covers_every_campaign_site() {
         let plan = FaultPlan::builtin("mayhem").unwrap();
-        for site in Site::ALL {
+        for site in Site::CAMPAIGN {
             assert!(plan.arms(site), "mayhem misses {}", site.name());
         }
+        for site in Site::SERVE {
+            assert!(
+                !plan.arms(site),
+                "mayhem must stay campaign-scoped, arms {}",
+                site.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wire_covers_every_serve_site() {
+        let plan = FaultPlan::builtin("wire").unwrap();
+        for site in Site::SERVE {
+            assert!(plan.arms(site), "wire misses {}", site.name());
+        }
+        for site in Site::CAMPAIGN {
+            assert!(
+                !plan.arms(site),
+                "wire must stay serve-scoped, arms {}",
+                site.name()
+            );
+        }
+    }
+
+    #[test]
+    fn site_subsets_partition_all() {
+        let mut combined: Vec<Site> = Site::CAMPAIGN.to_vec();
+        combined.extend(Site::SERVE);
+        assert_eq!(combined, Site::ALL.to_vec());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
 //! crash-resist campaign [options]      sharded multi-task campaign
 //! crash-resist chaos [options]         campaign under an injected fault plan
+//! crash-resist serve [options]         long-lived analysis server (framed TCP)
+//! crash-resist client [options]        send campaign requests to a server
 //! crash-resist report <trace>...       render stage latencies from trace files
 //! crash-resist list                    available targets
 //! ```
@@ -59,6 +61,8 @@ fn main() {
         ),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         None | Some("help" | "-h" | "--help") => {
@@ -66,13 +70,24 @@ fn main() {
             EXIT_OK
         }
         Some(other) => {
-            eprintln!("unknown command {other:?}");
+            eprintln!(
+                "unknown command {other:?} (expected one of: {})",
+                VERBS.join(" ")
+            );
             eprint!("{}", HELP);
             EXIT_USAGE
         }
     };
     std::process::exit(code);
 }
+
+/// Every verb `main` dispatches on; `help` must mention each (the
+/// `help_lists_every_verb` test pins this) and the unknown-command
+/// path lists them.
+const VERBS: [&str; 11] = [
+    "discover", "analyze", "cfg", "funnel", "poc", "campaign", "chaos", "serve", "client",
+    "report", "list",
+];
 
 const HELP: &str = "\
 crash-resist — discovery of crash-resistant primitives (DSN'17 reproduction)
@@ -85,6 +100,8 @@ USAGE:
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
     crash-resist campaign [options]      run a sharded discovery campaign
     crash-resist chaos [options]         run a campaign under a fault plan
+    crash-resist serve [options]         run the long-lived analysis server
+    crash-resist client [options]        send campaign requests to a server
     crash-resist report <trace>...       per-stage latencies + timeline from traces
     crash-resist list [--json]           list available servers/DLLs/oracles
 
@@ -101,6 +118,31 @@ CAMPAIGN OPTIONS:
 CHAOS OPTIONS (campaign options above, plus):
     --plan NAME     built-in fault plan (default mayhem; see `list`)
     --summary-json  emit a compact machine-checkable summary as JSON
+
+SERVE OPTIONS:
+    --addr A        bind address (default 127.0.0.1:0 — ephemeral port)
+    --jobs N        campaign worker threads per request (default 1)
+    --retries R     extra attempts for a failing task (default 1)
+    --deadline-ms D per-attempt virtual-time deadline (default 200)
+    --request-deadline-ms D  wall-clock deadline per request (default none)
+    --capacity N    admission queue depth; beyond it requests get Busy (default 8)
+    --cache DIR     load the analysis cache at start, persist it on drain
+    --plan NAME     arm a fault plan on the serve sites (try: wire)
+    --seed S        fault plan seed (default 2017)
+    --stats-json    on shutdown, emit lifetime stats as a JSON envelope
+
+CLIENT OPTIONS:
+    --addr A        server address (required)
+    --spec FILE     campaign spec JSON (default: the built-in smoke spec)
+    --seed S        override the spec seed
+    --jobs N        ask the server to run this request on N workers
+    --retries R     per-task retry count for this request
+    --deadline-ms D wall-clock deadline for this request, server-side
+    --repeat N      send the request N times over one connection (default 1)
+    --busy-retries N  retry a Busy rejection up to N times (default 3)
+    --json          print the final deterministic result document
+    --stats         print each request's Done payload (advisory stats)
+    --shutdown      ask the server to drain and exit (alone: no request)
 
 REPORT OPTIONS:
     --json          emit the stage statistics as JSON instead of tables
@@ -220,7 +262,10 @@ fn cmd_analyze(name: Option<&str>) -> i32 {
                 FilterClass::CatchAll => "catch-all".to_string(),
                 FilterClass::AcceptsAv { witness } => format!("accepts AV (witness {witness:#x})"),
                 FilterClass::Undecided { reason } => format!("undecided: {reason}"),
-                FilterClass::RejectsAv => unreachable!(),
+                // `survives()` filters these out above, but render
+                // them gracefully rather than crash if that coupling
+                // ever loosens.
+                FilterClass::RejectsAv => "rejects AV (proven crash-intolerant)".to_string(),
             };
             println!("  candidate {:#x}..{:#x}  {}", s.begin_va, s.end_va, why);
         }
@@ -670,7 +715,9 @@ fn cmd_chaos(args: &[String]) -> i32 {
                 ));
             }
 
-            let fired: Vec<String> = Site::ALL
+            // Only the campaign-layer sites: the serve-layer sites can
+            // never fire here, and listing them would churn the golden.
+            let fired: Vec<String> = Site::CAMPAIGN
                 .iter()
                 .map(|&s| format!("{}:{}", s.name(), cold_inj.fired_count(s)))
                 .collect();
@@ -894,6 +941,345 @@ fn cmd_report(args: &[String]) -> i32 {
     EXIT_OK
 }
 
+/// `crash-resist serve`: bind the resident analysis server and run it
+/// until a client sends a Shutdown frame (the SIGTERM-equivalent —
+/// portable `std` cannot trap signals). Prints `serving on ADDR` on
+/// stdout once the listener is live, so scripts can scrape the
+/// ephemeral port, then blocks until the drain completes.
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut cfg = cr_serve::ServeConfig::default();
+    let mut plan_name: Option<String> = None;
+    let mut seed_flag: Option<u64> = None;
+    let mut stats_json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats-json" => {
+                stats_json = true;
+                i += 1;
+            }
+            flag @ ("--addr"
+            | "--jobs"
+            | "--retries"
+            | "--deadline-ms"
+            | "--request-deadline-ms"
+            | "--capacity"
+            | "--cache"
+            | "--plan"
+            | "--seed") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{flag} needs a value");
+                    return EXIT_USAGE;
+                };
+                let ok = match flag {
+                    "--addr" => {
+                        cfg.addr = v.clone();
+                        true
+                    }
+                    "--cache" => {
+                        cfg.cache_dir = Some(PathBuf::from(v));
+                        true
+                    }
+                    "--plan" => {
+                        plan_name = Some(v.clone());
+                        true
+                    }
+                    "--jobs" => v.parse().map(|n| cfg.jobs = n).is_ok(),
+                    "--retries" => v.parse().map(|r| cfg.retries = r).is_ok(),
+                    "--deadline-ms" => v
+                        .parse()
+                        .map(|d| cfg.deadline_ms = if d == 0 { None } else { Some(d) })
+                        .is_ok(),
+                    "--request-deadline-ms" => v
+                        .parse()
+                        .map(|d| cfg.request_deadline_ms = if d == 0 { None } else { Some(d) })
+                        .is_ok(),
+                    "--capacity" => v.parse().map(|c| cfg.admit_capacity = c).is_ok(),
+                    "--seed" => v.parse().map(|s| seed_flag = Some(s)).is_ok(),
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
+                    return EXIT_USAGE;
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown serve option {other:?}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    if let Some(name) = &plan_name {
+        let Some(plan) = FaultPlan::builtin(name) else {
+            eprintln!(
+                "unknown fault plan {name:?} (have: {})",
+                BUILTIN_PLANS.join(" ")
+            );
+            return EXIT_UNKNOWN_TARGET;
+        };
+        cfg.injector = Some(std::sync::Arc::new(FaultInjector::new(
+            plan.with_seed(effective_seed(seed_flag)),
+        )));
+    }
+    let server = match cr_serve::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind server: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+    println!("serving on {addr}");
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "drained: {} conn(s), {} request(s) admitted, {} completed, {} busy-rejected",
+                stats.conns_accepted,
+                stats.requests_admitted,
+                stats.requests_completed,
+                stats.busy_rejections
+            );
+            if stats_json {
+                use serde::Serialize;
+                println!(
+                    "{}",
+                    Report::new(ReportKind::Serve, stats.to_json(), None).to_json()
+                );
+            }
+            EXIT_OK
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            EXIT_RUNTIME
+        }
+    }
+}
+
+/// Render the request payload: the spec document with the server-side
+/// option keys (`jobs`, `retries`, `deadline_ms`) spliced in. The spec
+/// parser ignores unknown top-level keys, so the same document also
+/// feeds `campaign --spec` unchanged.
+fn request_payload(
+    spec: &cr_campaign::CampaignSpec,
+    jobs: Option<usize>,
+    retries: Option<u32>,
+    deadline_ms: Option<u64>,
+) -> String {
+    use serde::Serialize;
+    let mut doc = spec.to_json();
+    doc.pop(); // strip the trailing '}' and splice the option keys
+    if let Some(j) = jobs {
+        doc.push_str(&format!(",\"jobs\":{j}"));
+    }
+    if let Some(r) = retries {
+        doc.push_str(&format!(",\"retries\":{r}"));
+    }
+    if let Some(d) = deadline_ms {
+        doc.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    doc.push('}');
+    doc
+}
+
+/// `crash-resist client`: connect to a resident server, send one
+/// campaign request (optionally repeated over the same connection to
+/// exercise the warm caches), and render the streamed response.
+fn cmd_client(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut spec_path: Option<PathBuf> = None;
+    let mut seed_flag: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut retries: Option<u32> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut repeat = 1usize;
+    let mut repeat_given = false;
+    let mut busy_retries = 3u32;
+    let mut json = false;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            flag @ ("--addr" | "--spec" | "--seed" | "--jobs" | "--retries" | "--deadline-ms"
+            | "--repeat" | "--busy-retries") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{flag} needs a value");
+                    return EXIT_USAGE;
+                };
+                let ok = match flag {
+                    "--addr" => {
+                        addr = Some(v.clone());
+                        true
+                    }
+                    "--spec" => {
+                        spec_path = Some(PathBuf::from(v));
+                        true
+                    }
+                    "--seed" => v.parse().map(|s| seed_flag = Some(s)).is_ok(),
+                    "--jobs" => v.parse().map(|n| jobs = Some(n)).is_ok(),
+                    "--retries" => v.parse().map(|r| retries = Some(r)).is_ok(),
+                    "--deadline-ms" => v.parse().map(|d| deadline_ms = Some(d)).is_ok(),
+                    "--repeat" => v
+                        .parse()
+                        .map(|n: usize| {
+                            repeat = n.max(1);
+                            repeat_given = true;
+                        })
+                        .is_ok(),
+                    "--busy-retries" => v.parse().map(|n| busy_retries = n).is_ok(),
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
+                    return EXIT_USAGE;
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown client option {other:?}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: crash-resist client --addr HOST:PORT [options]");
+        return EXIT_USAGE;
+    };
+    let mut spec = match &spec_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return EXIT_USAGE;
+                }
+            };
+            match cr_campaign::CampaignSpec::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bad spec {}: {e}", path.display());
+                    return EXIT_USAGE;
+                }
+            }
+        }
+        None => cr_campaign::CampaignSpec::smoke(effective_seed(seed_flag)),
+    };
+    if seed_flag.is_some() || std::env::var("CR_SEED").is_ok() {
+        spec.seed = effective_seed(seed_flag);
+    }
+    let payload = request_payload(&spec, jobs, retries, deadline_ms);
+
+    let mut client = match cr_serve::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+    eprintln!("connected to {addr} (protocol v{})", client.version);
+
+    // A bare `client --addr X --shutdown` is an operator saying "stop
+    // the server" — don't run a smoke campaign on the way out. Any
+    // request-shaped flag restores the request loop before shutdown.
+    let send_requests = !shutdown
+        || spec_path.is_some()
+        || repeat_given
+        || json
+        || stats
+        || seed_flag.is_some()
+        || jobs.is_some()
+        || retries.is_some()
+        || deadline_ms.is_some();
+
+    let mut worst = EXIT_OK;
+    let mut last: Option<cr_serve::Response> = None;
+    for n in 1..=if send_requests { repeat } else { 0 } {
+        let response = match client.request_with_retry(&payload, busy_retries) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("request {n} failed: {e}");
+                return EXIT_RUNTIME;
+            }
+        };
+        if let Some(err) = &response.error {
+            eprintln!("request {n}: server error: {err}");
+            worst = EXIT_RUNTIME;
+        } else if response.busy.is_some() {
+            eprintln!("request {n}: rejected busy after {busy_retries} retries");
+            worst = EXIT_RUNTIME;
+        } else if let Some(done) = &response.done {
+            let status = response.done_str("status").unwrap_or_default();
+            let degraded = cr_campaign::json::Json::parse(done)
+                .ok()
+                .and_then(|d| d.get("degraded")?.as_bool())
+                .unwrap_or(false);
+            eprintln!(
+                "request {n}: {status} in {} us (solver_calls={}, parse={}, degraded={degraded})",
+                response.done_u64("wall_us").unwrap_or(0),
+                response.done_u64("solver_calls").unwrap_or(0),
+                response.done_str("parse").unwrap_or_default(),
+            );
+            if stats {
+                println!("{done}");
+            }
+            if status != "ok" {
+                worst = EXIT_RUNTIME;
+            } else if degraded && worst == EXIT_OK {
+                worst = EXIT_DEGRADED;
+            }
+        }
+        last = Some(response);
+    }
+    if json {
+        match last.as_ref().and_then(|r| r.result.as_ref()) {
+            Some(result) => match std::str::from_utf8(result) {
+                Ok(doc) => println!("{doc}"),
+                Err(_) => {
+                    eprintln!("result document is not UTF-8");
+                    return EXIT_RUNTIME;
+                }
+            },
+            None => {
+                eprintln!("no result document to print");
+                if worst == EXIT_OK {
+                    worst = EXIT_RUNTIME;
+                }
+            }
+        }
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("shutdown failed: {e}");
+            return EXIT_RUNTIME;
+        }
+        eprintln!("server acknowledged shutdown");
+    }
+    worst
+}
+
 fn summarize(res: &TaskResult) -> String {
     match res {
         TaskResult::Server {
@@ -936,5 +1322,35 @@ fn summarize(res: &TaskResult) -> String {
             },
             if *crashed { ", CRASHED" } else { "" }
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{HELP, VERBS};
+
+    #[test]
+    fn help_lists_every_verb() {
+        for verb in VERBS {
+            assert!(
+                HELP.contains(&format!("crash-resist {verb}")),
+                "HELP must document verb {verb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_payload_splices_option_keys() {
+        let spec = cr_campaign::CampaignSpec::smoke(7);
+        let bare = super::request_payload(&spec, None, None, None);
+        assert_eq!(bare, {
+            use serde::Serialize;
+            spec.to_json()
+        });
+        let full = super::request_payload(&spec, Some(4), Some(2), Some(1500));
+        assert!(full.ends_with(",\"jobs\":4,\"retries\":2,\"deadline_ms\":1500}"));
+        // The spliced document still parses as the same spec: option
+        // keys are invisible to the campaign layer.
+        assert_eq!(cr_campaign::CampaignSpec::from_json(&full).unwrap(), spec);
     }
 }

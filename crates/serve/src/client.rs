@@ -1,0 +1,214 @@
+//! The blocking client side of the framed protocol.
+
+use crate::proto::{hello_payload, read_frame, write_frame, Frame, FrameError, FrameKind};
+use cr_campaign::json::Json;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Everything the server streamed back for one request.
+#[derive(Debug, Default)]
+pub struct Response {
+    /// The request id this response answers.
+    pub request_id: u64,
+    /// Progress frame payloads, in arrival order.
+    pub progress: Vec<String>,
+    /// The deterministic results document, verbatim bytes.
+    pub result: Option<Vec<u8>>,
+    /// The final Done payload (status + advisory stats).
+    pub done: Option<String>,
+    /// A Busy payload, when the admission queue rejected the request.
+    pub busy: Option<String>,
+    /// An Error payload, when the request failed at the protocol or
+    /// admission layer.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// Whether the request ran to a final Done frame.
+    pub fn completed(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Parse `retry_after_ms` out of a Busy payload.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        let busy = self.busy.as_deref()?;
+        Json::parse(busy).ok()?.get("retry_after_ms")?.as_u64()
+    }
+
+    /// Extract one numeric field from the Done payload.
+    pub fn done_u64(&self, key: &str) -> Option<u64> {
+        let done = self.done.as_deref()?;
+        Json::parse(done).ok()?.get(key)?.as_u64()
+    }
+
+    /// Extract one string field from the Done payload.
+    pub fn done_str(&self, key: &str) -> Option<String> {
+        let done = self.done.as_deref()?;
+        Some(Json::parse(done).ok()?.get(key)?.as_str()?.to_string())
+    }
+}
+
+/// A negotiated connection to a resident server.
+pub struct Client {
+    stream: TcpStream,
+    /// Protocol version agreed in the handshake.
+    pub version: u16,
+    next_request_id: u64,
+}
+
+fn other_err(e: impl std::fmt::Display) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+impl Client {
+    /// Connect and negotiate the protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, a rejected handshake (disjoint version
+    /// ranges surface the server's Error payload), or a malformed
+    /// server reply.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            stream,
+            version: 0,
+            next_request_id: 0,
+        };
+        client.write(&Frame::text(FrameKind::Hello, 0, hello_payload()))?;
+        let ack = client.read()?;
+        match ack.kind {
+            FrameKind::HelloAck => {
+                let payload = ack.payload_str();
+                let version = Json::parse(&payload)
+                    .ok()
+                    .and_then(|v| v.get("version")?.as_u64())
+                    .ok_or_else(|| other_err("HelloAck without version"))?;
+                client.version = version as u16;
+                Ok(client)
+            }
+            FrameKind::Error => Err(other_err(format!(
+                "handshake rejected: {}",
+                ack.payload_str()
+            ))),
+            other => Err(other_err(format!("unexpected handshake reply {other:?}"))),
+        }
+    }
+
+    /// Send one campaign request (a spec JSON document, optionally
+    /// with `jobs`/`retries`/`deadline_ms` option keys) and collect
+    /// the full response stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server frame. A Busy or Error
+    /// reply is a *successful* call — inspect [`Response::busy`] /
+    /// [`Response::error`].
+    pub fn request(&mut self, payload: &str) -> io::Result<Response> {
+        self.next_request_id += 1;
+        let request_id = self.next_request_id;
+        self.write(&Frame::text(FrameKind::Request, request_id, payload))?;
+        self.collect(request_id)
+    }
+
+    /// [`Client::request`], retrying (with a fresh request id) for as
+    /// long as the server answers Busy, honoring its `retry_after_ms`
+    /// hint up to `max_retries` times.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; the final Busy response is returned
+    /// (not an error) when every retry was rejected.
+    pub fn request_with_retry(&mut self, payload: &str, max_retries: u32) -> io::Result<Response> {
+        let mut response = self.request(payload)?;
+        for _ in 0..max_retries {
+            let Some(retry_ms) = response.retry_after_ms() else {
+                break;
+            };
+            std::thread::sleep(Duration::from_millis(retry_ms));
+            response = self.request(payload)?;
+        }
+        Ok(response)
+    }
+
+    /// Cancel an in-flight request by id (fire-and-forget; the
+    /// server's answer arrives in that request's own stream).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn cancel(&mut self, request_id: u64) -> io::Result<()> {
+        self.write(&Frame::text(FrameKind::Cancel, request_id, "{}"))
+    }
+
+    /// Ask the server to drain and exit; waits for the ShutdownAck.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a reply other than ShutdownAck.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.write(&Frame::text(FrameKind::Shutdown, 0, "{}"))?;
+        let ack = self.read()?;
+        if ack.kind == FrameKind::ShutdownAck {
+            Ok(())
+        } else {
+            Err(other_err(format!(
+                "expected ShutdownAck, got {:?}: {}",
+                ack.kind,
+                ack.payload_str()
+            )))
+        }
+    }
+
+    fn collect(&mut self, request_id: u64) -> io::Result<Response> {
+        let mut response = Response {
+            request_id,
+            ..Response::default()
+        };
+        loop {
+            let frame = self.read()?;
+            if frame.request_id != request_id && frame.request_id != 0 {
+                // A frame for another request (pipelined caller):
+                // out of scope for the blocking client, skip it.
+                continue;
+            }
+            match frame.kind {
+                FrameKind::Progress => response.progress.push(frame.payload_str()),
+                FrameKind::Result => response.result = Some(frame.payload),
+                FrameKind::Done => {
+                    response.done = Some(frame.payload_str());
+                    return Ok(response);
+                }
+                FrameKind::Busy => {
+                    response.busy = Some(frame.payload_str());
+                    return Ok(response);
+                }
+                FrameKind::Error => {
+                    response.error = Some(frame.payload_str());
+                    return Ok(response);
+                }
+                other => {
+                    return Err(other_err(format!("unexpected server frame {other:?}")));
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    fn read(&mut self) -> io::Result<Frame> {
+        match read_frame(&mut self.stream) {
+            Ok(f) => Ok(f),
+            Err(FrameError::Eof) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Err(FrameError::Io(e)) => Err(e),
+            Err(e) => Err(other_err(e)),
+        }
+    }
+}

@@ -89,4 +89,45 @@ grep -q '"verdict_parity":true' "$smoke_tmp/solver.json" \
   || { echo "[check] solver_bench verdict parity failed" >&2; exit 1; }
 grep -q '"memo_warm":{[^}]*"memo_hits":64' "$smoke_tmp/solver.json" \
   || { echo "[check] solver_bench warm pass did not hit the memo" >&2; exit 1; }
+
+# serve-smoke: start the resident server on an ephemeral port, send one
+# cold and one warm request over a single client connection, assert the
+# warm invariants (zero solver calls, resident parsed image), and drain
+# gracefully. The Shutdown frame is the SIGTERM-equivalent: portable
+# std cannot trap signals, so graceful drain is a protocol affair.
+echo "[check] serve-smoke (cold + warm request, graceful drain)"
+printf '{"name":"serve-smoke","seed":2017,"tasks":[{"SehAnalysis":"xmllite"}]}' \
+  > "$smoke_tmp/serve_spec.json"
+target/release/crash-resist serve --stats-json \
+  > "$smoke_tmp/serve_out.json" 2> "$smoke_tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^serving on //p' "$smoke_tmp/serve_out.json" 2>/dev/null | head -n1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { cat "$smoke_tmp/serve.log" >&2
+  echo "[check] server never published its address" >&2; exit 1; }
+target/release/crash-resist client --addr "$addr" \
+  --spec "$smoke_tmp/serve_spec.json" --repeat 2 --stats --shutdown \
+  > "$smoke_tmp/client.json" 2> "$smoke_tmp/client.log" \
+  || { cat "$smoke_tmp/client.log" >&2
+  echo "[check] serve client round trip failed" >&2; exit 1; }
+wait "$serve_pid" \
+  || { cat "$smoke_tmp/serve.log" >&2
+  echo "[check] server did not drain cleanly" >&2; exit 1; }
+[ "$(wc -l < "$smoke_tmp/client.json")" -eq 2 ] \
+  || { echo "[check] expected two Done payloads" >&2; exit 1; }
+head -n1 "$smoke_tmp/client.json" | grep -q '"parse":"fresh"' \
+  || { echo "[check] cold request must parse the image fresh" >&2; exit 1; }
+tail -n1 "$smoke_tmp/client.json" \
+  | grep -q '"solver_calls":0.*"parse":"cached"' \
+  || { cat "$smoke_tmp/client.json" >&2
+  echo "[check] warm request must skip the solver and reuse the image" >&2; exit 1; }
+grep -q '"schema_version":1,"kind":"serve"' "$smoke_tmp/serve_out.json" \
+  || { echo "[check] serve --stats-json lacks the envelope" >&2; exit 1; }
+grep -q '"requests_completed":2' "$smoke_tmp/serve_out.json" \
+  || { cat "$smoke_tmp/serve_out.json" >&2
+  echo "[check] drained stats must report both requests completed" >&2; exit 1; }
 echo "[check] all green"
