@@ -105,6 +105,11 @@ impl CampaignSpecBuilder {
         self.task(CampaignTask::PocScan(oracle.into()))
     }
 
+    /// Append a [`CampaignTask::StaticScan`] task.
+    pub fn scan(self, module: impl Into<String>) -> CampaignSpecBuilder {
+        self.task(CampaignTask::StaticScan(module.into()))
+    }
+
     /// Validate and assemble the spec.
     ///
     /// # Errors

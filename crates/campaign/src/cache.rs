@@ -1,6 +1,6 @@
 //! The content-addressed analysis cache.
 //!
-//! Two tables, both keyed by stable content hashes
+//! Three tables, all keyed by stable content hashes
 //! ([`cr_core::stable_hash`]):
 //!
 //! * **filter verdicts** — keyed by `machine:sha256(filter code bytes)`
@@ -9,7 +9,10 @@
 //!   lifetime;
 //! * **module analyses** — summary rows keyed by the image content hash
 //!   ([`cr_core::seh::image_content_hash`]); a warm rerun skips the
-//!   whole module analysis, solver included.
+//!   whole module analysis, solver included;
+//! * **static scans** — [`ScanSummary`] rows keyed by the ELF content
+//!   hash ([`cr_scan::elf_content_hash`]); a warm rerun skips the
+//!   CFG reconstruction and dataflow walk.
 //!
 //! With `--cache DIR` the cache persists as one JSONL file
 //! (`analysis-cache.jsonl`, one entry per line, sorted by key so the
@@ -82,6 +85,42 @@ pub struct SehSummary {
     pub filters_undecided: usize,
 }
 
+/// Cached summary of one traceless static scan (the campaign-visible
+/// subset of a [`cr_scan::ScanReport`]), keyed by the ELF content hash.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ScanSummary {
+    /// Module (server or corpus) name.
+    pub module: String,
+    /// Syscall sites discovered.
+    pub sites: usize,
+    /// Sites whose number resolved to a constant.
+    pub constant: usize,
+    /// Sites whose number is loaded from memory (reported, not guessed).
+    pub memory: usize,
+    /// Sites tagged init-only.
+    pub init_only: usize,
+    /// Sites reachable from a serving loop (serving or both).
+    pub serving: usize,
+    /// Sites on no statically reachable path.
+    pub unreached: usize,
+}
+
+impl ScanSummary {
+    /// Condense a full scan report into its cacheable row.
+    pub fn from_report(report: &cr_scan::ScanReport) -> ScanSummary {
+        let c = report.counts();
+        ScanSummary {
+            module: report.module.clone(),
+            sites: c.sites,
+            constant: c.constant,
+            memory: c.memory,
+            init_only: c.init_only,
+            serving: c.serving + c.both,
+            unreached: c.unreached,
+        }
+    }
+}
+
 /// Hit/miss counters, shared across worker threads.
 #[derive(Debug, Default)]
 pub struct CacheStats {
@@ -89,6 +128,8 @@ pub struct CacheStats {
     filter_misses: AtomicU64,
     module_hits: AtomicU64,
     module_misses: AtomicU64,
+    scan_hits: AtomicU64,
+    scan_misses: AtomicU64,
     image_hits: AtomicU64,
     image_misses: AtomicU64,
 }
@@ -104,6 +145,10 @@ pub struct CacheStatsSnapshot {
     pub module_hits: u64,
     /// Module lookups that fell through to full analysis.
     pub module_misses: u64,
+    /// Static-scan lookups served from the cache.
+    pub scan_hits: u64,
+    /// Static-scan lookups that fell through to a fresh CFG walk.
+    pub scan_misses: u64,
     /// Parsed-image lookups served from the resident artifact table.
     pub image_hits: u64,
     /// Parsed-image lookups that fell through to generate + parse.
@@ -112,13 +157,13 @@ pub struct CacheStatsSnapshot {
 
 impl CacheStatsSnapshot {
     /// Hit fraction over the persistent content-addressed layers
-    /// (filter verdicts + module summaries); 0.0 when nothing was
-    /// looked up. Image traffic is excluded: the resident artifact
-    /// table lives in process memory only, so a fresh process always
-    /// misses it regardless of how warm the on-disk cache is.
+    /// (filter verdicts + module summaries + scan summaries); 0.0 when
+    /// nothing was looked up. Image traffic is excluded: the resident
+    /// artifact table lives in process memory only, so a fresh process
+    /// always misses it regardless of how warm the on-disk cache is.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.filter_hits + self.module_hits;
-        let total = hits + self.filter_misses + self.module_misses;
+        let hits = self.filter_hits + self.module_hits + self.scan_hits;
+        let total = hits + self.filter_misses + self.module_misses + self.scan_misses;
         if total == 0 {
             0.0
         } else {
@@ -131,6 +176,7 @@ impl CacheStatsSnapshot {
 struct Tables {
     filters: HashMap<String, FilterVerdict>,
     modules: HashMap<String, SehSummary>,
+    scans: HashMap<String, ScanSummary>,
 }
 
 /// The campaign-wide analysis cache. Cheap interior locking: entries
@@ -237,6 +283,7 @@ impl AnalysisCache {
         let tables = self.tables.lock().unwrap();
         let filters: BTreeMap<_, _> = tables.filters.iter().collect();
         let modules: BTreeMap<_, _> = tables.modules.iter().collect();
+        let scans: BTreeMap<_, _> = tables.scans.iter().collect();
         let mut out = String::new();
         let mut index = 0usize;
         let mut push = |record: String, out: &mut String| {
@@ -260,6 +307,16 @@ impl AnalysisCache {
             push(
                 format!(
                     "{{\"kind\":\"module\",\"key\":{},\"summary\":{}}}",
+                    serde::Serialize::to_json(key),
+                    serde::Serialize::to_json(summary)
+                ),
+                &mut out,
+            );
+        }
+        for (key, summary) in scans {
+            push(
+                format!(
+                    "{{\"kind\":\"scan\",\"key\":{},\"summary\":{}}}",
                     serde::Serialize::to_json(key),
                     serde::Serialize::to_json(summary)
                 ),
@@ -306,6 +363,22 @@ impl AnalysisCache {
             .insert(key.to_string(), summary.clone());
     }
 
+    /// Look up a static-scan summary by ELF content hash.
+    pub fn get_scan(&self, key: &str) -> Option<ScanSummary> {
+        let hit = self.tables.lock().unwrap().scans.get(key).cloned();
+        self.stats.count_scan(hit.is_some());
+        hit
+    }
+
+    /// Store a static-scan summary.
+    pub fn put_scan(&self, key: &str, summary: &ScanSummary) {
+        self.tables
+            .lock()
+            .unwrap()
+            .scans
+            .insert(key.to_string(), summary.clone());
+    }
+
     /// Look up a resident parsed image by module name.
     pub fn get_image(&self, module: &str) -> Option<std::sync::Arc<ImageArtifact>> {
         let hit = self.images.lock().unwrap().get(module).cloned();
@@ -338,9 +411,14 @@ impl AnalysisCache {
         (t.filters.len(), t.modules.len())
     }
 
-    /// Whether both tables are empty.
+    /// Number of cached static-scan summaries.
+    pub fn scan_len(&self) -> usize {
+        self.tables.lock().unwrap().scans.len()
+    }
+
+    /// Whether all tables are empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == (0, 0)
+        self.len() == (0, 0) && self.scan_len() == 0
     }
 
     /// Current hit/miss counters.
@@ -350,6 +428,8 @@ impl AnalysisCache {
             filter_misses: self.stats.filter_misses.load(Ordering::Relaxed),
             module_hits: self.stats.module_hits.load(Ordering::Relaxed),
             module_misses: self.stats.module_misses.load(Ordering::Relaxed),
+            scan_hits: self.stats.scan_hits.load(Ordering::Relaxed),
+            scan_misses: self.stats.scan_misses.load(Ordering::Relaxed),
             image_hits: self.stats.image_hits.load(Ordering::Relaxed),
             image_misses: self.stats.image_misses.load(Ordering::Relaxed),
         }
@@ -370,6 +450,14 @@ impl CacheStats {
             &self.module_hits
         } else {
             &self.module_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+    fn count_scan(&self, hit: bool) {
+        let c = if hit {
+            &self.scan_hits
+        } else {
+            &self.scan_misses
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
@@ -453,6 +541,11 @@ fn parse_entry(line: &str, tables: &mut Tables) -> Result<(), String> {
             tables.modules.insert(key, summary);
             Ok(())
         }
+        Some("scan") => {
+            let summary = parse_scan(v.get("summary").ok_or("scan entry without summary")?)?;
+            tables.scans.insert(key, summary);
+            Ok(())
+        }
         other => Err(format!("unknown entry kind {other:?}")),
     }
 }
@@ -503,6 +596,27 @@ fn parse_summary(v: &Json) -> Result<SehSummary, String> {
     })
 }
 
+fn parse_scan(v: &Json) -> Result<ScanSummary, String> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("scan summary missing numeric {name:?}"))
+    };
+    Ok(ScanSummary {
+        module: v
+            .get("module")
+            .and_then(Json::as_str)
+            .ok_or("scan summary missing `module`")?
+            .to_string(),
+        sites: field("sites")?,
+        constant: field("constant")?,
+        memory: field("memory")?,
+        init_only: field("init_only")?,
+        serving: field("serving")?,
+        unreached: field("unreached")?,
+    })
+}
+
 /// `FilterVerdict::Unknown` carries a `&'static str`; reloaded reasons
 /// are interned in a process-global pool so repeated cache loads don't
 /// leak a new allocation per load.
@@ -549,6 +663,18 @@ mod tests {
                 filters_undecided: 1,
             },
         );
+        cache.put_scan(
+            "feedc0de",
+            &ScanSummary {
+                module: "vsftpd".into(),
+                sites: 9,
+                constant: 7,
+                memory: 1,
+                init_only: 3,
+                serving: 4,
+                unreached: 1,
+            },
+        );
     }
 
     #[test]
@@ -576,6 +702,12 @@ mod tests {
             Some(FilterVerdict::Unknown("call to helper"))
         );
         assert_eq!(back.get_module("deadbeef").unwrap().module, "user32");
+        assert_eq!(back.scan_len(), 1);
+        let scan = back.get_scan("feedc0de").unwrap();
+        assert_eq!(
+            (scan.module.as_str(), scan.sites, scan.serving),
+            ("vsftpd", 9, 4)
+        );
 
         // Saving the reloaded cache reproduces the file byte for byte.
         let bytes1 = std::fs::read(dir.join(CACHE_FILE)).unwrap();
@@ -713,9 +845,12 @@ mod tests {
         assert!(cache.get_filter("x64:unknown").is_none());
         assert!(cache.get_module("deadbeef").is_some());
         assert!(cache.get_module("feedface").is_none());
+        assert!(cache.get_scan("feedc0de").is_some());
+        assert!(cache.get_scan("00000000").is_none());
         let s = cache.stats();
         assert_eq!((s.filter_hits, s.filter_misses), (1, 1));
         assert_eq!((s.module_hits, s.module_misses), (1, 1));
+        assert_eq!((s.scan_hits, s.scan_misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
     }
 

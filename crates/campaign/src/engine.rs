@@ -3,7 +3,8 @@
 //! Each [`CampaignTask`] maps to one of the repo's task-granular entry
 //! points ([`cr_core::discover_server`],
 //! [`cr_core::seh::analyze_module_cached`],
-//! [`cr_core::api_fuzzer::run_funnel`], [`cr_exploits::scan`]). Tasks
+//! [`cr_core::api_fuzzer::run_funnel`], [`cr_exploits::scan`],
+//! [`cr_scan::scan_elf`]). Tasks
 //! fan out over the [`crate::pool`] and share one
 //! [`AnalysisCache`]; results are re-ordered by spec index, so the
 //! deterministic half of the report is identical no matter how many
@@ -21,7 +22,7 @@
 //! injects the same faults at any `--jobs` count —
 //! [`expected_error_counts`] predicts the per-class totals exactly.
 
-use crate::cache::{AnalysisCache, SehSummary, SharedVerdictCache};
+use crate::cache::{AnalysisCache, ScanSummary, SehSummary, SharedVerdictCache};
 use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
 use crate::metrics::{CampaignMetrics, SolverStats};
 use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
@@ -108,6 +109,13 @@ pub enum TaskResult {
         js_reachable: usize,
         /// Usable primitives (controllable pointer argument).
         usable: usize,
+    },
+    /// Traceless static scan summary plus its cache key.
+    Scan {
+        /// ELF content hash (the scan cache key).
+        image_hash: String,
+        /// The cached/recomputed summary row.
+        summary: ScanSummary,
     },
     /// §VI oracle scan outcome: a region is hidden at a secret
     /// address, and the oracle sweeps the window for it.
@@ -305,6 +313,8 @@ pub fn run_campaign_with_cache(
             filter_misses: cache_now.filter_misses - cache_before.filter_misses,
             module_hits: cache_now.module_hits - cache_before.module_hits,
             module_misses: cache_now.module_misses - cache_before.module_misses,
+            scan_hits: cache_now.scan_hits - cache_before.scan_hits,
+            scan_misses: cache_now.scan_misses - cache_before.scan_misses,
             image_hits: cache_now.image_hits - cache_before.image_hits,
             image_misses: cache_now.image_misses - cache_before.image_misses,
         },
@@ -404,6 +414,7 @@ fn execute_task(
         CampaignTask::SehAnalysis(name) => run_seh(name, cache, inj, ctx),
         CampaignTask::ApiFunnel { corpus_size } => Ok(run_funnel(*corpus_size, ctx.seed)),
         CampaignTask::PocScan(name) => Ok(run_poc(name)),
+        CampaignTask::StaticScan(name) => Ok(run_scan(name, cache)),
     }
 }
 
@@ -502,6 +513,35 @@ fn run_seh(
         image_hash,
         summary,
     })
+}
+
+fn run_scan(name: &str, cache: &AnalysisCache) -> TaskResult {
+    let image = cr_targets::all_servers()
+        .into_iter()
+        .find(|t| t.name == name)
+        .map(|t| t.image)
+        .or_else(|| cr_targets::corpus::module(name).map(|m| m.image))
+        .unwrap_or_else(|| panic!("unknown scan module {name:?}"));
+    let image_hash = cr_scan::elf_content_hash(&image);
+    let summary = match cache.get_scan(&image_hash) {
+        Some(s) => {
+            // A warm hit skips the CFG walk; still stamp the scan stage
+            // so a warm campaign's trace shows where the row came from.
+            let mut span = cr_trace::span(cr_trace::Stage::Scan, "scan.cached");
+            span.set_detail(|| format!("module={name} sites={}", s.sites));
+            s
+        }
+        None => {
+            let report = cr_scan::scan_elf(name, &image);
+            let s = ScanSummary::from_report(&report);
+            cache.put_scan(&image_hash, &s);
+            s
+        }
+    };
+    TaskResult::Scan {
+        image_hash,
+        summary,
+    }
 }
 
 fn run_funnel(corpus_size: usize, seed: u64) -> TaskResult {

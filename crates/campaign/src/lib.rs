@@ -14,7 +14,8 @@
 //!   into, aggregated per class in the report;
 //! * [`cache::AnalysisCache`] — a content-addressed cache: filter
 //!   verdicts keyed by the hash of the filter's code bytes, module
-//!   analyses by the image hash, persisted as CRC-framed JSONL
+//!   analyses by the image hash, static-scan summaries by the ELF
+//!   hash, persisted as CRC-framed JSONL
 //!   (corrupt lines are quarantined, saves are atomic) so a warm
 //!   rerun skips all symbolic execution;
 //! * [`engine::run_campaign`] — fan-out, re-ordering and metrics,
@@ -54,8 +55,8 @@ pub mod spec;
 
 pub use builder::{CampaignSpecBuilder, SpecError};
 pub use cache::{
-    crc32, AnalysisCache, CacheStatsSnapshot, ImageArtifact, SehSummary, SharedVerdictCache,
-    CACHE_FILE, QUARANTINE_FILE,
+    crc32, AnalysisCache, CacheStatsSnapshot, ImageArtifact, ScanSummary, SehSummary,
+    SharedVerdictCache, CACHE_FILE, QUARANTINE_FILE,
 };
 pub use engine::{
     expected_error_counts, run_campaign, run_campaign_with_cache, CampaignReport, EngineConfig,

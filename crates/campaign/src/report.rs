@@ -35,16 +35,19 @@ pub enum ReportKind {
     Report,
     /// Resident-server lifetime statistics (`serve --stats-json`).
     Serve,
+    /// A traceless static scan (`scan --json`).
+    Scan,
 }
 
 impl ReportKind {
     /// Every kind, in a stable order.
-    pub const ALL: [ReportKind; 5] = [
+    pub const ALL: [ReportKind; 6] = [
         ReportKind::Campaign,
         ReportKind::Chaos,
         ReportKind::List,
         ReportKind::Report,
         ReportKind::Serve,
+        ReportKind::Scan,
     ];
 
     /// Stable machine-readable name.
@@ -55,6 +58,7 @@ impl ReportKind {
             ReportKind::List => "list",
             ReportKind::Report => "report",
             ReportKind::Serve => "serve",
+            ReportKind::Scan => "scan",
         }
     }
 }
@@ -160,7 +164,10 @@ mod tests {
     #[test]
     fn kind_names_are_stable() {
         let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["campaign", "chaos", "list", "report", "serve"]);
+        assert_eq!(
+            names,
+            ["campaign", "chaos", "list", "report", "serve", "scan"]
+        );
     }
 
     #[test]

@@ -9,9 +9,9 @@
 use crate::builder::CampaignSpecBuilder;
 use crate::json::Json;
 
-/// The four task families a campaign draws from. Serializes to the
-/// same short names (`server` / `seh` / `funnel` / `poc`) the metrics
-/// JSON always used.
+/// The five task families a campaign draws from. Serializes to the
+/// same short names (`server` / `seh` / `funnel` / `poc` / `scan`) the
+/// metrics JSON always used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaskKind {
     /// Table-I server syscall discovery.
@@ -22,15 +22,18 @@ pub enum TaskKind {
     Funnel,
     /// §VI PoC memory-oracle scan.
     Poc,
+    /// Traceless static syscall-site scan (cr-scan).
+    Scan,
 }
 
 impl TaskKind {
     /// Every kind, in the stable reporting order.
-    pub const ALL: [TaskKind; 4] = [
+    pub const ALL: [TaskKind; 5] = [
         TaskKind::Server,
         TaskKind::Seh,
         TaskKind::Funnel,
         TaskKind::Poc,
+        TaskKind::Scan,
     ];
 
     /// Stable machine-readable name.
@@ -40,6 +43,7 @@ impl TaskKind {
             TaskKind::Seh => "seh",
             TaskKind::Funnel => "funnel",
             TaskKind::Poc => "poc",
+            TaskKind::Scan => "scan",
         }
     }
 }
@@ -65,6 +69,9 @@ pub enum CampaignTask {
     },
     /// Drive one §VI memory oracle over its probe window.
     PocScan(String),
+    /// Statically scan one module (server target or harness-less
+    /// corpus module) for syscall sites with temporal tags.
+    StaticScan(String),
 }
 
 impl CampaignTask {
@@ -75,6 +82,7 @@ impl CampaignTask {
             CampaignTask::SehAnalysis(_) => TaskKind::Seh,
             CampaignTask::ApiFunnel { .. } => TaskKind::Funnel,
             CampaignTask::PocScan(_) => TaskKind::Poc,
+            CampaignTask::StaticScan(_) => TaskKind::Scan,
         }
     }
 
@@ -85,6 +93,7 @@ impl CampaignTask {
             CampaignTask::SehAnalysis(n) => format!("seh:{n}"),
             CampaignTask::ApiFunnel { corpus_size } => format!("funnel:{corpus_size}"),
             CampaignTask::PocScan(n) => format!("poc:{n}"),
+            CampaignTask::StaticScan(n) => format!("scan:{n}"),
         }
     }
 }
@@ -144,6 +153,12 @@ impl CampaignSpec {
         for o in ["ie", "firefox", "nginx"] {
             b = b.poc(o);
         }
+        for s in ["nginx", "cherokee", "lighttpd", "memcached", "postgresql"] {
+            b = b.scan(s);
+        }
+        for m in cr_targets::corpus::modules() {
+            b = b.scan(m.name);
+        }
         b.build().expect("builtin spec is valid")
     }
 
@@ -160,6 +175,7 @@ impl CampaignSpec {
         }
         b.funnel(200)
             .poc("ie")
+            .scan("vsftpd")
             .build()
             .expect("smoke spec is valid")
     }
@@ -228,6 +244,12 @@ fn parse_task(v: &Json) -> Result<CampaignTask, String> {
                 .ok_or("PocScan takes an oracle name")?
                 .to_string(),
         )),
+        "StaticScan" => Ok(CampaignTask::StaticScan(
+            payload
+                .as_str()
+                .ok_or("StaticScan takes a module name")?
+                .to_string(),
+        )),
         other => Err(format!("unknown task kind {other:?}")),
     }
 }
@@ -254,9 +276,10 @@ mod tests {
                 .count(),
             10
         );
-        // The builder keeps spec order: servers, modules, funnel, pocs.
+        // The builder keeps spec order: servers, modules, funnel,
+        // pocs, scans.
         assert_eq!(spec.tasks[0].kind(), TaskKind::Server);
-        assert_eq!(spec.tasks.last().unwrap().kind(), TaskKind::Poc);
+        assert_eq!(spec.tasks.last().unwrap().kind(), TaskKind::Scan);
     }
 
     #[test]
@@ -275,7 +298,7 @@ mod tests {
     #[test]
     fn kind_names_serialize_like_the_old_strings() {
         let names: Vec<&str> = TaskKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["server", "seh", "funnel", "poc"]);
+        assert_eq!(names, ["server", "seh", "funnel", "poc", "scan"]);
         assert_eq!(TaskKind::Seh.to_json(), "\"seh\"");
     }
 
@@ -288,6 +311,7 @@ mod tests {
             .seh("user32")
             .funnel(123)
             .poc("ie")
+            .scan("vsftpd")
             .build()
             .unwrap();
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();

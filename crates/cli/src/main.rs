@@ -4,6 +4,7 @@
 //! crash-resist discover <server>       Table-I pipeline on one server
 //! crash-resist analyze <dll>           SEH analysis of a system DLL
 //! crash-resist cfg <server>            static CFG + syscall sites
+//! crash-resist scan <module>           traceless syscall-site scan + temporal tags
 //! crash-resist funnel [corpus-size]    §V-B Windows API funnel
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
 //! crash-resist campaign [options]      sharded multi-task campaign
@@ -54,6 +55,7 @@ fn main() {
         Some("discover") => cmd_discover(args.get(1).map(String::as_str)),
         Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
         Some("cfg") => cmd_cfg(args.get(1).map(String::as_str)),
+        Some("scan") => cmd_scan(&args[1..]),
         Some("funnel") => cmd_funnel(args.get(1).map(String::as_str)),
         Some("poc") => cmd_poc(
             args.get(1).map(String::as_str),
@@ -84,8 +86,8 @@ fn main() {
 /// Every verb `main` dispatches on; `help` must mention each (the
 /// `help_lists_every_verb` test pins this) and the unknown-command
 /// path lists them.
-const VERBS: [&str; 11] = [
-    "discover", "analyze", "cfg", "funnel", "poc", "campaign", "chaos", "serve", "client",
+const VERBS: [&str; 12] = [
+    "discover", "analyze", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve", "client",
     "report", "list",
 ];
 
@@ -96,6 +98,7 @@ USAGE:
     crash-resist discover <server>       run the Table-I pipeline on one server
     crash-resist analyze <dll>           SEH analysis of a calibrated system DLL
     crash-resist cfg <server>            static CFG recovery + syscall sites
+    crash-resist scan <module>           traceless syscall-site scan (see SCAN OPTIONS)
     crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
     crash-resist campaign [options]      run a sharded discovery campaign
@@ -104,6 +107,13 @@ USAGE:
     crash-resist client [options]        send campaign requests to a server
     crash-resist report <trace>...       per-stage latencies + timeline from traces
     crash-resist list [--json]           list available servers/DLLs/oracles
+
+SCAN OPTIONS:
+    <module>        a server target or corpus module name (see `list`)
+    --all           scan every server and corpus module instead of one
+    --cross-validate  also run the taint observer and report site agreement
+                      (servers only — corpus modules have no harness)
+    --json          emit the scan report(s) as a versioned JSON envelope
 
 CAMPAIGN OPTIONS:
     --spec FILE     JSON campaign spec (default: the built-in full campaign)
@@ -296,6 +306,131 @@ fn cmd_cfg(name: Option<&str>) -> i32 {
     );
     for site in cfg.syscall_sites() {
         println!("  syscall @ {site:#x}");
+    }
+    EXIT_OK
+}
+
+/// `crash-resist scan`: run the traceless static backend over one
+/// module (server target or harness-less corpus module) or, with
+/// `--all`, the whole bundled corpus. `--cross-validate` additionally
+/// runs the taint observer on server targets and reports site-level
+/// agreement. `--json` frames everything in a [`ReportKind::Scan`]
+/// envelope: `{"scans":[…],"agreements":[…]}`.
+fn cmd_scan(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut xval = false;
+    let mut all = false;
+    let mut module: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--cross-validate" => xval = true,
+            "--all" => all = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown scan option {flag:?}");
+                return EXIT_USAGE;
+            }
+            name if module.is_none() => module = Some(name),
+            extra => {
+                eprintln!("unexpected scan operand {extra:?}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    if all == module.is_some() {
+        eprintln!("usage: crash-resist scan <module> [--cross-validate] [--json]");
+        eprintln!("       crash-resist scan --all [--cross-validate] [--json]");
+        return EXIT_USAGE;
+    }
+
+    let servers = cr_targets::all_servers();
+    let mut scans: Vec<cr_scan::ScanReport> = Vec::new();
+    let mut agreements: Vec<cr_scan::Agreement> = Vec::new();
+    let mut scan_server = |t: &cr_targets::ServerTarget| {
+        if xval {
+            let (s, a) = cr_scan::cross_validate(t);
+            scans.push(s);
+            agreements.push(a);
+        } else {
+            scans.push(cr_scan::scan_elf(t.name, &t.image));
+        }
+    };
+    if all {
+        for t in &servers {
+            scan_server(t);
+        }
+        // Corpus modules have no harness; they are the traceless-only
+        // half of the sweep.
+        for m in cr_targets::corpus::modules() {
+            scans.push(cr_scan::scan_elf(m.name, &m.image));
+        }
+    } else {
+        let name = module.expect("checked above");
+        if let Some(t) = servers.iter().find(|t| t.name == name) {
+            scan_server(t);
+        } else if let Some(m) = cr_targets::corpus::module(name) {
+            if xval {
+                eprintln!(
+                    "--cross-validate needs a dynamic harness; corpus module {name:?} has none"
+                );
+                return EXIT_USAGE;
+            }
+            scans.push(cr_scan::scan_elf(m.name, &m.image));
+        } else {
+            eprintln!("unknown module {name:?} (try `crash-resist list`)");
+            return EXIT_UNKNOWN_TARGET;
+        }
+    }
+
+    if json {
+        use serde::Serialize;
+        let mut results = String::from("{\"scans\":[");
+        for (i, s) in scans.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            results.push_str(&s.to_json());
+        }
+        results.push_str("],\"agreements\":");
+        agreements.write_json(&mut results);
+        results.push('}');
+        println!("{}", Report::new(ReportKind::Scan, results, None).to_json());
+        return EXIT_OK;
+    }
+
+    for s in &scans {
+        let c = s.counts();
+        println!(
+            "{}: {} syscall site(s) in {} function(s), {} instruction(s)",
+            s.module, c.sites, s.functions, s.instructions
+        );
+        println!(
+            "  numbers:  {} constant, {} memory-loaded, {} register, {} unknown",
+            c.constant, c.memory, c.register, c.unknown
+        );
+        println!(
+            "  temporal: {} init-only, {} serving, {} both, {} unreached",
+            c.init_only, c.serving, c.both, c.unreached
+        );
+        if !all {
+            for site in &s.sites {
+                let what = site
+                    .name()
+                    .map(String::from)
+                    .unwrap_or_else(|| format!("<{}>", site.number.tag()));
+                println!("  {:#x}  {:<12} [{}]", site.va, what, site.temporal.tag());
+            }
+        }
+    }
+    for a in &agreements {
+        println!(
+            "agreement {}: {} matched, {} static-only, {} taint-only (recall {:.0}%)",
+            a.module,
+            a.matched.len(),
+            a.static_only.len(),
+            a.taint_only.len(),
+            a.recall() * 100.0
+        );
     }
     EXIT_OK
 }
@@ -1307,6 +1442,10 @@ fn summarize(res: &TaskResult) -> String {
         } => {
             format!("{total} APIs, {crash_resistant} crash-resistant, {js_reachable} JS-reachable, {usable} usable")
         }
+        TaskResult::Scan { summary, .. } => format!(
+            "{} sites ({} constant, {} memory-loaded), {} serving-reachable, {} init-only",
+            summary.sites, summary.constant, summary.memory, summary.serving, summary.init_only
+        ),
         TaskResult::Poc {
             oracle,
             mapped,

@@ -29,4 +29,6 @@ pub mod syscall_finder;
 pub use provenance::Provenance;
 pub use seh::{analyze_module, analyze_module_cached, NoCache, VerdictCache};
 pub use stable_hash::{fnv1a64, sha256_hex, Sha256};
-pub use syscall_finder::{discover_server, Classification, ServerReport, SyscallFinding};
+pub use syscall_finder::{
+    discover_server, observe_server, Classification, ServerReport, SiteProvenance, SyscallFinding,
+};

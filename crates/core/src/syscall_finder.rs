@@ -118,6 +118,27 @@ impl ServerReport {
     }
 }
 
+/// Dynamically observed provenance for one syscall **site** (the
+/// virtual address of the `syscall` instruction) — the structured
+/// record the static/dynamic cross-validator consumes, instead of
+/// re-parsing rendered report text. Populated during the observation
+/// phase for every executed site, `-EFAULT`-capable or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProvenance {
+    /// Virtual address of the `syscall` instruction.
+    pub va: u64,
+    /// Syscall number executed at the site (last observed).
+    pub syscall: u64,
+    /// Times the site executed during the workload.
+    pub hits: u32,
+    /// Whether network-input taint reached any pointer argument here.
+    pub tainted_by_input: bool,
+    /// Memory cells pointer arguments were loaded from at this site.
+    pub sources: BTreeSet<u64>,
+    /// Union of taint labels seen on pointer arguments at this site.
+    pub labels: BTreeSet<u8>,
+}
+
 /// Observation-phase monitor: taint + provenance + candidate recording.
 pub struct FinderMonitor {
     taint: TaintEngine,
@@ -130,6 +151,8 @@ pub struct FinderMonitor {
     pub candidates: BTreeMap<(u64, usize), Candidate>,
     /// Every syscall number seen.
     pub observed: BTreeSet<u64>,
+    /// Per-site provenance keyed by site address.
+    pub sites: BTreeMap<u64, SiteProvenance>,
 }
 
 impl FinderMonitor {
@@ -148,12 +171,19 @@ impl FinderMonitor {
             last_args: HashMap::new(),
             candidates: BTreeMap::new(),
             observed: BTreeSet::new(),
+            sites: BTreeMap::new(),
         }
     }
 
     /// Access the underlying taint engine (for inspection in tests).
     pub fn taint(&self) -> &TaintEngine {
         &self.taint
+    }
+
+    /// Every observed site's provenance, sorted by address — the
+    /// dynamic half of the static/dynamic cross-validation.
+    pub fn site_provenances(&self) -> Vec<SiteProvenance> {
+        self.sites.values().cloned().collect()
     }
 }
 
@@ -181,6 +211,9 @@ impl OsHook for FinderMonitor {
 
     fn on_syscall(&mut self, tid: u32, cpu: &mut Cpu, _mem: &Memory) {
         let nr = cpu.reg(Reg::Rax);
+        // The CPU has already advanced past the two-byte `syscall`
+        // encoding when the OS hook fires — back up to the site itself.
+        let site_va = cpu.rip.wrapping_sub(2);
         self.observed.insert(nr);
         let args = [
             cpu.reg(Reg::Rdi),
@@ -191,6 +224,16 @@ impl OsHook for FinderMonitor {
             cpu.reg(Reg::R9),
         ];
         self.last_args.insert(tid, (nr, args));
+        let site = self.sites.entry(site_va).or_insert_with(|| SiteProvenance {
+            va: site_va,
+            syscall: nr,
+            hits: 0,
+            tainted_by_input: false,
+            sources: BTreeSet::new(),
+            labels: BTreeSet::new(),
+        });
+        site.hits += 1;
+        site.syscall = nr;
         if !efault_capable(nr) {
             return;
         }
@@ -200,10 +243,16 @@ impl OsHook for FinderMonitor {
                 continue; // NULL argument (e.g. accept's addr)
             }
             let source = self.prov.source(reg);
-            let tainted = self
-                .taint
-                .reg_taint(reg, Width::B8)
-                .contains(LABEL_NET_INPUT);
+            let taint_set = self.taint.reg_taint(reg, Width::B8);
+            let tainted = taint_set.contains(LABEL_NET_INPUT);
+            let site = self.sites.get_mut(&site_va).expect("inserted above");
+            if let Some(s) = source {
+                site.sources.insert(s);
+            }
+            for l in taint_set.labels() {
+                site.labels.insert(l);
+            }
+            site.tainted_by_input |= tainted;
             if source.is_some() || tainted {
                 let c = self
                     .candidates
@@ -310,11 +359,7 @@ impl OsHook for CorruptMonitor {}
 /// ```
 pub fn discover_server(target: &ServerTarget) -> ServerReport {
     // ---- Phase 1: observation ------------------------------------------
-    let mut mon = FinderMonitor::new(target.attacker_regions.clone());
-    let mut p = target.boot(&mut mon);
-    for _ in 0..2 {
-        (target.exercise)(&mut p, &mut mon);
-    }
+    let mon = observe_server(target);
     let observed: Vec<u64> = mon.observed.iter().copied().collect();
     let candidates: Vec<Candidate> = mon.candidates.values().cloned().collect();
 
@@ -337,6 +382,19 @@ pub fn discover_server(target: &ServerTarget) -> ServerReport {
         observed_syscalls: observed,
         findings,
     }
+}
+
+/// Phase-1 observation only: boot `target`, drive its workload twice
+/// under taint + provenance monitoring, and return the populated
+/// monitor (candidates, observed syscalls, per-site provenance). The
+/// traceless scanner's cross-validation mode consumes this directly.
+pub fn observe_server(target: &ServerTarget) -> FinderMonitor {
+    let mut mon = FinderMonitor::new(target.attacker_regions.clone());
+    let mut p = target.boot(&mut mon);
+    for _ in 0..2 {
+        (target.exercise)(&mut p, &mut mon);
+    }
+    mon
 }
 
 fn classify(target: &ServerTarget, cand: &Candidate) -> (Classification, u64) {

@@ -1,0 +1,738 @@
+//! Backward intraprocedural dataflow over a recovered CFG.
+//!
+//! Given a [`FunctionCfg`] and a program point (block, instruction
+//! index), [`Resolver::resolve`] answers "where does the value in this
+//! register come from?" by walking the instruction stream backwards,
+//! following predecessors across basic-block boundaries and meeting the
+//! per-path answers. The answer is an [`Origin`] from a small
+//! provenance lattice:
+//!
+//! * [`Origin::Constant`] — a `mov reg, imm` (or a chain of copies /
+//!   foldable arithmetic over constants) reaches the point; the value
+//!   is statically known.
+//! * [`Origin::MemoryLoaded`] — the last definition is a load; when
+//!   the effective address itself resolves to a constant, the source
+//!   cell is reported (the memory-resident-pointer idiom the paper's
+//!   corruption monitor attacks).
+//! * [`Origin::RegisterCopied`] — the definition is a register copy
+//!   whose source cannot be resolved further (live-in value, bounded
+//!   search).
+//! * [`Origin::Computed`] — the definition is arithmetic over at least
+//!   one non-constant operand (pointer arithmetic, `lea` with a
+//!   dynamic base, partial-width writes).
+//! * [`Origin::Unknown`] — nothing can be said: conflicting paths,
+//!   call-clobbered registers, exhausted search budget. The resolver
+//!   **never guesses**: an indirect or unresolvable definition is
+//!   reported as what it is, not as a plausible constant.
+//!
+//! The walk is conservative about calls: a `call` clobbers the System V
+//! caller-saved set, so any query that crosses one resolves to
+//! [`Origin::Unknown`] for those registers rather than assuming the
+//! callee preserved them.
+
+use cr_core::static_cfg::FunctionCfg;
+use cr_isa::{AluOp, Inst, Mem, Reg, Rm, ShiftOp, Width};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a register value at a program point comes from (see module
+/// docs for the lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Statically known constant value.
+    Constant(u64),
+    /// Copied from this register; the copy chain left the resolvable
+    /// window (live-in value or bounded search).
+    RegisterCopied(Reg),
+    /// Loaded from memory; `addr` is the source cell when the
+    /// effective address is statically constant.
+    MemoryLoaded {
+        /// Statically resolved load address, if any.
+        addr: Option<u64>,
+    },
+    /// Result of arithmetic over at least one non-constant operand.
+    Computed,
+    /// Unresolvable: conflicting paths, call clobber, or budget.
+    Unknown,
+}
+
+impl Origin {
+    /// Short machine-readable tag (`constant` / `register` / `memory`
+    /// / `computed` / `unknown`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Origin::Constant(_) => "constant",
+            Origin::RegisterCopied(_) => "register",
+            Origin::MemoryLoaded { .. } => "memory",
+            Origin::Computed => "computed",
+            Origin::Unknown => "unknown",
+        }
+    }
+
+    /// The constant value, if this origin is [`Origin::Constant`].
+    pub fn constant(&self) -> Option<u64> {
+        match self {
+            Origin::Constant(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Conservative meet: agreeing origins survive, any disagreement
+    /// is [`Origin::Unknown`].
+    pub fn meet(self, other: Origin) -> Origin {
+        if self == other {
+            self
+        } else {
+            Origin::Unknown
+        }
+    }
+
+    /// Collapse onto the four-point syscall-*number* lattice of the
+    /// static-discovery literature (constant / register-copied /
+    /// memory-loaded / unknown): arithmetic results carry no number we
+    /// could trust, so [`Origin::Computed`] degrades to
+    /// [`Origin::Unknown`] instead of being guessed at.
+    pub fn number_class(self) -> Origin {
+        match self {
+            Origin::Computed => Origin::Unknown,
+            other => other,
+        }
+    }
+}
+
+/// Registers clobbered by a `call` under the System V AMD64 ABI (plus
+/// `rax` as the return slot). A resolution crossing a call gives up on
+/// these instead of assuming the callee preserves them.
+const CALL_CLOBBERED: [Reg; 9] = [
+    Reg::Rax,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+];
+
+/// `syscall` itself clobbers `rax` (return value), `rcx` and `r11`.
+const SYSCALL_CLOBBERED: [Reg; 3] = [Reg::Rax, Reg::Rcx, Reg::R11];
+
+/// Bound on distinct `(block, register)` resolution states visited per
+/// query — defends against pathological CFGs; exhaustion resolves to
+/// [`Origin::Unknown`], never to a guess.
+const RESOLVE_BUDGET: usize = 512;
+
+/// Backward resolver over one function. Construction precomputes the
+/// predecessor map; queries share the budget.
+pub struct Resolver<'a> {
+    f: &'a FunctionCfg,
+    preds: BTreeMap<u64, Vec<u64>>,
+    budget: usize,
+}
+
+impl<'a> Resolver<'a> {
+    /// Resolver for `f` with a fresh budget.
+    pub fn new(f: &'a FunctionCfg) -> Resolver<'a> {
+        let mut preds: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (&start, block) in &f.blocks {
+            for &succ in &block.successors {
+                preds.entry(succ).or_default().push(start);
+            }
+        }
+        Resolver {
+            f,
+            preds,
+            budget: RESOLVE_BUDGET,
+        }
+    }
+
+    /// The origin of `reg` immediately before `f.blocks[&block].insts[idx]`
+    /// executes. `idx == insts.len()` asks at the end of the block.
+    pub fn resolve(&mut self, block: u64, idx: usize, reg: Reg) -> Origin {
+        let mut visiting = BTreeSet::new();
+        self.resolve_in(block, idx, reg, &mut visiting)
+            .unwrap_or(Origin::Unknown)
+    }
+
+    /// Path-sensitive backward walk. `None` means this path only led
+    /// around a cycle without finding a definition — the caller's meet
+    /// ignores it (a loop that does not touch `reg` is transparent).
+    fn resolve_in(
+        &mut self,
+        block: u64,
+        upto: usize,
+        reg: Reg,
+        visiting: &mut BTreeSet<(u64, Reg)>,
+    ) -> Option<Origin> {
+        if self.budget == 0 {
+            return Some(Origin::Unknown);
+        }
+        self.budget -= 1;
+        let Some(b) = self.f.blocks.get(&block) else {
+            return Some(Origin::Unknown);
+        };
+        for j in (0..upto.min(b.insts.len())).rev() {
+            let (va, inst) = b.insts[j];
+            if defines(&inst, reg) {
+                let next_va = b.insts.get(j + 1).map(|&(v, _)| v).unwrap_or(b.end);
+                return Some(self.def_origin(block, j, va, next_va, &inst, reg, visiting));
+            }
+        }
+        // No definition in this block: meet over the predecessors.
+        if !visiting.insert((block, reg)) {
+            return None; // cycle — transparent to the meet
+        }
+        let preds = self.preds.get(&block).cloned().unwrap_or_default();
+        let result = if preds.is_empty() {
+            // Function entry (or an unreached block): the value is
+            // live-in and nothing more can be said.
+            Some(Origin::Unknown)
+        } else {
+            let mut acc: Option<Origin> = None;
+            for p in preds {
+                let len = self.f.blocks.get(&p).map(|b| b.insts.len()).unwrap_or(0);
+                match self.resolve_in(p, len, reg, visiting) {
+                    None => {}
+                    Some(o) => {
+                        acc = Some(match acc {
+                            None => o,
+                            Some(prev) if prev == o => prev,
+                            Some(_) => Origin::Unknown, // conflicting paths
+                        });
+                    }
+                }
+            }
+            acc
+        };
+        visiting.remove(&(block, reg));
+        result
+    }
+
+    /// Origin produced by the defining instruction `inst` (at `va`,
+    /// with the following instruction at `next_va` for rip-relative
+    /// addressing), given that [`defines`] already matched `reg`.
+    #[allow(clippy::too_many_arguments)]
+    fn def_origin(
+        &mut self,
+        block: u64,
+        idx: usize,
+        _va: u64,
+        next_va: u64,
+        inst: &Inst,
+        reg: Reg,
+        visiting: &mut BTreeSet<(u64, Reg)>,
+    ) -> Origin {
+        let before = |r: &mut Self, src: Reg, visiting: &mut BTreeSet<(u64, Reg)>| {
+            r.resolve_in(block, idx, src, visiting)
+                .unwrap_or(Origin::Unknown)
+        };
+        match *inst {
+            Inst::MovRI { imm, .. } => Origin::Constant(imm),
+            Inst::MovRmI { imm, width, .. } => match width {
+                Width::B8 => Origin::Constant(imm as i64 as u64),
+                Width::B4 => Origin::Constant(imm as u32 as u64),
+                Width::B1 => Origin::Computed, // partial-width write
+            },
+            Inst::MovRRm {
+                src: Rm::Reg(s),
+                width,
+                ..
+            } => match width {
+                Width::B1 => Origin::Computed,
+                w => match before(self, s, visiting) {
+                    Origin::Constant(v) => Origin::Constant(v & w.mask()),
+                    Origin::MemoryLoaded { addr } => Origin::MemoryLoaded { addr },
+                    Origin::Computed => Origin::Computed,
+                    _ => Origin::RegisterCopied(s),
+                },
+            },
+            Inst::MovRRm {
+                src: Rm::Mem(m), ..
+            } => Origin::MemoryLoaded {
+                addr: self.static_addr(block, idx, next_va, &m, visiting),
+            },
+            Inst::Movzx {
+                src: Rm::Mem(m), ..
+            } => Origin::MemoryLoaded {
+                addr: self.static_addr(block, idx, next_va, &m, visiting),
+            },
+            Inst::Movzx {
+                src: Rm::Reg(s),
+                src_width,
+                ..
+            } => match before(self, s, visiting) {
+                Origin::Constant(v) => Origin::Constant(v & src_width.mask()),
+                _ => Origin::Computed,
+            },
+            Inst::Lea { mem, .. } => match self.static_addr(block, idx, next_va, &mem, visiting) {
+                Some(a) => Origin::Constant(a),
+                None => Origin::Computed,
+            },
+            // The zeroing idioms produce a constant regardless of the
+            // previous value.
+            Inst::AluRRm {
+                op: op @ (AluOp::Xor | AluOp::Sub),
+                dst,
+                src: Rm::Reg(s),
+                width,
+            } if s == dst && width != Width::B1 => {
+                let _ = op;
+                Origin::Constant(0)
+            }
+            Inst::AluRmR {
+                op: AluOp::Xor | AluOp::Sub,
+                dst: Rm::Reg(d),
+                src,
+                width,
+            } if src == d && width != Width::B1 => Origin::Constant(0),
+            Inst::AluRRm {
+                op,
+                dst,
+                src,
+                width,
+            } => self.fold_alu(block, idx, op, dst, src, width, visiting),
+            Inst::AluRmR {
+                op,
+                dst: Rm::Reg(d),
+                src,
+                width,
+            } => self.fold_alu(block, idx, op, d, Rm::Reg(src), width, visiting),
+            Inst::AluRmI {
+                op,
+                dst: Rm::Reg(d),
+                imm,
+                width,
+            } => match (width, before(self, d, visiting)) {
+                (Width::B1, _) => Origin::Computed,
+                (w, Origin::Constant(a)) => match alu_const(op, a, imm as i64 as u64, w) {
+                    Some(v) => Origin::Constant(v),
+                    None => Origin::Computed,
+                },
+                _ => Origin::Computed,
+            },
+            Inst::ShiftRI { op, dst, amount } => match before(self, dst, visiting) {
+                Origin::Constant(a) => Origin::Constant(match op {
+                    ShiftOp::Shl => a.wrapping_shl(amount as u32),
+                    ShiftOp::Shr => a.wrapping_shr(amount as u32),
+                    ShiftOp::Sar => (a as i64).wrapping_shr(amount as u32) as u64,
+                }),
+                _ => Origin::Computed,
+            },
+            Inst::Neg(r) => match before(self, r, visiting) {
+                Origin::Constant(a) => Origin::Constant(a.wrapping_neg()),
+                _ => Origin::Computed,
+            },
+            Inst::Not(r) => match before(self, r, visiting) {
+                Origin::Constant(a) => Origin::Constant(!a),
+                _ => Origin::Computed,
+            },
+            Inst::Imul {
+                src: Rm::Reg(s), ..
+            } => match (before(self, reg, visiting), before(self, s, visiting)) {
+                (Origin::Constant(a), Origin::Constant(b)) => Origin::Constant(a.wrapping_mul(b)),
+                _ => Origin::Computed,
+            },
+            Inst::Imul { .. } => Origin::Computed,
+            Inst::Cmov {
+                src: Rm::Reg(s), ..
+            } => {
+                // Condition-dependent: only a definitive answer when
+                // both alternatives agree.
+                let kept = before(self, reg, visiting);
+                let moved = before(self, s, visiting);
+                if kept == moved {
+                    kept
+                } else {
+                    Origin::Unknown
+                }
+            }
+            Inst::Cmov { .. } => Origin::Unknown,
+            Inst::Xchg(a, b) => {
+                let other = if reg == a { b } else { a };
+                before(self, other, visiting)
+            }
+            Inst::Pop(_) => Origin::MemoryLoaded { addr: None },
+            Inst::Setcc { .. } => Origin::Computed, // partial-width write
+            // Call/syscall/cpuid clobbers: `defines` only matched if
+            // `reg` is in the clobber set, and a clobbered value is
+            // exactly what we refuse to guess.
+            Inst::CallRel(_) | Inst::CallRm(_) | Inst::Syscall | Inst::Cpuid => Origin::Unknown,
+            _ => Origin::Unknown,
+        }
+    }
+
+    /// Constant-fold a register-destination ALU op when both operands
+    /// resolve; otherwise the result is [`Origin::Computed`].
+    #[allow(clippy::too_many_arguments)]
+    fn fold_alu(
+        &mut self,
+        block: u64,
+        idx: usize,
+        op: AluOp,
+        dst: Reg,
+        src: Rm,
+        width: Width,
+        visiting: &mut BTreeSet<(u64, Reg)>,
+    ) -> Origin {
+        if width == Width::B1 {
+            return Origin::Computed;
+        }
+        let a = self
+            .resolve_in(block, idx, dst, visiting)
+            .unwrap_or(Origin::Unknown);
+        let b = match src {
+            Rm::Reg(s) => self
+                .resolve_in(block, idx, s, visiting)
+                .unwrap_or(Origin::Unknown),
+            Rm::Mem(_) => Origin::Unknown,
+        };
+        match (a, b) {
+            (Origin::Constant(x), Origin::Constant(y)) => match alu_const(op, x, y, width) {
+                Some(v) => Origin::Constant(v),
+                None => Origin::Computed,
+            },
+            _ => Origin::Computed,
+        }
+    }
+
+    /// Statically evaluate an effective address, if every component
+    /// resolves to a constant.
+    fn static_addr(
+        &mut self,
+        block: u64,
+        idx: usize,
+        next_va: u64,
+        m: &Mem,
+        visiting: &mut BTreeSet<(u64, Reg)>,
+    ) -> Option<u64> {
+        if m.rip {
+            return Some(next_va.wrapping_add(m.disp as i64 as u64));
+        }
+        let mut addr = m.disp as i64 as u64;
+        if let Some(base) = m.base {
+            match self.resolve_in(block, idx, base, visiting) {
+                Some(Origin::Constant(v)) => addr = addr.wrapping_add(v),
+                _ => return None,
+            }
+        }
+        if let Some((index, scale)) = m.index {
+            match self.resolve_in(block, idx, index, visiting) {
+                Some(Origin::Constant(v)) => addr = addr.wrapping_add(v.wrapping_mul(scale as u64)),
+                _ => return None,
+            }
+        }
+        Some(addr)
+    }
+}
+
+/// Resolve `reg` immediately before the instruction at `va`, meeting
+/// over **every** block occurrence of that address. The CFG walk can
+/// produce overlapping blocks (a block decoded early may run straight
+/// through an address that a later-discovered jump also targets); each
+/// occurrence sees a different family of incoming paths, so only the
+/// meet of all of them is sound.
+pub fn resolve_before(f: &FunctionCfg, va: u64, reg: Reg) -> Origin {
+    let mut acc: Option<Origin> = None;
+    for (&start, block) in &f.blocks {
+        for (idx, &(iva, _)) in block.insts.iter().enumerate() {
+            if iva != va {
+                continue;
+            }
+            let o = Resolver::new(f).resolve(start, idx, reg);
+            acc = Some(match acc {
+                None => o,
+                Some(prev) => prev.meet(o),
+            });
+        }
+    }
+    acc.unwrap_or(Origin::Unknown)
+}
+
+/// Whether `inst` (re)defines `reg`. Partial-width writes count as
+/// definitions (the old full-width value is gone for our purposes);
+/// calls and `syscall` define their clobber sets.
+pub fn defines(inst: &Inst, reg: Reg) -> bool {
+    match *inst {
+        Inst::MovRI { dst, .. }
+        | Inst::MovRRm { dst, .. }
+        | Inst::Movzx { dst, .. }
+        | Inst::Lea { dst, .. }
+        | Inst::AluRRm { dst, .. }
+        | Inst::ShiftRI { dst, .. }
+        | Inst::Imul { dst, .. }
+        | Inst::Cmov { dst, .. }
+        | Inst::Setcc { dst, .. } => {
+            dst == reg
+                && !matches!(
+                    inst,
+                    Inst::AluRRm { op, .. } if !op.writes_dst()
+                )
+        }
+        Inst::MovRmR {
+            dst: Rm::Reg(d), ..
+        } => d == reg,
+        Inst::MovRmI {
+            dst: Rm::Reg(d), ..
+        } => d == reg,
+        Inst::AluRmR {
+            dst: Rm::Reg(d),
+            op,
+            ..
+        }
+        | Inst::AluRmI {
+            dst: Rm::Reg(d),
+            op,
+            ..
+        } => d == reg && op.writes_dst(),
+        Inst::Neg(r) | Inst::Not(r) | Inst::Pop(r) => r == reg,
+        Inst::Xchg(a, b) => a == reg || b == reg,
+        Inst::CallRel(_) | Inst::CallRm(_) => CALL_CLOBBERED.contains(&reg),
+        Inst::Syscall => SYSCALL_CLOBBERED.contains(&reg),
+        Inst::Cpuid => matches!(reg, Reg::Rax | Reg::Rbx | Reg::Rcx | Reg::Rdx),
+        _ => false,
+    }
+}
+
+/// Constant-fold one ALU op at `width` (results of 32-bit ops are
+/// zero-extended, matching the hardware). `None` for ops that do not
+/// write (`cmp`/`test` never reach here) — kept total for safety.
+fn alu_const(op: AluOp, a: u64, b: u64, width: Width) -> Option<u64> {
+    let v = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Xor => a ^ b,
+        AluOp::Cmp | AluOp::Test => return None,
+    };
+    Some(v & width.mask())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::static_cfg::analyze_function;
+    use cr_isa::{Asm, Cond, Mem as M};
+
+    fn resolve_rax_at_syscall(build: impl FnOnce(&mut Asm)) -> Origin {
+        resolve_at_syscall(build, Reg::Rax)
+    }
+
+    fn resolve_at_syscall(build: impl FnOnce(&mut Asm), reg: Reg) -> Origin {
+        let mut a = Asm::new(0x1000);
+        build(&mut a);
+        let code = a.assemble().unwrap().code;
+        let f = analyze_function(&(0x1000u64, code.as_slice()), 0x1000);
+        let va = *f.syscall_sites.first().expect("one syscall site");
+        resolve_before(&f, va, reg)
+    }
+
+    #[test]
+    fn immediate_is_constant() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 60);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(60));
+    }
+
+    #[test]
+    fn copy_chain_resolves_to_constant() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rbx, 1);
+            a.mov_rr(Reg::Rax, Reg::Rbx);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(1));
+    }
+
+    #[test]
+    fn clobbered_then_reset_takes_the_last_write() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 2);
+            a.zero(Reg::Rax);
+            a.mov_ri(Reg::Rax, 3);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(3));
+    }
+
+    #[test]
+    fn zeroing_idiom_is_constant_zero() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 99);
+            a.zero(Reg::Rax);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(0));
+    }
+
+    #[test]
+    fn cross_block_constant_survives_the_join() {
+        // The number is set in the block *before* the branch; both arms
+        // reach the syscall without touching rax.
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 39);
+            a.cmp_ri(Reg::Rdi, 0);
+            let site = a.fresh();
+            a.jcc(Cond::E, site);
+            a.mov_ri(Reg::Rbx, 7);
+            a.bind(site);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(39));
+    }
+
+    #[test]
+    fn conflicting_paths_meet_to_unknown() {
+        let o = resolve_rax_at_syscall(|a| {
+            let (two, site) = (a.fresh(), a.fresh());
+            a.cmp_ri(Reg::Rdi, 0);
+            a.jcc(Cond::E, two);
+            a.mov_ri(Reg::Rax, 1);
+            a.jmp(site);
+            a.bind(two);
+            a.mov_ri(Reg::Rax, 2);
+            a.bind(site);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Unknown);
+    }
+
+    #[test]
+    fn agreeing_paths_meet_to_their_constant() {
+        let o = resolve_rax_at_syscall(|a| {
+            let (two, site) = (a.fresh(), a.fresh());
+            a.cmp_ri(Reg::Rdi, 0);
+            a.jcc(Cond::E, two);
+            a.mov_ri(Reg::Rax, 5);
+            a.jmp(site);
+            a.bind(two);
+            a.mov_ri(Reg::Rax, 5);
+            a.bind(site);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(5));
+    }
+
+    #[test]
+    fn indirect_load_is_memory_with_resolved_cell() {
+        // The load_field idiom: mov rsi, FIELD; mov rsi, [rsi].
+        let o = resolve_at_syscall(
+            |a| {
+                a.mov_ri(Reg::Rsi, 0x60_0010);
+                a.load(Reg::Rsi, M::base(Reg::Rsi));
+                a.mov_ri(Reg::Rax, 0);
+                a.syscall();
+                a.ret();
+            },
+            Reg::Rsi,
+        );
+        assert_eq!(
+            o,
+            Origin::MemoryLoaded {
+                addr: Some(0x60_0010)
+            }
+        );
+    }
+
+    #[test]
+    fn number_loaded_from_memory_is_never_guessed() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rbx, 0x60_0000);
+            a.load(Reg::Rax, M::base(Reg::Rbx));
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(
+            o,
+            Origin::MemoryLoaded {
+                addr: Some(0x60_0000)
+            }
+        );
+        assert!(o.constant().is_none(), "a loaded number has no value");
+        assert_eq!(o.number_class().tag(), "memory");
+    }
+
+    #[test]
+    fn call_clobbers_the_number() {
+        let o = resolve_rax_at_syscall(|a| {
+            let helper = a.fresh();
+            a.mov_ri(Reg::Rax, 1);
+            a.call_label(helper);
+            a.syscall();
+            a.ret();
+            a.bind(helper);
+            a.ret();
+        });
+        assert_eq!(o, Origin::Unknown, "call-crossing values are not guessed");
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_calls() {
+        let o = resolve_at_syscall(
+            |a| {
+                let helper = a.fresh();
+                a.mov_ri(Reg::Rbx, 42);
+                a.call_label(helper);
+                a.mov_rr(Reg::Rax, Reg::Rbx);
+                a.syscall();
+                a.ret();
+                a.bind(helper);
+                a.ret();
+            },
+            Reg::Rax,
+        );
+        assert_eq!(o, Origin::Constant(42));
+    }
+
+    #[test]
+    fn loop_back_edge_is_transparent_when_untouched() {
+        // A loop that never writes rax must not obscure the constant
+        // set before it.
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 11);
+            let top = a.here();
+            a.sub_ri(Reg::Rdi, 1);
+            a.cmp_ri(Reg::Rdi, 0);
+            a.jcc(Cond::Ne, top);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(11));
+    }
+
+    #[test]
+    fn arithmetic_folds_over_constants() {
+        let o = resolve_rax_at_syscall(|a| {
+            a.mov_ri(Reg::Rax, 40);
+            a.add_ri(Reg::Rax, 2);
+            a.syscall();
+            a.ret();
+        });
+        assert_eq!(o, Origin::Constant(42));
+    }
+
+    #[test]
+    fn arithmetic_over_unresolved_operand_is_computed() {
+        let o = resolve_at_syscall(
+            |a| {
+                a.mov_ri(Reg::Rsi, 0x60_0010);
+                a.load(Reg::Rsi, M::base(Reg::Rsi));
+                a.add_rr(Reg::Rsi, Reg::R14);
+                a.mov_ri(Reg::Rax, 0);
+                a.syscall();
+                a.ret();
+            },
+            Reg::Rsi,
+        );
+        assert_eq!(o, Origin::Computed);
+    }
+}

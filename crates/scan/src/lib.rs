@@ -1,0 +1,68 @@
+//! # cr-scan — traceless static syscall-site discovery
+//!
+//! The discovery pipeline's static backend. Where cr-taint needs a
+//! bootable target plus a driven workload, cr-scan needs only bytes:
+//! it decodes every executable segment of an ELF image, enumerates
+//! `syscall` sites, and answers the paper's two provenance questions
+//! (which syscall? where do the pointer arguments come from?) by
+//! backward dataflow alone — the B-Side recipe. A SysPart-style
+//! reachability pass then splits the sites temporally into init-phase
+//! and serving-phase, using the calibrated serving-loop markers from
+//! cr-targets, so the campaign ranker can prefer primitives an
+//! attacker can still trigger after startup.
+//!
+//! Three modules:
+//!
+//! * [`dataflow`] — the provenance lattice ([`Origin`]) and the
+//!   cycle-safe backward resolver over `cr_core::static_cfg` CFGs.
+//! * [`scan`] — the scanner proper: [`scan_elf`] produces a
+//!   deterministic [`ScanReport`] of [`SyscallSite`]s with
+//!   [`Temporal`] tags.
+//! * [`xval`] — static/dynamic cross-validation: [`cross_validate`]
+//!   runs both backends on a calibrated target and reports site-level
+//!   [`Agreement`] (matched / static-only / taint-only).
+//!
+//! Everything here is deterministic: same image, same report bytes —
+//! across runs, worker counts and cache states.
+
+pub mod dataflow;
+pub mod scan;
+pub mod xval;
+
+pub use dataflow::Origin;
+pub use scan::{
+    elf_content_hash, scan_elf, scan_elf_with, serving_roots, ArgOrigin, ScanCounts, ScanReport,
+    SegSource, SyscallSite, Temporal,
+};
+pub use xval::{compare, cross_validate, Agreement};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    // The scanner consumes arbitrary binaries; nothing in the decode →
+    // CFG → dataflow → reachability pipeline may panic on garbage.
+    proptest! {
+        #[test]
+        fn scanner_never_panics_on_arbitrary_code(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut image = cr_image::ElfImage {
+                entry: 0x40_0000,
+                segments: vec![cr_image::ElfSegment {
+                    vaddr: 0x40_0000,
+                    memsz: bytes.len() as u64,
+                    data: bytes,
+                    perm: cr_image::SegPerm::RX,
+                }],
+                symbols: std::collections::BTreeMap::new(),
+            };
+            // Give half the cases a serving root pointing into the
+            // garbage, so the temporal walk is exercised too.
+            image
+                .symbols
+                .insert("accept_loop".into(), 0x40_0000 + image.segments[0].memsz / 2);
+            let report = crate::scan_elf("fuzz", &image);
+            // Determinism while we're here: same bytes, same report.
+            prop_assert_eq!(report.to_json(), crate::scan_elf("fuzz", &image).to_json());
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! The traceless scanner: enumerate syscall sites in an ELF image,
+//! resolve their provenance, and tag them temporally.
+//!
+//! [`scan_elf`] is the entry point. It walks every executable segment
+//! with the cr-isa decoder via [`cr_core::static_cfg`] (entry point
+//! plus every code symbol as CFG roots), finds each `syscall`
+//! instruction, and runs the backward dataflow of
+//! [`crate::dataflow`] to answer two questions per site:
+//!
+//! 1. **Which syscall is this?** The `rax` origin, collapsed onto the
+//!    four-point number lattice (constant / register-copied /
+//!    memory-loaded / unknown). An indirect load is reported as
+//!    exactly that — the scanner never guesses a number it cannot
+//!    prove.
+//! 2. **Where do the pointer arguments come from?** For sites with a
+//!    proven constant number, each pointer-carrying argument register
+//!    (per the Linux ABI table in `cr_os`) gets its own origin;
+//!    memory-loaded origins carry the statically recovered source cell
+//!    when the address arithmetic folds, which is what the
+//!    cross-validator matches against cr-taint's dynamic provenance.
+//!
+//! On top of that, a SysPart-style **temporal classification** walks
+//! instruction-level reachability twice — once from the image entry
+//! point stopping at the serving-loop roots, once from the serving
+//! roots themselves — and tags every site [`Temporal::InitOnly`],
+//! [`Temporal::Serving`], [`Temporal::Both`] or
+//! [`Temporal::Unreached`]. Serving roots come from cr-targets'
+//! calibrated loop markers ([`cr_targets::SERVING_LOOP_SYMBOLS`]),
+//! matched against the image symbol table.
+//!
+//! The report is fully deterministic: all collections are
+//! order-stable, and [`ScanReport::to_json`] renders canonical JSON
+//! byte-identical across runs, worker counts and cache states.
+
+use crate::dataflow::{self, Origin};
+use cr_core::static_cfg::{self, StaticCfg};
+use cr_core::syscall_finder::ARG_REGS;
+use cr_image::ElfImage;
+use cr_isa::{decode, Inst, Reg};
+use cr_os::linux::syscall as sys;
+use cr_symex::CodeSource;
+use cr_trace::{span, Stage};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Instruction budget for one reachability walk — generous for the
+/// calibrated corpus, bounded for adversarial images.
+const REACH_BUDGET: usize = 1 << 20;
+
+/// [`CodeSource`] over the executable segments of an ELF image.
+/// Reads stop at segment boundaries; non-executable bytes read as
+/// zero-length (the decoder then fails cleanly instead of wandering
+/// into data).
+pub struct SegSource<'a> {
+    segs: Vec<(u64, &'a [u8])>,
+}
+
+impl<'a> SegSource<'a> {
+    /// Code view of `image` (RX segments only).
+    pub fn new(image: &'a ElfImage) -> SegSource<'a> {
+        let mut segs: Vec<(u64, &[u8])> = image
+            .segments
+            .iter()
+            .filter(|s| s.perm.x)
+            .map(|s| (s.vaddr, s.data.as_slice()))
+            .collect();
+        segs.sort_by_key(|&(va, _)| va);
+        SegSource { segs }
+    }
+
+    /// Whether `va` falls inside an executable segment.
+    pub fn contains(&self, va: u64) -> bool {
+        self.segs
+            .iter()
+            .any(|&(base, data)| va >= base && va < base + data.len() as u64)
+    }
+}
+
+impl CodeSource for SegSource<'_> {
+    fn read_code(&self, va: u64, buf: &mut [u8]) -> usize {
+        for &(base, data) in &self.segs {
+            if va >= base && va < base + data.len() as u64 {
+                let off = (va - base) as usize;
+                let n = buf.len().min(data.len() - off);
+                buf[..n].copy_from_slice(&data[off..off + n]);
+                return n;
+            }
+        }
+        0
+    }
+}
+
+/// When a syscall site can execute, relative to the serving loop
+/// (SysPart's init/serving split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Temporal {
+    /// Reachable only before the serving loop is entered.
+    InitOnly,
+    /// Reachable only from the serving loop.
+    Serving,
+    /// Reachable from both phases (shared helpers).
+    Both,
+    /// Not reachable from entry or any serving root (dead code or
+    /// indirect-only paths).
+    Unreached,
+}
+
+impl Temporal {
+    /// Stable machine-readable tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Temporal::InitOnly => "init-only",
+            Temporal::Serving => "serving",
+            Temporal::Both => "both",
+            Temporal::Unreached => "unreached",
+        }
+    }
+}
+
+impl Serialize for Temporal {
+    fn write_json(&self, out: &mut String) {
+        self.tag().write_json(out);
+    }
+}
+
+impl Serialize for Origin {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"class\":");
+        self.tag().write_json(out);
+        match self {
+            Origin::Constant(v) => {
+                out.push_str(",\"value\":");
+                v.write_json(out);
+            }
+            Origin::RegisterCopied(r) => {
+                out.push_str(",\"reg\":");
+                r.to_string().write_json(out);
+            }
+            Origin::MemoryLoaded { addr } => {
+                out.push_str(",\"addr\":");
+                addr.write_json(out);
+            }
+            Origin::Computed | Origin::Unknown => {}
+        }
+        out.push('}');
+    }
+}
+
+/// The statically resolved origin of one pointer-carrying syscall
+/// argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgOrigin {
+    /// Argument index (0-based, Linux ABI order).
+    pub index: usize,
+    /// The register carrying the argument.
+    pub reg: Reg,
+    /// Where its value comes from.
+    pub origin: Origin,
+}
+
+impl Serialize for ArgOrigin {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"index\":");
+        self.index.write_json(out);
+        out.push_str(",\"reg\":");
+        self.reg.to_string().write_json(out);
+        out.push_str(",\"origin\":");
+        self.origin.write_json(out);
+        out.push('}');
+    }
+}
+
+/// One statically discovered syscall site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallSite {
+    /// Virtual address of the `syscall` instruction.
+    pub va: u64,
+    /// Entry of the function the site was recovered in.
+    pub function: u64,
+    /// Origin of the syscall number (`rax`), on the four-point number
+    /// lattice — [`Origin::Computed`] never appears here.
+    pub number: Origin,
+    /// Per-argument origins for pointer-carrying registers; only
+    /// populated when the number is a proven constant (without it the
+    /// ABI table cannot say which registers carry pointers).
+    pub args: Vec<ArgOrigin>,
+    /// Init/serving reachability tag.
+    pub temporal: Temporal,
+}
+
+impl SyscallSite {
+    /// The proven syscall number, if the dataflow resolved one.
+    pub fn nr(&self) -> Option<u64> {
+        self.number.constant()
+    }
+
+    /// Kernel name of the proven number (`None` while the number is
+    /// unproven).
+    pub fn name(&self) -> Option<&'static str> {
+        self.nr().map(sys::name)
+    }
+}
+
+impl Serialize for SyscallSite {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"va\":");
+        self.va.write_json(out);
+        out.push_str(",\"function\":");
+        self.function.write_json(out);
+        out.push_str(",\"number\":");
+        self.number.write_json(out);
+        out.push_str(",\"name\":");
+        self.name().map(|s| s.to_string()).write_json(out);
+        out.push_str(",\"args\":");
+        self.args.write_json(out);
+        out.push_str(",\"temporal\":");
+        self.temporal.write_json(out);
+        out.push('}');
+    }
+}
+
+/// Aggregate counters over a scan, used by the report section and the
+/// bench table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ScanCounts {
+    /// Total sites found.
+    pub sites: usize,
+    /// Sites whose number is a proven constant.
+    pub constant: usize,
+    /// Sites whose number is loaded from memory.
+    pub memory: usize,
+    /// Sites whose number is a live-in register copy.
+    pub register: usize,
+    /// Sites whose number is unresolvable.
+    pub unknown: usize,
+    /// Sites tagged init-only.
+    pub init_only: usize,
+    /// Sites tagged serving-reachable.
+    pub serving: usize,
+    /// Sites tagged reachable from both phases.
+    pub both: usize,
+    /// Sites reachable from neither walk.
+    pub unreached: usize,
+}
+
+/// The result of statically scanning one module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Module name (target or corpus module).
+    pub module: String,
+    /// SHA-256 of the ELF bytes the scan ran over (cache key).
+    pub image_hash: String,
+    /// Image entry point.
+    pub entry: u64,
+    /// Serving-loop roots that matched the calibrated markers:
+    /// symbol name → virtual address.
+    pub serving_roots: BTreeMap<String, u64>,
+    /// Number of functions recovered by the CFG walk.
+    pub functions: usize,
+    /// Number of instructions decoded across all functions.
+    pub instructions: usize,
+    /// Whether any function contains indirect control flow the static
+    /// walk could not follow (recall caveat).
+    pub has_indirect_flow: bool,
+    /// All discovered sites, sorted by virtual address.
+    pub sites: Vec<SyscallSite>,
+}
+
+impl ScanReport {
+    /// Aggregate counters for this scan.
+    pub fn counts(&self) -> ScanCounts {
+        let mut c = ScanCounts {
+            sites: self.sites.len(),
+            ..ScanCounts::default()
+        };
+        for s in &self.sites {
+            match s.number {
+                Origin::Constant(_) => c.constant += 1,
+                Origin::MemoryLoaded { .. } => c.memory += 1,
+                Origin::RegisterCopied(_) => c.register += 1,
+                _ => c.unknown += 1,
+            }
+            match s.temporal {
+                Temporal::InitOnly => c.init_only += 1,
+                Temporal::Serving => c.serving += 1,
+                Temporal::Both => c.both += 1,
+                Temporal::Unreached => c.unreached += 1,
+            }
+        }
+        c
+    }
+
+    /// Site virtual addresses, sorted (the shape the cross-validator
+    /// compares against the dynamic side).
+    pub fn site_vas(&self) -> Vec<u64> {
+        self.sites.iter().map(|s| s.va).collect()
+    }
+
+    /// Canonical JSON rendering — byte-identical for identical inputs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+impl Serialize for ScanReport {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"module\":");
+        self.module.write_json(out);
+        out.push_str(",\"image_hash\":");
+        self.image_hash.write_json(out);
+        out.push_str(",\"entry\":");
+        self.entry.write_json(out);
+        out.push_str(",\"serving_roots\":");
+        self.serving_roots.write_json(out);
+        out.push_str(",\"functions\":");
+        self.functions.write_json(out);
+        out.push_str(",\"instructions\":");
+        self.instructions.write_json(out);
+        out.push_str(",\"has_indirect_flow\":");
+        self.has_indirect_flow.write_json(out);
+        out.push_str(",\"counts\":");
+        self.counts().write_json(out);
+        out.push_str(",\"sites\":");
+        self.sites.write_json(out);
+        out.push('}');
+    }
+}
+
+/// SHA-256 of the serialized image — the content-address under which
+/// scan results are cached.
+pub fn elf_content_hash(image: &ElfImage) -> String {
+    cr_core::sha256_hex(&image.to_bytes())
+}
+
+/// Serving-loop roots of `image`: symbols whose name matches one of
+/// cr-targets' calibrated loop markers and whose address lands in an
+/// executable segment.
+pub fn serving_roots(image: &ElfImage) -> BTreeMap<String, u64> {
+    let code = SegSource::new(image);
+    image
+        .symbols
+        .iter()
+        .filter(|(name, &va)| {
+            cr_targets::SERVING_LOOP_SYMBOLS.contains(&name.as_str()) && code.contains(va)
+        })
+        .map(|(name, &va)| (name.clone(), va))
+        .collect()
+}
+
+/// Scan `image`, deriving serving roots from the calibrated loop
+/// markers in its symbol table.
+pub fn scan_elf(module: &str, image: &ElfImage) -> ScanReport {
+    let roots = serving_roots(image);
+    scan_elf_with(module, image, &roots)
+}
+
+/// Scan `image` with an explicit serving-root set (symbol name →
+/// address). The CFG walk roots at the entry point plus every code
+/// symbol, so functions only reachable through indirect calls are
+/// still enumerated.
+pub fn scan_elf_with(module: &str, image: &ElfImage, roots: &BTreeMap<String, u64>) -> ScanReport {
+    let mut sp = span(Stage::Scan, "scan.module");
+    let code = SegSource::new(image);
+    let mut entries: Vec<u64> = vec![image.entry];
+    entries.extend(
+        image
+            .symbols
+            .values()
+            .copied()
+            .filter(|&va| code.contains(va)),
+    );
+    entries.sort_unstable();
+    entries.dedup();
+    let cfg = static_cfg::analyze(&code, &entries);
+
+    let serving = reachable(&code, roots.values().copied(), &BTreeSet::new());
+    let stop: BTreeSet<u64> = roots.values().copied().collect();
+    let init = reachable(&code, std::iter::once(image.entry), &stop);
+
+    let sites = collect_sites(&cfg, &serving, &init);
+    let report = ScanReport {
+        module: module.to_string(),
+        image_hash: elf_content_hash(image),
+        entry: image.entry,
+        serving_roots: roots.clone(),
+        functions: cfg.functions.len(),
+        instructions: cfg.inst_count(),
+        has_indirect_flow: cfg.functions.values().any(|f| f.has_indirect_flow),
+        sites,
+    };
+    sp.set_detail(|| {
+        let c = report.counts();
+        format!(
+            "module={} sites={} constant={} serving={}",
+            report.module,
+            c.sites,
+            c.constant,
+            c.serving + c.both
+        )
+    });
+    report
+}
+
+/// Resolve every syscall site in `cfg` and tag it against the two
+/// reachability sets. A site can occur in several recovered functions
+/// (a serving-loop symbol roots its own function *and* sits inside the
+/// entry function) and in several overlapping blocks of one function;
+/// [`dataflow::resolve_before`] and a cross-function meet keep the
+/// answer sound — a disagreement between vantage points degrades to
+/// [`Origin::Unknown`] rather than picking a plausible value.
+fn collect_sites(
+    cfg: &StaticCfg,
+    serving: &BTreeSet<u64>,
+    init: &BTreeSet<u64>,
+) -> Vec<SyscallSite> {
+    // va → functions (by entry) that contain the site.
+    let mut homes: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (&entry, f) in &cfg.functions {
+        for &va in &f.syscall_sites {
+            homes.entry(va).or_default().push(entry);
+        }
+    }
+    homes
+        .into_iter()
+        .map(|(va, fns)| {
+            let resolve = |reg: Reg| {
+                fns.iter()
+                    .map(|entry| dataflow::resolve_before(&cfg.functions[entry], va, reg))
+                    .reduce(Origin::meet)
+                    .unwrap_or(Origin::Unknown)
+            };
+            let number = resolve(Reg::Rax).number_class();
+            let args = match number {
+                Origin::Constant(nr) => sys::pointer_args(nr)
+                    .iter()
+                    .map(|&ai| ArgOrigin {
+                        index: ai,
+                        reg: ARG_REGS[ai],
+                        origin: resolve(ARG_REGS[ai]),
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let temporal = match (serving.contains(&va), init.contains(&va)) {
+                (true, true) => Temporal::Both,
+                (true, false) => Temporal::Serving,
+                (false, true) => Temporal::InitOnly,
+                (false, false) => Temporal::Unreached,
+            };
+            SyscallSite {
+                va,
+                function: fns[0],
+                number,
+                args,
+                temporal,
+            }
+        })
+        .collect()
+}
+
+/// Instruction-granular reachability: every instruction VA reachable
+/// from `roots` by decoding forward, following direct jumps, both arms
+/// of conditional branches, and direct calls (with fallthrough).
+/// Walks stop at returns, traps and indirect jumps, at decode
+/// failures, at members of `stop` (used to fence off the serving loop
+/// during the init walk), and at the instruction budget.
+fn reachable(
+    code: &dyn CodeSource,
+    roots: impl Iterator<Item = u64>,
+    stop: &BTreeSet<u64>,
+) -> BTreeSet<u64> {
+    let mut seen = BTreeSet::new();
+    let mut work: Vec<u64> = roots.collect();
+    let mut budget = REACH_BUDGET;
+    while let Some(va) = work.pop() {
+        if budget == 0 || seen.contains(&va) || stop.contains(&va) {
+            continue;
+        }
+        budget -= 1;
+        let mut buf = [0u8; 16];
+        let n = code.read_code(va, &mut buf);
+        let Ok(d) = decode(&buf[..n]) else { continue };
+        seen.insert(va);
+        let next = va.wrapping_add(d.len as u64);
+        let mut push = |t: u64| {
+            if !seen.contains(&t) && !stop.contains(&t) {
+                work.push(t);
+            }
+        };
+        match d.inst {
+            Inst::Ret | Inst::Ud2 | Inst::Hlt | Inst::JmpRm(_) => {}
+            Inst::JmpRel(rel) => push(next.wrapping_add(rel as i64 as u64)),
+            Inst::Jcc { rel, .. } => {
+                push(next.wrapping_add(rel as i64 as u64));
+                push(next);
+            }
+            Inst::CallRel(rel) => {
+                push(next.wrapping_add(rel as i64 as u64));
+                push(next);
+            }
+            _ => push(next),
+        }
+    }
+    seen
+}

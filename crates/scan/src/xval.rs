@@ -1,0 +1,169 @@
+//! Static/dynamic cross-validation.
+//!
+//! For a calibrated server target both backends can analyze, run the
+//! traceless scanner over the ELF and the taint observer over the live
+//! workload, then compare **site addresses** (the virtual address of
+//! each `syscall` instruction):
+//!
+//! * **matched** — both backends report the site. Dynamic observation
+//!   proves the site executes; static discovery proves we would have
+//!   found it without a harness.
+//! * **static-only** — the scanner found it, the workload never
+//!   executed it. Expected (coverage of the test workload is partial);
+//!   these are the sites only the traceless backend can see.
+//! * **taint-only** — the workload executed a site the scanner missed.
+//!   On the calibrated corpus this set must be **empty** (static-side
+//!   recall 100%); any entry is a scanner defect (e.g. unfollowed
+//!   indirect control flow).
+//!
+//! The comparison is structured end to end: the dynamic side comes
+//! from [`cr_core::syscall_finder::SiteProvenance`] (public records,
+//! not re-parsed report text), the static side from
+//! [`crate::ScanReport`] sites.
+
+use crate::scan::{scan_elf, ScanReport};
+use cr_core::syscall_finder::{observe_server, SiteProvenance};
+use cr_targets::ServerTarget;
+use serde::Serialize;
+
+/// Site-level agreement between the static scanner and the taint
+/// observer on one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Agreement {
+    /// Target both backends analyzed.
+    pub module: String,
+    /// Sites found by both backends.
+    pub matched: Vec<u64>,
+    /// Sites only the static scanner found (never executed by the
+    /// workload).
+    pub static_only: Vec<u64>,
+    /// Sites only the dynamic observer saw — scanner misses; must be
+    /// empty on the calibrated corpus.
+    pub taint_only: Vec<u64>,
+}
+
+impl Agreement {
+    /// Static-side recall against the taint-confirmed sites:
+    /// `matched / (matched + taint_only)`; 1.0 when the dynamic side
+    /// saw nothing.
+    pub fn recall(&self) -> f64 {
+        let confirmed = self.matched.len() + self.taint_only.len();
+        if confirmed == 0 {
+            1.0
+        } else {
+            self.matched.len() as f64 / confirmed as f64
+        }
+    }
+}
+
+impl Serialize for Agreement {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"module\":");
+        self.module.write_json(out);
+        out.push_str(",\"matched\":");
+        self.matched.write_json(out);
+        out.push_str(",\"static_only\":");
+        self.static_only.write_json(out);
+        out.push_str(",\"taint_only\":");
+        self.taint_only.write_json(out);
+        out.push_str(",\"recall\":");
+        self.recall().write_json(out);
+        out.push('}');
+    }
+}
+
+/// Compare a scan report against dynamically observed sites. Both
+/// inputs are structured; the output vectors are sorted.
+pub fn compare(scan: &ScanReport, dynamic: &[SiteProvenance]) -> Agreement {
+    let static_vas = scan.site_vas();
+    let mut matched = Vec::new();
+    let mut taint_only = Vec::new();
+    for s in dynamic {
+        if static_vas.binary_search(&s.va).is_ok() {
+            matched.push(s.va);
+        } else {
+            taint_only.push(s.va);
+        }
+    }
+    let static_only: Vec<u64> = static_vas
+        .iter()
+        .copied()
+        .filter(|va| !matched.contains(va))
+        .collect();
+    Agreement {
+        module: scan.module.clone(),
+        matched,
+        static_only,
+        taint_only,
+    }
+}
+
+/// Run both backends on one calibrated target and report site-level
+/// agreement, together with the static report that produced it.
+pub fn cross_validate(target: &ServerTarget) -> (ScanReport, Agreement) {
+    let scan = scan_elf(target.name, &target.image);
+    let dynamic = observe_server(target).site_provenances();
+    let agreement = compare(&scan, &dynamic);
+    (scan, agreement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn site(va: u64) -> SiteProvenance {
+        SiteProvenance {
+            va,
+            syscall: 0,
+            hits: 1,
+            tainted_by_input: false,
+            sources: BTreeSet::new(),
+            labels: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn compare_partitions_sites() {
+        let scan = ScanReport {
+            module: "m".into(),
+            image_hash: String::new(),
+            entry: 0,
+            serving_roots: Default::default(),
+            functions: 0,
+            instructions: 0,
+            has_indirect_flow: false,
+            sites: [0x10, 0x20, 0x30]
+                .into_iter()
+                .map(|va| crate::SyscallSite {
+                    va,
+                    function: 0,
+                    number: crate::Origin::Unknown,
+                    args: Vec::new(),
+                    temporal: crate::Temporal::Unreached,
+                })
+                .collect(),
+        };
+        let dynamic = [site(0x20), site(0x40)];
+        let a = compare(&scan, &dynamic);
+        assert_eq!(a.matched, vec![0x20]);
+        assert_eq!(a.static_only, vec![0x10, 0x30]);
+        assert_eq!(a.taint_only, vec![0x40]);
+        assert_eq!(a.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_dynamic_side_means_full_recall() {
+        let scan = ScanReport {
+            module: "m".into(),
+            image_hash: String::new(),
+            entry: 0,
+            serving_roots: Default::default(),
+            functions: 0,
+            instructions: 0,
+            has_indirect_flow: false,
+            sites: Vec::new(),
+        };
+        assert_eq!(compare(&scan, &[]).recall(), 1.0);
+    }
+}

@@ -91,9 +91,22 @@ impl TaintSet {
         TaintSet(self.0 | other.0)
     }
 
-    /// The labels present, ascending.
-    pub fn labels(self) -> Vec<u8> {
-        (0..64).filter(|&l| self.contains(l)).collect()
+    /// The labels present, ascending — a non-allocating iterator, so
+    /// hot paths (per-syscall provenance recording) can walk a set
+    /// without building a `Vec`.
+    pub fn labels(self) -> impl Iterator<Item = u8> {
+        (0..64).filter(move |&l| self.contains(l))
+    }
+
+    /// Number of labels present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set holds no labels (alias of `!is_tainted()` for
+    /// collection-style call sites).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
     }
 }
 
@@ -111,7 +124,7 @@ impl std::fmt::Display for TaintSet {
             return write!(f, "∅");
         }
         write!(f, "{{")?;
-        for (i, l) in self.labels().iter().enumerate() {
+        for (i, l) in self.labels().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -686,7 +699,9 @@ mod tests {
         let b = TaintSet::label(2);
         let u = a | b;
         assert!(u.contains(1) && u.contains(2) && !u.contains(3));
-        assert_eq!(u.labels(), vec![1, 2]);
+        assert_eq!(u.labels().collect::<Vec<u8>>(), vec![1, 2]);
+        assert_eq!(u.len(), 2);
+        assert!(TaintSet::EMPTY.is_empty() && !u.is_empty());
         assert_eq!(TaintSet::EMPTY.to_string(), "∅");
         assert_eq!(u.to_string(), "{1,2}");
     }

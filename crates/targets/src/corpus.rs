@@ -1,0 +1,172 @@
+//! Corpus modules: binaries we ship **without** a dynamic harness.
+//!
+//! The calibrated servers in [`crate::servers`] all come with a
+//! `boot`/`exercise` driver, which is what the dynamic (taint)
+//! discovery pipeline needs. Real corpora are mostly not like that —
+//! the ROADMAP's "analyze anything in the corpus" workload is about
+//! binaries nobody has written a harness for. This module holds such
+//! targets: well-formed ELF executables with the same crash-resistance
+//! idioms as the servers, but **no** exercise function and no
+//! calibrated boot budget. Only the traceless scanner (cr-scan) can
+//! analyze them end-to-end.
+//!
+//! The first module, `vsftpd`, is an FTP-daemon sketch with all four
+//! temporal flavors on display: init-only socket setup, a serving
+//! `accept_loop`, a logging helper shared by both phases, a
+//! config-driven syscall whose number is loaded from writable memory
+//! (provable only as *memory-loaded*, never guessed), and a dead
+//! `shutdown` routine no reachability walk can claim.
+
+use crate::servers::common::{build_elf, DataTemplate, SrvAsm, DATA_BASE};
+use cr_image::ElfImage;
+use cr_isa::{Cond, Reg};
+use cr_os::linux::syscall::nr;
+use Reg::*;
+
+/// One harness-less corpus binary.
+pub struct CorpusModule {
+    /// Module name (`scan <name>` on the CLI).
+    pub name: &'static str,
+    /// The ELF image to scan.
+    pub image: ElfImage,
+    /// One-line provenance note for listings.
+    pub description: &'static str,
+}
+
+/// Every corpus module, in stable order.
+pub fn modules() -> Vec<CorpusModule> {
+    vec![vsftpd()]
+}
+
+/// Look up one corpus module by name.
+pub fn module(name: &str) -> Option<CorpusModule> {
+    modules().into_iter().find(|m| m.name == name)
+}
+
+const F_LISTEN: u64 = DATA_BASE;
+/// Pointer to the request buffer (corruption-monitor material, as in
+/// the harnessed servers).
+pub const F_BUFPTR: u64 = DATA_BASE + 0x08;
+const F_LOGPTR: u64 = DATA_BASE + 0x10;
+const F_PATHPTR: u64 = DATA_BASE + 0x18;
+/// The config cell holding the per-site maintenance syscall *number* —
+/// the scanner must report the site as memory-loaded from this cell.
+pub const F_OPCELL: u64 = DATA_BASE + 0x20;
+const SOCKADDR: u64 = DATA_BASE + 0x40;
+const LOG_BUF: u64 = DATA_BASE + 0x100;
+const PATH_STR: u64 = DATA_BASE + 0x140;
+const REQ_BUF: u64 = DATA_BASE + 0x800;
+
+/// FTP listening port baked into the sockaddr template.
+pub const PORT: u16 = 2121;
+
+fn vsftpd() -> CorpusModule {
+    let mut s = SrvAsm::new();
+    s.a.global("entry");
+
+    // --- init phase: socket/bind/listen, then a log line ---
+    s.sys(nr::SOCKET);
+    s.store_field(F_LISTEN, Rax);
+    s.a.mov_rr(Rdi, Rax);
+    s.a.mov_ri(Rsi, SOCKADDR);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::BIND);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.mov_ri(Rsi, 8);
+    s.sys(nr::LISTEN);
+    let log_write = s.a.fresh();
+    s.a.call_label(log_write);
+
+    // --- serving phase ---
+    let accept_loop = s.a.here();
+    s.a.name("accept_loop", accept_loop);
+    s.load_field(Rdi, F_LISTEN);
+    s.a.zero(Rsi);
+    s.a.zero(Rdx);
+    s.sys(nr::ACCEPT);
+    s.a.cmp_ri(Rax, 0);
+    s.a.jcc(Cond::L, accept_loop);
+    s.a.mov_rr(R13, Rax);
+    // read(conn, *F_BUFPTR, 128) — the pointer lives in writable
+    // memory, same ⊕ shape as the harnessed servers.
+    s.a.mov_rr(Rdi, R13);
+    s.load_field(Rsi, F_BUFPTR);
+    s.a.mov_ri(Rdx, 128);
+    s.sys(nr::READ);
+    // shared helper: the serving phase logs too.
+    s.a.call_label(log_write);
+    // config-driven maintenance op: the syscall *number* comes from a
+    // writable config cell. Statically this is memory-loaded, full
+    // stop — no number can honestly be claimed for the site.
+    s.load_field(Rdi, F_PATHPTR);
+    s.load_field(Rax, F_OPCELL);
+    s.a.syscall();
+    s.a.mov_rr(Rdi, R13);
+    s.sys(nr::CLOSE);
+    s.a.jmp(accept_loop);
+
+    // --- shared helper (init + serving → tagged "both") ---
+    s.a.bind(log_write);
+    let here = s.a.here();
+    s.a.name("log_write", here);
+    s.a.mov_ri(Rdi, 1);
+    s.a.mov_ri(Rsi, LOG_BUF);
+    s.a.mov_ri(Rdx, 16);
+    s.sys(nr::WRITE);
+    s.a.ret();
+
+    // --- dead shutdown path: has a symbol, no incoming edges ---
+    let shutdown = s.a.here();
+    s.a.name("shutdown", shutdown);
+    s.load_field(Rdi, F_PATHPTR);
+    s.sys(nr::UNLINK);
+    s.load_field(Rdi, F_LISTEN);
+    s.sys(nr::CLOSE);
+    s.a.ret();
+
+    let mut d = DataTemplate::new();
+    d.put_u64(F_BUFPTR, REQ_BUF);
+    d.put_u64(F_LOGPTR, LOG_BUF);
+    d.put_u64(F_PATHPTR, PATH_STR);
+    d.put_u64(F_OPCELL, nr::CHMOD);
+    d.put(SOCKADDR, &sockaddr_in(PORT));
+    d.put(LOG_BUF, b"vsftpd: session\n");
+    d.put(PATH_STR, b"/srv/ftp/upload.tmp\0");
+
+    CorpusModule {
+        name: "vsftpd",
+        image: build_elf(s.a, d.build()),
+        description: "FTP daemon sketch, no harness (static scan only)",
+    }
+}
+
+fn sockaddr_in(port: u16) -> [u8; 16] {
+    let mut sa = [0u8; 16];
+    sa[0] = 2;
+    sa[2..4].copy_from_slice(&port.to_be_bytes());
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vsftpd_builds_a_wellformed_elf() {
+        let m = module("vsftpd").expect("registered");
+        let bytes = m.image.to_bytes();
+        let back = ElfImage::parse(&bytes).expect("round-trips");
+        assert_eq!(back.entry, m.image.entry);
+        for sym in ["entry", "accept_loop", "log_write", "shutdown"] {
+            assert!(back.symbols.contains_key(sym), "missing symbol {sym}");
+        }
+    }
+
+    #[test]
+    fn corpus_has_no_harness_by_construction() {
+        // CorpusModule deliberately has no exercise/boot members; the
+        // registry is the list the scan verb iterates.
+        let names: Vec<&str> = modules().iter().map(|m| m.name).collect();
+        assert_eq!(names, ["vsftpd"]);
+    }
+}

@@ -14,6 +14,16 @@
 //! runtime behaviour); nothing here hands ground truth to the analyses.
 
 pub mod browsers;
+pub mod corpus;
 pub mod servers;
 
 pub use servers::{all as all_servers, ServerTarget};
+
+/// Symbol names marking a serving/accept loop across the calibrated
+/// corpus. The five Table-I servers label their request loops with one
+/// of these (`accept_loop` for nginx-style sequential accept loops,
+/// `main_loop`/`worker` for the event- and worker-pool shapes), and
+/// the traceless scanner uses them as SysPart-style temporal roots:
+/// sites reachable from a matching symbol are serving-phase, sites
+/// reachable from the entry point without crossing one are init-phase.
+pub const SERVING_LOOP_SYMBOLS: &[&str] = &["accept_loop", "main_loop", "worker"];

@@ -20,21 +20,24 @@ pub enum Stage {
     Retry,
     /// An injected fault actually fired.
     Fault,
+    /// Traceless static scanning (cr-scan CFG walk and dataflow).
+    Scan,
 }
 
 impl Stage {
     /// Every stage, in the stable reporting order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Parse,
         Stage::Symex,
         Stage::Cache,
         Stage::Schedule,
         Stage::Retry,
         Stage::Fault,
+        Stage::Scan,
     ];
 
     /// Stable machine-readable name (`parse` / `symex` / `cache` /
-    /// `schedule` / `retry` / `fault`).
+    /// `schedule` / `retry` / `fault` / `scan`).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Parse => "parse",
@@ -43,6 +46,7 @@ impl Stage {
             Stage::Schedule => "schedule",
             Stage::Retry => "retry",
             Stage::Fault => "fault",
+            Stage::Scan => "scan",
         }
     }
 
@@ -240,7 +244,7 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["parse", "symex", "cache", "schedule", "retry", "fault"]
+            ["parse", "symex", "cache", "schedule", "retry", "fault", "scan"]
         );
         for s in Stage::ALL {
             assert_eq!(Stage::parse_name(s.name()), Some(s));

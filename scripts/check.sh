@@ -90,6 +90,27 @@ grep -q '"verdict_parity":true' "$smoke_tmp/solver.json" \
 grep -q '"memo_warm":{[^}]*"memo_hits":64' "$smoke_tmp/solver.json" \
   || { echo "[check] solver_bench warm pass did not hit the memo" >&2; exit 1; }
 
+# scan-smoke: the traceless scanner over the harness-less corpus module
+# must reproduce the golden report byte for byte (content hashes,
+# dataflow origins and temporal tags included), and a one-round
+# scan_bench sweep must hold the non-timing invariants: 100% static
+# recall against every taint-confirmed site set, and byte-identical
+# reports across repeated scans. Throughput numbers are recorded in the
+# JSON, never asserted.
+echo "[check] scan-smoke (golden vsftpd report + recall/determinism sweep)"
+target/release/crash-resist scan vsftpd --json > "$smoke_tmp/scan.json"
+if ! diff -u scripts/golden/scan_smoke.json "$smoke_tmp/scan.json"; then
+  echo "[check] scan report diverged from scripts/golden/scan_smoke.json" >&2
+  exit 1
+fi
+SCAN_BENCH_ROUNDS=1 SCAN_BENCH_OUT="$smoke_tmp/static.json" \
+  target/release/scan_bench > /dev/null 2> "$smoke_tmp/scan.log" \
+  || { cat "$smoke_tmp/scan.log" >&2; echo "[check] scan_bench failed" >&2; exit 1; }
+grep -q '"recall_100":true' "$smoke_tmp/static.json" \
+  || { echo "[check] scan_bench static recall below 100%" >&2; exit 1; }
+grep -q '"deterministic":true' "$smoke_tmp/static.json" \
+  || { echo "[check] scan_bench reports diverged across runs" >&2; exit 1; }
+
 # serve-smoke: start the resident server on an ephemeral port, send one
 # cold and one warm request over a single client connection, assert the
 # warm invariants (zero solver calls, resident parsed image), and drain

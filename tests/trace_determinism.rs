@@ -40,6 +40,7 @@ fn spec() -> CampaignSpec {
         .seh("jscript9")
         .funnel(200)
         .poc("ie")
+        .scan("vsftpd")
         .build()
         .expect("trace spec is valid")
 }
