@@ -13,7 +13,14 @@
 //! completed request's result document must be byte-identical, warm
 //! requests must never reach the solver, and no request may execute
 //! more than once. Wall-time numbers are recorded, never asserted.
+//!
+//! A second phase scales the same warm workload across a supervised
+//! fleet at 1/2/4/8 workers (`fleet` entries in the report): eight
+//! distinct single-module specs spread over the consistent-hash ring,
+//! hammered by the same client pool, byte-identity and exactly-once
+//! delivery asserted throughout. Set `SERVE_LOAD_FLEET=0` to skip.
 
+use cr_fleet::{Fleet, FleetConfig};
 use cr_serve::{Client, ServeConfig, Server};
 use serde::Serialize;
 use std::time::Instant;
@@ -42,6 +49,139 @@ struct ServeLoadReport {
     frames_sent: u64,
     solver_calls_warm: u64,
     deterministic: bool,
+    /// Fleet scaling points (1/2/4/8 workers over the warm workload);
+    /// empty when the fleet phase is skipped.
+    fleet: Vec<FleetScalePoint>,
+}
+
+/// One fleet worker-count measurement.
+#[derive(serde::Serialize)]
+struct FleetScalePoint {
+    workers: usize,
+    total_requests: usize,
+    /// Completed warm requests per second across all clients.
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    /// Requests that coalesced onto an in-flight identical admission.
+    coalesced: u64,
+    /// Dispatch attempts that failed over mid-measurement (healthy
+    /// runs should show 0).
+    failovers: u64,
+    /// Workers killed by the supervisor mid-measurement.
+    kills: u64,
+    /// Worker restarts mid-measurement.
+    restarts: u64,
+    /// Every result byte-identical to its one-shot reference.
+    deterministic: bool,
+    /// Delivery ledger held exactly one Result per request.
+    exactly_once: bool,
+}
+
+/// Eight distinct single-module SEH specs: distinct consistent-hash
+/// route keys, so the mix spreads across every ring size measured.
+fn fleet_specs() -> Vec<String> {
+    cr_targets::browsers::CALIBRATION
+        .iter()
+        .take(8)
+        .map(|c| {
+            format!(
+                r#"{{"name":"fleet-load-{0}","seed":2017,"tasks":[{{"SehAnalysis":"{0}"}}]}}"#,
+                c.name
+            )
+        })
+        .collect()
+}
+
+/// One fleet scaling point: start a `workers`-node fleet, warm every
+/// spec once, then drive the client pool over the spec mix.
+fn fleet_point(
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    specs: &[String],
+    references: &[Vec<u8>],
+) -> FleetScalePoint {
+    let fleet = Fleet::start(FleetConfig {
+        workers,
+        admit_capacity: clients * 4,
+        ..FleetConfig::default()
+    })
+    .expect("fleet starts");
+    let addr = fleet.addr().to_string();
+
+    // Warm-up: every spec once, so each owner node (and, via
+    // replication, every sibling) is warm before the clock starts.
+    for (spec, reference) in specs.iter().zip(references) {
+        let mut client = Client::connect(&addr).expect("warm-up connect");
+        let response = client
+            .request_with_retry(spec, 50)
+            .expect("warm-up request");
+        assert!(response.completed(), "warm-up error={:?}", response.error);
+        assert_eq!(response.result.as_deref(), Some(reference.as_slice()));
+    }
+
+    let phase_started = Instant::now();
+    let results: Vec<(Vec<u64>, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("fleet connect");
+                    let mut latencies = Vec::with_capacity(requests_per_client);
+                    let mut identical = true;
+                    for r in 0..requests_per_client {
+                        let n = (c + r) % specs.len();
+                        let started = Instant::now();
+                        let response = client
+                            .request_with_retry(&specs[n], 50)
+                            .expect("fleet request transport");
+                        latencies.push(started.elapsed().as_micros() as u64);
+                        assert!(
+                            response.completed(),
+                            "fleet request rejected: busy={:?} error={:?}",
+                            response.busy,
+                            response.error
+                        );
+                        identical &= response.result.as_deref() == Some(references[n].as_slice());
+                    }
+                    (latencies, identical)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet client thread"))
+            .collect()
+    });
+    let phase_us = phase_started.elapsed().as_micros() as u64;
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut deterministic = true;
+    for (lat, identical) in results {
+        latencies.extend(lat);
+        deterministic &= identical;
+    }
+    latencies.sort_unstable();
+    let exactly_once = fleet
+        .delivery_counts()
+        .iter()
+        .all(|&(_, deliveries)| deliveries == 1);
+    let stats = fleet.join();
+    let total_requests = latencies.len();
+    FleetScalePoint {
+        workers,
+        total_requests,
+        throughput_rps: total_requests as f64 / (phase_us.max(1) as f64 / 1e6),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        coalesced: stats.coalesced,
+        failovers: stats.failovers,
+        kills: stats.kills,
+        restarts: stats.restarts,
+        deterministic,
+        exactly_once,
+    }
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -147,6 +287,40 @@ fn main() {
     closer.shutdown().expect("shutdown ack");
     let stats = runner.join().expect("server thread");
 
+    // Fleet scaling phase: the same warm workload behind 1/2/4/8
+    // supervised workers.
+    let fleet_points = if env_usize("SERVE_LOAD_FLEET", 1) != 0 {
+        let specs = fleet_specs();
+        eprintln!(
+            "[serve_load] fleet phase: computing {} one-shot references ...",
+            specs.len()
+        );
+        let references: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|spec| {
+                let parsed = cr_campaign::CampaignSpec::from_json(spec).expect("fleet spec parses");
+                cr_campaign::run_campaign(&parsed, &cr_campaign::EngineConfig::default())
+                    .expect("fleet reference run")
+                    .results_json()
+                    .into_bytes()
+            })
+            .collect();
+        [1usize, 2, 4, 8]
+            .iter()
+            .map(|&w| {
+                eprintln!("[serve_load] fleet phase: {w} worker(s) ...");
+                let point = fleet_point(w, clients, requests_per_client, &specs, &references);
+                eprintln!(
+                    "[serve_load]   {w} worker(s): {:.0} rps (p50 {} us)",
+                    point.throughput_rps, point.p50_us
+                );
+                point
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     latencies.sort_unstable();
     let total_requests = latencies.len();
     let warm_p50_us = percentile(&latencies, 0.50);
@@ -167,6 +341,7 @@ fn main() {
         frames_sent: stats.frames_sent,
         solver_calls_warm,
         deterministic,
+        fleet: fleet_points,
     };
     let json = report.to_json();
     println!("{json}");
@@ -186,4 +361,16 @@ fn main() {
         (total_requests + 2) as u64,
         "every admitted request must complete ({stats:?})"
     );
+    for point in &report.fleet {
+        assert!(
+            point.deterministic,
+            "fleet results at {} worker(s) must be byte-identical",
+            point.workers
+        );
+        assert!(
+            point.exactly_once,
+            "fleet delivery at {} worker(s) must be exactly-once",
+            point.workers
+        );
+    }
 }

@@ -274,12 +274,50 @@ impl AnalysisCache {
     /// # Errors
     ///
     /// I/O failure creating the directory or writing the file.
-    pub fn save_with(
-        &self,
-        dir: &Path,
-        mut mutate: impl FnMut(usize, &mut String),
-    ) -> io::Result<()> {
+    pub fn save_with(&self, dir: &Path, mutate: impl FnMut(usize, &mut String)) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
+        let out = self.render(mutate);
+        // Write-then-rename: a crash mid-save leaves the old file
+        // intact, never a torn hybrid.
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out.as_bytes())?;
+        std::fs::rename(&tmp, dir.join(CACHE_FILE))
+    }
+
+    /// Every persistent entry as the CRC-framed JSONL document
+    /// [`AnalysisCache::save`] would write — sorted by key, so equal
+    /// caches export equal bytes. This is the warm-cache replication
+    /// payload: one node's export is another node's
+    /// [`AnalysisCache::merge_jsonl`] input. Resident images are
+    /// excluded (memory-only by design; each node re-parses from its
+    /// replicated module summaries' source of truth).
+    pub fn export_jsonl(&self) -> String {
+        self.render(|_, _| {})
+    }
+
+    /// Merge CRC-framed JSONL records (the [`AnalysisCache::export_jsonl`]
+    /// format) into this cache. Returns `(merged, rejected)` line
+    /// counts. Entries are content-addressed, so a key collision
+    /// replaces with an equal value; malformed or CRC-failing lines are
+    /// rejected and counted, never quarantined to disk (the sender's
+    /// copy is authoritative).
+    pub fn merge_jsonl(&self, text: &str) -> (u64, u64) {
+        let mut merged = 0u64;
+        let mut rejected = 0u64;
+        let mut tables = self.tables.lock().unwrap();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match unframe(line).and_then(|json| parse_entry(json, &mut tables)) {
+                Ok(()) => merged += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        (merged, rejected)
+    }
+
+    fn render(&self, mut mutate: impl FnMut(usize, &mut String)) -> String {
         let tables = self.tables.lock().unwrap();
         let filters: BTreeMap<_, _> = tables.filters.iter().collect();
         let modules: BTreeMap<_, _> = tables.modules.iter().collect();
@@ -324,11 +362,7 @@ impl AnalysisCache {
             );
         }
         drop(tables);
-        // Write-then-rename: a crash mid-save leaves the old file
-        // intact, never a torn hybrid.
-        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, out.as_bytes())?;
-        std::fs::rename(&tmp, dir.join(CACHE_FILE))
+        out
     }
 
     /// Look up a filter verdict.
@@ -813,7 +847,7 @@ mod tests {
         let dir = scratch("mutate");
         let cache = AnalysisCache::new();
         sample_tables(&cache);
-        // Corrupt record 1 and tear record 2 of the 4 sorted records.
+        // Corrupt record 1 and tear record 2 of the 5 sorted records.
         cache
             .save_with(&dir, |i, line| match i {
                 1 => *line = line.replace('"', "#"),
@@ -827,6 +861,28 @@ mod tests {
         // filter 0 and the module survived.
         assert_eq!(back.len(), (1, 1));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_and_merge_replicate_every_table() {
+        let source = AnalysisCache::new();
+        sample_tables(&source);
+        let jsonl = source.export_jsonl();
+
+        let sink = AnalysisCache::new();
+        let (merged, rejected) = sink.merge_jsonl(&jsonl);
+        assert_eq!((merged, rejected), (5, 0));
+        assert_eq!(sink.len(), source.len());
+        assert_eq!(sink.scan_len(), source.scan_len());
+        // Replication is idempotent: entries are content-addressed, so
+        // a re-merge replaces equal values with equal values.
+        let (merged2, rejected2) = sink.merge_jsonl(&jsonl);
+        assert_eq!((merged2, rejected2), (5, 0));
+        assert_eq!(sink.export_jsonl(), jsonl, "export round-trips");
+        // Malformed input is rejected per line, never fatal.
+        let (m, r) = sink.merge_jsonl("garbage line\n\n");
+        assert_eq!((m, r), (0, 1));
+        assert_eq!(sink.export_jsonl(), jsonl);
     }
 
     #[test]

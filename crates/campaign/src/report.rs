@@ -37,17 +37,20 @@ pub enum ReportKind {
     Serve,
     /// A traceless static scan (`scan --json`).
     Scan,
+    /// A supervised-fleet invariant run (`fleet --summary-json`).
+    Fleet,
 }
 
 impl ReportKind {
     /// Every kind, in a stable order.
-    pub const ALL: [ReportKind; 6] = [
+    pub const ALL: [ReportKind; 7] = [
         ReportKind::Campaign,
         ReportKind::Chaos,
         ReportKind::List,
         ReportKind::Report,
         ReportKind::Serve,
         ReportKind::Scan,
+        ReportKind::Fleet,
     ];
 
     /// Stable machine-readable name.
@@ -59,6 +62,7 @@ impl ReportKind {
             ReportKind::Report => "report",
             ReportKind::Serve => "serve",
             ReportKind::Scan => "scan",
+            ReportKind::Fleet => "fleet",
         }
     }
 }
@@ -166,7 +170,7 @@ mod tests {
         let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            ["campaign", "chaos", "list", "report", "serve", "scan"]
+            ["campaign", "chaos", "list", "report", "serve", "scan", "fleet"]
         );
     }
 

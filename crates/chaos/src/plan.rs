@@ -28,11 +28,23 @@ pub enum Site {
     /// While the server writes a response frame: the write stalls
     /// mid-frame (a slow-loris peer, seen from the other side).
     ServeStall,
+    /// In the fleet router, right after a worker received a request:
+    /// the worker is killed abruptly (no drain, no cache persist) —
+    /// the node-crash the failover machinery exists for.
+    FleetNodeKill,
+    /// In the fleet router, before dispatching to a worker: the route
+    /// to that worker is severed for this attempt, as if the network
+    /// partitioned; retries of the same admission heal.
+    FleetPartition,
+    /// In the fleet supervisor's heartbeat loop: a healthy worker's
+    /// Pong is discarded, driving the miss counter toward a spurious
+    /// death verdict.
+    FleetHeartbeatDrop,
 }
 
 impl Site {
     /// Every site, in a stable order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 11] = [
         Site::WorkerPanic,
         Site::TaskStall,
         Site::SolverBudget,
@@ -41,6 +53,9 @@ impl Site {
         Site::ServeConnDrop,
         Site::ServeFrame,
         Site::ServeStall,
+        Site::FleetNodeKill,
+        Site::FleetPartition,
+        Site::FleetHeartbeatDrop,
     ];
 
     /// The campaign-pipeline subset (what the `mayhem` plan arms; the
@@ -56,6 +71,13 @@ impl Site {
     /// The serving-layer subset (what the `wire` plan arms).
     pub const SERVE: [Site; 3] = [Site::ServeConnDrop, Site::ServeFrame, Site::ServeStall];
 
+    /// The fleet-layer subset (what the `fleet` plan arms).
+    pub const FLEET: [Site; 3] = [
+        Site::FleetNodeKill,
+        Site::FleetPartition,
+        Site::FleetHeartbeatDrop,
+    ];
+
     /// Stable machine-readable name (used in fault decisions, so
     /// renaming a site changes every seeded plan).
     pub fn name(self) -> &'static str {
@@ -68,6 +90,9 @@ impl Site {
             Site::ServeConnDrop => "serve.conn",
             Site::ServeFrame => "serve.frame",
             Site::ServeStall => "serve.loris",
+            Site::FleetNodeKill => "fleet.node.kill",
+            Site::FleetPartition => "fleet.partition",
+            Site::FleetHeartbeatDrop => "fleet.heartbeat.drop",
         }
     }
 
@@ -155,9 +180,10 @@ pub struct FaultPlan {
 }
 
 /// Names of the built-in plans, in presentation order. `mayhem` arms
-/// every campaign-pipeline site; `wire` arms every serving-layer site.
-pub const BUILTIN_PLANS: [&str; 8] = [
-    "none", "panics", "stalls", "solver", "image", "cache", "wire", "mayhem",
+/// every campaign-pipeline site; `wire` arms every serving-layer
+/// site; `fleet` arms every fleet-layer site.
+pub const BUILTIN_PLANS: [&str; 9] = [
+    "none", "panics", "stalls", "solver", "image", "cache", "wire", "mayhem", "fleet",
 ];
 
 impl FaultPlan {
@@ -231,6 +257,18 @@ impl FaultPlan {
                 }
                 all
             }
+            // Fleet rates are per admission (kill, partition) or per
+            // heartbeat (drop): high enough that a short invariant run
+            // sees each failure mode, low enough that the healthy
+            // majority keeps the fleet answering. Partition heals on
+            // the admission's next attempt (max_triggers 1); heartbeat
+            // drops stay below the default miss threshold so they
+            // exercise suspicion accounting, not spurious restarts.
+            "fleet" => vec![
+                fault(Site::FleetNodeKill, FaultKind::Panic, 250),
+                fault(Site::FleetPartition, FaultKind::Disconnect, 200),
+                fault(Site::FleetHeartbeatDrop, FaultKind::Disconnect, 120),
+            ],
             _ => return None,
         };
         Some(FaultPlan {
@@ -308,7 +346,23 @@ mod tests {
     fn site_subsets_partition_all() {
         let mut combined: Vec<Site> = Site::CAMPAIGN.to_vec();
         combined.extend(Site::SERVE);
+        combined.extend(Site::FLEET);
         assert_eq!(combined, Site::ALL.to_vec());
+    }
+
+    #[test]
+    fn fleet_covers_every_fleet_site_and_nothing_else() {
+        let plan = FaultPlan::builtin("fleet").unwrap();
+        for site in Site::FLEET {
+            assert!(plan.arms(site), "fleet misses {}", site.name());
+        }
+        for site in Site::CAMPAIGN.into_iter().chain(Site::SERVE) {
+            assert!(
+                !plan.arms(site),
+                "fleet must stay fleet-scoped, arms {}",
+                site.name()
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! crash-resist campaign [options]      sharded multi-task campaign
 //! crash-resist chaos [options]         campaign under an injected fault plan
 //! crash-resist serve [options]         long-lived analysis server (framed TCP)
+//! crash-resist fleet [options]         supervised multi-worker serve fleet
 //! crash-resist client [options]        send campaign requests to a server
 //! crash-resist report <trace>...       render stage latencies from trace files
 //! crash-resist list                    available targets
@@ -64,6 +65,7 @@ fn main() {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
@@ -86,9 +88,9 @@ fn main() {
 /// Every verb `main` dispatches on; `help` must mention each (the
 /// `help_lists_every_verb` test pins this) and the unknown-command
 /// path lists them.
-const VERBS: [&str; 12] = [
-    "discover", "analyze", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve", "client",
-    "report", "list",
+const VERBS: [&str; 13] = [
+    "discover", "analyze", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve", "fleet",
+    "client", "report", "list",
 ];
 
 const HELP: &str = "\
@@ -104,6 +106,7 @@ USAGE:
     crash-resist campaign [options]      run a sharded discovery campaign
     crash-resist chaos [options]         run a campaign under a fault plan
     crash-resist serve [options]         run the long-lived analysis server
+    crash-resist fleet [options]         run a supervised serve fleet + invariant suite
     crash-resist client [options]        send campaign requests to a server
     crash-resist report <trace>...       per-stage latencies + timeline from traces
     crash-resist list [--json]           list available servers/DLLs/oracles
@@ -140,6 +143,15 @@ SERVE OPTIONS:
     --plan NAME     arm a fault plan on the serve sites (try: wire)
     --seed S        fault plan seed (default 2017)
     --stats-json    on shutdown, emit lifetime stats as a JSON envelope
+
+FLEET OPTIONS:
+    --workers N     serve workers behind the router (default 3)
+    --requests N    distinct campaign requests to drive through (default 4)
+    --plan NAME     arm a fault plan on the fleet sites (try: fleet)
+    --seed S        fault plan seed (default 2017)
+    --kill-request K  kill the serving worker mid-request at admission K
+    --rolling-restart  rotate every worker under load, then re-verify
+    --summary-json  emit the invariant verdict + stats as a JSON envelope
 
 CLIENT OPTIONS:
     --addr A        server address (required)
@@ -1198,6 +1210,241 @@ fn cmd_serve(args: &[String]) -> i32 {
             eprintln!("server failed: {e}");
             EXIT_RUNTIME
         }
+    }
+}
+
+/// One spec of the fleet request mix: a single SEH module per
+/// request, chosen round-robin from the calibration set so each
+/// request has a distinct consistent-hash route key and the mix
+/// spreads across workers.
+fn fleet_spec(n: usize, seed: u64) -> cr_campaign::CampaignSpec {
+    let calib = cr_targets::browsers::CALIBRATION;
+    cr_campaign::CampaignSpec::builder()
+        .name(format!("fleet-{n}"))
+        .seed(seed)
+        .seh(calib[n % calib.len()].name)
+        .build()
+        .expect("fleet spec is valid")
+}
+
+/// One request against the fleet front over a fresh connection;
+/// returns the Result document on a clean `ok` completion.
+fn fleet_request(addr: &str, payload: &str) -> Result<String, String> {
+    let mut client = cr_serve::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let response = client
+        .request_with_retry(payload, 10)
+        .map_err(|e| e.to_string())?;
+    if let Some(err) = &response.error {
+        return Err(format!("server error: {err}"));
+    }
+    if response.busy.is_some() {
+        return Err("rejected busy after 10 retries".into());
+    }
+    let status = response.done_str("status").unwrap_or_default();
+    if status != "ok" {
+        return Err(format!("request finished with status {status:?}"));
+    }
+    let result = response
+        .result
+        .ok_or_else(|| "no result document".to_string())?;
+    String::from_utf8(result).map_err(|_| "result document is not UTF-8".to_string())
+}
+
+/// `crash-resist fleet`: start an in-process supervised fleet, drive
+/// a deterministic request mix through the router, and verify the
+/// fleet invariants against one-shot campaign references computed in
+/// the same process:
+///
+/// 1. every admitted request is answered (node kills, partitions and
+///    rolling restarts included),
+/// 2. every Result frame is byte-identical to the one-shot run of the
+///    same spec, regardless of which worker answered,
+/// 3. the delivery ledger holds exactly one Result per request.
+///
+/// The mix is sequential distinct specs first — admissions `1..=N`,
+/// so `--kill-request K` lands deterministically — then a concurrent
+/// burst of identical requests to exercise coalescing; with
+/// `--rolling-restart` the distinct specs are re-driven while every
+/// worker rotates through a graceful drain.
+fn cmd_fleet(args: &[String]) -> i32 {
+    let mut workers = 3usize;
+    let mut requests = 4usize;
+    let mut plan_name: Option<String> = None;
+    let mut seed_flag: Option<u64> = None;
+    let mut kill_request: Option<u64> = None;
+    let mut rolling = false;
+    let mut summary_json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rolling-restart" => {
+                rolling = true;
+                i += 1;
+            }
+            "--summary-json" => {
+                summary_json = true;
+                i += 1;
+            }
+            flag @ ("--workers" | "--requests" | "--plan" | "--seed" | "--kill-request") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{flag} needs a value");
+                    return EXIT_USAGE;
+                };
+                let ok = match flag {
+                    "--plan" => {
+                        plan_name = Some(v.clone());
+                        true
+                    }
+                    "--workers" => v.parse().map(|n: usize| workers = n.max(1)).is_ok(),
+                    "--requests" => v.parse().map(|n: usize| requests = n.max(1)).is_ok(),
+                    "--seed" => v.parse().map(|s| seed_flag = Some(s)).is_ok(),
+                    "--kill-request" => v.parse().map(|k| kill_request = Some(k)).is_ok(),
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    eprintln!("bad {flag} value {v:?} (want a non-negative integer)");
+                    return EXIT_USAGE;
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown fleet option {other:?}");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    let seed = effective_seed(seed_flag);
+    let mut cfg = cr_fleet::FleetConfig {
+        workers,
+        kill_at_admission: kill_request,
+        ..cr_fleet::FleetConfig::default()
+    };
+    if let Some(name) = &plan_name {
+        let Some(plan) = FaultPlan::builtin(name) else {
+            eprintln!(
+                "unknown fault plan {name:?} (have: {})",
+                BUILTIN_PLANS.join(" ")
+            );
+            return EXIT_UNKNOWN_TARGET;
+        };
+        cfg.injector = Some(std::sync::Arc::new(FaultInjector::new(
+            plan.with_seed(seed),
+        )));
+    }
+
+    // The byte-identity references: the same specs, run one-shot in
+    // this process. The fleet must reproduce these exactly no matter
+    // which worker answers or how often the admission failed over.
+    let specs: Vec<cr_campaign::CampaignSpec> =
+        (0..requests).map(|n| fleet_spec(n, seed)).collect();
+    let mut references = Vec::with_capacity(requests);
+    for spec in &specs {
+        match run_campaign(spec, &EngineConfig::default()) {
+            Ok(report) => references.push(report.results_json()),
+            Err(e) => {
+                eprintln!("cannot compute reference for {}: {e}", spec.name);
+                return EXIT_RUNTIME;
+            }
+        }
+    }
+
+    let fleet = match cr_fleet::Fleet::start(cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot start fleet: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+    let addr = fleet.addr().to_string();
+    eprintln!("fleet: {workers} worker(s) behind {addr}");
+
+    let mut answered = 0usize;
+    let mut expected = 0usize;
+    let mut byte_identical = true;
+    let mut check = |n: usize, outcome: Result<String, String>| match outcome {
+        Ok(result) => {
+            answered += 1;
+            if result != references[n] {
+                byte_identical = false;
+                eprintln!(
+                    "request {}: result differs from the one-shot reference",
+                    n + 1
+                );
+            }
+        }
+        Err(e) => eprintln!("request {}: {e}", n + 1),
+    };
+
+    // Phase 1: sequential distinct specs — admissions 1..=requests.
+    for (n, spec) in specs.iter().enumerate() {
+        expected += 1;
+        let payload = request_payload(spec, None, None, None);
+        check(n, fleet_request(&addr, &payload));
+    }
+
+    // Phase 2 (--rolling-restart): re-drive the same specs while every
+    // worker rotates through a graceful drain-and-respawn.
+    if rolling {
+        std::thread::scope(|s| {
+            s.spawn(|| fleet.rolling_restart());
+            for (n, spec) in specs.iter().enumerate() {
+                expected += 1;
+                let payload = request_payload(spec, None, None, None);
+                check(n, fleet_request(&addr, &payload));
+            }
+        });
+    }
+
+    // Phase 3: a concurrent burst of byte-identical requests —
+    // coalescing candidates; each still gets its own Result frame.
+    const BURST: usize = 3;
+    let burst_payload = request_payload(&specs[0], None, None, None);
+    let burst: Vec<Result<String, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|_| s.spawn(|| fleet_request(&addr, &burst_payload)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("burst thread panicked".into()))
+            })
+            .collect()
+    });
+    for outcome in burst {
+        expected += 1;
+        check(0, outcome);
+    }
+
+    let exactly_once = fleet
+        .delivery_counts()
+        .iter()
+        .all(|&(_, deliveries)| deliveries == 1);
+    for (id, state, generation) in fleet.worker_states() {
+        eprintln!("worker {id}: {} (generation {generation})", state.name());
+    }
+    let stats = fleet.join();
+    let ok = answered == expected && byte_identical && exactly_once;
+    eprintln!(
+        "fleet verdict: answered {answered}/{expected}, byte_identical={byte_identical}, \
+         exactly_once={exactly_once}, kills={}, failovers={}, restarts={}, coalesced={}",
+        stats.kills, stats.failovers, stats.restarts, stats.coalesced
+    );
+    if summary_json {
+        use serde::Serialize;
+        let results = format!(
+            "{{\"answered\":{answered},\"expected\":{expected},\
+             \"byte_identical\":{byte_identical},\"exactly_once\":{exactly_once},\"ok\":{ok}}}"
+        );
+        println!(
+            "{}",
+            Report::new(ReportKind::Fleet, results, Some(stats.to_json())).to_json()
+        );
+    }
+    if ok {
+        EXIT_OK
+    } else {
+        EXIT_RUNTIME
     }
 }
 

@@ -36,7 +36,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, Response};
+pub use client::{backoff_delay_ms, Client, Pong, Response};
 pub use proto::{
     Frame, FrameError, FrameKind, HEADER_LEN, MAGIC, MAX_PAYLOAD, PROTO_MIN_VERSION, PROTO_VERSION,
 };

@@ -31,8 +31,10 @@
 use cr_campaign::crc32;
 use std::io::{self, Read, Write};
 
-/// Protocol version this build speaks.
-pub const PROTO_VERSION: u16 = 1;
+/// Protocol version this build speaks. Version 2 added the fleet
+/// frames: Ping/Pong heartbeats and the SyncPull/SyncState/SyncPush/
+/// SyncAck cache-replication exchange.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Oldest protocol version this build still accepts in a Hello.
 pub const PROTO_MIN_VERSION: u16 = 1;
@@ -73,6 +75,25 @@ pub enum FrameKind {
     Shutdown,
     /// Server → client: shutdown acknowledged, drain begins.
     ShutdownAck,
+    /// Client → server: heartbeat probe (the fleet supervisor's
+    /// liveness check).
+    Ping,
+    /// Server → client: heartbeat answer carrying serving-phase state
+    /// (queue depth, executor activity, completed count) so health is
+    /// judged by the serving loop, not just process liveness.
+    Pong,
+    /// Client → server: request the server's content-addressed cache
+    /// records (warm-cache replication, pull side).
+    SyncPull,
+    /// Server → client: the cache records, as the same CRC-framed
+    /// JSONL lines the cache persists to disk.
+    SyncState,
+    /// Client → server: merge these CRC-framed JSONL cache records
+    /// (warm-cache replication, push side).
+    SyncPush,
+    /// Server → client: push acknowledged, carries merged/rejected
+    /// record counts.
+    SyncAck,
 }
 
 impl FrameKind {
@@ -90,6 +111,12 @@ impl FrameKind {
             FrameKind::Cancel => 9,
             FrameKind::Shutdown => 10,
             FrameKind::ShutdownAck => 11,
+            FrameKind::Ping => 12,
+            FrameKind::Pong => 13,
+            FrameKind::SyncPull => 14,
+            FrameKind::SyncState => 15,
+            FrameKind::SyncPush => 16,
+            FrameKind::SyncAck => 17,
         }
     }
 
@@ -107,6 +134,12 @@ impl FrameKind {
             9 => FrameKind::Cancel,
             10 => FrameKind::Shutdown,
             11 => FrameKind::ShutdownAck,
+            12 => FrameKind::Ping,
+            13 => FrameKind::Pong,
+            14 => FrameKind::SyncPull,
+            15 => FrameKind::SyncState,
+            16 => FrameKind::SyncPush,
+            17 => FrameKind::SyncAck,
             _ => return None,
         })
     }
@@ -305,7 +338,7 @@ mod tests {
 
     #[test]
     fn every_kind_round_trips() {
-        for code in 1..=11u8 {
+        for code in 1..=17u8 {
             let kind = FrameKind::from_code(code).expect("valid code");
             assert_eq!(kind.code(), code);
             let frame = Frame {
@@ -317,7 +350,7 @@ mod tests {
             assert_eq!(back, frame);
         }
         assert_eq!(FrameKind::from_code(0), None);
-        assert_eq!(FrameKind::from_code(12), None);
+        assert_eq!(FrameKind::from_code(18), None);
     }
 
     #[test]

@@ -46,8 +46,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Idle poll period for connection readers and the accept loop.
+/// Idle poll period for connection readers.
 const POLL_MS: u64 = 25;
+
+/// Idle poll period for the accept loop. Much shorter than the reader
+/// poll: a fresh connection's first byte waits on this, and the fleet
+/// router opens dispatch and heartbeat connections constantly — an
+/// accept stall is pure added latency on every cold path.
+const ACCEPT_POLL_MS: u64 = 2;
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -122,6 +128,12 @@ pub struct ServeStats {
     pub frames_sent: u64,
     /// Response frames truncated by injected `serve.frame` faults.
     pub frames_truncated: u64,
+    /// Heartbeat `Ping` frames answered with a `Pong`.
+    pub pings_answered: u64,
+    /// `SyncPull` replication requests served.
+    pub sync_pulls: u64,
+    /// `SyncPush` replication merges applied.
+    pub sync_pushes: u64,
 }
 
 #[derive(Default)]
@@ -137,6 +149,9 @@ struct Counters {
     loris_closed: AtomicU64,
     frames_sent: AtomicU64,
     frames_truncated: AtomicU64,
+    pings_answered: AtomicU64,
+    sync_pulls: AtomicU64,
+    sync_pushes: AtomicU64,
 }
 
 impl Counters {
@@ -154,6 +169,9 @@ impl Counters {
             loris_closed: get(&self.loris_closed),
             frames_sent: get(&self.frames_sent),
             frames_truncated: get(&self.frames_truncated),
+            pings_answered: get(&self.pings_answered),
+            sync_pulls: get(&self.sync_pulls),
+            sync_pushes: get(&self.sync_pushes),
         }
     }
 }
@@ -253,6 +271,16 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Abrupt-death flag (the fleet's simulated node crash): unlike
+    /// `shutdown` there is no drain — sockets are severed, queued jobs
+    /// are abandoned, the warm cache is *not* persisted.
+    killed: AtomicBool,
+    /// Whether the executor is inside a campaign right now; carried in
+    /// `Pong` so a supervisor can judge serving-phase liveness.
+    executor_busy: AtomicBool,
+    /// One cloned socket per live connection, so `kill` can sever them
+    /// out from under both reader and writer.
+    conns: Mutex<Vec<TcpStream>>,
     counters: Arc<Counters>,
     /// `(conn_id, request_id) -> times the executor started the
     /// campaign`. The no-double-execution invariant: every value is 1.
@@ -299,6 +327,33 @@ impl ServerHandle {
     pub fn is_shutdown(&self) -> bool {
         self.0.shutdown.load(Ordering::Relaxed)
     }
+
+    /// Kill the server abruptly — the fleet's simulated node crash.
+    ///
+    /// Unlike [`ServerHandle::shutdown`] there is no drain: every live
+    /// connection is severed immediately (in-flight responses fail),
+    /// queued jobs are abandoned without a reply, any running campaign
+    /// is aborted via its cancel flag, and the warm cache is *not*
+    /// persisted. `Server::run` still returns so the supervisor can
+    /// join the worker thread and restart a fresh generation.
+    pub fn kill(&self) {
+        self.0.killed.store(true, Ordering::Relaxed);
+        self.0.shutdown.store(true, Ordering::Relaxed);
+        // Abort whatever the executor is inside of.
+        for cancel in self.0.inflight.lock().unwrap().values() {
+            cancel.store(true, Ordering::Relaxed);
+        }
+        // Sever the sockets: writers see broken pipes, readers see EOF.
+        for conn in self.0.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        self.0.queue_cv.notify_all();
+    }
+
+    /// Whether the server was killed abruptly (vs drained).
+    pub fn is_killed(&self) -> bool {
+        self.0.killed.load(Ordering::Relaxed)
+    }
 }
 
 /// The resident server. [`Server::bind`] acquires the socket and warm
@@ -333,6 +388,9 @@ impl Server {
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
                 shutdown: AtomicBool::new(false),
+                killed: AtomicBool::new(false),
+                executor_busy: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
                 counters: Arc::new(Counters::default()),
                 executions: Mutex::new(HashMap::new()),
                 inflight: Mutex::new(HashMap::new()),
@@ -384,7 +442,7 @@ impl Server {
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(POLL_MS));
+                    std::thread::sleep(Duration::from_millis(ACCEPT_POLL_MS));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
@@ -398,10 +456,15 @@ impl Server {
         for t in conn_threads {
             let _ = t.join();
         }
+        let killed = self.shared.killed.load(Ordering::Relaxed);
         if let Some(dir) = &self.shared.cfg.cache_dir {
-            // Atomic by construction: the cache layer writes a
-            // temporary sibling and renames it into place.
-            self.shared.cache.save(dir)?;
+            if !killed {
+                // Atomic by construction: the cache layer writes a
+                // temporary sibling and renames it into place. A
+                // killed node deliberately loses its warm state — that
+                // is what fleet replication exists to cover.
+                self.shared.cache.save(dir)?;
+            }
         }
         if self.owns_trace {
             let _ = cr_trace::finish();
@@ -490,6 +553,12 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
         Ok(s) => s,
         Err(_) => return,
     };
+    if let Ok(kill_handle) = stream.try_clone() {
+        // Registered so `ServerHandle::kill` can sever this socket out
+        // from under us; never pruned — connections are short-lived
+        // relative to a server generation and a clone is just an fd.
+        shared.conns.lock().unwrap().push(kill_handle);
+    }
     let writer = Arc::new(ConnWriter {
         stream: Mutex::new(stream),
         conn_id,
@@ -576,6 +645,48 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
 
         match frame.kind {
             FrameKind::Request => handle_request(shared, &writer, conn_id, &frame),
+            FrameKind::Ping => {
+                // Serving-phase liveness: answered from the reader
+                // thread, but the payload exposes what the *serving
+                // loop* is doing so a supervisor can tell "alive but
+                // wedged" from "alive and draining its queue".
+                let queue_len = shared.queue.lock().unwrap().len();
+                let executing = shared.executor_busy.load(Ordering::Relaxed);
+                let completed = shared.counters.requests_completed.load(Ordering::Relaxed);
+                let draining = shared.shutdown.load(Ordering::Relaxed);
+                shared
+                    .counters
+                    .pings_answered
+                    .fetch_add(1, Ordering::Relaxed);
+                writer.send(&Frame::text(
+                    FrameKind::Pong,
+                    frame.request_id,
+                    format!(
+                        "{{\"queue_len\":{queue_len},\"executing\":{executing},\
+                         \"completed\":{completed},\"draining\":{draining}}}"
+                    ),
+                ));
+            }
+            FrameKind::SyncPull => {
+                shared.counters.sync_pulls.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Frame {
+                    kind: FrameKind::SyncState,
+                    request_id: frame.request_id,
+                    payload: shared.cache.export_jsonl().into_bytes(),
+                });
+            }
+            FrameKind::SyncPush => {
+                let (merged, rejected) = match std::str::from_utf8(&frame.payload) {
+                    Ok(text) => shared.cache.merge_jsonl(text),
+                    Err(_) => (0, 1),
+                };
+                shared.counters.sync_pushes.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Frame::text(
+                    FrameKind::SyncAck,
+                    frame.request_id,
+                    format!("{{\"merged\":{merged},\"rejected\":{rejected}}}"),
+                ));
+            }
             FrameKind::Cancel => {
                 let key = (conn_id, frame.request_id);
                 match shared.inflight.lock().unwrap().get(&key) {
@@ -724,6 +835,11 @@ fn run_executor(shared: &Arc<Shared>) {
         let job = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
+                if shared.killed.load(Ordering::Relaxed) {
+                    // Abrupt death: abandon queued jobs without a
+                    // reply — the fleet router's failover answers them.
+                    break None;
+                }
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
                 }
@@ -803,7 +919,9 @@ fn execute_job(shared: &Arc<Shared>, job: &Job) {
         abort: Some(job.cancel.clone()),
     };
     let started = Instant::now();
+    shared.executor_busy.store(true, Ordering::Relaxed);
     let report = run_campaign_with_cache(&job.spec, &engine_cfg, &shared.cache);
+    shared.executor_busy.store(false, Ordering::Relaxed);
     done.store(true, Ordering::Relaxed);
     if let Some(w) = watchdog {
         let _ = w.join();

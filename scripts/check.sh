@@ -151,4 +151,26 @@ grep -q '"schema_version":1,"kind":"serve"' "$smoke_tmp/serve_out.json" \
 grep -q '"requests_completed":2' "$smoke_tmp/serve_out.json" \
   || { cat "$smoke_tmp/serve_out.json" >&2
   echo "[check] drained stats must report both requests completed" >&2; exit 1; }
+
+# fleet-smoke: three workers behind the router, four sequential
+# requests plus a three-client burst, with the worker owning admission
+# 2 killed mid-request. Every admitted request must still get exactly
+# one answer, byte-identical to a one-shot campaign run — the failover
+# and coalescing invariants, under an actual node death. Restart
+# timing is scheduler-dependent, so only the delivery invariants gate.
+echo "[check] fleet-smoke (node kill mid-request, delivery invariants)"
+target/release/crash-resist fleet --workers 3 --requests 4 \
+  --kill-request 2 --summary-json \
+  > "$smoke_tmp/fleet.json" 2> "$smoke_tmp/fleet.log" \
+  || { cat "$smoke_tmp/fleet.log" >&2
+  echo "[check] fleet run failed" >&2; exit 1; }
+grep -q "${envelope}fleet\"" "$smoke_tmp/fleet.json" \
+  || { echo "[check] fleet --summary-json lacks the envelope" >&2; exit 1; }
+grep -q '"answered":7,"expected":7,"byte_identical":true,"exactly_once":true,"ok":true' \
+  "$smoke_tmp/fleet.json" \
+  || { cat "$smoke_tmp/fleet.json" >&2
+  echo "[check] fleet delivery invariants broken" >&2; exit 1; }
+grep -q '"kills":1' "$smoke_tmp/fleet.json" \
+  || { cat "$smoke_tmp/fleet.json" >&2
+  echo "[check] fleet smoke never killed its worker" >&2; exit 1; }
 echo "[check] all green"
