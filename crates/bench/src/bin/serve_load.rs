@@ -163,11 +163,12 @@ fn fleet_point(
         deterministic &= identical;
     }
     latencies.sort_unstable();
-    let exactly_once = fleet
+    let live_exactly_once = fleet
         .delivery_counts()
         .iter()
         .all(|&(_, deliveries)| deliveries == 1);
     let stats = fleet.join();
+    let exactly_once = live_exactly_once && stats.ledger_violations == 0;
     let total_requests = latencies.len();
     FleetScalePoint {
         workers,
@@ -286,6 +287,10 @@ fn main() {
     let mut closer = Client::connect(&addr).expect("closer connect");
     closer.shutdown().expect("shutdown ack");
     let stats = runner.join().expect("server thread");
+    assert_eq!(
+        stats.exec_violations, 0,
+        "retired execution-ledger entries must each be exactly one"
+    );
 
     // Fleet scaling phase: the same warm workload behind 1/2/4/8
     // supervised workers.

@@ -1416,7 +1416,7 @@ fn cmd_fleet(args: &[String]) -> i32 {
         check(0, outcome);
     }
 
-    let exactly_once = fleet
+    let live_exactly_once = fleet
         .delivery_counts()
         .iter()
         .all(|&(_, deliveries)| deliveries == 1);
@@ -1424,6 +1424,9 @@ fn cmd_fleet(args: &[String]) -> i32 {
         eprintln!("worker {id}: {} (generation {generation})", state.name());
     }
     let stats = fleet.join();
+    // Closed connections retire their ledger entries into counters;
+    // the invariant covers those too.
+    let exactly_once = live_exactly_once && stats.ledger_violations == 0;
     let ok = answered == expected && byte_identical && exactly_once;
     eprintln!(
         "fleet verdict: answered {answered}/{expected}, byte_identical={byte_identical}, \

@@ -152,6 +152,12 @@ pub struct FleetCounters {
     pub records_replicated: AtomicU64,
     /// Workers rotated by graceful rolling restarts.
     pub rolling_restarts: AtomicU64,
+    /// Delivery-ledger entries retired (front connection closed) with
+    /// the exactly-once invariant intact.
+    pub ledger_retired: AtomicU64,
+    /// Delivery-ledger entries retired with a delivery count other
+    /// than one: the exactly-once invariant was violated.
+    pub ledger_violations: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`FleetCounters`].
@@ -193,6 +199,10 @@ pub struct FleetStats {
     pub records_replicated: u64,
     /// Rolling-restart rotations.
     pub rolling_restarts: u64,
+    /// Ledger entries retired with exactly one delivery.
+    pub ledger_retired: u64,
+    /// Ledger entries retired with a delivery count other than one.
+    pub ledger_violations: u64,
 }
 
 impl FleetCounters {
@@ -217,6 +227,8 @@ impl FleetCounters {
             replications: get(&self.replications),
             records_replicated: get(&self.records_replicated),
             rolling_restarts: get(&self.rolling_restarts),
+            ledger_retired: get(&self.ledger_retired),
+            ledger_violations: get(&self.ledger_violations),
         }
     }
 }
@@ -291,8 +303,12 @@ impl Fleet {
         self.counters.snapshot(self.cfg.workers)
     }
 
-    /// The delivery ledger: `((front_conn, request_id), results)`.
-    /// The fleet invariant is that every value is exactly 1.
+    /// The live delivery ledger: `((front_conn, request_id),
+    /// results)`. The fleet invariant is that every value is exactly
+    /// 1; closed connections' entries are folded into the
+    /// `ledger_retired` / `ledger_violations` stats counters, so the
+    /// full invariant check is "every live count is 1 and
+    /// `ledger_violations` is 0".
     pub fn delivery_counts(&self) -> Vec<((u64, u64), u32)> {
         self.router.delivery_counts()
     }

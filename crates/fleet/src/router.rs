@@ -24,7 +24,7 @@ use cr_campaign::{AnalysisCache, CampaignSpec};
 use cr_chaos::{derive_seed, hash_str, mix64, Site};
 use cr_serve::proto::{negotiate, read_frame, write_frame, Frame, FrameError, FrameKind};
 use cr_serve::Client;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,6 +73,18 @@ struct Admission {
     waiters: Vec<(Arc<FrontConn>, u64)>,
 }
 
+/// The delivery ledger. Live connections' counts stay queryable (the
+/// exactly-once invariant witness); a closed connection's entries are
+/// retired into the `ledger_retired` / `ledger_violations` counters so
+/// the map is bounded by live connections, not fleet lifetime.
+struct Ledger {
+    /// Front connections currently open.
+    live: HashSet<u64>,
+    /// `(front conn, client request id) -> Result frames delivered`.
+    /// The fleet invariant: every admitted pair maps to exactly 1.
+    counts: HashMap<(u64, u64), u32>,
+}
+
 /// Everything the router threads share.
 pub struct Router {
     cfg: FleetConfig,
@@ -81,9 +93,7 @@ pub struct Router {
     replica: Arc<AnalysisCache>,
     counters: Arc<FleetCounters>,
     admissions: Mutex<HashMap<u64, Admission>>,
-    /// `(front conn, client request id) -> Result frames delivered`.
-    /// The fleet invariant: every admitted pair maps to exactly 1.
-    delivered: Mutex<HashMap<(u64, u64), u32>>,
+    delivered: Mutex<Ledger>,
     /// Warm dispatch connections per worker, tagged with the worker
     /// generation they were opened against: a fresh connect pays the
     /// worker's accept-poll latency, so the router keeps healthy
@@ -108,7 +118,10 @@ impl Router {
             replica,
             counters,
             admissions: Mutex::new(HashMap::new()),
-            delivered: Mutex::new(HashMap::new()),
+            delivered: Mutex::new(Ledger {
+                live: HashSet::new(),
+                counts: HashMap::new(),
+            }),
             pool: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             next_uid: AtomicU64::new(0),
@@ -128,17 +141,29 @@ impl Router {
         self.admissions.lock().unwrap().len()
     }
 
-    /// The delivery ledger, sorted: `((conn, request), results_sent)`.
+    /// The live delivery ledger, sorted: `((conn, request),
+    /// results_sent)`. Closed connections' entries live on only as the
+    /// `ledger_retired` / `ledger_violations` counters.
     pub(crate) fn delivery_counts(&self) -> Vec<((u64, u64), u32)> {
         let mut v: Vec<_> = self
             .delivered
             .lock()
             .unwrap()
+            .counts
             .iter()
             .map(|(&k, &n)| (k, n))
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Whether `conn_id` still has waiters on any in-flight admission.
+    fn conn_has_waiters(&self, conn_id: u64) -> bool {
+        self.admissions
+            .lock()
+            .unwrap()
+            .values()
+            .any(|a| a.waiters.iter().any(|(c, _)| c.conn_id == conn_id))
     }
 
     /// Accept loop; returns when shutdown is requested.
@@ -149,6 +174,8 @@ impl Router {
         while !self.is_shutdown() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Reap readers whose connection already ended.
+                    conn_threads.retain(|t: &std::thread::JoinHandle<()>| !t.is_finished());
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
                     let router = self.clone();
@@ -183,9 +210,40 @@ impl Router {
             conn_id,
             dead: AtomicBool::new(false),
         });
+        self.delivered.lock().unwrap().live.insert(conn_id);
+        self.conn_loop(&reader_stream, &conn);
+        self.retire_conn(conn_id);
+    }
+
+    /// Drop a closed connection from the ledger, folding its delivery
+    /// counts into the retired/violation counters.
+    fn retire_conn(&self, conn_id: u64) {
+        let mut ledger = self.delivered.lock().unwrap();
+        ledger.live.remove(&conn_id);
+        let done: Vec<(u64, u64)> = ledger
+            .counts
+            .keys()
+            .filter(|k| k.0 == conn_id)
+            .copied()
+            .collect();
+        for key in done {
+            if let Some(n) = ledger.counts.remove(&key) {
+                let counter = if n == 1 {
+                    &self.counters.ledger_retired
+                } else {
+                    &self.counters.ledger_violations
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The frame loop behind [`Router::serve_conn`].
+    fn conn_loop(self: &Arc<Router>, reader_stream: &TcpStream, conn: &Arc<FrontConn>) {
+        let conn_id = conn.conn_id;
         let mut negotiated = false;
         loop {
-            let frame = match read_polled(&reader_stream) {
+            let frame = match read_polled(reader_stream) {
                 Ok(Some(f)) => f,
                 Ok(None) => {
                     if self.is_shutdown() {
@@ -226,7 +284,7 @@ impl Router {
                 continue;
             }
             match frame.kind {
-                FrameKind::Request => self.handle_request(&conn, &frame),
+                FrameKind::Request => self.handle_request(conn, &frame),
                 FrameKind::Ping => {
                     let inflight = self.inflight();
                     conn.send(&Frame::text(
@@ -264,6 +322,13 @@ impl Router {
                     break;
                 }
             }
+            if self.is_shutdown() && !self.conn_has_waiters(conn_id) {
+                // Draining with nothing left to deliver here: stop
+                // reading, so a client that keeps sending frames
+                // cannot hold the reader thread — and Fleet::join —
+                // hostage past shutdown.
+                break;
+            }
         }
     }
 
@@ -295,7 +360,7 @@ impl Router {
         }
         {
             let delivered = self.delivered.lock().unwrap();
-            if delivered.contains_key(&(conn.conn_id, request_id)) {
+            if delivered.counts.contains_key(&(conn.conn_id, request_id)) {
                 drop(delivered);
                 conn.send(&error_frame(
                     request_id,
@@ -315,21 +380,25 @@ impl Router {
         let route_key = hash_str(&labels.join(","));
 
         let mut admissions = self.admissions.lock().unwrap();
-        if let Some(adm) = admissions.get_mut(&admission_key) {
-            // Coalesce: ride the in-flight execution.
-            if adm
-                .waiters
+        // A request id may wait on at most one admission per
+        // connection: reusing it while the first is still in flight —
+        // even under a different payload — is a duplicate, or the
+        // exactly-once ledger would double-count the pair.
+        if admissions.values().any(|adm| {
+            adm.waiters
                 .iter()
                 .any(|(c, id)| c.conn_id == conn.conn_id && *id == request_id)
-            {
-                drop(admissions);
-                conn.send(&error_frame(
-                    request_id,
-                    "duplicate",
-                    "request already waiting",
-                ));
-                return;
-            }
+        }) {
+            drop(admissions);
+            conn.send(&error_frame(
+                request_id,
+                "duplicate",
+                "request id already waiting on this connection",
+            ));
+            return;
+        }
+        if let Some(adm) = admissions.get_mut(&admission_key) {
+            // Coalesce: ride the in-flight execution.
             adm.waiters.push((conn.clone(), request_id));
             drop(admissions);
             self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -462,7 +531,17 @@ impl Router {
                         *request_id,
                         answer.done.clone(),
                     ));
-                    *delivered.entry((conn.conn_id, *request_id)).or_insert(0) += 1;
+                    if delivered.live.contains(&conn.conn_id) {
+                        *delivered
+                            .counts
+                            .entry((conn.conn_id, *request_id))
+                            .or_insert(0) += 1;
+                    } else {
+                        // The waiter's connection closed while we
+                        // executed: its ledger was already swept, so
+                        // this single delivery retires directly.
+                        self.counters.ledger_retired.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.counters
                         .results_delivered
                         .fetch_add(1, Ordering::Relaxed);
@@ -490,7 +569,7 @@ impl Router {
         let mut client = match self.checkout(id, generation) {
             Some(c) => c,
             None => {
-                let c = Client::connect(addr)?;
+                let mut c = Client::connect(addr)?;
                 c.set_read_timeout(Some(Duration::from_millis(self.cfg.request_timeout_ms)))?;
                 c
             }

@@ -76,6 +76,10 @@ struct WorkerSlot {
     /// Router-maintained count of dispatches outstanding on this
     /// worker (drain gating for rolling restarts).
     in_flight: Arc<AtomicU64>,
+    /// Persistent heartbeat connection, reused across ticks so the
+    /// monitor does not open a fresh socket every `heartbeat_ms`;
+    /// dropped whenever the worker changes generation.
+    probe: Option<Client>,
 }
 
 /// Spawns and monitors the worker set.
@@ -142,6 +146,7 @@ impl Supervisor {
                 last_completed: 0,
                 last_queue_len: 0,
                 in_flight: Arc::new(AtomicU64::new(0)),
+                probe: None,
             });
         }
         Ok(Supervisor {
@@ -183,6 +188,7 @@ impl Supervisor {
         }
         s.handle.kill();
         s.state = WorkerState::Dead;
+        s.probe = None;
         self.counters.kills.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -230,14 +236,14 @@ impl Supervisor {
     fn heartbeat_one(&self, id: usize) {
         // Probe outside the slots lock: a slow or dead peer must not
         // stall dispatch-target lookups for the whole fleet.
-        let (addr, state, thread_done) = {
+        let (addr, state, thread_done, probe_conn) = {
             let mut slots = self.slots.lock().unwrap();
             let s = &mut slots[id];
             if matches!(s.state, WorkerState::Quarantined | WorkerState::Draining) {
                 return;
             }
             let done = s.thread.as_ref().is_some_and(JoinHandle::is_finished);
-            (s.addr.clone(), s.state, done)
+            (s.addr.clone(), s.state, done, s.probe.take())
         };
         if state == WorkerState::Dead || thread_done {
             if state != WorkerState::Dead {
@@ -251,7 +257,7 @@ impl Supervisor {
         }
 
         let seq = self.hb_seq.fetch_add(1, Ordering::Relaxed);
-        let probe = self.probe(&addr);
+        let probe = self.probe(&addr, probe_conn);
         let dropped = probe.is_ok()
             && self.cfg.injector.as_ref().is_some_and(|inj| {
                 // Keyed per (worker, heartbeat ordinal): each drop
@@ -271,7 +277,7 @@ impl Supervisor {
             return;
         }
         match probe {
-            Ok(pong) if !dropped => {
+            Ok((client, pong)) if !dropped => {
                 // Serving-phase wedge: work queued, executor idle, and
                 // no completion progress since the last pong.
                 let wedged = pong.queue_len > 0
@@ -291,8 +297,18 @@ impl Supervisor {
                         s.consecutive_restarts = 0;
                     }
                 }
+                if s.state != WorkerState::Dead && s.addr == addr {
+                    s.probe = Some(client);
+                }
             }
-            _ => self.miss(s),
+            Ok((client, _)) => {
+                // An injected drop loses the pong, not the socket.
+                self.miss(s);
+                if s.state != WorkerState::Dead && s.addr == addr {
+                    s.probe = Some(client);
+                }
+            }
+            Err(_) => self.miss(s),
         }
         let needs_restart = s.state == WorkerState::Dead;
         drop(slots);
@@ -301,13 +317,24 @@ impl Supervisor {
         }
     }
 
-    /// One short-deadline Ping round trip on a fresh connection.
-    fn probe(&self, addr: &str) -> io::Result<cr_serve::Pong> {
+    /// One short-deadline Ping round trip, reusing the slot's
+    /// persistent heartbeat connection when one survives. A failed
+    /// ping on a reused socket falls back to a fresh connection before
+    /// counting as a miss, so a benignly-closed pool socket (e.g. a
+    /// worker that restarted behind us) judges the worker exactly like
+    /// a fresh probe would.
+    fn probe(&self, addr: &str, reused: Option<Client>) -> io::Result<(Client, cr_serve::Pong)> {
+        if let Some(mut client) = reused {
+            if let Ok(pong) = client.ping() {
+                return Ok((client, pong));
+            }
+        }
         let mut client = Client::connect(addr)?;
         client.set_read_timeout(Some(Duration::from_millis(
             self.cfg.heartbeat_ms.max(25) * 4,
         )))?;
-        client.ping()
+        let pong = client.ping()?;
+        Ok((client, pong))
     }
 
     fn miss(&self, s: &mut WorkerSlot) {
@@ -317,6 +344,7 @@ impl Supervisor {
         if s.misses >= self.cfg.miss_threshold {
             s.handle.kill();
             s.state = WorkerState::Dead;
+            s.probe = None;
             self.counters.deaths.fetch_add(1, Ordering::Relaxed);
         } else {
             s.state = WorkerState::Suspect;
@@ -382,6 +410,7 @@ impl Supervisor {
                 s.consecutive_restarts += 1;
                 s.last_completed = 0;
                 s.last_queue_len = 0;
+                s.probe = None;
             }
             Err(_) => {
                 // Could not bind a replacement: leave the slot dead;
@@ -424,30 +453,40 @@ impl Supervisor {
         if let Some(t) = old_thread {
             let _ = t.join();
         }
-        if let Ok((addr, handle, thread)) = spawn_server(&self.cfg) {
-            self.counters.spawned.fetch_add(1, Ordering::Relaxed);
-            let records = self.replica.export_jsonl();
-            if !records.is_empty() {
-                if let Ok(mut c) = Client::connect(&addr) {
-                    if c.sync_push(&records).is_ok() {
-                        self.counters.replications.fetch_add(1, Ordering::Relaxed);
+        match spawn_server(&self.cfg) {
+            Ok((addr, handle, thread)) => {
+                self.counters.spawned.fetch_add(1, Ordering::Relaxed);
+                let records = self.replica.export_jsonl();
+                if !records.is_empty() {
+                    if let Ok(mut c) = Client::connect(&addr) {
+                        if c.sync_push(&records).is_ok() {
+                            self.counters.replications.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
+                let mut slots = self.slots.lock().unwrap();
+                let s = &mut slots[id];
+                s.generation += 1;
+                s.addr = addr;
+                s.handle = handle;
+                s.thread = Some(thread);
+                s.state = WorkerState::Healthy;
+                s.misses = 0;
+                s.healthy_pongs = 0;
+                s.last_completed = 0;
+                s.last_queue_len = 0;
+                s.probe = None;
+                self.counters
+                    .rolling_restarts
+                    .fetch_add(1, Ordering::Relaxed);
             }
-            let mut slots = self.slots.lock().unwrap();
-            let s = &mut slots[id];
-            s.generation += 1;
-            s.addr = addr;
-            s.handle = handle;
-            s.thread = Some(thread);
-            s.state = WorkerState::Healthy;
-            s.misses = 0;
-            s.healthy_pongs = 0;
-            s.last_completed = 0;
-            s.last_queue_len = 0;
+            Err(_) => {
+                // No replacement came up: hand the drained slot to the
+                // heartbeat restart path (backoff + quarantine
+                // accounting) instead of stranding it in Draining.
+                let mut slots = self.slots.lock().unwrap();
+                slots[id].state = WorkerState::Dead;
+            }
         }
-        self.counters
-            .rolling_restarts
-            .fetch_add(1, Ordering::Relaxed);
     }
 }

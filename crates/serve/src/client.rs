@@ -88,6 +88,9 @@ pub struct Client {
     addr: String,
     /// Seed for retry jitter (see [`backoff_delay_ms`]).
     retry_seed: u64,
+    /// The configured read timeout, re-applied after a transparent
+    /// reconnect so a wedged server still surfaces as `TimedOut`.
+    read_timeout: Option<Duration>,
 }
 
 fn other_err(e: impl std::fmt::Display) -> io::Error {
@@ -111,6 +114,7 @@ impl Client {
             next_request_id: 0,
             addr: addr.to_string(),
             retry_seed: 2017,
+            read_timeout: None,
         };
         client.write(&Frame::text(FrameKind::Hello, 0, hello_payload()))?;
         let ack = client.read()?;
@@ -221,6 +225,12 @@ impl Client {
                 })?;
                 self.stream = fresh.stream;
                 self.version = fresh.version;
+                // Carry the configured read deadline over to the fresh
+                // socket: a reconnected client must not block forever
+                // on a wedged server.
+                if self.read_timeout.is_some() {
+                    self.stream.set_read_timeout(self.read_timeout)?;
+                }
                 self.request(payload)
             }
             Err(e) => Err(e),
@@ -320,8 +330,10 @@ impl Client {
     /// # Errors
     ///
     /// Propagates the socket's `set_read_timeout` failure.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        self.stream.set_read_timeout(timeout)
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     /// Cancel an in-flight request by id (fire-and-forget; the

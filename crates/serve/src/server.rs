@@ -134,6 +134,12 @@ pub struct ServeStats {
     pub sync_pulls: u64,
     /// `SyncPush` replication merges applied.
     pub sync_pushes: u64,
+    /// Execution-ledger entries retired (connection closed) with the
+    /// invariant intact — exactly one execution.
+    pub exec_retired: u64,
+    /// Execution-ledger entries retired with more than one execution:
+    /// the no-double-execution invariant was violated.
+    pub exec_violations: u64,
 }
 
 #[derive(Default)]
@@ -152,6 +158,8 @@ struct Counters {
     pings_answered: AtomicU64,
     sync_pulls: AtomicU64,
     sync_pushes: AtomicU64,
+    exec_retired: AtomicU64,
+    exec_violations: AtomicU64,
 }
 
 impl Counters {
@@ -172,6 +180,8 @@ impl Counters {
             pings_answered: get(&self.pings_answered),
             sync_pulls: get(&self.sync_pulls),
             sync_pushes: get(&self.sync_pushes),
+            exec_retired: get(&self.exec_retired),
+            exec_violations: get(&self.exec_violations),
         }
     }
 }
@@ -278,12 +288,16 @@ struct Shared {
     /// Whether the executor is inside a campaign right now; carried in
     /// `Pong` so a supervisor can judge serving-phase liveness.
     executor_busy: AtomicBool,
-    /// One cloned socket per live connection, so `kill` can sever them
-    /// out from under both reader and writer.
-    conns: Mutex<Vec<TcpStream>>,
+    /// One cloned socket per live connection, keyed by conn id, so
+    /// `kill` can sever them out from under both reader and writer;
+    /// each entry is removed when its connection's reader exits.
+    conns: Mutex<HashMap<u64, TcpStream>>,
     counters: Arc<Counters>,
     /// `(conn_id, request_id) -> times the executor started the
     /// campaign`. The no-double-execution invariant: every value is 1.
+    /// Entries for closed connections are retired into the
+    /// `exec_retired` / `exec_violations` counters so the ledger stays
+    /// bounded by live connections, not server lifetime.
     executions: Mutex<HashMap<(u64, u64), u32>>,
     /// Cancel flags of admitted-but-unfinished requests.
     inflight: Mutex<HashMap<(u64, u64), Arc<AtomicBool>>>,
@@ -303,7 +317,9 @@ impl ServerHandle {
 
     /// How many times each admitted request's campaign was started,
     /// keyed by `(conn_id, request_id)`. Every value must be exactly 1
-    /// — the serve chaos invariant.
+    /// — the serve chaos invariant. Covers live connections only:
+    /// entries for closed connections are retired into the
+    /// `exec_retired` / `exec_violations` stats counters.
     pub fn execution_counts(&self) -> Vec<((u64, u64), u32)> {
         let mut v: Vec<_> = self
             .0
@@ -315,6 +331,13 @@ impl ServerHandle {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Connections currently registered (and thus holding a cloned
+    /// fd). Bounded by live clients: every connection deregisters on
+    /// exit.
+    pub fn live_conns(&self) -> usize {
+        self.0.conns.lock().unwrap().len()
     }
 
     /// Trigger the same graceful drain a Shutdown frame does.
@@ -344,7 +367,7 @@ impl ServerHandle {
             cancel.store(true, Ordering::Relaxed);
         }
         // Sever the sockets: writers see broken pipes, readers see EOF.
-        for conn in self.0.conns.lock().unwrap().iter() {
+        for conn in self.0.conns.lock().unwrap().values() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         self.0.queue_cv.notify_all();
@@ -390,7 +413,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 killed: AtomicBool::new(false),
                 executor_busy: AtomicBool::new(false),
-                conns: Mutex::new(Vec::new()),
+                conns: Mutex::new(HashMap::new()),
                 counters: Arc::new(Counters::default()),
                 executions: Mutex::new(HashMap::new()),
                 inflight: Mutex::new(HashMap::new()),
@@ -430,6 +453,10 @@ impl Server {
         while !self.shared.shutdown.load(Ordering::Relaxed) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Reap readers whose connection already ended, so a
+                    // long-running server holds handles for live
+                    // connections only.
+                    conn_threads.retain(|t: &std::thread::JoinHandle<()>| !t.is_finished());
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
                     self.shared
@@ -530,8 +557,8 @@ fn error_frame(request_id: u64, code: &str, message: &str) -> Frame {
     )
 }
 
-/// One connection's reader loop: handshake, then frames until EOF,
-/// error, or shutdown.
+/// One connection: register its kill handle, run the frame loop, then
+/// deregister and retire the connection's execution-ledger entries.
 fn serve_conn(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     if let Some(inj) = &shared.cfg.injector {
         if inj.fires(Site::ServeConnDrop, conn_id, 0).is_some() {
@@ -555,10 +582,53 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     };
     if let Ok(kill_handle) = stream.try_clone() {
         // Registered so `ServerHandle::kill` can sever this socket out
-        // from under us; never pruned — connections are short-lived
-        // relative to a server generation and a clone is just an fd.
-        shared.conns.lock().unwrap().push(kill_handle);
+        // from under us; removed again below once the connection ends,
+        // so a long-running server holds one fd per *live* connection.
+        shared.conns.lock().unwrap().insert(conn_id, kill_handle);
     }
+    conn_loop(shared, stream, &reader_stream, conn_id);
+    shared.conns.lock().unwrap().remove(&conn_id);
+    retire_conn_executions(shared, conn_id);
+}
+
+/// Retire a closed connection's execution-ledger entries into the
+/// retired/violation counters, so the ledger stays bounded by live
+/// connections. Entries still in flight are left for the executor,
+/// which retires them when it finishes (the connection is gone by
+/// then).
+fn retire_conn_executions(shared: &Shared, conn_id: u64) {
+    let pending: Vec<(u64, u64)> = shared
+        .inflight
+        .lock()
+        .unwrap()
+        .keys()
+        .filter(|k| k.0 == conn_id)
+        .copied()
+        .collect();
+    let mut executions = shared.executions.lock().unwrap();
+    let done: Vec<(u64, u64)> = executions
+        .keys()
+        .filter(|k| k.0 == conn_id && !pending.contains(k))
+        .copied()
+        .collect();
+    for key in done {
+        if let Some(times) = executions.remove(&key) {
+            retire_execution(&shared.counters, times);
+        }
+    }
+}
+
+fn retire_execution(counters: &Counters, times: u32) {
+    if times == 1 {
+        counters.exec_retired.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.exec_violations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The frame loop behind [`serve_conn`]: handshake, then frames until
+/// EOF, error, or shutdown.
+fn conn_loop(shared: &Arc<Shared>, stream: TcpStream, reader_stream: &TcpStream, conn_id: u64) {
     let writer = Arc::new(ConnWriter {
         stream: Mutex::new(stream),
         conn_id,
@@ -571,7 +641,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     let mut negotiated = false;
     loop {
         let mut reader = FrameReader {
-            stream: &reader_stream,
+            stream: reader_stream,
             consumed: 0,
             patience: Duration::from_millis(shared.cfg.read_timeout_ms),
         };
@@ -855,11 +925,15 @@ fn run_executor(shared: &Arc<Shared>) {
         };
         let Some(job) = job else { break };
         execute_job(shared, &job);
-        shared
-            .inflight
-            .lock()
-            .unwrap()
-            .remove(&(job.conn_id, job.request_id));
+        let key = (job.conn_id, job.request_id);
+        shared.inflight.lock().unwrap().remove(&key);
+        if !shared.conns.lock().unwrap().contains_key(&job.conn_id) {
+            // The connection ended mid-execution: its reader already
+            // swept the ledger, so retire this entry here.
+            if let Some(times) = shared.executions.lock().unwrap().remove(&key) {
+                retire_execution(&shared.counters, times);
+            }
+        }
     }
 }
 
@@ -1025,6 +1099,42 @@ mod tests {
         assert_eq!(stats.requests_admitted, 1);
         assert_eq!(stats.requests_completed, 1);
         assert_eq!(stats.busy_rejections, 0);
+    }
+
+    #[test]
+    fn closed_connections_release_their_fd_and_retire_the_ledger() {
+        let server = Server::bind(ServeConfig::default()).expect("bind");
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().expect("drain"));
+
+        // A stream of short-lived connections — the supervisor
+        // heartbeat pattern. Each must deregister its kill handle on
+        // disconnect, or a resident server leaks one fd per probe.
+        for round in 0..5 {
+            let mut client = Client::connect(&addr).expect("connect");
+            if round == 0 {
+                let response = client.request(SPEC).expect("request");
+                assert!(response.completed(), "error={:?}", response.error);
+            } else {
+                client.ping().expect("ping");
+            }
+            drop(client);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while handle.live_conns() > 0 {
+                assert!(Instant::now() < deadline, "connection never deregistered");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+
+        // The executed request's ledger entry retired with its
+        // connection instead of accumulating for the server lifetime.
+        assert!(handle.execution_counts().is_empty());
+        handle.shutdown();
+        let stats = runner.join().unwrap();
+        assert_eq!(stats.conns_accepted, 5);
+        assert_eq!(stats.exec_retired, 1);
+        assert_eq!(stats.exec_violations, 0);
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test")
             || std::env::var_os("CRITERION_TEST_MODE").is_some();
-        Criterion { test_mode, sample_size: 30 }
+        Criterion {
+            test_mode,
+            sample_size: 30,
+        }
     }
 }
 
@@ -43,14 +46,20 @@ impl Criterion {
         if self.test_mode {
             println!("test bench {name} ... ok");
         } else {
-            println!("bench {name:<40} {:>12.1} ns/iter ({} iters)", b.best_ns, b.iters);
+            println!(
+                "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+                b.best_ns, b.iters
+            );
         }
         self
     }
 
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
     }
 }
 

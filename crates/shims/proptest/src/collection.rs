@@ -15,20 +15,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_incl: n }
+        SizeRange {
+            min: n,
+            max_incl: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { min: r.start, max_incl: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max_incl: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max_incl: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max_incl: *r.end(),
+        }
     }
 }
 
@@ -40,7 +49,10 @@ impl SizeRange {
 
 /// A strategy for `Vec<S::Value>` with length drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`vec`].
@@ -60,17 +72,17 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// A strategy for `BTreeMap`s with up to `size` entries (duplicate keys
 /// collapse, as in upstream proptest).
-pub fn btree_map<K, V>(
-    keys: K,
-    values: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,
     V: Strategy,
 {
-    BTreeMapStrategy { keys, values, size: size.into() }
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`btree_map`].

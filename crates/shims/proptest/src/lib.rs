@@ -79,7 +79,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seeded constructor.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next raw 64-bit draw.

@@ -7,7 +7,9 @@ use std::fmt;
 /// Uniform choice from a slice of values.
 pub fn select<T: Clone + fmt::Debug + 'static>(values: &[T]) -> Select<T> {
     assert!(!values.is_empty(), "select() needs at least one value");
-    Select { values: values.to_vec() }
+    Select {
+        values: values.to_vec(),
+    }
 }
 
 /// Strategy returned by [`select`].

@@ -33,7 +33,11 @@ pub trait Strategy: 'static {
         Self: Sized,
         F: Fn(&Self::Value) -> bool + 'static,
     {
-        Filter { inner: self, reason, pred }
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
     }
 
     /// Combined filter and map.
@@ -43,7 +47,11 @@ pub trait Strategy: 'static {
         O: fmt::Debug,
         F: Fn(Self::Value) -> Option<O> + 'static,
     {
-        FilterMap { inner: self, reason, f }
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
     }
 
     /// Generate an intermediate value, then generate from a strategy
@@ -345,7 +353,11 @@ impl Strategy for &'static str {
         let pieces = parse_pattern(self);
         let mut out = String::new();
         for (chars, min, max) in &pieces {
-            let n = if min == max { *min } else { min + rng.below(max - min + 1) };
+            let n = if min == max {
+                *min
+            } else {
+                min + rng.below(max - min + 1)
+            };
             for _ in 0..n {
                 out.push(chars[rng.below(chars.len())]);
             }
@@ -429,7 +441,10 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
             }
             _ => (1, 1),
         };
-        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
         pieces.push((set, min, max));
     }
     pieces
@@ -475,8 +490,7 @@ mod tests {
             }
         }
         let strat = crate::prop_oneof![Just(Tree::Leaf)].prop_recursive(3, 8, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
         });
         let mut rng = TestRng::new(3);
         let mut saw_node = false;

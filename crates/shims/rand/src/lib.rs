@@ -187,7 +187,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed ^ 0x6A09_E667_F3BC_C909 }
+            StdRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
         }
     }
 }

@@ -230,8 +230,9 @@ mod tests {
     #[test]
     fn containers() {
         assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
-        let m: BTreeMap<String, usize> =
-            [("b".to_string(), 2), ("a".to_string(), 1)].into_iter().collect();
+        let m: BTreeMap<String, usize> = [("b".to_string(), 2), ("a".to_string(), 1)]
+            .into_iter()
+            .collect();
         assert_eq!(m.to_json(), "{\"a\":1,\"b\":2}");
         assert_eq!(Some(5u32).to_json(), "5");
         assert_eq!(Option::<u32>::None.to_json(), "null");
@@ -259,7 +260,14 @@ mod tests {
 
     #[test]
     fn derived_struct() {
-        assert_eq!(Point { x: 1, y: vec![2, 3] }.to_json(), "{\"x\":1,\"y\":[2,3]}");
+        assert_eq!(
+            Point {
+                x: 1,
+                y: vec![2, 3]
+            }
+            .to_json(),
+            "{\"x\":1,\"y\":[2,3]}"
+        );
         assert_eq!(Unit.to_json(), "null");
         assert_eq!(Wrap(9, false).to_json(), "[9,false]");
     }
@@ -267,7 +275,10 @@ mod tests {
     #[test]
     fn derived_enum_external_tagging() {
         assert_eq!(Verdict::Plain.to_json(), "\"Plain\"");
-        assert_eq!(Verdict::Accepts { witness: 7 }.to_json(), "{\"Accepts\":{\"witness\":7}}");
+        assert_eq!(
+            Verdict::Accepts { witness: 7 }.to_json(),
+            "{\"Accepts\":{\"witness\":7}}"
+        );
         assert_eq!(Verdict::Reason("x").to_json(), "{\"Reason\":\"x\"}");
         assert_eq!(Verdict::Pair(1, 2).to_json(), "{\"Pair\":[1,2]}");
     }

@@ -198,7 +198,9 @@ fn tuple_struct_body(arity: usize) -> String {
         if i > 0 {
             s.push_str("out.push(',');\n");
         }
-        s.push_str(&format!("::serde::Serialize::write_json(&self.{i}, out);\n"));
+        s.push_str(&format!(
+            "::serde::Serialize::write_json(&self.{i}, out);\n"
+        ));
     }
     s.push_str("out.push(']');");
     s

@@ -63,6 +63,13 @@ fn assert_exactly_once(fleet: &Fleet) {
             "request {request} on front conn {conn} must get exactly one Result"
         );
     }
+    // Closed connections' ledger entries are retired into counters;
+    // the invariant must have held for them too.
+    assert_eq!(
+        fleet.stats().ledger_violations,
+        0,
+        "every retired ledger entry must have had exactly one Result"
+    );
 }
 
 #[test]

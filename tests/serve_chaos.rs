@@ -86,6 +86,10 @@ fn wire_plan_never_double_executes_requests() {
         "the wire plan must actually fire ({stats:?})"
     );
     assert_eq!(stats.requests_cancelled, 0);
+    assert_eq!(
+        stats.exec_violations, 0,
+        "no request may execute more than once ({stats:?})"
+    );
 }
 
 #[test]

@@ -96,4 +96,10 @@ fn second_request_is_served_from_warm_state_byte_identical() {
     for ((_, _), n) in handle.execution_counts() {
         assert_eq!(n, 1, "every request executed exactly once");
     }
+    assert_eq!(stats.exec_violations, 0);
+    assert_eq!(
+        stats.exec_retired + handle.execution_counts().len() as u64,
+        2,
+        "both executions accounted for, live or retired"
+    );
 }
