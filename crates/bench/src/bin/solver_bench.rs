@@ -22,8 +22,17 @@
 //! must satisfy their constraints, and the warm pass must hit the memo
 //! once per query. Wall-time ratios are recorded, never asserted —
 //! timing belongs in the JSON, not in CI pass/fail.
+//!
+//! A fourth measurement prices the path explorer (the `paths` section):
+//! the loopy/multi-branch filter family explored with incremental
+//! push/pop solving vs the same exploration re-blasting every path from
+//! scratch ([`FilterExplorer`]'s `incremental(false)` differential
+//! mode). Verdicts — merged and per-path — must agree between modes;
+//! the wall ratio lands in `incremental_speedup`.
 
-use cr_symex::{BinOp, BoolExpr, CmpOp, Expr, SatResult};
+use cr_core::seh::PeCode;
+use cr_image::FilterRef;
+use cr_symex::{BinOp, BoolExpr, CmpOp, ExplorationReport, Expr, FilterExplorer, SatResult};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -36,6 +45,31 @@ struct PassStats {
     solver_calls: u64,
     memo_lookups: u64,
     memo_hits: u64,
+}
+
+#[derive(serde::Serialize)]
+struct PathsPassStats {
+    /// Best-of-rounds wall time for exploring the whole family, µs.
+    wall_us: u64,
+    solver_calls: u64,
+    memo_lookups: u64,
+    memo_hits: u64,
+}
+
+/// The `paths` section: incremental exploration vs per-path re-blast
+/// over the loopy filter family.
+#[derive(serde::Serialize)]
+struct PathsReport {
+    filters: usize,
+    paths: usize,
+    rounds: usize,
+    incremental: PathsPassStats,
+    independent: PathsPassStats,
+    /// Independent / incremental wall ratio (>1 = incremental faster).
+    incremental_speedup: f64,
+    incremental_beats_independent: bool,
+    /// Merged and per-path verdicts identical across both modes.
+    verdict_parity: bool,
 }
 
 #[derive(serde::Serialize)]
@@ -54,6 +88,8 @@ struct SolverReport {
     warm_speedup: f64,
     /// Both pipelines returned the same verdict for every query.
     verdict_parity: bool,
+    /// Path-explorer pricing over the loopy filter family.
+    paths: PathsReport,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -222,6 +258,77 @@ fn main() {
     }
     let warm_delta = delta(warm_before);
 
+    // Pass 4: the path explorer over the loopy family, incremental
+    // push/pop vs per-path re-blast. The memo is reset before every
+    // round so both modes start cold and neither inherits the other's
+    // normalized-query entries.
+    eprintln!("[solver_bench] path exploration (loopy family, incremental vs independent) ...");
+    let image = cr_targets::browsers::generate_loopy_dll();
+    let pe_code = PeCode::new(&image);
+    let mut filter_rvas: Vec<u32> = image
+        .runtime_functions
+        .iter()
+        .flat_map(|rf| rf.unwind.scopes.iter())
+        .filter_map(|s| match s.filter {
+            FilterRef::Function(rva) => Some(rva),
+            FilterRef::CatchAll => None,
+        })
+        .collect();
+    filter_rvas.sort_unstable();
+    filter_rvas.dedup();
+    let explore_mode = |incremental: bool| -> (u64, (u64, u64, u64), Vec<ExplorationReport>) {
+        let explorer = FilterExplorer::builder().incremental(incremental).build();
+        let before = counters();
+        let mut wall = u64::MAX;
+        let mut reports = Vec::new();
+        for _ in 0..rounds {
+            cr_symex::reset_query_memo();
+            let start = Instant::now();
+            let out: Vec<ExplorationReport> = filter_rvas
+                .iter()
+                .map(|&rva| explorer.explore(&pe_code, image.image_base + u64::from(rva)))
+                .collect();
+            wall = wall.min(start.elapsed().as_micros() as u64);
+            reports = out;
+        }
+        (wall, delta(before), reports)
+    };
+    let (inc_wall, inc_delta, inc_reports) = explore_mode(true);
+    let (ind_wall, ind_delta, ind_reports) = explore_mode(false);
+    let mut paths_parity = inc_reports.len() == ind_reports.len();
+    for (i, (a, b)) in inc_reports.iter().zip(&ind_reports).enumerate() {
+        if a.verdict != b.verdict
+            || a.paths.len() != b.paths.len()
+            || a.paths
+                .iter()
+                .zip(&b.paths)
+                .any(|(p, q)| p.verdict != q.verdict)
+        {
+            eprintln!(
+                "[solver_bench] PATH PARITY FAILURE filter {i}: \
+                 incremental={:?} independent={:?}",
+                a.verdict, b.verdict
+            );
+            paths_parity = false;
+        }
+    }
+    let paths_stats = |wall: u64, d: (u64, u64, u64)| PathsPassStats {
+        wall_us: wall,
+        solver_calls: d.0,
+        memo_lookups: d.1,
+        memo_hits: d.2,
+    };
+    let paths_report = PathsReport {
+        filters: filter_rvas.len(),
+        paths: inc_reports.iter().map(|r| r.paths.len()).sum(),
+        rounds,
+        incremental: paths_stats(inc_wall, inc_delta),
+        independent: paths_stats(ind_wall, ind_delta),
+        incremental_speedup: ind_wall as f64 / inc_wall.max(1) as f64,
+        incremental_beats_independent: inc_wall < ind_wall,
+        verdict_parity: paths_parity,
+    };
+
     let mut sat = 0;
     let mut unsat = 0;
     let mut unknown = 0;
@@ -272,6 +379,7 @@ fn main() {
         cold_speedup: ref_wall as f64 / cold_wall.max(1) as f64,
         warm_speedup: cold_wall as f64 / warm_wall.max(1) as f64,
         verdict_parity: parity,
+        paths: paths_report,
     };
     let json = report.to_json();
     println!("{json}");
@@ -292,4 +400,8 @@ fn main() {
         "warm-pass lookups must all hit"
     );
     assert!(unknown == 0, "corpus queries must stay in budget");
+    assert!(
+        report.paths.verdict_parity,
+        "incremental and independent exploration must agree on every path verdict"
+    );
 }

@@ -199,10 +199,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_compiles_without_validation() {
-        #[allow(deprecated)]
-        let spec = CampaignSpec::from_parts("legacy", 7, Vec::new());
+    fn builder_is_the_only_constructor() {
+        // The deprecated `from_parts` shim is gone; fluent construction
+        // covers the same ground with validation.
+        let spec = CampaignSpec::builder()
+            .name("legacy")
+            .seed(7)
+            .poc("ie")
+            .build()
+            .unwrap();
         assert_eq!(spec.name, "legacy");
-        assert!(spec.tasks.is_empty(), "shim must not validate");
+        assert_eq!(spec.seed, 7);
     }
 }

@@ -245,6 +245,8 @@ pub fn run_campaign_with_cache(
     let solver_before = cr_symex::solver_calls();
     let memo_lookups_before = cr_symex::memo_lookups();
     let memo_hits_before = cr_symex::memo_hits();
+    let paths_completed_before = cr_symex::paths_completed();
+    let paths_pruned_before = cr_symex::paths_pruned();
     let cache_before = cache.stats();
     let injector = cfg.injector.as_deref();
     let labels: Vec<(String, TaskKind)> =
@@ -306,6 +308,8 @@ pub fn run_campaign_with_cache(
             calls: cr_symex::solver_calls() - solver_before,
             memo_lookups: cr_symex::memo_lookups() - memo_lookups_before,
             memo_hits: cr_symex::memo_hits() - memo_hits_before,
+            paths_completed: cr_symex::paths_completed() - paths_completed_before,
+            paths_pruned: cr_symex::paths_pruned() - paths_pruned_before,
         },
         quarantined,
         crate::cache::CacheStatsSnapshot {
@@ -438,10 +442,27 @@ fn run_seh(
     inj: Option<&FaultInjector>,
     ctx: &TaskCtx,
 ) -> Result<TaskResult, TaskError> {
-    let spec = cr_targets::browsers::full_population_specs()
-        .into_iter()
-        .find(|s| s.name == name)
-        .unwrap_or_else(|| panic!("unknown dll {name:?}"));
+    // The loopy explorer-regression family lives outside the calibrated
+    // §V-C population (its Table II/III totals are pinned), so it is
+    // resolved by name instead of through the population specs.
+    let spec = if name == "loopy" {
+        None
+    } else {
+        Some(
+            cr_targets::browsers::full_population_specs()
+                .into_iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("unknown dll {name:?}")),
+        )
+    };
+    let module_bytes = || match &spec {
+        Some(s) => cr_targets::browsers::generate_dll_bytes(s),
+        None => cr_targets::browsers::generate_loopy_dll_bytes(),
+    };
+    let module_image = || match &spec {
+        Some(s) => cr_targets::browsers::generate_dll(s),
+        None => cr_targets::browsers::generate_loopy_dll(),
+    };
     let key = ctx.index as u64;
 
     if let Some(inj) = inj {
@@ -453,7 +474,7 @@ fn run_seh(
             // or the mutation landed in slack space and the image still
             // parses — both are classified ImageMalformed so accounting
             // stays exact.
-            let mut bytes = cr_targets::browsers::generate_dll_bytes(&spec);
+            let mut bytes = module_bytes();
             inj.mutate_bytes(kind, key, &mut bytes);
             return Err(match cr_image::PeImage::parse(&bytes) {
                 Err(e) => TaskError::image_malformed(format!(
@@ -471,7 +492,7 @@ fn run_seh(
             // exhaustion path is exercised, but without the shared
             // cache: Unknown verdicts from a starved solver must not
             // poison warm reruns.
-            let img = cr_targets::browsers::generate_dll(&spec);
+            let img = module_image();
             let _ =
                 cr_symex::with_step_budget(max_steps, || analyze_module_cached(&img, &mut NoCache));
             return Err(TaskError::solver_budget(format!(
@@ -486,7 +507,7 @@ fn run_seh(
     let artifact = match cache.get_image(name) {
         Some(a) => a,
         None => {
-            let img = cr_targets::browsers::generate_dll(&spec);
+            let img = module_image();
             let hash = seh::image_content_hash(&img);
             cache.put_image(name, hash, img)
         }

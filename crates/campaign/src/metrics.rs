@@ -45,6 +45,10 @@ pub struct SolverStats {
     pub memo_lookups: u64,
     /// Normalized-query memo hits.
     pub memo_hits: u64,
+    /// Explorer paths run to completion ([`cr_symex::paths_completed`]).
+    pub paths_completed: u64,
+    /// Infeasible branch sides pruned ([`cr_symex::paths_pruned`]).
+    pub paths_pruned: u64,
 }
 
 /// Whole-campaign metrics.
@@ -75,6 +79,12 @@ pub struct CampaignMetrics {
     /// [`cr_symex::memo_hits`]) — structurally repeated queries
     /// answered beneath the content-addressed verdict cache.
     pub solver_memo_hits: u64,
+    /// Explorer paths run to a `ret` during this campaign (delta of
+    /// [`cr_symex::paths_completed`]). Zero on a fully warm rerun.
+    pub paths_completed: u64,
+    /// Infeasible branch sides pruned during this campaign (delta of
+    /// [`cr_symex::paths_pruned`]) — what bounds loopy filters.
+    pub paths_pruned: u64,
     /// Cache lines quarantined while loading `--cache DIR`.
     pub quarantined: u64,
     /// Cache hit/miss counters for this run.
@@ -117,6 +127,8 @@ impl CampaignMetrics {
             solver_calls: solver.calls,
             solver_memo_lookups: solver.memo_lookups,
             solver_memo_hits: solver.memo_hits,
+            paths_completed: solver.paths_completed,
+            paths_pruned: solver.paths_pruned,
             quarantined,
             cache,
             tasks,

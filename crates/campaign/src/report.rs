@@ -1,204 +1,35 @@
-//! The versioned JSON report envelope shared by every CLI output.
+//! Campaign-side view of the versioned report envelope.
 //!
-//! All machine-readable outputs (`campaign --json`, `chaos
-//! --summary-json`, `list --json`, `report --json`) wrap their payload
-//! in one envelope:
-//!
-//! ```json
-//! {"schema_version":1,"kind":"campaign","results":{…},"metrics":{…}}
-//! ```
-//!
-//! `results` is the deterministic half — byte-identical across worker
-//! counts for the same spec and fault plan. `metrics` is the
-//! non-deterministic half (wall times, scheduling metadata) and is
-//! `null` for outputs that have none. Consumers should check
-//! `schema_version` before touching anything else.
+//! The envelope itself ([`ReportEnvelope`], [`ReportKind`],
+//! [`SCHEMA_VERSION`]) lives in `cr-trace` so every emitter — CLI
+//! verbs, the trace JSONL header, benches — frames its output through
+//! one author. This module re-exports it under the historical
+//! `cr_campaign::Report` name and attaches the campaign-specific
+//! conversion: [`CampaignReport::to_report`] splits a run into its
+//! deterministic (`results`) and non-deterministic (`metrics`) halves.
 
 use crate::engine::CampaignReport;
-use crate::json::Json;
-use serde::Serialize;
+pub use cr_trace::{ReportEnvelope, ReportKind, SCHEMA_VERSION};
 
-/// Version of the envelope schema (`schema_version` in every emitted
-/// JSON document).
-pub const SCHEMA_VERSION: u32 = 1;
-
-/// What an envelope carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReportKind {
-    /// A campaign run (`campaign --json`).
-    Campaign,
-    /// A chaos-validation run (`chaos --summary-json`).
-    Chaos,
-    /// The target/plan listing (`list --json`).
-    List,
-    /// A trace analysis (`report --json`).
-    Report,
-    /// Resident-server lifetime statistics (`serve --stats-json`).
-    Serve,
-    /// A traceless static scan (`scan --json`).
-    Scan,
-    /// A supervised-fleet invariant run (`fleet --summary-json`).
-    Fleet,
-}
-
-impl ReportKind {
-    /// Every kind, in a stable order.
-    pub const ALL: [ReportKind; 7] = [
-        ReportKind::Campaign,
-        ReportKind::Chaos,
-        ReportKind::List,
-        ReportKind::Report,
-        ReportKind::Serve,
-        ReportKind::Scan,
-        ReportKind::Fleet,
-    ];
-
-    /// Stable machine-readable name.
-    pub fn name(self) -> &'static str {
-        match self {
-            ReportKind::Campaign => "campaign",
-            ReportKind::Chaos => "chaos",
-            ReportKind::List => "list",
-            ReportKind::Report => "report",
-            ReportKind::Serve => "serve",
-            ReportKind::Scan => "scan",
-            ReportKind::Fleet => "fleet",
-        }
-    }
-}
-
-impl Serialize for ReportKind {
-    fn write_json(&self, out: &mut String) {
-        self.name().write_json(out);
-    }
-}
-
-/// One versioned envelope. `results` and `metrics` hold
-/// *pre-serialized* JSON (the deterministic and non-deterministic
-/// halves are rendered by their owners; the envelope only frames
-/// them).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Report {
-    /// Payload kind.
-    pub kind: ReportKind,
-    /// Deterministic payload, as serialized JSON.
-    pub results: String,
-    /// Non-deterministic payload, as serialized JSON; `None` renders
-    /// as `null`.
-    pub metrics: Option<String>,
-}
-
-impl Report {
-    /// Frame `results` (and optionally `metrics`) as a `kind` envelope.
-    pub fn new(kind: ReportKind, results: String, metrics: Option<String>) -> Report {
-        Report {
-            kind,
-            results,
-            metrics,
-        }
-    }
-
-    /// Render the envelope. Key order is fixed:
-    /// `schema_version`, `kind`, `results`, `metrics`.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"schema_version\":");
-        SCHEMA_VERSION.write_json(&mut out);
-        out.push_str(",\"kind\":");
-        self.kind.write_json(&mut out);
-        out.push_str(",\"results\":");
-        out.push_str(&self.results);
-        out.push_str(",\"metrics\":");
-        match &self.metrics {
-            Some(m) => out.push_str(m),
-            None => out.push_str("null"),
-        }
-        out.push('}');
-        out
-    }
-
-    /// Parse and validate an envelope: `schema_version` must equal
-    /// [`SCHEMA_VERSION`], `kind` must be known, `results` must be
-    /// present. Returns the parsed document root.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first violated envelope rule.
-    pub fn validate(text: &str) -> Result<Json, String> {
-        let root = Json::parse(text).map_err(|e| format!("bad report JSON: {e}"))?;
-        let version = root
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or("report missing `schema_version`")?;
-        if version != u64::from(SCHEMA_VERSION) {
-            return Err(format!(
-                "unsupported report schema_version {version} (expected {SCHEMA_VERSION})"
-            ));
-        }
-        let kind = root
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or("report missing `kind`")?;
-        if !ReportKind::ALL.iter().any(|k| k.name() == kind) {
-            return Err(format!("unknown report kind {kind:?}"));
-        }
-        if root.get("results").is_none() {
-            return Err("report missing `results`".into());
-        }
-        Ok(root)
-    }
-}
+/// Historical alias: the envelope predates its move to `cr-trace`.
+pub type Report = ReportEnvelope;
 
 impl CampaignReport {
     /// This campaign's versioned envelope: deterministic
     /// [`CampaignReport::results_json`] as `results`, the metrics JSON
     /// as `metrics`.
-    pub fn to_report(&self) -> Report {
-        Report::new(
-            ReportKind::Campaign,
-            self.results_json(),
-            Some(self.metrics.to_json()),
-        )
+    pub fn to_report(&self) -> ReportEnvelope {
+        ReportEnvelope::builder(ReportKind::Campaign)
+            .results(self.results_json())
+            .metrics_of(&self.metrics)
+            .build()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn kind_names_are_stable() {
-        let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(
-            names,
-            ["campaign", "chaos", "list", "report", "serve", "scan", "fleet"]
-        );
-    }
-
-    #[test]
-    fn envelope_frames_and_validates() {
-        let r = Report::new(ReportKind::List, "{\"servers\":[]}".into(), None);
-        let text = r.to_json();
-        assert_eq!(
-            text,
-            "{\"schema_version\":1,\"kind\":\"list\",\"results\":{\"servers\":[]},\"metrics\":null}"
-        );
-        let root = Report::validate(&text).unwrap();
-        assert!(root.get("results").is_some());
-        assert_eq!(root.get("metrics"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn validate_rejects_bad_envelopes() {
-        assert!(Report::validate("{}").is_err());
-        assert!(
-            Report::validate("{\"schema_version\":2,\"kind\":\"list\",\"results\":{}}").is_err()
-        );
-        assert!(
-            Report::validate("{\"schema_version\":1,\"kind\":\"bogus\",\"results\":{}}").is_err()
-        );
-        assert!(Report::validate("{\"schema_version\":1,\"kind\":\"list\"}").is_err());
-        assert!(Report::validate("not json").is_err());
-    }
+    use cr_trace::Json;
 
     #[test]
     fn campaign_report_envelope_carries_both_halves() {
@@ -206,7 +37,7 @@ mod tests {
         let report = crate::run_campaign(&spec, &crate::EngineConfig::default()).unwrap();
         let envelope = report.to_report();
         assert_eq!(envelope.kind, ReportKind::Campaign);
-        let root = Report::validate(&envelope.to_json()).unwrap();
+        let root = ReportEnvelope::validate(&envelope.to_json()).unwrap();
         assert_eq!(root.get("kind").and_then(Json::as_str), Some("campaign"));
         assert!(root.get("results").unwrap().get("records").is_some());
         assert!(root.get("metrics").unwrap().get("jobs").is_some());

@@ -122,23 +122,6 @@ impl CampaignSpec {
         CampaignSpecBuilder::new()
     }
 
-    /// Assemble a spec from raw parts without validation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CampaignSpec::builder()`, which validates at `.build()`"
-    )]
-    pub fn from_parts(
-        name: impl Into<String>,
-        seed: u64,
-        tasks: Vec<CampaignTask>,
-    ) -> CampaignSpec {
-        CampaignSpec {
-            name: name.into(),
-            seed,
-            tasks,
-        }
-    }
-
     /// The built-in full campaign: every server, every calibrated DLL,
     /// the standard funnel, every PoC oracle.
     pub fn builtin(seed: u64) -> CampaignSpec {

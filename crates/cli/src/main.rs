@@ -3,6 +3,7 @@
 //! ```text
 //! crash-resist discover <server>       Table-I pipeline on one server
 //! crash-resist analyze <dll>           SEH analysis of a system DLL
+//! crash-resist explore <dll>           per-path filter exploration report
 //! crash-resist cfg <server>            static CFG + syscall sites
 //! crash-resist scan <module>           traceless syscall-site scan + temporal tags
 //! crash-resist funnel [corpus-size]    §V-B Windows API funnel
@@ -32,10 +33,12 @@ use cr_campaign::{
     Report, ReportKind, TaskResult,
 };
 use cr_chaos::{FaultInjector, FaultPlan, Site, BUILTIN_PLANS};
-use cr_core::seh::{analyze_module, FilterClass};
+use cr_core::seh::{analyze_module, FilterClass, PeCode};
 use cr_core::static_cfg;
 use cr_core::syscall_finder::{discover_server, Classification};
 use cr_exploits::{MemoryOracle, ProbeResult};
+use cr_image::FilterRef;
+use cr_symex::{FilterExplorer, FilterVerdict};
 use std::path::PathBuf;
 
 /// Success.
@@ -55,6 +58,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("discover") => cmd_discover(args.get(1).map(String::as_str)),
         Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("cfg") => cmd_cfg(args.get(1).map(String::as_str)),
         Some("scan") => cmd_scan(&args[1..]),
         Some("funnel") => cmd_funnel(args.get(1).map(String::as_str)),
@@ -88,9 +92,9 @@ fn main() {
 /// Every verb `main` dispatches on; `help` must mention each (the
 /// `help_lists_every_verb` test pins this) and the unknown-command
 /// path lists them.
-const VERBS: [&str; 13] = [
-    "discover", "analyze", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve", "fleet",
-    "client", "report", "list",
+const VERBS: [&str; 14] = [
+    "discover", "analyze", "explore", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve",
+    "fleet", "client", "report", "list",
 ];
 
 const HELP: &str = "\
@@ -99,6 +103,7 @@ crash-resist — discovery of crash-resistant primitives (DSN'17 reproduction)
 USAGE:
     crash-resist discover <server>       run the Table-I pipeline on one server
     crash-resist analyze <dll>           SEH analysis of a calibrated system DLL
+    crash-resist explore <dll>           per-path filter exploration (see EXPLORE OPTIONS)
     crash-resist cfg <server>            static CFG recovery + syscall sites
     crash-resist scan <module>           traceless syscall-site scan (see SCAN OPTIONS)
     crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
@@ -110,6 +115,12 @@ USAGE:
     crash-resist client [options]        send campaign requests to a server
     crash-resist report <trace>...       per-stage latencies + timeline from traces
     crash-resist list [--json]           list available servers/DLLs/oracles
+
+EXPLORE OPTIONS:
+    <dll>           a calibrated DLL name or the loopy family (see `list`)
+    --independent   re-blast every path from scratch instead of incremental
+                    push/pop solving (differential reference mode)
+    --json          emit per-filter path verdicts as a versioned JSON envelope
 
 SCAN OPTIONS:
     <module>        a server target or corpus module name (see `list`)
@@ -210,7 +221,13 @@ fn cmd_list(args: &[String]) -> i32 {
         results.push_str(",\"plans\":");
         BUILTIN_PLANS.write_json(&mut results);
         results.push('}');
-        println!("{}", Report::new(ReportKind::List, results, None).to_json());
+        println!(
+            "{}",
+            Report::builder(ReportKind::List)
+                .results(results)
+                .build()
+                .to_json()
+        );
     } else {
         println!("servers:  {}", servers.join(" "));
         println!("dlls:     {}", dlls.join(" "));
@@ -291,6 +308,196 @@ fn cmd_analyze(name: Option<&str>) -> i32 {
             };
             println!("  candidate {:#x}..{:#x}  {}", s.begin_va, s.end_va, why);
         }
+    }
+    EXIT_OK
+}
+
+/// `crash-resist explore`: run the path-enumerating [`FilterExplorer`]
+/// over every `__except` filter of one generated module and report
+/// per-filter path verdicts. `--independent` switches the solver to
+/// the one-blast-per-path differential reference mode; `--json` frames
+/// the deterministic per-filter records in a [`ReportKind::Explore`]
+/// envelope with the aggregated solver counters as `metrics`.
+fn cmd_explore(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut independent = false;
+    let mut name: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--independent" => independent = true,
+            s if !s.starts_with('-') && name.is_none() => name = Some(s),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                eprintln!("usage: crash-resist explore <dll> [--independent] [--json]");
+                return EXIT_USAGE;
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("usage: crash-resist explore <dll> [--independent] [--json]");
+        return EXIT_USAGE;
+    };
+    let image = if name == "loopy" {
+        cr_targets::browsers::generate_loopy_dll()
+    } else if let Some((i, c)) = cr_targets::browsers::CALIBRATION
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.name == name)
+    {
+        cr_targets::browsers::generate_dll(&cr_targets::browsers::DllSpec::from_calib_x64(c, i))
+    } else {
+        eprintln!("unknown dll {name:?} (try `crash-resist list`, or \"loopy\")");
+        return EXIT_UNKNOWN_TARGET;
+    };
+
+    let base = image.image_base;
+    let code = PeCode::new(&image);
+    let mut filter_rvas: Vec<u32> = image
+        .runtime_functions
+        .iter()
+        .flat_map(|rf| rf.unwind.scopes.iter())
+        .filter_map(|s| match s.filter {
+            FilterRef::Function(rva) => Some(rva),
+            FilterRef::CatchAll => None,
+        })
+        .collect();
+    filter_rvas.sort_unstable();
+    filter_rvas.dedup();
+
+    // Reverse export map gives filters their calibrated names; unnamed
+    // filters fall back to their RVA.
+    let labels: std::collections::BTreeMap<u32, &str> = image
+        .exports
+        .iter()
+        .map(|(n, &rva)| (rva, n.as_str()))
+        .collect();
+    let explorer = FilterExplorer::builder().incremental(!independent).build();
+    let rows: Vec<(String, cr_symex::ExplorationReport)> = filter_rvas
+        .iter()
+        .map(|&rva| {
+            let label = labels
+                .get(&rva)
+                .map_or_else(|| format!("{rva:#x}"), |n| (*n).to_string());
+            (label, explorer.explore(&code, base + rva as u64))
+        })
+        .collect();
+
+    let verdict_word = |v: &FilterVerdict| match v {
+        FilterVerdict::AcceptsAccessViolation { .. } => "accepts-av",
+        FilterVerdict::RejectsAccessViolation => "rejects-av",
+        FilterVerdict::Unknown(_) => "undecided",
+    };
+    if json {
+        use serde::Serialize;
+        let mut results = String::from("{\"module\":");
+        image.name.write_json(&mut results);
+        results.push_str(",\"mode\":");
+        if independent {
+            "independent"
+        } else {
+            "incremental"
+        }
+        .write_json(&mut results);
+        results.push_str(",\"filters\":[");
+        for (i, (label, r)) in rows.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            results.push_str("{\"filter\":");
+            label.write_json(&mut results);
+            results.push_str(",\"verdict\":");
+            verdict_word(&r.verdict).write_json(&mut results);
+            match &r.verdict {
+                FilterVerdict::AcceptsAccessViolation { witness_code } => {
+                    results.push_str(",\"witness\":");
+                    format!("{witness_code:#x}").write_json(&mut results);
+                }
+                FilterVerdict::Unknown(reason) => {
+                    results.push_str(",\"reason\":");
+                    (*reason).write_json(&mut results);
+                }
+                FilterVerdict::RejectsAccessViolation => {}
+            }
+            results.push_str(",\"paths\":");
+            (r.paths.len() as u64).write_json(&mut results);
+            results.push_str(",\"completed\":");
+            (r.completed_paths as u64).write_json(&mut results);
+            results.push_str(",\"aborted\":");
+            (r.aborted_paths.len() as u64).write_json(&mut results);
+            results.push_str(",\"pruned\":");
+            (r.pruned_branches as u64).write_json(&mut results);
+            results.push_str(",\"steps\":");
+            (r.steps as u64).write_json(&mut results);
+            results.push('}');
+        }
+        results.push_str("],\"summary\":{\"accepts\":");
+        let count = |w: &str| {
+            rows.iter()
+                .filter(|(_, r)| verdict_word(&r.verdict) == w)
+                .count() as u64
+        };
+        count("accepts-av").write_json(&mut results);
+        results.push_str(",\"rejects\":");
+        count("rejects-av").write_json(&mut results);
+        results.push_str(",\"undecided\":");
+        count("undecided").write_json(&mut results);
+        results.push_str("}}");
+        // Solver counters ride in `metrics`: their values depend on
+        // memo state shared with whatever else ran in this process.
+        let mut metrics = String::from("{\"solver_calls\":");
+        rows.iter()
+            .map(|(_, r)| r.solver_calls)
+            .sum::<u64>()
+            .write_json(&mut metrics);
+        metrics.push_str(",\"memo_lookups\":");
+        rows.iter()
+            .map(|(_, r)| r.memo_lookups)
+            .sum::<u64>()
+            .write_json(&mut metrics);
+        metrics.push_str(",\"memo_hits\":");
+        rows.iter()
+            .map(|(_, r)| r.memo_hits)
+            .sum::<u64>()
+            .write_json(&mut metrics);
+        metrics.push('}');
+        println!(
+            "{}",
+            Report::builder(ReportKind::Explore)
+                .results(results)
+                .metrics(metrics)
+                .build()
+                .to_json()
+        );
+        return EXIT_OK;
+    }
+
+    println!(
+        "{}: {} unique filter(s), {} mode",
+        image.name,
+        rows.len(),
+        if independent {
+            "independent"
+        } else {
+            "incremental"
+        }
+    );
+    for (label, r) in &rows {
+        let why = match &r.verdict {
+            FilterVerdict::AcceptsAccessViolation { witness_code } => {
+                format!("accepts AV (witness {witness_code:#x})")
+            }
+            FilterVerdict::RejectsAccessViolation => "rejects AV".to_string(),
+            FilterVerdict::Unknown(reason) => format!("undecided: {reason}"),
+        };
+        println!(
+            "  {label:<24} {why}  [{} path(s), {} completed, {} aborted, {} pruned, {} steps]",
+            r.paths.len(),
+            r.completed_paths,
+            r.aborted_paths.len(),
+            r.pruned_branches,
+            r.steps
+        );
     }
     EXIT_OK
 }
@@ -406,7 +613,13 @@ fn cmd_scan(args: &[String]) -> i32 {
         results.push_str("],\"agreements\":");
         agreements.write_json(&mut results);
         results.push('}');
-        println!("{}", Report::new(ReportKind::Scan, results, None).to_json());
+        println!(
+            "{}",
+            Report::builder(ReportKind::Scan)
+                .results(results)
+                .build()
+                .to_json()
+        );
         return EXIT_OK;
     }
 
@@ -915,7 +1128,10 @@ fn cmd_chaos(args: &[String]) -> i32 {
         // diffs it), so it rides in `results` with no `metrics`.
         println!(
             "{}",
-            Report::new(ReportKind::Chaos, results, None).to_json()
+            Report::builder(ReportKind::Chaos)
+                .results(results)
+                .build()
+                .to_json()
         );
     }
     if !flags.json && !flags.summary_json {
@@ -1032,7 +1248,11 @@ fn cmd_report(args: &[String]) -> i32 {
         metrics.push_str("}}");
         println!(
             "{}",
-            Report::new(ReportKind::Report, results, Some(metrics)).to_json()
+            Report::builder(ReportKind::Report)
+                .results(results)
+                .metrics(metrics)
+                .build()
+                .to_json()
         );
         return EXIT_OK;
     }
@@ -1201,7 +1421,10 @@ fn cmd_serve(args: &[String]) -> i32 {
                 use serde::Serialize;
                 println!(
                     "{}",
-                    Report::new(ReportKind::Serve, stats.to_json(), None).to_json()
+                    Report::builder(ReportKind::Serve)
+                        .results(stats.to_json())
+                        .build()
+                        .to_json()
                 );
             }
             EXIT_OK
@@ -1441,7 +1664,11 @@ fn cmd_fleet(args: &[String]) -> i32 {
         );
         println!(
             "{}",
-            Report::new(ReportKind::Fleet, results, Some(stats.to_json())).to_json()
+            Report::builder(ReportKind::Fleet)
+                .results(results)
+                .metrics(stats.to_json())
+                .build()
+                .to_json()
         );
     }
     if ok {

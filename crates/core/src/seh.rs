@@ -5,9 +5,12 @@
 //! 1. parse `.pdata` → RUNTIME_FUNCTION entries → C-specific-handler
 //!    scope tables (done by `cr-image`);
 //! 2. collect the *unique filter functions* referenced by the scopes;
-//! 3. symbolically execute every filter ([`cr_symex::SymExec`]) and ask
-//!    the solver whether any path accepts `EXCEPTION_ACCESS_VIOLATION`
-//!    (returns ≠ `EXCEPTION_CONTINUE_SEARCH`);
+//! 3. explore every filter path-by-path ([`cr_symex::FilterExplorer`],
+//!    feasibility-pruned forking with incremental solving) and ask the
+//!    solver whether any path accepts `EXCEPTION_ACCESS_VIOLATION`
+//!    (returns ≠ `EXCEPTION_CONTINUE_SEARCH`); the single-shot
+//!    [`cr_symex::SymExec`] pipeline survives only as a
+//!    differential-testing reference;
 //! 4. classify each scope: catch-all scopes and scopes whose filter
 //!    accepts (or defeats the analysis) survive — the "after SB" set;
 //! 5. cross-reference surviving guarded regions against an execution
@@ -15,7 +18,7 @@
 
 use crate::stable_hash::{sha256_hex, Sha256};
 use cr_image::{FilterRef, Machine, PeImage};
-use cr_symex::{CodeSource, FilterVerdict, SymExec};
+use cr_symex::{CodeSource, FilterExplorer, FilterVerdict};
 use std::collections::{BTreeMap, HashSet};
 
 /// Classification of one scope's filter.
@@ -233,7 +236,7 @@ pub fn analyze_module(image: &PeImage) -> ModuleSehAnalysis {
 pub fn analyze_module_cached(image: &PeImage, cache: &mut dyn VerdictCache) -> ModuleSehAnalysis {
     let base = image.image_base;
     let code = PeCode::new(image);
-    let exec = SymExec::default();
+    let explorer = FilterExplorer::builder().build();
 
     // Unique filters across all scopes.
     let mut filter_rvas: Vec<u32> = image
@@ -257,9 +260,9 @@ pub fn analyze_module_cached(image: &PeImage, cache: &mut dyn VerdictCache) -> M
         let verdict = match cache.get(&key) {
             Some(v) => v,
             None => {
-                let analysis = exec.analyze_filter(&code, base + rva as u64);
-                cache.put(&key, &analysis.verdict);
-                analysis.verdict
+                let report = explorer.explore(&code, base + rva as u64);
+                cache.put(&key, &report.verdict);
+                report.verdict
             }
         };
         verdicts.insert(rva, verdict);

@@ -21,7 +21,7 @@
 //! deterministic functions of the normalized structure.
 
 use crate::expr::{mask_of, BinOp, BoolExpr, CmpOp, Expr};
-use crate::sat::{solve, solve_reference, Cnf, SolveOutcome};
+use crate::sat::{solve, solve_reference, Cnf, IncrementalSat, SolveOutcome};
 use crate::term::{
     sym_intern, sym_lookup, sym_name, BoolId, BoolNode, SymId, TermArena, TermId, TermNode,
 };
@@ -164,9 +164,36 @@ pub fn check(constraints: &[BoolExpr]) -> SatResult {
 
 /// Check satisfiability through the pre-interning pipeline directly.
 /// Same verdict semantics as [`check`] (see [`with_reference_pipeline`]).
+///
+/// Routed through the arena-native entry first: the constraints are
+/// interned into this thread's [`TermArena`] exactly as [`check`] would
+/// intern them, so a differential run compares the two pipelines over
+/// *identical* interner state instead of leaving the production arena
+/// cold while the reference runs in its own private world.
 pub fn check_reference(constraints: &[BoolExpr]) -> SatResult {
     SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
+    SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        // Per-call pointer memo, same contract as `begin_query`: `Rc`
+        // identity must not outlive the call.
+        s.ptr_memo.clear();
+        for c in constraints {
+            let _ = s.intern_bool(c);
+        }
+    });
     reference::check_reference_inner(constraints)
+}
+
+/// Size of this thread's term interner as `(terms, bools)`.
+///
+/// Test hook for the arena-native routing contract: after
+/// [`check_reference`] has interned a constraint set, a production
+/// [`check`] of the same set must not grow the arena further.
+pub fn thread_arena_size() -> (usize, usize) {
+    SCRATCH.with(|s| {
+        let s = s.borrow();
+        (s.arena.num_terms(), s.arena.num_bools())
+    })
 }
 
 fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
@@ -230,6 +257,231 @@ fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
         .unwrap_or_else(|e| e.into_inner())
         .insert(shape.key, entry);
     result
+}
+
+/// One constraint on a [`Session`]'s stack.
+enum Pushed {
+    /// Interned to `True`: no assumption needed.
+    Trivial,
+    /// Interned to `False`: the whole stack is UNSAT while this frame
+    /// is live.
+    False,
+    /// A real constraint: interned root and its assumption literal.
+    Root(BoolId, i32),
+}
+
+/// An incremental satisfiability session: a constraint stack solved by
+/// assumptions over persistent two-watched-literal state.
+///
+/// This is the decision-procedure side of the path explorer's one-door
+/// API. Where [`check`] re-blasts every query from scratch, a `Session`
+/// owns a private [`Scratch`] whose encoder epoch never advances: every
+/// pushed constraint is interned and Tseitin-encoded exactly once into
+/// one monotone [`Cnf`], the [`IncrementalSat`] absorbs new clauses
+/// append-only, and each [`Session::check`] decides the current stack
+/// by passing the live constraint roots as *assumption literals*.
+/// Sibling paths that share a constraint prefix therefore share its
+/// encoding and its watch lists — popping back to the fork point costs
+/// nothing and re-checking the other side re-blasts nothing.
+///
+/// Soundness of [`Session::pop_to`] without clause retraction: Tseitin
+/// clauses only define gate variables (`g ↔ f(inputs)`); a constraint
+/// is asserted solely by its root assumption literal, so dropping the
+/// frame fully retracts it (see [`IncrementalSat`]).
+///
+/// Queries still flow through the process-wide normalized-query memo,
+/// keyed on the *shape of the whole live constraint stack*, and bump
+/// the same [`solver_calls`]/[`memo_lookups`]/[`memo_hits`] counters as
+/// [`check`] — warm reruns of an exploration answer every path from
+/// the memo with zero solving.
+pub struct Session {
+    s: Scratch,
+    inc: IncrementalSat,
+    stack: Vec<Pushed>,
+    /// Live `Pushed::False` frames (stack is trivially UNSAT if > 0).
+    false_count: usize,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with an empty constraint stack.
+    pub fn new() -> Session {
+        let mut s = Scratch::new();
+        s.begin_query();
+        Session {
+            s,
+            inc: IncrementalSat::new(),
+            stack: Vec::new(),
+            false_count: 0,
+        }
+    }
+
+    /// Current stack depth (number of live pushed constraints).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Push `c` onto the constraint stack: intern, encode once, and
+    /// record its root as an assumption for subsequent checks.
+    ///
+    /// # Errors
+    ///
+    /// If the encoder cannot handle `c` (shift by a non-constant
+    /// amount), nothing is pushed and the error is returned — the
+    /// caller decides whether the path is abandoned.
+    pub fn push(&mut self, c: &BoolExpr) -> Result<(), &'static str> {
+        self.s.ptr_memo.clear();
+        let id = self.s.intern_bool(c);
+        let frame = if id == TermArena::FALSE {
+            self.false_count += 1;
+            Pushed::False
+        } else if id == TermArena::TRUE {
+            Pushed::Trivial
+        } else {
+            let lit = self.s.bool_lit(id)?;
+            Pushed::Root(id, lit)
+        };
+        self.stack.push(frame);
+        Ok(())
+    }
+
+    /// Pop back to `depth` (as returned by [`Session::depth`] at the
+    /// fork point). Retracts every constraint above it; their encodings
+    /// stay cached for when a sibling pushes the same structure.
+    pub fn pop_to(&mut self, depth: usize) {
+        debug_assert!(depth <= self.stack.len(), "pop_to past the stack top");
+        for f in self.stack.drain(depth..) {
+            if matches!(f, Pushed::False) {
+                self.false_count -= 1;
+            }
+        }
+    }
+
+    /// Decide the conjunction of the current stack.
+    pub fn check(&mut self) -> SatResult {
+        self.check_assuming(&[])
+    }
+
+    /// Decide the current stack conjoined with `extras`, without
+    /// persisting `extras` on the stack — the explorer's feasibility
+    /// probe (`path ∧ branch-cond`) and verdict query
+    /// (`path ∧ code = AV ∧ ret ≠ 0`).
+    pub fn check_assuming(&mut self, extras: &[BoolExpr]) -> SatResult {
+        SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
+        let mut span = cr_trace::span_advisory(cr_trace::Stage::Symex, "solver.check");
+        if self.false_count > 0 {
+            span.set_detail(|| "memo=short verdict=unsat".into());
+            return SatResult::Unsat;
+        }
+        self.s.ptr_memo.clear();
+        let mut roots: Vec<BoolId> = Vec::with_capacity(self.stack.len() + extras.len());
+        let mut lits: Vec<i32> = Vec::with_capacity(self.stack.len() + extras.len());
+        for f in &self.stack {
+            if let Pushed::Root(id, lit) = *f {
+                roots.push(id);
+                lits.push(lit);
+            }
+        }
+        let stack_roots = roots.len();
+        for c in extras {
+            let id = self.s.intern_bool(c);
+            if id == TermArena::FALSE {
+                span.set_detail(|| "memo=short verdict=unsat".into());
+                return SatResult::Unsat;
+            }
+            if id != TermArena::TRUE {
+                roots.push(id);
+            }
+        }
+        let shape = self.s.arena.normalize(&roots);
+        MEMO_LOOKUPS.fetch_add(1, Ordering::Relaxed);
+        let hit = QUERY_MEMO
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&shape.key)
+            .cloned();
+        if let Some(entry) = hit {
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            span.set_detail(|| format!("memo=hit vars={}", shape.vars.len()));
+            return match entry {
+                MemoEntry::Unsat => SatResult::Unsat,
+                MemoEntry::Unknown(e) => SatResult::Unknown(e),
+                MemoEntry::Sat(vals) => SatResult::Sat(Model::from_pairs(
+                    shape
+                        .vars
+                        .iter()
+                        .zip(vals)
+                        .map(|(&(sym, _), v)| (sym, v))
+                        .collect(),
+                )),
+            };
+        }
+        // Miss: encode the transient extras (stack frames encoded at
+        // push time), absorb whatever the encoder appended, and decide
+        // under the live assumptions.
+        let mut result = None;
+        for &id in &roots[stack_roots..] {
+            match self.s.bool_lit(id) {
+                Ok(l) => lits.push(l),
+                Err(e) => {
+                    result = Some(SatResult::Unknown(e));
+                    break;
+                }
+            }
+        }
+        let result = result.unwrap_or_else(|| {
+            self.inc.absorb(&self.s.cnf);
+            match self.inc.solve_under(&lits) {
+                SolveOutcome::Unsat => SatResult::Unsat,
+                SolveOutcome::BudgetExhausted => {
+                    SatResult::Unknown("SAT decision budget exhausted")
+                }
+                SolveOutcome::Sat(assign) => {
+                    let mut pairs = Vec::with_capacity(self.s.query_vars.len());
+                    for qv in &self.s.query_vars {
+                        let mut v = 0u64;
+                        let lits =
+                            &self.s.var_lits[qv.lit_off as usize..(qv.lit_off + qv.bits) as usize];
+                        for (i, &lit) in lits.iter().enumerate() {
+                            if assign[(lit.unsigned_abs() - 1) as usize] {
+                                v |= 1 << i;
+                            }
+                        }
+                        pairs.push((qv.sym, v & mask_of(qv.bits)));
+                    }
+                    SatResult::Sat(Model::from_pairs(pairs))
+                }
+            }
+        });
+        let entry = match &result {
+            SatResult::Unsat => MemoEntry::Unsat,
+            SatResult::Unknown(e) => MemoEntry::Unknown(e),
+            SatResult::Sat(model) => MemoEntry::Sat(
+                shape
+                    .vars
+                    .iter()
+                    .map(|&(sym, _)| model.get_sym(sym).unwrap_or(0))
+                    .collect(),
+            ),
+        };
+        span.set_detail(|| {
+            format!(
+                "memo=miss vars={} clauses={}",
+                shape.vars.len(),
+                self.s.cnf.num_clauses()
+            )
+        });
+        QUERY_MEMO
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(shape.key, entry);
+        result
+    }
 }
 
 /// One query variable: interned name, declared width, and where its
@@ -1115,6 +1367,144 @@ mod tests {
         let unknown = [eq64(sh, Expr::c(4))];
         let first = check(&unknown);
         assert_eq!(check(&unknown), first, "unknown replays");
+    }
+
+    #[test]
+    fn session_stack_matches_single_shot() {
+        let x = Expr::var("sess_x", 32);
+        let y = Expr::var("sess_y", 32);
+        let a = eq64(
+            Expr::bin(BinOp::And, x.clone(), Expr::c(0xFF)),
+            Expr::c(0x41),
+        );
+        let b = BoolExpr::cmp(CmpOp::Ult, 32, y.clone(), x.clone());
+        let c = eq64(y.clone(), Expr::c(0x1_0000));
+        let mut sess = Session::new();
+        sess.push(&a).unwrap();
+        let d1 = sess.depth();
+        sess.push(&b).unwrap();
+        sess.push(&c).unwrap();
+        // Full stack vs single-shot: same verdict, model satisfies.
+        match (sess.check(), check(&[a.clone(), b.clone(), c.clone()])) {
+            (SatResult::Sat(m), SatResult::Sat(_)) => {
+                for cs in [&a, &b, &c] {
+                    assert!(cs.eval(&|n| m.get(n)), "session model violates {cs:?}");
+                }
+            }
+            (g, w) => panic!("session {g:?} vs single-shot {w:?}"),
+        }
+        // Pop to the fork and take a contradictory sibling.
+        sess.pop_to(d1);
+        let contra = eq64(
+            Expr::bin(BinOp::And, x.clone(), Expr::c(0xFF)),
+            Expr::c(0x42),
+        );
+        sess.push(&contra).unwrap();
+        assert_eq!(sess.check(), SatResult::Unsat);
+        // Retraction works both ways.
+        sess.pop_to(d1);
+        assert!(sess.check().is_sat());
+    }
+
+    #[test]
+    fn session_false_frames_are_sticky_until_popped() {
+        let mut sess = Session::new();
+        let x = Expr::var("sess_false_x", 8);
+        sess.push(&eq64(x.clone(), Expr::c(3))).unwrap();
+        let d = sess.depth();
+        sess.push(&BoolExpr::False).unwrap();
+        assert_eq!(sess.check(), SatResult::Unsat);
+        assert_eq!(
+            sess.check_assuming(&[eq64(x.clone(), Expr::c(3))]),
+            SatResult::Unsat
+        );
+        sess.pop_to(d);
+        assert!(sess.check().is_sat());
+    }
+
+    #[test]
+    fn session_check_assuming_is_transient() {
+        let mut sess = Session::new();
+        let x = Expr::var("sess_tmp_x", 16);
+        sess.push(&BoolExpr::cmp(CmpOp::Ult, 16, x.clone(), Expr::c(0x100)))
+            .unwrap();
+        let one = eq64(x.clone(), Expr::c(1));
+        let two = eq64(x.clone(), Expr::c(2));
+        assert!(sess.check_assuming(std::slice::from_ref(&one)).is_sat());
+        // `one` must not have stuck to the stack.
+        assert!(sess.check_assuming(&[two]).is_sat());
+        assert!(!sess.check_assuming(&[one, eq64(x, Expr::c(2))]).is_sat());
+    }
+
+    #[test]
+    fn session_unknowns_surface_from_push_and_check() {
+        let mut sess = Session::new();
+        let x = Expr::var("sess_unk_x", 32);
+        let n = Expr::var("sess_unk_n", 32);
+        let sh = Rc::new(Expr::Bin(BinOp::Shl, x.clone(), n));
+        let bad = eq64(sh, Expr::c(4));
+        // Push rejects the unencodable constraint and leaves the stack
+        // untouched.
+        let d = sess.depth();
+        assert!(sess.push(&bad).is_err());
+        assert_eq!(sess.depth(), d);
+        // As a transient extra it surfaces as Unknown.
+        match sess.check_assuming(&[bad]) {
+            SatResult::Unknown(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(sess.check().is_sat(), "stack still clean");
+    }
+
+    #[test]
+    fn session_queries_flow_through_the_memo() {
+        reset_query_memo();
+        let p = Expr::var("sess_memo_p", 32);
+        let q = Expr::var("sess_memo_q", 32);
+        let hits0 = memo_hits();
+        let calls0 = solver_calls();
+        let mut sess = Session::new();
+        sess.push(&eq64(p, Expr::c(0xDEAD_0001))).unwrap();
+        let r1 = sess.check();
+        assert_eq!(memo_hits() - hits0, 0, "cold query misses");
+        // Alpha-equivalent single-shot query hits the session's entry.
+        let r2 = check(&[eq64(q, Expr::c(0xDEAD_0001))]);
+        assert_eq!(memo_hits() - hits0, 1, "shape is shared across doors");
+        assert_eq!(solver_calls() - calls0, 2, "both doors count as checks");
+        match (r1, r2) {
+            (SatResult::Sat(m1), SatResult::Sat(m2)) => {
+                assert_eq!(m1.get("sess_memo_p"), 0xDEAD_0001);
+                assert_eq!(m2.get("sess_memo_q"), 0xDEAD_0001);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_reference_warms_the_production_interner() {
+        // Arena-native routing: after the reference door has interned a
+        // constraint set, the production door must find every term
+        // already interned.
+        let x = Expr::var("warm_ref_x", 24);
+        let cs = [
+            eq64(
+                Expr::bin(BinOp::Xor, x.clone(), Expr::c(0x5A5A)),
+                Expr::c(0x1234),
+            ),
+            BoolExpr::cmp(CmpOp::Ult, 24, x, Expr::c(0x10_0000)),
+        ];
+        let r_ref = check_reference(&cs);
+        let after_ref = thread_arena_size();
+        let r_prod = check(&cs);
+        let after_prod = thread_arena_size();
+        assert_eq!(
+            after_ref, after_prod,
+            "production check must not grow an arena the reference door already warmed"
+        );
+        assert_eq!(
+            std::mem::discriminant(&r_ref),
+            std::mem::discriminant(&r_prod)
+        );
     }
 
     #[test]

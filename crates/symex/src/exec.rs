@@ -104,21 +104,21 @@ struct FlagsDef {
 }
 
 #[derive(Clone)]
-struct SymState {
+pub(crate) struct SymState {
     regs: [Rc<Expr>; 16],
     /// Concrete address → (value expr, width bits).
     mem: HashMap<u64, (Rc<Expr>, u32)>,
     flags: Option<FlagsDef>,
-    path: Vec<BoolExpr>,
-    rip: u64,
-    steps: usize,
+    pub(crate) path: Vec<BoolExpr>,
+    pub(crate) rip: u64,
+    pub(crate) steps: usize,
 }
 
 impl SymState {
     /// The Windows x64 filter-call harness: `rcx` points to
     /// EXCEPTION_POINTERS, `rdx` to the establisher frame; the exception
     /// record fields are fresh symbolic variables.
-    fn filter_harness(entry: u64) -> SymState {
+    pub(crate) fn filter_harness(entry: u64) -> SymState {
         let zero = Expr::c(0);
         let mut regs: [Rc<Expr>; 16] = std::array::from_fn(|_| zero.clone());
         regs[Reg::Rcx.encoding() as usize] = Expr::c(PTRS_ADDR);
@@ -152,7 +152,7 @@ impl SymState {
     }
 }
 
-enum PathEnd {
+pub(crate) enum PathEnd {
     Ret {
         value: Rc<Expr>,
         path: Vec<BoolExpr>,
@@ -258,7 +258,7 @@ impl SymExec {
                 };
                 st.steps += 1;
                 total_steps += 1;
-                match self.step(&mut st, &d.inst, d.len, &mut fresh) {
+                match step_inst(&mut st, &d.inst, d.len, &mut fresh, false) {
                     StepOut::Continue => {}
                     StepOut::Fork(cond) => {
                         // True branch.
@@ -329,310 +329,321 @@ impl SymExec {
             steps: total_steps,
         }
     }
-
-    fn step(&self, st: &mut SymState, inst: &Inst, len: usize, fresh: &mut u32) -> StepOut {
-        let next = st.rip.wrapping_add(len as u64);
-        macro_rules! abort {
-            ($r:expr) => {
-                return StepOut::End(PathEnd::Aborted($r))
-            };
-        }
-
-        // Resolve a memory operand to a concrete address, or abort.
-        macro_rules! conc_ea {
-            ($m:expr) => {{
-                match ea_concrete(st, $m, next) {
-                    Some(a) => a,
-                    None => abort!("symbolic memory address"),
-                }
-            }};
-        }
-
-        match *inst {
-            Inst::MovRRm { dst, src, width } => {
-                let v = match src {
-                    Rm::Reg(r) => width_read(st.reg(r), width),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, width, fresh)
-                    }
-                };
-                match width {
-                    Width::B1 => {
-                        // Merge low byte: (dst & !0xFF) | v
-                        let hi = Expr::bin(BinOp::And, st.reg(dst), Expr::c(!0xFFu64));
-                        st.set_reg(dst, Expr::bin(BinOp::Or, hi, v));
-                    }
-                    _ => st.set_reg(dst, v),
-                }
-            }
-            Inst::MovRmR { dst, src, width } => {
-                let v = width_read(st.reg(src), width);
-                match dst {
-                    Rm::Reg(r) => match width {
-                        Width::B1 => {
-                            let hi = Expr::bin(BinOp::And, st.reg(r), Expr::c(!0xFFu64));
-                            st.set_reg(r, Expr::bin(BinOp::Or, hi, v));
-                        }
-                        _ => st.set_reg(r, v),
-                    },
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        st.mem.insert(ea, (v, width_bits(width)));
-                    }
-                }
-            }
-            Inst::MovRI { dst, imm } => st.set_reg(dst, Expr::c(imm)),
-            Inst::MovRmI { dst, imm, width } => {
-                let v = Expr::c((imm as i64 as u64) & width_mask(width));
-                match dst {
-                    Rm::Reg(r) => st.set_reg(r, v),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        st.mem.insert(ea, (v, width_bits(width)));
-                    }
-                }
-            }
-            Inst::Movzx { dst, src, .. } => {
-                let v = match src {
-                    Rm::Reg(r) => width_read(st.reg(r), Width::B1),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, Width::B1, fresh)
-                    }
-                };
-                st.set_reg(dst, v);
-            }
-            Inst::Lea { dst, mem } => {
-                let e = ea_symbolic(st, &mem, next);
-                st.set_reg(dst, e);
-            }
-            Inst::AluRRm {
-                op,
-                dst,
-                src,
-                width,
-            } => {
-                let a = width_read(st.reg(dst), width);
-                let b = match src {
-                    Rm::Reg(r) => width_read(st.reg(r), width),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, width, fresh)
-                    }
-                };
-                st.flags = Some(FlagsDef {
-                    op,
-                    a: a.clone(),
-                    b: b.clone(),
-                    width: width_bits(width),
-                });
-                if op.writes_dst() {
-                    st.set_reg(dst, apply_alu(op, a, b, width));
-                }
-            }
-            Inst::AluRmR {
-                op,
-                dst,
-                src,
-                width,
-            } => {
-                let b = width_read(st.reg(src), width);
-                let a = match dst {
-                    Rm::Reg(r) => width_read(st.reg(r), width),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, width, fresh)
-                    }
-                };
-                st.flags = Some(FlagsDef {
-                    op,
-                    a: a.clone(),
-                    b: b.clone(),
-                    width: width_bits(width),
-                });
-                if op.writes_dst() {
-                    let r = apply_alu(op, a, b, width);
-                    match dst {
-                        Rm::Reg(reg) => st.set_reg(reg, r),
-                        Rm::Mem(m) => {
-                            let ea = conc_ea!(&m);
-                            st.mem.insert(ea, (r, width_bits(width)));
-                        }
-                    }
-                }
-            }
-            Inst::AluRmI {
-                op,
-                dst,
-                imm,
-                width,
-            } => {
-                let b = Expr::c((imm as i64 as u64) & width_mask(width));
-                let a = match dst {
-                    Rm::Reg(r) => width_read(st.reg(r), width),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, width, fresh)
-                    }
-                };
-                st.flags = Some(FlagsDef {
-                    op,
-                    a: a.clone(),
-                    b: b.clone(),
-                    width: width_bits(width),
-                });
-                if op.writes_dst() {
-                    let r = apply_alu(op, a, b, width);
-                    match dst {
-                        Rm::Reg(reg) => st.set_reg(reg, r),
-                        Rm::Mem(m) => {
-                            let ea = conc_ea!(&m);
-                            st.mem.insert(ea, (r, width_bits(width)));
-                        }
-                    }
-                }
-            }
-            Inst::ShiftRI { op, dst, amount } => {
-                let a = st.reg(dst);
-                let n = Expr::c(amount as u64 & 63);
-                let r = match op {
-                    ShiftOp::Shl => Expr::bin(BinOp::Shl, a, n),
-                    ShiftOp::Shr => Expr::bin(BinOp::Shr, a, n),
-                    ShiftOp::Sar => match a.as_const() {
-                        Some(v) => Expr::c(((v as i64) >> (amount & 63)) as u64),
-                        None => abort!("symbolic arithmetic shift"),
-                    },
-                };
-                st.set_reg(dst, r);
-                st.flags = None;
-            }
-            Inst::Neg(r) => {
-                let v = st.reg(r);
-                st.flags = Some(FlagsDef {
-                    op: AluOp::Sub,
-                    a: Expr::c(0),
-                    b: v.clone(),
-                    width: 64,
-                });
-                st.set_reg(r, Expr::bin(BinOp::Sub, Expr::c(0), v));
-            }
-            Inst::Not(r) => {
-                let v = st.reg(r);
-                st.set_reg(r, Expr::not(v));
-            }
-            Inst::Imul { dst, src } => {
-                let a = st.reg(dst);
-                let b = match src {
-                    Rm::Reg(r) => st.reg(r),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, Width::B8, fresh)
-                    }
-                };
-                match (a.as_const(), b.as_const()) {
-                    (Some(x), Some(y)) => {
-                        st.set_reg(dst, Expr::c((x as i64).wrapping_mul(y as i64) as u64));
-                        st.flags = None;
-                    }
-                    _ => abort!("symbolic multiplication"),
-                }
-            }
-            Inst::Cmov { cond, dst, src } => {
-                let v = match src {
-                    Rm::Reg(r) => st.reg(r),
-                    Rm::Mem(m) => {
-                        let ea = conc_ea!(&m);
-                        load(st, ea, Width::B8, fresh)
-                    }
-                };
-                let Some(fd) = st.flags.clone() else {
-                    abort!("cmov on unknown flags");
-                };
-                match cond_to_bool(&fd, cond).and_then(|b| b.as_const()) {
-                    Some(true) => st.set_reg(dst, v),
-                    Some(false) => {}
-                    None => abort!("cmov on symbolic flags"),
-                }
-            }
-            Inst::Xchg(a, b) => {
-                let (va, vb) = (st.reg(a), st.reg(b));
-                st.set_reg(a, vb);
-                st.set_reg(b, va);
-            }
-            Inst::Push(r) => {
-                let sp = match st.reg(Reg::Rsp).as_const() {
-                    Some(v) => v.wrapping_sub(8),
-                    None => abort!("symbolic stack pointer"),
-                };
-                let v = st.reg(r);
-                st.mem.insert(sp, (v, 64));
-                st.set_reg(Reg::Rsp, Expr::c(sp));
-            }
-            Inst::Pop(r) => {
-                let sp = match st.reg(Reg::Rsp).as_const() {
-                    Some(v) => v,
-                    None => abort!("symbolic stack pointer"),
-                };
-                let v = load(st, sp, Width::B8, fresh);
-                st.set_reg(r, v);
-                st.set_reg(Reg::Rsp, Expr::c(sp.wrapping_add(8)));
-            }
-            Inst::CallRel(_) | Inst::CallRm(_) => abort!("filter calls another function"),
-            Inst::JmpRel(rel) => {
-                st.rip = next.wrapping_add(rel as i64 as u64);
-                return StepOut::Continue;
-            }
-            Inst::JmpRm(_) => abort!("indirect jump"),
-            Inst::Jcc { cond, .. } => {
-                let Some(fd) = st.flags.clone() else {
-                    abort!("branch on unknown flags");
-                };
-                match cond_to_bool(&fd, cond) {
-                    None => abort!("unsupported condition"),
-                    Some(b) => match b.as_const() {
-                        Some(true) => {
-                            let Inst::Jcc { rel, .. } = *inst else {
-                                unreachable!()
-                            };
-                            st.rip = next.wrapping_add(rel as i64 as u64);
-                            return StepOut::Continue;
-                        }
-                        Some(false) => {}
-                        None => return StepOut::Fork(b),
-                    },
-                }
-            }
-            Inst::Setcc { cond, dst } => {
-                let Some(fd) = st.flags.clone() else {
-                    abort!("setcc on unknown flags");
-                };
-                match cond_to_bool(&fd, cond).and_then(|b| b.as_const()) {
-                    Some(v) => {
-                        let hi = Expr::bin(BinOp::And, st.reg(dst), Expr::c(!0xFFu64));
-                        st.set_reg(dst, Expr::bin(BinOp::Or, hi, Expr::c(v as u64)));
-                    }
-                    None => abort!("setcc on symbolic flags"),
-                }
-            }
-            Inst::Ret => {
-                let value = width_read(st.reg(Reg::Rax), Width::B4);
-                return StepOut::End(PathEnd::Ret {
-                    value,
-                    path: st.path.clone(),
-                });
-            }
-            Inst::Syscall | Inst::Int3 | Inst::Ud2 | Inst::Hlt | Inst::Cpuid => {
-                abort!("system instruction in filter")
-            }
-            Inst::Nop => {}
-        }
-        st.rip = next;
-        StepOut::Continue
-    }
 }
 
-enum StepOut {
+/// Execute one instruction against `st`, shared by the single-shot
+/// executor and the path explorer. `widen` selects the memory-widening
+/// read model (see [`load`]): the explorer passes `true`, the
+/// single-shot reference keeps its historical `false` behavior so
+/// differential tests pin the divergence.
+pub(crate) fn step_inst(
+    st: &mut SymState,
+    inst: &Inst,
+    len: usize,
+    fresh: &mut u32,
+    widen: bool,
+) -> StepOut {
+    let next = st.rip.wrapping_add(len as u64);
+    macro_rules! abort {
+        ($r:expr) => {
+            return StepOut::End(PathEnd::Aborted($r))
+        };
+    }
+
+    // Resolve a memory operand to a concrete address, or abort.
+    macro_rules! conc_ea {
+        ($m:expr) => {{
+            match ea_concrete(st, $m, next) {
+                Some(a) => a,
+                None => abort!("symbolic memory address"),
+            }
+        }};
+    }
+
+    match *inst {
+        Inst::MovRRm { dst, src, width } => {
+            let v = match src {
+                Rm::Reg(r) => width_read(st.reg(r), width),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, width, fresh, widen)
+                }
+            };
+            match width {
+                Width::B1 => {
+                    // Merge low byte: (dst & !0xFF) | v
+                    let hi = Expr::bin(BinOp::And, st.reg(dst), Expr::c(!0xFFu64));
+                    st.set_reg(dst, Expr::bin(BinOp::Or, hi, v));
+                }
+                _ => st.set_reg(dst, v),
+            }
+        }
+        Inst::MovRmR { dst, src, width } => {
+            let v = width_read(st.reg(src), width);
+            match dst {
+                Rm::Reg(r) => match width {
+                    Width::B1 => {
+                        let hi = Expr::bin(BinOp::And, st.reg(r), Expr::c(!0xFFu64));
+                        st.set_reg(r, Expr::bin(BinOp::Or, hi, v));
+                    }
+                    _ => st.set_reg(r, v),
+                },
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    st.mem.insert(ea, (v, width_bits(width)));
+                }
+            }
+        }
+        Inst::MovRI { dst, imm } => st.set_reg(dst, Expr::c(imm)),
+        Inst::MovRmI { dst, imm, width } => {
+            let v = Expr::c((imm as i64 as u64) & width_mask(width));
+            match dst {
+                Rm::Reg(r) => st.set_reg(r, v),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    st.mem.insert(ea, (v, width_bits(width)));
+                }
+            }
+        }
+        Inst::Movzx { dst, src, .. } => {
+            let v = match src {
+                Rm::Reg(r) => width_read(st.reg(r), Width::B1),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, Width::B1, fresh, widen)
+                }
+            };
+            st.set_reg(dst, v);
+        }
+        Inst::Lea { dst, mem } => {
+            let e = ea_symbolic(st, &mem, next);
+            st.set_reg(dst, e);
+        }
+        Inst::AluRRm {
+            op,
+            dst,
+            src,
+            width,
+        } => {
+            let a = width_read(st.reg(dst), width);
+            let b = match src {
+                Rm::Reg(r) => width_read(st.reg(r), width),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, width, fresh, widen)
+                }
+            };
+            st.flags = Some(FlagsDef {
+                op,
+                a: a.clone(),
+                b: b.clone(),
+                width: width_bits(width),
+            });
+            if op.writes_dst() {
+                st.set_reg(dst, apply_alu(op, a, b, width));
+            }
+        }
+        Inst::AluRmR {
+            op,
+            dst,
+            src,
+            width,
+        } => {
+            let b = width_read(st.reg(src), width);
+            let a = match dst {
+                Rm::Reg(r) => width_read(st.reg(r), width),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, width, fresh, widen)
+                }
+            };
+            st.flags = Some(FlagsDef {
+                op,
+                a: a.clone(),
+                b: b.clone(),
+                width: width_bits(width),
+            });
+            if op.writes_dst() {
+                let r = apply_alu(op, a, b, width);
+                match dst {
+                    Rm::Reg(reg) => st.set_reg(reg, r),
+                    Rm::Mem(m) => {
+                        let ea = conc_ea!(&m);
+                        st.mem.insert(ea, (r, width_bits(width)));
+                    }
+                }
+            }
+        }
+        Inst::AluRmI {
+            op,
+            dst,
+            imm,
+            width,
+        } => {
+            let b = Expr::c((imm as i64 as u64) & width_mask(width));
+            let a = match dst {
+                Rm::Reg(r) => width_read(st.reg(r), width),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, width, fresh, widen)
+                }
+            };
+            st.flags = Some(FlagsDef {
+                op,
+                a: a.clone(),
+                b: b.clone(),
+                width: width_bits(width),
+            });
+            if op.writes_dst() {
+                let r = apply_alu(op, a, b, width);
+                match dst {
+                    Rm::Reg(reg) => st.set_reg(reg, r),
+                    Rm::Mem(m) => {
+                        let ea = conc_ea!(&m);
+                        st.mem.insert(ea, (r, width_bits(width)));
+                    }
+                }
+            }
+        }
+        Inst::ShiftRI { op, dst, amount } => {
+            let a = st.reg(dst);
+            let n = Expr::c(amount as u64 & 63);
+            let r = match op {
+                ShiftOp::Shl => Expr::bin(BinOp::Shl, a, n),
+                ShiftOp::Shr => Expr::bin(BinOp::Shr, a, n),
+                ShiftOp::Sar => match a.as_const() {
+                    Some(v) => Expr::c(((v as i64) >> (amount & 63)) as u64),
+                    None => abort!("symbolic arithmetic shift"),
+                },
+            };
+            st.set_reg(dst, r);
+            st.flags = None;
+        }
+        Inst::Neg(r) => {
+            let v = st.reg(r);
+            st.flags = Some(FlagsDef {
+                op: AluOp::Sub,
+                a: Expr::c(0),
+                b: v.clone(),
+                width: 64,
+            });
+            st.set_reg(r, Expr::bin(BinOp::Sub, Expr::c(0), v));
+        }
+        Inst::Not(r) => {
+            let v = st.reg(r);
+            st.set_reg(r, Expr::not(v));
+        }
+        Inst::Imul { dst, src } => {
+            let a = st.reg(dst);
+            let b = match src {
+                Rm::Reg(r) => st.reg(r),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, Width::B8, fresh, widen)
+                }
+            };
+            match (a.as_const(), b.as_const()) {
+                (Some(x), Some(y)) => {
+                    st.set_reg(dst, Expr::c((x as i64).wrapping_mul(y as i64) as u64));
+                    st.flags = None;
+                }
+                _ => abort!("symbolic multiplication"),
+            }
+        }
+        Inst::Cmov { cond, dst, src } => {
+            let v = match src {
+                Rm::Reg(r) => st.reg(r),
+                Rm::Mem(m) => {
+                    let ea = conc_ea!(&m);
+                    load(st, ea, Width::B8, fresh, widen)
+                }
+            };
+            let Some(fd) = st.flags.clone() else {
+                abort!("cmov on unknown flags");
+            };
+            match cond_to_bool(&fd, cond).and_then(|b| b.as_const()) {
+                Some(true) => st.set_reg(dst, v),
+                Some(false) => {}
+                None => abort!("cmov on symbolic flags"),
+            }
+        }
+        Inst::Xchg(a, b) => {
+            let (va, vb) = (st.reg(a), st.reg(b));
+            st.set_reg(a, vb);
+            st.set_reg(b, va);
+        }
+        Inst::Push(r) => {
+            let sp = match st.reg(Reg::Rsp).as_const() {
+                Some(v) => v.wrapping_sub(8),
+                None => abort!("symbolic stack pointer"),
+            };
+            let v = st.reg(r);
+            st.mem.insert(sp, (v, 64));
+            st.set_reg(Reg::Rsp, Expr::c(sp));
+        }
+        Inst::Pop(r) => {
+            let sp = match st.reg(Reg::Rsp).as_const() {
+                Some(v) => v,
+                None => abort!("symbolic stack pointer"),
+            };
+            let v = load(st, sp, Width::B8, fresh, widen);
+            st.set_reg(r, v);
+            st.set_reg(Reg::Rsp, Expr::c(sp.wrapping_add(8)));
+        }
+        Inst::CallRel(_) | Inst::CallRm(_) => abort!("filter calls another function"),
+        Inst::JmpRel(rel) => {
+            st.rip = next.wrapping_add(rel as i64 as u64);
+            return StepOut::Continue;
+        }
+        Inst::JmpRm(_) => abort!("indirect jump"),
+        Inst::Jcc { cond, .. } => {
+            let Some(fd) = st.flags.clone() else {
+                abort!("branch on unknown flags");
+            };
+            match cond_to_bool(&fd, cond) {
+                None => abort!("unsupported condition"),
+                Some(b) => match b.as_const() {
+                    Some(true) => {
+                        let Inst::Jcc { rel, .. } = *inst else {
+                            unreachable!()
+                        };
+                        st.rip = next.wrapping_add(rel as i64 as u64);
+                        return StepOut::Continue;
+                    }
+                    Some(false) => {}
+                    None => return StepOut::Fork(b),
+                },
+            }
+        }
+        Inst::Setcc { cond, dst } => {
+            let Some(fd) = st.flags.clone() else {
+                abort!("setcc on unknown flags");
+            };
+            match cond_to_bool(&fd, cond).and_then(|b| b.as_const()) {
+                Some(v) => {
+                    let hi = Expr::bin(BinOp::And, st.reg(dst), Expr::c(!0xFFu64));
+                    st.set_reg(dst, Expr::bin(BinOp::Or, hi, Expr::c(v as u64)));
+                }
+                None => abort!("setcc on symbolic flags"),
+            }
+        }
+        Inst::Ret => {
+            let value = width_read(st.reg(Reg::Rax), Width::B4);
+            return StepOut::End(PathEnd::Ret {
+                value,
+                path: st.path.clone(),
+            });
+        }
+        Inst::Syscall | Inst::Int3 | Inst::Ud2 | Inst::Hlt | Inst::Cpuid => {
+            abort!("system instruction in filter")
+        }
+        Inst::Nop => {}
+    }
+    st.rip = next;
+    StepOut::Continue
+}
+
+pub(crate) enum StepOut {
     Continue,
     Fork(BoolExpr),
     End(PathEnd),
@@ -684,17 +695,37 @@ fn ea_symbolic(st: &SymState, m: &MemOp, next: u64) -> Rc<Expr> {
     e
 }
 
-fn load(st: &mut SymState, ea: u64, w: Width, fresh: &mut u32) -> Rc<Expr> {
+fn load(st: &mut SymState, ea: u64, w: Width, fresh: &mut u32, widen: bool) -> Rc<Expr> {
+    let want = width_bits(w);
     if let Some((e, bits)) = st.mem.get(&ea).cloned() {
-        let want = width_bits(w);
         if bits >= want {
             return width_read(e, w);
+        }
+        if widen {
+            // A narrower value is stored at `ea`: keep its bits and
+            // model only the uncovered high bits as fresh symbolic
+            // memory. The non-widening mode below instead discards the
+            // stored value entirely — a store-forwarding soundness hole
+            // (a 32-bit spill read back at 64 bits loses the
+            // constraint) that the explorer closes and the single-shot
+            // executor preserves as the differential reference.
+            *fresh += 1;
+            let hi = Expr::var(&format!("mem_{ea:x}_{fresh}"), want);
+            let lo = Expr::bin(BinOp::And, e, Expr::c((1u64 << bits) - 1));
+            let composed = Expr::bin(
+                BinOp::Or,
+                Expr::bin(BinOp::Shl, hi, Expr::c(u64::from(bits))),
+                lo,
+            );
+            let v = width_read(composed, w);
+            st.mem.insert(ea, (v.clone(), want));
+            return v;
         }
     }
     // Unknown memory: fresh unconstrained variable (over-approximation).
     *fresh += 1;
-    let v = Expr::var(&format!("mem_{ea:x}_{fresh}"), width_bits(w));
-    st.mem.insert(ea, (v.clone(), width_bits(w)));
+    let v = Expr::var(&format!("mem_{ea:x}_{fresh}"), want);
+    st.mem.insert(ea, (v.clone(), want));
     v
 }
 

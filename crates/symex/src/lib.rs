@@ -14,7 +14,14 @@
 //!   hash-consed per-thread term arena ([`term`]), Tseitin bit-blasted
 //!   to CNF, and decided by a two-watched-literal DPLL solver, with a
 //!   process-wide normalized-query memo answering structurally repeated
-//!   queries without solving. Witness models come back as [`Model`].
+//!   queries without solving. Witness models come back as [`Model`];
+//! * [`FilterExplorer`] — the one-door path explorer: forks at each
+//!   *feasible* branch under a bounded loop-unroll budget and solves
+//!   sibling paths incrementally through a [`Session`] (push/pop over
+//!   the shared constraint prefix, assumption-layered
+//!   [`IncrementalSat`] state), returning a structured
+//!   [`ExplorationReport`]. [`SymExec`] remains as the single-shot
+//!   differential-testing reference.
 //!
 //! # Examples
 //!
@@ -36,18 +43,23 @@
 
 mod blast;
 mod exec;
+mod explorer;
 mod expr;
 mod sat;
 pub mod term;
 
 pub use blast::{
     check, check_reference, memo_hits, memo_lookups, reset_query_memo, solver_calls,
-    with_reference_pipeline, Model, SatResult,
+    thread_arena_size, with_reference_pipeline, Model, SatResult, Session,
 };
 pub use exec::{
     with_step_budget, CodeSource, FilterAnalysis, FilterVerdict, SymExec, CODE_VAR,
     EXCEPTION_ACCESS_VIOLATION, EXCEPTION_CONTINUE_EXECUTION, EXCEPTION_CONTINUE_SEARCH,
     EXCEPTION_EXECUTE_HANDLER,
 };
+pub use explorer::{
+    paths_completed, paths_pruned, ExplorationReport, FilterExplorer, FilterExplorerBuilder,
+    PathReport, PathVerdict,
+};
 pub use expr::{BinOp, BoolExpr, CmpOp, Expr};
-pub use sat::{solve, solve_reference, Cnf, SolveOutcome};
+pub use sat::{solve, solve_reference, Cnf, IncrementalSat, SolveOutcome};

@@ -4,6 +4,7 @@ pub mod calibration;
 pub mod dlls;
 pub mod firefox;
 pub mod ie;
+pub mod loopy;
 
 pub use calibration::{calib, DllCalib, CALIBRATION};
 pub use dlls::{
@@ -11,6 +12,7 @@ pub use dlls::{
 };
 pub use firefox::FirefoxSim;
 pub use ie::IeSim;
+pub use loopy::{generate_loopy_dll, generate_loopy_dll_bytes, LoopyCase, LOOPY_CASES};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,300 @@
+//! The versioned JSON report envelope shared by every CLI output.
+//!
+//! All machine-readable outputs (`campaign --json`, `chaos
+//! --summary-json`, `list --json`, `report --json`, `serve
+//! --stats-json`, `scan --json`, `fleet --summary-json`, `explore
+//! --json`) wrap their payload in one envelope:
+//!
+//! ```json
+//! {"schema_version":1,"kind":"campaign","results":{…},"metrics":{…}}
+//! ```
+//!
+//! `results` is the deterministic half — byte-identical across worker
+//! counts for the same spec and fault plan. `metrics` is the
+//! non-deterministic half (wall times, scheduling metadata) and is
+//! `null` for outputs that have none. Consumers should check
+//! `schema_version` before touching anything else.
+//!
+//! The trace JSONL header shares the `schema_version`/`kind` prefix
+//! (kind `trace`) but carries `events`/`dropped` counters instead of
+//! the results/metrics pair; [`Trace::to_jsonl`](crate::Trace::to_jsonl)
+//! builds it through the same [`envelope_prefix`] so the framing bytes
+//! have exactly one author.
+//!
+//! Construction goes through [`ReportEnvelope::builder`] — emitters
+//! supply the pre-serialized halves and never hand-roll the framing.
+
+use crate::json::Json;
+use serde::Serialize;
+
+/// Version of the envelope schema (`schema_version` in every emitted
+/// JSON document).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What an envelope carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A campaign run (`campaign --json`).
+    Campaign,
+    /// A chaos-validation run (`chaos --summary-json`).
+    Chaos,
+    /// The target/plan listing (`list --json`).
+    List,
+    /// A trace analysis (`report --json`).
+    Report,
+    /// Resident-server lifetime statistics (`serve --stats-json`).
+    Serve,
+    /// A traceless static scan (`scan --json`).
+    Scan,
+    /// A supervised-fleet invariant run (`fleet --summary-json`).
+    Fleet,
+    /// A path-exploration run (`explore --json`).
+    Explore,
+    /// A trace JSONL header (flat envelope: `events`/`dropped` instead
+    /// of `results`/`metrics`).
+    Trace,
+}
+
+impl ReportKind {
+    /// Every kind, in a stable order (new kinds append).
+    pub const ALL: [ReportKind; 9] = [
+        ReportKind::Campaign,
+        ReportKind::Chaos,
+        ReportKind::List,
+        ReportKind::Report,
+        ReportKind::Serve,
+        ReportKind::Scan,
+        ReportKind::Fleet,
+        ReportKind::Explore,
+        ReportKind::Trace,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::Campaign => "campaign",
+            ReportKind::Chaos => "chaos",
+            ReportKind::List => "list",
+            ReportKind::Report => "report",
+            ReportKind::Serve => "serve",
+            ReportKind::Scan => "scan",
+            ReportKind::Fleet => "fleet",
+            ReportKind::Explore => "explore",
+            ReportKind::Trace => "trace",
+        }
+    }
+}
+
+impl Serialize for ReportKind {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
+    }
+}
+
+/// The shared framing prefix `{"schema_version":1,"kind":"…"` — the
+/// single author of those bytes for both report envelopes and the
+/// trace JSONL header. The caller appends its own fields (each
+/// starting with `,"key":`) and the closing `}`.
+pub fn envelope_prefix(kind: ReportKind) -> String {
+    let mut out = String::from("{\"schema_version\":");
+    SCHEMA_VERSION.write_json(&mut out);
+    out.push_str(",\"kind\":");
+    kind.write_json(&mut out);
+    out
+}
+
+/// One versioned envelope. `results` and `metrics` hold
+/// *pre-serialized* JSON (the deterministic and non-deterministic
+/// halves are rendered by their owners; the envelope only frames
+/// them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportEnvelope {
+    /// Payload kind.
+    pub kind: ReportKind,
+    /// Deterministic payload, as serialized JSON.
+    pub results: String,
+    /// Non-deterministic payload, as serialized JSON; `None` renders
+    /// as `null`.
+    pub metrics: Option<String>,
+}
+
+/// Builder returned by [`ReportEnvelope::builder`]. `results` defaults
+/// to `null` (explicitly-empty payloads are legal, e.g. a listing with
+/// no servers renders its own empty object instead).
+#[derive(Debug, Clone)]
+pub struct ReportEnvelopeBuilder {
+    kind: ReportKind,
+    results: String,
+    metrics: Option<String>,
+}
+
+impl ReportEnvelopeBuilder {
+    /// Set the deterministic half from pre-serialized JSON.
+    pub fn results(mut self, json: impl Into<String>) -> ReportEnvelopeBuilder {
+        self.results = json.into();
+        self
+    }
+
+    /// Serialize `value` as the deterministic half.
+    pub fn results_of(self, value: &impl Serialize) -> ReportEnvelopeBuilder {
+        self.results(value.to_json())
+    }
+
+    /// Set the non-deterministic half from pre-serialized JSON.
+    pub fn metrics(mut self, json: impl Into<String>) -> ReportEnvelopeBuilder {
+        self.metrics = Some(json.into());
+        self
+    }
+
+    /// Serialize `value` as the non-deterministic half.
+    pub fn metrics_of(self, value: &impl Serialize) -> ReportEnvelopeBuilder {
+        self.metrics(value.to_json())
+    }
+
+    /// Assemble the envelope.
+    pub fn build(self) -> ReportEnvelope {
+        ReportEnvelope {
+            kind: self.kind,
+            results: self.results,
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl ReportEnvelope {
+    /// Start building a `kind` envelope.
+    pub fn builder(kind: ReportKind) -> ReportEnvelopeBuilder {
+        ReportEnvelopeBuilder {
+            kind,
+            results: "null".into(),
+            metrics: None,
+        }
+    }
+
+    /// Frame `results` (and optionally `metrics`) as a `kind` envelope —
+    /// shorthand for the builder with both halves known up front.
+    pub fn new(kind: ReportKind, results: String, metrics: Option<String>) -> ReportEnvelope {
+        ReportEnvelope {
+            kind,
+            results,
+            metrics,
+        }
+    }
+
+    /// Render the envelope. Key order is fixed:
+    /// `schema_version`, `kind`, `results`, `metrics`.
+    pub fn to_json(&self) -> String {
+        let mut out = envelope_prefix(self.kind);
+        out.push_str(",\"results\":");
+        out.push_str(&self.results);
+        out.push_str(",\"metrics\":");
+        match &self.metrics {
+            Some(m) => out.push_str(m),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse and validate an envelope: `schema_version` must equal
+    /// [`SCHEMA_VERSION`], `kind` must be known, `results` must be
+    /// present. Returns the parsed document root.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated envelope rule.
+    pub fn validate(text: &str) -> Result<Json, String> {
+        let root = Json::parse(text).map_err(|e| format!("bad report JSON: {e}"))?;
+        let version = root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing `schema_version`")?;
+        if version != u64::from(SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported report schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let kind = root
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("report missing `kind`")?;
+        if !ReportKind::ALL.iter().any(|k| k.name() == kind) {
+            return Err(format!("unknown report kind {kind:?}"));
+        }
+        if root.get("results").is_none() {
+            return Err("report missing `results`".into());
+        }
+        Ok(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["campaign", "chaos", "list", "report", "serve", "scan", "fleet", "explore", "trace"]
+        );
+    }
+
+    #[test]
+    fn envelope_frames_and_validates() {
+        let r = ReportEnvelope::builder(ReportKind::List)
+            .results("{\"servers\":[]}")
+            .build();
+        let text = r.to_json();
+        assert_eq!(
+            text,
+            "{\"schema_version\":1,\"kind\":\"list\",\"results\":{\"servers\":[]},\"metrics\":null}"
+        );
+        let root = ReportEnvelope::validate(&text).unwrap();
+        assert!(root.get("results").is_some());
+        assert_eq!(root.get("metrics"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn builder_and_new_agree() {
+        let a = ReportEnvelope::builder(ReportKind::Fleet)
+            .results("{\"x\":1}")
+            .metrics("{\"y\":2}")
+            .build();
+        let b = ReportEnvelope::new(
+            ReportKind::Fleet,
+            "{\"x\":1}".into(),
+            Some("{\"y\":2}".into()),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn prefix_is_the_single_framing_author() {
+        assert_eq!(
+            envelope_prefix(ReportKind::Trace),
+            "{\"schema_version\":1,\"kind\":\"trace\""
+        );
+        for k in ReportKind::ALL {
+            let env = ReportEnvelope::builder(k).results("{}").build().to_json();
+            assert!(env.starts_with(&envelope_prefix(k)));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_envelopes() {
+        assert!(ReportEnvelope::validate("{}").is_err());
+        assert!(ReportEnvelope::validate(
+            "{\"schema_version\":2,\"kind\":\"list\",\"results\":{}}"
+        )
+        .is_err());
+        assert!(ReportEnvelope::validate(
+            "{\"schema_version\":1,\"kind\":\"bogus\",\"results\":{}}"
+        )
+        .is_err());
+        assert!(ReportEnvelope::validate("{\"schema_version\":1,\"kind\":\"list\"}").is_err());
+        assert!(ReportEnvelope::validate("not json").is_err());
+    }
+}

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod collect;
+pub mod envelope;
 pub mod event;
 pub mod hist;
 pub mod json;
@@ -48,6 +49,9 @@ pub mod trace;
 pub use collect::{
     advance_virtual, begin_run, drain, emit, enabled, finish, flush_local, span, span_advisory,
     start, start_with_capacity, task_scope, Span, DEFAULT_RING_CAPACITY,
+};
+pub use envelope::{
+    envelope_prefix, ReportEnvelope, ReportEnvelopeBuilder, ReportKind, SCHEMA_VERSION,
 };
 pub use event::{Event, Stage};
 pub use hist::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};

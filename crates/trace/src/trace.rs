@@ -6,8 +6,9 @@ use crate::hist::Histogram;
 use crate::json::Json;
 use serde::Serialize;
 
-/// Trace file schema version (the JSONL header's `schema_version`).
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// Trace file schema version (the JSONL header's `schema_version`) —
+/// the same version as every other report envelope.
+pub const TRACE_SCHEMA_VERSION: u32 = crate::envelope::SCHEMA_VERSION;
 
 /// A completed trace session: events in canonical order plus the count
 /// of records lost to ring overflow.
@@ -39,10 +40,8 @@ impl Trace {
     /// `{"schema_version":1,"kind":"trace","events":N,"dropped":D}`
     /// followed by one event per line, wall stamps included.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\"schema_version\":");
-        TRACE_SCHEMA_VERSION.write_json(&mut out);
-        out.push_str(",\"kind\":\"trace\",\"events\":");
+        let mut out = crate::envelope::envelope_prefix(crate::envelope::ReportKind::Trace);
+        out.push_str(",\"events\":");
         (self.events.len() as u64).write_json(&mut out);
         out.push_str(",\"dropped\":");
         self.dropped.write_json(&mut out);

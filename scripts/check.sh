@@ -26,7 +26,7 @@ run() {
 }
 
 run cargo fmt --check
-run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings
+run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings -D deprecated
 run cargo build --release "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 run cargo test -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 
@@ -89,6 +89,27 @@ grep -q '"verdict_parity":true' "$smoke_tmp/solver.json" \
   || { echo "[check] solver_bench verdict parity failed" >&2; exit 1; }
 grep -q '"memo_warm":{[^}]*"memo_hits":64' "$smoke_tmp/solver.json" \
   || { echo "[check] solver_bench warm pass did not hit the memo" >&2; exit 1; }
+
+# symex-paths smoke: the path explorer over the loopy/multi-branch
+# filter family. Exploration is a single-threaded deterministic DFS
+# over generated targets, so the whole envelope (per-filter verdicts,
+# path/prune/step counts, solver counters) diffs byte for byte. The
+# solver-bench JSON above also prices this family: incremental push/pop
+# must beat re-blasting every path from scratch, at full verdict parity
+# (the bench binary asserts parity itself).
+echo "[check] symex-paths smoke (explore golden + incremental pricing)"
+target/release/crash-resist explore loopy --json > "$smoke_tmp/explore.json"
+if ! diff -u scripts/golden/explore_smoke.json "$smoke_tmp/explore.json"; then
+  echo "[check] explore report diverged from scripts/golden/explore_smoke.json" >&2
+  exit 1
+fi
+grep -q "${envelope}explore\"" "$smoke_tmp/explore.json" \
+  || { echo "[check] explore --json lacks the envelope" >&2; exit 1; }
+grep -q '"memo_hits":64' "$smoke_tmp/explore.json" \
+  || { echo "[check] sibling-path memo hits fell below the 64-hit floor" >&2; exit 1; }
+grep -q '"incremental_beats_independent":true' "$smoke_tmp/solver.json" \
+  || { cat "$smoke_tmp/solver.json" >&2
+  echo "[check] incremental exploration did not beat independent re-blasting" >&2; exit 1; }
 
 # scan-smoke: the traceless scanner over the harness-less corpus module
 # must reproduce the golden report byte for byte (content hashes,

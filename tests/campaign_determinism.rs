@@ -20,22 +20,22 @@ fn solo() -> std::sync::MutexGuard<'static, ()> {
 
 /// A mixed-family spec that touches every task kind without taking
 /// minutes: three SEH modules, one server, a small funnel, one oracle.
-/// The deliberate duplicate task would be rejected by the builder, so
-/// this uses the unvalidated (deprecated) constructor on purpose.
-#[allow(deprecated)]
+/// The deliberate duplicate task would be rejected by the validating
+/// builder, so it is appended to the built spec directly — determinism
+/// must hold even for degenerate task lists.
 fn mixed_spec() -> CampaignSpec {
-    CampaignSpec::from_parts(
-        "determinism",
-        2017,
-        vec![
-            CampaignTask::SehAnalysis("xmllite".into()),
-            CampaignTask::SehAnalysis("jscript9".into()),
-            CampaignTask::ServerDiscovery("nginx".into()),
-            CampaignTask::ApiFunnel { corpus_size: 200 },
-            CampaignTask::PocScan("nginx".into()),
-            CampaignTask::SehAnalysis("xmllite".into()),
-        ],
-    )
+    let mut spec = CampaignSpec::builder()
+        .name("determinism")
+        .seed(2017)
+        .seh("xmllite")
+        .seh("jscript9")
+        .server("nginx")
+        .funnel(200)
+        .poc("nginx")
+        .build()
+        .expect("valid base spec");
+    spec.tasks.push(CampaignTask::SehAnalysis("xmllite".into()));
+    spec
 }
 
 fn scratch(tag: &str) -> PathBuf {
