@@ -28,7 +28,7 @@ use crate::metrics::{CampaignMetrics, SolverStats};
 use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
 use crate::spec::{CampaignSpec, CampaignTask, TaskKind};
 use cr_chaos::{FaultInjector, FaultKind, Site};
-use cr_core::seh::{self, analyze_module_cached, NoCache};
+use cr_core::seh::{self, analyze_module_cached, analyze_module_cached_jobs, NoCache};
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -39,6 +39,12 @@ use std::time::Instant;
 pub struct EngineConfig {
     /// Worker threads (1 = serial).
     pub jobs: usize,
+    /// Exploration worker threads inside each symex (SEH) task: the
+    /// module's uncached filters are batched through one parallel
+    /// explorer call instead of explored one at a time. Reports and
+    /// verdicts are byte-identical at any value (canonical-merge
+    /// contract); 1 = the serial explorer.
+    pub symex_jobs: usize,
     /// Extra attempts for a failing task.
     pub retries: u32,
     /// Cache directory; `None` keeps the cache in memory only.
@@ -65,6 +71,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             jobs: 1,
+            symex_jobs: 1,
             retries: 1,
             cache_dir: None,
             deadline_ms: Some(DEFAULT_DEADLINE_MS),
@@ -242,11 +249,7 @@ pub fn run_campaign_with_cache(
     cache: &AnalysisCache,
 ) -> CampaignReport {
     let quarantined = cache.quarantined();
-    let solver_before = cr_symex::solver_calls();
-    let memo_lookups_before = cr_symex::memo_lookups();
-    let memo_hits_before = cr_symex::memo_hits();
-    let paths_completed_before = cr_symex::paths_completed();
-    let paths_pruned_before = cr_symex::paths_pruned();
+    let solver_before = cr_symex::SolverCounters::snapshot();
     let cache_before = cache.stats();
     let injector = cfg.injector.as_deref();
     let labels: Vec<(String, TaskKind)> =
@@ -273,7 +276,7 @@ pub fn run_campaign_with_cache(
         // only when the attempt returns normally.
         let mut span = cr_trace::span(cr_trace::Stage::Schedule, "attempt");
         span.set_detail(|| labels[ctx.index].0.clone());
-        let outcome = execute_task(&spec.tasks[ctx.index], cache, injector, ctx);
+        let outcome = execute_task(&spec.tasks[ctx.index], cache, injector, ctx, cfg.symex_jobs);
         span.append_detail(|| match &outcome {
             Ok(_) => "ok".into(),
             Err(e) => format!("err={}", e.kind.name()),
@@ -304,12 +307,15 @@ pub fn run_campaign_with_cache(
     let metrics = CampaignMetrics::from_executions(
         cfg.jobs.max(1),
         total_wall_us,
-        SolverStats {
-            calls: cr_symex::solver_calls() - solver_before,
-            memo_lookups: cr_symex::memo_lookups() - memo_lookups_before,
-            memo_hits: cr_symex::memo_hits() - memo_hits_before,
-            paths_completed: cr_symex::paths_completed() - paths_completed_before,
-            paths_pruned: cr_symex::paths_pruned() - paths_pruned_before,
+        {
+            let d = solver_before.delta();
+            SolverStats {
+                calls: d.solver_calls,
+                memo_lookups: d.memo_lookups,
+                memo_hits: d.memo_hits,
+                paths_completed: d.paths_completed,
+                paths_pruned: d.paths_pruned,
+            }
         },
         quarantined,
         crate::cache::CacheStatsSnapshot {
@@ -398,6 +404,7 @@ fn execute_task(
     cache: &AnalysisCache,
     inj: Option<&FaultInjector>,
     ctx: &TaskCtx,
+    symex_jobs: usize,
 ) -> Result<TaskResult, TaskError> {
     let key = ctx.index as u64;
     ctx.checkpoint()?;
@@ -415,7 +422,7 @@ fn execute_task(
     }
     match task {
         CampaignTask::ServerDiscovery(name) => Ok(run_server(name)),
-        CampaignTask::SehAnalysis(name) => run_seh(name, cache, inj, ctx),
+        CampaignTask::SehAnalysis(name) => run_seh(name, cache, inj, ctx, symex_jobs),
         CampaignTask::ApiFunnel { corpus_size } => Ok(run_funnel(*corpus_size, ctx.seed)),
         CampaignTask::PocScan(name) => Ok(run_poc(name)),
         CampaignTask::StaticScan(name) => Ok(run_scan(name, cache)),
@@ -441,6 +448,7 @@ fn run_seh(
     cache: &AnalysisCache,
     inj: Option<&FaultInjector>,
     ctx: &TaskCtx,
+    symex_jobs: usize,
 ) -> Result<TaskResult, TaskError> {
     // The loopy explorer-regression family lives outside the calibrated
     // §V-C population (its Table II/III totals are pinned), so it is
@@ -516,7 +524,11 @@ fn run_seh(
     let summary = match cache.get_module(&image_hash) {
         Some(s) => s,
         None => {
-            let a = analyze_module_cached(&artifact.image, &mut SharedVerdictCache(cache));
+            let a = analyze_module_cached_jobs(
+                &artifact.image,
+                &mut SharedVerdictCache(cache),
+                symex_jobs,
+            );
             let s = SehSummary {
                 module: a.module,
                 is_x64: a.is_x64,

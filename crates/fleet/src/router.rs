@@ -73,6 +73,17 @@ struct Admission {
     waiters: Vec<(Arc<FrontConn>, u64)>,
 }
 
+/// The admission table plus an index of every `(conn, request_id)`
+/// pair currently waiting on some admission. The index answers the
+/// duplicate-id check and [`Router::conn_has_waiters`] without walking
+/// every admission's waiter list — under 8 dispatcher threads that
+/// linear scan (held inside the admissions lock) was a measurable
+/// serialization point.
+struct Admissions {
+    by_key: HashMap<u64, Admission>,
+    waiting: HashSet<(u64, u64)>,
+}
+
 /// The delivery ledger. Live connections' counts stay queryable (the
 /// exactly-once invariant witness); a closed connection's entries are
 /// retired into the `ledger_retired` / `ledger_violations` counters so
@@ -92,13 +103,15 @@ pub struct Router {
     ring: crate::ring::HashRing,
     replica: Arc<AnalysisCache>,
     counters: Arc<FleetCounters>,
-    admissions: Mutex<HashMap<u64, Admission>>,
+    admissions: Mutex<Admissions>,
     delivered: Mutex<Ledger>,
-    /// Warm dispatch connections per worker, tagged with the worker
-    /// generation they were opened against: a fresh connect pays the
-    /// worker's accept-poll latency, so the router keeps healthy
-    /// connections and lazily discards ones from dead generations.
-    pool: Mutex<HashMap<usize, Vec<(u32, Client)>>>,
+    /// Warm dispatch connections, tagged with the worker generation
+    /// they were opened against: a fresh connect pays the worker's
+    /// accept-poll latency, so the router keeps healthy connections and
+    /// lazily discards ones from dead generations. One shard (lock) per
+    /// worker: dispatchers bound for different workers never contend on
+    /// checkout/checkin.
+    pool: Vec<Mutex<Vec<(u32, Client)>>>,
     shutdown: AtomicBool,
     next_uid: AtomicU64,
 }
@@ -111,18 +124,24 @@ impl Router {
         counters: Arc<FleetCounters>,
     ) -> Router {
         let ring = crate::ring::HashRing::new(cfg.workers);
+        let pool = (0..cfg.workers.max(1))
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         Router {
             cfg,
             supervisor,
             ring,
             replica,
             counters,
-            admissions: Mutex::new(HashMap::new()),
+            admissions: Mutex::new(Admissions {
+                by_key: HashMap::new(),
+                waiting: HashSet::new(),
+            }),
             delivered: Mutex::new(Ledger {
                 live: HashSet::new(),
                 counts: HashMap::new(),
             }),
-            pool: Mutex::new(HashMap::new()),
+            pool,
             shutdown: AtomicBool::new(false),
             next_uid: AtomicU64::new(0),
         }
@@ -138,7 +157,7 @@ impl Router {
 
     /// Admissions still in flight (join gates on zero).
     pub(crate) fn inflight(&self) -> usize {
-        self.admissions.lock().unwrap().len()
+        self.admissions.lock().unwrap().by_key.len()
     }
 
     /// The live delivery ledger, sorted: `((conn, request),
@@ -162,8 +181,9 @@ impl Router {
         self.admissions
             .lock()
             .unwrap()
-            .values()
-            .any(|a| a.waiters.iter().any(|(c, _)| c.conn_id == conn_id))
+            .waiting
+            .iter()
+            .any(|&(c, _)| c == conn_id)
     }
 
     /// Accept loop; returns when shutdown is requested.
@@ -383,12 +403,9 @@ impl Router {
         // A request id may wait on at most one admission per
         // connection: reusing it while the first is still in flight —
         // even under a different payload — is a duplicate, or the
-        // exactly-once ledger would double-count the pair.
-        if admissions.values().any(|adm| {
-            adm.waiters
-                .iter()
-                .any(|(c, id)| c.conn_id == conn.conn_id && *id == request_id)
-        }) {
+        // exactly-once ledger would double-count the pair. The waiting
+        // index answers this in one hash probe.
+        if admissions.waiting.contains(&(conn.conn_id, request_id)) {
             drop(admissions);
             conn.send(&error_frame(
                 request_id,
@@ -397,9 +414,10 @@ impl Router {
             ));
             return;
         }
-        if let Some(adm) = admissions.get_mut(&admission_key) {
+        if let Some(adm) = admissions.by_key.get_mut(&admission_key) {
             // Coalesce: ride the in-flight execution.
             adm.waiters.push((conn.clone(), request_id));
+            admissions.waiting.insert((conn.conn_id, request_id));
             drop(admissions);
             self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
             self.counters
@@ -412,7 +430,7 @@ impl Router {
             ));
             return;
         }
-        if admissions.len() >= self.cfg.admit_capacity {
+        if admissions.by_key.len() >= self.cfg.admit_capacity {
             drop(admissions);
             self.counters
                 .busy_rejections
@@ -428,12 +446,13 @@ impl Router {
             return;
         }
         let uid = self.next_uid.fetch_add(1, Ordering::Relaxed) + 1;
-        admissions.insert(
+        admissions.by_key.insert(
             admission_key,
             Admission {
                 waiters: vec![(conn.clone(), request_id)],
             },
         );
+        admissions.waiting.insert((conn.conn_id, request_id));
         drop(admissions);
         self.counters
             .requests_admitted
@@ -500,20 +519,29 @@ impl Router {
             std::thread::sleep(Duration::from_millis(POLL_MS));
         }
 
-        let waiters = self
-            .admissions
-            .lock()
-            .unwrap()
-            .remove(&admission_key)
-            .map(|a| a.waiters)
-            .unwrap_or_default();
+        let waiters = {
+            let mut admissions = self.admissions.lock().unwrap();
+            let waiters = admissions
+                .by_key
+                .remove(&admission_key)
+                .map(|a| a.waiters)
+                .unwrap_or_default();
+            for (conn, request_id) in &waiters {
+                admissions.waiting.remove(&(conn.conn_id, *request_id));
+            }
+            waiters
+        };
         match outcome {
             Some((worker, answer)) => {
                 if self.cfg.replicate && answer.fresh {
                     self.replicate_from(worker, &answer.addr);
                 }
-                let mut delivered = self.delivered.lock().unwrap();
                 for (conn, request_id) in &waiters {
+                    // The frame writes happen outside the delivery
+                    // ledger lock: a slow or dead front connection must
+                    // not stall every other dispatcher's bookkeeping
+                    // (the per-conn stream mutex already serializes
+                    // writers on one connection).
                     conn.send(&Frame::text(
                         FrameKind::Progress,
                         *request_id,
@@ -531,6 +559,7 @@ impl Router {
                         *request_id,
                         answer.done.clone(),
                     ));
+                    let mut delivered = self.delivered.lock().unwrap();
                     if delivered.live.contains(&conn.conn_id) {
                         *delivered
                             .counts
@@ -542,6 +571,7 @@ impl Router {
                         // this single delivery retires directly.
                         self.counters.ledger_retired.fetch_add(1, Ordering::Relaxed);
                     }
+                    drop(delivered);
                     self.counters
                         .results_delivered
                         .fetch_add(1, Ordering::Relaxed);
@@ -630,11 +660,10 @@ impl Router {
         })
     }
 
-    /// Take a pooled connection to worker `id`, lazily discarding any
-    /// opened against an older (dead) generation.
+    /// Take a pooled connection to worker `id` from its shard, lazily
+    /// discarding any opened against an older (dead) generation.
     fn checkout(&self, id: usize, generation: u32) -> Option<Client> {
-        let mut pool = self.pool.lock().unwrap();
-        let conns = pool.get_mut(&id)?;
+        let mut conns = self.pool.get(id)?.lock().unwrap();
         while let Some((g, client)) = conns.pop() {
             if g == generation {
                 return Some(client);
@@ -646,8 +675,10 @@ impl Router {
     /// Return a healthy connection for reuse; a handful per worker
     /// covers the dispatcher concurrency.
     fn checkin(&self, id: usize, generation: u32, client: Client) {
-        let mut pool = self.pool.lock().unwrap();
-        let conns = pool.entry(id).or_default();
+        let Some(shard) = self.pool.get(id) else {
+            return;
+        };
+        let mut conns = shard.lock().unwrap();
         if conns.len() < 8 {
             conns.push((generation, client));
         }

@@ -69,21 +69,160 @@ enum MemoEntry {
     Unknown(&'static str),
 }
 
-/// The process-wide normalized-query memo. `BTreeMap` because its
-/// empty constructor is `const`; keys are full canonical
-/// serializations (not hashes), so a hit is a structural identity, not
-/// a probabilistic one.
-static QUERY_MEMO: Mutex<BTreeMap<Vec<u8>, MemoEntry>> = Mutex::new(BTreeMap::new());
+/// One memo slot: the cached outcome plus the global insertion
+/// generation, so batch-scoped readers (the parallel explorer's
+/// canonical counter replay) can tell entries that predate their batch
+/// from entries raced in by a sibling worker mid-batch.
+#[derive(Debug, Clone)]
+struct MemoSlot {
+    gen: u64,
+    entry: MemoEntry,
+}
+
+/// Shard fanout of the normalized-query memo. Fixed power of two so the
+/// shard of a key is a mask, not a modulo.
+const MEMO_SHARDS: usize = 16;
+
+/// The process-wide normalized-query memo, sharded by key hash so
+/// concurrent exploration workers contend on 1/16th of a lock instead
+/// of one global one. `BTreeMap` because its empty constructor is
+/// `const`; keys are full canonical serializations (not hashes), so a
+/// hit is a structural identity, not a probabilistic one.
+static QUERY_MEMO: [Mutex<BTreeMap<Vec<u8>, MemoSlot>>; MEMO_SHARDS] =
+    [const { Mutex::new(BTreeMap::new()) }; MEMO_SHARDS];
+
+/// Monotone insertion clock for [`MemoSlot::gen`].
+static MEMO_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a over the canonical key — stable, dependency-free, and good
+/// enough to spread structurally distinct queries across shards.
+fn memo_shard(key: &[u8]) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (MEMO_SHARDS - 1)
+}
+
+/// Probe the memo for `key`, returning the cached outcome and its
+/// insertion generation.
+fn memo_probe(key: &[u8]) -> Option<MemoSlot> {
+    QUERY_MEMO[memo_shard(key)]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(key)
+        .cloned()
+}
+
+/// Insert an outcome for `key`, first-wins: if a sibling worker raced
+/// the same normalized query in, its entry (an identical verdict — the
+/// memo is a pure function of the key) is kept.
+fn memo_insert(key: Vec<u8>, entry: MemoEntry) {
+    let gen = MEMO_GEN.fetch_add(1, Ordering::Relaxed) + 1;
+    QUERY_MEMO[memo_shard(&key)]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(key)
+        .or_insert(MemoSlot { gen, entry });
+}
+
+/// Current memo insertion generation — the epoch a logged batch opens
+/// with (see [`query_log_begin`]).
+pub(crate) fn memo_generation() -> u64 {
+    MEMO_GEN.load(Ordering::Relaxed)
+}
 
 /// Drop every entry in the normalized-query memo. Benchmarks use this
 /// to measure honestly cold runs; production code never needs it.
 pub fn reset_query_memo() {
-    QUERY_MEMO.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    for shard in &QUERY_MEMO {
+        shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// One solver invocation, as seen by the per-thread query log.
+///
+/// `Short` is a call that never reached the memo (a constraint interned
+/// to constant false, or the reference pipeline); `Probed` carries the
+/// canonical key and whether the entry it found predates the logging
+/// batch. The parallel explorer replays these in canonical path order
+/// to reconstruct the solver/lookup/hit counters a sequential quiet
+/// process would have reported — the process-global counters above keep
+/// counting *actual* work, which under speculation is more.
+#[derive(Debug, Clone)]
+pub(crate) enum QueryEvent {
+    Short,
+    Probed { key: Vec<u8>, pre_existing: bool },
+}
+
+struct QueryLog {
+    enabled: bool,
+    /// Memo generation at batch start: entries at or below it were
+    /// inserted before the batch began.
+    epoch: u64,
+    events: Vec<QueryEvent>,
 }
 
 thread_local! {
     static REFERENCE: Cell<bool> = const { Cell::new(false) };
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    static QUERY_LOG: RefCell<QueryLog> = const {
+        RefCell::new(QueryLog { enabled: false, epoch: 0, events: Vec::new() })
+    };
+}
+
+/// Start logging this thread's solver invocations against memo `epoch`
+/// (from [`memo_generation`] at batch start).
+pub(crate) fn query_log_begin(epoch: u64) {
+    QUERY_LOG.with(|l| {
+        let mut l = l.borrow_mut();
+        l.enabled = true;
+        l.epoch = epoch;
+        l.events.clear();
+    });
+}
+
+/// Drain the events logged since the last drain (or [`query_log_begin`]).
+pub(crate) fn query_log_drain() -> Vec<QueryEvent> {
+    QUERY_LOG.with(|l| std::mem::take(&mut l.borrow_mut().events))
+}
+
+/// Stop logging on this thread and discard any undrained events.
+pub(crate) fn query_log_end() {
+    QUERY_LOG.with(|l| {
+        let mut l = l.borrow_mut();
+        l.enabled = false;
+        l.events.clear();
+    });
+}
+
+fn log_short() {
+    QUERY_LOG.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.enabled {
+            l.events.push(QueryEvent::Short);
+        }
+    });
+}
+
+fn log_probe(key: &[u8], gen: Option<u64>) {
+    QUERY_LOG.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.enabled {
+            let pre_existing = gen.is_some_and(|g| g <= l.epoch);
+            l.events.push(QueryEvent::Probed {
+                key: key.to_vec(),
+                pre_existing,
+            });
+        }
+    });
+}
+
+/// Whether [`with_reference_pipeline`] is active on this thread — the
+/// parallel explorer propagates the flag into its workers.
+pub(crate) fn reference_pipeline_active() -> bool {
+    REFERENCE.with(Cell::get)
 }
 
 /// Run `f` with [`check`] routed through the pre-interning pipeline
@@ -157,6 +296,7 @@ impl SatResult {
 pub fn check(constraints: &[BoolExpr]) -> SatResult {
     SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
     if REFERENCE.with(Cell::get) {
+        log_short();
         return reference::check_reference_inner(constraints);
     }
     SCRATCH.with(|s| check_interned(&mut s.borrow_mut(), constraints))
@@ -172,6 +312,7 @@ pub fn check(constraints: &[BoolExpr]) -> SatResult {
 /// cold while the reference runs in its own private world.
 pub fn check_reference(constraints: &[BoolExpr]) -> SatResult {
     SOLVER_CALLS.fetch_add(1, Ordering::Relaxed);
+    log_short();
     SCRATCH.with(|s| {
         let s = &mut *s.borrow_mut();
         // Per-call pointer memo, same contract as `begin_query`: `Rc`
@@ -203,6 +344,7 @@ fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
         let id = s.intern_bool(c);
         if id == TermArena::FALSE {
             span.set_detail(|| "memo=short verdict=unsat".into());
+            log_short();
             return SatResult::Unsat;
         }
         if id == TermArena::TRUE {
@@ -212,15 +354,12 @@ fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
     }
     let shape = s.arena.normalize(&s.roots);
     MEMO_LOOKUPS.fetch_add(1, Ordering::Relaxed);
-    let hit = QUERY_MEMO
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(&shape.key)
-        .cloned();
-    if let Some(entry) = hit {
+    let hit = memo_probe(&shape.key);
+    log_probe(&shape.key, hit.as_ref().map(|slot| slot.gen));
+    if let Some(slot) = hit {
         MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         span.set_detail(|| format!("memo=hit vars={}", shape.vars.len()));
-        return match entry {
+        return match slot.entry {
             MemoEntry::Unsat => SatResult::Unsat,
             MemoEntry::Unknown(e) => SatResult::Unknown(e),
             MemoEntry::Sat(vals) => SatResult::Sat(Model::from_pairs(
@@ -252,10 +391,7 @@ fn check_interned(s: &mut Scratch, constraints: &[BoolExpr]) -> SatResult {
             s.cnf.num_clauses()
         )
     });
-    QUERY_MEMO
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(shape.key, entry);
+    memo_insert(shape.key, entry);
     result
 }
 
@@ -376,6 +512,7 @@ impl Session {
         let mut span = cr_trace::span_advisory(cr_trace::Stage::Symex, "solver.check");
         if self.false_count > 0 {
             span.set_detail(|| "memo=short verdict=unsat".into());
+            log_short();
             return SatResult::Unsat;
         }
         self.s.ptr_memo.clear();
@@ -392,6 +529,7 @@ impl Session {
             let id = self.s.intern_bool(c);
             if id == TermArena::FALSE {
                 span.set_detail(|| "memo=short verdict=unsat".into());
+                log_short();
                 return SatResult::Unsat;
             }
             if id != TermArena::TRUE {
@@ -400,15 +538,12 @@ impl Session {
         }
         let shape = self.s.arena.normalize(&roots);
         MEMO_LOOKUPS.fetch_add(1, Ordering::Relaxed);
-        let hit = QUERY_MEMO
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&shape.key)
-            .cloned();
-        if let Some(entry) = hit {
+        let hit = memo_probe(&shape.key);
+        log_probe(&shape.key, hit.as_ref().map(|slot| slot.gen));
+        if let Some(slot) = hit {
             MEMO_HITS.fetch_add(1, Ordering::Relaxed);
             span.set_detail(|| format!("memo=hit vars={}", shape.vars.len()));
-            return match entry {
+            return match slot.entry {
                 MemoEntry::Unsat => SatResult::Unsat,
                 MemoEntry::Unknown(e) => SatResult::Unknown(e),
                 MemoEntry::Sat(vals) => SatResult::Sat(Model::from_pairs(
@@ -476,10 +611,7 @@ impl Session {
                 self.s.cnf.num_clauses()
             )
         });
-        QUERY_MEMO
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(shape.key, entry);
+        memo_insert(shape.key, entry);
         result
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::expr::{eval_bin, mask_of, sign_extend, BinOp, CmpOp};
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned variable name. Ids are process-wide and dense; the same
 /// name always interns to the same id, so models can store ids and
@@ -44,26 +44,39 @@ struct Symtab {
     ids: HashMap<&'static str, u32>,
 }
 
-static SYMTAB: OnceLock<Mutex<Symtab>> = OnceLock::new();
+/// `RwLock`, not `Mutex`: the variable-name population is small and
+/// recurs across every query, so after warmup virtually every access is
+/// a lookup of an already-interned name. Readers (the intern fast path,
+/// [`sym_lookup`], [`sym_name`]) share the lock; only the first intern
+/// of a genuinely new name takes the write side. This is what keeps a
+/// fleet of exploration workers from serializing on the interner.
+static SYMTAB: OnceLock<RwLock<Symtab>> = OnceLock::new();
 
-fn symtab() -> std::sync::MutexGuard<'static, Symtab> {
-    SYMTAB
-        .get_or_init(|| {
-            Mutex::new(Symtab {
-                names: Vec::new(),
-                ids: HashMap::new(),
-            })
+fn symtab() -> &'static RwLock<Symtab> {
+    SYMTAB.get_or_init(|| {
+        RwLock::new(Symtab {
+            names: Vec::new(),
+            ids: HashMap::new(),
         })
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    })
 }
 
 /// Intern `name`, returning its process-wide id. The first intern of a
 /// name leaks one copy of it; the variable-name population (register
 /// harness fields, `mem_*` loads at fixed harness addresses) is small
 /// and recurs across queries, so the leak is bounded in practice.
+///
+/// Read-mostly: the hit path takes only the shared side of the table
+/// lock, and the miss path re-checks under the write lock (another
+/// thread may have interned the same name between the two).
 pub fn sym_intern(name: &str) -> SymId {
-    let mut t = symtab();
+    {
+        let t = symtab().read().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = t.ids.get(name) {
+            return SymId(id);
+        }
+    }
+    let mut t = symtab().write().unwrap_or_else(|e| e.into_inner());
     if let Some(&id) = t.ids.get(name) {
         return SymId(id);
     }
@@ -76,7 +89,13 @@ pub fn sym_intern(name: &str) -> SymId {
 
 /// Look a name up without interning it (misses return `None`).
 pub fn sym_lookup(name: &str) -> Option<SymId> {
-    symtab().ids.get(name).copied().map(SymId)
+    symtab()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .ids
+        .get(name)
+        .copied()
+        .map(SymId)
 }
 
 /// The interned name of `id`.
@@ -85,7 +104,7 @@ pub fn sym_lookup(name: &str) -> Option<SymId> {
 ///
 /// Panics if `id` did not come from [`sym_intern`].
 pub fn sym_name(id: SymId) -> &'static str {
-    symtab().names[id.index()]
+    symtab().read().unwrap_or_else(|e| e.into_inner()).names[id.index()]
 }
 
 /// Arena id of a bitvector term.
