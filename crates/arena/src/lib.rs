@@ -1,0 +1,33 @@
+//! `cr-arena` — the adversarial defense arena (paper §VII-C at scale).
+//!
+//! The paper's countermeasure story pits one rate-based detector against
+//! one linear probe loop. The arena generalizes both axes and runs the
+//! full grid:
+//!
+//! * [`strategies`] — four seedable probing strategies driven against
+//!   the firefox-sim memory oracle (linear scan, binary-search probing,
+//!   low-and-slow stealth, burst-then-idle), plus the benign browsing
+//!   workload used for false-positive calibration;
+//! * [`detectors`] — three detectors: the paper's rate threshold
+//!   (wrapping [`cr_defense::RateDetector`]), a windowed CUSUM anomaly
+//!   scorer, and a syscall-allowlist filter derived automatically from
+//!   cr-scan's SysPart-style temporal tags (init-phase vs serving-phase
+//!   allowlists);
+//! * [`matrix`] — the strategies × detectors grid, emitting per-pair
+//!   detection-rate / time-to-detect / false-positive tables.
+//!
+//! Everything is deterministic: strategies are seeded, detection clocks
+//! are virtual-time only, and summaries carry integers exclusively, so a
+//! matrix run renders byte-identically regardless of host or worker
+//! count. The calibrated headline: low-and-slow stealth evades the naive
+//! rate threshold but is caught by CUSUM, and the generated
+//! serving-phase syscall filter blocks every strategy's escalation
+//! syscalls with zero false positives on the benign browsing workload.
+
+pub mod detectors;
+pub mod matrix;
+pub mod strategies;
+
+pub use detectors::{Cusum, CusumReport, DetectorKind, SyscallFilter};
+pub use matrix::{run_matrix, run_strategy, ArenaConfig, ArenaPair, ArenaSummary};
+pub use strategies::{run_benign, run_round, ProbeSession, StrategyKind, ESCALATION};

@@ -110,6 +110,11 @@ impl CampaignSpecBuilder {
         self.task(CampaignTask::StaticScan(module.into()))
     }
 
+    /// Append a [`CampaignTask::Arena`] task.
+    pub fn arena(self, strategy: impl Into<String>) -> CampaignSpecBuilder {
+        self.task(CampaignTask::Arena(strategy.into()))
+    }
+
     /// Validate and assemble the spec.
     ///
     /// # Errors

@@ -1,7 +1,7 @@
 //! The content-addressed analysis cache.
 //!
-//! Three tables, all keyed by stable content hashes
-//! ([`cr_core::stable_hash`]):
+//! Four tables, all keyed by stable content identifiers
+//! ([`cr_core::stable_hash`] or a deterministic config descriptor):
 //!
 //! * **filter verdicts** — keyed by `machine:sha256(filter code bytes)`
 //!   ([`cr_core::seh::filter_key`]); identical filter code shared by
@@ -12,7 +12,11 @@
 //!   whole module analysis, solver included;
 //! * **static scans** — [`ScanSummary`] rows keyed by the ELF content
 //!   hash ([`cr_scan::elf_content_hash`]); a warm rerun skips the
-//!   CFG reconstruction and dataflow walk.
+//!   CFG reconstruction and dataflow walk;
+//! * **arena summaries** — [`cr_arena::ArenaSummary`] rows keyed by the
+//!   strategy's full config descriptor (strategy, seed, rounds, filter
+//!   module); a warm rerun skips every probe simulation of that
+//!   strategy's rounds.
 //!
 //! With `--cache DIR` the cache persists as one JSONL file
 //! (`analysis-cache.jsonl`, one entry per line, sorted by key so the
@@ -35,6 +39,7 @@
 //! old cache or the new one, never a torn hybrid.
 
 use crate::json::Json;
+use cr_arena::{ArenaPair, ArenaSummary};
 use cr_core::seh::VerdictCache;
 use cr_symex::FilterVerdict;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -130,6 +135,8 @@ pub struct CacheStats {
     module_misses: AtomicU64,
     scan_hits: AtomicU64,
     scan_misses: AtomicU64,
+    arena_hits: AtomicU64,
+    arena_misses: AtomicU64,
     image_hits: AtomicU64,
     image_misses: AtomicU64,
 }
@@ -149,6 +156,10 @@ pub struct CacheStatsSnapshot {
     pub scan_hits: u64,
     /// Static-scan lookups that fell through to a fresh CFG walk.
     pub scan_misses: u64,
+    /// Arena-summary lookups served from the cache.
+    pub arena_hits: u64,
+    /// Arena-summary lookups that fell through to a fresh matrix run.
+    pub arena_misses: u64,
     /// Parsed-image lookups served from the resident artifact table.
     pub image_hits: u64,
     /// Parsed-image lookups that fell through to generate + parse.
@@ -157,13 +168,15 @@ pub struct CacheStatsSnapshot {
 
 impl CacheStatsSnapshot {
     /// Hit fraction over the persistent content-addressed layers
-    /// (filter verdicts + module summaries + scan summaries); 0.0 when
-    /// nothing was looked up. Image traffic is excluded: the resident
-    /// artifact table lives in process memory only, so a fresh process
-    /// always misses it regardless of how warm the on-disk cache is.
+    /// (filter verdicts + module summaries + scan summaries + arena
+    /// summaries); 0.0 when nothing was looked up. Image traffic is
+    /// excluded: the resident artifact table lives in process memory
+    /// only, so a fresh process always misses it regardless of how warm
+    /// the on-disk cache is.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.filter_hits + self.module_hits + self.scan_hits;
-        let total = hits + self.filter_misses + self.module_misses + self.scan_misses;
+        let hits = self.filter_hits + self.module_hits + self.scan_hits + self.arena_hits;
+        let total =
+            hits + self.filter_misses + self.module_misses + self.scan_misses + self.arena_misses;
         if total == 0 {
             0.0
         } else {
@@ -177,6 +190,7 @@ struct Tables {
     filters: HashMap<String, FilterVerdict>,
     modules: HashMap<String, SehSummary>,
     scans: HashMap<String, ScanSummary>,
+    arenas: HashMap<String, ArenaSummary>,
 }
 
 /// The campaign-wide analysis cache. Cheap interior locking: entries
@@ -322,6 +336,7 @@ impl AnalysisCache {
         let filters: BTreeMap<_, _> = tables.filters.iter().collect();
         let modules: BTreeMap<_, _> = tables.modules.iter().collect();
         let scans: BTreeMap<_, _> = tables.scans.iter().collect();
+        let arenas: BTreeMap<_, _> = tables.arenas.iter().collect();
         let mut out = String::new();
         let mut index = 0usize;
         let mut push = |record: String, out: &mut String| {
@@ -355,6 +370,16 @@ impl AnalysisCache {
             push(
                 format!(
                     "{{\"kind\":\"scan\",\"key\":{},\"summary\":{}}}",
+                    serde::Serialize::to_json(key),
+                    serde::Serialize::to_json(summary)
+                ),
+                &mut out,
+            );
+        }
+        for (key, summary) in arenas {
+            push(
+                format!(
+                    "{{\"kind\":\"arena\",\"key\":{},\"summary\":{}}}",
                     serde::Serialize::to_json(key),
                     serde::Serialize::to_json(summary)
                 ),
@@ -413,6 +438,22 @@ impl AnalysisCache {
             .insert(key.to_string(), summary.clone());
     }
 
+    /// Look up an arena summary by config descriptor.
+    pub fn get_arena(&self, key: &str) -> Option<ArenaSummary> {
+        let hit = self.tables.lock().unwrap().arenas.get(key).cloned();
+        self.stats.count_arena(hit.is_some());
+        hit
+    }
+
+    /// Store an arena summary.
+    pub fn put_arena(&self, key: &str, summary: &ArenaSummary) {
+        self.tables
+            .lock()
+            .unwrap()
+            .arenas
+            .insert(key.to_string(), summary.clone());
+    }
+
     /// Look up a resident parsed image by module name.
     pub fn get_image(&self, module: &str) -> Option<std::sync::Arc<ImageArtifact>> {
         let hit = self.images.lock().unwrap().get(module).cloned();
@@ -450,9 +491,14 @@ impl AnalysisCache {
         self.tables.lock().unwrap().scans.len()
     }
 
+    /// Number of cached arena summaries.
+    pub fn arena_len(&self) -> usize {
+        self.tables.lock().unwrap().arenas.len()
+    }
+
     /// Whether all tables are empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == (0, 0) && self.scan_len() == 0
+        self.len() == (0, 0) && self.scan_len() == 0 && self.arena_len() == 0
     }
 
     /// Current hit/miss counters.
@@ -464,6 +510,8 @@ impl AnalysisCache {
             module_misses: self.stats.module_misses.load(Ordering::Relaxed),
             scan_hits: self.stats.scan_hits.load(Ordering::Relaxed),
             scan_misses: self.stats.scan_misses.load(Ordering::Relaxed),
+            arena_hits: self.stats.arena_hits.load(Ordering::Relaxed),
+            arena_misses: self.stats.arena_misses.load(Ordering::Relaxed),
             image_hits: self.stats.image_hits.load(Ordering::Relaxed),
             image_misses: self.stats.image_misses.load(Ordering::Relaxed),
         }
@@ -492,6 +540,14 @@ impl CacheStats {
             &self.scan_hits
         } else {
             &self.scan_misses
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+    fn count_arena(&self, hit: bool) {
+        let c = if hit {
+            &self.arena_hits
+        } else {
+            &self.arena_misses
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
@@ -580,6 +636,11 @@ fn parse_entry(line: &str, tables: &mut Tables) -> Result<(), String> {
             tables.scans.insert(key, summary);
             Ok(())
         }
+        Some("arena") => {
+            let summary = parse_arena(v.get("summary").ok_or("arena entry without summary")?)?;
+            tables.arenas.insert(key, summary);
+            Ok(())
+        }
         other => Err(format!("unknown entry kind {other:?}")),
     }
 }
@@ -651,6 +712,44 @@ fn parse_scan(v: &Json) -> Result<ScanSummary, String> {
     })
 }
 
+fn parse_arena(v: &Json) -> Result<ArenaSummary, String> {
+    let field = |v: &Json, name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("arena summary missing numeric {name:?}"))
+    };
+    let mut pairs = Vec::new();
+    for p in v
+        .get("pairs")
+        .and_then(Json::as_arr)
+        .ok_or("arena summary missing `pairs` array")?
+    {
+        pairs.push(ArenaPair {
+            detector: p
+                .get("detector")
+                .and_then(Json::as_str)
+                .ok_or("arena pair missing `detector`")?
+                .to_string(),
+            detected_rounds: field(p, "detected_rounds")? as usize,
+            time_to_detect_ms: field(p, "time_to_detect_ms")?,
+            false_positives: field(p, "false_positives")?,
+            blocked_escalations: field(p, "blocked_escalations")?,
+        });
+    }
+    Ok(ArenaSummary {
+        strategy: v
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or("arena summary missing `strategy`")?
+            .to_string(),
+        rounds: field(v, "rounds")? as usize,
+        probes: field(v, "probes")?,
+        dropped: field(v, "dropped")?,
+        located_rounds: field(v, "located_rounds")? as usize,
+        pairs,
+    })
+}
+
 /// `FilterVerdict::Unknown` carries a `&'static str`; reloaded reasons
 /// are interned in a process-global pool so repeated cache loads don't
 /// leak a new allocation per load.
@@ -709,6 +808,23 @@ mod tests {
                 unreached: 1,
             },
         );
+        cache.put_arena(
+            "stealth:s2017:r3:vsftpd",
+            &ArenaSummary {
+                strategy: "stealth".into(),
+                rounds: 3,
+                probes: 660,
+                dropped: 0,
+                located_rounds: 3,
+                pairs: vec![ArenaPair {
+                    detector: "cusum".into(),
+                    detected_rounds: 3,
+                    time_to_detect_ms: 700,
+                    false_positives: 0,
+                    blocked_escalations: 0,
+                }],
+            },
+        );
     }
 
     #[test]
@@ -742,6 +858,15 @@ mod tests {
             (scan.module.as_str(), scan.sites, scan.serving),
             ("vsftpd", 9, 4)
         );
+        assert_eq!(back.arena_len(), 1);
+        let arena = back.get_arena("stealth:s2017:r3:vsftpd").unwrap();
+        assert_eq!(
+            (arena.strategy.as_str(), arena.probes, arena.located_rounds),
+            ("stealth", 660, 3)
+        );
+        assert_eq!(arena.pairs.len(), 1);
+        assert_eq!(arena.pairs[0].detector, "cusum");
+        assert_eq!(arena.pairs[0].time_to_detect_ms, 700);
 
         // Saving the reloaded cache reproduces the file byte for byte.
         let bytes1 = std::fs::read(dir.join(CACHE_FILE)).unwrap();
@@ -847,7 +972,7 @@ mod tests {
         let dir = scratch("mutate");
         let cache = AnalysisCache::new();
         sample_tables(&cache);
-        // Corrupt record 1 and tear record 2 of the 5 sorted records.
+        // Corrupt record 1 and tear record 2 of the 6 sorted records.
         cache
             .save_with(&dir, |i, line| match i {
                 1 => *line = line.replace('"', "#"),
@@ -871,13 +996,14 @@ mod tests {
 
         let sink = AnalysisCache::new();
         let (merged, rejected) = sink.merge_jsonl(&jsonl);
-        assert_eq!((merged, rejected), (5, 0));
+        assert_eq!((merged, rejected), (6, 0));
         assert_eq!(sink.len(), source.len());
         assert_eq!(sink.scan_len(), source.scan_len());
+        assert_eq!(sink.arena_len(), source.arena_len());
         // Replication is idempotent: entries are content-addressed, so
         // a re-merge replaces equal values with equal values.
         let (merged2, rejected2) = sink.merge_jsonl(&jsonl);
-        assert_eq!((merged2, rejected2), (5, 0));
+        assert_eq!((merged2, rejected2), (6, 0));
         assert_eq!(sink.export_jsonl(), jsonl, "export round-trips");
         // Malformed input is rejected per line, never fatal.
         let (m, r) = sink.merge_jsonl("garbage line\n\n");
@@ -903,10 +1029,13 @@ mod tests {
         assert!(cache.get_module("feedface").is_none());
         assert!(cache.get_scan("feedc0de").is_some());
         assert!(cache.get_scan("00000000").is_none());
+        assert!(cache.get_arena("stealth:s2017:r3:vsftpd").is_some());
+        assert!(cache.get_arena("linear:s0:r0:none").is_none());
         let s = cache.stats();
         assert_eq!((s.filter_hits, s.filter_misses), (1, 1));
         assert_eq!((s.module_hits, s.module_misses), (1, 1));
         assert_eq!((s.scan_hits, s.scan_misses), (1, 1));
+        assert_eq!((s.arena_hits, s.arena_misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
     }
 

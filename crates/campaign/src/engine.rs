@@ -27,6 +27,7 @@ use crate::error::{ErrorCounts, TaskError, TaskErrorKind};
 use crate::metrics::{CampaignMetrics, SolverStats};
 use crate::pool::{run_pool, PoolConfig, TaskCtx, DEFAULT_DEADLINE_MS};
 use crate::spec::{CampaignSpec, CampaignTask, TaskKind};
+use cr_arena::{ArenaConfig, ArenaSummary};
 use cr_chaos::{FaultInjector, FaultKind, Site};
 use cr_core::seh::{self, analyze_module_cached, analyze_module_cached_jobs, NoCache};
 use std::path::PathBuf;
@@ -123,6 +124,13 @@ pub enum TaskResult {
         image_hash: String,
         /// The cached/recomputed summary row.
         summary: ScanSummary,
+    },
+    /// Adversarial-arena strategy row plus its cache key.
+    Arena {
+        /// Readable content key (`strategy:sSEED:rROUNDS:module`).
+        key: String,
+        /// The cached/recomputed strategy-vs-detectors summary.
+        summary: ArenaSummary,
     },
     /// §VI oracle scan outcome: a region is hidden at a secret
     /// address, and the oracle sweeps the window for it.
@@ -325,6 +333,8 @@ pub fn run_campaign_with_cache(
             module_misses: cache_now.module_misses - cache_before.module_misses,
             scan_hits: cache_now.scan_hits - cache_before.scan_hits,
             scan_misses: cache_now.scan_misses - cache_before.scan_misses,
+            arena_hits: cache_now.arena_hits - cache_before.arena_hits,
+            arena_misses: cache_now.arena_misses - cache_before.arena_misses,
             image_hits: cache_now.image_hits - cache_before.image_hits,
             image_misses: cache_now.image_misses - cache_before.image_misses,
         },
@@ -426,6 +436,7 @@ fn execute_task(
         CampaignTask::ApiFunnel { corpus_size } => Ok(run_funnel(*corpus_size, ctx.seed)),
         CampaignTask::PocScan(name) => Ok(run_poc(name)),
         CampaignTask::StaticScan(name) => Ok(run_scan(name, cache)),
+        CampaignTask::Arena(name) => Ok(run_arena(name, cache, ctx.seed, inj)),
     }
 }
 
@@ -575,6 +586,61 @@ fn run_scan(name: &str, cache: &AnalysisCache) -> TaskResult {
         image_hash,
         summary,
     }
+}
+
+fn run_arena(
+    name: &str,
+    cache: &AnalysisCache,
+    seed: u64,
+    inj: Option<&FaultInjector>,
+) -> TaskResult {
+    let kind = cr_arena::StrategyKind::parse_name(name)
+        .unwrap_or_else(|| panic!("unknown arena strategy {name:?}"));
+    let cfg = ArenaConfig {
+        seed,
+        ..ArenaConfig::default()
+    };
+    let key = format!(
+        "{}:s{}:r{}:{}",
+        kind.name(),
+        cfg.seed,
+        cfg.rounds,
+        cfg.filter_module
+    );
+    // A probe-drop plan perturbs the sessions, so (like a solver-budget
+    // fault) the run bypasses the cache in both directions: it neither
+    // serves a clean row nor poisons the table with a degraded one.
+    let chaos = inj.filter(|i| i.plan().arms(Site::ArenaProbeDrop));
+    if chaos.is_none() {
+        if let Some(summary) = cache.get_arena(&key) {
+            // A warm hit skips re-simulating every probing session;
+            // still stamp the arena stage so the trace shows the source.
+            let mut span = cr_trace::span(cr_trace::Stage::Arena, "arena.cached");
+            span.set_detail(|| format!("strategy={} probes={}", summary.strategy, summary.probes));
+            return TaskResult::Arena { key, summary };
+        }
+    }
+    let mut span = cr_trace::span(cr_trace::Stage::Arena, "arena.run");
+    // Keyed on a monotonic probe ordinal across the strategy's rounds,
+    // so the same plan drops the same probes at any `--jobs` count.
+    let mut probe_no: u64 = 0;
+    let mut drop_probe = |_round_index: u64| {
+        let n = probe_no;
+        probe_no += 1;
+        chaos.is_some_and(|i| i.fires(Site::ArenaProbeDrop, n, 0).is_some())
+    };
+    let summary = cr_arena::run_strategy(kind, &cfg, &mut drop_probe);
+    span.set_detail(|| {
+        format!(
+            "strategy={} probes={} dropped={}",
+            summary.strategy, summary.probes, summary.dropped
+        )
+    });
+    drop(span);
+    if chaos.is_none() {
+        cache.put_arena(&key, &summary);
+    }
+    TaskResult::Arena { key, summary }
 }
 
 fn run_funnel(corpus_size: usize, seed: u64) -> TaskResult {

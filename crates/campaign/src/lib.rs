@@ -15,9 +15,10 @@
 //! * [`cache::AnalysisCache`] — a content-addressed cache: filter
 //!   verdicts keyed by the hash of the filter's code bytes, module
 //!   analyses by the image hash, static-scan summaries by the ELF
-//!   hash, persisted as CRC-framed JSONL
+//!   hash, arena strategy rows by their full configuration, persisted
+//!   as CRC-framed JSONL
 //!   (corrupt lines are quarantined, saves are atomic) so a warm
-//!   rerun skips all symbolic execution;
+//!   rerun skips all symbolic execution and probing simulation;
 //! * [`engine::run_campaign`] — fan-out, re-ordering and metrics,
 //!   optionally under a [`cr_chaos::FaultInjector`]. The
 //!   deterministic half of the report

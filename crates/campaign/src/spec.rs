@@ -9,9 +9,9 @@
 use crate::builder::CampaignSpecBuilder;
 use crate::json::Json;
 
-/// The five task families a campaign draws from. Serializes to the
-/// same short names (`server` / `seh` / `funnel` / `poc` / `scan`) the
-/// metrics JSON always used.
+/// The six task families a campaign draws from. Serializes to the
+/// same short names (`server` / `seh` / `funnel` / `poc` / `scan` /
+/// `arena`) the metrics JSON always used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaskKind {
     /// Table-I server syscall discovery.
@@ -24,16 +24,19 @@ pub enum TaskKind {
     Poc,
     /// Traceless static syscall-site scan (cr-scan).
     Scan,
+    /// Adversarial arena: one probing strategy vs the detector roster.
+    Arena,
 }
 
 impl TaskKind {
     /// Every kind, in the stable reporting order.
-    pub const ALL: [TaskKind; 5] = [
+    pub const ALL: [TaskKind; 6] = [
         TaskKind::Server,
         TaskKind::Seh,
         TaskKind::Funnel,
         TaskKind::Poc,
         TaskKind::Scan,
+        TaskKind::Arena,
     ];
 
     /// Stable machine-readable name.
@@ -44,6 +47,7 @@ impl TaskKind {
             TaskKind::Funnel => "funnel",
             TaskKind::Poc => "poc",
             TaskKind::Scan => "scan",
+            TaskKind::Arena => "arena",
         }
     }
 }
@@ -72,6 +76,9 @@ pub enum CampaignTask {
     /// Statically scan one module (server target or harness-less
     /// corpus module) for syscall sites with temporal tags.
     StaticScan(String),
+    /// Drive one arena probing strategy (by [`cr_arena::StrategyKind`]
+    /// name) through the full detector roster.
+    Arena(String),
 }
 
 impl CampaignTask {
@@ -83,6 +90,7 @@ impl CampaignTask {
             CampaignTask::ApiFunnel { .. } => TaskKind::Funnel,
             CampaignTask::PocScan(_) => TaskKind::Poc,
             CampaignTask::StaticScan(_) => TaskKind::Scan,
+            CampaignTask::Arena(_) => TaskKind::Arena,
         }
     }
 
@@ -94,6 +102,7 @@ impl CampaignTask {
             CampaignTask::ApiFunnel { corpus_size } => format!("funnel:{corpus_size}"),
             CampaignTask::PocScan(n) => format!("poc:{n}"),
             CampaignTask::StaticScan(n) => format!("scan:{n}"),
+            CampaignTask::Arena(n) => format!("arena:{n}"),
         }
     }
 }
@@ -142,6 +151,9 @@ impl CampaignSpec {
         for m in cr_targets::corpus::modules() {
             b = b.scan(m.name);
         }
+        for s in cr_arena::StrategyKind::ALL {
+            b = b.arena(s.name());
+        }
         b.build().expect("builtin spec is valid")
     }
 
@@ -159,6 +171,7 @@ impl CampaignSpec {
         b.funnel(200)
             .poc("ie")
             .scan("vsftpd")
+            .arena("bisect")
             .build()
             .expect("smoke spec is valid")
     }
@@ -233,6 +246,12 @@ fn parse_task(v: &Json) -> Result<CampaignTask, String> {
                 .ok_or("StaticScan takes a module name")?
                 .to_string(),
         )),
+        "Arena" => Ok(CampaignTask::Arena(
+            payload
+                .as_str()
+                .ok_or("Arena takes a strategy name")?
+                .to_string(),
+        )),
         other => Err(format!("unknown task kind {other:?}")),
     }
 }
@@ -260,9 +279,17 @@ mod tests {
             10
         );
         // The builder keeps spec order: servers, modules, funnel,
-        // pocs, scans.
+        // pocs, scans, arena strategies.
         assert_eq!(spec.tasks[0].kind(), TaskKind::Server);
-        assert_eq!(spec.tasks.last().unwrap().kind(), TaskKind::Scan);
+        assert_eq!(spec.tasks.last().unwrap().kind(), TaskKind::Arena);
+        assert_eq!(
+            spec.tasks
+                .iter()
+                .filter(|t| t.kind() == TaskKind::Arena)
+                .count(),
+            4,
+            "one task per probing strategy"
+        );
     }
 
     #[test]
@@ -275,13 +302,13 @@ mod tests {
                 kind.name()
             );
         }
-        assert!(spec.tasks.len() <= 8);
+        assert!(spec.tasks.len() <= 9);
     }
 
     #[test]
     fn kind_names_serialize_like_the_old_strings() {
         let names: Vec<&str> = TaskKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["server", "seh", "funnel", "poc", "scan"]);
+        assert_eq!(names, ["server", "seh", "funnel", "poc", "scan", "arena"]);
         assert_eq!(TaskKind::Seh.to_json(), "\"seh\"");
     }
 
@@ -295,6 +322,7 @@ mod tests {
             .funnel(123)
             .poc("ie")
             .scan("vsftpd")
+            .arena("stealth")
             .build()
             .unwrap();
         let back = CampaignSpec::from_json(&spec.to_json()).unwrap();

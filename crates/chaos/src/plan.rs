@@ -40,11 +40,15 @@ pub enum Site {
     /// Pong is discarded, driving the miss counter toward a spurious
     /// death verdict.
     FleetHeartbeatDrop,
+    /// In an arena probing strategy: one memory probe is swallowed
+    /// before it touches the oracle (the strategy sees "unmapped" and
+    /// moves on, degrading its sweep deterministically).
+    ArenaProbeDrop,
 }
 
 impl Site {
     /// Every site, in a stable order.
-    pub const ALL: [Site; 11] = [
+    pub const ALL: [Site; 12] = [
         Site::WorkerPanic,
         Site::TaskStall,
         Site::SolverBudget,
@@ -56,6 +60,7 @@ impl Site {
         Site::FleetNodeKill,
         Site::FleetPartition,
         Site::FleetHeartbeatDrop,
+        Site::ArenaProbeDrop,
     ];
 
     /// The campaign-pipeline subset (what the `mayhem` plan arms; the
@@ -78,6 +83,9 @@ impl Site {
         Site::FleetHeartbeatDrop,
     ];
 
+    /// The arena subset (what the `arena` plan arms).
+    pub const ARENA: [Site; 1] = [Site::ArenaProbeDrop];
+
     /// Stable machine-readable name (used in fault decisions, so
     /// renaming a site changes every seeded plan).
     pub fn name(self) -> &'static str {
@@ -93,6 +101,7 @@ impl Site {
             Site::FleetNodeKill => "fleet.node.kill",
             Site::FleetPartition => "fleet.partition",
             Site::FleetHeartbeatDrop => "fleet.heartbeat.drop",
+            Site::ArenaProbeDrop => "arena.probe.drop",
         }
     }
 
@@ -182,8 +191,8 @@ pub struct FaultPlan {
 /// Names of the built-in plans, in presentation order. `mayhem` arms
 /// every campaign-pipeline site; `wire` arms every serving-layer
 /// site; `fleet` arms every fleet-layer site.
-pub const BUILTIN_PLANS: [&str; 9] = [
-    "none", "panics", "stalls", "solver", "image", "cache", "wire", "mayhem", "fleet",
+pub const BUILTIN_PLANS: [&str; 10] = [
+    "none", "panics", "stalls", "solver", "image", "cache", "wire", "mayhem", "fleet", "arena",
 ];
 
 impl FaultPlan {
@@ -269,6 +278,10 @@ impl FaultPlan {
                 fault(Site::FleetPartition, FaultKind::Disconnect, 200),
                 fault(Site::FleetHeartbeatDrop, FaultKind::Disconnect, 120),
             ],
+            // Per-probe rate: high enough that a sweep of a few hundred
+            // probes visibly degrades, low enough that strategies still
+            // locate the secret in most rounds.
+            "arena" => vec![fault(Site::ArenaProbeDrop, FaultKind::Disconnect, 100)],
             _ => return None,
         };
         Some(FaultPlan {
@@ -347,6 +360,7 @@ mod tests {
         let mut combined: Vec<Site> = Site::CAMPAIGN.to_vec();
         combined.extend(Site::SERVE);
         combined.extend(Site::FLEET);
+        combined.extend(Site::ARENA);
         assert_eq!(combined, Site::ALL.to_vec());
     }
 
@@ -360,6 +374,25 @@ mod tests {
             assert!(
                 !plan.arms(site),
                 "fleet must stay fleet-scoped, arms {}",
+                site.name()
+            );
+        }
+    }
+
+    #[test]
+    fn arena_plan_stays_arena_scoped() {
+        let plan = FaultPlan::builtin("arena").unwrap();
+        for site in Site::ARENA {
+            assert!(plan.arms(site), "arena misses {}", site.name());
+        }
+        for site in Site::CAMPAIGN
+            .into_iter()
+            .chain(Site::SERVE)
+            .chain(Site::FLEET)
+        {
+            assert!(
+                !plan.arms(site),
+                "arena must stay arena-scoped, arms {}",
                 site.name()
             );
         }

@@ -9,6 +9,7 @@
 //! crash-resist funnel [corpus-size]    §V-B Windows API funnel
 //! crash-resist poc <oracle> <addr>     probe one address via a §VI oracle
 //! crash-resist campaign [options]      sharded multi-task campaign
+//! crash-resist arena [options]         probing strategies × detectors matrix
 //! crash-resist chaos [options]         campaign under an injected fault plan
 //! crash-resist serve [options]         long-lived analysis server (framed TCP)
 //! crash-resist fleet [options]         supervised multi-worker serve fleet
@@ -67,6 +68,7 @@ fn main() {
             args.get(2).map(String::as_str),
         ),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("arena") => cmd_arena(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
@@ -92,9 +94,9 @@ fn main() {
 /// Every verb `main` dispatches on; `help` must mention each (the
 /// `help_lists_every_verb` test pins this) and the unknown-command
 /// path lists them.
-const VERBS: [&str; 14] = [
-    "discover", "analyze", "explore", "cfg", "scan", "funnel", "poc", "campaign", "chaos", "serve",
-    "fleet", "client", "report", "list",
+const VERBS: [&str; 15] = [
+    "discover", "analyze", "explore", "cfg", "scan", "funnel", "poc", "campaign", "arena", "chaos",
+    "serve", "fleet", "client", "report", "list",
 ];
 
 const HELP: &str = "\
@@ -109,6 +111,7 @@ USAGE:
     crash-resist funnel [corpus-size]    run the §V-B Windows API funnel
     crash-resist poc <oracle> <hexaddr>  probe an address with a §VI oracle
     crash-resist campaign [options]      run a sharded discovery campaign
+    crash-resist arena [options]         probing strategies vs the detector roster
     crash-resist chaos [options]         run a campaign under a fault plan
     crash-resist serve [options]         run the long-lived analysis server
     crash-resist fleet [options]         run a supervised serve fleet + invariant suite
@@ -142,6 +145,13 @@ CAMPAIGN OPTIONS:
     --deadline-ms D per-attempt virtual-time deadline (default 200)
     --trace FILE    write a structured execution trace (JSONL) here
     --json          emit the full report as JSON instead of a summary
+
+ARENA OPTIONS (campaign options above; the default spec is the full
+    4-strategy matrix — linear, bisect, stealth, burst — each judged by
+    the rate threshold, windowed CUSUM, and syscall-filter detectors):
+    --json          emit the matrix + headline invariants as a versioned
+                    JSON envelope (deterministic: byte-identical at any
+                    --jobs count, so it diffs against a golden)
 
 CHAOS OPTIONS (campaign options above, plus):
     --plan NAME     built-in fault plan (default mayhem; see `list`)
@@ -975,6 +985,165 @@ fn cmd_campaign(args: &[String]) -> i32 {
             m.cache.module_hits + m.cache.module_misses,
             m.cache.hit_rate() * 100.0
         );
+    }
+    if report.degraded {
+        EXIT_DEGRADED
+    } else {
+        EXIT_OK
+    }
+}
+
+/// The default arena spec: every probing strategy, one task each, so
+/// the campaign pool runs the full strategy × detector matrix.
+fn arena_spec(seed: u64) -> CampaignSpec {
+    let mut b = CampaignSpec::builder().name("arena-matrix").seed(seed);
+    for s in cr_arena::StrategyKind::ALL {
+        b = b.arena(s.name());
+    }
+    b.build().expect("arena spec is valid")
+}
+
+/// The headline §VII-C invariants, computed from the strategy rows
+/// (reported, never asserted — `arena_bench` and the check script's
+/// arena-smoke step are the asserting consumers).
+fn arena_invariants(summaries: &[&cr_arena::ArenaSummary]) -> [(&'static str, bool); 4] {
+    let cell = |strategy: &str, detector: &str| {
+        summaries
+            .iter()
+            .find(|s| s.strategy == strategy)
+            .and_then(|s| {
+                s.pairs
+                    .iter()
+                    .find(|p| p.detector == detector)
+                    .map(|p| (s.rounds, p))
+            })
+    };
+    let stealth_evades_rate = cell("stealth", "rate").is_some_and(|(_, p)| p.detected_rounds == 0);
+    let stealth_caught_by_cusum = cell("stealth", "cusum")
+        .is_some_and(|(rounds, p)| rounds > 0 && p.detected_rounds == rounds);
+    let escalation_len = cr_arena::ESCALATION.len() as u64;
+    let filter_blocks_escalations = !summaries.is_empty()
+        && summaries.iter().all(|s| {
+            s.pairs
+                .iter()
+                .find(|p| p.detector == "filter")
+                .is_some_and(|p| p.blocked_escalations == escalation_len * s.located_rounds as u64)
+        });
+    let zero_false_positives = !summaries.is_empty()
+        && summaries
+            .iter()
+            .flat_map(|s| &s.pairs)
+            .all(|p| p.false_positives == 0);
+    [
+        ("stealth_evades_rate", stealth_evades_rate),
+        ("stealth_caught_by_cusum", stealth_caught_by_cusum),
+        ("filter_blocks_escalations", filter_blocks_escalations),
+        ("zero_false_positives", zero_false_positives),
+    ]
+}
+
+/// `crash-resist arena`: run every probing strategy against the full
+/// detector roster through the campaign engine and render the
+/// strategy × detector matrix plus the headline invariants. The JSON
+/// envelope carries only the deterministic half (`metrics` is null,
+/// like `chaos --summary-json`), so it is byte-identical at any
+/// `--jobs` count and diffs against a golden.
+fn cmd_arena(args: &[String]) -> i32 {
+    let flags = match CampaignFlags::parse("arena", args, false) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let spec = match flags.resolve_spec(arena_spec) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let cfg = flags.engine_config(None);
+    eprintln!(
+        "arena {:?}: {} strategy task(s) on {} worker(s), seed {} ...",
+        spec.name,
+        spec.tasks.len(),
+        cfg.jobs.max(1),
+        spec.seed
+    );
+    flags.start_trace();
+    let outcome = run_campaign(&spec, &cfg);
+    if let Some(code) = flags.finish_trace() {
+        return code;
+    }
+    let report = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("arena cache error: {e}");
+            return EXIT_RUNTIME;
+        }
+    };
+    let summaries: Vec<&cr_arena::ArenaSummary> = report
+        .records
+        .iter()
+        .filter_map(|r| match &r.result {
+            Some(TaskResult::Arena { summary, .. }) => Some(summary),
+            _ => None,
+        })
+        .collect();
+    let invariants = arena_invariants(&summaries);
+    if flags.json {
+        use serde::Serialize;
+        let mut results = String::from("{\"strategies\":[");
+        for (i, s) in summaries.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            results.push_str(&s.to_json());
+        }
+        results.push_str("],\"invariants\":{");
+        for (i, (name, holds)) in invariants.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            results.push('"');
+            results.push_str(name);
+            results.push_str("\":");
+            holds.write_json(&mut results);
+        }
+        results.push_str("}}");
+        println!(
+            "{}",
+            Report::builder(ReportKind::Arena)
+                .results(results)
+                .build()
+                .to_json()
+        );
+    } else {
+        for s in &summaries {
+            println!(
+                "  {:<8} {} round(s), {} probe(s) ({} dropped), located {}/{}",
+                s.strategy, s.rounds, s.probes, s.dropped, s.located_rounds, s.rounds
+            );
+            for p in &s.pairs {
+                println!(
+                    "    {:<6} detected {}/{}, mean ttd {} ms, fp {}, blocked {}",
+                    p.detector,
+                    p.detected_rounds,
+                    s.rounds,
+                    p.time_to_detect_ms,
+                    p.false_positives,
+                    p.blocked_escalations
+                );
+            }
+        }
+        let line: Vec<String> = invariants
+            .iter()
+            .map(|(name, holds)| format!("{name}={holds}"))
+            .collect();
+        println!("invariants: {}", line.join(" "));
+        for rec in &report.records {
+            if rec.result.is_none() {
+                match &rec.error {
+                    Some(err) => println!("  {:<18} FAILED: {err}", rec.label),
+                    None => println!("  {:<18} FAILED", rec.label),
+                }
+            }
+        }
     }
     if report.degraded {
         EXIT_DEGRADED
@@ -1964,6 +2133,20 @@ fn summarize(res: &TaskResult) -> String {
             "{} sites ({} constant, {} memory-loaded), {} serving-reachable, {} init-only",
             summary.sites, summary.constant, summary.memory, summary.serving, summary.init_only
         ),
+        TaskResult::Arena { summary, .. } => {
+            let cells: Vec<String> = summary
+                .pairs
+                .iter()
+                .map(|p| format!("{} {}/{}", p.detector, p.detected_rounds, summary.rounds))
+                .collect();
+            format!(
+                "{} probe(s), located {}/{}, {}",
+                summary.probes,
+                summary.located_rounds,
+                summary.rounds,
+                cells.join(", ")
+            )
+        }
         TaskResult::Poc {
             oracle,
             mapped,

@@ -40,6 +40,10 @@ fn usage_errors_exit_two() {
         &["campaign", "--jobs"],
         &["campaign", "--jobs", "many"],
         &["campaign", "--spec", "/nonexistent/spec.json"],
+        &["arena", "--bogus-flag"],
+        // --summary-json and --plan are chaos-only; arena must reject them.
+        &["arena", "--summary-json"],
+        &["arena", "--plan", "mayhem"],
     ];
     for args in cases {
         let (code, _, stderr) = run(args);

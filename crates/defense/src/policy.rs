@@ -81,6 +81,39 @@ mod tests {
     }
 
     #[test]
+    fn firefox_with_policy_presets_the_flag() {
+        assert!(firefox_with_policy(true).proc.strict_unmapped_policy);
+        assert!(!firefox_with_policy(false).proc.strict_unmapped_policy);
+    }
+
+    #[test]
+    fn strict_and_relaxed_outcomes_diverge_only_under_attack() {
+        // The benign workload's PolicyOutcome is identical under both
+        // modes; the attack workload's differs in every field: the
+        // relaxed run survives with one handled fault per probe, the
+        // strict run dies at probe zero with nothing handled.
+        assert_eq!(asmjs_under_policy(false), asmjs_under_policy(true));
+        let relaxed = probing_under_policy(false, 6);
+        let strict = probing_under_policy(true, 6);
+        assert_eq!(
+            (
+                relaxed.survived,
+                relaxed.probes_before_crash,
+                relaxed.handled_faults
+            ),
+            (true, 6, 6)
+        );
+        assert_eq!(
+            (
+                strict.survived,
+                strict.probes_before_crash,
+                strict.handled_faults
+            ),
+            (false, 0, 0)
+        );
+    }
+
+    #[test]
     fn policy_kills_probing_at_first_unmapped_touch() {
         let relaxed = probing_under_policy(false, 10);
         assert!(

@@ -64,7 +64,10 @@ impl RateDetector {
     /// Analyze a fault log spanning `[start_vtime, end_vtime)`.
     pub fn analyze(&self, log: &[FaultEvent], start_vtime: u64, end_vtime: u64) -> RateReport {
         let window = self.window_ms * STEPS_PER_MS;
-        let handled: Vec<u64> = log.iter().filter(|f| f.handled).map(|f| f.vtime).collect();
+        let mut handled: Vec<u64> = log.iter().filter(|f| f.handled).map(|f| f.vtime).collect();
+        // Merged logs (e.g. multi-thread dispatch order) are not
+        // guaranteed sorted; the window sweep assumes monotone vtimes.
+        handled.sort_unstable();
         let mut peak = 0usize;
         let mut alarm_at = None;
         let mut lo = 0usize;
@@ -131,6 +134,27 @@ mod tests {
         assert_eq!(r.handled_faults, 100, "5 bursts of 20");
         assert!(r.peak_window >= 20, "bursts are visible");
         assert!(!r.alarm, "asm.js must not trip the detector: {r:?}");
+    }
+
+    #[test]
+    fn out_of_order_log_does_not_underflow() {
+        // Regression: `handled[hi] - handled[lo]` wrapped when the log
+        // arrived unsorted (later vtime first). The sweep must sort.
+        let mk = |vtime| FaultEvent {
+            vtime,
+            rip: 0x1000,
+            addr: Some(0x7000),
+            mapped: false,
+            handled: true,
+        };
+        let log = vec![mk(900_000), mk(100), mk(450_000), mk(200), mk(150)];
+        let r = report_of(&log, 1_000_000);
+        assert_eq!(r.handled_faults, 5);
+        assert_eq!(r.peak_window, 3, "the three early faults share a window");
+        assert!(!r.alarm);
+        // Same events pre-sorted must agree exactly.
+        let sorted = vec![mk(100), mk(150), mk(200), mk(450_000), mk(900_000)];
+        assert_eq!(report_of(&sorted, 1_000_000), r);
     }
 
     #[test]

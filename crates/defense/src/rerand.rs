@@ -138,6 +138,7 @@ where
 mod tests {
     use super::*;
     use cr_exploits::ie::IeOracle;
+    use proptest::prelude::*;
 
     fn slots() -> Vec<u64> {
         (0..8u64).map(|i| 0x4A_0000_0000 + i * 0x10_0000).collect()
@@ -186,5 +187,34 @@ mod tests {
             any_stale_or_missed,
             "re-randomization must defeat at least some scan+attack attempts"
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // The whole experiment is deterministic in its parameters: the
+        // defender rotates (never draws entropy), the scanner sweeps a
+        // fixed window, so two identical setups must agree on every
+        // observable — outcome, relocation count, final region base.
+        #[test]
+        fn rerand_experiment_is_deterministic(
+            period in 1u64..8,
+            start in 0usize..8,
+            stride_slots in 1u64..4,
+        ) {
+            let run = || {
+                let mut o = IeOracle::new();
+                let mut d =
+                    MovingRegion::new(&mut o.sim().proc.mem, slots(), 0x1000, period, start);
+                let out = scan_under_rerand(
+                    &mut o,
+                    &mut d,
+                    |o| &mut o.sim().proc.mem as *mut _,
+                    stride_slots * 0x10_0000,
+                );
+                (out, d.relocations(), d.current_base())
+            };
+            prop_assert_eq!(run(), run());
+        }
     }
 }

@@ -53,11 +53,13 @@ pub enum ReportKind {
     /// A trace JSONL header (flat envelope: `events`/`dropped` instead
     /// of `results`/`metrics`).
     Trace,
+    /// An adversarial-arena matrix run (`arena --json`).
+    Arena,
 }
 
 impl ReportKind {
     /// Every kind, in a stable order (new kinds append).
-    pub const ALL: [ReportKind; 9] = [
+    pub const ALL: [ReportKind; 10] = [
         ReportKind::Campaign,
         ReportKind::Chaos,
         ReportKind::List,
@@ -67,6 +69,7 @@ impl ReportKind {
         ReportKind::Fleet,
         ReportKind::Explore,
         ReportKind::Trace,
+        ReportKind::Arena,
     ];
 
     /// Stable machine-readable name.
@@ -81,6 +84,7 @@ impl ReportKind {
             ReportKind::Fleet => "fleet",
             ReportKind::Explore => "explore",
             ReportKind::Trace => "trace",
+            ReportKind::Arena => "arena",
         }
     }
 }
@@ -237,7 +241,10 @@ mod tests {
         let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            ["campaign", "chaos", "list", "report", "serve", "scan", "fleet", "explore", "trace"]
+            [
+                "campaign", "chaos", "list", "report", "serve", "scan", "fleet", "explore",
+                "trace", "arena"
+            ]
         );
     }
 

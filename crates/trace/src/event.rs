@@ -22,11 +22,13 @@ pub enum Stage {
     Fault,
     /// Traceless static scanning (cr-scan CFG walk and dataflow).
     Scan,
+    /// Adversarial defense arena (cr-arena strategy × detector runs).
+    Arena,
 }
 
 impl Stage {
     /// Every stage, in the stable reporting order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Parse,
         Stage::Symex,
         Stage::Cache,
@@ -34,10 +36,11 @@ impl Stage {
         Stage::Retry,
         Stage::Fault,
         Stage::Scan,
+        Stage::Arena,
     ];
 
     /// Stable machine-readable name (`parse` / `symex` / `cache` /
-    /// `schedule` / `retry` / `fault` / `scan`).
+    /// `schedule` / `retry` / `fault` / `scan` / `arena`).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Parse => "parse",
@@ -47,6 +50,7 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::Fault => "fault",
             Stage::Scan => "scan",
+            Stage::Arena => "arena",
         }
     }
 
@@ -244,7 +248,7 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["parse", "symex", "cache", "schedule", "retry", "fault", "scan"]
+            ["parse", "symex", "cache", "schedule", "retry", "fault", "scan", "arena"]
         );
         for s in Stage::ALL {
             assert_eq!(Stage::parse_name(s.name()), Some(s));

@@ -162,6 +162,30 @@ grep -q '"recall_100":true' "$smoke_tmp/static.json" \
 grep -q '"deterministic":true' "$smoke_tmp/static.json" \
   || { echo "[check] scan_bench reports diverged across runs" >&2; exit 1; }
 
+# arena-smoke: the full strategy × detector matrix through the
+# campaign engine. The envelope carries only the deterministic half
+# (metrics is null), so the whole document diffs byte for byte — and
+# the golden itself encodes the §VII-C headline: stealth evades the
+# rate threshold but CUSUM catches it, the scan-derived serving filter
+# blocks every escalation, zero false positives anywhere. The explicit
+# greps keep the invariant readable even if the golden is regenerated.
+echo "[check] arena-smoke (strategy x detector matrix golden)"
+target/release/crash-resist arena --json 2>/dev/null > "$smoke_tmp/arena.json"
+if ! diff -u scripts/golden/arena_smoke.json "$smoke_tmp/arena.json"; then
+  echo "[check] arena matrix diverged from scripts/golden/arena_smoke.json" >&2
+  exit 1
+fi
+grep -q "${envelope}arena\"" "$smoke_tmp/arena.json" \
+  || { echo "[check] arena --json lacks the envelope" >&2; exit 1; }
+grep -q '"stealth_evades_rate":true' "$smoke_tmp/arena.json" \
+  || { echo "[check] stealth no longer evades the rate threshold" >&2; exit 1; }
+grep -q '"stealth_caught_by_cusum":true' "$smoke_tmp/arena.json" \
+  || { echo "[check] CUSUM no longer catches stealth probing" >&2; exit 1; }
+grep -q '"filter_blocks_escalations":true' "$smoke_tmp/arena.json" \
+  || { echo "[check] the syscall filter missed an escalation" >&2; exit 1; }
+grep -q '"zero_false_positives":true' "$smoke_tmp/arena.json" \
+  || { echo "[check] a detector false-positived on benign browsing" >&2; exit 1; }
+
 # serve-smoke: start the resident server on an ephemeral port, send one
 # cold and one warm request over a single client connection, assert the
 # warm invariants (zero solver calls, resident parsed image), and drain

@@ -9,4 +9,10 @@ for b in "${bins[@]}"; do
     echo "[run_all] $b"
     cargo run --release -p cr-bench --bin "$b" >"$out/$b.txt" 2>"$out/$b.log"
 done
+# arena_bench asserts the §VII-C headline invariants in-binary and
+# writes its JSON artifact next to the other BENCH_* files.
+echo "[run_all] arena_bench"
+ARENA_BENCH_OUT="$out/BENCH_defense.json" \
+    cargo run --release -p cr-bench --bin arena_bench \
+    >"$out/arena_bench.txt" 2>"$out/arena_bench.log"
 echo "[run_all] done — results in $out/"

@@ -41,6 +41,7 @@ fn spec() -> CampaignSpec {
         .funnel(200)
         .poc("ie")
         .scan("vsftpd")
+        .arena("bisect")
         .build()
         .expect("trace spec is valid")
 }
